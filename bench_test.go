@@ -1,0 +1,335 @@
+// Benchmarks regenerating every figure of the paper's evaluation section,
+// plus micro-benchmarks for the scheduling hot paths and the ablations
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks execute the full experiment per iteration and report
+// headline metrics via b.ReportMetric, so one -bench run reproduces the
+// paper's result set end to end.
+package unisched_test
+
+import (
+	"sync"
+	"testing"
+
+	"unisched"
+	"unisched/internal/analysis"
+	"unisched/internal/core"
+	"unisched/internal/experiments"
+	"unisched/internal/stats"
+	"unisched/internal/trace"
+)
+
+// benchSetup is shared across figure benchmarks: one baseline replay and
+// one profile-training pass.
+var (
+	setupOnce sync.Once
+	benchEnv  *experiments.Setup
+)
+
+func getSetup(b *testing.B) *experiments.Setup {
+	b.Helper()
+	setupOnce.Do(func() {
+		s, err := experiments.NewSetup(experiments.QuickScale())
+		if err != nil {
+			panic(err)
+		}
+		benchEnv = s
+	})
+	return benchEnv
+}
+
+// BenchmarkFig02SLODistribution regenerates the pod SLO mix of Fig. 2(b).
+func BenchmarkFig02SLODistribution(b *testing.B) {
+	s := getSetup(b)
+	var beFrac float64
+	for i := 0; i < b.N; i++ {
+		beFrac = analysis.SLODistribution(s.Workload)[trace.SLOBE]
+	}
+	b.ReportMetric(beFrac, "BE-fraction")
+}
+
+// BenchmarkFig03Workloads regenerates the submission and QPS series of
+// Fig. 3.
+func BenchmarkFig03Workloads(b *testing.B) {
+	s := getSetup(b)
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		be, _ := analysis.SubmissionSeries(s.Workload, 600)
+		peak = stats.Max(be.Values)
+	}
+	b.ReportMetric(peak, "peak-BE-per-10min")
+}
+
+// BenchmarkFig04to10Characterize replays the production-shaped study behind
+// Figures 4-10 (utilization, over-commitment, waits, ranks).
+func BenchmarkFig04to10Characterize(b *testing.B) {
+	var meanUtil float64
+	for i := 0; i < b.N; i++ {
+		sc := analysis.DefaultStudy()
+		sc.Horizon = 6 * 3600 // a slice of the day per iteration
+		_, res, _ := analysis.RunStudy(sc)
+		meanUtil = stats.Mean(res.CPUUtilAvg)
+	}
+	b.ReportMetric(meanUtil, "mean-CPU-util")
+}
+
+// BenchmarkFig11Predictors regenerates the predictor error comparison.
+func BenchmarkFig11Predictors(b *testing.B) {
+	s := getSetup(b)
+	var borgOver, optumOver float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig11PredictorErrors(s, 8)
+		for _, r := range rows {
+			switch r.Name {
+			case "Borg default":
+				borgOver = r.Over.Quantile(0.5)
+			case "Optum Predictor":
+				optumOver = r.Over.Quantile(0.5)
+			}
+		}
+	}
+	b.ReportMetric(borgOver, "borg-overest-p50-%")
+	b.ReportMetric(optumOver, "optum-overest-p50-%")
+}
+
+// BenchmarkFig12to16Correlations regenerates the CoV and correlation
+// studies of Figures 12-16 from the shared study run.
+func BenchmarkFig12to16Correlations(b *testing.B) {
+	sc := analysis.DefaultStudy()
+	sc.Horizon = 6 * 3600
+	w, res, rec := analysis.RunStudy(sc)
+	b.ResetTimer()
+	var psiCorr float64
+	for i := 0; i < b.N; i++ {
+		analysis.CoVDistribution(rec, res, w, 2)
+		analysis.RTCorrelations(rec)
+		rows := analysis.PSIUtilCorrelations(rec, true)
+		for _, r := range rows {
+			if r.Metric == "CPUPSI60" {
+				psiCorr = r.P50
+			}
+		}
+	}
+	b.ReportMetric(psiCorr, "PSI-hostutil-corr-p50")
+}
+
+// BenchmarkFig18Profilers regenerates the learning-model accuracy study.
+func BenchmarkFig18Profilers(b *testing.B) {
+	s := getSetup(b)
+	var rfMAPE float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig18ProfilerAccuracy(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rfMAPE = rows[0].LS.Quantile(0.5)
+	}
+	b.ReportMetric(rfMAPE, "RF-LS-MAPE-p50")
+}
+
+// BenchmarkFig19Fig20Evaluation regenerates the end-to-end comparison: one
+// full replay per scheduler per iteration.
+func BenchmarkFig19Fig20Evaluation(b *testing.B) {
+	s := getSetup(b)
+	var optumImprove, optumPSIViol float64
+	for i := 0; i < b.N; i++ {
+		for _, ev := range experiments.RunEvaluation(s, nil) {
+			if ev.Name == experiments.NameOptum {
+				optumImprove = ev.GoodputImprovement
+				optumPSIViol = ev.PSIViolationRate
+			}
+		}
+	}
+	b.ReportMetric(optumImprove, "optum-goodput-improve-pp")
+	b.ReportMetric(optumPSIViol, "optum-PSI-violation")
+}
+
+// BenchmarkFig21Sensitivity regenerates the omega sweep (4 replays/iter).
+func BenchmarkFig21Sensitivity(b *testing.B) {
+	s := getSetup(b)
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig21Sensitivity(s, []float64{0.1, 0.9})
+		lo, hi := pts[0].MeanImprovement, pts[0].MeanImprovement
+		for _, p := range pts {
+			if p.MeanImprovement < lo {
+				lo = p.MeanImprovement
+			}
+			if p.MeanImprovement > hi {
+				hi = p.MeanImprovement
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "improvement-spread-pp")
+}
+
+// BenchmarkFig22Overhead measures real per-pod scheduling latency against
+// pre-loaded clusters — the Fig. 22 measurement itself.
+func BenchmarkFig22Overhead(b *testing.B) {
+	s := getSetup(b)
+	var optumMs float64
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig22Overhead(s, []int{1000}, 20)
+		for _, p := range pts {
+			if p.Scheduler == experiments.NameOptum {
+				optumMs = p.MeanMs
+			}
+		}
+	}
+	b.ReportMetric(optumMs, "optum-ms-per-pod-1k-nodes")
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationEROvsP99(b *testing.B) {
+	s := getSetup(b)
+	var under float64
+	for i := 0; i < b.N; i++ {
+		ab := experiments.RunAblationERO(s)
+		under = ab.RCUnderRate - ab.OptumUnderRate
+	}
+	b.ReportMetric(under, "RC-minus-Optum-underrate")
+}
+
+func BenchmarkAblationBucketize(b *testing.B) {
+	s := getSetup(b)
+	var d float64
+	for i := 0; i < b.N; i++ {
+		ab, err := experiments.RunAblationBucketize(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d = ab.BucketizedLSMAPE - ab.RawLSMAPE
+	}
+	b.ReportMetric(d, "bucketized-minus-raw-MAPE")
+}
+
+func BenchmarkAblationPPOSampling(b *testing.B) {
+	s := getSetup(b)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		ab := experiments.RunAblationPPO(s)
+		if ab.SampledMeanMs > 0 {
+			speedup = ab.FullMeanMs / ab.SampledMeanMs
+		}
+	}
+	b.ReportMetric(speedup, "fullscan-vs-sampled-latency-x")
+}
+
+func BenchmarkAblationScoreForm(b *testing.B) {
+	s := getSetup(b)
+	var memGain float64
+	for i := 0; i < b.N; i++ {
+		ab := experiments.RunAblationScoreForm(s)
+		memGain = ab.JointMemBusy - ab.CPUOnlyMemBusy
+	}
+	b.ReportMetric(memGain, "joint-mem-util-gain")
+}
+
+// --- Micro-benchmarks for the scheduling hot paths ---
+
+// BenchmarkOptumDecision measures one Optum placement decision against a
+// warm 200-node cluster.
+func BenchmarkOptumDecision(b *testing.B) {
+	s := getSetup(b)
+	w := s.Workload
+	c := unisched.NewCluster(w)
+	o := core.New(c, s.Profiles, core.DefaultOptions(), 7)
+	// Warm: place a slice of pods and tick.
+	for i, p := range w.Pods {
+		if i >= 200 {
+			break
+		}
+		if _, err := c.Place(p, i%len(w.Nodes), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		c.Tick(int64(i)*30, 30)
+	}
+	probe := w.Pods[len(w.Pods)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Schedule([]*trace.Pod{probe}, 120)
+	}
+}
+
+// BenchmarkBaselineDecision measures one Alibaba-like placement decision.
+func BenchmarkBaselineDecision(b *testing.B) {
+	s := getSetup(b)
+	w := s.Workload
+	c := unisched.NewCluster(w)
+	sc := unisched.NewAlibabaScheduler(c, 7)
+	for i, p := range w.Pods {
+		if i >= 200 {
+			break
+		}
+		if _, err := c.Place(p, i%len(w.Nodes), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		c.Tick(int64(i)*30, 30)
+	}
+	probe := w.Pods[len(w.Pods)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Schedule([]*trace.Pod{probe}, 120)
+	}
+}
+
+// BenchmarkClusterTick measures one 30-second physics tick of a loaded
+// cluster — the simulator's inner loop.
+func BenchmarkClusterTick(b *testing.B) {
+	s := getSetup(b)
+	w := s.Workload
+	c := unisched.NewCluster(w)
+	for i, p := range w.Pods {
+		if i >= 400 {
+			break
+		}
+		c.Place(p, i%len(w.Nodes), 0) //nolint:errcheck
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick(int64(i)*30, 30)
+	}
+}
+
+// BenchmarkWorkloadGeneration measures synthetic trace generation.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	cfg := trace.SmallConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := trace.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfilerTraining measures one full interference-profile
+// training pass over the collected samples.
+func BenchmarkProfilerTraining(b *testing.B) {
+	s := getSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Collector.TrainInterference(nil, 0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTriples quantifies the §4.2.2 triple-wise extension:
+// prediction tightening vs pairwise, and the profiling blow-up.
+func BenchmarkAblationTriples(b *testing.B) {
+	s := getSetup(b)
+	var tighter float64
+	for i := 0; i < b.N; i++ {
+		ab := experiments.RunAblationTriples(s)
+		tighter = ab.PairMeanOver - ab.TripleMeanOver
+	}
+	b.ReportMetric(tighter, "over-estimation-reduction-pp")
+}

@@ -1,0 +1,155 @@
+// Command characterize reproduces the paper's Section-3 study of
+// unified-scheduling workloads: it replays a production-shaped synthetic
+// trace under the Alibaba-like scheduler and prints the data behind
+// Figures 2-16.
+//
+// Usage:
+//
+//	characterize -nodes 48 -hours 24 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unisched/internal/analysis"
+	"unisched/internal/stats"
+	"unisched/internal/texttab"
+	"unisched/internal/trace"
+)
+
+func main() {
+	var (
+		nodes = flag.Int("nodes", 48, "number of physical hosts")
+		hours = flag.Int("hours", 24, "trace horizon in hours")
+		seed  = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	out := os.Stdout
+
+	fmt.Fprintf(out, "== Section 3 characterization: %d nodes, %dh, seed %d ==\n\n",
+		*nodes, *hours, *seed)
+	w, res, rec := analysis.RunStudy(analysis.StudyConfig{
+		Nodes: *nodes, Horizon: int64(*hours) * 3600, Seed: *seed,
+	})
+	fmt.Fprintf(out, "workload: %d apps, %d pods; placed %d, pending %d\n\n",
+		len(w.Apps), len(w.Pods), res.Placed, res.Pending)
+
+	// Fig 2b.
+	fmt.Fprintln(out, "-- Fig 2b: pod SLO distribution --")
+	tb := texttab.New("SLO", "fraction")
+	for _, slo := range []trace.SLO{trace.SLOUnknown, trace.SLOSystem, trace.SLOVMEnv,
+		trace.SLOLSR, trace.SLOLS, trace.SLOBE} {
+		tb.Row(slo.String(), analysis.SLODistribution(w)[slo])
+	}
+	tb.Render(out)
+
+	// Fig 3.
+	be, ls := analysis.SubmissionSeries(w, 600)
+	fmt.Fprintf(out, "\n-- Fig 3a: submissions per 10 min (sparklines) --\nBE %s\nLS %s\n",
+		texttab.Sparkline(be.Values, 60), texttab.Sparkline(ls.Values, 60))
+	q := analysis.QPSSeries(w, 900)
+	fmt.Fprintf(out, "-- Fig 3b: average LS pod QPS --\n   %s (min %.0f max %.0f)\n",
+		texttab.Sparkline(q.Values, 60), stats.Min(q.Values), stats.Max(q.Values))
+
+	// Fig 4.
+	fmt.Fprintf(out, "\n-- Fig 4a: mean pod CPU utilization by class --\nBE %s\nLS %s\n",
+		texttab.Sparkline(res.ClassUtil[trace.SLOBE], 60),
+		texttab.Sparkline(res.ClassUtil[trace.SLOLS], 60))
+	fmt.Fprintf(out, "-- Fig 4b: host utilization --\ncpu avg %s (mean %.2f)\ncpu max %s (peak %.2f)\nmem avg %s (mean %.2f)\n",
+		texttab.Sparkline(res.CPUUtilAvg, 60), stats.Mean(res.CPUUtilAvg),
+		texttab.Sparkline(res.CPUUtilMax, 60), stats.Max(res.CPUUtilMax),
+		texttab.Sparkline(res.MemUtilAvg, 60), stats.Mean(res.MemUtilAvg))
+
+	// Fig 5.
+	oc := analysis.OvercommitCDF(rec)
+	fmt.Fprintln(out, "\n-- Fig 5: over-commitment rate across (host,time) --")
+	tb = texttab.New("metric", "quantiles")
+	tb.Row("CPU request", texttab.CDFRow(oc.ReqCPU))
+	tb.Row("CPU limit", texttab.CDFRow(oc.LimitCPU))
+	tb.Row("Mem request", texttab.CDFRow(oc.ReqMem))
+	tb.Row("Mem limit", texttab.CDFRow(oc.LimitMem))
+	tb.Render(out)
+	fmt.Fprintf(out, "P(host CPU overcommitted) = %.2f, P(mem) = %.2f\n",
+		1-oc.ReqCPU.At(1), 1-oc.ReqMem.At(1))
+
+	// Fig 6.
+	ru := analysis.RequestUsageCDF(rec, w, true)
+	rm := analysis.RequestUsageCDF(rec, w, false)
+	fmt.Fprintln(out, "\n-- Fig 6: request vs usage (per-pod gap = request/mean usage) --")
+	tb = texttab.New("class", "median CPU gap", "median mem gap")
+	tb.Row("BE", ru.BEGap.Quantile(0.5), rm.BEGap.Quantile(0.5))
+	tb.Row("LS", ru.LSGap.Quantile(0.5), rm.LSGap.Quantile(0.5))
+	tb.Render(out)
+
+	// Fig 7.
+	ar := analysis.ArrivalRateCDF(w)
+	fmt.Fprintf(out, "\n-- Fig 7: pods to schedule per minute --\n%s\n", ar)
+
+	// Fig 8.
+	fmt.Fprintln(out, "\n-- Fig 8: waiting time by SLO (seconds) --")
+	tb = texttab.New("SLO", "quantiles")
+	wt := analysis.WaitingTimeCDF(res)
+	for _, slo := range []trace.SLO{trace.SLOBE, trace.SLOLS, trace.SLOLSR} {
+		if c := wt[slo]; c != nil {
+			tb.Row(slo.String(), texttab.CDFRow(c))
+		}
+	}
+	tb.Render(out)
+
+	// Fig 9.
+	fmt.Fprintln(out, "\n-- Fig 9a: mean wait by request-size quartile --")
+	tb = texttab.New("SLO", "Low", "Med", "High", "VeryHigh")
+	wr := analysis.WaitingByRequestSize(res, w)
+	for _, slo := range []trace.SLO{trace.SLOBE, trace.SLOLS, trace.SLOLSR} {
+		if b, ok := wr[slo]; ok {
+			tb.Row(slo.String(), b[0], b[1], b[2], b[3])
+		}
+	}
+	tb.Render(out)
+	fmt.Fprintln(out, "\n-- Fig 9b: delay sources (fraction of delayed pods) --")
+	for slo, m := range analysis.DelaySources(res) {
+		fmt.Fprintf(out, "  %-4v %v\n", slo, m)
+	}
+
+	// Fig 10.
+	usage, request := analysis.HostRankCDF(res)
+	fmt.Fprintln(out, "\n-- Fig 10: chosen-host rank (normalized, 0 = best aligned) --")
+	tb = texttab.New("SLO", "usage-view top-25%", "request-view top-25%")
+	for _, slo := range []trace.SLO{trace.SLOBE, trace.SLOLS, trace.SLOLSR} {
+		if usage[slo] != nil {
+			tb.Row(slo.String(), usage[slo].At(0.25), request[slo].At(0.25))
+		}
+	}
+	tb.Render(out)
+
+	// Fig 12.
+	cov := analysis.CoVDistribution(rec, res, w, 2)
+	fmt.Fprintln(out, "\n-- Fig 12: within-application CoV (median across apps) --")
+	tb = texttab.New("metric", "median CoV", "P(CoV<1)")
+	tb.Row("LS CPU used", cov.LSCPUUsed.Quantile(0.5), cov.LSCPUUsed.At(1))
+	tb.Row("LS mem util", cov.LSMemUtil.Quantile(0.5), cov.LSMemUtil.At(1))
+	tb.Row("LS RT", cov.LSRT.Quantile(0.5), cov.LSRT.At(1))
+	tb.Row("LS QPS", cov.LSQPS.Quantile(0.5), cov.LSQPS.At(1))
+	tb.Row("BE CPU used", cov.BECPUUsed.Quantile(0.5), cov.BECPUUsed.At(1))
+	tb.Row("BE mem util", cov.BEMemUtil.Quantile(0.5), cov.BEMemUtil.At(1))
+	tb.Row("BE completion", cov.BECT.Quantile(0.5), cov.BECT.At(1))
+	tb.Render(out)
+
+	// Fig 13-16.
+	printCorr := func(title string, rows []analysis.CorrSummary) {
+		fmt.Fprintf(out, "\n-- %s --\n", title)
+		tb := texttab.New("metric", "p25", "p50", "p75", "apps")
+		for _, r := range rows {
+			tb.Row(r.Metric, r.P25, r.P50, r.P75, r.N)
+		}
+		tb.Render(out)
+	}
+	printCorr("Fig 13: corr(pod RT, OS metric) across LS apps", analysis.RTCorrelations(rec))
+	printCorr("Fig 14: corr(pod QPS, OS metric) across LS apps", analysis.QPSCorrelations(rec))
+	printCorr("Fig 15a: corr(PSI, host CPU util)", analysis.PSIUtilCorrelations(rec, true))
+	printCorr("Fig 15b: corr(PSI, pod CPU util)", analysis.PSIUtilCorrelations(rec, false))
+	printCorr("Fig 16: corr(BE completion time, per-run metric)",
+		analysis.BECorrelations(rec, res.BECT, 3))
+}

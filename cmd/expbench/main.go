@@ -1,0 +1,132 @@
+// Command expbench reproduces the paper's evaluation section end to end:
+// Fig. 11 (predictor accuracy), Fig. 18 (profiler accuracy per learning
+// model), Fig. 19/20 (utilization, violations, pod performance per
+// scheduler), Fig. 21 (omega sensitivity), Fig. 22 (scheduling overhead
+// versus cluster size), and the DESIGN.md ablations.
+//
+// Usage:
+//
+//	expbench                 # quick scale (seconds)
+//	expbench -full           # paper-shaped scale (minutes)
+//	expbench -only fig19     # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"unisched/internal/experiments"
+	"unisched/internal/texttab"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("expbench: ")
+	var (
+		full = flag.Bool("full", false, "run at the paper-shaped full scale")
+		only = flag.String("only", "", "run a single experiment: fig11|fig18|fig19|fig21|fig22|ablations")
+		seed = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+	out := os.Stdout
+
+	scale := experiments.QuickScale()
+	if *full {
+		scale = experiments.FullScale()
+	}
+	scale.Seed = *seed
+	fmt.Fprintf(out, "== evaluation at %d nodes, %dh, seed %d ==\n",
+		scale.Nodes, scale.Horizon/3600, scale.Seed)
+	fmt.Fprintln(out, "building setup (baseline replay + profile training)...")
+	s, err := experiments.NewSetup(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
+
+	if want("fig11") {
+		fmt.Fprintln(out, "\n-- Fig 11: host CPU usage prediction error (%) --")
+		tb := texttab.New("predictor", "meanAbs", "over p50", "over p99", "under p50", "P(under>10%)")
+		for _, r := range experiments.Fig11PredictorErrors(s, 4) {
+			tb.Row(r.Name, r.MeanAbs, r.Over.Quantile(0.5), r.Over.Quantile(0.99),
+				r.Under.Quantile(0.5), r.UnderFrac10)
+		}
+		tb.Render(out)
+	}
+
+	if want("fig18") {
+		fmt.Fprintln(out, "\n-- Fig 18: per-application profiling MAPE by model --")
+		rows, err := experiments.Fig18ProfilerAccuracy(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := texttab.New("model", "LS p50", "LS P(<0.1)", "BE p50", "BE P(<0.2)")
+		for _, r := range rows {
+			tb.Row(r.Model, r.LS.Quantile(0.5), r.LS.At(0.1), r.BE.Quantile(0.5), r.BE.At(0.2))
+		}
+		tb.Render(out)
+	}
+
+	if want("fig19") || want("fig20") {
+		fmt.Fprintln(out, "\n-- Fig 19 + 20: end-to-end comparison vs the production baseline --")
+		tb := texttab.New("scheduler", "util +pp", "goodput +pp", "violation",
+			"PSI viol", "CT viol", "mean wait s", "max wait s")
+		lineup := append([]experiments.SchedulerName{}, experiments.EvalSchedulers...)
+		lineup = append(lineup, experiments.NameKubeLike) // ecosystem reference point
+		for _, e := range experiments.RunEvaluation(s, lineup) {
+			tb.Row(string(e.Name), e.MeanImprovement, e.GoodputImprovement,
+				e.ViolationRate, e.PSIViolationRate, e.CTViolationRate, e.MeanWait, e.MaxWait)
+		}
+		tb.Render(out)
+	}
+
+	if want("fig21") {
+		fmt.Fprintln(out, "\n-- Fig 21: sensitivity to omega_o / omega_b --")
+		tb := texttab.New("omega_o", "omega_b", "util +pp", "CT viol", "PSI viol")
+		for _, p := range experiments.Fig21Sensitivity(s, []float64{0.1, 0.5, 0.9}) {
+			tb.Row(p.OmegaO, p.OmegaB, p.MeanImprovement, p.CTViolationRate, p.PSIViolationRate)
+		}
+		tb.Render(out)
+	}
+
+	if want("fig22") {
+		fmt.Fprintln(out, "\n-- Fig 22: per-pod scheduling latency vs cluster size --")
+		counts := []int{500, 1000, 2000}
+		if *full {
+			counts = []int{1000, 2000, 3000, 4000, 5000, 6000}
+		}
+		tb := texttab.New("scheduler", "nodes", "mean ms", "max ms")
+		for _, p := range experiments.Fig22Overhead(s, counts, 30) {
+			tb.Row(string(p.Scheduler), p.Nodes, p.MeanMs, p.MaxMs)
+		}
+		tb.Render(out)
+	}
+
+	if want("ablations") {
+		fmt.Fprintln(out, "\n-- Ablations --")
+		ero := experiments.RunAblationERO(s)
+		fmt.Fprintf(out, "ERO vs P99: Optum meanAbs %.1f%% underRate %.4f | RC meanAbs %.1f%% underRate %.4f (n=%d)\n",
+			ero.OptumMeanAbs, ero.OptumUnderRate, ero.RCMeanAbs, ero.RCUnderRate, ero.Samples)
+		bk, err := experiments.RunAblationBucketize(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "bucketized vs raw targets: LS MAPE %.3f vs %.3f\n",
+			bk.BucketizedLSMAPE, bk.RawLSMAPE)
+		ppo := experiments.RunAblationPPO(s)
+		fmt.Fprintf(out, "PPO sampling: %.3fms/pod, +%.2fpp, psiViol %.3f | full scan: %.3fms/pod, +%.2fpp, psiViol %.3f\n",
+			ppo.SampledMeanMs, ppo.SampledImprove, ppo.SampledPSIViol,
+			ppo.FullMeanMs, ppo.FullImprove, ppo.FullPSIViol)
+		sf := experiments.RunAblationScoreForm(s)
+		fmt.Fprintf(out, "joint vs CPU-only score: busy-mem %.3f vs %.3f, improvement %+.2fpp vs %+.2fpp\n",
+			sf.JointMemBusy, sf.CPUOnlyMemBusy, sf.JointImprove, sf.CPUOnlyImprove)
+		tr := experiments.RunAblationTriples(s)
+		fmt.Fprintf(out, "pairwise vs triple ERO: meanAbs %.1f%% vs %.1f%%, meanOver %.1f%% vs %.1f%% (%d pairs, %d triples, n=%d)\n",
+			tr.PairMeanAbs, tr.TripleMeanAbs, tr.PairMeanOver, tr.TripleMeanOver,
+			tr.Pairs, tr.Triples, tr.Samples)
+	}
+}

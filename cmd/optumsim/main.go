@@ -1,0 +1,145 @@
+// Command optumsim runs one end-to-end trace-driven simulation under a
+// chosen scheduler and prints the headline outcomes: utilization series,
+// violation rate, waiting times, and per-class performance.
+//
+// Usage:
+//
+//	optumsim -scheduler optum -nodes 100 -hours 6 -seed 1
+//	optumsim -scheduler alibaba -trace trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"unisched/internal/analysis"
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/sim"
+	"unisched/internal/stats"
+	"unisched/internal/texttab"
+	"unisched/internal/trace"
+	"unisched/internal/tracedb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optumsim: ")
+	var (
+		schedName = flag.String("scheduler", "optum",
+			"scheduler: optum | alibaba | borg | nsigma | rc | medea | kube")
+		nodes     = flag.Int("nodes", 100, "number of hosts (ignored with -trace)")
+		hours     = flag.Int("hours", 6, "horizon in hours (ignored with -trace)")
+		seed      = flag.Int64("seed", 1, "seed")
+		tracePath = flag.String("trace", "", "load workload from JSON instead of generating")
+		samples   = flag.String("samples", "", "record 30s node+pod samples to this JSONL file")
+	)
+	flag.Parse()
+	out := os.Stdout
+
+	var w *trace.Workload
+	var err error
+	if *tracePath != "" {
+		w, err = trace.LoadFile(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := trace.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.NumNodes = *nodes
+		cfg.Horizon = int64(*hours) * 3600
+		w, err = trace.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(out, "workload: %d nodes, %d apps, %d pods, %dh horizon\n",
+		len(w.Nodes), len(w.Apps), len(w.Pods), w.Horizon/3600)
+
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	var s sched.Scheduler
+	switch strings.ToLower(*schedName) {
+	case "optum":
+		fmt.Fprintln(out, "profiling (offline pass under the production baseline)...")
+		col := profiler.NewCollector(*seed)
+		warm := cluster.New(w.Nodes, cluster.DefaultPhysics())
+		sim.Run(w, warm, sched.NewAlibabaLike(warm, *seed), sim.Config{Collector: col})
+		models, err := col.TrainInterference(profiler.DefaultFactory(), 0.25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof := core.Profiles{ERO: col.ERO(), Stats: col.Stats(), Models: models}
+		fmt.Fprintf(out, "profiles: %d app pairs, %d LS models, %d BE models\n",
+			prof.ERO.Pairs(), len(models.LS), len(models.BE))
+		s = core.New(c, prof, core.DefaultOptions(), *seed)
+	case "alibaba":
+		s = sched.NewAlibabaLike(c, *seed)
+	case "borg":
+		s = sched.NewBorgLike(c, *seed)
+	case "nsigma":
+		s = sched.NewNSigma(c, *seed)
+	case "rc":
+		s = sched.NewRCLike(c, *seed)
+	case "medea":
+		s = sched.NewMedea(c, *seed)
+	case "kube":
+		s = sched.NewKubeLike(c, *seed)
+	default:
+		log.Fatalf("unknown scheduler %q", *schedName)
+	}
+
+	fmt.Fprintf(out, "running %s...\n\n", s.Name())
+	simCfg := sim.Config{}
+	if *samples != "" {
+		f, err := os.Create(*samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		wr := tracedb.NewWriter(f)
+		simCfg.OnTick = wr.OnTick
+		defer func() {
+			if err := wr.Flush(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(out, "wrote %d samples to %s\n", wr.Records(), *samples)
+		}()
+	}
+	res := sim.Run(w, c, s, simCfg)
+
+	fmt.Fprintf(out, "host CPU util  %s (mean %.3f, busy-host mean %.3f)\n",
+		texttab.Sparkline(res.CPUUtilAvg, 60),
+		stats.Mean(res.CPUUtilAvg), stats.Mean(res.CPUUtilBusy))
+	fmt.Fprintf(out, "host mem util  %s (mean %.3f)\n",
+		texttab.Sparkline(res.MemUtilAvg, 60), stats.Mean(res.MemUtilAvg))
+	fmt.Fprintf(out, "goodput (busy) %s (mean %.3f)\n",
+		texttab.Sparkline(res.GoodputBusy, 60), stats.Mean(res.GoodputBusy))
+	fmt.Fprintf(out, "violation rate mean %.5f\n\n", stats.Mean(res.Violation))
+
+	fmt.Fprintf(out, "pods placed %d, still pending %d\n", res.Placed, res.Pending)
+	tb := texttab.New("SLO", "waits (s)")
+	for slo, cdf := range analysis.WaitingTimeCDF(res) {
+		tb.Row(slo.String(), texttab.CDFRow(cdf))
+	}
+	tb.Render(out)
+
+	var psis, cts []float64
+	for _, v := range res.MaxPSI {
+		psis = append(psis, v)
+	}
+	for _, v := range res.BECT {
+		cts = append(cts, v)
+	}
+	fmt.Fprintf(out, "\nLS worst-PSI distribution: %s\n", stats.NewCDF(psis))
+	fmt.Fprintf(out, "BE completion time (s):    %s\n", stats.NewCDF(cts))
+	if len(res.SchedLatency) > 0 {
+		fmt.Fprintf(out, "scheduling latency per pod: mean %.3fms max %.3fms\n",
+			1000*stats.Mean(res.SchedLatency), 1000*stats.Max(res.SchedLatency))
+	}
+}

@@ -1,0 +1,56 @@
+// Command tracegen generates a synthetic unified-scheduling workload with
+// the statistical shapes of the Alibaba traces and writes it as JSON.
+//
+// Usage:
+//
+//	tracegen -nodes 200 -hours 24 -seed 1 -out trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"unisched/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		nodes = flag.Int("nodes", 200, "number of physical hosts")
+		hours = flag.Int("hours", 24, "trace horizon in hours")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("out", "trace.json", "output path")
+		small = flag.Bool("small", false, "use the fast small-scale profile")
+	)
+	flag.Parse()
+
+	cfg := trace.DefaultConfig()
+	if *small {
+		cfg = trace.SmallConfig()
+	}
+	cfg.NumNodes = *nodes
+	cfg.Horizon = int64(*hours) * 3600
+	cfg.Seed = *seed
+
+	w, err := trace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.SaveFile(*out, w); err != nil {
+		log.Fatal(err)
+	}
+	counts := map[trace.SLO]int{}
+	for _, p := range w.Pods {
+		counts[p.SLO]++
+	}
+	fmt.Fprintf(os.Stdout, "wrote %s: %d nodes, %d apps, %d pods over %dh\n",
+		*out, len(w.Nodes), len(w.Apps), len(w.Pods), *hours)
+	for _, slo := range []trace.SLO{trace.SLOBE, trace.SLOLS, trace.SLOLSR,
+		trace.SLOUnknown, trace.SLOSystem, trace.SLOVMEnv} {
+		fmt.Fprintf(os.Stdout, "  %-8s %6d pods (%.1f%%)\n",
+			slo, counts[slo], 100*float64(counts[slo])/float64(len(w.Pods)))
+	}
+}

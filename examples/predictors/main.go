@@ -1,0 +1,45 @@
+// Predictors: compare the industry host-usage predictors of §3.2.2 —
+// Borg default, Resource Central, N-sigma, Max — against Optum's pairwise
+// ERO predictor on identical hosts (the Fig. 11 experiment).
+//
+//	go run ./examples/predictors
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"unisched"
+	"unisched/internal/experiments"
+	"unisched/internal/texttab"
+)
+
+func main() {
+	scale := unisched.QuickEvaluation()
+	scale.Nodes = 24
+	fmt.Println("building evaluation setup (baseline replay + profiling)...")
+	setup, err := unisched.NewEvaluation(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("replaying with five predictors attached...")
+	rows := experiments.Fig11PredictorErrors(setup, 4)
+
+	fmt.Println("\nhost CPU usage prediction error, percent (Fig. 11):")
+	tb := texttab.New("predictor", "mean |err|", "over-est p50", "over-est p99",
+		"under-est p50", "P(under > 10%)")
+	for _, r := range rows {
+		tb.Row(r.Name, r.MeanAbs, r.Over.Quantile(0.5), r.Over.Quantile(0.99),
+			r.Under.Quantile(0.5), r.UnderFrac10)
+	}
+	tb.Render(os.Stdout)
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - Borg default and Max over-estimate severely (requests >> usage)")
+	fmt.Println("  - Resource Central tracks recent usage tightly but under-estimates")
+	fmt.Println("    when load rises — the risky direction")
+	fmt.Println("  - Optum's pairwise ERO predictor is a peak estimator: it rarely")
+	fmt.Println("    under-estimates, the property over-commitment safety needs")
+}

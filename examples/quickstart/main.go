@@ -1,0 +1,55 @@
+// Quickstart: generate a small synthetic unified-scheduling workload,
+// profile it offline, schedule it with Optum, and print the outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unisched"
+)
+
+func main() {
+	// 1. A reproducible synthetic workload with the Alibaba-trace shapes.
+	cfg := unisched.SmallWorkload()
+	cfg.NumNodes = 24
+	w := unisched.MustGenerateWorkload(cfg)
+	fmt.Printf("workload: %d nodes, %d apps, %d pods\n",
+		len(w.Nodes), len(w.Apps), len(w.Pods))
+
+	// 2. Offline profiling: replay once under the production baseline with
+	// the Tracing Coordinator attached, then train the per-application
+	// interference models and the pairwise ERO table.
+	col := unisched.NewCollector(1)
+	warm := unisched.NewCluster(w)
+	unisched.Simulate(w, warm, unisched.NewAlibabaScheduler(warm, 1),
+		unisched.SimConfig{Collector: col})
+	profiles, err := unisched.TrainProfiles(col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiles: %d co-location pairs observed, %d LS + %d BE models\n",
+		profiles.ERO.Pairs(), len(profiles.Models.LS), len(profiles.Models.BE))
+
+	// 3. Schedule the same workload with Optum.
+	c := unisched.NewCluster(w)
+	optum := unisched.NewOptum(c, profiles, unisched.DefaultOptumOptions(), 1)
+	res := unisched.Simulate(w, c, optum, unisched.SimConfig{})
+
+	fmt.Printf("placed %d pods (%d still pending at the end)\n", res.Placed, res.Pending)
+	var cpu, good float64
+	for i := range res.CPUUtilBusy {
+		cpu += res.CPUUtilBusy[i]
+		good += res.GoodputBusy[i]
+	}
+	n := float64(len(res.CPUUtilBusy))
+	fmt.Printf("busy-host CPU utilization %.3f, goodput %.3f\n", cpu/n, good/n)
+
+	var viol float64
+	for _, v := range res.Violation {
+		viol += v
+	}
+	fmt.Printf("capacity violation rate %.5f\n", viol/float64(len(res.Violation)))
+}

@@ -1,0 +1,3 @@
+module unisched
+
+go 1.22

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"unisched/internal/sim"
+	"unisched/internal/trace"
+)
+
+// sharedRun caches one simulated run for all analysis tests — the
+// characterization functions are read-only over its outputs.
+var (
+	runOnce sync.Once
+	gW      *trace.Workload
+	gRes    *sim.Result
+	gRec    *SeriesRecorder
+)
+
+func setup(t *testing.T) (*trace.Workload, *sim.Result, *SeriesRecorder) {
+	t.Helper()
+	runOnce.Do(func() {
+		gW, gRes, gRec = RunStudy(DefaultStudy())
+	})
+	return gW, gRes, gRec
+}
+
+func TestSLODistribution(t *testing.T) {
+	w, _, _ := setup(t)
+	dist := SLODistribution(w)
+	var total float64
+	for _, f := range dist {
+		total += f
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", total)
+	}
+	// Fig 2b: explicit-SLO pods dominate; BE largest single class.
+	if dist[trace.SLOBE] < dist[trace.SLOLS] {
+		t.Error("BE should outnumber LS")
+	}
+	if dist[trace.SLOLS]+dist[trace.SLOLSR] == 0 {
+		t.Error("no LS/LSR pods")
+	}
+}
+
+func TestSubmissionSeries(t *testing.T) {
+	w, _, _ := setup(t)
+	be, ls := SubmissionSeries(w, 600)
+	if len(be.Times) != len(ls.Times) || len(be.Times) == 0 {
+		t.Fatal("bad series shape")
+	}
+	var beSum, lsSum float64
+	for i := range be.Values {
+		beSum += be.Values[i]
+		lsSum += ls.Values[i]
+	}
+	if beSum <= lsSum {
+		t.Errorf("BE submissions (%v) should exceed LS (%v) — Fig 3a", beSum, lsSum)
+	}
+}
+
+func TestQPSSeries(t *testing.T) {
+	w, _, _ := setup(t)
+	q := QPSSeries(w, 900)
+	if len(q.Values) == 0 {
+		t.Fatal("empty QPS series")
+	}
+	for _, v := range q.Values {
+		if v < 0 {
+			t.Fatal("negative QPS")
+		}
+	}
+}
+
+func TestOvercommitCDF(t *testing.T) {
+	_, _, rec := setup(t)
+	oc := OvercommitCDF(rec)
+	if oc.ReqCPU.Len() == 0 {
+		t.Fatal("no overcommit samples")
+	}
+	// Fig 5: limit-based rate dominates request-based; CPU overcommits
+	// (some hosts above 1); memory overcommits rarely.
+	if oc.LimitCPU.Quantile(0.9) < oc.ReqCPU.Quantile(0.9) {
+		t.Error("limit overcommit should exceed request overcommit")
+	}
+	if oc.ReqCPU.Max() <= 1 {
+		t.Error("no CPU request overcommitment observed")
+	}
+	cpuOver := 1 - oc.ReqCPU.At(1.0)
+	memOver := 1 - oc.ReqMem.At(1.0)
+	if memOver > cpuOver {
+		t.Errorf("memory overcommit fraction (%v) should be below CPU (%v)", memOver, cpuOver)
+	}
+}
+
+func TestRequestUsageCDF(t *testing.T) {
+	w, _, rec := setup(t)
+	ru := RequestUsageCDF(rec, w, true)
+	if ru.BEReq.Len() == 0 || ru.LSReq.Len() == 0 {
+		t.Fatal("missing classes")
+	}
+	// Fig 6a: requests far above usage per pod, LS gap bigger than BE's
+	// (the paper quotes ~3x for BE and ~5x for LS).
+	beGap := ru.BEGap.Quantile(0.5)
+	lsGap := ru.LSGap.Quantile(0.5)
+	if beGap < 1.5 {
+		t.Errorf("BE request/usage gap = %v, want > 1.5", beGap)
+	}
+	if lsGap < beGap {
+		t.Errorf("LS gap (%v) should exceed BE gap (%v)", lsGap, beGap)
+	}
+	// Fig 6b: BE memory nearly fully used; LS memory under-used.
+	rm := RequestUsageCDF(rec, w, false)
+	if g := rm.BEGap.Quantile(0.5); g > 1.6 {
+		t.Errorf("BE memory nearly fully used; per-pod gap = %v", g)
+	}
+	if rm.LSGap.Quantile(0.5) < rm.BEGap.Quantile(0.5) {
+		t.Error("LS memory should be less utilized than BE")
+	}
+}
+
+func TestArrivalRateCDF(t *testing.T) {
+	w, _, _ := setup(t)
+	c := ArrivalRateCDF(w)
+	if c.Len() == 0 {
+		t.Fatal("no samples")
+	}
+	// Fig 7: heavy-tailed.
+	if c.Max() < 3*c.Quantile(0.9) {
+		t.Errorf("arrival rate not heavy-tailed: max=%v p90=%v", c.Max(), c.Quantile(0.9))
+	}
+}
+
+func TestWaitingTimeCDF(t *testing.T) {
+	_, res, _ := setup(t)
+	cdfs := WaitingTimeCDF(res)
+	be, ls := cdfs[trace.SLOBE], cdfs[trace.SLOLS]
+	if be == nil || ls == nil {
+		t.Fatal("missing classes")
+	}
+	// Fig 8 shapes: heavy tails; LSR shorter than BE at the tail.
+	if lsr := cdfs[trace.SLOLSR]; lsr != nil && be.Len() > 50 {
+		if lsr.Quantile(0.9) > be.Quantile(0.99)+600 {
+			t.Errorf("LSR p90 wait %v far above BE p99 %v", lsr.Quantile(0.9), be.Quantile(0.99))
+		}
+	}
+}
+
+func TestWaitingByRequestSize(t *testing.T) {
+	w, res, _ := setup(t)
+	m := WaitingByRequestSize(res, w)
+	be, ok := m[trace.SLOBE]
+	if !ok {
+		t.Fatal("no BE buckets")
+	}
+	for i, v := range be {
+		if v < 0 {
+			t.Fatalf("bucket %d negative wait %v", i, v)
+		}
+	}
+	if ReqLow.String() != "Low" || ReqVeryHigh.String() != "VeryHigh" {
+		t.Error("bucket names broken")
+	}
+}
+
+func TestDelaySources(t *testing.T) {
+	_, res, _ := setup(t)
+	ds := DelaySources(res)
+	for slo, m := range ds {
+		var total float64
+		for _, f := range m {
+			total += f
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("%v delay fractions sum to %v", slo, total)
+		}
+	}
+}
+
+func TestHostRankCDF(t *testing.T) {
+	_, res, _ := setup(t)
+	usage, request := HostRankCDF(res)
+	beU, beR := usage[trace.SLOBE], request[trace.SLOBE]
+	lsU, lsR := usage[trace.SLOLS], request[trace.SLOLS]
+	if beU == nil || beR == nil || lsU == nil || lsR == nil {
+		t.Fatal("missing ranks")
+	}
+	// Fig 10's headline contrast: the production scheduler over-commits BE
+	// against actual usage, so BE-chosen hosts rank near the top of the
+	// usage view (most in the upper half, well ahead of LS). LS placement
+	// is conservative, so LS-chosen hosts sit far down both views. (The
+	// paper's LS-ranks-top-by-requests detail does not emerge under strict
+	// capacity admission on a homogeneous cluster; see EXPERIMENTS.md.)
+	if beU.At(0.25) < lsU.At(0.25)+0.1 {
+		t.Errorf("usage view: BE top-quartile fraction (%v) should exceed LS (%v)",
+			beU.At(0.25), lsU.At(0.25))
+	}
+	if beU.At(0.5) < 0.5 {
+		t.Errorf("usage view: only %v of BE placements in the top half", beU.At(0.5))
+	}
+	_ = lsR
+	_ = beR
+}
+
+func TestCoVDistribution(t *testing.T) {
+	w, res, rec := setup(t)
+	cov := CoVDistribution(rec, res, w, 2)
+	if cov.LSCPUUsed.Len() == 0 || cov.BECT.Len() == 0 {
+		t.Fatal("missing CoV samples")
+	}
+	// Fig 12a: most LS apps behave consistently (CoV < 1); QPS tightest;
+	// RT less consistent than QPS.
+	if f := cov.LSCPUUsed.At(1.0); f < 0.7 {
+		t.Errorf("only %v of LS apps have CPU CoV < 1", f)
+	}
+	if cov.LSQPS.Quantile(0.5) > cov.LSRT.Quantile(0.5) {
+		t.Errorf("QPS CoV median (%v) should be below RT's (%v)",
+			cov.LSQPS.Quantile(0.5), cov.LSRT.Quantile(0.5))
+	}
+	// Fig 12b: BE memory more consistent than BE CPU.
+	if cov.BEMemUtil.Quantile(0.5) > cov.BECPUUsed.Quantile(0.5) {
+		t.Errorf("BE mem CoV median (%v) should be below CPU's (%v)",
+			cov.BEMemUtil.Quantile(0.5), cov.BECPUUsed.Quantile(0.5))
+	}
+}
+
+func TestRTCorrelations(t *testing.T) {
+	_, _, rec := setup(t)
+	rows := RTCorrelations(rec)
+	if len(rows) != len(LSMetricNames) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]CorrSummary{}
+	for _, r := range rows {
+		byName[r.Metric] = r
+	}
+	// Fig 13: CPU PSI correlates with RT much better than memory PSI.
+	if byName["CPUPSI60"].P50 < byName["MemFPSI"].P50 {
+		t.Errorf("CPU PSI median corr (%v) should exceed mem PSI (%v)",
+			byName["CPUPSI60"].P50, byName["MemFPSI"].P50)
+	}
+	if byName["CPUPSI60"].P50 < 0.2 {
+		t.Errorf("CPU PSI-RT correlation too weak: %v", byName["CPUPSI60"].P50)
+	}
+}
+
+func TestQPSCorrelations(t *testing.T) {
+	_, _, rec := setup(t)
+	rows := QPSCorrelations(rec)
+	byName := map[string]CorrSummary{}
+	for _, r := range rows {
+		byName[r.Metric] = r
+	}
+	// Fig 14: PSI positively correlated with QPS for most apps.
+	if byName["CPUPSI60"].P50 <= 0 {
+		t.Errorf("QPS-PSI60 median correlation %v should be positive", byName["CPUPSI60"].P50)
+	}
+}
+
+func TestPSIUtilCorrelations(t *testing.T) {
+	_, _, rec := setup(t)
+	host := PSIUtilCorrelations(rec, true)
+	pod := PSIUtilCorrelations(rec, false)
+	if len(host) != 3 || len(pod) != 3 {
+		t.Fatal("expected 3 windows")
+	}
+	for _, r := range host {
+		if r.N == 0 {
+			t.Fatalf("no samples for %s", r.Metric)
+		}
+	}
+	// Fig 15a: strong positive correlation between PSI and host CPU util.
+	var psi60 CorrSummary
+	for _, r := range host {
+		if r.Metric == "CPUPSI60" {
+			psi60 = r
+		}
+	}
+	if psi60.P50 < 0.3 {
+		t.Errorf("PSI60-host util median correlation %v too weak", psi60.P50)
+	}
+}
+
+func TestBECorrelations(t *testing.T) {
+	_, res, rec := setup(t)
+	rows := BECorrelations(rec, res.BECT, 3)
+	byName := map[string]CorrSummary{}
+	for _, r := range rows {
+		byName[r.Metric] = r
+	}
+	if byName["NodeCPUUtil"].N == 0 {
+		t.Fatal("no BE correlation samples")
+	}
+	// Fig 16: node CPU utilization strongly correlates with BE CT.
+	if byName["NodeCPUUtil"].P50 < 0.2 {
+		t.Errorf("CT-node CPU correlation median %v too weak", byName["NodeCPUUtil"].P50)
+	}
+}
+
+func TestRecorderBounds(t *testing.T) {
+	_, _, rec := setup(t)
+	for _, app := range rec.Apps() {
+		series := rec.AppSeries(app)
+		if len(series) > rec.MaxPodsPerApp {
+			t.Fatalf("app %s tracks %d pods > cap %d", app, len(series), rec.MaxPodsPerApp)
+		}
+		for _, s := range series {
+			if len(s.CPUUse) > rec.MaxSamples {
+				t.Fatalf("pod %d has %d samples", s.PodID, len(s.CPUUse))
+			}
+			// All parallel arrays aligned.
+			if len(s.RT) != len(s.CPUUse) || len(s.PSI60) != len(s.CPUUse) ||
+				len(s.HostCPUUtil) != len(s.CPUUse) || len(s.RX) != len(s.CPUUse) {
+				t.Fatal("series arrays misaligned")
+			}
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package analysis
+
+import (
+	"sort"
+
+	"unisched/internal/sim"
+	"unisched/internal/stats"
+	"unisched/internal/trace"
+)
+
+// SLODistribution returns the fraction of pods per SLO class — Fig. 2(b).
+func SLODistribution(w *trace.Workload) map[trace.SLO]float64 {
+	counts := map[trace.SLO]int{}
+	for _, p := range w.Pods {
+		counts[p.SLO]++
+	}
+	out := make(map[trace.SLO]float64, len(counts))
+	for slo, c := range counts {
+		out[slo] = float64(c) / float64(len(w.Pods))
+	}
+	return out
+}
+
+// Series is a labelled time series.
+type Series struct {
+	Label  string
+	Times  []int64
+	Values []float64
+}
+
+// SubmissionSeries bins pod submissions per class — Fig. 3(a). LS and LSR
+// are merged, as in the paper.
+func SubmissionSeries(w *trace.Workload, bin int64) (be, ls Series) {
+	nbins := int(w.Horizon/bin) + 1
+	be = Series{Label: "BE", Times: make([]int64, nbins), Values: make([]float64, nbins)}
+	ls = Series{Label: "LS", Times: make([]int64, nbins), Values: make([]float64, nbins)}
+	for i := 0; i < nbins; i++ {
+		be.Times[i] = int64(i) * bin
+		ls.Times[i] = int64(i) * bin
+	}
+	for _, p := range w.Pods {
+		i := int(p.Submit / bin)
+		switch {
+		case p.SLO == trace.SLOBE:
+			be.Values[i]++
+		case p.SLO.LatencySensitive():
+			ls.Values[i]++
+		}
+	}
+	return be, ls
+}
+
+// QPSSeries returns the average per-pod QPS of LS pods over time —
+// Fig. 3(b). It evaluates the demand-side QPS of all live LS pods.
+func QPSSeries(w *trace.Workload, bin int64) Series {
+	out := Series{Label: "LS QPS"}
+	for ts := int64(0); ts < w.Horizon; ts += bin {
+		var sum float64
+		var n int
+		for _, p := range w.Pods {
+			if p.Submit > ts || !p.SLO.LatencySensitive() {
+				continue
+			}
+			if p.Lifetime > 0 && p.Lifetime < ts {
+				continue
+			}
+			sum += p.QPS(ts)
+			n++
+		}
+		v := 0.0
+		if n > 0 {
+			v = sum / float64(n)
+		}
+		out.Times = append(out.Times, ts)
+		out.Values = append(out.Values, v)
+	}
+	return out
+}
+
+// OvercommitCDFs returns the Fig. 5 distributions of per-(host, sample)
+// over-commitment rates gathered by a SeriesRecorder.
+type OvercommitCDFs struct {
+	ReqCPU, LimitCPU *stats.CDF
+	ReqMem, LimitMem *stats.CDF
+}
+
+// OvercommitCDF builds Fig. 5 from recorder samples.
+func OvercommitCDF(r *SeriesRecorder) OvercommitCDFs {
+	return OvercommitCDFs{
+		ReqCPU:   stats.NewCDF(r.OCReqCPU),
+		LimitCPU: stats.NewCDF(r.OCLimitCPU),
+		ReqMem:   stats.NewCDF(r.OCReqMem),
+		LimitMem: stats.NewCDF(r.OCLimitMem),
+	}
+}
+
+// RequestUsage holds the Fig. 6 distributions: per-pod resource requests
+// and mean actual usage, per class, plus the per-pod request/usage gap
+// ratios the figure's discussion quotes (BE ~3x, LS ~5x for CPU).
+type RequestUsage struct {
+	BEReq, BEUsed *stats.CDF
+	LSReq, LSUsed *stats.CDF
+	BEGap, LSGap  *stats.CDF
+}
+
+// RequestUsageCDF builds Fig. 6 for one dimension; cpu selects CPU vs
+// memory.
+func RequestUsageCDF(r *SeriesRecorder, w *trace.Workload, cpu bool) RequestUsage {
+	var beReq, beUsed, lsReq, lsUsed []float64
+	var beGap, lsGap []float64
+	for _, app := range r.Apps() {
+		for _, s := range r.AppSeries(app) {
+			if len(s.CPUUse) == 0 {
+				continue
+			}
+			var req, used float64
+			if cpu {
+				used = stats.Mean(s.CPUUse)
+			} else {
+				used = stats.Mean(s.MemUse)
+			}
+			pod := findPod(w, s.PodID)
+			if pod == nil {
+				continue
+			}
+			if cpu {
+				req = pod.Request.CPU
+			} else {
+				req = pod.Request.Mem
+			}
+			gap := 0.0
+			if used > 0 {
+				gap = req / used
+			}
+			switch {
+			case s.SLO == trace.SLOBE:
+				beReq = append(beReq, req)
+				beUsed = append(beUsed, used)
+				if gap > 0 {
+					beGap = append(beGap, gap)
+				}
+			case s.SLO.LatencySensitive():
+				lsReq = append(lsReq, req)
+				lsUsed = append(lsUsed, used)
+				if gap > 0 {
+					lsGap = append(lsGap, gap)
+				}
+			}
+		}
+	}
+	return RequestUsage{
+		BEReq: stats.NewCDF(beReq), BEUsed: stats.NewCDF(beUsed),
+		LSReq: stats.NewCDF(lsReq), LSUsed: stats.NewCDF(lsUsed),
+		BEGap: stats.NewCDF(beGap), LSGap: stats.NewCDF(lsGap),
+	}
+}
+
+func findPod(w *trace.Workload, id int) *trace.Pod {
+	if id < 0 || id >= len(w.Pods) {
+		return nil
+	}
+	return w.Pods[id]
+}
+
+// ArrivalRateCDF returns the distribution of pods-to-schedule per minute —
+// Fig. 7.
+func ArrivalRateCDF(w *trace.Workload) *stats.CDF {
+	perMin := map[int64]float64{}
+	for _, p := range w.Pods {
+		perMin[p.Submit/60]++
+	}
+	xs := make([]float64, 0, len(perMin))
+	for _, c := range perMin {
+		xs = append(xs, c)
+	}
+	return stats.NewCDF(xs)
+}
+
+// WaitingTimeCDF returns per-class waiting-time distributions — Fig. 8.
+func WaitingTimeCDF(res *sim.Result) map[trace.SLO]*stats.CDF {
+	byClass := map[trace.SLO][]float64{}
+	for _, pw := range res.Waits {
+		byClass[pw.SLO] = append(byClass[pw.SLO], float64(pw.Wait))
+	}
+	out := make(map[trace.SLO]*stats.CDF, len(byClass))
+	for slo, xs := range byClass {
+		out[slo] = stats.NewCDF(xs)
+	}
+	return out
+}
+
+// RequestSizeBucket labels Fig. 9(a)'s request-size groups.
+type RequestSizeBucket int
+
+// Fig. 9(a) buckets.
+const (
+	ReqLow RequestSizeBucket = iota
+	ReqMed
+	ReqHigh
+	ReqVeryHigh
+)
+
+var bucketNames = [...]string{"Low", "Med", "High", "VeryHigh"}
+
+// String names the bucket.
+func (b RequestSizeBucket) String() string { return bucketNames[b] }
+
+// WaitingByRequestSize returns, per class and per request-size quartile,
+// the mean waiting time — Fig. 9(a). Quartiles are computed per class so
+// the buckets are populated for every class.
+func WaitingByRequestSize(res *sim.Result, w *trace.Workload) map[trace.SLO][4]float64 {
+	type rec struct {
+		req  float64
+		wait float64
+	}
+	byClass := map[trace.SLO][]rec{}
+	for _, pw := range res.Waits {
+		pod := findPod(w, pw.PodID)
+		if pod == nil {
+			continue
+		}
+		byClass[pw.SLO] = append(byClass[pw.SLO], rec{pod.Request.CPU, float64(pw.Wait)})
+	}
+	out := map[trace.SLO][4]float64{}
+	for slo, recs := range byClass {
+		reqs := make([]float64, len(recs))
+		for i, r := range recs {
+			reqs[i] = r.req
+		}
+		q1 := stats.Quantile(reqs, 0.25)
+		q2 := stats.Quantile(reqs, 0.5)
+		q3 := stats.Quantile(reqs, 0.75)
+		var sums, ns [4]float64
+		for _, r := range recs {
+			b := ReqVeryHigh
+			switch {
+			case r.req <= q1:
+				b = ReqLow
+			case r.req <= q2:
+				b = ReqMed
+			case r.req <= q3:
+				b = ReqHigh
+			}
+			sums[b] += r.wait
+			ns[b]++
+		}
+		var means [4]float64
+		for i := range sums {
+			if ns[i] > 0 {
+				means[i] = sums[i] / ns[i]
+			}
+		}
+		out[slo] = means
+	}
+	return out
+}
+
+// DelaySources returns, per class, the proportion of delayed pods blocked
+// by each resource — Fig. 9(b). A pod counts as delayed when it waited more
+// than one sampling interval.
+func DelaySources(res *sim.Result) map[trace.SLO]map[string]float64 {
+	counts := map[trace.SLO]map[string]int{}
+	totals := map[trace.SLO]int{}
+	for _, pw := range res.Waits {
+		if pw.Wait <= trace.SampleInterval {
+			continue
+		}
+		m := counts[pw.SLO]
+		if m == nil {
+			m = map[string]int{}
+			counts[pw.SLO] = m
+		}
+		m[pw.Reason.String()]++
+		totals[pw.SLO]++
+	}
+	out := map[trace.SLO]map[string]float64{}
+	for slo, m := range counts {
+		om := map[string]float64{}
+		for reason, c := range m {
+			om[reason] = float64(c) / float64(totals[slo])
+		}
+		out[slo] = om
+	}
+	return out
+}
+
+// HostRankCDF returns per-class CDFs of the chosen host's normalized rank
+// under the usage-based and request-based policies — Fig. 10. Ranks are
+// normalized to (rank-1)/(nodes-1) in [0, 1], 0 being the best-aligned.
+func HostRankCDF(res *sim.Result) (usage, request map[trace.SLO]*stats.CDF) {
+	u := map[trace.SLO][]float64{}
+	q := map[trace.SLO][]float64{}
+	for _, r := range res.Ranks {
+		if r.Nodes < 2 {
+			continue
+		}
+		d := float64(r.Nodes - 1)
+		u[r.SLO] = append(u[r.SLO], float64(r.UsageRank-1)/d)
+		q[r.SLO] = append(q[r.SLO], float64(r.ReqRank-1)/d)
+	}
+	usage = map[trace.SLO]*stats.CDF{}
+	request = map[trace.SLO]*stats.CDF{}
+	for slo := range u {
+		usage[slo] = stats.NewCDF(u[slo])
+		request[slo] = stats.NewCDF(q[slo])
+	}
+	return usage, request
+}
+
+// CoVResult holds Fig. 12's within-application coefficient-of-variation
+// distributions: one CoV sample per application per metric.
+type CoVResult struct {
+	// LS metrics.
+	LSCPUUsed, LSMemUtil, LSRT, LSQPS *stats.CDF
+	// BE metrics.
+	BECPUUsed, BEMemUtil, BECT *stats.CDF
+}
+
+// CoVDistribution computes Fig. 12 from recorded series and completion
+// times. Only applications with at least minPods tracked pods contribute.
+func CoVDistribution(r *SeriesRecorder, res *sim.Result, w *trace.Workload, minPods int) CoVResult {
+	if minPods < 2 {
+		minPods = 2
+	}
+	var lsCPU, lsMem, lsRT, lsQPS, beCPU, beMem, beCT []float64
+
+	// Per-app BE completion times.
+	ctByApp := map[string][]float64{}
+	for id, ct := range res.BECT {
+		pod := findPod(w, id)
+		if pod != nil {
+			ctByApp[pod.AppID] = append(ctByApp[pod.AppID], ct)
+		}
+	}
+
+	apps := r.Apps()
+	sort.Strings(apps)
+	for _, app := range apps {
+		series := r.AppSeries(app)
+		if len(series) < minPods {
+			continue
+		}
+		var cpuMeans, memMeans, rtMeans, qpsMeans []float64
+		var slo trace.SLO
+		for _, s := range series {
+			if len(s.CPUUse) == 0 {
+				continue
+			}
+			slo = s.SLO
+			cpuMeans = append(cpuMeans, stats.Mean(s.CPUUse))
+			memMeans = append(memMeans, stats.Mean(s.PodMemUtil))
+			rtMeans = append(rtMeans, stats.Mean(s.RT))
+			qpsMeans = append(qpsMeans, stats.Mean(s.QPS))
+		}
+		if len(cpuMeans) < minPods {
+			continue
+		}
+		switch {
+		case slo.LatencySensitive():
+			lsCPU = append(lsCPU, stats.CoV(cpuMeans))
+			lsMem = append(lsMem, stats.CoV(memMeans))
+			lsRT = append(lsRT, stats.CoV(rtMeans))
+			lsQPS = append(lsQPS, stats.CoV(qpsMeans))
+		case slo == trace.SLOBE:
+			beCPU = append(beCPU, stats.CoV(cpuMeans))
+			beMem = append(beMem, stats.CoV(memMeans))
+		}
+	}
+	for _, cts := range ctByApp {
+		if len(cts) >= minPods {
+			beCT = append(beCT, stats.CoV(cts))
+		}
+	}
+	return CoVResult{
+		LSCPUUsed: stats.NewCDF(lsCPU), LSMemUtil: stats.NewCDF(lsMem),
+		LSRT: stats.NewCDF(lsRT), LSQPS: stats.NewCDF(lsQPS),
+		BECPUUsed: stats.NewCDF(beCPU), BEMemUtil: stats.NewCDF(beMem),
+		BECT: stats.NewCDF(beCT),
+	}
+}

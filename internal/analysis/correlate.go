@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"sort"
+
+	"unisched/internal/stats"
+)
+
+// LSMetricNames are the OS-level metric columns of the Fig. 13/14
+// correlation study, in display order.
+var LSMetricNames = []string{
+	"NodeCPUUtil", "NodeMemUtil", "PodCPUUtil", "PodMemUtil",
+	"CPUPSI10", "CPUPSI60", "CPUPSI300",
+	"MemFPSI", "MemSPSI",
+}
+
+func lsMetric(s *PodSeries, name string) []float64 {
+	switch name {
+	case "NodeCPUUtil":
+		return s.HostCPUUtil
+	case "NodeMemUtil":
+		return s.HostMemUtil
+	case "PodCPUUtil":
+		return s.PodCPUUtil
+	case "PodMemUtil":
+		return s.PodMemUtil
+	case "CPUPSI10":
+		return s.PSI10
+	case "CPUPSI60":
+		return s.PSI60
+	case "CPUPSI300":
+		return s.PSI300
+	case "MemFPSI":
+		return s.MemPSIFull
+	case "MemSPSI":
+		return s.MemPSISome
+	default:
+		return nil
+	}
+}
+
+// CorrSummary is the distribution of per-application correlation
+// coefficients for one metric: the data behind one box of the Fig. 13-16
+// box plots.
+type CorrSummary struct {
+	Metric                  string
+	N                       int
+	P10, P25, P50, P75, P90 float64
+	Mean                    float64
+}
+
+func summarize(metric string, xs []float64) CorrSummary {
+	c := stats.NewCDF(xs)
+	return CorrSummary{
+		Metric: metric, N: len(xs),
+		P10: c.Quantile(0.10), P25: c.Quantile(0.25), P50: c.Quantile(0.5),
+		P75: c.Quantile(0.75), P90: c.Quantile(0.90), Mean: c.Mean(),
+	}
+}
+
+// lsCorrelations computes, per application, the mean over its pods of the
+// Pearson correlation between target(series) and each metric, then
+// summarizes the per-app distribution.
+func lsCorrelations(r *SeriesRecorder, target func(*PodSeries) []float64, minSamples int) []CorrSummary {
+	perMetric := map[string][]float64{}
+	apps := r.Apps()
+	sort.Strings(apps)
+	for _, app := range apps {
+		series := r.AppSeries(app)
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, s := range series {
+			if !s.SLO.LatencySensitive() || len(s.RT) < minSamples {
+				continue
+			}
+			y := target(s)
+			for _, m := range LSMetricNames {
+				x := lsMetric(s, m)
+				if c := stats.Pearson(x, y); c == c { // skip NaN
+					sums[m] += c
+					counts[m]++
+				}
+			}
+		}
+		for _, m := range LSMetricNames {
+			if counts[m] > 0 {
+				perMetric[m] = append(perMetric[m], sums[m]/float64(counts[m]))
+			}
+		}
+	}
+	out := make([]CorrSummary, 0, len(LSMetricNames))
+	for _, m := range LSMetricNames {
+		out = append(out, summarize(m, perMetric[m]))
+	}
+	return out
+}
+
+// RTCorrelations reproduces Fig. 13: the per-application distribution of
+// correlations between pod response time and OS-level metrics.
+func RTCorrelations(r *SeriesRecorder) []CorrSummary {
+	return lsCorrelations(r, func(s *PodSeries) []float64 { return s.RT }, 16)
+}
+
+// QPSCorrelations reproduces Fig. 14: correlations between pod QPS and the
+// same metric set.
+func QPSCorrelations(r *SeriesRecorder) []CorrSummary {
+	return lsCorrelations(r, func(s *PodSeries) []float64 { return s.QPS }, 16)
+}
+
+// PSIUtilCorrelations reproduces Fig. 15: the distribution across LS
+// applications of the correlation between each PSI window and host or pod
+// CPU utilization.
+func PSIUtilCorrelations(r *SeriesRecorder, host bool) []CorrSummary {
+	util := func(s *PodSeries) []float64 {
+		if host {
+			return s.HostCPUUtil
+		}
+		return s.PodCPUUtil
+	}
+	perMetric := map[string][]float64{}
+	windows := []string{"CPUPSI10", "CPUPSI60", "CPUPSI300"}
+	apps := r.Apps()
+	sort.Strings(apps)
+	for _, app := range apps {
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, s := range r.AppSeries(app) {
+			if !s.SLO.LatencySensitive() || len(s.PSI60) < 16 {
+				continue
+			}
+			u := util(s)
+			for _, w := range windows {
+				if c := stats.Pearson(lsMetric(s, w), u); c == c {
+					sums[w] += c
+					counts[w]++
+				}
+			}
+		}
+		for _, w := range windows {
+			if counts[w] > 0 {
+				perMetric[w] = append(perMetric[w], sums[w]/float64(counts[w]))
+			}
+		}
+	}
+	out := make([]CorrSummary, 0, len(windows))
+	for _, w := range windows {
+		out = append(out, summarize(w, perMetric[w]))
+	}
+	return out
+}
+
+// BEMetricNames are the Fig. 16 columns: per-run aggregates correlated with
+// BE pod completion time.
+var BEMetricNames = []string{
+	"NodeCPUUtil", "NodeMemUtil", "PodCPUUtil", "PodMemUtil", "RX", "TX",
+}
+
+// BECorrelations reproduces Fig. 16: per BE application, the correlation
+// across its pods between completion time and each per-run aggregate.
+func BECorrelations(r *SeriesRecorder, bect map[int]float64, minPods int) []CorrSummary {
+	if minPods < 3 {
+		minPods = 3
+	}
+	type rows struct {
+		ct, nodeC, nodeM, podC, podM, rx, tx []float64
+	}
+	byApp := map[string]*rows{}
+	for id, ct := range bect {
+		agg := r.BEAggregates()[id]
+		if agg == nil {
+			continue
+		}
+		rw := byApp[agg.AppID]
+		if rw == nil {
+			rw = &rows{}
+			byApp[agg.AppID] = rw
+		}
+		rw.ct = append(rw.ct, ct)
+		rw.nodeC = append(rw.nodeC, agg.MaxHostCPU)
+		rw.nodeM = append(rw.nodeM, agg.MaxHostMem)
+		rw.podC = append(rw.podC, agg.MaxPodCPU)
+		rw.podM = append(rw.podM, agg.MaxPodMem)
+		rw.rx = append(rw.rx, agg.SumRX)
+		rw.tx = append(rw.tx, agg.SumTX)
+	}
+	perMetric := map[string][]float64{}
+	for _, rw := range byApp {
+		if len(rw.ct) < minPods {
+			continue
+		}
+		cols := map[string][]float64{
+			"NodeCPUUtil": rw.nodeC, "NodeMemUtil": rw.nodeM,
+			"PodCPUUtil": rw.podC, "PodMemUtil": rw.podM,
+			"RX": rw.rx, "TX": rw.tx,
+		}
+		for m, xs := range cols {
+			if c := stats.Pearson(xs, rw.ct); c == c {
+				perMetric[m] = append(perMetric[m], c)
+			}
+		}
+	}
+	out := make([]CorrSummary, 0, len(BEMetricNames))
+	for _, m := range BEMetricNames {
+		out = append(out, summarize(m, perMetric[m]))
+	}
+	return out
+}

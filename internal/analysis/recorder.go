@@ -1,0 +1,196 @@
+// Package analysis reproduces the paper's Section-3 characterization of
+// unified-scheduling workloads: SLO distribution, submission and QPS
+// series, utilization, over-commitment, request-vs-usage gaps, waiting
+// times and delay sources, host-rank analysis, within-application
+// consistency (CoV), and the metric-correlation studies behind
+// Figures 2-16.
+//
+// Figures that need time series per pod use a SeriesRecorder hooked into
+// the simulation via sim.Config.OnTick; figures about scheduling outcomes
+// read the sim.Result directly; figures about the submitted workload read
+// the trace.Workload.
+package analysis
+
+import (
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// PodSeries holds one pod's sampled metric streams, aligned by index.
+type PodSeries struct {
+	PodID int
+	AppID string
+	SLO   trace.SLO
+
+	CPUUse, MemUse         []float64 // absolute usage
+	PodCPUUtil, PodMemUtil []float64 // fractions of request
+	HostCPUUtil            []float64
+	HostMemUtil            []float64
+	QPS, RT                []float64
+	PSI10, PSI60, PSI300   []float64
+	MemPSISome, MemPSIFull []float64
+	RX, TX                 []float64
+}
+
+func (s *PodSeries) record(p *cluster.PodSnapshot, hostC, hostM float64) {
+	req := p.Pod.Pod.Request
+	s.CPUUse = append(s.CPUUse, p.CPUUse)
+	s.MemUse = append(s.MemUse, p.MemUse)
+	pc, pm := 0.0, 0.0
+	if req.CPU > 0 {
+		pc = p.CPUUse / req.CPU
+	}
+	if req.Mem > 0 {
+		pm = p.MemUse / req.Mem
+	}
+	s.PodCPUUtil = append(s.PodCPUUtil, pc)
+	s.PodMemUtil = append(s.PodMemUtil, pm)
+	s.HostCPUUtil = append(s.HostCPUUtil, hostC)
+	s.HostMemUtil = append(s.HostMemUtil, hostM)
+	s.QPS = append(s.QPS, p.QPS)
+	s.RT = append(s.RT, p.RT)
+	s.PSI10 = append(s.PSI10, p.CPUPSI10)
+	s.PSI60 = append(s.PSI60, p.CPUPSI60)
+	s.PSI300 = append(s.PSI300, p.CPUPSI300)
+	s.MemPSISome = append(s.MemPSISome, p.MemPSISome)
+	s.MemPSIFull = append(s.MemPSIFull, p.MemPSIFull)
+	s.RX = append(s.RX, p.RX)
+	s.TX = append(s.TX, p.TX)
+}
+
+// BEAggregate summarizes one completed BE pod for the Fig. 16 correlation
+// study: run maxima plus total traffic.
+type BEAggregate struct {
+	PodID                  int
+	AppID                  string
+	MaxPodCPU, MaxPodMem   float64
+	MaxHostCPU, MaxHostMem float64
+	SumRX, SumTX           float64
+}
+
+// SeriesRecorder samples per-pod metric series from simulation ticks with
+// bounded memory: at most MaxPodsPerApp pods tracked per application and
+// MaxSamples samples per pod.
+type SeriesRecorder struct {
+	// MaxPodsPerApp bounds tracked pods per application (default 8).
+	MaxPodsPerApp int
+	// MaxSamples bounds samples per pod (default 2048).
+	MaxSamples int
+	// NodeOvercommitEvery samples per-node over-commitment rates every
+	// k-th tick (default 10).
+	NodeOvercommitEvery int
+
+	series  map[string]map[int]*PodSeries
+	beAgg   map[int]*BEAggregate
+	tracked map[int]bool
+
+	// Over-commitment samples across (node, time): request- and
+	// limit-based rates per dimension.
+	OCReqCPU, OCReqMem     []float64
+	OCLimitCPU, OCLimitMem []float64
+
+	tick int
+}
+
+// NewSeriesRecorder returns a recorder with default bounds.
+func NewSeriesRecorder() *SeriesRecorder {
+	return &SeriesRecorder{
+		MaxPodsPerApp:       8,
+		MaxSamples:          2048,
+		NodeOvercommitEvery: 10,
+		series:              make(map[string]map[int]*PodSeries),
+		beAgg:               make(map[int]*BEAggregate),
+		tracked:             make(map[int]bool),
+	}
+}
+
+// OnTick is the sim.Config.OnTick hook.
+func (r *SeriesRecorder) OnTick(t int64, snaps []cluster.NodeSnapshot) {
+	r.tick++
+	sampleOC := r.tick%r.NodeOvercommitEvery == 0
+	for i := range snaps {
+		snap := &snaps[i]
+		hostC := snap.CPUUtil()
+		hostM := snap.MemUtil()
+		if sampleOC && len(snap.Pods) > 0 {
+			req, lim := snap.Node.OvercommitRate()
+			r.OCReqCPU = append(r.OCReqCPU, req.CPU)
+			r.OCReqMem = append(r.OCReqMem, req.Mem)
+			r.OCLimitCPU = append(r.OCLimitCPU, lim.CPU)
+			r.OCLimitMem = append(r.OCLimitMem, lim.Mem)
+		}
+		for j := range snap.Pods {
+			p := &snap.Pods[j]
+			pod := p.Pod.Pod
+			r.observePod(p, pod, hostC, hostM)
+		}
+	}
+}
+
+func (r *SeriesRecorder) observePod(p *cluster.PodSnapshot, pod *trace.Pod, hostC, hostM float64) {
+	// BE aggregates are cheap; track every BE pod.
+	if pod.SLO == trace.SLOBE {
+		agg := r.beAgg[pod.ID]
+		if agg == nil {
+			agg = &BEAggregate{PodID: pod.ID, AppID: pod.AppID}
+			r.beAgg[pod.ID] = agg
+		}
+		req := pod.Request
+		if req.CPU > 0 && p.CPUUse/req.CPU > agg.MaxPodCPU {
+			agg.MaxPodCPU = p.CPUUse / req.CPU
+		}
+		if req.Mem > 0 && p.MemUse/req.Mem > agg.MaxPodMem {
+			agg.MaxPodMem = p.MemUse / req.Mem
+		}
+		if hostC > agg.MaxHostCPU {
+			agg.MaxHostCPU = hostC
+		}
+		if hostM > agg.MaxHostMem {
+			agg.MaxHostMem = hostM
+		}
+		agg.SumRX += p.RX
+		agg.SumTX += p.TX
+	}
+
+	apps := r.series[pod.AppID]
+	if apps == nil {
+		apps = make(map[int]*PodSeries)
+		r.series[pod.AppID] = apps
+	}
+	ps := apps[pod.ID]
+	if ps == nil {
+		if len(apps) >= r.MaxPodsPerApp && !r.tracked[pod.ID] {
+			return
+		}
+		ps = &PodSeries{PodID: pod.ID, AppID: pod.AppID, SLO: pod.SLO}
+		apps[pod.ID] = ps
+		r.tracked[pod.ID] = true
+	}
+	if len(ps.CPUUse) >= r.MaxSamples {
+		return
+	}
+	ps.record(p, hostC, hostM)
+}
+
+// AppSeries returns the tracked pod series for one application.
+func (r *SeriesRecorder) AppSeries(app string) []*PodSeries {
+	m := r.series[app]
+	out := make([]*PodSeries, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Apps returns every application with tracked series.
+func (r *SeriesRecorder) Apps() []string {
+	out := make([]string, 0, len(r.series))
+	for app := range r.series {
+		out = append(out, app)
+	}
+	return out
+}
+
+// BEAggregates returns the per-pod aggregates of completed or running BE
+// pods, keyed by pod ID.
+func (r *SeriesRecorder) BEAggregates() map[int]*BEAggregate { return r.beAgg }

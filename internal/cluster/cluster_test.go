@@ -1,0 +1,554 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"unisched/internal/stats"
+	"unisched/internal/trace"
+)
+
+// testWorkload builds a tiny deterministic workload for unit tests.
+func testWorkload(t *testing.T) *trace.Workload {
+	t.Helper()
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 10
+	return trace.MustGenerate(cfg)
+}
+
+func newTestCluster(t *testing.T) (*Cluster, *trace.Workload) {
+	t.Helper()
+	w := testWorkload(t)
+	return New(w.Nodes, DefaultPhysics()), w
+}
+
+func TestPlaceRemoveAccounting(t *testing.T) {
+	c, w := newTestCluster(t)
+	n := c.Node(0)
+	p1, p2 := w.Pods[0], w.Pods[1]
+
+	ps1, err := c.Place(p1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place(p1, 1, 100); err == nil {
+		t.Fatal("double placement should fail")
+	}
+	ps2, err := c.Place(p2, 0, 130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps1.Seq >= ps2.Seq {
+		t.Error("Seq not monotone in placement order")
+	}
+	wantReq := p1.Request.Add(p2.Request)
+	if got := n.ReqSum(); math.Abs(got.CPU-wantReq.CPU) > 1e-12 || math.Abs(got.Mem-wantReq.Mem) > 1e-12 {
+		t.Errorf("ReqSum = %+v, want %+v", got, wantReq)
+	}
+	if len(n.Pods()) != 2 {
+		t.Fatalf("pod count = %d", len(n.Pods()))
+	}
+
+	c.Remove(p1.ID, 200, false)
+	if !ps1.Done || ps1.Finish != 200 || ps1.Preempted {
+		t.Errorf("removed pod state: %+v", ps1)
+	}
+	if got := n.ReqSum(); math.Abs(got.CPU-p2.Request.CPU) > 1e-12 {
+		t.Errorf("ReqSum after removal = %+v", got)
+	}
+	// Idempotent removal.
+	c.Remove(p1.ID, 300, false)
+	if ps1.Finish != 200 {
+		t.Error("second Remove changed finish time")
+	}
+	// A done pod can be re-placed (re-dispatch after preemption).
+	if _, err := c.Place(p1, 1, 400); err != nil {
+		t.Fatalf("re-placing done pod: %v", err)
+	}
+}
+
+func TestOvercommitRate(t *testing.T) {
+	c, w := newTestCluster(t)
+	var req trace.Resources
+	for _, p := range w.Pods[:20] {
+		if _, err := c.Place(p, 3, 0); err != nil {
+			t.Fatal(err)
+		}
+		req = req.Add(p.Request)
+	}
+	r, l := c.Node(3).OvercommitRate()
+	capc := c.Node(3).Capacity()
+	if math.Abs(r.CPU-req.CPU/capc.CPU) > 1e-12 {
+		t.Errorf("req overcommit = %v", r.CPU)
+	}
+	if l.CPU < r.CPU {
+		t.Error("limit overcommit below request overcommit")
+	}
+}
+
+func TestSnapshotCappingConservation(t *testing.T) {
+	c, w := newTestCluster(t)
+	// Overload node 0 far beyond capacity.
+	for _, p := range w.Pods[:300] {
+		if _, err := c.Place(p, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Snapshot(0, 3600, false)
+	capc := c.Node(0).Capacity()
+	if snap.Usage.CPU > capc.CPU*1.0000001 {
+		t.Errorf("capped CPU usage %v exceeds capacity %v", snap.Usage.CPU, capc.CPU)
+	}
+	if snap.Demand.CPU < snap.Usage.CPU {
+		t.Error("demand below usage")
+	}
+	// Per-pod usages sum to node usage.
+	var sum float64
+	for _, p := range snap.Pods {
+		sum += p.CPUUse
+	}
+	if math.Abs(sum-snap.Usage.CPU) > 1e-9 {
+		t.Errorf("pod usage sum %v != node usage %v", sum, snap.Usage.CPU)
+	}
+	if snap.CPUPressure <= 1 {
+		t.Errorf("expected overload, pressure = %v", snap.CPUPressure)
+	}
+	if !snap.Violated() {
+		t.Error("overloaded snapshot should be Violated")
+	}
+}
+
+func TestSnapshotIdleNode(t *testing.T) {
+	c, _ := newTestCluster(t)
+	snap := c.Snapshot(5, 0, false)
+	if snap.Usage.CPU != 0 || len(snap.Pods) != 0 || snap.Violated() {
+		t.Errorf("idle node snapshot: %+v", snap)
+	}
+}
+
+func TestPSIGrowsWithLoad(t *testing.T) {
+	c, w := newTestCluster(t)
+	// Find an LS pod and measure its PSI alone vs on a crowded host.
+	var ls *trace.Pod
+	for _, p := range w.Pods {
+		if p.SLO == trace.SLOLS {
+			ls = p
+			break
+		}
+	}
+	if _, err := c.Place(ls, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	lonePSI := avgPSI(c, 0, ls.ID)
+
+	// Crowd the node.
+	placed := 1
+	for _, p := range w.Pods {
+		if p.ID != ls.ID && placed < 400 {
+			if _, err := c.Place(p, 0, 0); err == nil {
+				placed++
+			}
+		}
+	}
+	crowdedPSI := avgPSI(c, 0, ls.ID)
+	if crowdedPSI <= lonePSI+0.05 {
+		t.Errorf("PSI alone=%v crowded=%v; contention should raise PSI", lonePSI, crowdedPSI)
+	}
+}
+
+func avgPSI(c *Cluster, nodeID, podID int) float64 {
+	var s float64
+	var k int
+	for ts := int64(0); ts < 3600; ts += trace.SampleInterval {
+		snap := c.Snapshot(nodeID, ts, false)
+		for _, p := range snap.Pods {
+			if p.Pod.Pod.ID == podID {
+				s += p.CPUPSI60
+				k++
+			}
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	return s / float64(k)
+}
+
+func TestBERateDropsUnderContention(t *testing.T) {
+	c, w := newTestCluster(t)
+	var be *trace.Pod
+	for _, p := range w.Pods {
+		if p.SLO == trace.SLOBE {
+			be = p
+			break
+		}
+	}
+	if _, err := c.Place(be, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	alone := c.Snapshot(0, 60, false)
+	rateAlone := podRate(alone, be.ID)
+
+	for _, p := range w.Pods[:250] {
+		if p.ID != be.ID {
+			c.Place(p, 0, 0) //nolint:errcheck // duplicates skipped by design
+		}
+	}
+	crowded := c.Snapshot(0, 60, false)
+	rateCrowded := podRate(crowded, be.ID)
+	if rateCrowded >= rateAlone {
+		t.Errorf("BE rate alone=%v crowded=%v; contention should slow BE", rateAlone, rateCrowded)
+	}
+}
+
+func podRate(s NodeSnapshot, podID int) float64 {
+	for _, p := range s.Pods {
+		if p.Pod.Pod.ID == podID {
+			return p.Rate
+		}
+	}
+	return -1
+}
+
+func TestTickCompletesBEPods(t *testing.T) {
+	c, w := newTestCluster(t)
+	var be *trace.Pod
+	for _, p := range w.Pods {
+		if p.SLO == trace.SLOBE {
+			be = p
+			break
+		}
+	}
+	if _, err := c.Place(be, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var done bool
+	deadline := int64(be.NominalDuration()*10) + 7200
+	for ts := int64(0); ts < deadline; ts += trace.SampleInterval {
+		completed, snaps := c.Tick(ts, float64(trace.SampleInterval))
+		if len(snaps) != 10 {
+			t.Fatalf("snapshot count = %d", len(snaps))
+		}
+		for _, ps := range completed {
+			if ps.Pod.ID == be.ID {
+				done = true
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if !done {
+		t.Fatal("BE pod never completed")
+	}
+	if c.RunningPods() != 0 {
+		t.Errorf("running pods after completion = %d", c.RunningPods())
+	}
+	ps := c.PodState(be.ID)
+	if !ps.Done || ps.Finish == 0 {
+		t.Error("completed pod not marked done")
+	}
+	// Completion time should be at least the nominal duration.
+	ct := float64(ps.Finish - ps.Start)
+	if ct < be.NominalDuration()*0.5 {
+		t.Errorf("completion time %v impossibly below nominal %v", ct, be.NominalDuration())
+	}
+}
+
+func TestPreemptBE(t *testing.T) {
+	c, w := newTestCluster(t)
+	var bes []*trace.Pod
+	var ls *trace.Pod
+	for _, p := range w.Pods {
+		if p.SLO == trace.SLOBE && len(bes) < 5 {
+			bes = append(bes, p)
+		}
+		if p.SLO == trace.SLOLS && ls == nil {
+			ls = p
+		}
+	}
+	for _, p := range bes {
+		if _, err := c.Place(p, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Place(ls, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	need := trace.Resources{CPU: bes[0].Request.CPU * 2.5, Mem: 0}
+	evicted := c.PreemptBE(0, need, 500)
+	if len(evicted) == 0 {
+		t.Fatal("nothing evicted")
+	}
+	var freed float64
+	for _, ps := range evicted {
+		if ps.Pod.SLO != trace.SLOBE {
+			t.Error("preempted a non-BE pod")
+		}
+		if !ps.Preempted || !ps.Done {
+			t.Error("evicted pod not marked preempted")
+		}
+		freed += ps.Pod.Request.CPU
+	}
+	if freed < need.CPU {
+		t.Errorf("freed %v < needed %v", freed, need.CPU)
+	}
+	// The LS pod must survive.
+	if c.PodState(ls.ID).Done {
+		t.Error("LS pod was removed")
+	}
+}
+
+func TestHistoriesRecorded(t *testing.T) {
+	c, w := newTestCluster(t)
+	for _, p := range w.Pods[:10] {
+		if _, err := c.Place(p, 2, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ts := int64(0); ts < 40*trace.SampleInterval; ts += trace.SampleInterval {
+		c.Tick(ts, float64(trace.SampleInterval))
+	}
+	n := c.Node(2)
+	hist := n.UsageHistory()
+	if len(hist) == 0 {
+		t.Fatal("no node history")
+	}
+	if n.LastUsage() != hist[len(hist)-1] {
+		t.Error("LastUsage != last history sample")
+	}
+	for _, ps := range n.Pods() {
+		if len(ps.CPUHistory()) == 0 {
+			t.Error("pod history empty")
+		}
+		if ps.MaxCPU() <= 0 {
+			t.Error("pod MaxCPU not tracked")
+		}
+		if ps.P99CPU() > ps.MaxCPU()+1e-12 {
+			t.Error("P99 above max")
+		}
+	}
+}
+
+func TestPodHistoryRingWrap(t *testing.T) {
+	var h podHistory
+	for i := 0; i < podHistCap*2+5; i++ {
+		h.record(float64(i), float64(i)/2)
+	}
+	s := h.cpuSamples()
+	if len(s) != podHistCap {
+		t.Fatalf("len = %d", len(s))
+	}
+	// Oldest-first ordering after wrap.
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1]+1 {
+			t.Fatalf("samples not in order: %v", s[:8])
+		}
+	}
+	if h.maxCPU != float64(podHistCap*2+4) {
+		t.Errorf("maxCPU = %v", h.maxCPU)
+	}
+}
+
+func TestNodeHistoryRingWrap(t *testing.T) {
+	var h nodeHistory
+	for i := 0; i < nodeHistCap+100; i++ {
+		h.record(trace.Resources{CPU: float64(i)})
+	}
+	s := h.samples()
+	if len(s) != nodeHistCap {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0].CPU != 100 || s[len(s)-1].CPU != float64(nodeHistCap+99) {
+		t.Errorf("wrap order wrong: first=%v last=%v", s[0].CPU, s[len(s)-1].CPU)
+	}
+	if h.last().CPU != float64(nodeHistCap+99) {
+		t.Errorf("last = %v", h.last().CPU)
+	}
+}
+
+func TestContentionFunction(t *testing.T) {
+	if got := contention(0.3, 0.55); got <= 0 || got > 0.05 {
+		t.Errorf("sub-knee contention should be small but positive, got %v", got)
+	}
+	if got := contention(1, 0.55); math.Abs(got-1.07) > 1e-12 {
+		t.Errorf("contention(1) = %v, want 1.07", got)
+	}
+	if contention(1.5, 0.55) <= 1.07 {
+		t.Error("overcommitted pressure should exceed the full-load level")
+	}
+	if contention(-1, 0.55) != 0 {
+		t.Error("negative pressure should be zero")
+	}
+	// Monotone.
+	prev := -1.0
+	for p := 0.0; p < 2; p += 0.01 {
+		v := contention(p, 0.55)
+		if v < prev {
+			t.Fatal("contention not monotone")
+		}
+		prev = v
+	}
+}
+
+func TestPSICorrelatesWithHostUtil(t *testing.T) {
+	// Place a fixed LS pod with varying co-location and verify the
+	// PSI-vs-host-utilization correlation the profiler will learn.
+	c, w := newTestCluster(t)
+	var ls *trace.Pod
+	for _, p := range w.Pods {
+		if p.SLO == trace.SLOLS {
+			ls = p
+			break
+		}
+	}
+	if _, err := c.Place(ls, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var utils, psis []float64
+	i := 0
+	for _, p := range w.Pods {
+		if p.ID == ls.ID || p.SLO == trace.SLOBE {
+			continue
+		}
+		if _, err := c.Place(p, 0, 0); err != nil {
+			continue
+		}
+		i++
+		if i%10 == 0 {
+			snap := c.Snapshot(0, 7200, false)
+			utils = append(utils, snap.CPUUtil())
+			for _, pp := range snap.Pods {
+				if pp.Pod.Pod.ID == ls.ID {
+					psis = append(psis, pp.CPUPSI60)
+				}
+			}
+		}
+		if i > 600 {
+			break
+		}
+	}
+	if len(utils) < 5 {
+		t.Skip("not enough co-location steps")
+	}
+	if corr := stats.Pearson(utils, psis); corr < 0.5 {
+		t.Errorf("PSI-host util correlation = %v, want > 0.5", corr)
+	}
+}
+
+// Property: placements and removals conserve request accounting.
+func TestAccountingConservationProperty(t *testing.T) {
+	w := testWorkload(t)
+	f := func(ops []uint8) bool {
+		c := New(w.Nodes, DefaultPhysics())
+		placed := map[int]bool{}
+		for i, op := range ops {
+			pod := w.Pods[int(op)%len(w.Pods)]
+			node := i % len(w.Nodes)
+			if placed[pod.ID] && op%3 == 0 {
+				c.Remove(pod.ID, int64(i), false)
+				placed[pod.ID] = false
+			} else if !placed[pod.ID] {
+				if _, err := c.Place(pod, node, int64(i)); err == nil {
+					placed[pod.ID] = true
+				}
+			}
+		}
+		// Recompute sums from scratch and compare.
+		for _, n := range c.Nodes() {
+			var req trace.Resources
+			for _, ps := range n.Pods() {
+				req = req.Add(ps.Pod.Request)
+			}
+			got := n.ReqSum()
+			if math.Abs(got.CPU-req.CPU) > 1e-9 || math.Abs(got.Mem-req.Mem) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuaranteedReqAccounting(t *testing.T) {
+	c, w := newTestCluster(t)
+	n := c.Node(0)
+	var wantGuar, wantAll trace.Resources
+	var placed []*trace.Pod
+	for _, p := range w.Pods[:30] {
+		if _, err := c.Place(p, 0, 0); err != nil {
+			continue
+		}
+		placed = append(placed, p)
+		wantAll = wantAll.Add(p.Request)
+		if p.SLO != trace.SLOBE {
+			wantGuar = wantGuar.Add(p.Request)
+		}
+	}
+	if g := n.GuaranteedReq(); math.Abs(g.CPU-wantGuar.CPU) > 1e-9 {
+		t.Errorf("GuaranteedReq = %v, want %v", g.CPU, wantGuar.CPU)
+	}
+	if g := n.GuaranteedReq(); g.CPU > n.ReqSum().CPU+1e-9 {
+		t.Error("guaranteed above total")
+	}
+	// Removing pods keeps the split consistent.
+	for _, p := range placed {
+		c.Remove(p.ID, 100, false)
+	}
+	if g := n.GuaranteedReq(); g.CPU != 0 || g.Mem != 0 {
+		t.Errorf("GuaranteedReq after removals = %+v", g)
+	}
+}
+
+func TestBEPeakUsageTracksOnlyBE(t *testing.T) {
+	c, w := newTestCluster(t)
+	// Place only LS pods: BE peak must stay zero.
+	placed := 0
+	for _, p := range w.Pods {
+		if !p.SLO.LatencySensitive() {
+			continue
+		}
+		if _, err := c.Place(p, 1, 0); err == nil {
+			placed++
+		}
+		if placed == 10 {
+			break
+		}
+	}
+	for i := 0; i < 10; i++ {
+		c.Tick(int64(i)*30, 30)
+	}
+	n := c.Node(1)
+	if be := n.BEPeakUsage(); be.CPU != 0 {
+		t.Errorf("BE peak %v with no BE pods", be.CPU)
+	}
+	if n.PeakUsage().CPU == 0 {
+		t.Error("total peak should be positive")
+	}
+	// Now add BE pods: BE peak grows but stays below total peak.
+	added := 0
+	for _, p := range w.Pods {
+		if p.SLO != trace.SLOBE {
+			continue
+		}
+		if _, err := c.Place(p, 1, 300); err == nil {
+			added++
+		}
+		if added == 10 {
+			break
+		}
+	}
+	for i := 10; i < 20; i++ {
+		c.Tick(int64(i)*30, 30)
+	}
+	be := n.BEPeakUsage()
+	if be.CPU <= 0 {
+		t.Error("BE peak should be positive with BE pods")
+	}
+	if be.CPU > n.PeakUsage().CPU+1e-9 {
+		t.Errorf("BE peak %v above total peak %v", be.CPU, n.PeakUsage().CPU)
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"unisched/internal/trace"
+)
+
+// podHistCap bounds the per-pod usage sample ring; with 30 s samples this
+// covers the last ~32 minutes, enough for the P99 statistic the Resource
+// Central predictor consumes while keeping memory flat.
+const podHistCap = 64
+
+// nodeHistCap bounds the per-node usage ring; 2880 samples of 30 s cover
+// the 24-hour window the N-sigma predictor uses.
+const nodeHistCap = 2880
+
+// podHistory tracks a pod's recent usage plus running extremes. The P99
+// statistic is cached and invalidated on record, because the Resource
+// Central predictor evaluates it once per candidate scan.
+type podHistory struct {
+	cpu    [podHistCap]float64
+	n      int // total samples ever recorded
+	maxCPU float64
+	maxMem float64
+
+	// The cached P99 may be computed lazily from concurrent scheduler
+	// goroutines (parallel schedulers share the cluster view), so it has
+	// its own lock. record() is only called from the single-threaded
+	// simulation tick, never concurrently with scheduling.
+	p99Mu    sync.Mutex
+	p99      float64
+	p99Valid bool
+}
+
+func (h *podHistory) record(cpu, mem float64) {
+	h.cpu[h.n%podHistCap] = cpu
+	h.n++
+	h.p99Mu.Lock()
+	h.p99Valid = false
+	h.p99Mu.Unlock()
+	if cpu > h.maxCPU {
+		h.maxCPU = cpu
+	}
+	if mem > h.maxMem {
+		h.maxMem = mem
+	}
+}
+
+func (h *podHistory) cpuSamples() []float64 {
+	k := h.n
+	if k > podHistCap {
+		k = podHistCap
+	}
+	out := make([]float64, k)
+	if h.n <= podHistCap {
+		copy(out, h.cpu[:k])
+		return out
+	}
+	// Ring wrapped: oldest sample sits at n % cap.
+	start := h.n % podHistCap
+	copy(out, h.cpu[start:])
+	copy(out[podHistCap-start:], h.cpu[:start])
+	return out
+}
+
+func (h *podHistory) p99CPU() float64 {
+	h.p99Mu.Lock()
+	defer h.p99Mu.Unlock()
+	if h.p99Valid {
+		return h.p99
+	}
+	k := h.n
+	if k == 0 {
+		return 0
+	}
+	if k > podHistCap {
+		k = podHistCap
+	}
+	tmp := make([]float64, k)
+	copy(tmp, h.cpu[:k])
+	sort.Float64s(tmp)
+	i := int(0.99 * float64(k))
+	if i >= k {
+		i = k - 1
+	}
+	h.p99 = tmp[i]
+	h.p99Valid = true
+	return h.p99
+}
+
+// peakDecay is the per-sample decay of the running peak tracker: ~0.995
+// per 30 s sample gives a peak memory of roughly the last hour — the
+// horizon a production scheduler's "recent peak" estimate covers.
+const peakDecay = 0.995
+
+// nodeHistory is a ring of node usage samples plus a decayed peak and
+// incremental window sums, so the Gaussian statistics the N-sigma
+// predictor needs are O(1) per query.
+type nodeHistory struct {
+	buf  [][2]float64 // (cpu, mem), grown lazily up to nodeHistCap
+	n    int
+	peak [2]float64
+	// bePeak tracks the decayed peak of best-effort-only usage, the
+	// quantity the production scheduler's usage-based BE admission reads.
+	bePeak [2]float64
+	sum    [2]float64 // window sums over buf
+	sum2   [2]float64 // window sums of squares
+}
+
+func (h *nodeHistory) recordBE(be trace.Resources) {
+	for i, v := range [2]float64{be.CPU, be.Mem} {
+		h.bePeak[i] *= peakDecay
+		if v > h.bePeak[i] {
+			h.bePeak[i] = v
+		}
+	}
+}
+
+func (h *nodeHistory) record(u trace.Resources) {
+	v := [2]float64{u.CPU, u.Mem}
+	if len(h.buf) < nodeHistCap {
+		h.buf = append(h.buf, v)
+	} else {
+		old := h.buf[h.n%nodeHistCap]
+		for i := 0; i < 2; i++ {
+			h.sum[i] -= old[i]
+			h.sum2[i] -= old[i] * old[i]
+		}
+		h.buf[h.n%nodeHistCap] = v
+	}
+	h.n++
+	for i := 0; i < 2; i++ {
+		h.sum[i] += v[i]
+		h.sum2[i] += v[i] * v[i]
+		h.peak[i] *= peakDecay
+		if v[i] > h.peak[i] {
+			h.peak[i] = v[i]
+		}
+	}
+}
+
+// meanStd returns the window mean and population standard deviation per
+// dimension (0 = CPU, 1 = memory).
+func (h *nodeHistory) meanStd(dim int) (mean, std float64) {
+	k := h.n
+	if k > len(h.buf) {
+		k = len(h.buf)
+	}
+	if k == 0 {
+		return 0, 0
+	}
+	n := float64(k)
+	mean = h.sum[dim] / n
+	vr := h.sum2[dim]/n - mean*mean
+	if vr < 0 {
+		vr = 0
+	}
+	return mean, sqrt(vr)
+}
+
+func (h *nodeHistory) last() trace.Resources {
+	if h.n == 0 {
+		return trace.Resources{}
+	}
+	v := h.buf[(h.n-1)%nodeHistCap]
+	return trace.Resources{CPU: v[0], Mem: v[1]}
+}
+
+func (h *nodeHistory) samples() []trace.Resources {
+	k := h.n
+	if k > len(h.buf) {
+		k = len(h.buf)
+	}
+	out := make([]trace.Resources, 0, k)
+	if h.n <= nodeHistCap {
+		for _, v := range h.buf[:k] {
+			out = append(out, trace.Resources{CPU: v[0], Mem: v[1]})
+		}
+		return out
+	}
+	start := h.n % nodeHistCap
+	for i := 0; i < k; i++ {
+		v := h.buf[(start+i)%nodeHistCap]
+		out = append(out, trace.Resources{CPU: v[0], Mem: v[1]})
+	}
+	return out
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

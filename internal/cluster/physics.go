@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"math"
+
+	"unisched/internal/trace"
+)
+
+// Physics parameterizes the contention model: how co-located demand turns
+// into capped usage, CPU PSI and best-effort slowdown. The defaults are
+// tuned so the synthetic cluster reproduces the relationships the paper
+// measures (PSI grows superlinearly past ~55 % host CPU utilization and is
+// strongly correlated with host and pod utilization; BE completion time is
+// strongly correlated with node CPU utilization).
+type Physics struct {
+	// ContentionKnee is the host CPU pressure where interference starts.
+	ContentionKnee float64
+	// MemKnee is the host memory pressure where memory stalls start.
+	MemKnee float64
+	// PSINoise is the relative noise on PSI samples.
+	PSINoise float64
+	// RTPSIGain scales how PSI inflates response time.
+	RTPSIGain float64
+}
+
+// DefaultPhysics returns the tuned contention model.
+func DefaultPhysics() Physics {
+	return Physics{
+		ContentionKnee: 0.7,
+		MemKnee:        0.8,
+		PSINoise:       0.08,
+		RTPSIGain:      6.0,
+	}
+}
+
+// contention maps pressure (demand/capacity) to a contention level: a
+// small smooth polynomial component at moderate pressure (queueing delays
+// rise gradually well before saturation) plus a quadratic blow-up past the
+// knee, reaching ~1.07 at pressure 1 and continuing to grow for
+// over-committed hosts.
+func contention(pressure, knee float64) float64 {
+	if pressure < 0 {
+		return 0
+	}
+	p2 := pressure * pressure
+	c := 0.07 * p2 * p2 // smooth sub-knee component
+	if pressure > knee {
+		x := (pressure - knee) / (1 - knee)
+		c += x * x
+	}
+	return c
+}
+
+// PodSnapshot is one pod's 30-second trace record: OS-level usage, PSI and
+// application-level metrics, mirroring the "Pod running information" block
+// of Fig. 2(a).
+type PodSnapshot struct {
+	Pod    *PodState
+	T      int64
+	CPUUse float64 // capped by host contention
+	MemUse float64
+	QPS    float64
+
+	// CPUPSI* are "some" CPU pressure-stall ratios at the three kernel
+	// windows; PSI60 is the cleanest signal, as in Fig. 13-15.
+	CPUPSI10, CPUPSI60, CPUPSI300 float64
+	// MemPSISome/Full are memory pressure-stall ratios (weakly informative
+	// for LS RT, as the paper finds).
+	MemPSISome, MemPSIFull float64
+
+	// RT is the pod's average response time over the interval (LS only).
+	// It includes dependency-induced noise, which is why the paper finds
+	// RT a poor per-pod performance indicator.
+	RT float64
+	// Rate is the effective BE progress rate in CPU work units/second.
+	Rate float64
+	// RX and TX are the pod's received/sent network bytes over the
+	// interval: proportional to served queries for LS pods and to data
+	// processed for BE pods.
+	RX, TX float64
+}
+
+// NodeSnapshot is a node's 30-second record plus its pods' records.
+type NodeSnapshot struct {
+	T      int64
+	Node   *NodeState
+	Usage  trace.Resources // capped actual usage
+	Demand trace.Resources // sum of uncapped pod demand
+	// CPUPressure and MemPressure are demand/capacity (may exceed 1).
+	CPUPressure, MemPressure float64
+	Pods                     []PodSnapshot
+}
+
+// CPUUtil returns usage/capacity for CPU.
+func (s *NodeSnapshot) CPUUtil() float64 { return s.Usage.CPU / s.Node.Node.Capacity.CPU }
+
+// MemUtil returns usage/capacity for memory.
+func (s *NodeSnapshot) MemUtil() float64 { return s.Usage.Mem / s.Node.Node.Capacity.Mem }
+
+// Violated reports whether demand exceeded capacity in either dimension —
+// the "resource usage violation" of Fig. 19(b).
+func (s *NodeSnapshot) Violated() bool {
+	return s.CPUPressure > 1.0000001 || s.MemPressure > 1.0000001
+}
+
+// Snapshot computes the node's state at time t: pod demands, contention
+// capping, usage, PSI and performance metrics. record controls whether the
+// sample is appended to pod/node histories (the simulator records once per
+// tick; ad-hoc inspection passes false).
+func (c *Cluster) Snapshot(nodeID int, t int64, record bool) NodeSnapshot {
+	n := c.Node(nodeID)
+	snap := NodeSnapshot{T: t, Node: n, Pods: make([]PodSnapshot, len(n.pods))}
+	capc := n.Node.Capacity
+
+	// Pass 1: demand.
+	var cpuDemand, memDemand float64
+	for i, ps := range n.pods {
+		d := ps.Pod.CPUDemand(t)
+		m := ps.Pod.MemDemand(t)
+		snap.Pods[i] = PodSnapshot{Pod: ps, T: t, CPUUse: d, MemUse: m, QPS: ps.Pod.QPS(t)}
+		cpuDemand += d
+		memDemand += m
+	}
+	snap.Demand = trace.Resources{CPU: cpuDemand, Mem: memDemand}
+	snap.CPUPressure = cpuDemand / capc.CPU
+	snap.MemPressure = memDemand / capc.Mem
+
+	// Pass 2: proportional capping when demand exceeds capacity.
+	cpuScale, memScale := 1.0, 1.0
+	if snap.CPUPressure > 1 {
+		cpuScale = 1 / snap.CPUPressure
+	}
+	if snap.MemPressure > 1 {
+		memScale = 1 / snap.MemPressure
+	}
+	cCPU := contention(snap.CPUPressure, c.Physics.ContentionKnee)
+	cMem := contention(snap.MemPressure, c.Physics.MemKnee)
+
+	var useCPU, useMem float64
+	var beCPU, beMem float64
+	for i := range snap.Pods {
+		p := &snap.Pods[i]
+		p.CPUUse *= cpuScale
+		p.MemUse *= memScale
+		useCPU += p.CPUUse
+		useMem += p.MemUse
+		if p.Pod.Pod.SLO == trace.SLOBE {
+			beCPU += p.CPUUse
+			beMem += p.MemUse
+		}
+		c.fillPerf(p, cCPU, cMem, t)
+		if record {
+			p.Pod.hist.record(p.CPUUse, p.MemUse)
+		}
+	}
+	snap.Usage = trace.Resources{CPU: useCPU, Mem: useMem}
+	if record {
+		n.hist.record(snap.Usage)
+		n.hist.recordBE(trace.Resources{CPU: beCPU, Mem: beMem})
+	}
+	return snap
+}
+
+// fillPerf computes PSI, RT and BE progress rate for one pod snapshot.
+func (c *Cluster) fillPerf(p *PodSnapshot, cCPU, cMem float64, t int64) {
+	app := p.Pod.Pod.App()
+	id := uint64(p.Pod.Pod.ID)
+
+	// Pod-level utilization relative to request: busier pods feel more
+	// contention (Fig. 15b: PSI-vs-host-util correlation grows with pod
+	// utilization).
+	podUtil := 0.0
+	if r := p.Pod.Pod.Request.CPU; r > 0 {
+		podUtil = p.CPUUse / r
+	}
+	qpsn := 0.0
+	if app.QPSBase > 0 {
+		qpsn = p.QPS / (app.QPSBase * 2) // normalize by ~max
+	}
+
+	base := app.PSISensitivity * cCPU * (0.35 + podUtil) * (0.4 + 1.2*qpsn)
+	psi := clamp01(base)
+	noise := c.Physics.PSINoise
+	p.CPUPSI10 = clamp01(psi * (1 + 3*noise*hashNoise(id^0x11, t)))
+	p.CPUPSI60 = clamp01(psi * (1 + noise*hashNoise(id^0x22, t)))
+	// The 300 s window lags the instantaneous signal.
+	lagBase := app.PSISensitivity * cCPU * (0.35 + podUtil) * (0.4 + 1.2*qpsn)
+	p.CPUPSI300 = clamp01(0.6*lagBase + 0.4*psi*(1+2*noise*hashNoise(id^0x33, t-150)))
+
+	memBase := 0.6 * app.PSISensitivity * cMem
+	p.MemPSISome = clamp01(memBase * (1 + 2*noise*hashNoise(id^0x44, t)))
+	p.MemPSIFull = clamp01(0.5 * memBase * (1 + 2*noise*hashNoise(id^0x55, t)))
+
+	if p.Pod.Pod.SLO.LatencySensitive() && app.RTBase > 0 {
+		// A pod's response time includes the processing of every pod it
+		// depends on: a static per-pod dependency factor (replicas serve
+		// different downstream partners) plus per-request jitter. This is
+		// why RT is inconsistent across the pods of one application
+		// (Fig. 12a) and a poor per-pod performance indicator (§3.3.1).
+		podDep := 1 + app.RTDepNoise*(0.5+0.5*hashNoise(id^0xAB, 0))
+		dep := podDep * (1 + 0.3*math.Abs(hashNoise(id^0x66, t)))
+		p.RT = app.RTBase * (1 + c.Physics.RTPSIGain*p.CPUPSI60) * dep
+	}
+
+	if p.Pod.Pod.SLO == trace.SLOBE || p.Pod.Pod.Work > 0 {
+		// Effective progress: the capped CPU allocation further degraded
+		// by app-specific contention sensitivity (cache/IO effects beyond
+		// raw CPU share).
+		slow := 1 + app.CTSlowCPU*cCPU + app.CTSlowMem*cMem
+		p.Rate = p.CPUUse / slow
+		// Batch pods stream their input: bytes follow processing rate.
+		p.RX = 1e6 * p.Rate * (1 + 0.1*hashNoise(id^0x77, t))
+		p.TX = 0.3 * p.RX
+	} else if p.QPS > 0 {
+		p.RX = 2e3 * p.QPS * (1 + 0.1*hashNoise(id^0x88, t))
+		p.TX = 8e3 * p.QPS * (1 + 0.1*hashNoise(id^0x99, t))
+	}
+}
+
+// Tick advances all BE pods on every node by dt seconds at time t and
+// returns the pods that completed. It records histories for all nodes.
+func (c *Cluster) Tick(t int64, dt float64) (completed []*PodState, snaps []NodeSnapshot) {
+	snaps = make([]NodeSnapshot, len(c.nodes))
+	for i := range c.nodes {
+		snap := c.Snapshot(i, t, true)
+		snaps[i] = snap
+		for j := range snap.Pods {
+			p := &snap.Pods[j]
+			if p.Pod.Pod.Work <= 0 {
+				continue
+			}
+			p.Pod.Progress += p.Rate * dt
+			if p.Pod.Progress >= p.Pod.Pod.Work {
+				completed = append(completed, p.Pod)
+			}
+		}
+	}
+	// Completions take effect at the end of the tick: a pod that finished
+	// its work during [t, t+dt) ran for at least dt seconds.
+	for _, ps := range completed {
+		c.Remove(ps.Pod.ID, t+int64(dt), false)
+	}
+	return completed, snaps
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// hashNoise returns a deterministic value in [-1, 1) from an identity and a
+// time, quantized to the sampling grid — the same trick trace uses, kept
+// separate so cluster noise streams never collide with demand noise.
+func hashNoise(id uint64, t int64) float64 {
+	x := id*0xd1342543de82ef95 ^ uint64(t/trace.SampleInterval)*0xaf251af3b0f025b5
+	x ^= x >> 29
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return 2*(float64(x>>11)/float64(1<<53)) - 1
+}

@@ -1,0 +1,276 @@
+// Package cluster models the runtime state of a data center under unified
+// scheduling: nodes, placed pods, capacity and over-commitment accounting,
+// per-pod and per-node usage histories, and the contention "physics" that
+// turn co-location into PSI and completion-time inflation.
+//
+// The physics implement the functional relationships the paper measures on
+// real hosts (Implication 7): CPU PSI of a latency-sensitive pod is a
+// function of its utilization, host utilization and QPS; a best-effort
+// pod's completion time inflates with pod and host utilization. Schedulers
+// never see the physics directly — they observe samples, exactly like the
+// production tracing system.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"unisched/internal/trace"
+)
+
+// PodState is a pod placed on (or finished from) a node.
+type PodState struct {
+	Pod    *trace.Pod
+	NodeID int
+	// Seq is the pod's scheduling order on its node; the pairwise resource
+	// usage predictor (Eq. 7-8) pairs pods in this order.
+	Seq int
+
+	// Start is when the pod started running (seconds from trace start).
+	Start int64
+	// Progress is the accumulated CPU work of a BE pod.
+	Progress float64
+	// Done marks completion (BE) or termination (lifetime end, preemption).
+	Done bool
+	// Finish is when the pod stopped, valid when Done.
+	Finish int64
+	// Preempted marks pods evicted to make room for LSR pods.
+	Preempted bool
+
+	hist podHistory
+}
+
+// CPUHistory returns the pod's recent CPU usage samples, oldest first.
+func (p *PodState) CPUHistory() []float64 { return p.hist.cpuSamples() }
+
+// MaxCPU returns the largest CPU usage observed for this pod so far.
+func (p *PodState) MaxCPU() float64 { return p.hist.maxCPU }
+
+// MaxMem returns the largest memory usage observed so far.
+func (p *PodState) MaxMem() float64 { return p.hist.maxMem }
+
+// P99CPU returns (approximately) the 99th percentile of the pod's observed
+// CPU usage — the statistic the Resource Central predictor sums per host.
+func (p *PodState) P99CPU() float64 { return p.hist.p99CPU() }
+
+// NodeState is a physical host with its placed pods and accounting.
+type NodeState struct {
+	Node *trace.Node
+
+	pods    []*PodState // running pods, in scheduling order
+	nextSeq int
+
+	// Incrementally maintained sums over running pods.
+	reqSum   trace.Resources
+	limitSum trace.Resources
+	// guarReq is the request sum of guaranteed-class pods (everything but
+	// BE): the capacity the production scheduler reserves for them.
+	guarReq trace.Resources
+
+	hist nodeHistory
+}
+
+// Pods returns the running pods in scheduling order. The slice is shared;
+// callers must not modify it.
+func (n *NodeState) Pods() []*PodState { return n.pods }
+
+// ReqSum returns the sum of resource requests of running pods.
+func (n *NodeState) ReqSum() trace.Resources { return n.reqSum }
+
+// LimitSum returns the sum of resource limits of running pods.
+func (n *NodeState) LimitSum() trace.Resources { return n.limitSum }
+
+// GuaranteedReq returns the request sum of the node's non-BE pods — the
+// reservation the production scheduler holds for guaranteed classes.
+func (n *NodeState) GuaranteedReq() trace.Resources { return n.guarReq }
+
+// Capacity returns the node's physical capacity.
+func (n *NodeState) Capacity() trace.Resources { return n.Node.Capacity }
+
+// OvercommitRate returns the request-based and limit-based over-commitment
+// rates of the node (Fig. 5): sum(requests)/capacity per dimension.
+func (n *NodeState) OvercommitRate() (req, limit trace.Resources) {
+	c := n.Node.Capacity
+	return trace.Resources{CPU: n.reqSum.CPU / c.CPU, Mem: n.reqSum.Mem / c.Mem},
+		trace.Resources{CPU: n.limitSum.CPU / c.CPU, Mem: n.limitSum.Mem / c.Mem}
+}
+
+// UsageHistory returns recent (usage) samples of the node, oldest first.
+func (n *NodeState) UsageHistory() []trace.Resources { return n.hist.samples() }
+
+// LastUsage returns the most recent usage sample, or zero if none yet.
+func (n *NodeState) LastUsage() trace.Resources { return n.hist.last() }
+
+// PeakUsage returns a decayed running peak of the node's usage — roughly
+// the maximum over the last hour. Usage-based (aggressive) over-commitment
+// policies admit against this rather than the instantaneous sample so that
+// diurnal peaks are not forgotten at the trough.
+func (n *NodeState) PeakUsage() trace.Resources {
+	return trace.Resources{CPU: n.hist.peak[0], Mem: n.hist.peak[1]}
+}
+
+// UsageStats returns the mean and population standard deviation of the
+// node's recorded usage window, per dimension, in O(1) — the inputs to the
+// N-sigma predictor.
+func (n *NodeState) UsageStats() (cpuMean, cpuStd, memMean, memStd float64) {
+	cpuMean, cpuStd = n.hist.meanStd(0)
+	memMean, memStd = n.hist.meanStd(1)
+	return cpuMean, cpuStd, memMean, memStd
+}
+
+// HistoryLen returns how many usage samples the node has recorded (capped
+// at the window size).
+func (n *NodeState) HistoryLen() int {
+	k := n.hist.n
+	if k > len(n.hist.buf) {
+		k = len(n.hist.buf)
+	}
+	return k
+}
+
+// BEPeakUsage returns the decayed recent peak of best-effort-only usage.
+func (n *NodeState) BEPeakUsage() trace.Resources {
+	return trace.Resources{CPU: n.hist.bePeak[0], Mem: n.hist.bePeak[1]}
+}
+
+// UnmeasuredReq returns the summed requests of pods that have been placed
+// but never sampled yet. Usage-based predictors must reserve these
+// requests explicitly: a pod placed milliseconds ago contributes nothing to
+// usage history but will start consuming resources before the next sample.
+func (n *NodeState) UnmeasuredReq() trace.Resources {
+	var sum trace.Resources
+	for _, ps := range n.pods {
+		if ps.hist.n == 0 {
+			sum = sum.Add(ps.Pod.Request)
+		}
+	}
+	return sum
+}
+
+// Cluster is the full data-center state.
+type Cluster struct {
+	Physics Physics
+
+	nodes []*NodeState
+	byPod map[int]*PodState
+}
+
+// New builds a cluster over the workload's nodes with the given physics.
+func New(nodes []*trace.Node, phys Physics) *Cluster {
+	c := &Cluster{
+		Physics: phys,
+		nodes:   make([]*NodeState, len(nodes)),
+		byPod:   make(map[int]*PodState),
+	}
+	for i, n := range nodes {
+		c.nodes[i] = &NodeState{Node: n}
+	}
+	return c
+}
+
+// Nodes returns all node states, indexed by node ID.
+func (c *Cluster) Nodes() []*NodeState { return c.nodes }
+
+// Node returns the node state with the given ID.
+func (c *Cluster) Node(id int) *NodeState {
+	if id < 0 || id >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of range", id))
+	}
+	return c.nodes[id]
+}
+
+// PodState returns the placement state of a pod, or nil if never placed.
+func (c *Cluster) PodState(podID int) *PodState { return c.byPod[podID] }
+
+// RunningPods returns the number of running pods across the cluster.
+func (c *Cluster) RunningPods() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += len(n.pods)
+	}
+	return total
+}
+
+// Place starts pod p on node nodeID at time now. It returns the new
+// PodState or an error if the pod is already placed. Place does not check
+// capacity — over-commitment is the scheduler's decision; the physics
+// deliver the consequences.
+func (c *Cluster) Place(p *trace.Pod, nodeID int, now int64) (*PodState, error) {
+	if prev, ok := c.byPod[p.ID]; ok && !prev.Done {
+		return nil, fmt.Errorf("cluster: pod %d already running on node %d", p.ID, prev.NodeID)
+	}
+	n := c.Node(nodeID)
+	ps := &PodState{Pod: p, NodeID: nodeID, Seq: n.nextSeq, Start: now}
+	n.nextSeq++
+	n.pods = append(n.pods, ps)
+	n.reqSum = n.reqSum.Add(p.Request)
+	n.limitSum = n.limitSum.Add(p.Limit)
+	if p.SLO != trace.SLOBE {
+		n.guarReq = n.guarReq.Add(p.Request)
+	}
+	c.byPod[p.ID] = ps
+	return ps, nil
+}
+
+// Remove stops the pod at time now (completion, lifetime end or
+// preemption). It is a no-op for pods already done.
+func (c *Cluster) Remove(podID int, now int64, preempted bool) {
+	ps, ok := c.byPod[podID]
+	if !ok || ps.Done {
+		return
+	}
+	ps.Done = true
+	ps.Finish = now
+	ps.Preempted = preempted
+	n := c.Node(ps.NodeID)
+	for i, q := range n.pods {
+		if q == ps {
+			n.pods = append(n.pods[:i], n.pods[i+1:]...)
+			break
+		}
+	}
+	n.reqSum = n.reqSum.Sub(ps.Pod.Request)
+	n.limitSum = n.limitSum.Sub(ps.Pod.Limit)
+	if ps.Pod.SLO != trace.SLOBE {
+		n.guarReq = n.guarReq.Sub(ps.Pod.Request)
+	}
+	clampNonNeg(&n.reqSum)
+	clampNonNeg(&n.limitSum)
+	clampNonNeg(&n.guarReq)
+}
+
+// PreemptBE evicts up to the cheapest BE pods on the node freeing at least
+// need CPU request, returning the evicted pods. The unified scheduler uses
+// this to admit LSR pods quickly (§3.1.3: LSR pods wait less than BE
+// because the scheduler can preempt BE for them).
+func (c *Cluster) PreemptBE(nodeID int, need trace.Resources, now int64) []*PodState {
+	n := c.Node(nodeID)
+	var be []*PodState
+	for _, ps := range n.pods {
+		if ps.Pod.SLO == trace.SLOBE {
+			be = append(be, ps)
+		}
+	}
+	// Evict least-progressed pods first: they lose the least work.
+	sort.Slice(be, func(i, j int) bool { return be[i].Progress < be[j].Progress })
+	var freed trace.Resources
+	var out []*PodState
+	for _, ps := range be {
+		if freed.CPU >= need.CPU && freed.Mem >= need.Mem {
+			break
+		}
+		freed = freed.Add(ps.Pod.Request)
+		c.Remove(ps.Pod.ID, now, true)
+		out = append(out, ps)
+	}
+	return out
+}
+
+func clampNonNeg(r *trace.Resources) {
+	if r.CPU < 0 {
+		r.CPU = 0
+	}
+	if r.Mem < 0 {
+		r.Mem = 0
+	}
+}

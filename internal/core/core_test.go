@@ -1,0 +1,416 @@
+package core
+
+import (
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// trainedProfiles builds profiles by replaying a round-robin warmup, the
+// same trick the profiler tests use.
+func trainedProfiles(t *testing.T, w *trace.Workload, ticks int) Profiles {
+	t.Helper()
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	col := profiler.NewCollector(1)
+	next := 0
+	placed := map[int]bool{}
+	for tick := 0; tick < ticks; tick++ {
+		now := int64(tick) * trace.SampleInterval
+		for _, p := range w.Pods {
+			if p.Submit > now {
+				break
+			}
+			if placed[p.ID] {
+				continue
+			}
+			if _, err := c.Place(p, next%len(w.Nodes), now); err == nil {
+				placed[p.ID] = true
+				next++
+			}
+		}
+		completed, snaps := c.Tick(now, float64(trace.SampleInterval))
+		col.ObserveTick(snaps)
+		for _, ps := range completed {
+			col.ObserveCompletion(ps)
+		}
+	}
+	models, err := col.TrainInterference(profiler.DefaultFactory(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Profiles{ERO: col.ERO(), Stats: col.Stats(), Models: models}
+}
+
+func smallWorkload(t *testing.T, nodes int) *trace.Workload {
+	t.Helper()
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = nodes
+	return trace.MustGenerate(cfg)
+}
+
+func TestOptumSchedulesOnEmptyCluster(t *testing.T) {
+	w := smallWorkload(t, 10)
+	prof := trainedProfiles(t, w, 120)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	o := New(c, prof, DefaultOptions(), 7)
+	if o.Name() != "Optum" {
+		t.Fatalf("Name = %q", o.Name())
+	}
+	ds := o.Schedule(w.Pods[:50], 0)
+	if len(ds) != 50 {
+		t.Fatalf("decision count = %d", len(ds))
+	}
+	placed := 0
+	for _, d := range ds {
+		if d.NodeID >= 0 {
+			placed++
+		}
+	}
+	if placed < 45 {
+		t.Errorf("only %d/50 placed on an empty cluster", placed)
+	}
+}
+
+func TestOptumDeterministic(t *testing.T) {
+	w := smallWorkload(t, 10)
+	prof := trainedProfiles(t, w, 80)
+	run := func() []sched.Decision {
+		c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+		o := New(c, prof, DefaultOptions(), 7)
+		o.Opt.Workers = 4 // parallel scoring must not change results
+		return o.Schedule(w.Pods[:80], 0)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].NodeID != b[i].NodeID {
+			t.Fatalf("decision %d differs: %d vs %d", i, a[i].NodeID, b[i].NodeID)
+		}
+	}
+}
+
+func TestOptumMemCap(t *testing.T) {
+	w := smallWorkload(t, 2)
+	prof := trainedProfiles(t, w, 80)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	o := New(c, prof, DefaultOptions(), 7)
+	// Deploy everything Optum accepts; predicted memory must stay <= 0.8 cap.
+	pred := o.Predictor()
+	limit := 400
+	if limit > len(w.Pods) {
+		limit = len(w.Pods)
+	}
+	for _, p := range w.Pods[:limit] {
+		d := o.Schedule([]*trace.Pod{p}, 0)[0]
+		if d.NodeID < 0 || d.NeedPreempt {
+			continue
+		}
+		n := c.Node(d.NodeID)
+		if pom := pred.PredictMemWith(n, p); pom > o.Opt.MemCap*n.Capacity().Mem+1e-9 {
+			t.Fatalf("admission would exceed mem cap: %v > %v", pom, o.Opt.MemCap*n.Capacity().Mem)
+		}
+		if _, err := c.Place(p, d.NodeID, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOptumSampling(t *testing.T) {
+	w := smallWorkload(t, 10)
+	prof := trainedProfiles(t, w, 40)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	o := New(c, prof, DefaultOptions(), 7)
+
+	cands := make([]int, 1000)
+	for i := range cands {
+		cands[i] = i
+	}
+	s := o.sample(cands)
+	if len(s) != 50 { // 5% of 1000
+		t.Errorf("sample size = %d, want 50", len(s))
+	}
+	seen := map[int]bool{}
+	for _, id := range s {
+		if seen[id] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[id] = true
+	}
+	// Mid-size sets: floored at MinCandidates.
+	if got := o.sample(cands[:40]); len(got) != o.Opt.MinCandidates {
+		t.Errorf("mid set sample = %d, want %d", len(got), o.Opt.MinCandidates)
+	}
+	// Sets at or below the floor are returned whole.
+	if got := o.sample(cands[:20]); len(got) != 20 {
+		t.Errorf("small set should be returned whole, got %d", len(got))
+	}
+	// FullScan ablation.
+	o.Opt.FullScan = true
+	if got := o.sample(cands); len(got) != 1000 {
+		t.Errorf("FullScan sample = %d", len(got))
+	}
+}
+
+func TestOptumPrefersLowInterference(t *testing.T) {
+	// Two hosts: one crowded with LS pods (high predicted PSI), one with
+	// moderate utilization. A new LS pod should score the quiet host higher
+	// once the utilization term is comparable.
+	w := smallWorkload(t, 2)
+	prof := trainedProfiles(t, w, 120)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	o := New(c, prof, DefaultOptions(), 7)
+
+	var lsPods []*trace.Pod
+	for _, p := range w.Pods {
+		if p.SLO == trace.SLOLS {
+			lsPods = append(lsPods, p)
+		}
+	}
+	if len(lsPods) < 30 {
+		t.Skip("not enough LS pods")
+	}
+	// Crowd node 0 hard.
+	for _, p := range lsPods[:25] {
+		if _, err := c.Place(p, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 1 gets a couple.
+	for _, p := range lsPods[25:27] {
+		if _, err := c.Place(p, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick(int64(i)*30, 30)
+	}
+	probe := lsPods[28]
+	s0, cpu0, mem0 := o.scoreHost(c.Node(0), probe)
+	s1, cpu1, mem1 := o.scoreHost(c.Node(1), probe)
+	if cpu1 && mem1 {
+		if cpu0 && mem0 && s0 > s1 {
+			// Allowed only if node 0's utilization term dominates; with 25
+			// vs 2 pods of interference the quiet host must win.
+			t.Errorf("crowded host scored %v above quiet host %v", s0, s1)
+		}
+	}
+}
+
+func TestDeployerConflictResolution(t *testing.T) {
+	w := smallWorkload(t, 4)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	d := &Deployer{Cluster: c}
+	p1, p2, p3 := w.Pods[0], w.Pods[1], w.Pods[2]
+	out := d.Apply([]sched.Decision{
+		{Pod: p1, NodeID: 0, Score: 0.5},
+		{Pod: p2, NodeID: 0, Score: 0.9}, // conflict winner
+		{Pod: p3, NodeID: 1, Score: 0.1},
+	}, 100)
+	if len(out.Placed) != 2 {
+		t.Fatalf("placed %d, want 2", len(out.Placed))
+	}
+	if len(out.Requeued) != 1 || out.Requeued[0].ID != p1.ID {
+		t.Fatalf("requeued = %+v, want p1", out.Requeued)
+	}
+	if c.PodState(p2.ID) == nil || c.PodState(p2.ID).NodeID != 0 {
+		t.Error("winner not placed on node 0")
+	}
+	if c.PodState(p1.ID) != nil {
+		t.Error("loser was placed")
+	}
+}
+
+func TestDeployerPreemption(t *testing.T) {
+	w := smallWorkload(t, 2)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	d := &Deployer{Cluster: c}
+	var be []*trace.Pod
+	var lsr *trace.Pod
+	for _, p := range w.Pods {
+		if p.SLO == trace.SLOBE && len(be) < 10 {
+			be = append(be, p)
+		}
+		if p.SLO == trace.SLOLSR && lsr == nil {
+			lsr = p
+		}
+	}
+	for _, p := range be {
+		if _, err := c.Place(p, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := d.Apply([]sched.Decision{{Pod: lsr, NodeID: 0, NeedPreempt: true, Score: 1}}, 50)
+	if len(out.Placed) != 1 {
+		t.Fatalf("LSR not placed")
+	}
+	if len(out.Evicted) == 0 {
+		t.Fatal("nothing evicted")
+	}
+	for _, ev := range out.Evicted {
+		if ev.Pod.SLO != trace.SLOBE || !ev.Preempted {
+			t.Error("evicted pod not a preempted BE pod")
+		}
+	}
+}
+
+func TestDeployerIgnoresUnplaced(t *testing.T) {
+	w := smallWorkload(t, 2)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	d := &Deployer{Cluster: c}
+	out := d.Apply([]sched.Decision{{Pod: w.Pods[0], NodeID: -1, Reason: sched.ReasonMem}}, 0)
+	if len(out.Placed) != 0 || len(out.Requeued) != 0 {
+		t.Error("unplaced decision should be a no-op")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.OmegaO != 0.7 || o.OmegaB != 0.3 {
+		t.Errorf("omega defaults = %v/%v", o.OmegaO, o.OmegaB)
+	}
+	if o.SampleProb != 0.05 || o.MemCap != 0.8 || o.MAPEGate != 0.2 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+}
+
+func TestDeployerRejectsInvalidNode(t *testing.T) {
+	// Failure injection: a buggy scheduler proposing a nonexistent host
+	// must not crash the testbed; the pod is re-dispatched.
+	w := smallWorkload(t, 2)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	d := &Deployer{Cluster: c}
+	for _, apply := range []func([]sched.Decision, int64) Outcome{d.ApplyAll, d.Apply} {
+		out := apply([]sched.Decision{{Pod: w.Pods[0], NodeID: 99, Score: 1}}, 0)
+		if len(out.Placed) != 0 {
+			t.Fatal("invalid node deployed")
+		}
+		if len(out.Requeued) != 1 || out.Requeued[0].ID != w.Pods[0].ID {
+			t.Fatalf("pod not requeued: %+v", out)
+		}
+	}
+}
+
+func TestOptumTriplesOption(t *testing.T) {
+	// UseTriples wires through to the predictor and still schedules.
+	w := smallWorkload(t, 8)
+	prof := trainedProfilesWithTriples(t, w, 60)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	opt := DefaultOptions()
+	opt.UseTriples = true
+	o := New(c, prof, opt, 7)
+	if !o.Predictor().UseTriples {
+		t.Fatal("UseTriples not wired to predictor")
+	}
+	placed := 0
+	for _, d := range o.Schedule(w.Pods[:40], 0) {
+		if d.NodeID >= 0 {
+			placed++
+		}
+	}
+	if placed == 0 {
+		t.Fatal("triple-mode Optum placed nothing")
+	}
+}
+
+// trainedProfilesWithTriples is trainedProfiles with triple observation on.
+func trainedProfilesWithTriples(t *testing.T, w *trace.Workload, ticks int) Profiles {
+	t.Helper()
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	col := profiler.NewCollector(1)
+	col.ERO().EnableTriples(2)
+	next := 0
+	placed := map[int]bool{}
+	for tick := 0; tick < ticks; tick++ {
+		now := int64(tick) * trace.SampleInterval
+		for _, p := range w.Pods {
+			if p.Submit > now {
+				break
+			}
+			if placed[p.ID] {
+				continue
+			}
+			if _, err := c.Place(p, next%len(w.Nodes), now); err == nil {
+				placed[p.ID] = true
+				next++
+			}
+		}
+		completed, snaps := c.Tick(now, float64(trace.SampleInterval))
+		col.ObserveTick(snaps)
+		for _, ps := range completed {
+			col.ObserveCompletion(ps)
+		}
+	}
+	models, err := col.TrainInterference(profiler.DefaultFactory(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.ERO().Triples() == 0 {
+		t.Fatal("no triples collected")
+	}
+	return Profiles{ERO: col.ERO(), Stats: col.Stats(), Models: models}
+}
+
+func TestOptumFallbackFindsSparseAdmissibleNode(t *testing.T) {
+	// 50 nodes, 49 saturated beyond admission, one free. A 1-node PPO
+	// sample usually misses it; the second-chance full scan must find it.
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 50
+	w := trace.MustGenerate(cfg)
+	prof := trainedProfiles(t, w, 40)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	const freeNode = 37
+	i := 0
+	for _, p := range w.Pods {
+		node := i % 50
+		if node == freeNode {
+			i++
+			node = i % 50
+		}
+		if c.Node(node).ReqSum().CPU < 3*c.Node(node).Capacity().CPU {
+			if _, err := c.Place(p, node, 0); err == nil {
+				i++
+			}
+		}
+		// Saturated enough when every non-free node is past 2x capacity.
+		done := true
+		for nid := 0; nid < 50; nid++ {
+			if nid == freeNode {
+				continue
+			}
+			if c.Node(nid).ReqSum().CPU < 2*c.Node(nid).Capacity().CPU {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	probe := w.Pods[len(w.Pods)-1]
+	opt := DefaultOptions()
+	opt.MinCandidates = 1
+	opt.SampleProb = 0.02
+
+	optFB := opt
+	optFB.FullScanFallback = true
+	withFallback := New(c, prof, optFB, 9)
+	d := withFallback.Schedule([]*trace.Pod{probe}, 0)[0]
+	if d.NodeID != freeNode {
+		t.Errorf("fallback scan picked node %d, want %d (reason %v)", d.NodeID, freeNode, d.Reason)
+	}
+
+	optNo := opt
+	misses := 0
+	for seed := int64(0); seed < 20; seed++ {
+		o := New(c, prof, optNo, seed)
+		if dd := o.Schedule([]*trace.Pod{probe}, 0)[0]; dd.NodeID < 0 {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Error("1-node samples never missed the single admissible host — fallback untestable")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sort"
+
+	"unisched/internal/cluster"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// Deployer is the Deployment Module (§4.4): it executes scheduling
+// decisions against the cluster and resolves conflicts. When several pods
+// are simultaneously scheduled to the same host — which happens whenever
+// multiple distributed schedulers (or one scheduler's batched decisions)
+// race on stale state — only the decision with the highest score deploys;
+// the rest are re-dispatched for later scheduling.
+type Deployer struct {
+	Cluster *cluster.Cluster
+}
+
+// Outcome reports what Apply did with one batch of decisions.
+type Outcome struct {
+	// Placed are the decisions that were deployed.
+	Placed []sched.Decision
+	// Requeued are pods that must be rescheduled: conflict losers and
+	// pods whose decisions were unplaceable.
+	Requeued []*trace.Pod
+	// Evicted are BE pods preempted to admit LSR pods; the testbed
+	// re-submits them.
+	Evicted []*cluster.PodState
+}
+
+// ApplyAll deploys every placement decision in the batch, trusting the
+// scheduler's in-batch reservations — the single-scheduler fast path. The
+// conflict-resolving Apply below is for multiple parallel schedulers whose
+// decisions can genuinely race (§4.4).
+func (d *Deployer) ApplyAll(ds []sched.Decision, now int64) Outcome {
+	var out Outcome
+	nodes := len(d.Cluster.Nodes())
+	for _, dec := range ds {
+		if dec.NodeID < 0 {
+			continue
+		}
+		if dec.NodeID >= nodes {
+			// A decision referencing a nonexistent host is a scheduler
+			// bug; re-dispatch the pod rather than crashing the testbed.
+			out.Requeued = append(out.Requeued, dec.Pod)
+			continue
+		}
+		if dec.NeedPreempt {
+			evicted := d.Cluster.PreemptBE(dec.NodeID, dec.Pod.Request, now)
+			out.Evicted = append(out.Evicted, evicted...)
+		}
+		if _, err := d.Cluster.Place(dec.Pod, dec.NodeID, now); err != nil {
+			continue
+		}
+		out.Placed = append(out.Placed, dec)
+	}
+	return out
+}
+
+// Apply deploys a batch of decisions at time now with §4.4 conflict
+// resolution: when several pods target one host, only the highest score
+// deploys and the rest are re-dispatched. Decisions with NodeID < 0 are
+// ignored (their pods stay pending at the caller).
+func (d *Deployer) Apply(ds []sched.Decision, now int64) Outcome {
+	var out Outcome
+
+	// Group placements per node, keeping input order deterministic.
+	byNode := make(map[int][]sched.Decision)
+	total := len(d.Cluster.Nodes())
+	var nodes []int
+	for _, dec := range ds {
+		if dec.NodeID < 0 {
+			continue
+		}
+		if dec.NodeID >= total {
+			out.Requeued = append(out.Requeued, dec.Pod)
+			continue
+		}
+		if _, seen := byNode[dec.NodeID]; !seen {
+			nodes = append(nodes, dec.NodeID)
+		}
+		byNode[dec.NodeID] = append(byNode[dec.NodeID], dec)
+	}
+	sort.Ints(nodes)
+
+	for _, nodeID := range nodes {
+		group := byNode[nodeID]
+		// Conflict resolution: highest score deploys, rest re-dispatch.
+		best := 0
+		for i := 1; i < len(group); i++ {
+			if group[i].Score > group[best].Score {
+				best = i
+			}
+		}
+		for i, dec := range group {
+			if i != best {
+				out.Requeued = append(out.Requeued, dec.Pod)
+				continue
+			}
+			if dec.NeedPreempt {
+				evicted := d.Cluster.PreemptBE(nodeID, dec.Pod.Request, now)
+				out.Evicted = append(out.Evicted, evicted...)
+			}
+			if _, err := d.Cluster.Place(dec.Pod, nodeID, now); err != nil {
+				// Already running (duplicate decision): drop silently.
+				continue
+			}
+			out.Placed = append(out.Placed, dec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+// Package core implements Optum, the paper's unified data-center scheduler
+// (§4): the Online Scheduler with its Resource Usage Predictor (Eq. 7-8),
+// Interference Predictor (Eq. 9-10) and Node Selector (Eq. 11), the
+// PPO-style host sampling that keeps scheduling scalable (§4.3.4), and the
+// Deployment Module that resolves conflicts between parallel schedulers
+// (§4.4).
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"unisched/internal/cluster"
+	"unisched/internal/predictor"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// Profiles bundles the Offline Profiler outputs the Online Scheduler
+// consumes. ERO and Stats are live stores that keep updating while the
+// scheduler runs; Models is the most recent training snapshot.
+type Profiles struct {
+	ERO    *profiler.EROStore
+	Stats  *profiler.AppStatsStore
+	Models *profiler.Models
+}
+
+// Options are Optum's tunables with the evaluation's defaults.
+type Options struct {
+	// OmegaO and OmegaB weigh LS and BE interference in the objective
+	// (Eq. 6/11); the evaluation settles on 0.7 / 0.3 (§5.5).
+	OmegaO, OmegaB float64
+	// SampleProb is the PPO host-sampling probability (§4.3.4 uses 0.05).
+	SampleProb float64
+	// MinCandidates floors the sampled candidate set on small clusters.
+	MinCandidates int
+	// MemCap caps predicted memory utilization per host (§5.1 uses 0.8 to
+	// keep OOM risk negligible under memory over-commitment).
+	MemCap float64
+	// MAPEGate is the accuracy gate above which a BE application's profile
+	// is ignored (§5.2 optimizes only BE apps with MAPE below 0.2).
+	MAPEGate float64
+	// Workers is the scoring parallelism (<=0 means GOMAXPROCS).
+	Workers int
+	// FullScan disables PPO sampling (ablation: score every host).
+	FullScan bool
+	// FullScanFallback enables a second-chance full scan when the PPO
+	// sample contains no admissible host. It bounds worst-case waiting at
+	// high occupancy (a pod can otherwise wait ticks purely because its
+	// random subset missed the sparse admissible set) at the cost of
+	// last-resort placements the sampled objective would have skipped.
+	FullScanFallback bool
+	// CPUOnlyScore replaces the joint CPUxmem utilization term of Eq. 11
+	// with CPU utilization alone (ablation: memory-stranding comparison).
+	CPUOnlyScore bool
+	// UseTriples enables the §4.2.2 triple-wise ERO extension in the
+	// resource usage predictor (requires profiles collected with
+	// EROStore.EnableTriples).
+	UseTriples bool
+	// AbsoluteScore evaluates the per-host score of Eq. 11 literally: the
+	// host's absolute joint utilization minus the absolute interference
+	// level of every resident pod. The default (false) instead scores the
+	// *change* in the Eq. 6 global objective the placement causes, which
+	// is what a greedy maximizer of a global objective should compare: the
+	// literal form charges every resident pod's interference level as a
+	// constant penalty, biasing against occupied hosts and
+	// de-consolidating the cluster (ablation in EXPERIMENTS.md).
+	AbsoluteScore bool
+}
+
+// DefaultOptions returns the evaluation configuration.
+func DefaultOptions() Options {
+	return Options{
+		OmegaO:        0.7,
+		OmegaB:        0.3,
+		SampleProb:    0.05,
+		MinCandidates: 32,
+		MemCap:        0.8,
+		MAPEGate:      0.2,
+	}
+}
+
+// Optum is the Online Scheduler. It implements sched.Scheduler.
+type Optum struct {
+	*sched.Base
+	Opt      Options
+	Profiles Profiles
+
+	pred *predictor.Optum
+	rng  *rand.Rand
+}
+
+// New builds an Optum scheduler over a cluster and profiler outputs.
+func New(c *cluster.Cluster, prof Profiles, opt Options, seed int64) *Optum {
+	if opt.OmegaO == 0 && opt.OmegaB == 0 {
+		opt = DefaultOptions()
+	}
+	if opt.MinCandidates <= 0 {
+		opt.MinCandidates = 32
+	}
+	if opt.MemCap <= 0 {
+		opt.MemCap = 0.8
+	}
+	pred := predictor.NewOptum(prof.ERO)
+	pred.UseTriples = opt.UseTriples
+	return &Optum{
+		Base:     sched.NewBase(c, seed),
+		Opt:      opt,
+		Profiles: prof,
+		pred:     pred,
+		rng:      rand.New(rand.NewSource(seed + 1)),
+	}
+}
+
+// Name implements sched.Scheduler.
+func (o *Optum) Name() string { return "Optum" }
+
+// Predictor exposes the pairwise resource-usage predictor (used by the
+// predictor-accuracy experiments).
+func (o *Optum) Predictor() *predictor.Optum { return o.pred }
+
+// Schedule implements sched.Scheduler: one greedy, objective-guided
+// decision per pending pod.
+func (o *Optum) Schedule(pods []*trace.Pod, now int64) []sched.Decision {
+	o.BeginBatch()
+	out := make([]sched.Decision, len(pods))
+	for i, p := range pods {
+		out[i] = o.one(p)
+	}
+	return out
+}
+
+func (o *Optum) one(p *trace.Pod) sched.Decision {
+	all := o.Candidates(p)
+	cands := o.sample(all)
+	if len(cands) == 0 {
+		return sched.Decision{Pod: p, NodeID: -1, Reason: sched.ReasonOther}
+	}
+	d := o.scan(p, cands)
+	if d.NodeID < 0 && o.Opt.FullScanFallback && len(cands) < len(all) {
+		// Second chance: the sample missed every admissible host.
+		d = o.scan(p, all)
+	}
+	if d.NodeID < 0 && p.SLO == trace.SLOLSR {
+		if id, ok := o.PreemptTarget(p, all); ok {
+			o.Reserve(id, p)
+			return sched.Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: sched.ReasonNone}
+		}
+	}
+	return d
+}
+
+// scan scores the candidate set and returns the best admissible decision,
+// or the blocking reason.
+func (o *Optum) scan(p *trace.Pod, cands []int) sched.Decision {
+
+	type result struct {
+		id    int
+		ok    bool
+		cpuNo bool
+		memNo bool
+		score float64
+	}
+	results := make([]result, len(cands))
+	eval := func(k int) {
+		n := o.Cluster.Node(cands[k])
+		score, cpuOK, memOK := o.scoreHost(n, p)
+		results[k] = result{id: cands[k], ok: cpuOK && memOK, cpuNo: !cpuOK, memNo: !memOK, score: score}
+	}
+
+	workers := o.Opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && len(cands) >= 16 {
+		var wg sync.WaitGroup
+		chunk := (len(cands) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(cands) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for k := lo; k < hi; k++ {
+					eval(k)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for k := range cands {
+			eval(k)
+		}
+	}
+
+	best := sched.Decision{Pod: p, NodeID: -1, Reason: sched.ReasonOther}
+	found := false
+	cpuBlock, memBlock := 0, 0
+	for _, r := range results {
+		if r.ok {
+			// Deterministic tie-break on node ID for reproducibility.
+			if !found || r.score > best.Score || (r.score == best.Score && r.id < best.NodeID) {
+				best.NodeID = r.id
+				best.Score = r.score
+				best.Reason = sched.ReasonNone
+				found = true
+			}
+			continue
+		}
+		if r.cpuNo {
+			cpuBlock++
+		}
+		if r.memNo {
+			memBlock++
+		}
+	}
+	if found {
+		o.Reserve(best.NodeID, p)
+		return best
+	}
+	switch {
+	case cpuBlock > 0 && memBlock > 0:
+		best.Reason = sched.ReasonCPUMem
+	case cpuBlock > 0:
+		best.Reason = sched.ReasonCPU
+	case memBlock > 0:
+		best.Reason = sched.ReasonMem
+	}
+	return best
+}
+
+// sample applies the PPO-style random host partition: each scheduling
+// decision scores only a random SampleProb fraction of the candidates
+// (floored at MinCandidates), which keeps per-pod latency flat as the
+// cluster grows.
+func (o *Optum) sample(cands []int) []int {
+	if o.Opt.FullScan {
+		return cands
+	}
+	k := int(o.Opt.SampleProb * float64(len(cands)))
+	if k < o.Opt.MinCandidates {
+		k = o.Opt.MinCandidates
+	}
+	if k >= len(cands) {
+		return cands
+	}
+	out := make([]int, k)
+	// Partial Fisher-Yates over a copy of indices.
+	idx := make([]int, len(cands))
+	copy(idx, cands)
+	for i := 0; i < k; i++ {
+		j := i + o.rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = idx[i]
+	}
+	return out
+}
+
+// scoreHost evaluates Eq. 11 for placing p on n: the predicted joint
+// CPUxmemory utilization minus the weighted contention-induced degradation
+// of every pod that would share the host (including p itself). LS
+// degradation is the predicted PSI (zero on a calm host by construction);
+// BE degradation is the predicted normalized completion time in excess of
+// the application's uncontended baseline.
+func (o *Optum) scoreHost(n *cluster.NodeState, p *trace.Pod) (score float64, cpuOK, memOK bool) {
+	capc := n.Capacity()
+	// Pods reserved by this batch's earlier decisions enter the Eq. 7-8
+	// pairing exactly like running pods — their applications' ERO profiles
+	// apply, so burst arrivals of one application pack as tightly as the
+	// profiles justify.
+	resv := o.ReservedPods(n.Node.ID)
+	extras := make([]*trace.Pod, 0, len(resv)+1)
+	extras = append(extras, resv...)
+	extras = append(extras, p)
+
+	poc := o.pred.PredictCPUPods(n.Pods(), extras)
+	pom := o.pred.PredictMemPods(n.Pods(), extras)
+	cpuOK = poc <= capc.CPU
+	memOK = pom <= o.Opt.MemCap*capc.Mem
+	if !cpuOK || !memOK {
+		return 0, cpuOK, memOK
+	}
+	hostC := poc / capc.CPU
+	hostM := pom / capc.Mem
+
+	// "Before" load level for the delta form: the host without p.
+	hostC0, hostM0 := hostC, hostM
+	if !o.Opt.AbsoluteScore {
+		hostC0 = o.pred.PredictCPUPods(n.Pods(), resv) / capc.CPU
+		hostM0 = o.pred.PredictMemPods(n.Pods(), resv) / capc.Mem
+	}
+
+	var lsSum, beSum float64
+	// Per-application memoization: pods of one app share profile inputs.
+	cache := make(map[string]float64, 8)
+	// addResident accumulates a resident pod's term: its interference
+	// increase caused by the placement (delta form) or its absolute level
+	// (Eq. 11 literal form).
+	addResident := func(appID string, slo trace.SLO) {
+		switch {
+		case slo.LatencySensitive():
+			ri, ok := cache["L"+appID]
+			if !ok {
+				cm, mm, qm, _ := o.Profiles.Stats.Max(appID)
+				ri = o.Profiles.Models.PredictPSI(appID, cm, mm, hostC, hostM, qm)
+				if !o.Opt.AbsoluteScore {
+					ri -= o.Profiles.Models.PredictPSI(appID, cm, mm, hostC0, hostM0, qm)
+				}
+				cache["L"+appID] = ri
+			}
+			lsSum += ri
+		case slo == trace.SLOBE:
+			if !o.Profiles.Models.TrustedBE(appID, o.Opt.MAPEGate) {
+				return
+			}
+			ri, ok := cache["B"+appID]
+			if !ok {
+				cm, mm, _, _ := o.Profiles.Stats.Max(appID)
+				ri = o.Profiles.Models.PredictCT(appID, cm, mm, hostC, hostM)
+				if o.Opt.AbsoluteScore {
+					// Degradation form: subtract the app's uncontended
+					// completion time so calm co-location costs nothing.
+					ri -= o.Profiles.Models.PredictCT(appID, cm, mm, 0, 0)
+				} else {
+					ri -= o.Profiles.Models.PredictCT(appID, cm, mm, hostC0, hostM0)
+				}
+				if ri < 0 {
+					ri = 0
+				}
+				cache["B"+appID] = ri
+			}
+			beSum += ri
+		}
+	}
+	for _, ps := range n.Pods() {
+		addResident(ps.Pod.AppID, ps.Pod.SLO)
+	}
+	for _, rp := range resv {
+		addResident(rp.AppID, rp.SLO)
+	}
+	// The about-to-be-scheduled pod's own term is its absolute predicted
+	// degradation at the new load level in both forms (it had no "before").
+	switch {
+	case p.SLO.LatencySensitive():
+		cm, mm, qm, _ := o.Profiles.Stats.Max(p.AppID)
+		lsSum += o.Profiles.Models.PredictPSI(p.AppID, cm, mm, hostC, hostM, qm)
+	case p.SLO == trace.SLOBE:
+		if o.Profiles.Models.TrustedBE(p.AppID, o.Opt.MAPEGate) {
+			cm, mm, _, _ := o.Profiles.Stats.Max(p.AppID)
+			own := o.Profiles.Models.PredictCT(p.AppID, cm, mm, hostC, hostM) -
+				o.Profiles.Models.PredictCT(p.AppID, cm, mm, 0, 0)
+			if own > 0 {
+				beSum += own
+			}
+		}
+	}
+
+	util := hostC * hostM
+	if o.Opt.CPUOnlyScore {
+		util = hostC
+	}
+	if !o.Opt.AbsoluteScore {
+		util0 := hostC0 * hostM0
+		if o.Opt.CPUOnlyScore {
+			util0 = hostC0
+		}
+		util -= util0
+	}
+	score = util - o.Opt.OmegaO*lsSum - o.Opt.OmegaB*beSum
+	if math.IsNaN(score) {
+		score = math.Inf(-1)
+	}
+	return score, true, true
+}
+
+// ScoreHostForTest exposes scoreHost for diagnostic tests.
+func ScoreHostForTest(o *Optum, n *cluster.NodeState, p *trace.Pod) (float64, bool, bool) {
+	return o.scoreHost(n, p)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// Parallel is the §4.4 distributed-scheduler arrangement: multiple unified
+// schedulers work concurrently, each responsible for a portion of the
+// submitted pods, all reading the same cluster state. Because the members
+// decide independently, their decisions can race on the same host; the
+// Deployment Module resolves those conflicts (highest score deploys, the
+// rest are re-dispatched), so simulations must run with
+// sim.Config.ConflictResolve set.
+type Parallel struct {
+	Members []sched.Scheduler
+	label   string
+}
+
+// NewParallel bundles the members into one scheduler facade.
+func NewParallel(label string, members ...sched.Scheduler) *Parallel {
+	if label == "" {
+		label = "Parallel"
+	}
+	return &Parallel{Members: members, label: label}
+}
+
+// Name implements sched.Scheduler.
+func (p *Parallel) Name() string { return p.label }
+
+// Schedule implements sched.Scheduler: the batch is hash-partitioned
+// across the members, which decide concurrently; decisions return in the
+// input order.
+func (p *Parallel) Schedule(pods []*trace.Pod, now int64) []sched.Decision {
+	k := len(p.Members)
+	if k == 0 {
+		out := make([]sched.Decision, len(pods))
+		for i, pod := range pods {
+			out[i] = sched.Decision{Pod: pod, NodeID: -1, Reason: sched.ReasonOther}
+		}
+		return out
+	}
+	if k == 1 {
+		return p.Members[0].Schedule(pods, now)
+	}
+
+	// Partition deterministically by pod ID so a pod always lands on the
+	// same member across retries.
+	parts := make([][]*trace.Pod, k)
+	idx := make([][]int, k)
+	for i, pod := range pods {
+		m := pod.ID % k
+		parts[m] = append(parts[m], pod)
+		idx[m] = append(idx[m], i)
+	}
+
+	out := make([]sched.Decision, len(pods))
+	var wg sync.WaitGroup
+	for m := 0; m < k; m++ {
+		if len(parts[m]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			ds := p.Members[m].Schedule(parts[m], now)
+			for j, d := range ds {
+				out[idx[m][j]] = d
+			}
+		}(m)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/sched"
+)
+
+func TestParallelPartitionsDeterministically(t *testing.T) {
+	w := smallWorkload(t, 10)
+	prof := trainedProfiles(t, w, 60)
+	build := func() sched.Scheduler {
+		c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+		members := make([]sched.Scheduler, 4)
+		for m := range members {
+			members[m] = New(c, prof, DefaultOptions(), int64(100+m))
+		}
+		return NewParallel("Optum-x4", members...)
+	}
+	a := build().Schedule(w.Pods[:60], 0)
+	b := build().Schedule(w.Pods[:60], 0)
+	if len(a) != 60 || len(b) != 60 {
+		t.Fatalf("decision counts: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Pod.ID != w.Pods[i].ID {
+			t.Fatal("decision order broken")
+		}
+		if a[i].NodeID != b[i].NodeID {
+			t.Fatalf("parallel scheduling not deterministic at %d", i)
+		}
+	}
+}
+
+func TestParallelEmptyAndSingle(t *testing.T) {
+	w := smallWorkload(t, 4)
+	empty := NewParallel("", nil...)
+	ds := empty.Schedule(w.Pods[:3], 0)
+	for _, d := range ds {
+		if d.NodeID != -1 {
+			t.Error("memberless parallel should place nothing")
+		}
+	}
+	if empty.Name() != "Parallel" {
+		t.Errorf("default name %q", empty.Name())
+	}
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	single := NewParallel("solo", sched.NewAlibabaLike(c, 1))
+	if got := single.Schedule(w.Pods[:5], 0); len(got) != 5 {
+		t.Fatal("single-member parallel broken")
+	}
+}
+
+func TestParallelConflictsResolved(t *testing.T) {
+	// Two members both score the same empty cluster: their best nodes will
+	// collide. Apply must keep one winner per node and requeue the rest.
+	w := smallWorkload(t, 2)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	members := []sched.Scheduler{
+		sched.NewBorgLike(c, 1),
+		sched.NewBorgLike(c, 2),
+	}
+	par := NewParallel("borg-x2", members...)
+	ds := par.Schedule(w.Pods[:20], 0)
+	dep := &Deployer{Cluster: c}
+	out := dep.Apply(ds, 0)
+	// At most one placement per node in a conflict-resolved batch.
+	perNode := map[int]int{}
+	for _, d := range out.Placed {
+		perNode[d.NodeID]++
+	}
+	for node, k := range perNode {
+		if k > 1 {
+			t.Errorf("node %d received %d pods in one conflict-resolved apply", node, k)
+		}
+	}
+	if len(out.Placed)+len(out.Requeued) == 0 {
+		t.Fatal("nothing placed or requeued")
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/mlearn"
+	"unisched/internal/predictor"
+	"unisched/internal/profiler"
+	"unisched/internal/sim"
+	"unisched/internal/stats"
+)
+
+// The ablations below probe the design decisions DESIGN.md calls out:
+// pairwise ERO vs per-pod P99 profiles, bucketized vs raw regression
+// targets, PPO sampling vs full host scans, and the joint CPUxmem score
+// versus a CPU-only score.
+
+// AblationERO compares the Optum pairwise predictor against Resource
+// Central's per-pod P99 sum on identical hosts: mean absolute CPU
+// prediction error (percent) for each.
+type AblationERO struct {
+	OptumMeanAbs float64
+	RCMeanAbs    float64
+	// Under-estimation rates (fraction of samples below -10 %): the
+	// safety axis on which the pairwise predictor wins.
+	OptumUnderRate float64
+	RCUnderRate    float64
+	Samples        int
+}
+
+// RunAblationERO measures both predictors over a warmed baseline replay.
+func RunAblationERO(s *Setup) AblationERO {
+	preds := []predictor.Predictor{
+		predictor.NewOptum(s.Profiles.ERO),
+		predictor.ResourceCentral{},
+	}
+	var sums [2]float64
+	var unders [2]int
+	var n int
+	c := cluster.New(s.Workload.Nodes, cluster.DefaultPhysics())
+	pendingVals := map[int][2]float64{}
+	cfg := sim.Config{OnTick: func(t int64, snaps []cluster.NodeSnapshot) {
+		for i := range snaps {
+			snap := &snaps[i]
+			if vals, ok := pendingVals[snap.Node.Node.ID]; ok && snap.Usage.CPU > 0.05 {
+				for k := range preds {
+					e := predictor.Error(vals[k], snap.Usage.CPU)
+					if e < -0.1 {
+						unders[k]++
+					}
+					if e < 0 {
+						e = -e
+					}
+					sums[k] += 100 * e
+				}
+				n++
+			}
+		}
+		pendingVals = map[int][2]float64{}
+		for i := range snaps {
+			snap := &snaps[i]
+			if len(snap.Pods) == 0 {
+				continue
+			}
+			pendingVals[snap.Node.Node.ID] = [2]float64{
+				preds[0].PredictCPU(snap.Node),
+				preds[1].PredictCPU(snap.Node),
+			}
+		}
+	}}
+	schd := s.buildScheduler(NameAlibaba, c, core.DefaultOptions())
+	sim.Run(s.Workload, c, schd, cfg)
+	out := AblationERO{Samples: n}
+	if n > 0 {
+		out.OptumMeanAbs = sums[0] / float64(n)
+		out.RCMeanAbs = sums[1] / float64(n)
+		out.OptumUnderRate = float64(unders[0]) / float64(n)
+		out.RCUnderRate = float64(unders[1]) / float64(n)
+	}
+	return out
+}
+
+// AblationBucketize compares profiler accuracy with and without the
+// §4.2.1 target discretization.
+type AblationBucketize struct {
+	BucketizedLSMAPE float64 // mean per-app LS MAPE with 25-bucket targets
+	RawLSMAPE        float64 // same with raw continuous targets
+}
+
+// RunAblationBucketize trains RF profiles both ways on the setup's samples.
+// Raw targets are evaluated against raw truths, bucketized against
+// bucketized, mirroring what each protocol would deploy.
+func RunAblationBucketize(s *Setup) (AblationBucketize, error) {
+	bucketized, err := s.Collector.TrainInterference(profiler.DefaultFactory(), 0.25)
+	if err != nil {
+		return AblationBucketize{}, err
+	}
+	raw, err := s.Collector.TrainInterference(func(seed int64) mlearn.Regressor {
+		return mlearn.NewForest(20, seed)
+	}, 0.25)
+	if err != nil {
+		return AblationBucketize{}, err
+	}
+	mean := func(ms map[string]*profiler.AppModel) float64 {
+		var xs []float64
+		for _, m := range ms {
+			xs = append(xs, m.MAPE)
+		}
+		return stats.Mean(xs)
+	}
+	return AblationBucketize{
+		BucketizedLSMAPE: mean(bucketized.LS),
+		RawLSMAPE:        mean(raw.LS),
+	}, nil
+}
+
+// AblationPPO compares PPO-sampled node selection against a full scan:
+// scheduling latency and end-to-end quality.
+type AblationPPO struct {
+	SampledMeanMs  float64
+	FullMeanMs     float64
+	SampledImprove float64 // mean utilization improvement (pp)
+	FullImprove    float64
+	SampledPSIViol float64
+	FullPSIViol    float64
+}
+
+// RunAblationPPO runs Optum twice on the workload: once with the 5 %
+// sample, once scoring every host.
+func RunAblationPPO(s *Setup) AblationPPO {
+	run := func(full bool) (SchedulerEval, float64) {
+		opt := core.DefaultOptions()
+		opt.FullScan = full
+		res := s.RunScheduler(NameOptum, opt)
+		lat := 1000 * stats.Mean(res.SchedLatency) // ms
+		return Evaluate(s, res), lat
+	}
+	sampled, sLat := run(false)
+	fullEv, fLat := run(true)
+	return AblationPPO{
+		SampledMeanMs: sLat, FullMeanMs: fLat,
+		SampledImprove: sampled.MeanImprovement, FullImprove: fullEv.MeanImprovement,
+		SampledPSIViol: sampled.PSIViolationRate, FullPSIViol: fullEv.PSIViolationRate,
+	}
+}
+
+// AblationScoreForm compares the joint CPUxmem utilization term of Eq. 11
+// against a CPU-only objective by measuring memory stranding: how much
+// memory stays unused on busy hosts under each.
+type AblationScoreForm struct {
+	JointMemBusy   float64 // mean busy-host memory utilization (joint score)
+	CPUOnlyMemBusy float64
+	JointImprove   float64
+	CPUOnlyImprove float64
+}
+
+// RunAblationScoreForm runs Optum with the Eq. 11 joint utilization term
+// and again with CPUOnlyScore enabled, comparing memory utilization on
+// busy hosts and the overall improvement.
+func RunAblationScoreForm(s *Setup) AblationScoreForm {
+	joint := Evaluate(s, s.RunScheduler(NameOptum, core.DefaultOptions()))
+
+	cpuOnly := func() *sim.Result {
+		c := cluster.New(s.Workload.Nodes, cluster.DefaultPhysics())
+		o := core.New(c, s.Profiles, core.DefaultOptions(), s.Scale.Seed+100)
+		o.Opt.CPUOnlyScore = true
+		return sim.Run(s.Workload, c, o, sim.Config{})
+	}
+	cpuRes := Evaluate(s, cpuOnly())
+	return AblationScoreForm{
+		JointMemBusy:   stats.Mean(joint.Result.MemUtilBusy),
+		CPUOnlyMemBusy: stats.Mean(cpuRes.Result.MemUtilBusy),
+		JointImprove:   joint.MeanImprovement,
+		CPUOnlyImprove: cpuRes.MeanImprovement,
+	}
+}

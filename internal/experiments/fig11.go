@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"unisched/internal/cluster"
+	"unisched/internal/predictor"
+	"unisched/internal/sched"
+	"unisched/internal/sim"
+	"unisched/internal/stats"
+)
+
+// PredictorErrors holds Fig. 11's data for one predictor: the distribution
+// of signed relative errors against next-interval ground truth, split into
+// the over-estimation CDF (Fig. 11a) and under-estimation CDF (Fig. 11b).
+type PredictorErrors struct {
+	Name string
+	// Over holds errors > 0 (percent), Under errors < 0 (percent).
+	Over, Under *stats.CDF
+	// MeanAbs is the mean absolute error (percent) over all samples.
+	MeanAbs float64
+	// UnderFrac10 is the fraction of all samples under-estimating by more
+	// than 10 % — the §3.2.2 safety metric (Resource Central is three
+	// times more likely than Optum to under-estimate by over 10 %).
+	UnderFrac10 float64
+}
+
+// Fig11PredictorErrors replays the workload under the production baseline
+// and, every sampleEvery ticks, records each predictor's host-level CPU
+// prediction against the usage actually observed one interval later
+// (§3.2.2's evaluation protocol).
+func Fig11PredictorErrors(s *Setup, sampleEvery int) []PredictorErrors {
+	if sampleEvery <= 0 {
+		sampleEvery = 4
+	}
+	preds := []predictor.Predictor{
+		predictor.NewNSigma(),
+		predictor.ResourceCentral{},
+		predictor.NewBorgDefault(),
+		predictor.NewMax(),
+		predictor.NewOptum(s.Profiles.ERO),
+	}
+	errsByPred := make([][]float64, len(preds))
+
+	c := cluster.New(s.Workload.Nodes, cluster.DefaultPhysics())
+	type pendingPred struct {
+		vals []float64 // one prediction per predictor
+	}
+	pendingByNode := make(map[int]pendingPred)
+	tick := 0
+	cfg := sim.Config{OnTick: func(t int64, snaps []cluster.NodeSnapshot) {
+		tick++
+		// Resolve predictions made last sampled tick against current truth.
+		for i := range snaps {
+			snap := &snaps[i]
+			pp, ok := pendingByNode[snap.Node.Node.ID]
+			if !ok {
+				continue
+			}
+			truth := snap.Usage.CPU
+			if truth <= 0.05 { // skip (near-)idle hosts: relative error meaningless
+				continue
+			}
+			for k, v := range pp.vals {
+				errsByPred[k] = append(errsByPred[k], 100*predictor.Error(v, truth))
+			}
+		}
+		pendingByNode = make(map[int]pendingPred)
+		if tick%sampleEvery != 0 {
+			return
+		}
+		for i := range snaps {
+			snap := &snaps[i]
+			if len(snap.Pods) == 0 {
+				continue
+			}
+			vals := make([]float64, len(preds))
+			for k, p := range preds {
+				vals[k] = p.PredictCPU(snap.Node)
+			}
+			pendingByNode[snap.Node.Node.ID] = pendingPred{vals: vals}
+		}
+	}}
+	sim.Run(s.Workload, c, sched.NewAlibabaLike(c, s.Scale.Seed), cfg)
+
+	out := make([]PredictorErrors, len(preds))
+	for k, p := range preds {
+		var over, under []float64
+		var absSum float64
+		deep := 0
+		for _, e := range errsByPred[k] {
+			if e > 0 {
+				over = append(over, e)
+			} else if e < 0 {
+				under = append(under, e)
+			}
+			if e < -10 {
+				deep++
+			}
+			if e < 0 {
+				absSum -= e
+			} else {
+				absSum += e
+			}
+		}
+		mean, uf := 0.0, 0.0
+		if n := len(errsByPred[k]); n > 0 {
+			mean = absSum / float64(n)
+			uf = float64(deep) / float64(n)
+		}
+		out[k] = PredictorErrors{
+			Name: p.Name(), Over: stats.NewCDF(over), Under: stats.NewCDF(under),
+			MeanAbs: mean, UnderFrac10: uf,
+		}
+	}
+	return out
+}

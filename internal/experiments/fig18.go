@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"unisched/internal/mlearn"
+	"unisched/internal/profiler"
+	"unisched/internal/stats"
+)
+
+// ModelAccuracy is one model family's Fig. 18 row: the distribution of
+// per-application held-out MAPE for LS (PSI) and BE (completion time)
+// profiles.
+type ModelAccuracy struct {
+	Model string
+	LS    *stats.CDF
+	BE    *stats.CDF
+}
+
+// fig18Factories builds the §5.2 model lineup, in the paper's legend order.
+func fig18Factories() []struct {
+	name    string
+	factory profiler.ModelFactory
+} {
+	bucket := func(inner func(seed int64) mlearn.Regressor) profiler.ModelFactory {
+		return func(seed int64) mlearn.Regressor {
+			return &mlearn.Bucketized{Inner: inner(seed), B: mlearn.NewBucketizer(0, 1, 25)}
+		}
+	}
+	return []struct {
+		name    string
+		factory profiler.ModelFactory
+	}{
+		{"RF", bucket(func(seed int64) mlearn.Regressor { return mlearn.NewForest(20, seed) })},
+		{"LR", bucket(func(int64) mlearn.Regressor { return mlearn.NewLinear() })},
+		{"Ridge", bucket(func(int64) mlearn.Regressor { return mlearn.NewRidge(1.0) })},
+		{"SVR", bucket(func(seed int64) mlearn.Regressor { return mlearn.NewSVR(seed) })},
+		{"MLP", bucket(func(seed int64) mlearn.Regressor { return mlearn.NewMLP(seed) })},
+	}
+}
+
+// Fig18ProfilerAccuracy trains the Interference Profiler with each §5.2
+// model family on the setup's collected samples and reports per-app MAPE
+// distributions (25-bucket discretized targets, 25 % held-out split).
+func Fig18ProfilerAccuracy(s *Setup) ([]ModelAccuracy, error) {
+	out := make([]ModelAccuracy, 0, 5)
+	for _, f := range fig18Factories() {
+		models, err := s.Collector.TrainInterference(f.factory, 0.25)
+		if err != nil {
+			return nil, err
+		}
+		var ls, be []float64
+		for _, m := range models.LS {
+			ls = append(ls, m.MAPE)
+		}
+		for _, m := range models.BE {
+			be = append(be, m.MAPE)
+		}
+		out = append(out, ModelAccuracy{Model: f.name, LS: stats.NewCDF(ls), BE: stats.NewCDF(be)})
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"unisched/internal/core"
+	"unisched/internal/sim"
+	"unisched/internal/stats"
+)
+
+// SchedulerEval is one scheduler's Fig. 19 + Fig. 20 row.
+type SchedulerEval struct {
+	Name SchedulerName
+
+	// ImprovementSeries is the per-tick CPU-utilization improvement over
+	// the Alibaba baseline, in percentage points over busy hosts (Fig. 19a).
+	ImprovementSeries []float64
+	Times             []int64
+	// MeanImprovement summarizes the series after warm-up.
+	MeanImprovement float64
+	// GoodputImprovement is the same comparison on effective work rate
+	// (LS usage + BE progress) over busy hosts. Raw utilization counts
+	// contention-burnt cycles as "used", so an over-packing scheduler can
+	// inflate it; goodput cannot be gamed that way.
+	GoodputImprovement float64
+
+	// ViolationRate is the mean per-(host, tick) resource-usage violation
+	// rate (Fig. 19b).
+	ViolationRate float64
+
+	// PSIViolationRate is the fraction of LS pods whose worst PSI exceeds
+	// what they saw under the baseline (Fig. 20a: Optum keeps >97 % of LS
+	// pods at or below baseline PSI).
+	PSIViolationRate float64
+	// PSIIncreaseCDF is the distribution of per-pod PSI increase (new -
+	// baseline), for the Fig. 20a curve.
+	PSIIncreaseCDF *stats.CDF
+	// CTViolationRate is the mean over BE applications of the fraction of
+	// pods completing later than under the baseline (Fig. 20b).
+	CTViolationRate float64
+
+	// MeanWait and MaxWait summarize scheduling delay (§5.4 reports the
+	// delay staying below ~10 s under Optum).
+	MeanWait, MaxWait float64
+
+	Result *sim.Result
+}
+
+// RunEvaluation replays the workload under every §5.1 scheduler and
+// compares against the setup's baseline run — producing both Fig. 19 and
+// Fig. 20 in one pass.
+func RunEvaluation(s *Setup, names []SchedulerName) []SchedulerEval {
+	if len(names) == 0 {
+		names = EvalSchedulers
+	}
+	out := make([]SchedulerEval, 0, len(names))
+	for _, name := range names {
+		res := s.RunScheduler(name, core.DefaultOptions())
+		out = append(out, Evaluate(s, res))
+	}
+	return out
+}
+
+// Evaluate compares one run against the setup's baseline.
+func Evaluate(s *Setup, res *sim.Result) SchedulerEval {
+	base := s.Baseline
+	ev := SchedulerEval{Name: SchedulerName(res.Scheduler), Result: res, Times: res.Times}
+
+	// Fig 19a: utilization improvement over busy hosts, percentage points.
+	n := len(res.CPUUtilBusy)
+	if len(base.CPUUtilBusy) < n {
+		n = len(base.CPUUtilBusy)
+	}
+	warm := n / 4 // skip ramp-up
+	var sum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		d := 100 * (res.CPUUtilBusy[i] - base.CPUUtilBusy[i])
+		ev.ImprovementSeries = append(ev.ImprovementSeries, d)
+		if i >= warm {
+			sum += d
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		ev.MeanImprovement = sum / float64(cnt)
+	}
+	var gsum float64
+	var gcnt int
+	gn := len(res.GoodputBusy)
+	if len(base.GoodputBusy) < gn {
+		gn = len(base.GoodputBusy)
+	}
+	for i := gn / 4; i < gn; i++ {
+		gsum += 100 * (res.GoodputBusy[i] - base.GoodputBusy[i])
+		gcnt++
+	}
+	if gcnt > 0 {
+		ev.GoodputImprovement = gsum / float64(gcnt)
+	}
+
+	// Fig 19b: violation rate.
+	ev.ViolationRate = stats.Mean(res.Violation)
+
+	// Fig 20a: PSI violations vs baseline, per LS pod. A small absolute
+	// tolerance keeps sampling noise in near-zero PSI values from counting
+	// as degradation.
+	const psiTol = 0.05
+	var worse, total int
+	var increases []float64
+	for id, psi := range res.MaxPSI {
+		basePSI, ok := base.MaxPSI[id]
+		if !ok {
+			continue
+		}
+		total++
+		increases = append(increases, psi-basePSI)
+		if psi > basePSI+psiTol {
+			worse++
+		}
+	}
+	if total > 0 {
+		ev.PSIViolationRate = float64(worse) / float64(total)
+	}
+	ev.PSIIncreaseCDF = stats.NewCDF(increases)
+
+	// Fig 20b: mean per-app CT violation rate.
+	type appCT struct{ worse, total int }
+	byApp := map[string]*appCT{}
+	for id, ct := range res.BECT {
+		baseCT, ok := base.BECT[id]
+		if !ok {
+			continue
+		}
+		app := s.Workload.Pods[id].AppID
+		a := byApp[app]
+		if a == nil {
+			a = &appCT{}
+			byApp[app] = a
+		}
+		a.total++
+		if ct > baseCT*1.05 {
+			a.worse++
+		}
+	}
+	var rates []float64
+	for _, a := range byApp {
+		if a.total > 0 {
+			rates = append(rates, float64(a.worse)/float64(a.total))
+		}
+	}
+	ev.CTViolationRate = stats.Mean(rates)
+
+	// Scheduling delay.
+	var waits []float64
+	for _, pw := range res.Waits {
+		if pw.SLO.Explicit() {
+			waits = append(waits, float64(pw.Wait))
+		}
+	}
+	ev.MeanWait = stats.Mean(waits)
+	ev.MaxWait = stats.Max(waits)
+	return ev
+}
+
+// Fig21Point is one (omega_o, omega_b) sensitivity cell.
+type Fig21Point struct {
+	OmegaO, OmegaB   float64
+	MeanImprovement  float64 // Fig 21a
+	CTViolationRate  float64 // Fig 21b
+	PSIViolationRate float64 // Fig 21c
+}
+
+// Fig21Sensitivity sweeps the objective weights over the given grid
+// (§5.5 uses {0.1, 0.3, 0.5, 0.7, 0.9}²).
+func Fig21Sensitivity(s *Setup, grid []float64) []Fig21Point {
+	if len(grid) == 0 {
+		grid = []float64{0.1, 0.5, 0.9}
+	}
+	var out []Fig21Point
+	for _, wo := range grid {
+		for _, wb := range grid {
+			opt := core.DefaultOptions()
+			opt.OmegaO = wo
+			opt.OmegaB = wb
+			res := s.RunScheduler(NameOptum, opt)
+			ev := Evaluate(s, res)
+			out = append(out, Fig21Point{
+				OmegaO: wo, OmegaB: wb,
+				MeanImprovement:  ev.MeanImprovement,
+				CTViolationRate:  ev.CTViolationRate,
+				PSIViolationRate: ev.PSIViolationRate,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/trace"
+)
+
+// OverheadPoint is one Fig. 22 measurement: mean and max wall-clock
+// per-pod scheduling latency for one scheduler at one cluster size.
+type OverheadPoint struct {
+	Scheduler SchedulerName
+	Nodes     int
+	MeanMs    float64
+	MaxMs     float64
+}
+
+// Fig22Overhead measures real scheduling latency against pre-loaded
+// clusters of increasing size. Each cluster is filled to a realistic pod
+// density, warmed so histories exist, and then each scheduler decides
+// podsToSchedule placements one at a time while the wall clock runs.
+func Fig22Overhead(s *Setup, nodeCounts []int, podsToSchedule int) []OverheadPoint {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1000, 2000, 3000, 4000, 5000, 6000}
+	}
+	if podsToSchedule <= 0 {
+		podsToSchedule = 50
+	}
+	var out []OverheadPoint
+	for _, nn := range nodeCounts {
+		cfg := trace.DefaultConfig()
+		cfg.Seed = s.Scale.Seed
+		cfg.NumNodes = nn
+		cfg.Horizon = 3600
+		w := trace.MustGenerate(cfg)
+
+		// Pre-load the cluster round-robin and warm histories.
+		base := cluster.New(w.Nodes, cluster.DefaultPhysics())
+		next := 0
+		for _, p := range w.Pods {
+			if next >= nn*20 {
+				break
+			}
+			if _, err := base.Place(p, next%nn, 0); err == nil {
+				next++
+			}
+		}
+		for i := 0; i < 4; i++ {
+			base.Tick(int64(i)*trace.SampleInterval, float64(trace.SampleInterval))
+		}
+
+		// The pods to schedule: the next unplaced ones.
+		var batch []*trace.Pod
+		for _, p := range w.Pods {
+			if base.PodState(p.ID) == nil {
+				batch = append(batch, p)
+			}
+			if len(batch) == podsToSchedule {
+				break
+			}
+		}
+
+		for _, name := range append([]SchedulerName{}, EvalSchedulers...) {
+			schd := s.buildScheduler(name, base, core.DefaultOptions())
+			var total, max time.Duration
+			for _, p := range batch {
+				start := time.Now()
+				schd.Schedule([]*trace.Pod{p}, 120)
+				el := time.Since(start)
+				total += el
+				if el > max {
+					max = el
+				}
+			}
+			out = append(out, OverheadPoint{
+				Scheduler: name,
+				Nodes:     nn,
+				MeanMs:    total.Seconds() * 1000 / float64(len(batch)),
+				MaxMs:     max.Seconds() * 1000,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package experiments reproduces the paper's evaluation (§5): predictor
+// accuracy (Fig. 11), profiler accuracy across learning models (Fig. 18),
+// end-to-end utilization and violation comparisons across schedulers
+// (Fig. 19), pod performance under each scheduler (Fig. 20), sensitivity
+// to the objective weights (Fig. 21), scheduling overhead versus cluster
+// size (Fig. 22), and the ablations called out in DESIGN.md.
+//
+// Every harness returns plain result structs that cmd/expbench renders;
+// bench_test.go at the repo root wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/sim"
+	"unisched/internal/trace"
+)
+
+// Scale sizes an experiment. Quick scales run in seconds for tests; Full
+// approaches the paper's testbed shape.
+type Scale struct {
+	Nodes   int
+	Horizon int64
+	Seed    int64
+}
+
+// QuickScale is the test-sized configuration.
+func QuickScale() Scale { return Scale{Nodes: 24, Horizon: 3 * 3600, Seed: 1} }
+
+// FullScale is the cmd-sized configuration: one simulated day on a few
+// hundred hosts (the paper's 6000-host cluster shape at laptop cost).
+func FullScale() Scale { return Scale{Nodes: 200, Horizon: trace.Day, Seed: 1} }
+
+// workloadFor builds the experiment workload at a scale.
+func workloadFor(s Scale) *trace.Workload {
+	cfg := trace.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.NumNodes = s.Nodes
+	cfg.Horizon = s.Horizon
+	if s.Nodes <= 50 {
+		small := trace.SmallConfig()
+		small.Seed = s.Seed
+		small.NumNodes = s.Nodes
+		small.Horizon = s.Horizon
+		cfg = small
+	}
+	return trace.MustGenerate(cfg)
+}
+
+// Setup is the shared evaluation context: the workload, the baseline
+// (Alibaba-like) run that every comparison normalizes against, and the
+// profiles trained from that run's trace feed — the "first seven days"
+// of §5.1.
+type Setup struct {
+	Scale    Scale
+	Workload *trace.Workload
+	Baseline *sim.Result
+	Profiles core.Profiles
+	// Collector keeps the live ERO/stats stores that were trained.
+	Collector *profiler.Collector
+}
+
+// NewSetup generates the workload, replays it under the production
+// baseline with the Tracing Coordinator attached, adds a high-pressure
+// profiling replay, and trains the profiles.
+//
+// The stress replay packs the workload round-robin onto half the hosts so
+// the training data covers the contended regime. Production profiling data
+// has this for free — host CPU utilization reaches 100 % in the trace
+// (Fig. 4b) — but a well-behaved baseline replay alone would leave the
+// profiles blind above the contention knee.
+func NewSetup(s Scale) (*Setup, error) {
+	w := workloadFor(s)
+	col := profiler.NewCollector(s.Seed)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	base := sim.Run(w, c, sched.NewAlibabaLike(c, s.Seed), sim.Config{Collector: col})
+	stressProfile(w, col)
+	models, err := col.TrainInterference(profiler.DefaultFactory(), 0.25)
+	if err != nil {
+		return nil, err
+	}
+	return &Setup{
+		Scale:     s,
+		Workload:  w,
+		Baseline:  base,
+		Profiles:  core.Profiles{ERO: col.ERO(), Stats: col.Stats(), Models: models},
+		Collector: col,
+	}, nil
+}
+
+// stressProfile replays the workload with dumb round-robin placement onto
+// half the cluster, feeding the collector samples from hot hosts. Each
+// stress node gets a different pod cap, so the fleet covers a *graded*
+// range of pressures — the profiles need training points throughout the
+// utilization range, not just "calm" and "saturated". The caps also keep
+// the run bounded: without admission control, contention-slowed BE pods
+// would accumulate without limit and the pairwise ERO scan is quadratic in
+// pods per host. A few hours of graded samples are plenty.
+func stressProfile(w *trace.Workload, col *profiler.Collector) {
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	nodes := len(w.Nodes)/2 + 1
+	// Per-node caps from ~4 to ~46 pods: with typical per-pod demand this
+	// spans pressures from well below the contention knee to past
+	// saturation.
+	capOf := func(n int) int { return 4 + (n%15)*3 }
+	horizon := w.Horizon
+	if max := int64(6 * 3600); horizon > max {
+		horizon = max
+	}
+	next := 0
+	idx := 0
+	for now := int64(0); now < horizon; now += trace.SampleInterval {
+		for idx < len(w.Pods) && w.Pods[idx].Submit <= now {
+			p := w.Pods[idx]
+			idx++
+			// Find a node with room, scanning at most one full round.
+			for tries := 0; tries < nodes; tries++ {
+				n := c.Node(next % nodes)
+				next++
+				if len(n.Pods()) >= capOf(n.Node.ID) {
+					continue
+				}
+				if _, err := c.Place(p, n.Node.ID, now); err == nil {
+					break
+				}
+			}
+		}
+		completed, snaps := c.Tick(now, float64(trace.SampleInterval))
+		col.ObserveTick(snaps)
+		for _, ps := range completed {
+			col.ObserveCompletion(ps)
+		}
+	}
+}
+
+// SchedulerName identifies the evaluated schedulers in result tables.
+type SchedulerName string
+
+// The §5.1 scheduler lineup.
+const (
+	NameOptum    SchedulerName = "Optum"
+	NameRCLike   SchedulerName = "RC-like"
+	NameNSigma   SchedulerName = "N-sigma"
+	NameBorgLike SchedulerName = "Borg-like"
+	NameMedea    SchedulerName = "Medea"
+	NameKubeLike SchedulerName = "Kube-like"
+	NameAlibaba  SchedulerName = "Alibaba"
+)
+
+// EvalSchedulers is the comparison set of Fig. 19-20, in display order.
+var EvalSchedulers = []SchedulerName{NameOptum, NameRCLike, NameNSigma, NameBorgLike, NameMedea}
+
+// buildScheduler constructs a named scheduler over a fresh cluster.
+func (s *Setup) buildScheduler(name SchedulerName, c *cluster.Cluster, opt core.Options) sched.Scheduler {
+	seed := s.Scale.Seed + 100
+	switch name {
+	case NameOptum:
+		return core.New(c, s.Profiles, opt, seed)
+	case NameRCLike:
+		return sched.NewRCLike(c, seed)
+	case NameNSigma:
+		return sched.NewNSigma(c, seed)
+	case NameBorgLike:
+		return sched.NewBorgLike(c, seed)
+	case NameMedea:
+		return sched.NewMedea(c, seed)
+	case NameKubeLike:
+		return sched.NewKubeLike(c, seed)
+	default:
+		return sched.NewAlibabaLike(c, seed)
+	}
+}
+
+// RunScheduler replays the workload under one scheduler with the given
+// Optum options (ignored for baselines).
+func (s *Setup) RunScheduler(name SchedulerName, opt core.Options) *sim.Result {
+	c := cluster.New(s.Workload.Nodes, cluster.DefaultPhysics())
+	schd := s.buildScheduler(name, c, opt)
+	return sim.Run(s.Workload, c, schd, sim.Config{})
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/predictor"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/sim"
+)
+
+// AblationTriples quantifies the §4.2.2 triple-wise ERO extension against
+// the default pairwise profiling: prediction tightness (mean absolute
+// error and mean over-estimation) and the profiling cost (observed
+// combination counts).
+type AblationTriples struct {
+	PairMeanAbs, TripleMeanAbs   float64
+	PairMeanOver, TripleMeanOver float64
+	Pairs, Triples               int
+	Samples                      int
+}
+
+// RunAblationTriples builds a fresh collector with triple observation
+// enabled, replays the workload under the baseline, and evaluates both
+// predictor variants against next-interval truth on the same hosts.
+func RunAblationTriples(s *Setup) AblationTriples {
+	col := profiler.NewCollector(s.Scale.Seed)
+	col.ERO().EnableTriples(2)
+	warm := cluster.New(s.Workload.Nodes, cluster.DefaultPhysics())
+	sim.Run(s.Workload, warm, sched.NewAlibabaLike(warm, s.Scale.Seed),
+		sim.Config{Collector: col})
+
+	pair := predictor.NewOptum(col.ERO())
+	triple := predictor.NewOptum(col.ERO())
+	triple.UseTriples = true
+
+	var absSum, overSum [2]float64
+	var n int
+	c := cluster.New(s.Workload.Nodes, cluster.DefaultPhysics())
+	pendingVals := map[int][2]float64{}
+	cfg := sim.Config{OnTick: func(t int64, snaps []cluster.NodeSnapshot) {
+		for i := range snaps {
+			snap := &snaps[i]
+			if vals, ok := pendingVals[snap.Node.Node.ID]; ok && snap.Usage.CPU > 0.05 {
+				for k := 0; k < 2; k++ {
+					e := predictor.Error(vals[k], snap.Usage.CPU)
+					if e > 0 {
+						overSum[k] += e
+					}
+					if e < 0 {
+						e = -e
+					}
+					absSum[k] += e
+				}
+				n++
+			}
+		}
+		pendingVals = map[int][2]float64{}
+		for i := range snaps {
+			snap := &snaps[i]
+			if len(snap.Pods) == 0 {
+				continue
+			}
+			pendingVals[snap.Node.Node.ID] = [2]float64{
+				pair.PredictCPU(snap.Node),
+				triple.PredictCPU(snap.Node),
+			}
+		}
+	}}
+	schd := s.buildScheduler(NameAlibaba, c, core.DefaultOptions())
+	sim.Run(s.Workload, c, schd, cfg)
+
+	out := AblationTriples{
+		Pairs:   col.ERO().Pairs(),
+		Triples: col.ERO().Triples(),
+		Samples: n,
+	}
+	if n > 0 {
+		out.PairMeanAbs = 100 * absSum[0] / float64(n)
+		out.TripleMeanAbs = 100 * absSum[1] / float64(n)
+		out.PairMeanOver = 100 * overSum[0] / float64(n)
+		out.TripleMeanOver = 100 * overSum[1] / float64(n)
+	}
+	return out
+}

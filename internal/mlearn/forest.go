@@ -1,0 +1,134 @@
+package mlearn
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Forest is a Random Forest regressor: bagged CART trees with per-split
+// feature subsampling. It is the model the Offline Profiler adopts, "as it
+// can yield the highest accuracy among various models" (§4.2.1, Fig. 18).
+type Forest struct {
+	// Trees is the ensemble size (<=0 means 30).
+	Trees int
+	// MaxDepth bounds each tree (<=0 means 12).
+	MaxDepth int
+	// MinLeaf is each tree's minimum leaf size (<=0 means 3).
+	MinLeaf int
+	// Seed drives bootstrap sampling and feature bagging.
+	Seed int64
+	// Parallel trains trees across CPUs when true.
+	Parallel bool
+
+	trees []*Tree
+}
+
+// NewForest returns a Random Forest with n trees.
+func NewForest(n int, seed int64) *Forest {
+	return &Forest{Trees: n, Seed: seed, Parallel: true}
+}
+
+// Name implements Regressor.
+func (f *Forest) Name() string { return "RF" }
+
+// Fit implements Regressor.
+func (f *Forest) Fit(X [][]float64, y []float64) error {
+	nfeat, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if f.Trees <= 0 {
+		f.Trees = 30
+	}
+	maxFeat := isqrtCeil(nfeat)
+
+	// Pre-draw bootstrap samples sequentially so results do not depend on
+	// goroutine interleaving.
+	r := rand.New(rand.NewSource(f.Seed))
+	n := len(X)
+	samples := make([][][]float64, f.Trees)
+	targets := make([][]float64, f.Trees)
+	seeds := make([]int64, f.Trees)
+	for t := 0; t < f.Trees; t++ {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			k := r.Intn(n)
+			bx[i] = X[k]
+			by[i] = y[k]
+		}
+		samples[t], targets[t] = bx, by
+		seeds[t] = r.Int63()
+	}
+
+	f.trees = make([]*Tree, f.Trees)
+	build := func(t int) error {
+		tr := &Tree{MaxDepth: f.MaxDepth, MinLeaf: f.MinLeaf, MaxFeatures: maxFeat, Seed: seeds[t]}
+		if err := tr.Fit(samples[t], targets[t]); err != nil {
+			return err
+		}
+		f.trees[t] = tr
+		return nil
+	}
+
+	if !f.Parallel || f.Trees < 4 {
+		for t := 0; t < f.Trees; t++ {
+			if err := build(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > f.Trees {
+		workers = f.Trees
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, f.Trees)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				if err := build(t); err != nil {
+					errCh <- err
+				}
+			}
+		}()
+	}
+	for t := 0; t < f.Trees; t++ {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Predict implements Regressor: the mean of the per-tree predictions.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// isqrtCeil returns ceil(sqrt(n)) for small positive n.
+func isqrtCeil(n int) int {
+	k := 1
+	for k*k < n {
+		k++
+	}
+	return k
+}

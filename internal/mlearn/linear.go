@@ -1,0 +1,150 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linear is an ordinary-least-squares linear regressor solved by the normal
+// equations with Gaussian elimination and partial pivoting. It is the "LR"
+// model of Fig. 18.
+type Linear struct {
+	w []float64 // weights; w[len-1] is the intercept
+}
+
+// NewLinear returns an untrained linear regressor.
+func NewLinear() *Linear { return &Linear{} }
+
+// Name implements Regressor.
+func (m *Linear) Name() string { return "LR" }
+
+// Fit implements Regressor.
+func (m *Linear) Fit(X [][]float64, y []float64) error {
+	w, err := solveRidge(X, y, 1e-9) // tiny jitter for numerical stability
+	if err != nil {
+		return err
+	}
+	m.w = w
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *Linear) Predict(x []float64) float64 { return dotBias(m.w, x) }
+
+// Ridge is L2-regularized linear regression ("Ridge" in Fig. 18).
+type Ridge struct {
+	Lambda float64
+	w      []float64
+}
+
+// NewRidge returns a ridge regressor with regularization strength lambda.
+func NewRidge(lambda float64) *Ridge { return &Ridge{Lambda: lambda} }
+
+// Name implements Regressor.
+func (m *Ridge) Name() string { return "Ridge" }
+
+// Fit implements Regressor.
+func (m *Ridge) Fit(X [][]float64, y []float64) error {
+	lambda := m.Lambda
+	if lambda < 0 {
+		return fmt.Errorf("mlearn: negative ridge lambda %v", lambda)
+	}
+	w, err := solveRidge(X, y, lambda)
+	if err != nil {
+		return err
+	}
+	m.w = w
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *Ridge) Predict(x []float64) float64 { return dotBias(m.w, x) }
+
+// dotBias evaluates w·[x, 1]; an untrained model (nil w) returns 0.
+func dotBias(w, x []float64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	var s float64
+	n := len(w) - 1
+	for j := 0; j < n && j < len(x); j++ {
+		s += w[j] * x[j]
+	}
+	return s + w[n]
+}
+
+// solveRidge solves (AᵀA + λI) w = Aᵀy where A is X with an appended bias
+// column. The intercept is not regularized.
+func solveRidge(X [][]float64, y []float64, lambda float64) ([]float64, error) {
+	nfeat, err := checkXY(X, y)
+	if err != nil {
+		return nil, err
+	}
+	n := nfeat + 1 // + bias
+	// Build normal-equation system.
+	ata := make([][]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n+1) // augmented with Aᵀy
+	}
+	row := make([]float64, n)
+	for r, xr := range X {
+		copy(row, xr)
+		row[nfeat] = 1
+		for i := 0; i < n; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			ata[i][n] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < nfeat; i++ { // skip bias
+		ata[i][i] += lambda
+	}
+	w, err := gaussSolve(ata)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// gaussSolve solves the augmented system m (n x n+1) in place.
+func gaussSolve(m [][]float64) ([]float64, error) {
+	n := len(m)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		m[col], m[piv] = m[piv], m[col]
+		if math.Abs(m[col][col]) < 1e-12 {
+			// Singular column (e.g. constant feature): zero it out and
+			// continue; the corresponding weight stays 0.
+			m[col][col] = 1
+			for j := col + 1; j <= n; j++ {
+				m[col][j] = 0
+			}
+			continue
+		}
+		inv := 1 / m[col][col]
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col] * inv
+			for j := col; j <= n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = m[i][n] / m[i][i]
+	}
+	return w, nil
+}

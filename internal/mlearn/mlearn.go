@@ -1,0 +1,220 @@
+// Package mlearn is a small, dependency-free machine-learning toolkit
+// implementing the regression models the paper's Offline Profiler compares
+// (Fig. 18): Linear Regression, Ridge Regression, a linear ε-SVR, a
+// Multi-Layer Perceptron, and a CART-based Random Forest — together with
+// the bucketized-target protocol of §4.2.1 and evaluation metrics.
+//
+// All models implement Regressor. Training is deterministic given the seed
+// passed at construction.
+package mlearn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Regressor is a trainable single-output regression model.
+type Regressor interface {
+	// Name identifies the model family ("RF", "LR", ...).
+	Name() string
+	// Fit trains the model on rows X (one feature vector per row) against
+	// targets y. It returns an error if the data is empty or ragged.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the model output for one feature vector. Calling
+	// Predict before a successful Fit returns 0.
+	Predict(x []float64) float64
+}
+
+var (
+	errNoData = errors.New("mlearn: empty training set")
+	errRagged = errors.New("mlearn: ragged feature matrix")
+)
+
+// checkXY validates training data shape.
+func checkXY(X [][]float64, y []float64) (nfeat int, err error) {
+	if len(X) == 0 || len(y) == 0 {
+		return 0, errNoData
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("mlearn: %d rows vs %d targets", len(X), len(y))
+	}
+	nfeat = len(X[0])
+	if nfeat == 0 {
+		return 0, errors.New("mlearn: zero-width feature vectors")
+	}
+	for _, row := range X {
+		if len(row) != nfeat {
+			return 0, errRagged
+		}
+	}
+	return nfeat, nil
+}
+
+// Bucketizer discretizes a continuous target into k equal-width buckets
+// over [Lo, Hi], mapping a value to the upper bound of its bucket — the
+// protocol Optum uses to stabilize PSI and completion-time predictions
+// (§4.2.1: "takes the upper bound of the bucket as the final prediction").
+type Bucketizer struct {
+	Lo, Hi float64
+	K      int
+}
+
+// NewBucketizer returns a bucketizer with k buckets over [lo, hi].
+// It panics if k <= 0 or hi <= lo, which indicates a construction bug.
+func NewBucketizer(lo, hi float64, k int) Bucketizer {
+	if k <= 0 || hi <= lo {
+		panic(fmt.Sprintf("mlearn: invalid bucketizer [%v,%v] k=%d", lo, hi, k))
+	}
+	return Bucketizer{Lo: lo, Hi: hi, K: k}
+}
+
+// Apply maps v to the upper bound of its bucket. Values at or below Lo map
+// to Lo itself (a zero PSI must stay zero — inflating calm hosts to the
+// first bucket bound would manufacture phantom interference); values above
+// Hi clamp to the last bucket bound.
+func (b Bucketizer) Apply(v float64) float64 {
+	w := (b.Hi - b.Lo) / float64(b.K)
+	i := int(math.Ceil((v - b.Lo) / w))
+	if i < 0 {
+		i = 0
+	}
+	if i > b.K {
+		i = b.K
+	}
+	return b.Lo + float64(i)*w
+}
+
+// ApplyAll bucketizes a slice, returning a new slice.
+func (b Bucketizer) ApplyAll(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = b.Apply(v)
+	}
+	return out
+}
+
+// Bucketized wraps an inner model with target discretization: Fit trains on
+// bucketized targets and Predict bucketizes the model output.
+type Bucketized struct {
+	Inner Regressor
+	B     Bucketizer
+}
+
+// Name returns the inner model's name (the bucketization is a protocol
+// detail, not a model family).
+func (m *Bucketized) Name() string { return m.Inner.Name() }
+
+// Fit trains the inner model against bucketized targets.
+func (m *Bucketized) Fit(X [][]float64, y []float64) error {
+	return m.Inner.Fit(X, m.B.ApplyAll(y))
+}
+
+// Predict returns the bucketized inner prediction.
+func (m *Bucketized) Predict(x []float64) float64 {
+	return m.B.Apply(m.Inner.Predict(x))
+}
+
+// EvaluateMAPE fits nothing; it scores a trained model on a test set with
+// the Mean Absolute Percentage Error used in Fig. 18. Zero targets are
+// skipped (MAPE is undefined there); if all are zero it returns 0.
+func EvaluateMAPE(m Regressor, X [][]float64, y []float64) float64 {
+	var s float64
+	var k int
+	for i, row := range X {
+		if y[i] == 0 {
+			continue
+		}
+		s += math.Abs(m.Predict(row)-y[i]) / math.Abs(y[i])
+		k++
+	}
+	if k == 0 {
+		return 0
+	}
+	return s / float64(k)
+}
+
+// TrainTestSplit deterministically splits rows into train and test sets:
+// every k-th row (k = 1/testFrac) goes to the test set. A deterministic
+// stride split keeps experiments reproducible without shuffling.
+func TrainTestSplit(X [][]float64, y []float64, testFrac float64) (trX [][]float64, trY []float64, teX [][]float64, teY []float64) {
+	if testFrac <= 0 || testFrac >= 1 || len(X) == 0 {
+		return X, y, nil, nil
+	}
+	stride := int(1 / testFrac)
+	if stride < 2 {
+		stride = 2
+	}
+	for i := range X {
+		if i%stride == stride-1 {
+			teX = append(teX, X[i])
+			teY = append(teY, y[i])
+		} else {
+			trX = append(trX, X[i])
+			trY = append(trY, y[i])
+		}
+	}
+	return trX, trY, teX, teY
+}
+
+// Standardizer scales features to zero mean and unit variance; the MLP and
+// SVR need this to converge on the heterogeneous feature ranges the
+// profiler uses (utilizations in [0,1], QPS in the hundreds).
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer computes per-feature means and standard deviations.
+func FitStandardizer(X [][]float64) *Standardizer {
+	if len(X) == 0 {
+		return &Standardizer{}
+	}
+	nf := len(X[0])
+	s := &Standardizer{Mean: make([]float64, nf), Std: make([]float64, nf)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= float64(len(X))
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / float64(len(X)))
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *Standardizer) Transform(x []float64) []float64 {
+	if len(s.Mean) == 0 {
+		return x
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		if j < len(s.Mean) {
+			out[j] = (v - s.Mean[j]) / s.Std[j]
+		} else {
+			out[j] = v
+		}
+	}
+	return out
+}
+
+// TransformAll standardizes every row.
+func (s *Standardizer) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}

@@ -1,0 +1,374 @@
+package mlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synth generates a noisy dataset from f over [0,1]^nfeat.
+func synth(n, nfeat int, seed int64, noise float64, f func([]float64) float64) ([][]float64, []float64) {
+	r := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := make([]float64, nfeat)
+		for j := range x {
+			x[j] = r.Float64()
+		}
+		X[i] = x
+		y[i] = f(x) + noise*r.NormFloat64()
+	}
+	return X, y
+}
+
+func linearFn(x []float64) float64 { return 2*x[0] - 3*x[1] + 0.5 }
+
+// nonlinearFn mimics the PSI surface: a threshold interaction.
+func nonlinearFn(x []float64) float64 {
+	v := 0.1
+	if x[0] > 0.6 {
+		v += 2 * (x[0] - 0.6) * (0.5 + x[1])
+	}
+	return v
+}
+
+func rmse(m Regressor, X [][]float64, y []float64) float64 {
+	var s float64
+	for i, row := range X {
+		d := m.Predict(row) - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(X)))
+}
+
+func TestCheckXY(t *testing.T) {
+	if _, err := checkXY(nil, nil); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := checkXY([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := checkXY([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	if _, err := checkXY([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("zero-width rows should fail")
+	}
+	if n, err := checkXY([][]float64{{1, 2}}, []float64{3}); err != nil || n != 2 {
+		t.Errorf("valid data rejected: %v %v", n, err)
+	}
+}
+
+func TestLinearRecoversCoefficients(t *testing.T) {
+	X, y := synth(500, 2, 1, 0, linearFn)
+	m := NewLinear()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := rmse(m, X, y); e > 1e-6 {
+		t.Errorf("LR rmse on noiseless linear data = %v", e)
+	}
+	// Spot-check extrapolation.
+	if got := m.Predict([]float64{1, 0}); math.Abs(got-2.5) > 1e-6 {
+		t.Errorf("Predict(1,0) = %v, want 2.5", got)
+	}
+}
+
+func TestLinearHandlesConstantFeature(t *testing.T) {
+	// A constant column makes the normal equations singular without care.
+	X := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	y := []float64{2, 4, 6, 8}
+	m := NewLinear()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{5, 5}); math.Abs(got-10) > 1e-3 {
+		t.Errorf("Predict = %v, want 10", got)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	X, y := synth(200, 2, 2, 0.1, linearFn)
+	strong := NewRidge(1e6)
+	if err := strong.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With huge regularization, slope weights shrink toward zero, so
+	// predictions collapse toward the intercept/mean.
+	spread := math.Abs(strong.Predict([]float64{1, 0}) - strong.Predict([]float64{0, 1}))
+	if spread > 0.2 {
+		t.Errorf("heavily regularized ridge should be nearly flat; spread=%v", spread)
+	}
+	weak := NewRidge(1e-6)
+	if err := weak.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := rmse(weak, X, y); e > 0.2 {
+		t.Errorf("weak ridge rmse = %v", e)
+	}
+	if err := NewRidge(-1).Fit(X, y); err == nil {
+		t.Error("negative lambda should fail")
+	}
+}
+
+func TestUntrainedModelsPredictZero(t *testing.T) {
+	models := []Regressor{NewLinear(), NewRidge(1), NewSVR(1), NewMLP(1), NewTree(4, 1), NewForest(5, 1)}
+	for _, m := range models {
+		if got := m.Predict([]float64{1, 2}); got != 0 {
+			t.Errorf("%s untrained Predict = %v, want 0", m.Name(), got)
+		}
+	}
+}
+
+func TestSVRFitsLinear(t *testing.T) {
+	X, y := synth(600, 2, 3, 0.02, linearFn)
+	m := NewSVR(7)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := rmse(m, X, y); e > 0.25 {
+		t.Errorf("SVR rmse on linear data = %v", e)
+	}
+}
+
+func TestMLPFitsNonlinear(t *testing.T) {
+	X, y := synth(800, 2, 4, 0.01, nonlinearFn)
+	m := NewMLP(11)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	mlpErr := rmse(m, X, y)
+	lr := NewLinear()
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if lrErr := rmse(lr, X, y); mlpErr >= lrErr {
+		t.Errorf("MLP (%v) should beat LR (%v) on nonlinear data", mlpErr, lrErr)
+	}
+}
+
+func TestTreeFitsNonlinear(t *testing.T) {
+	X, y := synth(800, 2, 5, 0.01, nonlinearFn)
+	m := NewTree(10, 3)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := rmse(m, X, y); e > 0.1 {
+		t.Errorf("tree rmse = %v", e)
+	}
+}
+
+func TestTreeDepthBound(t *testing.T) {
+	X, y := synth(200, 2, 6, 0.5, nonlinearFn)
+	shallow := NewTree(1, 1)
+	if err := shallow.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Depth-1 tree has at most 2 distinct outputs.
+	seen := map[float64]bool{}
+	for _, x := range X {
+		seen[shallow.Predict(x)] = true
+	}
+	if len(seen) > 2 {
+		t.Errorf("depth-1 tree produced %d distinct outputs", len(seen))
+	}
+}
+
+func TestForestBeatsLinearOnNonlinear(t *testing.T) {
+	X, y := synth(1200, 3, 8, 0.02, nonlinearFn)
+	trX, trY, teX, teY := TrainTestSplit(X, y, 0.25)
+	rf := NewForest(25, 9)
+	if err := rf.Fit(trX, trY); err != nil {
+		t.Fatal(err)
+	}
+	lr := NewLinear()
+	if err := lr.Fit(trX, trY); err != nil {
+		t.Fatal(err)
+	}
+	rfErr := rmse(rf, teX, teY)
+	lrErr := rmse(lr, teX, teY)
+	if rfErr >= lrErr {
+		t.Errorf("RF test rmse (%v) should beat LR (%v) — the Fig. 18 ordering", rfErr, lrErr)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	X, y := synth(300, 2, 10, 0.05, nonlinearFn)
+	a := NewForest(10, 42)
+	b := NewForest(10, 42)
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X[:50] {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("forest training not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestForestSerialMatchesParallel(t *testing.T) {
+	X, y := synth(300, 2, 12, 0.05, nonlinearFn)
+	par := NewForest(8, 5)
+	ser := NewForest(8, 5)
+	ser.Parallel = false
+	if err := par.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := ser.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X[:50] {
+		if par.Predict(x) != ser.Predict(x) {
+			t.Fatal("parallel and serial forest training disagree")
+		}
+	}
+}
+
+func TestBucketizer(t *testing.T) {
+	b := NewBucketizer(0, 1, 10)
+	cases := []struct{ in, want float64 }{
+		{0.25, 0.3}, // §4.2.1's worked example: 0.2-0.3 bucket -> 0.3
+		{0.0, 0.0},  // exact zero stays zero
+		{0.05, 0.1},
+		{1.0, 1.0},
+		{-5, 0.0},
+		{5, 1.0},
+		{0.3, 0.3}, // boundary maps to its own bucket's upper bound
+	}
+	for _, c := range cases {
+		if got := b.Apply(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Apply(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	all := b.ApplyAll([]float64{0.25, 0.95})
+	if all[0] != b.Apply(0.25) || all[1] != b.Apply(0.95) {
+		t.Error("ApplyAll inconsistent with Apply")
+	}
+}
+
+func TestBucketizerPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBucketizer(1, 0, 10)
+}
+
+// Property: bucketization is idempotent and within bounds.
+func TestBucketizeIdempotentProperty(t *testing.T) {
+	b := NewBucketizer(0, 1, 25)
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		one := b.Apply(v)
+		return b.Apply(one) == one && one >= 0 && one <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketizedModel(t *testing.T) {
+	X, y := synth(500, 2, 13, 0.02, func(x []float64) float64 {
+		return 0.5 * (x[0] + x[1])
+	})
+	m := &Bucketized{Inner: NewForest(10, 3), B: NewBucketizer(0, 1, 25)}
+	if m.Name() != "RF" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Every prediction must be a bucket bound.
+	for _, x := range X[:100] {
+		p := m.Predict(x)
+		k := p * 25
+		if math.Abs(k-math.Round(k)) > 1e-9 {
+			t.Fatalf("prediction %v not on bucket grid", p)
+		}
+	}
+	if mape := EvaluateMAPE(m, X, y); mape > 0.4 {
+		t.Errorf("bucketized RF MAPE = %v", mape)
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	X, y := synth(100, 2, 14, 0, linearFn)
+	trX, trY, teX, teY := TrainTestSplit(X, y, 0.25)
+	if len(trX) != len(trY) || len(teX) != len(teY) {
+		t.Fatal("split length mismatch")
+	}
+	if len(trX)+len(teX) != 100 {
+		t.Fatalf("split lost rows: %d + %d", len(trX), len(teX))
+	}
+	if len(teX) != 25 {
+		t.Errorf("test size = %d, want 25", len(teX))
+	}
+	// Degenerate fractions: everything in train.
+	trX, _, teX, _ = TrainTestSplit(X, y, 0)
+	if len(trX) != 100 || teX != nil {
+		t.Error("testFrac=0 should keep all rows in train")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	s := FitStandardizer(X)
+	out := s.TransformAll(X)
+	for j := 0; j < 2; j++ {
+		var col []float64
+		for i := range out {
+			col = append(col, out[i][j])
+		}
+		var mean, v float64
+		for _, x := range col {
+			mean += x
+		}
+		mean /= 3
+		for _, x := range col {
+			v += (x - mean) * (x - mean)
+		}
+		if math.Abs(mean) > 1e-9 || math.Abs(v/3-1) > 1e-9 {
+			t.Errorf("col %d not standardized: mean=%v var=%v", j, mean, v/3)
+		}
+	}
+	// Constant column must not divide by zero.
+	s2 := FitStandardizer([][]float64{{5}, {5}})
+	if got := s2.Transform([]float64{5})[0]; got != 0 {
+		t.Errorf("constant column transform = %v", got)
+	}
+}
+
+func TestEvaluateMAPE(t *testing.T) {
+	m := NewLinear()
+	X := [][]float64{{1}, {2}}
+	y := []float64{2, 4}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := EvaluateMAPE(m, X, y); got > 1e-9 {
+		t.Errorf("MAPE on training fit = %v", got)
+	}
+	if got := EvaluateMAPE(m, [][]float64{{1}}, []float64{0}); got != 0 {
+		t.Errorf("MAPE with zero target = %v, want 0 (skipped)", got)
+	}
+}
+
+func TestAllModelsRejectBadData(t *testing.T) {
+	models := []Regressor{NewLinear(), NewRidge(0.1), NewSVR(1), NewMLP(1), NewTree(4, 1), NewForest(3, 1)}
+	for _, m := range models {
+		if err := m.Fit(nil, nil); err == nil {
+			t.Errorf("%s accepted empty data", m.Name())
+		}
+		if err := m.Fit([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s accepted ragged data", m.Name())
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package mlearn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a single-hidden-layer perceptron regressor trained with mini-batch
+// SGD and momentum — the "MLP" model in the Fig. 18 comparison. Inputs are
+// standardized internally.
+type MLP struct {
+	// Hidden is the hidden-layer width.
+	Hidden int
+	// Epochs is the number of passes over the training data.
+	Epochs int
+	// LR is the learning rate.
+	LR float64
+	// Seed makes weight init and batch order deterministic.
+	Seed int64
+
+	std *Standardizer
+	// Parameters: w1[h][j] hidden weights, b1[h] hidden bias, w2[h] output
+	// weights, b2 output bias.
+	w1 [][]float64
+	b1 []float64
+	w2 []float64
+	b2 float64
+}
+
+// NewMLP returns an MLP with sensible defaults (16 hidden units, 60 epochs).
+func NewMLP(seed int64) *MLP {
+	return &MLP{Hidden: 16, Epochs: 60, LR: 0.02, Seed: seed}
+}
+
+// Name implements Regressor.
+func (m *MLP) Name() string { return "MLP" }
+
+// Fit implements Regressor.
+func (m *MLP) Fit(X [][]float64, y []float64) error {
+	nfeat, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	if m.Hidden <= 0 {
+		m.Hidden = 16
+	}
+	m.std = FitStandardizer(X)
+	Xs := m.std.TransformAll(X)
+
+	r := rand.New(rand.NewSource(m.Seed))
+	h := m.Hidden
+	m.w1 = make([][]float64, h)
+	m.b1 = make([]float64, h)
+	m.w2 = make([]float64, h)
+	scale := math.Sqrt(2 / float64(nfeat))
+	for i := 0; i < h; i++ {
+		m.w1[i] = make([]float64, nfeat)
+		for j := range m.w1[i] {
+			m.w1[i][j] = r.NormFloat64() * scale
+		}
+		m.w2[i] = r.NormFloat64() * math.Sqrt(2/float64(h))
+	}
+	m.b2 = 0
+
+	act := make([]float64, h)
+	order := r.Perm(len(Xs))
+	lr := m.LR
+	for e := 0; e < m.Epochs; e++ {
+		for i := len(order) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, i := range order {
+			x := Xs[i]
+			// Forward.
+			out := m.b2
+			for k := 0; k < h; k++ {
+				z := m.b1[k]
+				for j := 0; j < nfeat; j++ {
+					z += m.w1[k][j] * x[j]
+				}
+				if z < 0 { // ReLU
+					z = 0
+				}
+				act[k] = z
+				out += m.w2[k] * z
+			}
+			// Backward (squared loss).
+			d := out - y[i]
+			m.b2 -= lr * d
+			for k := 0; k < h; k++ {
+				gw2 := d * act[k]
+				if act[k] > 0 {
+					gz := d * m.w2[k]
+					m.b1[k] -= lr * gz
+					for j := 0; j < nfeat; j++ {
+						m.w1[k][j] -= lr * gz * x[j]
+					}
+				}
+				m.w2[k] -= lr * gw2
+			}
+		}
+		lr *= 0.97 // gentle decay
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *MLP) Predict(x []float64) float64 {
+	if m.std == nil {
+		return 0
+	}
+	xs := m.std.Transform(x)
+	out := m.b2
+	for k := range m.w2 {
+		z := m.b1[k]
+		for j := range m.w1[k] {
+			if j < len(xs) {
+				z += m.w1[k][j] * xs[j]
+			}
+		}
+		if z > 0 {
+			out += m.w2[k] * z
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package mlearn
+
+import "math/rand"
+
+// SVR is a linear ε-insensitive support-vector regressor trained with
+// averaged stochastic sub-gradient descent on the primal objective
+// (Pegasos-style). It stands in for scikit-learn's SVR in the Fig. 18 model
+// comparison: like the paper's, it is a shallow model that underfits the
+// strongly nonlinear PSI surface relative to the Random Forest.
+type SVR struct {
+	// Epsilon is the ε-insensitive tube half-width.
+	Epsilon float64
+	// C is the inverse regularization strength.
+	C float64
+	// Epochs is the number of passes over the training data.
+	Epochs int
+	// Seed makes training order deterministic.
+	Seed int64
+
+	std *Standardizer
+	w   []float64
+}
+
+// NewSVR returns an SVR with common defaults (ε=0.01, C=1, 30 epochs).
+func NewSVR(seed int64) *SVR {
+	return &SVR{Epsilon: 0.01, C: 1, Epochs: 30, Seed: seed}
+}
+
+// Name implements Regressor.
+func (m *SVR) Name() string { return "SVR" }
+
+// Fit implements Regressor.
+func (m *SVR) Fit(X [][]float64, y []float64) error {
+	nfeat, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	m.std = FitStandardizer(X)
+	Xs := m.std.TransformAll(X)
+
+	r := rand.New(rand.NewSource(m.Seed))
+	w := make([]float64, nfeat+1)
+	lambda := 1 / (m.C * float64(len(X)))
+	order := r.Perm(len(Xs))
+	step := 0
+	for e := 0; e < m.Epochs; e++ {
+		// Re-shuffle between epochs for SGD mixing.
+		for i := len(order) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, i := range order {
+			step++
+			eta := 1 / (lambda * float64(step+10))
+			pred := dotBias(w, Xs[i])
+			diff := pred - y[i]
+			// Shrink weights (not bias) toward zero.
+			for j := 0; j < nfeat; j++ {
+				w[j] *= 1 - eta*lambda
+			}
+			// Sub-gradient of the ε-insensitive loss.
+			var g float64
+			switch {
+			case diff > m.Epsilon:
+				g = 1
+			case diff < -m.Epsilon:
+				g = -1
+			}
+			if g != 0 {
+				for j := 0; j < nfeat; j++ {
+					w[j] -= eta * g * Xs[i][j]
+				}
+				w[nfeat] -= eta * g
+			}
+		}
+	}
+	m.w = w
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *SVR) Predict(x []float64) float64 {
+	if m.std == nil {
+		return 0
+	}
+	return dotBias(m.w, m.std.Transform(x))
+}

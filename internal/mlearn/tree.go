@@ -1,0 +1,175 @@
+package mlearn
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Tree is a CART regression tree grown by variance reduction. It is the
+// building block of the Random Forest and can also be used standalone.
+type Tree struct {
+	// MaxDepth bounds tree depth (<=0 means 12).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (<=0 means 3).
+	MinLeaf int
+	// MaxFeatures limits the number of features considered per split
+	// (<=0 means all). The forest sets this for feature bagging.
+	MaxFeatures int
+	// Seed drives the feature subsampling.
+	Seed int64
+
+	root *treeNode
+	r    *rand.Rand
+}
+
+type treeNode struct {
+	feature int // -1 for leaves
+	thresh  float64
+	value   float64 // leaf prediction
+	left    *treeNode
+	right   *treeNode
+}
+
+// NewTree returns a regression tree with the given depth bound.
+func NewTree(maxDepth int, seed int64) *Tree {
+	return &Tree{MaxDepth: maxDepth, Seed: seed}
+}
+
+// Name implements Regressor.
+func (t *Tree) Name() string { return "Tree" }
+
+// Fit implements Regressor.
+func (t *Tree) Fit(X [][]float64, y []float64) error {
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	if t.MaxDepth <= 0 {
+		t.MaxDepth = 12
+	}
+	if t.MinLeaf <= 0 {
+		t.MinLeaf = 3
+	}
+	t.r = rand.New(rand.NewSource(t.Seed))
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(X, y, idx, 0)
+	return nil
+}
+
+// Predict implements Regressor.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for n.feature >= 0 {
+		if n.feature < len(x) && x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func (t *Tree) grow(X [][]float64, y []float64, idx []int, depth int) *treeNode {
+	mean, sse := meanSSE(y, idx)
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeaf || sse < 1e-12 {
+		return &treeNode{feature: -1, value: mean}
+	}
+	feat, thresh, ok := t.bestSplit(X, y, idx, sse)
+	if !ok {
+		return &treeNode{feature: -1, value: mean}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][feat] <= thresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < t.MinLeaf || len(ri) < t.MinLeaf {
+		return &treeNode{feature: -1, value: mean}
+	}
+	return &treeNode{
+		feature: feat,
+		thresh:  thresh,
+		left:    t.grow(X, y, li, depth+1),
+		right:   t.grow(X, y, ri, depth+1),
+	}
+}
+
+// bestSplit scans a (possibly subsampled) feature set for the split with the
+// largest SSE reduction using the sorted-prefix-sum method.
+func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, parentSSE float64) (feat int, thresh float64, ok bool) {
+	nfeat := len(X[0])
+	feats := make([]int, nfeat)
+	for j := range feats {
+		feats[j] = j
+	}
+	if t.MaxFeatures > 0 && t.MaxFeatures < nfeat {
+		t.r.Shuffle(nfeat, func(a, b int) { feats[a], feats[b] = feats[b], feats[a] })
+		feats = feats[:t.MaxFeatures]
+	}
+
+	bestGain := 1e-12
+	sorted := make([]int, len(idx))
+	for _, f := range feats {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return X[sorted[a]][f] < X[sorted[b]][f] })
+		// Prefix sums of y and y².
+		var sumL, sumL2 float64
+		var sumAll, sumAll2 float64
+		for _, i := range sorted {
+			sumAll += y[i]
+			sumAll2 += y[i] * y[i]
+		}
+		n := float64(len(sorted))
+		for k := 0; k < len(sorted)-1; k++ {
+			i := sorted[k]
+			sumL += y[i]
+			sumL2 += y[i] * y[i]
+			// Can't split between equal feature values.
+			if X[sorted[k+1]][f] == X[i][f] {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < t.MinLeaf || int(nr) < t.MinLeaf {
+				continue
+			}
+			sseL := sumL2 - sumL*sumL/nl
+			sumR := sumAll - sumL
+			sseR := (sumAll2 - sumL2) - sumR*sumR/nr
+			gain := parentSSE - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thresh = (X[i][f] + X[sorted[k+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+func meanSSE(y []float64, idx []int) (mean, sse float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	var s, s2 float64
+	for _, i := range idx {
+		s += y[i]
+		s2 += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	mean = s / n
+	sse = s2 - s*s/n
+	if sse < 0 {
+		sse = 0
+	}
+	return mean, sse
+}

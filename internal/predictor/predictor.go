@@ -1,0 +1,304 @@
+// Package predictor implements the host resource-usage predictors the
+// paper compares for resource over-commitment (§3.2.2, Fig. 11): the Borg
+// default request-ratio rule, Microsoft's Resource Central percentile sum,
+// the N-sigma Gaussian bound, the industry Max ensemble, and Optum's
+// pairwise effective-resource-occupancy (ERO) predictor built on Eq. 7-8.
+//
+// A predictor answers: "how much CPU (memory) will this host actually use
+// in the near future?". Over-commitment admits a pod when the prediction —
+// not the request sum — fits the capacity.
+package predictor
+
+import (
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// Predictor estimates a host's upcoming resource usage.
+type Predictor interface {
+	// Name identifies the method in reports ("Borg default", ...).
+	Name() string
+	// PredictCPU estimates the node's CPU usage over the next interval,
+	// in normalized cores.
+	PredictCPU(n *cluster.NodeState) float64
+	// PredictMem estimates the node's memory usage over the next interval.
+	PredictMem(n *cluster.NodeState) float64
+}
+
+// BorgDefault predicts usage as λ times the sum of resource requests — the
+// Google Borg default. λ = 1.0 is fully conservative; 0.9 is the common
+// production setting.
+type BorgDefault struct {
+	Lambda float64
+}
+
+// NewBorgDefault returns the standard λ=0.9 Borg predictor.
+func NewBorgDefault() *BorgDefault { return &BorgDefault{Lambda: 0.9} }
+
+// Name implements Predictor.
+func (b *BorgDefault) Name() string { return "Borg default" }
+
+// PredictCPU implements Predictor.
+func (b *BorgDefault) PredictCPU(n *cluster.NodeState) float64 {
+	return b.Lambda * n.ReqSum().CPU
+}
+
+// PredictMem implements Predictor.
+func (b *BorgDefault) PredictMem(n *cluster.NodeState) float64 {
+	return b.Lambda * n.ReqSum().Mem
+}
+
+// ResourceCentral predicts usage as the sum of each pod's k-th percentile
+// historical usage (k = 99 in Azure's deployment).
+type ResourceCentral struct{}
+
+// Name implements Predictor.
+func (ResourceCentral) Name() string { return "Resource Central" }
+
+// PredictCPU implements Predictor. Pods with no history yet contribute
+// their full request (nothing better is known).
+func (ResourceCentral) PredictCPU(n *cluster.NodeState) float64 {
+	var s float64
+	for _, ps := range n.Pods() {
+		if p99 := ps.P99CPU(); p99 > 0 {
+			s += p99
+		} else {
+			s += ps.Pod.Request.CPU
+		}
+	}
+	return s
+}
+
+// PredictMem implements Predictor using observed per-pod peaks.
+func (ResourceCentral) PredictMem(n *cluster.NodeState) float64 {
+	var s float64
+	for _, ps := range n.Pods() {
+		if m := ps.MaxMem(); m > 0 {
+			s += m
+		} else {
+			s += ps.Pod.Request.Mem
+		}
+	}
+	return s
+}
+
+// NSigma predicts usage as mean + N·stddev of the node's recent overall
+// usage, assuming the total follows a Gaussian. N = 5 in production use.
+type NSigma struct {
+	N float64
+}
+
+// NewNSigma returns the standard 5-sigma predictor.
+func NewNSigma() *NSigma { return &NSigma{N: 5} }
+
+// Name implements Predictor.
+func (s *NSigma) Name() string { return "N-Sigma" }
+
+// PredictCPU implements Predictor. With no history it falls back to the
+// request sum; pods placed since the last sample are reserved at their
+// full request because the history cannot have seen them yet.
+func (s *NSigma) PredictCPU(n *cluster.NodeState) float64 {
+	if n.HistoryLen() == 0 {
+		return n.ReqSum().CPU
+	}
+	mean, std, _, _ := n.UsageStats()
+	return mean + s.N*std + n.UnmeasuredReq().CPU
+}
+
+// PredictMem implements Predictor.
+func (s *NSigma) PredictMem(n *cluster.NodeState) float64 {
+	if n.HistoryLen() == 0 {
+		return n.ReqSum().Mem
+	}
+	_, _, mean, std := n.UsageStats()
+	return mean + s.N*std + n.UnmeasuredReq().Mem
+}
+
+// Max takes the maximum of its member predictions — the MaxPredictor of
+// Bashir et al., designed to be safe at the price of over-estimation.
+type Max struct {
+	Members []Predictor
+}
+
+// NewMax returns the standard Borg/RC/N-sigma ensemble.
+func NewMax() *Max {
+	return &Max{Members: []Predictor{NewBorgDefault(), ResourceCentral{}, NewNSigma()}}
+}
+
+// Name implements Predictor.
+func (m *Max) Name() string { return "Max Predictor" }
+
+// PredictCPU implements Predictor.
+func (m *Max) PredictCPU(n *cluster.NodeState) float64 {
+	var best float64
+	for _, p := range m.Members {
+		if v := p.PredictCPU(n); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PredictMem implements Predictor.
+func (m *Max) PredictMem(n *cluster.NodeState) float64 {
+	var best float64
+	for _, p := range m.Members {
+		if v := p.PredictMem(n); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// EROTable is the profile store the Optum predictor consults: pairwise
+// effective resource-occupancy coefficients (Eq. 5) and per-application
+// memory profiles. internal/profiler provides the production
+// implementation; tests can stub it.
+type EROTable interface {
+	// ERO returns the effective resource-usage coefficient for a pair of
+	// applications, in (0, 1]. Unknown pairs return 1 (fully conservative).
+	ERO(appA, appB string) float64
+	// MemProfile returns the profiled maximum memory utilization (fraction
+	// of request) for an application; unknown apps return 1.
+	MemProfile(app string) float64
+}
+
+// EROTable3 is the optional triple-wise extension of §4.2.2: combined
+// usage coefficients for application triples.
+type EROTable3 interface {
+	EROTable
+	// ERO3 returns the coefficient for a triple of applications, in
+	// (0, 1]; unknown triples fall back conservatively.
+	ERO3(appA, appB, appC string) float64
+	// TriplesEnabled reports whether triple observations exist at all.
+	TriplesEnabled() bool
+}
+
+// Optum is the paper's pairwise predictor: it walks the host's pods in
+// scheduling order, estimates each consecutive pair's combined usage as
+// ERO(A,B)·(req_A + req_B) (Eq. 7), and sums the pairs, adding the raw
+// request of an unpaired trailing pod (Eq. 8). Memory is the conservative
+// per-application profile sum.
+//
+// With UseTriples set and a table implementing EROTable3, pods are grouped
+// in threes instead — the §4.2.2 extension trading profiling overhead for
+// tighter peak estimates.
+type Optum struct {
+	Table EROTable
+	// UseTriples groups pods three at a time via ERO3 when the table
+	// supports it.
+	UseTriples bool
+}
+
+// NewOptum returns an Optum predictor over the given profile table.
+func NewOptum(table EROTable) *Optum { return &Optum{Table: table} }
+
+// Name implements Predictor.
+func (o *Optum) Name() string { return "Optum Predictor" }
+
+// PredictCPU implements Predictor (Eq. 8).
+func (o *Optum) PredictCPU(n *cluster.NodeState) float64 {
+	return o.PredictCPUWith(n, nil)
+}
+
+// PredictCPUWith predicts the node's CPU usage as if extra (possibly nil)
+// were also scheduled there — the form the Online Scheduler evaluates for
+// each candidate host before placement.
+func (o *Optum) PredictCPUWith(n *cluster.NodeState, extra *trace.Pod) float64 {
+	if extra == nil {
+		return o.PredictCPUPods(n.Pods(), nil)
+	}
+	return o.PredictCPUPods(n.Pods(), []*trace.Pod{extra})
+}
+
+// PredictCPUPods evaluates Eq. 7-8 over the node's running pods followed by
+// additional not-yet-deployed pods (this batch's reservations plus the
+// candidate), in scheduling order.
+func (o *Optum) PredictCPUPods(pods []*cluster.PodState, extras []*trace.Pod) float64 {
+	n := len(pods) + len(extras)
+	at := func(i int) *trace.Pod {
+		if i < len(pods) {
+			return pods[i].Pod
+		}
+		return extras[i-len(pods)]
+	}
+	if o.UseTriples {
+		if t3, ok := o.Table.(EROTable3); ok && t3.TriplesEnabled() {
+			return o.predictTriples(t3, at, n)
+		}
+	}
+	total := 0.0
+	var i int
+	for ; i+1 < n; i += 2 {
+		a, b := at(i), at(i+1)
+		total += o.Table.ERO(a.AppID, b.AppID) * (a.Request.CPU + b.Request.CPU)
+	}
+	if i < n {
+		total += at(i).Request.CPU
+	}
+	return total
+}
+
+// predictTriples is the §4.2.2 extension: group pods three at a time; a
+// trailing pair uses the pairwise coefficient and a trailing single its
+// raw request.
+func (o *Optum) predictTriples(t3 EROTable3, at func(int) *trace.Pod, n int) float64 {
+	total := 0.0
+	var i int
+	for ; i+2 < n; i += 3 {
+		a, b, c := at(i), at(i+1), at(i+2)
+		total += t3.ERO3(a.AppID, b.AppID, c.AppID) *
+			(a.Request.CPU + b.Request.CPU + c.Request.CPU)
+	}
+	switch n - i {
+	case 2:
+		a, b := at(i), at(i+1)
+		total += o.Table.ERO(a.AppID, b.AppID) * (a.Request.CPU + b.Request.CPU)
+	case 1:
+		total += at(i).Request.CPU
+	}
+	return total
+}
+
+// PredictMem implements Predictor: the sum of profiled per-pod memory.
+func (o *Optum) PredictMem(n *cluster.NodeState) float64 {
+	return o.PredictMemWith(n, nil)
+}
+
+// PredictMemWith predicts memory usage as if extra were also placed.
+func (o *Optum) PredictMemWith(n *cluster.NodeState, extra *trace.Pod) float64 {
+	var total float64
+	for _, ps := range n.Pods() {
+		total += o.Table.MemProfile(ps.Pod.AppID) * ps.Pod.Request.Mem
+	}
+	if extra != nil {
+		total += o.Table.MemProfile(extra.AppID) * extra.Request.Mem
+	}
+	return total
+}
+
+// PredictMemPods is PredictMemWith generalized to several pending pods.
+func (o *Optum) PredictMemPods(pods []*cluster.PodState, extras []*trace.Pod) float64 {
+	var total float64
+	for _, ps := range pods {
+		total += o.Table.MemProfile(ps.Pod.AppID) * ps.Pod.Request.Mem
+	}
+	for _, p := range extras {
+		total += o.Table.MemProfile(p.AppID) * p.Request.Mem
+	}
+	return total
+}
+
+// Error quantifies a prediction against ground truth as (pred-truth)/truth
+// (§3.2.2): negative values are under-estimations that risk performance,
+// positive values are over-estimations that waste resources. A zero truth
+// with a positive prediction reports +1 (100 % over-estimation).
+func Error(pred, truth float64) float64 {
+	if truth == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (pred - truth) / truth
+}

@@ -1,0 +1,306 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// fixedERO is a stub profile table with one coefficient for every pair.
+type fixedERO struct {
+	ero float64
+	mem float64
+}
+
+func (f fixedERO) ERO(a, b string) float64       { return f.ero }
+func (f fixedERO) MemProfile(app string) float64 { return f.mem }
+
+func buildCluster(t *testing.T, podCount, nodeID int) (*cluster.Cluster, *trace.Workload) {
+	t.Helper()
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 4
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	placed := 0
+	for _, p := range w.Pods {
+		if placed >= podCount {
+			break
+		}
+		if _, err := c.Place(p, nodeID, 0); err == nil {
+			placed++
+		}
+	}
+	return c, w
+}
+
+// warm runs some ticks so histories exist.
+func warm(c *cluster.Cluster, ticks int) {
+	for i := 0; i < ticks; i++ {
+		c.Tick(int64(i)*trace.SampleInterval, float64(trace.SampleInterval))
+	}
+}
+
+func TestBorgDefault(t *testing.T) {
+	c, _ := buildCluster(t, 10, 0)
+	n := c.Node(0)
+	b := NewBorgDefault()
+	if got, want := b.PredictCPU(n), 0.9*n.ReqSum().CPU; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PredictCPU = %v, want %v", got, want)
+	}
+	if got, want := b.PredictMem(n), 0.9*n.ReqSum().Mem; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PredictMem = %v, want %v", got, want)
+	}
+	if b.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBorgOverestimates(t *testing.T) {
+	// The headline finding of Fig. 11(a): request-based prediction vastly
+	// over-estimates actual usage, because usage << request.
+	c, _ := buildCluster(t, 30, 0)
+	warm(c, 10)
+	n := c.Node(0)
+	truth := n.LastUsage().CPU
+	pred := NewBorgDefault().PredictCPU(n)
+	if Error(pred, truth) < 0.5 {
+		t.Errorf("Borg error = %v, expected severe over-estimation", Error(pred, truth))
+	}
+}
+
+func TestResourceCentralUsesHistory(t *testing.T) {
+	c, _ := buildCluster(t, 20, 0)
+	n := c.Node(0)
+	rc := ResourceCentral{}
+	// Without history: falls back to requests.
+	if got, want := rc.PredictCPU(n), n.ReqSum().CPU; math.Abs(got-want) > 1e-9 {
+		t.Errorf("no-history PredictCPU = %v, want request sum %v", got, want)
+	}
+	warm(c, 20)
+	// With history: close to actual usage, far below requests.
+	pred := rc.PredictCPU(n)
+	truth := n.LastUsage().CPU
+	if pred >= n.ReqSum().CPU*0.8 {
+		t.Errorf("RC prediction %v should be far below requests %v", pred, n.ReqSum().CPU)
+	}
+	if e := math.Abs(Error(pred, truth)); e > 1.0 {
+		t.Errorf("RC error %v too large", e)
+	}
+}
+
+func TestNSigma(t *testing.T) {
+	c, _ := buildCluster(t, 20, 0)
+	n := c.Node(0)
+	s := NewNSigma()
+	if got, want := s.PredictCPU(n), n.ReqSum().CPU; math.Abs(got-want) > 1e-9 {
+		t.Errorf("no-history fallback = %v, want %v", got, want)
+	}
+	warm(c, 30)
+	pred := s.PredictCPU(n)
+	truth := n.LastUsage().CPU
+	// Prediction should be above the mean usage (it adds 5 sigma)...
+	if pred <= truth*0.3 {
+		t.Errorf("N-sigma prediction %v implausibly low vs truth %v", pred, truth)
+	}
+	// ...but far below the request-based bound on steady workloads.
+	if pred >= n.ReqSum().CPU {
+		t.Errorf("N-sigma %v above request sum %v", pred, n.ReqSum().CPU)
+	}
+	if s.PredictMem(n) <= 0 {
+		t.Error("PredictMem should be positive with history")
+	}
+}
+
+func TestMaxPredictorDominates(t *testing.T) {
+	c, _ := buildCluster(t, 25, 0)
+	warm(c, 15)
+	n := c.Node(0)
+	m := NewMax()
+	got := m.PredictCPU(n)
+	for _, member := range m.Members {
+		if v := member.PredictCPU(n); v > got+1e-12 {
+			t.Errorf("Max %v below member %s %v", got, member.Name(), v)
+		}
+	}
+	gotMem := m.PredictMem(n)
+	for _, member := range m.Members {
+		if v := member.PredictMem(n); v > gotMem+1e-12 {
+			t.Errorf("Max mem below member %s", member.Name())
+		}
+	}
+}
+
+func TestOptumPairing(t *testing.T) {
+	c, w := buildCluster(t, 5, 0)
+	n := c.Node(0)
+	o := NewOptum(fixedERO{ero: 0.5, mem: 0.8})
+
+	// Manual expectation: pairs (0,1), (2,3) at 0.5x, pod 4 raw.
+	pods := n.Pods()
+	if len(pods) != 5 {
+		t.Fatalf("placed %d pods", len(pods))
+	}
+	want := 0.5*(pods[0].Pod.Request.CPU+pods[1].Pod.Request.CPU) +
+		0.5*(pods[2].Pod.Request.CPU+pods[3].Pod.Request.CPU) +
+		pods[4].Pod.Request.CPU
+	if got := o.PredictCPU(n); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PredictCPU = %v, want %v", got, want)
+	}
+
+	// With an incoming pod, the trailing pod pairs with it.
+	extra := w.Pods[len(w.Pods)-1]
+	wantWith := 0.5*(pods[0].Pod.Request.CPU+pods[1].Pod.Request.CPU) +
+		0.5*(pods[2].Pod.Request.CPU+pods[3].Pod.Request.CPU) +
+		0.5*(pods[4].Pod.Request.CPU+extra.Request.CPU)
+	if got := o.PredictCPUWith(n, extra); math.Abs(got-wantWith) > 1e-12 {
+		t.Errorf("PredictCPUWith = %v, want %v", got, wantWith)
+	}
+
+	// Memory: profiled fraction of each request.
+	var wantMem float64
+	for _, ps := range pods {
+		wantMem += 0.8 * ps.Pod.Request.Mem
+	}
+	if got := o.PredictMem(n); math.Abs(got-wantMem) > 1e-12 {
+		t.Errorf("PredictMem = %v, want %v", got, wantMem)
+	}
+	if got := o.PredictMemWith(n, extra); math.Abs(got-(wantMem+0.8*extra.Request.Mem)) > 1e-12 {
+		t.Errorf("PredictMemWith = %v", got)
+	}
+}
+
+func TestOptumEvenPodsWithExtra(t *testing.T) {
+	c, w := buildCluster(t, 4, 0)
+	n := c.Node(0)
+	o := NewOptum(fixedERO{ero: 0.6, mem: 1})
+	extra := w.Pods[len(w.Pods)-1]
+	pods := n.Pods()
+	want := 0.6*(pods[0].Pod.Request.CPU+pods[1].Pod.Request.CPU) +
+		0.6*(pods[2].Pod.Request.CPU+pods[3].Pod.Request.CPU) +
+		extra.Request.CPU
+	if got := o.PredictCPUWith(n, extra); math.Abs(got-want) > 1e-12 {
+		t.Errorf("even+extra = %v, want %v", got, want)
+	}
+}
+
+func TestOptumEmptyNode(t *testing.T) {
+	c, w := buildCluster(t, 0, 0)
+	o := NewOptum(fixedERO{ero: 0.5, mem: 1})
+	n := c.Node(1)
+	if got := o.PredictCPU(n); got != 0 {
+		t.Errorf("empty node prediction = %v", got)
+	}
+	extra := w.Pods[0]
+	if got := o.PredictCPUWith(n, extra); math.Abs(got-extra.Request.CPU) > 1e-12 {
+		t.Errorf("empty node with extra = %v, want %v", got, extra.Request.CPU)
+	}
+}
+
+func TestOptumConservativeWithUnitERO(t *testing.T) {
+	// ERO = 1 degenerates to the request sum — the new-application default.
+	c, _ := buildCluster(t, 8, 0)
+	n := c.Node(0)
+	o := NewOptum(fixedERO{ero: 1, mem: 1})
+	if got, want := o.PredictCPU(n), n.ReqSum().CPU; math.Abs(got-want) > 1e-9 {
+		t.Errorf("unit-ERO prediction = %v, want request sum %v", got, want)
+	}
+}
+
+func TestOptumTighterThanBorg(t *testing.T) {
+	// With learned (sub-unity) ERO, Optum predicts less than Borg-style
+	// request sums — that gap is exactly the utilization headroom of Fig. 19.
+	c, _ := buildCluster(t, 20, 0)
+	warm(c, 10)
+	n := c.Node(0)
+	o := NewOptum(fixedERO{ero: 0.4, mem: 0.6})
+	if o.PredictCPU(n) >= NewBorgDefault().PredictCPU(n) {
+		t.Error("learned-ERO Optum should predict below Borg default")
+	}
+}
+
+func TestErrorMetric(t *testing.T) {
+	cases := []struct{ pred, truth, want float64 }{
+		{150, 100, 0.5},
+		{50, 100, -0.5},
+		{100, 100, 0},
+		{0, 0, 0},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Error(c.pred, c.truth); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Error(%v,%v) = %v, want %v", c.pred, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestAllPredictorsNamed(t *testing.T) {
+	tbl := fixedERO{ero: 1, mem: 1}
+	ps := []Predictor{NewBorgDefault(), ResourceCentral{}, NewNSigma(), NewMax(), NewOptum(tbl)}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Name() == "" || seen[p.Name()] {
+			t.Errorf("bad or duplicate name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}
+
+// fixedERO3 extends the stub with triple support.
+type fixedERO3 struct {
+	fixedERO
+	ero3    float64
+	enabled bool
+}
+
+func (f fixedERO3) ERO3(a, b, c string) float64 { return f.ero3 }
+func (f fixedERO3) TriplesEnabled() bool        { return f.enabled }
+
+func TestOptumTripleGrouping(t *testing.T) {
+	c, w := buildCluster(t, 7, 0)
+	n := c.Node(0)
+	tbl := fixedERO3{fixedERO: fixedERO{ero: 0.6, mem: 1}, ero3: 0.5, enabled: true}
+	o := NewOptum(tbl)
+	o.UseTriples = true
+
+	pods := n.Pods()
+	req := func(i int) float64 { return pods[i].Pod.Request.CPU }
+	// 7 pods: triples (0,1,2), (3,4,5) at 0.5x; trailing single at raw.
+	want := 0.5*(req(0)+req(1)+req(2)) + 0.5*(req(3)+req(4)+req(5)) + req(6)
+	if got := o.PredictCPU(n); math.Abs(got-want) > 1e-12 {
+		t.Errorf("triple PredictCPU = %v, want %v", got, want)
+	}
+
+	// Trailing pair uses the pairwise coefficient.
+	extra := w.Pods[len(w.Pods)-1]
+	want8 := 0.5*(req(0)+req(1)+req(2)) + 0.5*(req(3)+req(4)+req(5)) +
+		0.6*(req(6)+extra.Request.CPU)
+	if got := o.PredictCPUWith(n, extra); math.Abs(got-want8) > 1e-12 {
+		t.Errorf("triple+pair PredictCPUWith = %v, want %v", got, want8)
+	}
+
+	// Disabled table: falls back to pairwise grouping.
+	tbl.enabled = false
+	o2 := NewOptum(tbl)
+	o2.UseTriples = true
+	wantPair := 0.6*(req(0)+req(1)) + 0.6*(req(2)+req(3)) + 0.6*(req(4)+req(5)) + req(6)
+	if got := o2.PredictCPU(n); math.Abs(got-wantPair) > 1e-12 {
+		t.Errorf("disabled-triples PredictCPU = %v, want pairwise %v", got, wantPair)
+	}
+}
+
+func TestOptumTripleTighterPrediction(t *testing.T) {
+	// With ERO3 < ERO (the expected relationship), the triple predictor is
+	// tighter than the pairwise one on the same host.
+	c, _ := buildCluster(t, 9, 0)
+	n := c.Node(0)
+	tbl := fixedERO3{fixedERO: fixedERO{ero: 0.6, mem: 1}, ero3: 0.45, enabled: true}
+	pair := NewOptum(tbl)
+	tri := NewOptum(tbl)
+	tri.UseTriples = true
+	if tri.PredictCPU(n) >= pair.PredictCPU(n) {
+		t.Errorf("triple prediction (%v) should be below pairwise (%v)",
+			tri.PredictCPU(n), pair.PredictCPU(n))
+	}
+}

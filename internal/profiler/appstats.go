@@ -1,0 +1,62 @@
+package profiler
+
+import "sync"
+
+// AppStatsStore tracks per-application maxima of pod CPU utilization,
+// memory utilization and QPS. The Interference Predictor (Eq. 9-10) feeds
+// these application-level maxima — not the instantaneous pod values — into
+// the profiles when scoring a candidate host.
+type AppStatsStore struct {
+	mu sync.RWMutex
+	m  map[string]*appMax
+}
+
+type appMax struct {
+	cpuUtil, memUtil, qps float64
+	n                     int
+}
+
+// NewAppStatsStore returns an empty store.
+func NewAppStatsStore() *AppStatsStore {
+	return &AppStatsStore{m: make(map[string]*appMax)}
+}
+
+// Observe folds one pod sample into the application's maxima.
+func (s *AppStatsStore) Observe(app string, cpuUtil, memUtil, qps float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.m[app]
+	if a == nil {
+		a = &appMax{}
+		s.m[app] = a
+	}
+	a.n++
+	if cpuUtil > a.cpuUtil {
+		a.cpuUtil = cpuUtil
+	}
+	if memUtil > a.memUtil {
+		a.memUtil = memUtil
+	}
+	if qps > a.qps {
+		a.qps = qps
+	}
+}
+
+// Max returns the observed maxima for an application. Unknown applications
+// return conservative defaults (full utilization, zero QPS) and ok=false.
+func (s *AppStatsStore) Max(app string) (cpuUtil, memUtil, qps float64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, found := s.m[app]
+	if !found || a.n == 0 {
+		return 1, 1, 0, false
+	}
+	return a.cpuUtil, a.memUtil, a.qps, true
+}
+
+// Apps returns the number of applications with observations.
+func (s *AppStatsStore) Apps() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

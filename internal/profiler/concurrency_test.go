@@ -1,0 +1,82 @@
+package profiler
+
+import (
+	"sync"
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// TestEROStoreConcurrentAccess hammers the live profile stores from
+// concurrent writers (Tracing Coordinator) and readers (Online Scheduler),
+// the deployment §4.2.2 describes. Run with -race.
+func TestEROStoreConcurrentAccess(t *testing.T) {
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 4
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	placed := 0
+	for _, p := range w.Pods {
+		if placed >= 40 {
+			break
+		}
+		if _, err := c.Place(p, placed%4, 0); err == nil {
+			placed++
+		}
+	}
+	s := NewEROStore()
+	s.EnableTriples(2)
+	stats := NewAppStatsStore()
+
+	var wg sync.WaitGroup
+	// Writers: observe snapshots at different times.
+	for wr := 0; wr < 4; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for ts := int64(wr); ts < 100; ts += 4 {
+				for n := 0; n < 4; n++ {
+					snap := c.Snapshot(n, ts*30, false)
+					s.ObserveSnapshot(&snap)
+					for i := range snap.Pods {
+						p := &snap.Pods[i]
+						stats.Observe(p.Pod.Pod.AppID, p.CPUUse, p.MemUse, p.QPS)
+					}
+				}
+			}
+		}(wr)
+	}
+	// Readers: query profiles while writes are in flight.
+	apps := make([]string, 0, len(w.Apps))
+	for _, a := range w.Apps {
+		apps = append(apps, a.ID)
+	}
+	for rd := 0; rd < 4; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a := apps[i%len(apps)]
+				b := apps[(i+7)%len(apps)]
+				cc := apps[(i+13)%len(apps)]
+				if v := s.ERO(a, b); v <= 0 || v > 1 {
+					t.Errorf("ERO out of range: %v", v)
+					return
+				}
+				if v := s.ERO3(a, b, cc); v <= 0 || v > 1 {
+					t.Errorf("ERO3 out of range: %v", v)
+					return
+				}
+				if v := s.MemProfile(a); v <= 0 || v > 1 {
+					t.Errorf("MemProfile out of range: %v", v)
+					return
+				}
+				stats.Max(a)
+				_ = s.Pairs()
+				_ = s.Triples()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,210 @@
+// Package profiler implements Optum's Offline Profiler (§4.2): the
+// Resource Usage Profiler, which learns pairwise effective
+// resource-occupancy (ERO) coefficients and per-application memory
+// profiles, and the Interference Profiler, which learns per-application
+// models of CPU PSI (latency-sensitive apps, Eq. 1) and normalized
+// completion time (best-effort apps, Eq. 2).
+//
+// Both profilers consume the same 30-second node snapshots the tracing
+// system produces; neither peeks at the simulator's ground-truth physics.
+package profiler
+
+import (
+	"math"
+	"sync"
+
+	"unisched/internal/cluster"
+)
+
+// EROStore holds the pairwise ERO(·) coefficients of Eq. 5 and the
+// conservative per-application memory profiles of §4.2.2. It is safe for
+// concurrent use: the Online Scheduler reads while the Tracing Coordinator
+// keeps updating observations.
+type EROStore struct {
+	mu sync.RWMutex
+
+	appIdx map[string]int32
+	// ero maps a packed (i<=j) app-index pair to the maximum observed
+	// resource-usage ratio; missing pairs mean "never co-located" and
+	// default to the conservative 1.0.
+	ero map[uint64]float64
+
+	// mem tracks per-application memory utilization statistics
+	// (utilization = usage/request) for the memory profile rule.
+	mem map[string]*memStats
+
+	// MemCoVGate is the CoV threshold below which an app's memory is
+	// considered stable enough to profile with its observed maximum
+	// (§4.2.2 uses 0.01); unstable apps profile as 1.0.
+	MemCoVGate float64
+
+	// Triple-wise extension (§4.2.2): optional, subsampled.
+	ero3        map[uint64]float64
+	tripleEvery int
+	tripleTick  int
+}
+
+type memStats struct {
+	n        float64
+	mean, m2 float64
+	maxUtil  float64
+}
+
+// NewEROStore returns an empty store with the paper's CoV gate.
+func NewEROStore() *EROStore {
+	return &EROStore{
+		appIdx:     make(map[string]int32),
+		ero:        make(map[uint64]float64),
+		mem:        make(map[string]*memStats),
+		MemCoVGate: 0.01,
+	}
+}
+
+func (s *EROStore) idxLocked(app string) int32 {
+	if i, ok := s.appIdx[app]; ok {
+		return i
+	}
+	i := int32(len(s.appIdx))
+	s.appIdx[app] = i
+	return i
+}
+
+func pairKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// ERO implements predictor.EROTable: the maximum observed combined-usage
+// ratio for the application pair, or 1.0 for never-observed pairs (the
+// new-application default).
+func (s *EROStore) ERO(appA, appB string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ia, ok := s.appIdx[appA]
+	if !ok {
+		return 1
+	}
+	ib, ok := s.appIdx[appB]
+	if !ok {
+		return 1
+	}
+	if v, ok := s.ero[pairKey(ia, ib)]; ok {
+		return v
+	}
+	return 1
+}
+
+// MemProfile implements predictor.EROTable: the observed maximum memory
+// utilization for apps whose pods hold stable memory (CoV below the gate),
+// and the conservative 1.0 otherwise.
+func (s *EROStore) MemProfile(app string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ms, ok := s.mem[app]
+	if !ok || ms.n < 8 {
+		return 1
+	}
+	cov := 0.0
+	if ms.mean > 0 {
+		cov = math.Sqrt(ms.m2/ms.n) / ms.mean
+	}
+	if cov > s.MemCoVGate {
+		return 1
+	}
+	p := ms.maxUtil
+	if p > 1 {
+		p = 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	return p
+}
+
+// Pairs returns the number of application pairs with observations.
+func (s *EROStore) Pairs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ero)
+}
+
+// ObserveSnapshot feeds one node's 30-second sample into the profiler:
+// every co-located pod pair from different applications updates its ERO
+// per Eq. 4-5, and each pod updates its application's memory statistics.
+func (s *EROStore) ObserveSnapshot(snap *cluster.NodeSnapshot) {
+	pods := snap.Pods
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tripleEvery > 0 {
+		s.tripleTick++
+		if s.tripleTick%s.tripleEvery == 0 {
+			s.observeTriples(snap)
+		}
+	}
+	for i := range pods {
+		pi := &pods[i]
+		reqI := pi.Pod.Pod.Request
+		// Memory statistics (Welford).
+		if reqI.Mem > 0 {
+			util := pi.MemUse / reqI.Mem
+			ms := s.mem[pi.Pod.Pod.AppID]
+			if ms == nil {
+				ms = &memStats{}
+				s.mem[pi.Pod.Pod.AppID] = ms
+			}
+			ms.n++
+			d := util - ms.mean
+			ms.mean += d / ms.n
+			ms.m2 += d * (util - ms.mean)
+			if util > ms.maxUtil {
+				ms.maxUtil = util
+			}
+		}
+		ia := s.idxLocked(pi.Pod.Pod.AppID)
+		for j := i + 1; j < len(pods); j++ {
+			// Eq. 5 ranges over application pairs; A == B is a valid pair
+			// (two pods of one application co-located), and burst placement
+			// makes such pairs common.
+			pj := &pods[j]
+			reqSum := reqI.CPU + pj.Pod.Pod.Request.CPU
+			if reqSum <= 0 {
+				continue
+			}
+			ro := (pi.CPUUse + pj.CPUUse) / reqSum
+			if ro > 1 { // Eq. 4 bounds RO at 1
+				ro = 1
+			}
+			ib := s.idxLocked(pj.Pod.Pod.AppID)
+			k := pairKey(ia, ib)
+			if cur, ok := s.ero[k]; !ok || ro > cur {
+				s.ero[k] = ro
+			}
+		}
+	}
+}
+
+// Bound sanity check at compile time: EROStore must satisfy the predictor
+// table contract without importing predictor (which would be cyclic-free
+// anyway, but the duck-typed check documents the coupling).
+var _ interface {
+	ERO(a, b string) float64
+	MemProfile(app string) float64
+} = (*EROStore)(nil)
+
+// eroUpperBound is used by property tests: observed EROs must stay in (0,1].
+func eroUpperBound(s *EROStore) (lo, hi float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range s.ero {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,350 @@
+package profiler
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"unisched/internal/cluster"
+	"unisched/internal/mlearn"
+	"unisched/internal/trace"
+)
+
+// maxRowsPerApp bounds per-application training data with reservoir
+// sampling: enough for the learning curves to flatten, flat in memory.
+const maxRowsPerApp = 3000
+
+// LSFeatures builds the Eq. 1 feature vector for a latency-sensitive pod:
+// pod CPU and memory utilization (fractions of request), host CPU and
+// memory utilization, and QPS.
+func LSFeatures(podCPUUtil, podMemUtil, hostCPUUtil, hostMemUtil, qps float64) []float64 {
+	return []float64{podCPUUtil, podMemUtil, hostCPUUtil, hostMemUtil, qps}
+}
+
+// BEFeatures builds the Eq. 2 feature vector for a best-effort pod: the
+// maxima over its run of pod CPU/memory utilization and host CPU/memory
+// utilization.
+func BEFeatures(maxPodCPUUtil, maxPodMemUtil, maxHostCPUUtil, maxHostMemUtil float64) []float64 {
+	return []float64{maxPodCPUUtil, maxPodMemUtil, maxHostCPUUtil, maxHostMemUtil}
+}
+
+// ModelFactory constructs a fresh regressor for one application's profile.
+// The default is the bucketized Random Forest the paper settles on.
+type ModelFactory func(seed int64) mlearn.Regressor
+
+// DefaultFactory returns the Random Forest factory the scheduler's
+// profiles use. Training targets are always discretized per §4.2.1 (see
+// trainGroup), but the scheduler consumes the continuous ensemble output:
+// the Node Selector compares marginal interference between candidate
+// hosts, and quantizing predictions to bucket bounds would erase that
+// signal. BucketizedFactory applies the full §4.2.1 protocol including
+// output discretization, as evaluated in Fig. 18.
+func DefaultFactory() ModelFactory {
+	return func(seed int64) mlearn.Regressor {
+		return mlearn.NewForest(20, seed)
+	}
+}
+
+// BucketizedFactory returns the literal §4.2.1 protocol: a Random Forest
+// whose predictions are mapped to the upper bound of their bucket.
+func BucketizedFactory() ModelFactory {
+	return func(seed int64) mlearn.Regressor {
+		return &mlearn.Bucketized{
+			Inner: mlearn.NewForest(20, seed),
+			B:     mlearn.NewBucketizer(0, 1, 25),
+		}
+	}
+}
+
+// appSamples holds the training rows for one application in two stratified
+// reservoirs: calm samples (target below stratGate) and contended ones.
+// Long calm stretches would otherwise dilute the contended regime out of a
+// single reservoir, leaving the profile blind exactly where it matters.
+type appSamples struct {
+	lo, hi reservoir
+	maxCT  float64 // BE: largest raw completion time, for normalization
+}
+
+// stratGate splits the PSI target space into calm vs contended strata.
+const stratGate = 0.05
+
+type reservoir struct {
+	x    [][]float64
+	y    []float64
+	seen int
+}
+
+func (rv *reservoir) add(r *rand.Rand, x []float64, y float64, cap int) {
+	rv.seen++
+	if len(rv.x) < cap {
+		rv.x = append(rv.x, x)
+		rv.y = append(rv.y, y)
+		return
+	}
+	if k := r.Intn(rv.seen); k < cap {
+		rv.x[k] = x
+		rv.y[k] = y
+	}
+}
+
+func (a *appSamples) add(r *rand.Rand, x []float64, y float64) {
+	if y >= stratGate {
+		a.hi.add(r, x, y, maxRowsPerApp/2)
+		return
+	}
+	a.lo.add(r, x, y, maxRowsPerApp/2)
+}
+
+// rows returns the concatenated strata (calm first, then contended).
+func (a *appSamples) rows() ([][]float64, []float64) {
+	x := make([][]float64, 0, len(a.lo.x)+len(a.hi.x))
+	y := make([]float64, 0, len(a.lo.y)+len(a.hi.y))
+	x = append(append(x, a.lo.x...), a.hi.x...)
+	y = append(append(y, a.lo.y...), a.hi.y...)
+	return x, y
+}
+
+func (a *appSamples) len() int { return len(a.lo.x) + len(a.hi.x) }
+
+// Collector accumulates profiler training data from trace samples. It is
+// the offline half of the Tracing Coordinator pipeline.
+type Collector struct {
+	mu sync.Mutex
+	r  *rand.Rand
+
+	ero   *EROStore
+	stats *AppStatsStore
+
+	ls map[string]*appSamples // PSI rows per LS app
+	be map[string]*appSamples // raw-CT rows per BE app
+
+	// beRun aggregates per-running-BE-pod maxima until completion.
+	beRun map[int]*beAgg
+}
+
+type beAgg struct {
+	appID                  string
+	maxPodCPU, maxPodMem   float64
+	maxHostCPU, maxHostMem float64
+}
+
+// NewCollector returns an empty collector seeded for reproducible
+// reservoir sampling.
+func NewCollector(seed int64) *Collector {
+	return &Collector{
+		r:     rand.New(rand.NewSource(seed)),
+		ero:   NewEROStore(),
+		stats: NewAppStatsStore(),
+		ls:    make(map[string]*appSamples),
+		be:    make(map[string]*appSamples),
+		beRun: make(map[int]*beAgg),
+	}
+}
+
+// ERO exposes the live Resource Usage Profiler store.
+func (c *Collector) ERO() *EROStore { return c.ero }
+
+// Stats exposes the live per-application maxima store.
+func (c *Collector) Stats() *AppStatsStore { return c.stats }
+
+// ObserveTick feeds one simulation tick's node snapshots into every
+// profiler: pairwise ERO updates, memory statistics, LS PSI rows, and BE
+// per-run maxima.
+func (c *Collector) ObserveTick(snaps []cluster.NodeSnapshot) {
+	for i := range snaps {
+		c.ero.ObserveSnapshot(&snaps[i])
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for si := range snaps {
+		snap := &snaps[si]
+		hostC := snap.CPUUtil()
+		hostM := snap.MemUtil()
+		for pi := range snap.Pods {
+			p := &snap.Pods[pi]
+			pod := p.Pod.Pod
+			req := pod.Request
+			podC, podM := 0.0, 0.0
+			if req.CPU > 0 {
+				podC = p.CPUUse / req.CPU
+			}
+			if req.Mem > 0 {
+				podM = p.MemUse / req.Mem
+			}
+			c.stats.Observe(pod.AppID, podC, podM, p.QPS)
+			switch {
+			case pod.SLO.LatencySensitive():
+				s := c.ls[pod.AppID]
+				if s == nil {
+					s = &appSamples{}
+					c.ls[pod.AppID] = s
+				}
+				s.add(c.r, LSFeatures(podC, podM, hostC, hostM, p.QPS), p.CPUPSI60)
+			case pod.SLO == trace.SLOBE:
+				agg := c.beRun[pod.ID]
+				if agg == nil {
+					agg = &beAgg{appID: pod.AppID}
+					c.beRun[pod.ID] = agg
+				}
+				agg.maxPodCPU = maxf(agg.maxPodCPU, podC)
+				agg.maxPodMem = maxf(agg.maxPodMem, podM)
+				agg.maxHostCPU = maxf(agg.maxHostCPU, hostC)
+				agg.maxHostMem = maxf(agg.maxHostMem, hostM)
+			}
+		}
+	}
+}
+
+// ObserveCompletion records a finished BE pod's completion time against the
+// maxima aggregated over its run. Preempted pods are skipped — their
+// truncated runtimes are not completion times.
+func (c *Collector) ObserveCompletion(ps *cluster.PodState) {
+	if ps.Pod.SLO != trace.SLOBE || !ps.Done || ps.Preempted {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg, ok := c.beRun[ps.Pod.ID]
+	if !ok {
+		return
+	}
+	delete(c.beRun, ps.Pod.ID)
+	ct := float64(ps.Finish - ps.Start)
+	if ct <= 0 {
+		return
+	}
+	s := c.be[ps.Pod.AppID]
+	if s == nil {
+		s = &appSamples{}
+		c.be[ps.Pod.AppID] = s
+	}
+	if ct > s.maxCT {
+		s.maxCT = ct
+	}
+	s.add(c.r, BEFeatures(agg.maxPodCPU, agg.maxPodMem, agg.maxHostCPU, agg.maxHostMem), ct)
+}
+
+// AppModel is one application's trained interference profile plus its
+// held-out accuracy, which the scheduler uses to decide whether the profile
+// is trustworthy (§5.2: Optum only optimizes BE apps with MAPE below 0.2).
+type AppModel struct {
+	App   string
+	Model mlearn.Regressor
+	MAPE  float64
+	Rows  int
+}
+
+// Models is the trained Interference Profiler output: per-application PSI
+// models for LS apps and normalized-CT models for BE apps.
+type Models struct {
+	LS map[string]*AppModel
+	BE map[string]*AppModel
+}
+
+// minRowsToTrain is the smallest per-app sample count worth fitting.
+const minRowsToTrain = 40
+
+// targetBuckets is the §4.2.1 ground-truth discretization: PSI and
+// normalized completion time are mapped to the upper bound of their bucket
+// before the models ever see them, and accuracy is evaluated against these
+// discretized targets (the evaluation in §5.2 uses 25 intervals).
+var targetBuckets = mlearn.NewBucketizer(0, 1, 25)
+
+// TrainInterference fits one model per application using the factory and
+// scores each on a held-out split. BE targets are normalized to the
+// application's maximum observed completion time before fitting, matching
+// Eq. 2's normalized CT.
+func (c *Collector) TrainInterference(factory ModelFactory, testFrac float64) (*Models, error) {
+	if factory == nil {
+		factory = DefaultFactory()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &Models{LS: make(map[string]*AppModel), BE: make(map[string]*AppModel)}
+	if err := trainGroup(c.ls, factory, testFrac, false, out.LS); err != nil {
+		return nil, err
+	}
+	if err := trainGroup(c.be, factory, testFrac, true, out.BE); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func trainGroup(group map[string]*appSamples, factory ModelFactory, testFrac float64, normalizeCT bool, out map[string]*AppModel) error {
+	// Deterministic iteration order for reproducible seeds.
+	apps := make([]string, 0, len(group))
+	for app := range group {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for seed, app := range apps {
+		s := group[app]
+		if s.len() < minRowsToTrain {
+			continue
+		}
+		x, y := s.rows()
+		if normalizeCT && s.maxCT > 0 {
+			for i := range y {
+				y[i] /= s.maxCT
+			}
+		}
+		// Discretize the ground truth (§4.2.1).
+		y = targetBuckets.ApplyAll(y)
+		trX, trY, teX, teY := mlearn.TrainTestSplit(x, y, testFrac)
+		if len(teX) == 0 {
+			trX, trY = x, y
+			teX, teY = x, y
+		}
+		m := factory(int64(seed) + 1)
+		if err := m.Fit(trX, trY); err != nil {
+			return fmt.Errorf("profiler: fit %s: %w", app, err)
+		}
+		out[app] = &AppModel{App: app, Model: m, MAPE: mlearn.EvaluateMAPE(m, teX, teY), Rows: s.len()}
+	}
+	return nil
+}
+
+// PredictPSI evaluates an LS application's profile (Eq. 9 input shape);
+// unknown applications return the conservative worst case 1.
+func (m *Models) PredictPSI(app string, podCPUUtil, podMemUtil, hostCPUUtil, hostMemUtil, qps float64) float64 {
+	am, ok := m.LS[app]
+	if !ok {
+		return 1
+	}
+	return clamp01(am.Model.Predict(LSFeatures(podCPUUtil, podMemUtil, hostCPUUtil, hostMemUtil, qps)))
+}
+
+// PredictCT evaluates a BE application's normalized-completion-time profile
+// (Eq. 10 input shape); unknown applications return 1.
+func (m *Models) PredictCT(app string, maxPodCPUUtil, maxPodMemUtil, maxHostCPUUtil, maxHostMemUtil float64) float64 {
+	am, ok := m.BE[app]
+	if !ok {
+		return 1
+	}
+	return clamp01(am.Model.Predict(BEFeatures(maxPodCPUUtil, maxPodMemUtil, maxHostCPUUtil, maxHostMemUtil)))
+}
+
+// TrustedBE reports whether a BE application's profile is accurate enough
+// to optimize for (MAPE below the gate, §5.2 uses 0.2).
+func (m *Models) TrustedBE(app string, mapeGate float64) bool {
+	am, ok := m.BE[app]
+	return ok && am.MAPE <= mapeGate
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

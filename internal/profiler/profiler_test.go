@@ -1,0 +1,282 @@
+package profiler
+
+import (
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/mlearn"
+	"unisched/internal/trace"
+)
+
+// buildLoadedCluster places pods round-robin and runs ticks feeding a
+// collector, returning everything needed by profiler tests.
+func buildLoadedCluster(t *testing.T, ticks int) (*Collector, *cluster.Cluster, *trace.Workload) {
+	t.Helper()
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 12
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	col := NewCollector(1)
+
+	next := 0
+	placed := map[int]bool{}
+	for tick := 0; tick < ticks; tick++ {
+		now := int64(tick) * trace.SampleInterval
+		// Admit newly submitted pods round-robin (no scheduler here; the
+		// profiler only needs co-location variety).
+		for _, p := range w.Pods {
+			if p.Submit > now {
+				break
+			}
+			if placed[p.ID] {
+				continue
+			}
+			if _, err := c.Place(p, next%len(w.Nodes), now); err == nil {
+				placed[p.ID] = true
+				next++
+			}
+		}
+		completed, snaps := c.Tick(now, float64(trace.SampleInterval))
+		col.ObserveTick(snaps)
+		for _, ps := range completed {
+			col.ObserveCompletion(ps)
+		}
+	}
+	return col, c, w
+}
+
+func TestEROBounds(t *testing.T) {
+	col, _, _ := buildLoadedCluster(t, 60)
+	s := col.ERO()
+	if s.Pairs() == 0 {
+		t.Fatal("no pairs observed")
+	}
+	lo, hi := eroUpperBound(s)
+	if lo <= 0 || hi > 1 {
+		t.Errorf("ERO range [%v, %v] outside (0, 1]", lo, hi)
+	}
+}
+
+func TestERODefaultsToOne(t *testing.T) {
+	s := NewEROStore()
+	if got := s.ERO("a", "b"); got != 1 {
+		t.Errorf("unknown pair ERO = %v, want 1", got)
+	}
+	if got := s.MemProfile("a"); got != 1 {
+		t.Errorf("unknown app MemProfile = %v, want 1", got)
+	}
+}
+
+func TestEROObservedBelowOne(t *testing.T) {
+	// Co-located pods whose combined usage is far below combined requests
+	// must get ERO << 1 — the whole point of Eq. 3.
+	col, c, _ := buildLoadedCluster(t, 60)
+	s := col.ERO()
+	// Find an actually observed pair on some node.
+	var a, b string
+	for _, n := range c.Nodes() {
+		pods := n.Pods()
+		for i := 0; i < len(pods) && a == ""; i++ {
+			for j := i + 1; j < len(pods); j++ {
+				if pods[i].Pod.AppID != pods[j].Pod.AppID {
+					a, b = pods[i].Pod.AppID, pods[j].Pod.AppID
+					break
+				}
+			}
+		}
+	}
+	if a == "" {
+		t.Skip("no co-located pair found")
+	}
+	if got := s.ERO(a, b); got >= 1 {
+		t.Errorf("observed pair ERO = %v, want < 1 (usage far below request)", got)
+	}
+	// Symmetry.
+	if s.ERO(a, b) != s.ERO(b, a) {
+		t.Error("ERO not symmetric")
+	}
+}
+
+func TestEROMonotoneUnderObservations(t *testing.T) {
+	// ERO only grows as more peaks are observed.
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 4
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	for _, p := range w.Pods[:40] {
+		c.Place(p, 0, 0) //nolint:errcheck
+	}
+	s := NewEROStore()
+	snap := c.Snapshot(0, 0, false)
+	s.ObserveSnapshot(&snap)
+	pods := c.Node(0).Pods()
+	a, b := pods[0].Pod.AppID, pods[1].Pod.AppID
+	before := s.ERO(a, b)
+	for ts := int64(30); ts < 3000; ts += 30 {
+		snap := c.Snapshot(0, ts, false)
+		s.ObserveSnapshot(&snap)
+		after := s.ERO(a, b)
+		if after < before {
+			t.Fatalf("ERO decreased from %v to %v", before, after)
+		}
+		before = after
+	}
+}
+
+func TestMemProfileStableVsUnstable(t *testing.T) {
+	col, _, w := buildLoadedCluster(t, 80)
+	s := col.ERO()
+	stable, unstable := 0, 0
+	for _, a := range w.Apps {
+		p := s.MemProfile(a.ID)
+		if p < 0 || p > 1 {
+			t.Fatalf("MemProfile(%s) = %v outside [0,1]", a.ID, p)
+		}
+		if p < 1 {
+			stable++
+		} else {
+			unstable++
+		}
+	}
+	// BE apps have tiny MemCoV, so at least some profiles must be learned.
+	if stable == 0 {
+		t.Error("no app got a sub-unity memory profile")
+	}
+	// Apps with large generator MemCoV must stay conservative.
+	for _, a := range w.Apps {
+		if a.MemCoV > 0.1 && s.MemProfile(a.ID) < 1 {
+			t.Errorf("high-CoV app %s (CoV=%v) got profile %v, want 1",
+				a.ID, a.MemCoV, s.MemProfile(a.ID))
+		}
+	}
+}
+
+func TestCollectorTrainsModels(t *testing.T) {
+	col, _, _ := buildLoadedCluster(t, 240)
+	models, err := col.TrainInterference(DefaultFactory(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models.LS) == 0 {
+		t.Fatal("no LS models trained")
+	}
+	if len(models.BE) == 0 {
+		t.Fatal("no BE models trained")
+	}
+	for app, m := range models.LS {
+		if m.MAPE < 0 {
+			t.Errorf("LS %s MAPE = %v", app, m.MAPE)
+		}
+		if m.Rows < minRowsToTrain {
+			t.Errorf("LS %s trained on %d rows", app, m.Rows)
+		}
+	}
+	// The learned PSI profile should be usable and bounded.
+	for app := range models.LS {
+		v := models.PredictPSI(app, 0.5, 0.5, 0.9, 0.5, 100)
+		if v < 0 || v > 1 {
+			t.Fatalf("PredictPSI out of range: %v", v)
+		}
+		// Higher host utilization must not predict (much) lower PSI on
+		// average across apps — checked loosely per app pair of points.
+		lo := models.PredictPSI(app, 0.5, 0.5, 0.2, 0.3, 100)
+		hi := models.PredictPSI(app, 0.5, 0.5, 1.0, 0.6, 100)
+		if hi+0.3 < lo {
+			t.Errorf("PSI profile of %s decreases sharply with load: %v -> %v", app, lo, hi)
+		}
+		break
+	}
+}
+
+func TestModelsUnknownAppConservative(t *testing.T) {
+	m := &Models{LS: map[string]*AppModel{}, BE: map[string]*AppModel{}}
+	if got := m.PredictPSI("nope", 0, 0, 0, 0, 0); got != 1 {
+		t.Errorf("unknown LS app PSI = %v, want 1", got)
+	}
+	if got := m.PredictCT("nope", 0, 0, 0, 0); got != 1 {
+		t.Errorf("unknown BE app CT = %v, want 1", got)
+	}
+	if m.TrustedBE("nope", 0.2) {
+		t.Error("unknown BE app should not be trusted")
+	}
+}
+
+func TestTrustedBEGate(t *testing.T) {
+	m := &Models{BE: map[string]*AppModel{
+		"good": {App: "good", MAPE: 0.1},
+		"bad":  {App: "bad", MAPE: 0.5},
+	}}
+	if !m.TrustedBE("good", 0.2) || m.TrustedBE("bad", 0.2) {
+		t.Error("TrustedBE gate misbehaves")
+	}
+}
+
+func TestRFBeatsLinearOnPSI(t *testing.T) {
+	// The Fig. 18 ordering: RF achieves lower MAPE than LR on the PSI
+	// profiles, because the PSI surface has a contention knee.
+	col, _, _ := buildLoadedCluster(t, 240)
+	rf, err := col.TrainInterference(DefaultFactory(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := col.TrainInterference(func(seed int64) mlearn.Regressor {
+		return &mlearn.Bucketized{Inner: mlearn.NewLinear(), B: mlearn.NewBucketizer(0, 1, 25)}
+	}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rfSum, lrSum float64
+	var n int
+	for app, m := range rf.LS {
+		if l, ok := lr.LS[app]; ok {
+			rfSum += m.MAPE
+			lrSum += l.MAPE
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no comparable apps")
+	}
+	if rfSum/float64(n) > lrSum/float64(n)+0.02 {
+		t.Errorf("mean RF MAPE %v should not exceed LR %v", rfSum/float64(n), lrSum/float64(n))
+	}
+}
+
+func TestBECompletionNormalization(t *testing.T) {
+	col, _, _ := buildLoadedCluster(t, 240)
+	models, err := col.TrainInterference(DefaultFactory(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app := range models.BE {
+		v := models.PredictCT(app, 0.8, 0.9, 0.9, 0.7)
+		if v < 0 || v > 1 {
+			t.Fatalf("normalized CT prediction %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestObserveCompletionSkipsPreempted(t *testing.T) {
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 2
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	col := NewCollector(1)
+	var be *trace.Pod
+	for _, p := range w.Pods {
+		if p.SLO == trace.SLOBE {
+			be = p
+			break
+		}
+	}
+	if _, err := c.Place(be, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, snaps := c.Tick(0, 30)
+	col.ObserveTick(snaps)
+	c.Remove(be.ID, 60, true) // preempted
+	col.ObserveCompletion(c.PodState(be.ID))
+	if len(col.be) != 0 {
+		t.Error("preempted pod produced a CT row")
+	}
+}

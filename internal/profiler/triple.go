@@ -1,0 +1,127 @@
+package profiler
+
+import "unisched/internal/cluster"
+
+// Triple-wise profiling — the extension §4.2.2 sketches: ERO(·) generalized
+// to combinations of three applications, trading profiling overhead for a
+// tighter peak estimate (three pods' peaks coincide even more rarely than
+// two). The store keeps it optional and bounds its cost by observing
+// triples on a subsampled schedule and only on moderately-populated hosts.
+
+// tripleCap bounds the pod count per host for which full triple
+// enumeration runs; beyond it the O(n^3) scan would dominate profiling.
+const tripleCap = 32
+
+// EnableTriples switches on triple-wise observation, sampling every
+// `every`-th snapshot (0 disables; 1 observes every snapshot).
+func (s *EROStore) EnableTriples(every int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tripleEvery = every
+	if s.ero3 == nil {
+		s.ero3 = make(map[uint64]float64)
+	}
+}
+
+// TriplesEnabled reports whether triple-wise profiling is on.
+func (s *EROStore) TriplesEnabled() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tripleEvery > 0
+}
+
+// Triples returns the number of application triples with observations.
+func (s *EROStore) Triples() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ero3)
+}
+
+// tripleKey packs three app indices (sorted) into one key; 21 bits each
+// supports two million applications.
+func tripleKey(a, b, c int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<42 | uint64(uint32(b))<<21 | uint64(uint32(c))
+}
+
+// ERO3 returns the effective resource-usage coefficient for a triple of
+// applications, falling back to the most conservative pairwise coefficient
+// among the three pairs when the triple was never observed, and to 1.0
+// when nothing is known.
+func (s *EROStore) ERO3(appA, appB, appC string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ia, okA := s.appIdx[appA]
+	ib, okB := s.appIdx[appB]
+	ic, okC := s.appIdx[appC]
+	if okA && okB && okC && s.ero3 != nil {
+		if v, ok := s.ero3[tripleKey(ia, ib, ic)]; ok {
+			return v
+		}
+	}
+	// Fall back to the max of the pairwise coefficients (a triple's peak
+	// ratio can never exceed the loosest pair's bound of 1, and using the
+	// max keeps the estimate safe).
+	best := 0.0
+	known := false
+	pair := func(x, y int32, okX, okY bool) {
+		if !okX || !okY {
+			return
+		}
+		if v, ok := s.ero[pairKey(x, y)]; ok {
+			known = true
+			if v > best {
+				best = v
+			}
+		}
+	}
+	pair(ia, ib, okA, okB)
+	pair(ia, ic, okA, okC)
+	pair(ib, ic, okB, okC)
+	if !known {
+		return 1
+	}
+	return best
+}
+
+// observeTriples updates triple-wise coefficients for one snapshot. The
+// caller holds s.mu.
+func (s *EROStore) observeTriples(snap *cluster.NodeSnapshot) {
+	pods := snap.Pods
+	if len(pods) < 3 || len(pods) > tripleCap {
+		return
+	}
+	for i := range pods {
+		pi := &pods[i]
+		ia := s.idxLocked(pi.Pod.Pod.AppID)
+		for j := i + 1; j < len(pods); j++ {
+			pj := &pods[j]
+			ib := s.idxLocked(pj.Pod.Pod.AppID)
+			req2 := pi.Pod.Pod.Request.CPU + pj.Pod.Pod.Request.CPU
+			use2 := pi.CPUUse + pj.CPUUse
+			for k := j + 1; k < len(pods); k++ {
+				pk := &pods[k]
+				reqSum := req2 + pk.Pod.Pod.Request.CPU
+				if reqSum <= 0 {
+					continue
+				}
+				ro := (use2 + pk.CPUUse) / reqSum
+				if ro > 1 {
+					ro = 1
+				}
+				key := tripleKey(ia, ib, s.idxLocked(pk.Pod.Pod.AppID))
+				if cur, ok := s.ero3[key]; !ok || ro > cur {
+					s.ero3[key] = ro
+				}
+			}
+		}
+	}
+}

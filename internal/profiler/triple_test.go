@@ -1,0 +1,175 @@
+package profiler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+func TestTripleKeySortsOperands(t *testing.T) {
+	perms := [][3]int32{
+		{1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1},
+	}
+	want := tripleKey(1, 2, 3)
+	for _, p := range perms {
+		if tripleKey(p[0], p[1], p[2]) != want {
+			t.Fatalf("tripleKey not order-invariant for %v", p)
+		}
+	}
+	if tripleKey(1, 2, 3) == tripleKey(1, 2, 4) {
+		t.Fatal("distinct triples collide")
+	}
+}
+
+func TestTripleKeyProperty(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		x, y, z := int32(a), int32(b), int32(c)
+		k := tripleKey(x, y, z)
+		return k == tripleKey(z, y, x) && k == tripleKey(y, z, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriplesDisabledByDefault(t *testing.T) {
+	s := NewEROStore()
+	if s.TriplesEnabled() {
+		t.Fatal("triples enabled by default")
+	}
+	if got := s.ERO3("a", "b", "c"); got != 1 {
+		t.Fatalf("unknown-everything ERO3 = %v, want 1", got)
+	}
+}
+
+func TestTriplesObservedAndTighter(t *testing.T) {
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 4
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	// Place a modest pod set so the O(n^3) scan runs (< tripleCap).
+	placed := 0
+	for _, p := range w.Pods {
+		if placed >= 20 {
+			break
+		}
+		if _, err := c.Place(p, 0, 0); err == nil {
+			placed++
+		}
+	}
+	s := NewEROStore()
+	s.EnableTriples(1)
+	if !s.TriplesEnabled() {
+		t.Fatal("EnableTriples did not enable")
+	}
+	for ts := int64(0); ts < 1800; ts += 30 {
+		snap := c.Snapshot(0, ts, false)
+		s.ObserveSnapshot(&snap)
+	}
+	if s.Triples() == 0 {
+		t.Fatal("no triples observed")
+	}
+	// For any observed triple, ERO3 <= max pairwise ERO + epsilon: a
+	// three-way peak coincidence is rarer than a two-way one, and both are
+	// normalized by their own request sums.
+	pods := c.Node(0).Pods()
+	tighter, total := 0, 0
+	for i := 0; i < len(pods); i++ {
+		for j := i + 1; j < len(pods); j++ {
+			for k := j + 1; k < len(pods); k++ {
+				a := pods[i].Pod.AppID
+				b := pods[j].Pod.AppID
+				cc := pods[k].Pod.AppID
+				e3 := s.ERO3(a, b, cc)
+				if e3 <= 0 || e3 > 1 {
+					t.Fatalf("ERO3 out of range: %v", e3)
+				}
+				maxPair := s.ERO(a, b)
+				if v := s.ERO(a, cc); v > maxPair {
+					maxPair = v
+				}
+				if v := s.ERO(b, cc); v > maxPair {
+					maxPair = v
+				}
+				total++
+				if e3 <= maxPair+1e-9 {
+					tighter++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no triples to check")
+	}
+	if frac := float64(tighter) / float64(total); frac < 0.8 {
+		t.Errorf("only %.2f of triples at or below their loosest pair", frac)
+	}
+}
+
+func TestTripleFallbackToPairs(t *testing.T) {
+	s := NewEROStore()
+	s.EnableTriples(1)
+	// Observe only a pair; the triple involving a third app must fall back
+	// to the pairwise max.
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 2
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	var a, b *trace.Pod
+	for _, p := range w.Pods {
+		if a == nil {
+			a = p
+			continue
+		}
+		if p.AppID != a.AppID {
+			b = p
+			break
+		}
+	}
+	if _, err := c.Place(a, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Place(b, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot(0, 60, false)
+	s.ObserveSnapshot(&snap)
+	pairERO := s.ERO(a.AppID, b.AppID)
+	if pairERO >= 1 {
+		t.Skip("pair not observed below 1")
+	}
+	got := s.ERO3(a.AppID, b.AppID, "never-seen-app")
+	if got != pairERO {
+		t.Errorf("fallback ERO3 = %v, want pairwise %v", got, pairERO)
+	}
+}
+
+func TestTripleSubsampling(t *testing.T) {
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 2
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	for i, p := range w.Pods {
+		if i >= 10 {
+			break
+		}
+		c.Place(p, 0, 0) //nolint:errcheck
+	}
+	every4 := NewEROStore()
+	every4.EnableTriples(4)
+	every1 := NewEROStore()
+	every1.EnableTriples(1)
+	for ts := int64(0); ts < 16*30; ts += 30 {
+		snap := c.Snapshot(0, ts, false)
+		every4.ObserveSnapshot(&snap)
+		every1.ObserveSnapshot(&snap)
+	}
+	if every4.Triples() == 0 {
+		t.Error("subsampled store observed nothing")
+	}
+	if every1.Triples() < every4.Triples() {
+		t.Error("denser sampling observed fewer triples")
+	}
+}

@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"unisched/internal/cluster"
+	"unisched/internal/predictor"
+	"unisched/internal/trace"
+)
+
+// AlibabaLike reproduces the production unified scheduler the paper
+// characterizes (§3.2): alignment-score host ranking with a conservative
+// over-commitment policy for LS/LSR pods (admission against request sums)
+// and an aggressive one for BE pods (admission against last-interval actual
+// usage). It is the baseline every evaluation figure normalizes against.
+type AlibabaLike struct {
+	*Base
+	// BEOvercommitCeil caps a host's request over-commitment rate when
+	// admitting BE pods. The trace shows hosts over-committed up to ~4x
+	// but with P(rate > 1) ≈ 0.25-0.4 (Fig. 5a) and BE pods waiting 100+
+	// seconds despite ~30 % utilization (Fig. 8) — the production
+	// scheduler gates BE on requests as well as observed usage.
+	BEOvercommitCeil float64
+	// NoGuaranteedReserve drops the hard reservation of guaranteed-class
+	// requests from BE admission: best-effort pods are then admitted
+	// against total observed usage. The Section-3 characterization study
+	// uses this aggressive variant so hosts reach the near-100 % peaks the
+	// production trace shows (Fig. 4b); the evaluation baseline keeps the
+	// reservation, per §3.2.
+	NoGuaranteedReserve bool
+}
+
+// NewAlibabaLike builds the scheduler over a cluster.
+func NewAlibabaLike(c *cluster.Cluster, seed int64) *AlibabaLike {
+	return &AlibabaLike{Base: NewBase(c, seed), BEOvercommitCeil: 1.3}
+}
+
+// Name implements Scheduler.
+func (s *AlibabaLike) Name() string { return "Alibaba" }
+
+// Schedule implements Scheduler.
+func (s *AlibabaLike) Schedule(pods []*trace.Pod, now int64) []Decision {
+	s.BeginBatch()
+	out := make([]Decision, len(pods))
+	for i, p := range pods {
+		out[i] = s.one(p)
+	}
+	return out
+}
+
+func (s *AlibabaLike) one(p *trace.Pod) Decision {
+	cands := s.Candidates(p)
+	if p.SLO.LatencySensitive() || p.SLO == trace.SLOSystem {
+		// Conservative: requests must fit physical capacity.
+		admit := func(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+			req := n.ReqSum().Add(resv).Add(p.Request)
+			capc := n.Capacity()
+			return req.CPU <= capc.CPU, req.Mem <= capc.Mem
+		}
+		// Replica anti-affinity dominates: long-running service replicas
+		// spread across failure domains, the reliability-first policy of
+		// production LS schedulers (and a root cause of the low baseline
+		// utilization the paper measures). Alignment packing breaks ties.
+		score := func(n *cluster.NodeState, p *trace.Pod) float64 {
+			replicas := 0
+			for _, ps := range n.Pods() {
+				if ps.Pod.AppID == p.AppID {
+					replicas++
+				}
+			}
+			return -1e6*float64(replicas) + alignment(n.ReqSum(), p)
+		}
+		return s.Greedy(p, cands, admit, score)
+	}
+	// BE admission, the §3.2 production policy: the guaranteed classes'
+	// requests are a hard reservation ("hardly over-commits when
+	// scheduling LS pods" — their unused request capacity is NOT given
+	// away), and best-effort pods over-commit only the leftover, against
+	// their own observed usage. This is exactly why BE pods wait 100+
+	// seconds while hosts sit at ~30 % utilization (Fig. 8, Fig. 9b) — the
+	// waste Optum exists to reclaim.
+	admit := func(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+		base := n.GuaranteedReq().Add(n.BEPeakUsage())
+		if s.NoGuaranteedReserve {
+			base = n.PeakUsage()
+		}
+		load := base.Add(n.UnmeasuredReq()).Add(resv).Add(p.Request)
+		req := n.ReqSum().Add(resv).Add(p.Request)
+		full := n.Capacity()
+		cpuOK := load.CPU <= 0.9*full.CPU
+		if s.BEOvercommitCeil > 0 {
+			cpuOK = cpuOK && req.CPU <= s.BEOvercommitCeil*full.CPU
+		}
+		// Memory: conservative — requests must fit capacity, because an
+		// OOM kills every pod on the host (Fig. 5b: memory is almost
+		// never over-committed in production).
+		memOK := req.Mem <= full.Mem
+		return cpuOK, memOK
+	}
+	score := func(n *cluster.NodeState, p *trace.Pod) float64 {
+		return alignment(n.LastUsage(), p)
+	}
+	return s.Greedy(p, cands, admit, score)
+}
+
+// PredictorScheduler is the family of §5.1 baselines that differ only in
+// their host-usage predictor: admit a pod when the prediction plus the
+// pod's request fits a capacity budget, rank hosts by alignment with the
+// predicted load.
+type PredictorScheduler struct {
+	*Base
+	label string
+	pr    predictor.Predictor
+	// CapFactor scales capacity in the admission test (Resource Central
+	// uses 0.8).
+	CapFactor float64
+	// MaxOvercommit bounds the request over-commit ratio (<= 0 disables;
+	// Resource Central uses 1.2).
+	MaxOvercommit float64
+}
+
+// NewBorgLike returns the Borg-like baseline: prediction = 0.9 x requests.
+func NewBorgLike(c *cluster.Cluster, seed int64) *PredictorScheduler {
+	return &PredictorScheduler{
+		Base: NewBase(c, seed), label: "Borg-like",
+		pr: predictor.NewBorgDefault(), CapFactor: 1,
+	}
+}
+
+// NewNSigma returns the N-sigma baseline: Gaussian mean + 5 sigma bound.
+func NewNSigma(c *cluster.Cluster, seed int64) *PredictorScheduler {
+	return &PredictorScheduler{
+		Base: NewBase(c, seed), label: "N-sigma",
+		pr: predictor.NewNSigma(), CapFactor: 1,
+	}
+}
+
+// NewRCLike returns the Resource-Central-like baseline: per-pod p99 sums
+// against 0.8 capacity with a 1.2 over-commit cap (§5.1).
+func NewRCLike(c *cluster.Cluster, seed int64) *PredictorScheduler {
+	return &PredictorScheduler{
+		Base: NewBase(c, seed), label: "RC-like",
+		pr: predictor.ResourceCentral{}, CapFactor: 0.8, MaxOvercommit: 1.2,
+	}
+}
+
+// Name implements Scheduler.
+func (s *PredictorScheduler) Name() string { return s.label }
+
+// Schedule implements Scheduler.
+func (s *PredictorScheduler) Schedule(pods []*trace.Pod, now int64) []Decision {
+	s.BeginBatch()
+	out := make([]Decision, len(pods))
+	for i, p := range pods {
+		out[i] = s.Greedy(p, s.Candidates(p), s.admit, s.score)
+	}
+	return out
+}
+
+func (s *PredictorScheduler) admit(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+	capc := n.Capacity().Scale(s.CapFactor)
+	load := predictedLoad(s.pr, n).Add(resv)
+	cpuOK := load.CPU+p.Request.CPU <= capc.CPU
+	memOK := load.Mem+p.Request.Mem <= capc.Mem
+	if s.MaxOvercommit > 0 {
+		req := n.ReqSum().Add(resv).Add(p.Request)
+		full := n.Capacity()
+		cpuOK = cpuOK && req.CPU <= s.MaxOvercommit*full.CPU
+		memOK = memOK && req.Mem <= s.MaxOvercommit*full.Mem
+	}
+	return cpuOK, memOK
+}
+
+func (s *PredictorScheduler) score(n *cluster.NodeState, p *trace.Pod) float64 {
+	return alignment(predictedLoad(s.pr, n), p)
+}

@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"sort"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// Medea reproduces the two-scheduler design of Garefalakis et al. (§5.1):
+// long-running pods are placed by an ILP-style exact optimizer over a
+// bounded sub-problem (at most MaxHosts candidate hosts and MaxPods pods
+// per batch, solved by branch-and-bound), while short-running pods go
+// through a traditional low-latency greedy scheduler.
+type Medea struct {
+	*Base
+	short *PredictorScheduler
+
+	// MaxHosts bounds the ILP's host set (the evaluation uses 40).
+	MaxHosts int
+	// MaxPods bounds the ILP batch size (the evaluation uses 15).
+	MaxPods int
+	// NodeBudget caps explored branch-and-bound states per batch so the
+	// solver stays real-time even on adversarial instances.
+	NodeBudget int
+}
+
+// NewMedea builds Medea with the paper's sub-problem bounds.
+func NewMedea(c *cluster.Cluster, seed int64) *Medea {
+	return &Medea{
+		Base:       NewBase(c, seed),
+		short:      NewBorgLike(c, seed+1),
+		MaxHosts:   40,
+		MaxPods:    15,
+		NodeBudget: 200000,
+	}
+}
+
+// Name implements Scheduler.
+func (m *Medea) Name() string { return "Medea" }
+
+// Schedule implements Scheduler.
+func (m *Medea) Schedule(pods []*trace.Pod, now int64) []Decision {
+	m.BeginBatch()
+	m.short.resv = m.resv // unify the reservation ledger across both tiers
+	out := make([]Decision, len(pods))
+	var longIdx []int
+	for i, p := range pods {
+		if p.App().LongRunning() {
+			longIdx = append(longIdx, i)
+		} else {
+			out[i] = m.short.Greedy(p, m.Candidates(p), m.short.admit, m.short.score)
+		}
+	}
+	// Long-running pods in ILP batches.
+	for start := 0; start < len(longIdx); start += m.MaxPods {
+		end := start + m.MaxPods
+		if end > len(longIdx) {
+			end = len(longIdx)
+		}
+		batch := make([]*trace.Pod, 0, end-start)
+		for _, i := range longIdx[start:end] {
+			batch = append(batch, pods[i])
+		}
+		decisions := m.solveBatch(batch)
+		for k, i := range longIdx[start:end] {
+			out[i] = decisions[k]
+		}
+	}
+	return out
+}
+
+// solveBatch places a batch of long-running pods on the MaxHosts candidate
+// hosts with the most free requestable capacity, maximizing the number of
+// placed pods (ties broken by total alignment) subject to request-based
+// capacity constraints.
+func (m *Medea) solveBatch(batch []*trace.Pod) []Decision {
+	hosts := m.pickHosts()
+	free := make([]trace.Resources, len(hosts))
+	loads := make([]trace.Resources, len(hosts))
+	for i, id := range hosts {
+		n := m.Cluster.Node(id)
+		free[i] = n.Capacity().Sub(n.ReqSum()).Sub(m.Reserved(id))
+		loads[i] = n.ReqSum()
+	}
+
+	s := &bbState{
+		medea: m,
+		batch: batch,
+		hosts: hosts,
+		free:  free,
+		loads: loads,
+		cur:   make([]int, len(batch)),
+		best:  make([]int, len(batch)),
+	}
+	for i := range s.best {
+		s.best[i] = -1
+	}
+	s.bestPlaced = -1
+	s.search(0, 0, 0)
+
+	out := make([]Decision, len(batch))
+	for i, p := range batch {
+		hi := s.best[i]
+		if hi < 0 {
+			out[i] = m.classify(p)
+			continue
+		}
+		m.Reserve(hosts[hi], p)
+		out[i] = Decision{Pod: p, NodeID: hosts[hi], Score: alignment(loads[hi], p)}
+	}
+	return out
+}
+
+// classify explains an unplaced pod using the shared reason taxonomy.
+func (m *Medea) classify(p *trace.Pod) Decision {
+	cpuBlock, memBlock := 0, 0
+	for _, id := range m.Candidates(p) {
+		n := m.Cluster.Node(id)
+		req := n.ReqSum().Add(m.Reserved(id)).Add(p.Request)
+		capc := n.Capacity()
+		if req.CPU > capc.CPU {
+			cpuBlock++
+		}
+		if req.Mem > capc.Mem {
+			memBlock++
+		}
+	}
+	d := Decision{Pod: p, NodeID: -1}
+	switch {
+	case cpuBlock > 0 && memBlock > 0:
+		d.Reason = ReasonCPUMem
+	case cpuBlock > 0:
+		d.Reason = ReasonCPU
+	case memBlock > 0:
+		d.Reason = ReasonMem
+	default:
+		// The batch solver gave the room to other pods; retry next round.
+		d.Reason = ReasonOther
+	}
+	if p.SLO == trace.SLOLSR {
+		if id, ok := m.PreemptTarget(p, m.Candidates(p)); ok {
+			m.Reserve(id, p)
+			return Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: ReasonNone}
+		}
+	}
+	return d
+}
+
+// pickHosts selects the MaxHosts candidates with the most free CPU+memory
+// request headroom (net of this batch's reservations).
+func (m *Medea) pickHosts() []int {
+	type hv struct {
+		id   int
+		head float64
+	}
+	all := make([]hv, 0, len(m.Cluster.Nodes()))
+	for _, n := range m.Cluster.Nodes() {
+		f := n.Capacity().Sub(n.ReqSum()).Sub(m.Reserved(n.Node.ID))
+		all = append(all, hv{n.Node.ID, f.CPU + f.Mem})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].head > all[b].head })
+	k := m.MaxHosts
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+// bbState is the branch-and-bound search over batch placements.
+type bbState struct {
+	medea *Medea
+	batch []*trace.Pod
+	hosts []int
+	free  []trace.Resources
+	loads []trace.Resources
+
+	cur        []int // current assignment (-1 = unplaced)
+	best       []int
+	bestPlaced int
+	bestScore  float64
+	explored   int
+}
+
+func (s *bbState) search(idx, placed int, score float64) {
+	if s.explored >= s.medea.NodeBudget {
+		return
+	}
+	s.explored++
+	if idx == len(s.batch) {
+		if placed > s.bestPlaced || (placed == s.bestPlaced && score > s.bestScore) {
+			s.bestPlaced = placed
+			s.bestScore = score
+			copy(s.best, s.cur)
+		}
+		return
+	}
+	// Bound: even placing every remaining pod cannot beat the incumbent.
+	if placed+(len(s.batch)-idx) < s.bestPlaced {
+		return
+	}
+	p := s.batch[idx]
+	aff := p.App().Affinity
+	for hi := range s.hosts {
+		if aff >= 0 && s.medea.Cluster.Node(s.hosts[hi]).Node.Group != aff {
+			continue
+		}
+		if !p.Request.FitsIn(s.free[hi]) {
+			continue
+		}
+		s.free[hi] = s.free[hi].Sub(p.Request)
+		s.cur[idx] = hi
+		s.search(idx+1, placed+1, score+alignment(s.loads[hi], p))
+		s.free[hi] = s.free[hi].Add(p.Request)
+	}
+	// Unplaced branch.
+	s.cur[idx] = -1
+	s.search(idx+1, placed, score)
+}

@@ -1,0 +1,219 @@
+package sched
+
+import (
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// A Kubernetes-style scheduling framework: composable Filter and Score
+// plugins around the shared Greedy scan. The unified scheduling the paper
+// studies is deployed on exactly this kind of plugin substrate (Alibaba's
+// unified scheduler is Kubernetes-compatible), so the repository provides
+// one both as a sixth comparison point and as the extension surface users
+// would reach for first.
+
+// FilterPlugin vetoes hosts for a pod. Filters see the batch reservations
+// so in-batch decisions stack correctly.
+type FilterPlugin interface {
+	// FilterName identifies the plugin in configuration dumps.
+	FilterName() string
+	// Filter reports per-dimension admission; both true admits.
+	Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (cpuOK, memOK bool)
+}
+
+// ScorePlugin ranks an admissible host for a pod; higher is better.
+// Scores from all plugins are summed with their weights.
+type ScorePlugin interface {
+	// ScoreName identifies the plugin.
+	ScoreName() string
+	// Score returns an arbitrary-scale value; use Weight to balance.
+	Score(n *cluster.NodeState, p *trace.Pod) float64
+}
+
+// WeightedScore pairs a plugin with its weight.
+type WeightedScore struct {
+	Plugin ScorePlugin
+	Weight float64
+}
+
+// Framework is the plugin-driven scheduler.
+type Framework struct {
+	*Base
+	label   string
+	filters []FilterPlugin
+	scores  []WeightedScore
+}
+
+// NewFramework builds a plugin scheduler; add plugins before scheduling.
+func NewFramework(c *cluster.Cluster, label string, seed int64) *Framework {
+	if label == "" {
+		label = "Framework"
+	}
+	return &Framework{Base: NewBase(c, seed), label: label}
+}
+
+// WithFilter appends a filter plugin and returns the framework.
+func (f *Framework) WithFilter(p FilterPlugin) *Framework {
+	f.filters = append(f.filters, p)
+	return f
+}
+
+// WithScore appends a weighted score plugin and returns the framework.
+func (f *Framework) WithScore(p ScorePlugin, weight float64) *Framework {
+	f.scores = append(f.scores, WeightedScore{Plugin: p, Weight: weight})
+	return f
+}
+
+// Name implements Scheduler.
+func (f *Framework) Name() string { return f.label }
+
+// Schedule implements Scheduler.
+func (f *Framework) Schedule(pods []*trace.Pod, now int64) []Decision {
+	f.BeginBatch()
+	out := make([]Decision, len(pods))
+	admit := func(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+		cpuOK, memOK := true, true
+		for _, fp := range f.filters {
+			c, m := fp.Filter(n, p, resv)
+			cpuOK = cpuOK && c
+			memOK = memOK && m
+			if !cpuOK && !memOK {
+				break
+			}
+		}
+		return cpuOK, memOK
+	}
+	score := func(n *cluster.NodeState, p *trace.Pod) float64 {
+		var s float64
+		for _, ws := range f.scores {
+			s += ws.Weight * ws.Plugin.Score(n, p)
+		}
+		return s
+	}
+	for i, p := range pods {
+		out[i] = f.Greedy(p, f.Candidates(p), admit, score)
+	}
+	return out
+}
+
+// --- Stock plugins ---
+
+// ResourcesFit admits a pod when requests plus reservations fit the node's
+// capacity scaled by MaxOvercommit (1.0 = no over-commitment, the
+// kube-scheduler NodeResourcesFit default).
+type ResourcesFit struct {
+	MaxOvercommit float64
+}
+
+// FilterName implements FilterPlugin.
+func (ResourcesFit) FilterName() string { return "ResourcesFit" }
+
+// Filter implements FilterPlugin.
+func (r ResourcesFit) Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+	oc := r.MaxOvercommit
+	if oc <= 0 {
+		oc = 1
+	}
+	req := n.ReqSum().Add(resv).Add(p.Request)
+	capc := n.Capacity().Scale(oc)
+	return req.CPU <= capc.CPU, req.Mem <= capc.Mem
+}
+
+// UsageFit admits a pod when recent peak usage plus unmeasured and reserved
+// requests fit a capacity margin — the usage-driven over-commitment filter.
+type UsageFit struct {
+	Margin float64 // fraction of capacity usable (default 0.9)
+}
+
+// FilterName implements FilterPlugin.
+func (UsageFit) FilterName() string { return "UsageFit" }
+
+// Filter implements FilterPlugin.
+func (u UsageFit) Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+	m := u.Margin
+	if m <= 0 {
+		m = 0.9
+	}
+	use := n.PeakUsage().Add(n.UnmeasuredReq()).Add(resv).Add(p.Request)
+	capc := n.Capacity().Scale(m)
+	return use.CPU <= capc.CPU, use.Mem <= capc.Mem
+}
+
+// LeastAllocated prefers emptier hosts (spreading) — the kube-scheduler
+// default scoring.
+type LeastAllocated struct{}
+
+// ScoreName implements ScorePlugin.
+func (LeastAllocated) ScoreName() string { return "LeastAllocated" }
+
+// Score implements ScorePlugin.
+func (LeastAllocated) Score(n *cluster.NodeState, p *trace.Pod) float64 {
+	capc := n.Capacity()
+	req := n.ReqSum()
+	free := (capc.CPU-req.CPU)/capc.CPU + (capc.Mem-req.Mem)/capc.Mem
+	return free / 2
+}
+
+// MostAllocated prefers fuller hosts (bin-packing), the consolidation
+// profile.
+type MostAllocated struct{}
+
+// ScoreName implements ScorePlugin.
+func (MostAllocated) ScoreName() string { return "MostAllocated" }
+
+// Score implements ScorePlugin.
+func (MostAllocated) Score(n *cluster.NodeState, p *trace.Pod) float64 {
+	capc := n.Capacity()
+	req := n.ReqSum()
+	return (req.CPU/capc.CPU + req.Mem/capc.Mem) / 2
+}
+
+// BalancedAllocation penalizes hosts whose CPU and memory allocation would
+// diverge after the placement, keeping both dimensions usable.
+type BalancedAllocation struct{}
+
+// ScoreName implements ScorePlugin.
+func (BalancedAllocation) ScoreName() string { return "BalancedAllocation" }
+
+// Score implements ScorePlugin.
+func (BalancedAllocation) Score(n *cluster.NodeState, p *trace.Pod) float64 {
+	capc := n.Capacity()
+	req := n.ReqSum().Add(p.Request)
+	cu := req.CPU / capc.CPU
+	mu := req.Mem / capc.Mem
+	d := cu - mu
+	if d < 0 {
+		d = -d
+	}
+	return 1 - d
+}
+
+// ReplicaSpread penalizes hosts already running replicas of the pod's
+// application — soft anti-affinity.
+type ReplicaSpread struct{}
+
+// ScoreName implements ScorePlugin.
+func (ReplicaSpread) ScoreName() string { return "ReplicaSpread" }
+
+// Score implements ScorePlugin.
+func (ReplicaSpread) Score(n *cluster.NodeState, p *trace.Pod) float64 {
+	k := 0
+	for _, ps := range n.Pods() {
+		if ps.Pod.AppID == p.AppID {
+			k++
+		}
+	}
+	return -float64(k)
+}
+
+// NewKubeLike assembles the kube-scheduler default profile: strict
+// request-based fit, least-allocated spreading with balance and replica
+// anti-affinity. It is the "what a stock Kubernetes cluster would do"
+// comparison point.
+func NewKubeLike(c *cluster.Cluster, seed int64) *Framework {
+	return NewFramework(c, "Kube-like", seed).
+		WithFilter(ResourcesFit{MaxOvercommit: 1}).
+		WithScore(LeastAllocated{}, 1).
+		WithScore(BalancedAllocation{}, 0.5).
+		WithScore(ReplicaSpread{}, 10)
+}

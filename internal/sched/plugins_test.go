@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"testing"
+
+	"unisched/internal/trace"
+)
+
+func TestFrameworkFiltersCompose(t *testing.T) {
+	c, w := testSetup(t, 4)
+	f := NewFramework(c, "", 1).
+		WithFilter(ResourcesFit{MaxOvercommit: 1}).
+		WithFilter(UsageFit{Margin: 0.9})
+	if f.Name() != "Framework" {
+		t.Errorf("default name %q", f.Name())
+	}
+	d := f.Schedule([]*trace.Pod{w.Pods[0]}, 0)[0]
+	if d.NodeID < 0 {
+		t.Fatalf("empty cluster rejected pod: %v", d.Reason)
+	}
+	// Saturate node requests; ResourcesFit must veto.
+	limit := 400
+	if limit > len(w.Pods) {
+		limit = len(w.Pods)
+	}
+	for _, p := range w.Pods[:limit] {
+		d := f.Schedule([]*trace.Pod{p}, 0)[0]
+		if d.NodeID < 0 || d.NeedPreempt {
+			continue
+		}
+		if _, err := c.Place(p, d.NodeID, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range c.Nodes() {
+		if n.ReqSum().CPU > n.Capacity().CPU+1e-9 {
+			t.Fatalf("ResourcesFit let requests exceed capacity: %v", n.ReqSum().CPU)
+		}
+	}
+}
+
+func TestLeastVsMostAllocated(t *testing.T) {
+	c, w := testSetup(t, 2)
+	// Load node 0.
+	for _, p := range w.Pods[:10] {
+		if _, err := c.Place(p, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := w.Pods[len(w.Pods)-1]
+	least := NewFramework(c, "least", 1).
+		WithFilter(ResourcesFit{MaxOvercommit: 2}).
+		WithScore(LeastAllocated{}, 1)
+	most := NewFramework(c, "most", 1).
+		WithFilter(ResourcesFit{MaxOvercommit: 2}).
+		WithScore(MostAllocated{}, 1)
+	if d := least.Schedule([]*trace.Pod{probe}, 0)[0]; d.NodeID != 1 {
+		t.Errorf("LeastAllocated picked loaded node %d", d.NodeID)
+	}
+	if d := most.Schedule([]*trace.Pod{probe}, 0)[0]; d.NodeID != 0 {
+		t.Errorf("MostAllocated picked empty node %d", d.NodeID)
+	}
+}
+
+func TestBalancedAllocationPrefersEvenShape(t *testing.T) {
+	c, w := testSetup(t, 2)
+	// Skew node 0's allocation: CPU-heavy pods only.
+	var skew *trace.Pod
+	for _, p := range w.Pods {
+		if p.Request.CPU > 2*p.Request.Mem {
+			skew = p
+			break
+		}
+	}
+	if skew == nil {
+		t.Skip("no cpu-heavy pod")
+	}
+	if _, err := c.Place(skew, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	b := BalancedAllocation{}
+	// Placing another CPU-heavy pod increases divergence on node 0.
+	if b.Score(c.Node(0), skew) > b.Score(c.Node(1), skew) {
+		t.Error("balanced allocation should penalize the skewed node")
+	}
+	if b.ScoreName() == "" || (LeastAllocated{}).ScoreName() == "" ||
+		(MostAllocated{}).ScoreName() == "" || (ReplicaSpread{}).ScoreName() == "" {
+		t.Error("unnamed score plugins")
+	}
+	if (ResourcesFit{}).FilterName() == "" || (UsageFit{}).FilterName() == "" {
+		t.Error("unnamed filter plugins")
+	}
+}
+
+func TestReplicaSpread(t *testing.T) {
+	c, w := testSetup(t, 2)
+	var a1, a2 *trace.Pod
+	for _, p := range w.Pods {
+		if a1 == nil {
+			a1 = p
+			continue
+		}
+		if p.AppID == a1.AppID {
+			a2 = p
+			break
+		}
+	}
+	if a2 == nil {
+		t.Skip("no app with two pods")
+	}
+	if _, err := c.Place(a1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	f := NewKubeLike(c, 1)
+	d := f.Schedule([]*trace.Pod{a2}, 0)[0]
+	if d.NodeID != 1 {
+		t.Errorf("replica placed with its sibling on node %d", d.NodeID)
+	}
+}
+
+func TestKubeLikeEndToEnd(t *testing.T) {
+	c, w := testSetup(t, 8)
+	k := NewKubeLike(c, 1)
+	if k.Name() != "Kube-like" {
+		t.Errorf("name %q", k.Name())
+	}
+	placed := 0
+	limit := 200
+	if limit > len(w.Pods) {
+		limit = len(w.Pods)
+	}
+	for _, p := range w.Pods[:limit] {
+		d := k.Schedule([]*trace.Pod{p}, 0)[0]
+		if d.NodeID >= 0 && !d.NeedPreempt {
+			if _, err := c.Place(p, d.NodeID, 0); err != nil {
+				t.Fatal(err)
+			}
+			placed++
+		}
+		c.Tick(0, 30)
+	}
+	if placed == 0 {
+		t.Fatal("Kube-like placed nothing")
+	}
+	// Strict request fit everywhere.
+	for _, n := range c.Nodes() {
+		r, _ := n.OvercommitRate()
+		if r.CPU > 1+1e-9 || r.Mem > 1+1e-9 {
+			t.Fatalf("Kube-like overcommitted: %+v", r)
+		}
+	}
+}
+
+func TestFrameworkNoPlugins(t *testing.T) {
+	// A framework with no filters admits everywhere; no scores means ties,
+	// resolved deterministically.
+	c, w := testSetup(t, 3)
+	f := NewFramework(c, "bare", 1)
+	a := f.Schedule([]*trace.Pod{w.Pods[0]}, 0)[0]
+	b := f.Schedule([]*trace.Pod{w.Pods[0]}, 0)[0]
+	if a.NodeID < 0 || b.NodeID < 0 {
+		t.Fatal("bare framework rejected a pod")
+	}
+}

@@ -1,0 +1,427 @@
+// Package sim is the trace-driven testbed (§5.1): it replays a workload's
+// pod submissions against a cluster under a pluggable scheduler, executes
+// decisions through the conflict-resolving Deployment Module, advances the
+// contention physics in 30-second ticks, and records everything the
+// evaluation figures need — utilization and violation series, waiting
+// times and delay reasons, per-pod worst PSI, best-effort completion
+// times, and wall-clock scheduling latencies.
+package sim
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	// Tick is the simulation step in seconds (default trace.SampleInterval).
+	Tick int64
+	// MaxRounds bounds scheduling rounds per tick: after a conflict, losers
+	// are re-dispatched within the same tick until no progress or the
+	// bound is hit.
+	MaxRounds int
+	// Collector, when non-nil, receives every tick's snapshots and every
+	// BE completion — the Tracing Coordinator feed for the profilers.
+	Collector *profiler.Collector
+	// RecordRanks computes, for every placement, the rank of the chosen
+	// host among all hosts under usage-based and request-based alignment
+	// scoring (the Fig. 10 analysis). Costs O(nodes) per placement.
+	RecordRanks bool
+	// ConflictResolve deploys through the §4.4 conflict-resolving path:
+	// when several decisions target one host in the same tick, only the
+	// highest score deploys and the rest retry next tick. Required when
+	// the scheduler is a core.Parallel bundle, whose members cannot see
+	// each other's in-batch reservations.
+	ConflictResolve bool
+	// Until stops the simulation early (seconds; 0 means full horizon).
+	Until int64
+	// OnTick, when non-nil, is called after every tick with the fresh
+	// snapshots (for custom analyses).
+	OnTick func(t int64, snaps []cluster.NodeSnapshot)
+}
+
+// PodWait records one pod's scheduling outcome.
+type PodWait struct {
+	PodID     int
+	SLO       trace.SLO
+	Wait      int64 // seconds from submission to placement (or censoring)
+	Scheduled bool
+	Reason    sched.Reason // last blocking reason for delayed pods
+}
+
+// Rank records a placement's host rank under the two §3.2 over-commitment
+// policies: 1 is the best-aligned host.
+type Rank struct {
+	PodID     int
+	SLO       trace.SLO
+	UsageRank int // rank under usage-based (aggressive) scoring
+	ReqRank   int // rank under request-based (conservative) scoring
+	Nodes     int
+}
+
+// Result aggregates everything one run produces.
+type Result struct {
+	Scheduler string
+	Workload  *trace.Workload
+
+	// Per-tick series.
+	Times      []int64
+	CPUUtilAvg []float64 // mean host CPU utilization (all hosts)
+	CPUUtilMax []float64
+	MemUtilAvg []float64
+	// CPUUtilBusy and MemUtilBusy average only over non-idle hosts — the
+	// utilization the Eq. 6 objective actually optimizes (fewer, fuller
+	// hosts) and the quantity Fig. 19(a) improves.
+	CPUUtilBusy []float64
+	MemUtilBusy []float64
+	// GoodputBusy is the mean over non-idle hosts of the *effective* CPU
+	// rate: latency-sensitive usage plus best-effort progress rate. Unlike
+	// raw utilization it does not count cycles burnt to contention
+	// slowdown as useful, so it cannot be inflated by over-packing.
+	GoodputBusy []float64
+	Violation   []float64 // fraction of hosts with demand above capacity
+
+	// Per-class mean pod CPU utilization per tick (Fig. 4a).
+	ClassUtil map[trace.SLO][]float64
+
+	// Scheduling outcomes.
+	Waits   []PodWait
+	Placed  int
+	Pending int // still waiting at the end
+
+	// Per-pod performance.
+	MaxPSI      map[int]float64 // LS pod -> worst CPU PSI60 while running
+	BECT        map[int]float64 // BE pod -> completion time (seconds)
+	BEPreempted map[int]int     // BE pod -> preemption count
+
+	// NodeOf maps placed pods to their host.
+	NodeOf map[int]int
+
+	// Ranks (only when Config.RecordRanks).
+	Ranks []Rank
+
+	// SchedLatency holds wall-clock seconds per pod decision.
+	SchedLatency []float64
+}
+
+// Run replays the workload on the cluster under the scheduler. The cluster
+// must have been built over w.Nodes and be empty.
+func Run(w *trace.Workload, c *cluster.Cluster, s sched.Scheduler, cfg Config) *Result {
+	if cfg.Tick <= 0 {
+		cfg.Tick = trace.SampleInterval
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 8
+	}
+	horizon := w.Horizon
+	if cfg.Until > 0 && cfg.Until < horizon {
+		horizon = cfg.Until
+	}
+
+	res := &Result{
+		Scheduler:   s.Name(),
+		Workload:    w,
+		ClassUtil:   make(map[trace.SLO][]float64),
+		MaxPSI:      make(map[int]float64),
+		BECT:        make(map[int]float64),
+		BEPreempted: make(map[int]int),
+		NodeOf:      make(map[int]int),
+	}
+	dep := &core.Deployer{Cluster: c}
+
+	var queue []*pending
+	nextPod := 0
+
+	// Expiry heap for long-running pods with finite lifetimes.
+	var expiry lifetimeHeap
+
+	for now := int64(0); now < horizon; now += cfg.Tick {
+		// 1. Admit newly submitted pods.
+		for nextPod < len(w.Pods) && w.Pods[nextPod].Submit <= now {
+			p := w.Pods[nextPod]
+			queue = append(queue, &pending{pod: p, since: p.Submit})
+			nextPod++
+		}
+
+		// 2. Expire finished-lifetime pods.
+		for expiry.Len() > 0 && expiry[0].at <= now {
+			e := heap.Pop(&expiry).(lifetimeEntry)
+			c.Remove(e.podID, now, false)
+		}
+
+		// 3. Scheduling: one batched decision pass per tick. The scheduler
+		// reserves capacity for its own in-batch decisions, so every
+		// placement can deploy; pods left out wait for the next tick.
+		if len(queue) > 0 {
+			sortQueue(queue)
+			batch := make([]*trace.Pod, len(queue))
+			for i, pe := range queue {
+				batch[i] = pe.pod
+			}
+			start := time.Now()
+			decisions := s.Schedule(batch, now)
+			elapsed := time.Since(start).Seconds() / float64(len(batch))
+			for range batch {
+				res.SchedLatency = append(res.SchedLatency, elapsed)
+			}
+
+			// Rank the selected hosts before deployment mutates the state
+			// the selection was made against.
+			var preRanks map[int]Rank
+			if cfg.RecordRanks {
+				preRanks = make(map[int]Rank)
+				for _, d := range decisions {
+					if d.NodeID >= 0 {
+						preRanks[d.Pod.ID] = rankPlacement(c, d.Pod, d.NodeID)
+					}
+				}
+			}
+
+			var outcome core.Outcome
+			if cfg.ConflictResolve {
+				outcome = dep.Apply(decisions, now)
+			} else {
+				outcome = dep.ApplyAll(decisions, now)
+			}
+
+			// Record reasons for unplaced pods.
+			byPod := make(map[int]*pending, len(queue))
+			for _, pe := range queue {
+				byPod[pe.pod.ID] = pe
+			}
+			for _, d := range decisions {
+				if d.NodeID < 0 {
+					if pe := byPod[d.Pod.ID]; pe != nil {
+						pe.reason = d.Reason
+					}
+				}
+			}
+
+			placedSet := make(map[int]bool, len(outcome.Placed))
+			for _, d := range outcome.Placed {
+				placedSet[d.Pod.ID] = true
+				pe := byPod[d.Pod.ID]
+				res.Waits = append(res.Waits, PodWait{
+					PodID: d.Pod.ID, SLO: d.Pod.SLO,
+					Wait: now - pe.since, Scheduled: true, Reason: pe.reason,
+				})
+				res.Placed++
+				res.NodeOf[d.Pod.ID] = d.NodeID
+				if cfg.RecordRanks {
+					res.Ranks = append(res.Ranks, preRanks[d.Pod.ID])
+				}
+				if d.Pod.Lifetime > 0 {
+					heap.Push(&expiry, lifetimeEntry{at: d.Pod.Lifetime, podID: d.Pod.ID})
+				}
+			}
+
+			// Rebuild the queue: drop placed pods, re-add evicted BE pods.
+			next := queue[:0]
+			for _, pe := range queue {
+				if !placedSet[pe.pod.ID] {
+					next = append(next, pe)
+				}
+			}
+			queue = next
+			for _, ev := range outcome.Evicted {
+				res.BEPreempted[ev.Pod.ID]++
+				queue = append(queue, &pending{pod: ev.Pod, since: now})
+			}
+		}
+
+		// 4. Advance physics.
+		completed, snaps := c.Tick(now, float64(cfg.Tick))
+		if cfg.Collector != nil {
+			cfg.Collector.ObserveTick(snaps)
+			for _, ps := range completed {
+				cfg.Collector.ObserveCompletion(ps)
+			}
+		}
+		if cfg.OnTick != nil {
+			cfg.OnTick(now, snaps)
+		}
+		res.observeTick(now, snaps)
+		for _, ps := range completed {
+			if ps.Pod.SLO == trace.SLOBE {
+				res.BECT[ps.Pod.ID] = float64(ps.Finish - ps.Start)
+			}
+		}
+	}
+
+	// Pods submitted within the final tick never reached the queue; account
+	// for them as pending with zero-ish waits.
+	for nextPod < len(w.Pods) && w.Pods[nextPod].Submit <= horizon {
+		p := w.Pods[nextPod]
+		queue = append(queue, &pending{pod: p, since: p.Submit})
+		nextPod++
+	}
+
+	// Censored waits for pods still pending at the end.
+	for _, pe := range queue {
+		res.Waits = append(res.Waits, PodWait{
+			PodID: pe.pod.ID, SLO: pe.pod.SLO,
+			Wait: horizon - pe.since, Scheduled: false, Reason: pe.reason,
+		})
+	}
+	res.Pending = len(queue)
+	return res
+}
+
+// sortQueue orders pending pods by SLO priority (LSR, LS, then the rest)
+// and then submission time — the production queueing discipline.
+func sortQueue(q []*pending) {
+	prio := func(s trace.SLO) int {
+		switch s {
+		case trace.SLOLSR:
+			return 0
+		case trace.SLOLS:
+			return 1
+		case trace.SLOSystem, trace.SLOVMEnv:
+			return 2
+		case trace.SLOBE:
+			return 4
+		default:
+			return 3
+		}
+	}
+	sort.SliceStable(q, func(a, b int) bool {
+		pa, pb := prio(q[a].pod.SLO), prio(q[b].pod.SLO)
+		if pa != pb {
+			return pa < pb
+		}
+		return q[a].since < q[b].since
+	})
+}
+
+// pending is a submitted-but-unplaced pod in the scheduler queue.
+type pending struct {
+	pod    *trace.Pod
+	since  int64
+	reason sched.Reason
+}
+
+func (r *Result) observeTick(now int64, snaps []cluster.NodeSnapshot) {
+	r.Times = append(r.Times, now)
+	var cpuSum, memSum, cpuMax, violated float64
+	var busyCPU, busyMem, busyGood float64
+	busy := 0
+	classSum := map[trace.SLO]float64{}
+	classN := map[trace.SLO]int{}
+	for i := range snaps {
+		s := &snaps[i]
+		cu := s.CPUUtil()
+		cpuSum += cu
+		memSum += s.MemUtil()
+		if cu > cpuMax {
+			cpuMax = cu
+		}
+		if s.Violated() {
+			violated++
+		}
+		if len(s.Pods) > 0 {
+			busy++
+			busyCPU += cu
+			busyMem += s.MemUtil()
+			var good float64
+			for j := range s.Pods {
+				p := &s.Pods[j]
+				if p.Pod.Pod.Work > 0 {
+					good += p.Rate
+				} else {
+					good += p.CPUUse
+				}
+			}
+			busyGood += good / s.Node.Node.Capacity.CPU
+		}
+		for j := range s.Pods {
+			p := &s.Pods[j]
+			pod := p.Pod.Pod
+			if pod.Request.CPU > 0 {
+				classSum[pod.SLO] += p.CPUUse / pod.Request.CPU
+				classN[pod.SLO]++
+			}
+			if pod.SLO.LatencySensitive() {
+				if cur, ok := r.MaxPSI[pod.ID]; !ok || p.CPUPSI60 > cur {
+					r.MaxPSI[pod.ID] = p.CPUPSI60
+				}
+			}
+		}
+	}
+	n := float64(len(snaps))
+	r.CPUUtilAvg = append(r.CPUUtilAvg, cpuSum/n)
+	r.CPUUtilMax = append(r.CPUUtilMax, cpuMax)
+	r.MemUtilAvg = append(r.MemUtilAvg, memSum/n)
+	r.Violation = append(r.Violation, violated/n)
+	if busy > 0 {
+		r.CPUUtilBusy = append(r.CPUUtilBusy, busyCPU/float64(busy))
+		r.MemUtilBusy = append(r.MemUtilBusy, busyMem/float64(busy))
+		r.GoodputBusy = append(r.GoodputBusy, busyGood/float64(busy))
+	} else {
+		r.CPUUtilBusy = append(r.CPUUtilBusy, 0)
+		r.MemUtilBusy = append(r.MemUtilBusy, 0)
+		r.GoodputBusy = append(r.GoodputBusy, 0)
+	}
+	for _, slo := range []trace.SLO{trace.SLOBE, trace.SLOLS, trace.SLOLSR} {
+		v := 0.0
+		if classN[slo] > 0 {
+			v = classSum[slo] / float64(classN[slo])
+		}
+		r.ClassUtil[slo] = append(r.ClassUtil[slo], v)
+	}
+}
+
+// rankPlacement computes the chosen host's rank among all hosts under
+// usage-based and request-based alignment scoring (Fig. 10). Rank 1 is the
+// highest-scoring host.
+func rankPlacement(c *cluster.Cluster, p *trace.Pod, chosen int) Rank {
+	nodes := c.Nodes()
+	useScore := make([]float64, len(nodes))
+	reqScore := make([]float64, len(nodes))
+	for i, n := range nodes {
+		useScore[i] = p.Request.Dot(n.LastUsage())
+		reqScore[i] = p.Request.Dot(n.ReqSum())
+	}
+	rank := func(scores []float64) int {
+		r := 1
+		for i, s := range scores {
+			if i == chosen {
+				continue
+			}
+			if s > scores[chosen] {
+				r++
+			}
+		}
+		return r
+	}
+	return Rank{
+		PodID: p.ID, SLO: p.SLO,
+		UsageRank: rank(useScore), ReqRank: rank(reqScore), Nodes: len(nodes),
+	}
+}
+
+// lifetimeHeap is a min-heap of pod expiry times.
+type lifetimeEntry struct {
+	at    int64
+	podID int
+}
+
+type lifetimeHeap []lifetimeEntry
+
+func (h lifetimeHeap) Len() int            { return len(h) }
+func (h lifetimeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h lifetimeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lifetimeHeap) Push(x interface{}) { *h = append(*h, x.(lifetimeEntry)) }
+func (h *lifetimeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/stats"
+	"unisched/internal/trace"
+)
+
+func testWorkload(t *testing.T) *trace.Workload {
+	t.Helper()
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 20
+	return trace.MustGenerate(cfg)
+}
+
+func runAlibaba(t *testing.T, w *trace.Workload, cfg Config) *Result {
+	t.Helper()
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	return Run(w, c, sched.NewAlibabaLike(c, 1), cfg)
+}
+
+func TestRunBasicInvariants(t *testing.T) {
+	w := testWorkload(t)
+	res := runAlibaba(t, w, Config{})
+	if res.Scheduler != "Alibaba" {
+		t.Errorf("scheduler name %q", res.Scheduler)
+	}
+	ticks := int(w.Horizon / trace.SampleInterval)
+	if len(res.Times) != ticks {
+		t.Fatalf("tick count %d, want %d", len(res.Times), ticks)
+	}
+	for i, u := range res.CPUUtilAvg {
+		if u < 0 || u > 1.001 {
+			t.Fatalf("tick %d avg CPU util %v out of range", i, u)
+		}
+		if res.CPUUtilMax[i] < u-1e-9 {
+			t.Fatalf("max util below avg at tick %d", i)
+		}
+		if res.Violation[i] < 0 || res.Violation[i] > 1 {
+			t.Fatalf("violation rate %v", res.Violation[i])
+		}
+	}
+	// Most pods get placed eventually.
+	if res.Placed == 0 {
+		t.Fatal("nothing placed")
+	}
+	// Every pod appears at most once in Waits per placement, and the sum
+	// placed+pending equals the wait records.
+	if res.Placed+res.Pending > len(res.Waits)+res.Placed {
+		t.Fatal("wait accounting broken")
+	}
+	for _, pw := range res.Waits {
+		if pw.Wait < 0 {
+			t.Fatalf("negative wait for pod %d", pw.PodID)
+		}
+	}
+	// BE completion times recorded and positive.
+	if len(res.BECT) == 0 {
+		t.Fatal("no BE completions")
+	}
+	for id, ct := range res.BECT {
+		if ct <= 0 {
+			t.Fatalf("pod %d CT %v", id, ct)
+		}
+	}
+	// LS pods have PSI records.
+	if len(res.MaxPSI) == 0 {
+		t.Fatal("no PSI records")
+	}
+	for id, psi := range res.MaxPSI {
+		if psi < 0 || psi > 1 {
+			t.Fatalf("pod %d PSI %v", id, psi)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := testWorkload(t)
+	a := runAlibaba(t, w, Config{})
+	b := runAlibaba(t, w, Config{})
+	if a.Placed != b.Placed || a.Pending != b.Pending {
+		t.Fatalf("placement differs: %d/%d vs %d/%d", a.Placed, a.Pending, b.Placed, b.Pending)
+	}
+	for i := range a.CPUUtilAvg {
+		if a.CPUUtilAvg[i] != b.CPUUtilAvg[i] {
+			t.Fatalf("util series differs at %d", i)
+		}
+	}
+	for id, n := range a.NodeOf {
+		if b.NodeOf[id] != n {
+			t.Fatalf("pod %d node differs", id)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	w := testWorkload(t)
+	res := runAlibaba(t, w, Config{Until: 3600})
+	if len(res.Times) != int(3600/trace.SampleInterval) {
+		t.Errorf("Until ignored: %d ticks", len(res.Times))
+	}
+}
+
+func TestCollectorFeed(t *testing.T) {
+	w := testWorkload(t)
+	col := profiler.NewCollector(1)
+	runAlibaba(t, w, Config{Collector: col})
+	if col.ERO().Pairs() == 0 {
+		t.Error("collector saw no pairs")
+	}
+	if col.Stats().Apps() == 0 {
+		t.Error("collector saw no app stats")
+	}
+	models, err := col.TrainInterference(nil, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models.LS) == 0 {
+		t.Error("no LS models from sim feed")
+	}
+}
+
+func TestRanksRecorded(t *testing.T) {
+	w := testWorkload(t)
+	res := runAlibaba(t, w, Config{RecordRanks: true, Until: 3600})
+	if len(res.Ranks) == 0 {
+		t.Fatal("no ranks recorded")
+	}
+	for _, r := range res.Ranks {
+		if r.UsageRank < 1 || r.UsageRank > r.Nodes || r.ReqRank < 1 || r.ReqRank > r.Nodes {
+			t.Fatalf("rank out of range: %+v", r)
+		}
+	}
+}
+
+func TestOnTickCallback(t *testing.T) {
+	w := testWorkload(t)
+	calls := 0
+	runAlibaba(t, w, Config{Until: 600, OnTick: func(ts int64, snaps []cluster.NodeSnapshot) {
+		calls++
+		if len(snaps) != len(w.Nodes) {
+			t.Fatalf("snapshot count %d", len(snaps))
+		}
+	}})
+	if calls != int(600/trace.SampleInterval) {
+		t.Errorf("OnTick calls = %d", calls)
+	}
+}
+
+func TestHeavyTailedWaits(t *testing.T) {
+	// Fig. 8: the waiting-time distribution under the production scheduler
+	// is heavy-tailed — most pods place immediately, a tail waits long.
+	w := testWorkload(t)
+	res := runAlibaba(t, w, Config{})
+	var waits []float64
+	for _, pw := range res.Waits {
+		waits = append(waits, float64(pw.Wait))
+	}
+	cdf := stats.NewCDF(waits)
+	if cdf.Quantile(0.5) > 60 {
+		t.Errorf("median wait %v too high — queue melting down", cdf.Quantile(0.5))
+	}
+	if cdf.Max() < 5*cdf.Quantile(0.9)+1 && cdf.Max() < 300 {
+		t.Logf("waits: %v", cdf)
+	}
+}
+
+func TestLSRWaitsShorterThanBE(t *testing.T) {
+	// §3.1.3: LSR pods wait less than BE pods thanks to preemption.
+	w := testWorkload(t)
+	res := runAlibaba(t, w, Config{})
+	var lsr, be []float64
+	for _, pw := range res.Waits {
+		switch pw.SLO {
+		case trace.SLOLSR:
+			lsr = append(lsr, float64(pw.Wait))
+		case trace.SLOBE:
+			be = append(be, float64(pw.Wait))
+		}
+	}
+	if len(lsr) == 0 || len(be) == 0 {
+		t.Skip("missing classes")
+	}
+	if stats.Mean(lsr) > stats.Mean(be)+60 {
+		t.Errorf("LSR mean wait %v should not exceed BE %v by much",
+			stats.Mean(lsr), stats.Mean(be))
+	}
+}
+
+func TestEndToEndOptum(t *testing.T) {
+	// Full pipeline: warm up under the baseline with a collector, train,
+	// then run Optum on the same workload with profiles.
+	w := testWorkload(t)
+	col := profiler.NewCollector(1)
+	runAlibaba(t, w, Config{Collector: col})
+	models, err := col.TrainInterference(nil, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := core.Profiles{ERO: col.ERO(), Stats: col.Stats(), Models: models}
+
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	o := core.New(c, prof, core.DefaultOptions(), 3)
+	res := Run(w, c, o, Config{})
+	if res.Placed == 0 {
+		t.Fatal("Optum placed nothing")
+	}
+	// Memory cap must hold in expectation: mean memory utilization below
+	// the 0.8 cap plus slack for profile error.
+	if m := stats.Mean(res.MemUtilAvg); m > 0.95 {
+		t.Errorf("mean memory utilization %v above cap region", m)
+	}
+	// Scheduling latency is recorded.
+	if len(res.SchedLatency) == 0 {
+		t.Error("no scheduling latencies recorded")
+	}
+}
+
+func TestPreemptionRequeuesBE(t *testing.T) {
+	// A tight cluster forces LSR preemption; evicted BE pods must re-enter
+	// the queue and eventually finish or stay pending — never vanish.
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 6
+	cfg.LSRequestFactor = 1.6 // pressure
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	res := Run(w, c, sched.NewAlibabaLike(c, 1), Config{})
+	// Accounting: every BE pod is placed, pending, or was never submitted.
+	seen := map[int]bool{}
+	for _, pw := range res.Waits {
+		seen[pw.PodID] = true
+	}
+	for _, p := range w.Pods {
+		if !seen[p.ID] {
+			t.Fatalf("pod %d vanished from accounting", p.ID)
+		}
+	}
+}
+
+func TestParallelSchedulersEndToEnd(t *testing.T) {
+	// A full simulation under 3 parallel Optum schedulers (§4.4) with
+	// conflict resolution: everything still gets placed and accounted.
+	w := testWorkload(t)
+	col := profiler.NewCollector(1)
+	runAlibaba(t, w, Config{Collector: col})
+	models, err := col.TrainInterference(nil, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := core.Profiles{ERO: col.ERO(), Stats: col.Stats(), Models: models}
+
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	members := make([]sched.Scheduler, 3)
+	for m := range members {
+		members[m] = core.New(c, prof, core.DefaultOptions(), int64(7+m))
+	}
+	par := core.NewParallel("Optum-x3", members...)
+	res := Run(w, c, par, Config{ConflictResolve: true})
+	if res.Scheduler != "Optum-x3" {
+		t.Errorf("scheduler name %q", res.Scheduler)
+	}
+	// Conflict resolution admits at most one pod per host per tick, so a
+	// parallel bundle trades some throughput for coordination-free members.
+	frac := float64(res.Placed) / float64(len(w.Pods))
+	if frac < 0.75 {
+		t.Errorf("only %.2f of pods placed under parallel schedulers", frac)
+	}
+	// Accounting still holds: every pod has a wait record.
+	seen := map[int]bool{}
+	for _, pw := range res.Waits {
+		seen[pw.PodID] = true
+	}
+	for _, p := range w.Pods {
+		if !seen[p.ID] {
+			t.Fatalf("pod %d missing from accounting", p.ID)
+		}
+	}
+}
+
+func TestGoodputBounded(t *testing.T) {
+	// Goodput can never exceed raw utilization (slowdown only subtracts),
+	// and both series stay aligned in length.
+	w := testWorkload(t)
+	res := runAlibaba(t, w, Config{})
+	if len(res.GoodputBusy) != len(res.CPUUtilBusy) {
+		t.Fatal("series misaligned")
+	}
+	for i := range res.GoodputBusy {
+		if res.GoodputBusy[i] > res.CPUUtilBusy[i]+1e-9 {
+			t.Fatalf("tick %d goodput %v above utilization %v",
+				i, res.GoodputBusy[i], res.CPUUtilBusy[i])
+		}
+		if res.GoodputBusy[i] < 0 {
+			t.Fatalf("negative goodput at %d", i)
+		}
+	}
+}

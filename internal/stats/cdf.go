@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function built from samples.
+// The zero value is unusable; construct with NewCDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. The input is copied and sorted.
+func NewCDF(xs []float64) *CDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples behind the CDF.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of samples that are <= x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Upper bound: first index with sorted[i] > x.
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile of the samples.
+func (c *CDF) Quantile(q float64) float64 {
+	return quantileSorted(c.sorted, q)
+}
+
+// Min returns the smallest sample (0 if empty).
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample (0 if empty).
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 { return Mean(c.sorted) }
+
+// Points returns n evenly spaced (value, cumulative-probability) points
+// suitable for plotting or printing the CDF as a series.
+func (c *CDF) Points(n int) []CDFPoint {
+	if n <= 0 || len(c.sorted) == 0 {
+		return nil
+	}
+	pts := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		if n == 1 {
+			q = 1
+		}
+		pts = append(pts, CDFPoint{Value: quantileSorted(c.sorted, q), P: q})
+	}
+	return pts
+}
+
+// CDFPoint is a single (value, cumulative probability) pair.
+type CDFPoint struct {
+	Value float64
+	P     float64
+}
+
+// String renders a compact, human-readable summary of the distribution.
+func (c *CDF) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d min=%.4g p25=%.4g p50=%.4g p75=%.4g p90=%.4g p99=%.4g max=%.4g",
+		c.Len(), c.Min(), c.Quantile(0.25), c.Quantile(0.5), c.Quantile(0.75),
+		c.Quantile(0.9), c.Quantile(0.99), c.Max())
+	return b.String()
+}
+
+// TailIndexHill estimates the tail index of the distribution using the Hill
+// estimator over the top k order statistics. Smaller values indicate heavier
+// tails; a value below ~2 is commonly read as "heavy-tailed". Returns 0 if
+// there are not enough positive samples.
+func (c *CDF) TailIndexHill(k int) float64 {
+	n := len(c.sorted)
+	if k <= 0 || k >= n {
+		return 0
+	}
+	xk := c.sorted[n-k-1]
+	if xk <= 0 {
+		return 0
+	}
+	var s float64
+	for i := n - k; i < n; i++ {
+		if c.sorted[i] <= 0 {
+			return 0
+		}
+		s += logRatio(c.sorted[i], xk)
+	}
+	if s == 0 {
+		return 0
+	}
+	return float64(k) / s
+}
+
+func logRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return ln(a / b)
+}

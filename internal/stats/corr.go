@@ -1,0 +1,210 @@
+package stats
+
+import "math"
+
+// ln is a tiny alias so files in this package avoid importing math twice for
+// one call site.
+func ln(x float64) float64 { return math.Log(x) }
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns 0 when either series is constant or the series are empty or of
+// different non-overlapping length; only the common prefix is used.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n < 2 {
+		return 0
+	}
+	mx := Mean(xs[:n])
+	my := Mean(ys[:n])
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient between xs and
+// ys, i.e. the Pearson correlation of the fractional ranks. Ties receive
+// their average rank.
+func Spearman(xs, ys []float64) float64 {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n < 2 {
+		return 0
+	}
+	rx := fractionalRanks(xs[:n])
+	ry := fractionalRanks(ys[:n])
+	return Pearson(rx, ry)
+}
+
+// fractionalRanks assigns average ranks to ties.
+func fractionalRanks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion-free sort of indices by value.
+	quickSortIdx(xs, idx, 0, n-1)
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func quickSortIdx(vals []float64, idx []int, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && vals[idx[j]] < vals[idx[j-1]]; j-- {
+					idx[j], idx[j-1] = idx[j-1], idx[j]
+				}
+			}
+			return
+		}
+		p := vals[idx[(lo+hi)/2]]
+		i, j := lo, hi
+		for i <= j {
+			for vals[idx[i]] < p {
+				i++
+			}
+			for vals[idx[j]] > p {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half to bound stack depth.
+		if j-lo < hi-i {
+			quickSortIdx(vals, idx, lo, j)
+			lo = i
+		} else {
+			quickSortIdx(vals, idx, i, hi)
+			hi = j
+		}
+	}
+}
+
+// Histogram counts samples into nbins equal-width bins over [lo, hi].
+// Samples outside the range are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram builds a histogram of xs with nbins bins spanning [lo, hi].
+func NewHistogram(xs []float64, nbins int, lo, hi float64) *Histogram {
+	if nbins <= 0 {
+		nbins = 1
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	nb := len(h.Counts)
+	var i int
+	if h.Hi > h.Lo {
+		i = int((x - h.Lo) / (h.Hi - h.Lo) * float64(nb))
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= nb {
+		i = nb - 1
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// Fraction returns the share of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.N == 0 || i < 0 || i >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	nb := len(h.Counts)
+	w := (h.Hi - h.Lo) / float64(nb)
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lag — the tool the trace study uses to confirm the diurnal period of the
+// QPS and utilization series.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n || n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}
+
+// KSDistance returns the two-sample Kolmogorov-Smirnov statistic between
+// xs and ys: the maximum vertical distance between their empirical CDFs.
+// The trace generator's validation compares generated distributions against
+// reference shapes with it.
+func KSDistance(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 1
+	}
+	a := NewCDF(xs)
+	b := NewCDF(ys)
+	var d float64
+	for _, v := range xs {
+		if diff := math.Abs(a.At(v) - b.At(v)); diff > d {
+			d = diff
+		}
+	}
+	for _, v := range ys {
+		if diff := math.Abs(a.At(v) - b.At(v)); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

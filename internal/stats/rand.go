@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The samplers below wrap math/rand with the distributions the synthetic
+// trace generator needs. All take an explicit *rand.Rand so experiments are
+// reproducible from a single seed.
+
+// LogNormal samples from a log-normal distribution with the given log-space
+// mean mu and standard deviation sigma.
+func LogNormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// Pareto samples from a Pareto (power-law) distribution with scale xmin and
+// shape alpha. Smaller alpha yields a heavier tail; alpha <= 2 has infinite
+// variance, which is the regime the pod waiting-time and arrival-rate
+// distributions in the trace study live in.
+func Pareto(r *rand.Rand, xmin, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xmin / math.Pow(u, 1/alpha)
+}
+
+// BoundedPareto samples from a Pareto distribution truncated at xmax by
+// rejection (falling back to xmax after a few tries to stay O(1)).
+func BoundedPareto(r *rand.Rand, xmin, alpha, xmax float64) float64 {
+	for i := 0; i < 16; i++ {
+		if v := Pareto(r, xmin, alpha); v <= xmax {
+			return v
+		}
+	}
+	return xmax
+}
+
+// TruncNorm samples from a normal distribution with mean mu and standard
+// deviation sigma, clamped to [lo, hi].
+func TruncNorm(r *rand.Rand, mu, sigma, lo, hi float64) float64 {
+	return Clamp(r.NormFloat64()*sigma+mu, lo, hi)
+}
+
+// Exponential samples an exponential inter-arrival with the given mean.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Choice returns a random index in [0, len(weights)) with probability
+// proportional to the weights. Non-positive weights are treated as zero.
+// If all weights are zero it returns 0.
+func Choice(r *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,202 @@
+// Package stats provides the statistical primitives used throughout the
+// unified-scheduling study: descriptive statistics, empirical CDFs,
+// quantiles, correlation coefficients, histograms and a handful of
+// heavy-tailed random samplers.
+//
+// The package is deliberately small and allocation-conscious: the
+// characterization pipeline calls these functions over millions of samples.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the population variance of xs (division by n, matching
+// the N-sigma predictor convention), or 0 for fewer than one sample.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CoV returns the coefficient of variation (standard deviation divided by
+// mean) of xs. A zero mean yields CoV 0 when all samples are zero and +Inf
+// otherwise, mirroring how the trace study treats degenerate series.
+func CoV(xs []float64) float64 {
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if m == 0 {
+		if sd == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return sd / math.Abs(m)
+}
+
+// Min returns the minimum of xs, or 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for already-sorted input, avoiding the copy.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs.
+func Percentile(xs []float64, p float64) float64 {
+	return Quantile(xs, p/100)
+}
+
+// MAPE returns the mean absolute percentage error of predictions against
+// truths: mean(|pred-true| / |true|). Pairs whose truth is zero are skipped;
+// if every truth is zero, MAPE returns 0.
+func MAPE(pred, truth []float64) float64 {
+	n := len(pred)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	var s float64
+	var k int
+	for i := 0; i < n; i++ {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
+		k++
+	}
+	if k == 0 {
+		return 0
+	}
+	return s / float64(k)
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Rank returns, for each element of xs, its 1-based rank when xs is sorted
+// ascending. Ties receive the rank of their first occurrence (competition
+// ranking), which is what the host-rank analysis of Fig. 10 uses.
+func Rank(xs []float64) []int {
+	type iv struct {
+		i int
+		v float64
+	}
+	ivs := make([]iv, len(xs))
+	for i, v := range xs {
+		ivs[i] = iv{i, v}
+	}
+	sort.SliceStable(ivs, func(a, b int) bool { return ivs[a].v < ivs[b].v })
+	ranks := make([]int, len(xs))
+	for pos, e := range ivs {
+		r := pos + 1
+		if pos > 0 && ivs[pos-1].v == e.v {
+			r = ranks[ivs[pos-1].i]
+		}
+		ranks[e.i] = r
+	}
+	return ranks
+}

@@ -1,0 +1,450 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{3}, 3},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance(nil) != 0 {
+		t.Error("Variance(nil) != 0")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if got := CoV([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("CoV of constant = %v, want 0", got)
+	}
+	if got := CoV([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, 0.4, 1e-12) {
+		t.Errorf("CoV = %v, want 0.4", got)
+	}
+	if got := CoV([]float64{0, 0}); got != 0 {
+		t.Errorf("CoV all-zero = %v, want 0", got)
+	}
+	if got := CoV([]float64{-1, 1}); !math.IsInf(got, 1) {
+		t.Errorf("CoV zero-mean nonzero-sd = %v, want +Inf", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-0.1, 1}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Quantile([]float64{0, 10}, 0.5); !almostEq(got, 5, 1e-12) {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) != 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 50); !almostEq(got, 3, 1e-12) {
+		t.Errorf("Percentile(50) = %v", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	if got := MAPE([]float64{110, 90}, []float64{100, 100}); !almostEq(got, 0.1, 1e-12) {
+		t.Errorf("MAPE = %v, want 0.1", got)
+	}
+	// Zero truths skipped.
+	if got := MAPE([]float64{1, 110}, []float64{0, 100}); !almostEq(got, 0.1, 1e-12) {
+		t.Errorf("MAPE with zero truth = %v, want 0.1", got)
+	}
+	if MAPE([]float64{1}, []float64{0}) != 0 {
+		t.Error("MAPE all-zero truth should be 0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestRank(t *testing.T) {
+	got := Rank([]float64{10, 30, 20})
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rank = %v, want %v", got, want)
+		}
+	}
+	// Ties share the first rank.
+	got = Rank([]float64{5, 5, 5, 1})
+	if got[3] != 1 || got[0] != 2 || got[1] != 2 || got[2] != 2 {
+		t.Errorf("Rank with ties = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("perfect positive corr = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("perfect negative corr = %v", got)
+	}
+	if got := Pearson(xs, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("constant series corr = %v, want 0", got)
+	}
+	if Pearson([]float64{1}, []float64{1}) != 0 {
+		t.Error("corr of single sample should be 0")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone nonlinear relation: Spearman = 1 even though Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Spearman of monotone = %v, want 1", got)
+	}
+	// Ties handled via average ranks: still finite and bounded.
+	got := Spearman([]float64{1, 1, 2, 2}, []float64{1, 2, 3, 4})
+	if got < -1 || got > 1 {
+		t.Errorf("Spearman with ties out of range: %v", got)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.At(2); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	if c.Min() != 1 || c.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", c.Min(), c.Max())
+	}
+	if !almostEq(c.Mean(), 2.5, 1e-12) {
+		t.Errorf("Mean = %v", c.Mean())
+	}
+	if s := c.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].P < pts[i-1].P {
+			t.Errorf("Points not monotone at %d: %+v", i, pts)
+		}
+	}
+	if c.Points(0) != nil {
+		t.Error("Points(0) should be nil")
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Quantile(0.5) != 0 || c.Min() != 0 || c.Max() != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+}
+
+func TestTailIndexHill(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	heavy := make([]float64, 20000)
+	for i := range heavy {
+		heavy[i] = Pareto(r, 1, 1.5)
+	}
+	light := make([]float64, 20000)
+	for i := range light {
+		light[i] = math.Abs(r.NormFloat64()) + 1
+	}
+	hHeavy := NewCDF(heavy).TailIndexHill(1000)
+	hLight := NewCDF(light).TailIndexHill(1000)
+	if hHeavy <= 0 || hHeavy >= 2.2 {
+		t.Errorf("Hill index for Pareto(1.5) = %v, want ~1.5", hHeavy)
+	}
+	if hLight <= hHeavy {
+		t.Errorf("Gaussian tail (%v) should be lighter than Pareto tail (%v)", hLight, hHeavy)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.1, 0.9, -5, 5}, 2, 0, 1)
+	if h.N != 5 {
+		t.Fatalf("N = %d", h.N)
+	}
+	// -5 clamps to first bin, 5 clamps to last.
+	if h.Counts[0] != 3 || h.Counts[1] != 2 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+	if !almostEq(h.Fraction(0), 0.6, 1e-12) {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+	if !almostEq(h.BinCenter(0), 0.25, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	if h.Fraction(99) != 0 {
+		t.Error("out-of-range Fraction should be 0")
+	}
+}
+
+func TestSamplers(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		if v := Pareto(r, 2, 1.1); v < 2 {
+			t.Fatalf("Pareto below xmin: %v", v)
+		}
+		if v := BoundedPareto(r, 1, 0.8, 100); v < 1 || v > 100 {
+			t.Fatalf("BoundedPareto out of range: %v", v)
+		}
+		if v := TruncNorm(r, 0.5, 10, 0, 1); v < 0 || v > 1 {
+			t.Fatalf("TruncNorm out of range: %v", v)
+		}
+		if v := LogNormal(r, 0, 1); v <= 0 {
+			t.Fatalf("LogNormal non-positive: %v", v)
+		}
+		if v := Exponential(r, 3); v < 0 {
+			t.Fatalf("Exponential negative: %v", v)
+		}
+	}
+}
+
+func TestChoice(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[Choice(r, []float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+	if Choice(r, []float64{0, 0}) != 0 {
+		t.Error("all-zero weights should return 0")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q1 := float64(a%101) / 100
+		q2 := float64(b%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		return v1 <= v2 && v1 >= Min(xs) && v2 <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pearson is bounded to [-1, 1] and symmetric.
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		for _, v := range append(append([]float64{}, xs...), ys...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		r := Pearson(xs, ys)
+		if math.IsNaN(r) || r < -1.0000001 || r > 1.0000001 {
+			return false
+		}
+		return almostEq(r, Pearson(ys, xs), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF.At is monotone non-decreasing.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		c := NewCDF(xs)
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram conserves sample count.
+func TestHistogramConservesProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		h := NewHistogram(xs, 8, 0, 1)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs) && h.N == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A pure cycle has autocorrelation ~1 at its period and ~-1 at half.
+	period := 48
+	xs := make([]float64, period*6)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / float64(period))
+	}
+	if got := Autocorrelation(xs, period); got < 0.8 {
+		t.Errorf("autocorr at period = %v, want ~1", got)
+	}
+	if got := Autocorrelation(xs, period/2); got > -0.5 {
+		t.Errorf("autocorr at half period = %v, want strongly negative", got)
+	}
+	if Autocorrelation(xs, 0) < 0.999 {
+		t.Error("lag-0 autocorrelation should be 1")
+	}
+	if Autocorrelation(nil, 1) != 0 || Autocorrelation(xs, -1) != 0 || Autocorrelation(xs, len(xs)) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	same1 := make([]float64, 5000)
+	same2 := make([]float64, 5000)
+	shifted := make([]float64, 5000)
+	for i := range same1 {
+		same1[i] = r.NormFloat64()
+		same2[i] = r.NormFloat64()
+		shifted[i] = r.NormFloat64() + 2
+	}
+	if d := KSDistance(same1, same2); d > 0.05 {
+		t.Errorf("same-distribution KS = %v, want small", d)
+	}
+	if d := KSDistance(same1, shifted); d < 0.5 {
+		t.Errorf("shifted-distribution KS = %v, want large", d)
+	}
+	if KSDistance(nil, same1) != 1 {
+		t.Error("empty sample should give distance 1")
+	}
+	// Symmetry.
+	if KSDistance(same1, shifted) != KSDistance(shifted, same1) {
+		t.Error("KS distance not symmetric")
+	}
+}
+
+func TestDiurnalPeriodDetectable(t *testing.T) {
+	// The generated QPS series has its diurnal period recoverable by
+	// autocorrelation — a validation of the generator itself.
+	r := rand.New(rand.NewSource(9))
+	day := 96 // samples per synthetic day
+	xs := make([]float64, day*4)
+	for i := range xs {
+		xs[i] = 200*(1+0.4*math.Sin(2*math.Pi*float64(i)/float64(day))) + 10*r.NormFloat64()
+	}
+	best, bestLag := -2.0, 0
+	for lag := day / 2; lag <= 2*day; lag++ {
+		if ac := Autocorrelation(xs, lag); ac > best {
+			best, bestLag = ac, lag
+		}
+	}
+	if bestLag < day-6 || bestLag > day+6 {
+		t.Errorf("recovered period %d, want ~%d", bestLag, day)
+	}
+}

@@ -1,0 +1,144 @@
+// Package texttab renders small plain-text tables and series for the
+// command-line tools, so every figure's data prints as the rows/series the
+// paper plots — no plotting dependencies needed.
+package texttab
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"unisched/internal/stats"
+)
+
+// Table accumulates rows under a header and renders with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// New creates a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v unless already strings.
+func (t *Table) Row(cells ...interface{}) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CDFRow renders a CDF as a compact quantile row for tables.
+func CDFRow(c *stats.CDF) string {
+	if c == nil || c.Len() == 0 {
+		return "(empty)"
+	}
+	return fmt.Sprintf("p25=%.3g p50=%.3g p75=%.3g p90=%.3g p99=%.3g max=%.3g",
+		c.Quantile(0.25), c.Quantile(0.5), c.Quantile(0.75),
+		c.Quantile(0.9), c.Quantile(0.99), c.Max())
+}
+
+// Sparkline renders a series as a unicode mini-chart, handy for the
+// utilization-over-time figures in terminal output.
+func Sparkline(xs []float64, width int) string {
+	if len(xs) == 0 || width <= 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	step := float64(len(xs)) / float64(width)
+	if step < 1 {
+		step = 1
+		width = len(xs)
+	}
+	for i := 0; i < width; i++ {
+		// Average the bucket for stability.
+		start := int(float64(i) * step)
+		end := int(float64(i+1) * step)
+		if end > len(xs) {
+			end = len(xs)
+		}
+		if start >= end {
+			break
+		}
+		var sum float64
+		for _, x := range xs[start:end] {
+			sum += x
+		}
+		v := sum / float64(end-start)
+		k := int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(blocks) {
+			k = len(blocks) - 1
+		}
+		b.WriteRune(blocks[k])
+	}
+	return b.String()
+}

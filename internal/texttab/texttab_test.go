@@ -1,0 +1,83 @@
+package texttab
+
+import (
+	"strings"
+	"testing"
+
+	"unisched/internal/stats"
+)
+
+func TestTableRender(t *testing.T) {
+	var sb strings.Builder
+	New("name", "value").
+		Row("alpha", 1.5).
+		Row("b", "text").
+		Row("gamma", 12).
+		Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") ||
+		!strings.Contains(out, "text") || !strings.Contains(out, "12") {
+		t.Errorf("cells missing:\n%s", out)
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	head := strings.Index(lines[0], "value")
+	if !strings.Contains(lines[2][head:], "1.5") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	var sb strings.Builder
+	New("a", "b", "c").Row("only").Render(&sb)
+	if !strings.Contains(sb.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestCDFRow(t *testing.T) {
+	if got := CDFRow(nil); got != "(empty)" {
+		t.Errorf("nil CDF = %q", got)
+	}
+	if got := CDFRow(stats.NewCDF(nil)); got != "(empty)" {
+		t.Errorf("empty CDF = %q", got)
+	}
+	got := CDFRow(stats.NewCDF([]float64{1, 2, 3, 4}))
+	if !strings.Contains(got, "p50=") || !strings.Contains(got, "max=4") {
+		t.Errorf("CDFRow = %q", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty input should render empty")
+	}
+	if Sparkline([]float64{1, 2}, 0) != "" {
+		t.Error("zero width should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("width = %d, want 8", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] >= runes[7] {
+		t.Errorf("rising series should rise: %q", s)
+	}
+	// Constant series renders without panic.
+	if Sparkline([]float64{3, 3, 3}, 3) == "" {
+		t.Error("constant series should render")
+	}
+	// More width than points.
+	if got := Sparkline([]float64{1, 2}, 10); len([]rune(got)) != 2 {
+		t.Errorf("short series should clamp to its length, got %q", got)
+	}
+}

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV interchange in the spirit of the public Alibaba cluster-data drops:
+// one table per entity kind, with explicit headers so files remain
+// self-describing. WriteCSV produces three sections (nodes, apps, pods)
+// separated by blank lines; ReadCSV parses the same layout. The format is
+// intended for interoperability with external analysis tooling (pandas,
+// DuckDB, ...), not as the primary store — JSON via WriteJSON keeps full
+// fidelity.
+
+var nodeHeader = []string{"machine_id", "cpu_capacity", "mem_capacity", "group"}
+
+var appHeader = []string{
+	"app_id", "slo", "cpu_request", "mem_request", "cpu_limit", "mem_limit",
+	"cpu_base_util", "cpu_diurnal_amp", "cpu_noise", "mem_util", "mem_cov",
+	"qps_base", "rt_base", "psi_sensitivity", "rt_dep_noise",
+	"ct_slow_cpu", "ct_slow_mem", "mean_duration", "input_cov", "phase", "affinity",
+}
+
+var podHeader = []string{
+	"pod_id", "app_id", "slo", "submit_time", "cpu_request", "mem_request",
+	"cpu_limit", "mem_limit", "cpu_scale", "mem_scale", "work", "lifetime",
+}
+
+func f2s(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV writes the workload as three CSV tables (nodes, apps, pods),
+// separated by blank lines, preceded by a comment-ish meta row.
+func WriteCSV(w io.Writer, wl *Workload) error {
+	cw := csv.NewWriter(w)
+	write := func(rec []string) {
+		cw.Write(rec) //nolint:errcheck // flushed error checked below
+	}
+	write([]string{"#meta", strconv.FormatInt(wl.Horizon, 10), strconv.FormatInt(wl.Seed, 10)})
+
+	write(nodeHeader)
+	for _, n := range wl.Nodes {
+		write([]string{
+			strconv.Itoa(n.ID), f2s(n.Capacity.CPU), f2s(n.Capacity.Mem),
+			strconv.Itoa(n.Group),
+		})
+	}
+	write(nil)
+
+	write(appHeader)
+	for _, a := range wl.Apps {
+		write([]string{
+			a.ID, a.SLO.String(),
+			f2s(a.Request.CPU), f2s(a.Request.Mem), f2s(a.Limit.CPU), f2s(a.Limit.Mem),
+			f2s(a.CPUBaseUtil), f2s(a.CPUDiurnalAmp), f2s(a.CPUNoise),
+			f2s(a.MemUtil), f2s(a.MemCoV), f2s(a.QPSBase), f2s(a.RTBase),
+			f2s(a.PSISensitivity), f2s(a.RTDepNoise),
+			f2s(a.CTSlowCPU), f2s(a.CTSlowMem), f2s(a.MeanDuration),
+			f2s(a.InputCoV), f2s(a.Phase), strconv.Itoa(a.Affinity),
+		})
+	}
+	write(nil)
+
+	write(podHeader)
+	for _, p := range wl.Pods {
+		write([]string{
+			strconv.Itoa(p.ID), p.AppID, p.SLO.String(),
+			strconv.FormatInt(p.Submit, 10),
+			f2s(p.Request.CPU), f2s(p.Request.Mem), f2s(p.Limit.CPU), f2s(p.Limit.Mem),
+			f2s(p.CPUScale), f2s(p.MemScale), f2s(p.Work),
+			strconv.FormatInt(p.Lifetime, 10),
+		})
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the layout produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Workload, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv: %w", err)
+	}
+	if len(recs) == 0 || recs[0][0] != "#meta" || len(recs[0]) < 3 {
+		return nil, fmt.Errorf("trace: csv: missing #meta row")
+	}
+	wl := &Workload{}
+	if wl.Horizon, err = strconv.ParseInt(recs[0][1], 10, 64); err != nil {
+		return nil, fmt.Errorf("trace: csv horizon: %w", err)
+	}
+	if wl.Seed, err = strconv.ParseInt(recs[0][2], 10, 64); err != nil {
+		return nil, fmt.Errorf("trace: csv seed: %w", err)
+	}
+
+	// Split into sections on header rows.
+	section := ""
+	for i := 1; i < len(recs); i++ {
+		rec := recs[i]
+		if len(rec) == 0 || (len(rec) == 1 && rec[0] == "") {
+			continue
+		}
+		switch rec[0] {
+		case nodeHeader[0]:
+			section = "nodes"
+			continue
+		case appHeader[0]:
+			section = "apps"
+			continue
+		case podHeader[0]:
+			section = "pods"
+			continue
+		}
+		switch section {
+		case "nodes":
+			n, err := parseNodeCSV(rec)
+			if err != nil {
+				return nil, err
+			}
+			wl.Nodes = append(wl.Nodes, n)
+		case "apps":
+			a, err := parseAppCSV(rec)
+			if err != nil {
+				return nil, err
+			}
+			wl.Apps = append(wl.Apps, a)
+		case "pods":
+			p, err := parsePodCSV(rec)
+			if err != nil {
+				return nil, err
+			}
+			wl.Pods = append(wl.Pods, p)
+		default:
+			return nil, fmt.Errorf("trace: csv row %d outside any section", i)
+		}
+	}
+	wl.link()
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
+	return wl, nil
+}
+
+type csvFields struct {
+	rec []string
+	i   int
+	err error
+}
+
+func (c *csvFields) str() string {
+	if c.err != nil || c.i >= len(c.rec) {
+		if c.err == nil {
+			c.err = fmt.Errorf("trace: csv: short row %v", c.rec)
+		}
+		return ""
+	}
+	v := c.rec[c.i]
+	c.i++
+	return v
+}
+
+func (c *csvFields) f64() float64 {
+	s := c.str()
+	if c.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		c.err = fmt.Errorf("trace: csv float %q: %w", s, err)
+	}
+	return v
+}
+
+func (c *csvFields) i64() int64 {
+	s := c.str()
+	if c.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		c.err = fmt.Errorf("trace: csv int %q: %w", s, err)
+	}
+	return v
+}
+
+func (c *csvFields) slo() SLO {
+	s := c.str()
+	if c.err != nil {
+		return SLOUnknown
+	}
+	v, err := ParseSLO(s)
+	if err != nil {
+		c.err = err
+	}
+	return v
+}
+
+func parseNodeCSV(rec []string) (*Node, error) {
+	f := &csvFields{rec: rec}
+	n := &Node{
+		ID:       int(f.i64()),
+		Capacity: Resources{CPU: f.f64(), Mem: f.f64()},
+		Group:    int(f.i64()),
+	}
+	return n, f.err
+}
+
+func parseAppCSV(rec []string) (*App, error) {
+	f := &csvFields{rec: rec}
+	a := &App{ID: f.str(), SLO: f.slo()}
+	a.Request = Resources{CPU: f.f64(), Mem: f.f64()}
+	a.Limit = Resources{CPU: f.f64(), Mem: f.f64()}
+	a.CPUBaseUtil = f.f64()
+	a.CPUDiurnalAmp = f.f64()
+	a.CPUNoise = f.f64()
+	a.MemUtil = f.f64()
+	a.MemCoV = f.f64()
+	a.QPSBase = f.f64()
+	a.RTBase = f.f64()
+	a.PSISensitivity = f.f64()
+	a.RTDepNoise = f.f64()
+	a.CTSlowCPU = f.f64()
+	a.CTSlowMem = f.f64()
+	a.MeanDuration = f.f64()
+	a.InputCoV = f.f64()
+	a.Phase = f.f64()
+	a.Affinity = int(f.i64())
+	return a, f.err
+}
+
+func parsePodCSV(rec []string) (*Pod, error) {
+	f := &csvFields{rec: rec}
+	p := &Pod{ID: int(f.i64()), AppID: f.str(), SLO: f.slo(), Submit: f.i64()}
+	p.Request = Resources{CPU: f.f64(), Mem: f.f64()}
+	p.Limit = Resources{CPU: f.f64(), Mem: f.f64()}
+	p.CPUScale = f.f64()
+	p.MemScale = f.f64()
+	p.Work = f.f64()
+	p.Lifetime = f.i64()
+	return p, f.err
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != len(w.Nodes) || len(got.Apps) != len(w.Apps) || len(got.Pods) != len(w.Pods) {
+		t.Fatalf("sizes changed: %d/%d nodes, %d/%d apps, %d/%d pods",
+			len(got.Nodes), len(w.Nodes), len(got.Apps), len(w.Apps), len(got.Pods), len(w.Pods))
+	}
+	if got.Horizon != w.Horizon || got.Seed != w.Seed {
+		t.Error("meta lost")
+	}
+	// Field-level fidelity on samples of every entity kind.
+	if got.Nodes[3].Capacity != w.Nodes[3].Capacity || got.Nodes[3].Group != w.Nodes[3].Group {
+		t.Error("node fields lost")
+	}
+	a, b := got.Apps[5], w.Apps[5]
+	if a.ID != b.ID || a.SLO != b.SLO || a.CPUBaseUtil != b.CPUBaseUtil ||
+		a.QPSBase != b.QPSBase || a.Affinity != b.Affinity || a.MeanDuration != b.MeanDuration {
+		t.Errorf("app fields lost: %+v vs %+v", a, b)
+	}
+	for _, i := range []int{0, 100, len(w.Pods) - 1} {
+		p, q := got.Pods[i], w.Pods[i]
+		if p.AppID != q.AppID || p.Submit != q.Submit || p.Work != q.Work ||
+			p.CPUScale != q.CPUScale || p.Lifetime != q.Lifetime {
+			t.Fatalf("pod %d fields lost", i)
+		}
+		// Behaviour is identical after the round trip.
+		if p.CPUDemand(600) != q.CPUDemand(600) || p.QPS(600) != q.QPS(600) {
+			t.Fatalf("pod %d demand differs after CSV round trip", i)
+		}
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,meta\n",
+		"#meta,notanumber,1\n",
+		"#meta,3600,1\nmachine_id,cpu_capacity,mem_capacity,group\nx,y,z,w\n",
+		"#meta,3600,1\nstray,row\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestCSVRejectsBadSLO(t *testing.T) {
+	in := "#meta,3600,1\n" +
+		"pod_id,app_id,slo,submit_time,cpu_request,mem_request,cpu_limit,mem_limit,cpu_scale,mem_scale,work,lifetime\n" +
+		"0,a,BOGUS,0,1,1,1,1,1,1,1,0\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Error("bad SLO accepted")
+	}
+}
+
+func TestCSVShortRow(t *testing.T) {
+	in := "#meta,3600,1\n" +
+		"machine_id,cpu_capacity,mem_capacity,group\n" +
+		"0,1.0\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Error("short row accepted")
+	}
+}

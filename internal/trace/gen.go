@@ -1,0 +1,463 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"unisched/internal/stats"
+)
+
+// Config controls the synthetic workload generator. The defaults reproduce
+// the statistical shapes of the Alibaba unified-scheduling trace at a
+// configurable scale: heavy-tailed BE submissions, constant-rate LS
+// submissions, diurnal QPS, ~30 % average CPU utilization under the
+// baseline scheduler, CPU requests overcommitted up to ~4x, and large
+// request-vs-usage gaps.
+type Config struct {
+	Seed int64
+
+	// NumNodes is the cluster size; the paper's testbed uses ~6000.
+	NumNodes int
+	// NodeGroups is the number of affinity groups nodes are split into.
+	NodeGroups int
+	// Horizon is the trace length in seconds (the paper analyzes 8 days).
+	Horizon int64
+
+	// Application population sizes.
+	NumLSApps    int
+	NumLSRApps   int
+	NumBEApps    int
+	NumOtherApps int // Unknown/SYSTEM/VMEnv apps with no explicit SLO
+
+	// LSRequestFactor is the target ratio of the sum of LS+LSR CPU
+	// requests to total cluster CPU capacity. Values above 1 overcommit.
+	LSRequestFactor float64
+	// BERequestFactor is the target steady-state ratio of running BE CPU
+	// requests to total cluster CPU capacity.
+	BERequestFactor float64
+	// OtherRequestFactor is the same for the no-explicit-SLO population.
+	OtherRequestFactor float64
+
+	// AffinityFraction is the fraction of apps constrained to a node group.
+	AffinityFraction float64
+
+	// BEBurstAlpha is the Pareto shape of BE job fan-out (tasks per job).
+	// Values near 1 give the heavy-tailed pods-per-minute of Fig. 7.
+	BEBurstAlpha float64
+	// BEMaxBurst bounds a single BE job's task count.
+	BEMaxBurst int
+
+	// PodSize scales every drawn per-pod resource request. The real trace
+	// uses very small normalized requests and hundreds of thousands of
+	// pods; larger PodSize values keep the same distributional shapes at a
+	// pod count a laptop-scale run can afford.
+	PodSize float64
+}
+
+// DefaultConfig returns a mid-scale configuration: 1 simulated day on a few
+// hundred nodes. Use Scale* helpers or edit fields for other scales.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		NumNodes:           200,
+		NodeGroups:         8,
+		Horizon:            Day,
+		NumLSApps:          60,
+		NumLSRApps:         15,
+		NumBEApps:          40,
+		NumOtherApps:       25,
+		LSRequestFactor:    0.55,
+		BERequestFactor:    0.25,
+		OtherRequestFactor: 0.08,
+		AffinityFraction:   0.08,
+		BEBurstAlpha:       1.1,
+		BEMaxBurst:         400,
+		PodSize:            2.0,
+	}
+}
+
+// SmallConfig returns a fast configuration for unit and integration tests:
+// a few thousand pods on a small cluster over a few hours.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.NumNodes = 40
+	c.NodeGroups = 4
+	c.Horizon = 3 * 3600
+	c.NumLSApps = 15
+	c.NumLSRApps = 5
+	c.NumBEApps = 12
+	c.NumOtherApps = 8
+	c.PodSize = 3.0
+	return c
+}
+
+// Generate builds a reproducible synthetic Workload from the configuration.
+func Generate(cfg Config) (*Workload, error) {
+	if cfg.NumNodes <= 0 {
+		return nil, fmt.Errorf("trace: NumNodes must be positive, got %d", cfg.NumNodes)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("trace: Horizon must be positive, got %d", cfg.Horizon)
+	}
+	if cfg.NodeGroups <= 0 {
+		cfg.NodeGroups = 1
+	}
+	if cfg.PodSize <= 0 {
+		cfg.PodSize = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, r: r}
+	w := &Workload{Horizon: cfg.Horizon, Seed: cfg.Seed}
+
+	g.makeNodes(w)
+	g.makeApps(w)
+	g.makePods(w)
+
+	sort.SliceStable(w.Pods, func(i, j int) bool { return w.Pods[i].Submit < w.Pods[j].Submit })
+	for i, p := range w.Pods {
+		p.ID = i
+	}
+	w.link()
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: generated workload invalid: %w", err)
+	}
+	return w, nil
+}
+
+// MustGenerate is Generate for known-good configurations in tests/examples.
+func MustGenerate(cfg Config) *Workload {
+	w, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+type generator struct {
+	cfg Config
+	r   *rand.Rand
+
+	capCPU float64 // total cluster CPU capacity
+
+	lsApps    []*App
+	beApps    []*App
+	otherApps []*App
+}
+
+func (g *generator) makeNodes(w *Workload) {
+	w.Nodes = make([]*Node, g.cfg.NumNodes)
+	for i := range w.Nodes {
+		cap := Resources{
+			CPU: stats.TruncNorm(g.r, 1.0, 0.05, 0.85, 1.15),
+			Mem: stats.TruncNorm(g.r, 1.0, 0.05, 0.85, 1.15),
+		}
+		w.Nodes[i] = &Node{ID: i, Capacity: cap, Group: i % g.cfg.NodeGroups}
+		g.capCPU += cap.CPU
+	}
+}
+
+func (g *generator) affinity() int {
+	if g.r.Float64() < g.cfg.AffinityFraction {
+		return g.r.Intn(g.cfg.NodeGroups)
+	}
+	return -1
+}
+
+// globalPhase is the common diurnal phase shared by customer-facing LS
+// traffic; individual apps jitter around it slightly so the cluster-level
+// QPS cycle of Fig. 3(b) emerges.
+const globalPhase = 0.25
+
+func (g *generator) makeApps(w *Workload) {
+	for i := 0; i < g.cfg.NumLSApps; i++ {
+		g.lsApps = append(g.lsApps, g.lsApp(fmt.Sprintf("ls-%03d", i), SLOLS))
+	}
+	for i := 0; i < g.cfg.NumLSRApps; i++ {
+		g.lsApps = append(g.lsApps, g.lsApp(fmt.Sprintf("lsr-%03d", i), SLOLSR))
+	}
+	for i := 0; i < g.cfg.NumBEApps; i++ {
+		g.beApps = append(g.beApps, g.beApp(fmt.Sprintf("be-%03d", i)))
+	}
+	for i := 0; i < g.cfg.NumOtherApps; i++ {
+		g.otherApps = append(g.otherApps, g.otherApp(i))
+	}
+	w.Apps = append(append(append([]*App{}, g.lsApps...), g.beApps...), g.otherApps...)
+}
+
+func (g *generator) lsApp(id string, slo SLO) *App {
+	r := g.r
+	sz := g.cfg.PodSize
+	reqCPU := sz * stats.Clamp(stats.LogNormal(r, -3.3, 0.7), 0.005, 0.15)
+	reqMem := sz * stats.Clamp(stats.LogNormal(r, -3.6, 0.7), 0.004, 0.12)
+	// Memory stability: most LS apps hold steady heaps; some churn.
+	memCoV := 0.005
+	if r.Float64() < 0.35 {
+		memCoV = 0.02 + 0.25*r.Float64()
+	}
+	a := &App{
+		ID:             id,
+		SLO:            slo,
+		Request:        Resources{reqCPU, reqMem},
+		Limit:          Resources{reqCPU * (1.3 + 1.2*r.Float64()), reqMem * (1.1 + 0.5*r.Float64())},
+		CPUBaseUtil:    0.13 + 0.16*r.Float64(), // usage ~4-6x below request (Fig. 6a)
+		CPUDiurnalAmp:  0.25 + 0.4*r.Float64(),
+		CPUNoise:       0.05 + 0.15*r.Float64(),
+		MemUtil:        0.2 + 0.3*r.Float64(),
+		MemCoV:         memCoV,
+		QPSBase:        stats.Clamp(stats.LogNormal(r, 5.2, 0.6), 20, 2000),
+		RTBase:         stats.Clamp(stats.LogNormal(r, 3.6, 0.5), 5, 400),
+		PSISensitivity: 0.3 + 1.2*r.Float64(),
+		RTDepNoise:     0.2 + 1.2*r.Float64(),
+		Phase:          globalPhase + 0.03*r.NormFloat64(),
+		Affinity:       g.affinity(),
+	}
+	if slo == SLOLSR {
+		// Reserved pods: bigger, steadier, more sensitive to contention.
+		a.CPUBaseUtil += 0.05
+		a.CPUNoise *= 0.6
+		a.PSISensitivity += 0.2
+	}
+	return a
+}
+
+func (g *generator) beApp(id string) *App {
+	r := g.r
+	sz := g.cfg.PodSize
+	reqCPU := sz * stats.Clamp(stats.LogNormal(r, -3.8, 0.8), 0.004, 0.08)
+	reqMem := sz * stats.Clamp(stats.LogNormal(r, -4.5, 0.8), 0.002, 0.05)
+	return &App{
+		ID:           id,
+		SLO:          SLOBE,
+		Request:      Resources{reqCPU, reqMem},
+		Limit:        Resources{reqCPU * (1.5 + 2.5*r.Float64()), reqMem * (1.05 + 0.4*r.Float64())},
+		CPUBaseUtil:  0.25 + 0.3*r.Float64(), // ~3x request-vs-usage gap
+		CPUNoise:     0.1 + 0.2*r.Float64(),
+		MemUtil:      0.85 + 0.13*r.Float64(), // BE memory almost fully used (Fig. 6b)
+		MemCoV:       0.005 + 0.01*r.Float64(),
+		CTSlowCPU:    1.0 + 3.0*r.Float64(),
+		CTSlowMem:    0.2 + 1.0*r.Float64(),
+		MeanDuration: stats.Clamp(stats.LogNormal(r, 5.6, 0.7), 90, 5400),
+		InputCoV:     0.4 + 0.6*r.Float64(),
+		// BE load is anti-phased with customer traffic: batch frameworks
+		// submit more when online services are quiet, the valley-filling
+		// behaviour of Fig. 4(a).
+		CPUDiurnalAmp: 0.1 + 0.2*r.Float64(),
+		Phase:         globalPhase + 0.5 + 0.05*r.NormFloat64(),
+		Affinity:      g.affinity(),
+	}
+}
+
+func (g *generator) otherApp(i int) *App {
+	r := g.r
+	var slo SLO
+	switch {
+	case i%8 == 0:
+		slo = SLOSystem
+	case i%8 == 1:
+		slo = SLOVMEnv
+	default:
+		slo = SLOUnknown
+	}
+	sz := g.cfg.PodSize
+	reqCPU := sz * stats.Clamp(stats.LogNormal(r, -3.9, 0.6), 0.003, 0.06)
+	reqMem := sz * stats.Clamp(stats.LogNormal(r, -4.0, 0.6), 0.003, 0.06)
+	a := &App{
+		ID:             fmt.Sprintf("%s-%03d", slo, i),
+		SLO:            slo,
+		Request:        Resources{reqCPU, reqMem},
+		Limit:          Resources{reqCPU * 1.6, reqMem * 1.3},
+		CPUBaseUtil:    0.1 + 0.3*r.Float64(),
+		CPUNoise:       0.1,
+		MemUtil:        0.3 + 0.4*r.Float64(),
+		MemCoV:         0.02,
+		PSISensitivity: 0.2 + 0.6*r.Float64(),
+		Phase:          r.Float64(),
+		Affinity:       -1,
+	}
+	// Half the Unknown population behaves like short batch work.
+	if slo == SLOUnknown && i%2 == 0 {
+		a.MeanDuration = stats.Clamp(stats.LogNormal(r, 5.5, 0.7), 120, 5400)
+		a.InputCoV = 0.5
+		a.CTSlowCPU = 1.5
+		a.CTSlowMem = 0.5
+	}
+	return a
+}
+
+func (g *generator) makePods(w *Workload) {
+	g.makeLongRunningPods(w, filterLongRunning(g.lsApps), g.cfg.LSRequestFactor)
+	g.makeBatchPods(w, g.beApps, g.cfg.BERequestFactor)
+
+	var otherLong, otherBatch []*App
+	for _, a := range g.otherApps {
+		if a.LongRunning() {
+			otherLong = append(otherLong, a)
+		} else {
+			otherBatch = append(otherBatch, a)
+		}
+	}
+	g.makeLongRunningPods(w, otherLong, g.cfg.OtherRequestFactor*0.6)
+	g.makeBatchPods(w, otherBatch, g.cfg.OtherRequestFactor*0.4)
+}
+
+func filterLongRunning(apps []*App) []*App {
+	out := apps[:0:0]
+	for _, a := range apps {
+		if a.LongRunning() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// makeLongRunningPods creates initial replicas for long-running apps sized
+// so their total CPU request is about factor x cluster capacity, plus a
+// small constant-rate stream of scale-up pods over the horizon (the flat LS
+// submission curve of Fig. 3a).
+func (g *generator) makeLongRunningPods(w *Workload, apps []*App, factor float64) {
+	if len(apps) == 0 || factor <= 0 {
+		return
+	}
+	r := g.r
+	// Draw raw replica weights, then scale to hit the request budget.
+	weights := make([]float64, len(apps))
+	var rawReq float64
+	for i, a := range apps {
+		weights[i] = stats.Clamp(stats.LogNormal(r, 3.0, 0.8), 2, 400)
+		rawReq += weights[i] * a.Request.CPU
+	}
+	budget := factor * g.capCPU
+	scale := budget / rawReq
+	// Initial replicas arrive staggered over the first 30 minutes, or a
+	// quarter of very short horizons.
+	ramp := int64(1800)
+	if g.cfg.Horizon < 4*ramp {
+		ramp = g.cfg.Horizon / 4
+		if ramp < 1 {
+			ramp = 1
+		}
+	}
+	for i, a := range apps {
+		replicas := int(weights[i]*scale + 0.5)
+		if replicas < 1 {
+			replicas = 1
+		}
+		for k := 0; k < replicas; k++ {
+			submit := int64(r.Float64() * float64(ramp))
+			g.addLongRunningPod(w, a, submit)
+		}
+		// Constant trickle of scale-up pods (~6 % of replicas per day).
+		extra := float64(replicas) * 0.06 * float64(g.cfg.Horizon) / float64(Day)
+		n := int(extra)
+		if r.Float64() < extra-float64(n) {
+			n++
+		}
+		for k := 0; k < n; k++ {
+			submit := ramp + int64(r.Float64()*float64(g.cfg.Horizon-ramp))
+			g.addLongRunningPod(w, a, submit)
+		}
+	}
+}
+
+func (g *generator) addLongRunningPod(w *Workload, a *App, submit int64) {
+	r := g.r
+	p := &Pod{
+		AppID:    a.ID,
+		SLO:      a.SLO,
+		Submit:   submit,
+		Request:  a.Request,
+		Limit:    a.Limit,
+		CPUScale: stats.TruncNorm(r, 1, 0.05, 0.8, 1.2),
+		MemScale: stats.TruncNorm(r, 1, 0.03, 0.9, 1.1),
+	}
+	// A small share of long-running pods have finite lifetimes (upgrades,
+	// migrations); most run to the end of the trace.
+	if r.Float64() < 0.1 {
+		life := submit + int64(stats.Clamp(stats.LogNormal(r, 9.0, 0.8), 1800, float64(g.cfg.Horizon)))
+		if life < w.Horizon {
+			p.Lifetime = life
+		}
+	}
+	w.Pods = append(w.Pods, p)
+}
+
+// makeBatchPods creates BE-style jobs: Poisson job arrivals whose rate is
+// anti-phased with the diurnal cycle, each fanning out into a Pareto-sized
+// burst of tasks. The steady-state CPU request of running pods targets
+// factor x cluster capacity.
+func (g *generator) makeBatchPods(w *Workload, apps []*App, factor float64) {
+	if len(apps) == 0 || factor <= 0 {
+		return
+	}
+	r := g.r
+	// Expected tasks per job under the bounded Pareto fan-out.
+	meanBurst := boundedParetoMean(1, g.cfg.BEBurstAlpha, float64(g.cfg.BEMaxBurst))
+	// Aggregate request-seconds needed per second of trace time.
+	budget := factor * g.capCPU
+	var meanReqDur float64
+	for _, a := range apps {
+		meanReqDur += a.Request.CPU * a.MeanDuration
+	}
+	meanReqDur /= float64(len(apps))
+	// jobs/sec (all apps combined) so that running request mass ≈ budget.
+	// The factor 2 compensates for the diurnal thinning below, whose
+	// average acceptance probability is ~1/2.
+	jobRate := 2 * budget / (meanReqDur * meanBurst)
+
+	for _, a := range apps {
+		rate := jobRate / float64(len(apps))
+		t := 0.0
+		for {
+			t += stats.Exponential(r, 1/rate)
+			if int64(t) >= g.cfg.Horizon {
+				break
+			}
+			// Thin arrivals against the app's (anti-phased) diurnal curve.
+			if r.Float64() > stats.Clamp(a.Diurnal(int64(t)), 0.1, 2)/2 {
+				continue
+			}
+			burst := int(stats.BoundedPareto(r, 1, g.cfg.BEBurstAlpha, float64(g.cfg.BEMaxBurst)))
+			for k := 0; k < burst; k++ {
+				g.addBatchPod(w, a, int64(t)+int64(r.Intn(30)))
+			}
+		}
+	}
+}
+
+func (g *generator) addBatchPod(w *Workload, a *App, submit int64) {
+	if submit >= w.Horizon {
+		submit = w.Horizon - 1
+	}
+	r := g.r
+	// Input size stretches the pod's duration (data-parallel tasks chew
+	// through their input at roughly their CPU allocation); the demand
+	// level itself varies only moderately around the request sizing.
+	inputScale := stats.Clamp(stats.LogNormal(r, 0, a.InputCoV), 0.1, 8)
+	cpuScale := stats.TruncNorm(r, 1, 0.15, 0.5, 1.5)
+	dur := a.MeanDuration * inputScale * stats.Clamp(stats.LogNormal(r, 0, 0.3), 0.4, 2.5)
+	p := &Pod{
+		AppID:    a.ID,
+		SLO:      a.SLO,
+		Submit:   submit,
+		Request:  a.Request,
+		Limit:    a.Limit,
+		CPUScale: cpuScale,
+		MemScale: stats.TruncNorm(r, 1, 0.03, 0.9, 1.1),
+		Work:     a.Request.CPU * a.CPUBaseUtil * cpuScale * dur,
+	}
+	w.Pods = append(w.Pods, p)
+}
+
+// boundedParetoMean returns the mean of a Pareto(xmin, alpha) truncated at
+// xmax (approximated for alpha == 1 by the log form).
+func boundedParetoMean(xmin, alpha, xmax float64) float64 {
+	if alpha == 1 {
+		return xmin * (1 + lnf(xmax/xmin))
+	}
+	// E[X] for bounded Pareto.
+	l, h := xmin, xmax
+	num := powf(l, alpha) / (1 - powf(l/h, alpha)) * alpha / (alpha - 1) *
+		(1/powf(l, alpha-1) - 1/powf(h, alpha-1))
+	return num
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+func lnf(x float64) float64     { return math.Log(x) }
+func powf(x, y float64) float64 { return math.Pow(x, y) }
+
+// WriteJSON encodes a Workload to w as a single JSON document.
+func WriteJSON(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(wl); err != nil {
+		return fmt.Errorf("trace: encode workload: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSON decodes a Workload written by WriteJSON and re-links pods to
+// their applications.
+func ReadJSON(r io.Reader) (*Workload, error) {
+	var wl Workload
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&wl); err != nil {
+		return nil, fmt.Errorf("trace: decode workload: %w", err)
+	}
+	wl.link()
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
+	return &wl, nil
+}
+
+// SaveFile writes the workload to path as JSON.
+func SaveFile(path string, wl *Workload) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := WriteJSON(f, wl); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a workload JSON file written by SaveFile.
+func LoadFile(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

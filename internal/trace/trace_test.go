@@ -1,0 +1,356 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"unisched/internal/stats"
+)
+
+func TestSLOStringParse(t *testing.T) {
+	for _, s := range []SLO{SLOUnknown, SLOSystem, SLOVMEnv, SLOLSR, SLOLS, SLOBE} {
+		got, err := ParseSLO(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSLO(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSLO("bogus"); err == nil {
+		t.Error("ParseSLO of bogus name should fail")
+	}
+	if SLO(99).String() == "" {
+		t.Error("out-of-range SLO should still stringify")
+	}
+}
+
+func TestSLOPredicates(t *testing.T) {
+	if !SLOLS.LatencySensitive() || !SLOLSR.LatencySensitive() || SLOBE.LatencySensitive() {
+		t.Error("LatencySensitive misclassifies")
+	}
+	if !SLOBE.Explicit() || SLOUnknown.Explicit() || SLOSystem.Explicit() {
+		t.Error("Explicit misclassifies")
+	}
+}
+
+func TestResourcesOps(t *testing.T) {
+	a := Resources{1, 2}
+	b := Resources{0.5, 0.5}
+	if got := a.Add(b); got != (Resources{1.5, 2.5}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Sub(b); got != (Resources{0.5, 1.5}) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := a.Scale(2); got != (Resources{2, 4}) {
+		t.Errorf("Scale = %+v", got)
+	}
+	if !b.FitsIn(a) || a.FitsIn(b) {
+		t.Error("FitsIn misbehaves")
+	}
+	if got := a.Dot(b); got != 1.5 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SmallConfig()
+	w1 := MustGenerate(cfg)
+	w2 := MustGenerate(cfg)
+	if len(w1.Pods) != len(w2.Pods) || len(w1.Apps) != len(w2.Apps) {
+		t.Fatalf("sizes differ: %d/%d pods, %d/%d apps",
+			len(w1.Pods), len(w2.Pods), len(w1.Apps), len(w2.Apps))
+	}
+	for i := range w1.Pods {
+		p1, p2 := w1.Pods[i], w2.Pods[i]
+		if p1.AppID != p2.AppID || p1.Submit != p2.Submit || p1.Work != p2.Work {
+			t.Fatalf("pod %d differs: %+v vs %+v", i, p1, p2)
+		}
+	}
+	// A different seed must change the workload.
+	cfg.Seed = 99
+	w3 := MustGenerate(cfg)
+	if len(w3.Pods) == len(w1.Pods) {
+		same := true
+		for i := range w3.Pods {
+			if w3.Pods[i].Submit != w1.Pods[i].Submit {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+	cfg := SmallConfig()
+	cfg.Horizon = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+func TestGeneratedShapes(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	if len(w.Pods) < 500 {
+		t.Fatalf("too few pods: %d", len(w.Pods))
+	}
+
+	// Pods sorted by submission time with dense IDs.
+	for i := 1; i < len(w.Pods); i++ {
+		if w.Pods[i].Submit < w.Pods[i-1].Submit {
+			t.Fatal("pods not sorted by submit time")
+		}
+		if w.Pods[i].ID != i {
+			t.Fatal("pod IDs not dense")
+		}
+	}
+
+	counts := map[SLO]int{}
+	for _, p := range w.Pods {
+		counts[p.SLO]++
+	}
+	total := len(w.Pods)
+	if counts[SLOBE] == 0 || counts[SLOLS] == 0 || counts[SLOLSR] == 0 {
+		t.Fatalf("missing SLO classes: %v", counts)
+	}
+	// Explicit-SLO pods should dominate but Unknown should exist (Fig 2b).
+	if counts[SLOUnknown] == 0 {
+		t.Error("no Unknown pods")
+	}
+	exp := counts[SLOBE] + counts[SLOLS] + counts[SLOLSR]
+	if frac := float64(exp) / float64(total); frac < 0.5 {
+		t.Errorf("explicit-SLO fraction = %.2f, want > 0.5", frac)
+	}
+
+	// BE submissions far outnumber LS submissions (Fig 3a).
+	if counts[SLOBE] < 3*counts[SLOLS] {
+		t.Errorf("BE (%d) should dominate LS (%d) submissions", counts[SLOBE], counts[SLOLS])
+	}
+
+	// Request >> usage: mean CPU demand well below request for LS pods.
+	var reqSum, useSum float64
+	for _, p := range w.Pods {
+		if p.SLO != SLOLS {
+			continue
+		}
+		reqSum += p.Request.CPU
+		useSum += p.CPUDemand(p.Submit + 3600)
+	}
+	if useSum >= 0.6*reqSum {
+		t.Errorf("LS usage/request = %.2f, want well below 1", useSum/reqSum)
+	}
+}
+
+func TestHeavyTailedArrivals(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	// Count submissions per minute; the distribution should be heavy-tailed
+	// (Fig 7): max far above mean.
+	perMin := map[int64]int{}
+	for _, p := range w.Pods {
+		perMin[p.Submit/60]++
+	}
+	var xs []float64
+	for _, c := range perMin {
+		xs = append(xs, float64(c))
+	}
+	mean := stats.Mean(xs)
+	max := stats.Max(xs)
+	if max < 5*mean {
+		t.Errorf("arrivals not heavy-tailed: max=%v mean=%v", max, mean)
+	}
+}
+
+func TestDiurnalQPS(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	var app *App
+	for _, a := range w.Apps {
+		if a.SLO == SLOLS && a.QPSBase > 0 {
+			app = a
+			break
+		}
+	}
+	if app == nil {
+		t.Fatal("no LS app")
+	}
+	// The diurnal multiplier must actually cycle within a day.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for ts := int64(0); ts < Day; ts += 600 {
+		v := app.Diurnal(ts)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 0.3 {
+		t.Errorf("diurnal swing too small: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBEAntiPhase(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	var ls, be *App
+	for _, a := range w.Apps {
+		if ls == nil && a.SLO == SLOLS {
+			ls = a
+		}
+		if be == nil && a.SLO == SLOBE {
+			be = a
+		}
+	}
+	// Sample both diurnal curves; they should be negatively correlated.
+	var lsv, bev []float64
+	for ts := int64(0); ts < Day; ts += 900 {
+		lsv = append(lsv, ls.Diurnal(ts))
+		bev = append(bev, be.Diurnal(ts))
+	}
+	if c := stats.Pearson(lsv, bev); c > -0.5 {
+		t.Errorf("BE/LS diurnal correlation = %v, want strongly negative", c)
+	}
+}
+
+func TestPodDemandProperties(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	for _, p := range w.Pods[:200] {
+		for _, ts := range []int64{0, 3600, 7200} {
+			c := p.CPUDemand(ts)
+			m := p.MemDemand(ts)
+			if c < 0 || m < 0 {
+				t.Fatalf("negative demand for pod %d", p.ID)
+			}
+			if p.Limit.CPU > 0 && c > p.Limit.CPU+1e-9 {
+				t.Fatalf("CPU demand %v exceeds limit %v", c, p.Limit.CPU)
+			}
+			if p.Limit.Mem > 0 && m > p.Limit.Mem+1e-9 {
+				t.Fatalf("mem demand %v exceeds limit %v", m, p.Limit.Mem)
+			}
+			if q := p.QPS(ts); q < 0 {
+				t.Fatalf("negative QPS")
+			}
+			if p.SLO == SLOBE && p.QPS(ts) != 0 {
+				t.Fatal("BE pod has QPS")
+			}
+		}
+	}
+}
+
+func TestDemandDeterministicAcrossCalls(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	p := w.Pods[10]
+	if p.CPUDemand(1234) != p.CPUDemand(1234) {
+		t.Error("CPUDemand not deterministic")
+	}
+	// Stable within a sampling interval, may change across intervals.
+	if p.CPUDemand(60) != p.CPUDemand(60+SampleInterval-1) {
+		t.Error("demand not stable within sampling interval")
+	}
+}
+
+func TestNominalDuration(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	for _, p := range w.Pods {
+		d := p.NominalDuration()
+		if p.SLO == SLOBE {
+			if d <= 0 {
+				t.Fatalf("BE pod %d nominal duration %v", p.ID, d)
+			}
+		} else if p.Work == 0 && d != 0 {
+			t.Fatalf("long-running pod %d has nominal duration %v", p.ID, d)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pods) != len(w.Pods) || len(got.Apps) != len(w.Apps) || len(got.Nodes) != len(w.Nodes) {
+		t.Fatal("round-trip changed sizes")
+	}
+	// Linked pods must still compute identical demand.
+	for _, i := range []int{0, 17, len(w.Pods) - 1} {
+		if got.Pods[i].CPUDemand(300) != w.Pods[i].CPUDemand(300) {
+			t.Fatalf("pod %d demand differs after round trip", i)
+		}
+	}
+	if got.AppByID(w.Apps[0].ID) == nil {
+		t.Error("AppByID broken after round trip")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveFile(path, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pods) != len(w.Pods) {
+		t.Fatal("file round-trip changed pod count")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading missing file should fail")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	w := MustGenerate(SmallConfig())
+	w.Pods[0].AppID = "nope"
+	if err := w.Validate(); err == nil {
+		t.Error("unknown app ID should fail validation")
+	}
+	w = MustGenerate(SmallConfig())
+	w.Pods[0].Submit = w.Horizon + 10
+	if err := w.Validate(); err == nil {
+		t.Error("submit beyond horizon should fail validation")
+	}
+	w = MustGenerate(SmallConfig())
+	w.Apps[0].Limit = Resources{}
+	if err := w.Validate(); err == nil {
+		t.Error("limit below request should fail validation")
+	}
+}
+
+// Property: noise is bounded and deterministic.
+func TestNoiseProperty(t *testing.T) {
+	f := func(id uint64, tt int64) bool {
+		v := noise01(id, tt)
+		return v >= 0 && v < 1 && v == noise01(id, tt) &&
+			noiseSym(id, tt) >= -1 && noiseSym(id, tt) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedParetoMean(t *testing.T) {
+	// Monte-Carlo check of the analytic bounded-Pareto mean.
+	got := boundedParetoMean(1, 1.2, 400)
+	var sum float64
+	const n = 200000
+	r := newTestRand()
+	for i := 0; i < n; i++ {
+		sum += stats.BoundedPareto(r, 1, 1.2, 400)
+	}
+	mc := sum / n
+	if math.Abs(got-mc)/mc > 0.15 {
+		t.Errorf("analytic mean %v vs monte-carlo %v", got, mc)
+	}
+}

@@ -1,0 +1,384 @@
+// Package trace defines the unified-scheduling trace schema used throughout
+// the study — applications, pods, nodes, and 30-second samples of resource
+// usage and performance — together with a synthetic workload generator that
+// mirrors the statistical structure of the Alibaba unified-scheduling
+// traces the paper characterizes (heavy-tailed best-effort arrivals,
+// diurnal latency-sensitive load, consistent within-application behaviour,
+// and large request-vs-usage gaps).
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// SampleInterval is the OS-level metric sampling interval used by the
+// tracing system, in seconds (the Alibaba trace samples every 30 s).
+const SampleInterval int64 = 30
+
+// Day is one day in seconds; the diurnal QPS period.
+const Day int64 = 86400
+
+// SLO is the service-level-objective class of a pod, mirroring Fig. 2(b).
+type SLO int
+
+// SLO classes in the trace. LSR binds CPU cores and may preempt BE; LS is
+// long-running latency-sensitive; BE is best-effort batch. System, VMEnv
+// and Unknown pods carry no explicit SLO and are excluded from most of the
+// characterization, as in the paper.
+const (
+	SLOUnknown SLO = iota
+	SLOSystem
+	SLOVMEnv
+	SLOLSR
+	SLOLS
+	SLOBE
+)
+
+var sloNames = [...]string{"Unknown", "SYSTEM", "VMEnv", "LSR", "LS", "BE"}
+
+// String returns the trace-file name of the SLO class.
+func (s SLO) String() string {
+	if s < 0 || int(s) >= len(sloNames) {
+		return fmt.Sprintf("SLO(%d)", int(s))
+	}
+	return sloNames[s]
+}
+
+// ParseSLO converts a trace-file SLO name back to an SLO value.
+func ParseSLO(name string) (SLO, error) {
+	for i, n := range sloNames {
+		if n == name {
+			return SLO(i), nil
+		}
+	}
+	return SLOUnknown, fmt.Errorf("trace: unknown SLO %q", name)
+}
+
+// LatencySensitive reports whether the class is LS or LSR. The paper merges
+// the two for most of the characterization because their utilization
+// patterns are similar.
+func (s SLO) LatencySensitive() bool { return s == SLOLS || s == SLOLSR }
+
+// Explicit reports whether the class carries an explicit SLO requirement.
+func (s SLO) Explicit() bool { return s == SLOLSR || s == SLOLS || s == SLOBE }
+
+// Resources is a (CPU, memory) vector. Both dimensions are normalized: a
+// node has capacity ~1.0 in each, matching the normalized Alibaba traces.
+type Resources struct {
+	CPU float64 `json:"cpu"`
+	Mem float64 `json:"mem"`
+}
+
+// Add returns r + o component-wise.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.CPU + o.CPU, r.Mem + o.Mem}
+}
+
+// Sub returns r - o component-wise.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{r.CPU - o.CPU, r.Mem - o.Mem}
+}
+
+// Scale returns r scaled by k in both dimensions.
+func (r Resources) Scale(k float64) Resources {
+	return Resources{r.CPU * k, r.Mem * k}
+}
+
+// FitsIn reports whether r fits within capacity c in both dimensions.
+func (r Resources) FitsIn(c Resources) bool {
+	return r.CPU <= c.CPU && r.Mem <= c.Mem
+}
+
+// Dot returns the inner product of the two vectors — the "alignment score"
+// production schedulers use to rank hosts for multi-dimensional packing.
+func (r Resources) Dot(o Resources) float64 {
+	return r.CPU*o.CPU + r.Mem*o.Mem
+}
+
+// App is an application: a group of pods that provide the same service (LS)
+// or belong to the same batch framework job class (BE). Pods within an app
+// behave fairly consistently (Implication 6), so the behavioural parameters
+// live here and individual pods only carry small per-pod perturbations.
+type App struct {
+	ID  string `json:"id"`
+	SLO SLO    `json:"slo"`
+
+	// Request and Limit are the per-pod resource template. Limit >= Request.
+	Request Resources `json:"request"`
+	Limit   Resources `json:"limit"`
+
+	// CPUBaseUtil is the mean fraction of the CPU request a pod actually
+	// uses; the trace shows this is far below 1 (Fig. 6).
+	CPUBaseUtil float64 `json:"cpu_base_util"`
+	// CPUDiurnalAmp is the relative amplitude of the diurnal CPU/QPS cycle
+	// for LS apps (0 for BE).
+	CPUDiurnalAmp float64 `json:"cpu_diurnal_amp"`
+	// CPUNoise is the relative per-sample noise on CPU usage.
+	CPUNoise float64 `json:"cpu_noise"`
+
+	// MemUtil is the mean fraction of the memory request a pod uses. BE
+	// apps use memory nearly fully; LS apps under-use it (Fig. 6b).
+	MemUtil float64 `json:"mem_util"`
+	// MemCoV controls within-app memory variability; apps with MemCoV
+	// below ~0.01 are "stable" for the Resource Usage Profiler.
+	MemCoV float64 `json:"mem_cov"`
+
+	// QPSBase is the base per-pod query rate for LS apps.
+	QPSBase float64 `json:"qps_base"`
+	// RTBase is the base response time (ms) for LS apps at zero pressure.
+	RTBase float64 `json:"rt_base"`
+
+	// PSISensitivity scales how strongly host contention translates into
+	// CPU PSI for this app's pods (the per-app profile Optum learns).
+	PSISensitivity float64 `json:"psi_sensitivity"`
+	// RTDepNoise is the amplitude of the dependency-induced RT noise: a
+	// service request traverses many pods, so one pod's RT is polluted by
+	// its dependencies (the paper's reason RT is a poor indicator).
+	RTDepNoise float64 `json:"rt_dep_noise"`
+
+	// CTSlowCPU and CTSlowMem scale how strongly host CPU / memory
+	// contention inflates a BE pod's completion time (Fig. 16).
+	CTSlowCPU float64 `json:"ct_slow_cpu"`
+	CTSlowMem float64 `json:"ct_slow_mem"`
+
+	// MeanDuration is the mean nominal duration (seconds) of a BE pod at
+	// zero contention; 0 means long-running (LS/LSR).
+	MeanDuration float64 `json:"mean_duration"`
+	// InputCoV is the per-pod input-size variability for BE apps — batch
+	// pods are data-parallel with widely varying input sizes, which is why
+	// BE CPU usage is less consistent than memory (Fig. 12b).
+	InputCoV float64 `json:"input_cov"`
+
+	// Phase is the app's diurnal phase offset in [0, 1).
+	Phase float64 `json:"phase"`
+
+	// Affinity, when >= 0, restricts the app's pods to nodes whose Group
+	// matches. -1 means no affinity constraint.
+	Affinity int `json:"affinity"`
+}
+
+// LongRunning reports whether the app's pods run until the end of the trace.
+func (a *App) LongRunning() bool { return a.MeanDuration == 0 }
+
+// Diurnal returns the diurnal multiplier for this app at time t: a smooth
+// daily cycle in [1-amp, 1+amp] shifted by the app's phase.
+func (a *App) Diurnal(t int64) float64 {
+	if a.CPUDiurnalAmp == 0 {
+		return 1
+	}
+	x := 2 * math.Pi * (float64(t)/float64(Day) + a.Phase)
+	return 1 + a.CPUDiurnalAmp*math.Sin(x)
+}
+
+// Pod is a single task instance. Each pod belongs to exactly one App and is
+// scheduled onto exactly one node where it runs inside a container group.
+type Pod struct {
+	ID     int    `json:"id"`
+	AppID  string `json:"app_id"`
+	SLO    SLO    `json:"slo"`
+	Submit int64  `json:"submit"` // submission time, seconds from trace start
+
+	Request Resources `json:"request"`
+	Limit   Resources `json:"limit"`
+
+	// CPUScale and MemScale are the per-pod multipliers drawn at
+	// generation time (input-size effects for BE, replica skew for LS).
+	CPUScale float64 `json:"cpu_scale"`
+	MemScale float64 `json:"mem_scale"`
+
+	// Work is the total CPU work (normalized core-seconds) a BE pod must
+	// complete; 0 for long-running pods.
+	Work float64 `json:"work"`
+
+	// Lifetime is the scheduled removal time for long-running pods
+	// (seconds from trace start); 0 means "runs to the end of the trace".
+	Lifetime int64 `json:"lifetime"`
+
+	app *App // resolved pointer; set by Workload.link
+}
+
+// App returns the pod's application. It panics if the pod has not been
+// linked into a Workload, which indicates a construction bug.
+func (p *Pod) App() *App {
+	if p.app == nil {
+		panic(fmt.Sprintf("trace: pod %d not linked to app %q", p.ID, p.AppID))
+	}
+	return p.app
+}
+
+// NominalDuration returns the duration a BE pod would take with its demand
+// fully satisfied and no contention, or 0 for long-running pods.
+func (p *Pod) NominalDuration() float64 {
+	if p.Work == 0 {
+		return 0
+	}
+	rate := p.Request.CPU * p.app.CPUBaseUtil * p.CPUScale
+	if rate <= 0 {
+		return 0
+	}
+	return p.Work / rate
+}
+
+// CPUDemand returns the CPU the pod wants to consume at time t, before any
+// contention capping by the host, in normalized cores. The demand is the
+// app's base utilization modulated by the diurnal cycle (LS) and
+// deterministic per-(pod, sample) noise, clamped to the pod's limit.
+func (p *Pod) CPUDemand(t int64) float64 {
+	t -= t % SampleInterval
+	a := p.App()
+	base := p.Request.CPU * a.CPUBaseUtil * p.CPUScale * a.Diurnal(t)
+	if a.CPUNoise > 0 {
+		base *= 1 + a.CPUNoise*noiseSym(uint64(p.ID), t)
+	}
+	if base < 0 {
+		base = 0
+	}
+	if lim := p.Limit.CPU; lim > 0 && base > lim {
+		base = lim
+	}
+	return base
+}
+
+// MemDemand returns the memory the pod holds at time t. Memory is far more
+// stable than CPU in the trace; the noise term is small and most BE apps
+// sit near their request.
+func (p *Pod) MemDemand(t int64) float64 {
+	t -= t % SampleInterval
+	a := p.App()
+	base := p.Request.Mem * a.MemUtil * p.MemScale
+	if a.MemCoV > 0 {
+		base *= 1 + a.MemCoV*noiseSym(uint64(p.ID)^0x9e3779b97f4a7c15, t)
+	}
+	if base < 0 {
+		base = 0
+	}
+	if lim := p.Limit.Mem; lim > 0 && base > lim {
+		base = lim
+	}
+	return base
+}
+
+// QPS returns the query rate hitting the pod at time t (0 for BE pods).
+// QPS is well balanced across the pods of an app (Fig. 12a), so there is no
+// per-pod scale factor, only small sample noise.
+func (p *Pod) QPS(t int64) float64 {
+	t -= t % SampleInterval
+	a := p.App()
+	if !p.SLO.LatencySensitive() || a.QPSBase == 0 {
+		return 0
+	}
+	q := a.QPSBase * a.Diurnal(t) * (1 + 0.05*noiseSym(uint64(p.ID)^0xdeadbeef, t))
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// Node is a physical host. Capacity is normalized (≈1.0 per dimension).
+type Node struct {
+	ID       int       `json:"id"`
+	Capacity Resources `json:"capacity"`
+	// Group is the node's affinity group (rack/zone/hardware pool).
+	Group int `json:"group"`
+}
+
+// Workload bundles the applications, pods, and nodes of one generated or
+// loaded trace.
+type Workload struct {
+	Apps  []*App  `json:"apps"`
+	Pods  []*Pod  `json:"pods"`
+	Nodes []*Node `json:"nodes"`
+	// Horizon is the trace length in seconds.
+	Horizon int64 `json:"horizon"`
+	// Seed records the generator seed for reproducibility.
+	Seed int64 `json:"seed"`
+
+	appByID map[string]*App
+}
+
+// AppByID returns the application with the given ID, or nil.
+func (w *Workload) AppByID(id string) *App {
+	if w.appByID == nil {
+		w.link()
+	}
+	return w.appByID[id]
+}
+
+// link resolves pod->app pointers and builds the app index. It must be
+// called after constructing or decoding a Workload; public constructors and
+// decoders do this automatically.
+func (w *Workload) link() {
+	w.appByID = make(map[string]*App, len(w.Apps))
+	for _, a := range w.Apps {
+		w.appByID[a.ID] = a
+	}
+	for _, p := range w.Pods {
+		p.app = w.appByID[p.AppID]
+		if p.app == nil {
+			panic(fmt.Sprintf("trace: pod %d references unknown app %q", p.ID, p.AppID))
+		}
+	}
+}
+
+// Validate checks structural invariants of the workload and returns the
+// first violation found, or nil.
+func (w *Workload) Validate() error {
+	if w.Horizon <= 0 {
+		return fmt.Errorf("trace: non-positive horizon %d", w.Horizon)
+	}
+	if len(w.Nodes) == 0 {
+		return fmt.Errorf("trace: no nodes")
+	}
+	seen := make(map[string]bool, len(w.Apps))
+	for _, a := range w.Apps {
+		if a.ID == "" {
+			return fmt.Errorf("trace: app with empty ID")
+		}
+		if seen[a.ID] {
+			return fmt.Errorf("trace: duplicate app ID %q", a.ID)
+		}
+		seen[a.ID] = true
+		if a.Request.CPU <= 0 || a.Request.Mem <= 0 {
+			return fmt.Errorf("trace: app %q has non-positive request", a.ID)
+		}
+		if a.Limit.CPU < a.Request.CPU || a.Limit.Mem < a.Request.Mem {
+			return fmt.Errorf("trace: app %q limit below request", a.ID)
+		}
+	}
+	if w.appByID == nil {
+		w.link()
+	}
+	for _, p := range w.Pods {
+		if w.appByID[p.AppID] == nil {
+			return fmt.Errorf("trace: pod %d references unknown app %q", p.ID, p.AppID)
+		}
+		if p.Submit < 0 || p.Submit > w.Horizon {
+			return fmt.Errorf("trace: pod %d submit %d outside horizon", p.ID, p.Submit)
+		}
+		if p.SLO == SLOBE && p.Work <= 0 {
+			return fmt.Errorf("trace: BE pod %d has no work", p.ID)
+		}
+	}
+	return nil
+}
+
+// noiseSym returns a deterministic pseudo-random value in [-1, 1) derived
+// from a pod identity and a sample time. Using a hash rather than a stateful
+// RNG means pod usage can be evaluated at any time in any order and still be
+// reproducible — which the trace-replay experiments rely on.
+func noiseSym(id uint64, t int64) float64 {
+	return 2*noise01(id, t) - 1
+}
+
+func noise01(id uint64, t int64) float64 {
+	// Quantize to the sampling grid so values are stable within a sample.
+	x := id*0x9e3779b97f4a7c15 ^ uint64(t/SampleInterval)*0xbf58476d1ce4e5b9
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,217 @@
+// Package tracedb is the Tracing Coordinator's storage backend (§4.1): an
+// append-only store of the 30-second node and pod samples a simulation
+// produces, serialized as JSON lines so external tooling (pandas, DuckDB,
+// jq) can consume them directly. A Reader restores the records and offers
+// the per-application series lookups the offline profilers and the
+// characterization study need when they run from recorded data instead of
+// a live simulation.
+package tracedb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"unisched/internal/cluster"
+)
+
+// NodeSample is one node's 30-second record.
+type NodeSample struct {
+	T        int64   `json:"t"`
+	Node     int     `json:"node"`
+	CPUUsage float64 `json:"cpu_usage"`
+	MemUsage float64 `json:"mem_usage"`
+	CPUUtil  float64 `json:"cpu_util"`
+	MemUtil  float64 `json:"mem_util"`
+	Pressure float64 `json:"cpu_pressure"`
+	Pods     int     `json:"pods"`
+}
+
+// PodSample is one pod's 30-second record, mirroring the "Pod running
+// information" block of Fig. 2(a).
+type PodSample struct {
+	T      int64   `json:"t"`
+	Pod    int     `json:"pod"`
+	App    string  `json:"app"`
+	Node   int     `json:"node"`
+	CPUUse float64 `json:"cpu_use"`
+	MemUse float64 `json:"mem_use"`
+	QPS    float64 `json:"qps,omitempty"`
+	RT     float64 `json:"rt,omitempty"`
+	PSI10  float64 `json:"cpu_psi10"`
+	PSI60  float64 `json:"cpu_psi60"`
+	PSI300 float64 `json:"cpu_psi300"`
+}
+
+// record is the on-disk envelope: exactly one of Node or Pod is set.
+type record struct {
+	Kind string      `json:"kind"`
+	Node *NodeSample `json:"node_sample,omitempty"`
+	Pod  *PodSample  `json:"pod_sample,omitempty"`
+}
+
+// Writer appends samples as JSON lines. It is not safe for concurrent use;
+// the simulation tick is single-threaded.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	// SamplePods controls whether per-pod records are written (they
+	// dominate the volume); node records are always written.
+	SamplePods bool
+	n          int
+}
+
+// NewWriter wraps w. Close-like flushing is the caller's responsibility
+// via Flush.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw), SamplePods: true}
+}
+
+// Records returns how many records have been written.
+func (w *Writer) Records() int { return w.n }
+
+// OnTick is a sim.Config.OnTick hook that records every snapshot.
+func (w *Writer) OnTick(t int64, snaps []cluster.NodeSnapshot) {
+	for i := range snaps {
+		if err := w.WriteSnapshot(&snaps[i]); err != nil {
+			// An append-only trace sink has no recovery path mid-run;
+			// surface loudly rather than silently truncating data.
+			panic(fmt.Sprintf("tracedb: write failed: %v", err))
+		}
+	}
+}
+
+// WriteSnapshot appends one node snapshot (and its pods' records when
+// SamplePods is set).
+func (w *Writer) WriteSnapshot(s *cluster.NodeSnapshot) error {
+	ns := &NodeSample{
+		T: s.T, Node: s.Node.Node.ID,
+		CPUUsage: s.Usage.CPU, MemUsage: s.Usage.Mem,
+		CPUUtil: s.CPUUtil(), MemUtil: s.MemUtil(),
+		Pressure: s.CPUPressure, Pods: len(s.Pods),
+	}
+	if err := w.enc.Encode(record{Kind: "node", Node: ns}); err != nil {
+		return err
+	}
+	w.n++
+	if !w.SamplePods {
+		return nil
+	}
+	for i := range s.Pods {
+		p := &s.Pods[i]
+		ps := &PodSample{
+			T: p.T, Pod: p.Pod.Pod.ID, App: p.Pod.Pod.AppID, Node: s.Node.Node.ID,
+			CPUUse: p.CPUUse, MemUse: p.MemUse, QPS: p.QPS, RT: p.RT,
+			PSI10: p.CPUPSI10, PSI60: p.CPUPSI60, PSI300: p.CPUPSI300,
+		}
+		if err := w.enc.Encode(record{Kind: "pod", Pod: ps}); err != nil {
+			return err
+		}
+		w.n++
+	}
+	return nil
+}
+
+// Flush drains buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// DB is an in-memory view of a recorded sample stream with the query
+// surface the analysis pipeline needs.
+type DB struct {
+	Nodes []NodeSample
+	Pods  []PodSample
+
+	byApp map[string][]int // indexes into Pods
+}
+
+// Read parses a JSONL stream written by Writer.
+func Read(r io.Reader) (*DB, error) {
+	db := &DB{byApp: make(map[string][]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("tracedb: line %d: %w", line, err)
+		}
+		switch rec.Kind {
+		case "node":
+			if rec.Node == nil {
+				return nil, fmt.Errorf("tracedb: line %d: node record without sample", line)
+			}
+			db.Nodes = append(db.Nodes, *rec.Node)
+		case "pod":
+			if rec.Pod == nil {
+				return nil, fmt.Errorf("tracedb: line %d: pod record without sample", line)
+			}
+			db.byApp[rec.Pod.App] = append(db.byApp[rec.Pod.App], len(db.Pods))
+			db.Pods = append(db.Pods, *rec.Pod)
+		default:
+			return nil, fmt.Errorf("tracedb: line %d: unknown kind %q", line, rec.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracedb: %w", err)
+	}
+	return db, nil
+}
+
+// ReadFile loads a JSONL file.
+func ReadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracedb: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Apps returns the applications with pod samples.
+func (db *DB) Apps() []string {
+	out := make([]string, 0, len(db.byApp))
+	for app := range db.byApp {
+		out = append(out, app)
+	}
+	return out
+}
+
+// AppSamples returns the pod samples of one application, in record order.
+func (db *DB) AppSamples(app string) []PodSample {
+	idx := db.byApp[app]
+	out := make([]PodSample, len(idx))
+	for i, k := range idx {
+		out[i] = db.Pods[k]
+	}
+	return out
+}
+
+// PodSeries returns one pod's samples in time order (records are appended
+// tick by tick, so record order is time order).
+func (db *DB) PodSeries(podID int) []PodSample {
+	var out []PodSample
+	for _, p := range db.Pods {
+		if p.Pod == podID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NodeSeries returns one node's samples in time order.
+func (db *DB) NodeSeries(nodeID int) []NodeSample {
+	var out []NodeSample
+	for _, n := range db.Nodes {
+		if n.Node == nodeID {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package tracedb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/sched"
+	"unisched/internal/sim"
+	"unisched/internal/trace"
+)
+
+func recordRun(t *testing.T) (*bytes.Buffer, *Writer, *trace.Workload) {
+	t.Helper()
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 8
+	cfg.Horizon = 1800
+	w := trace.MustGenerate(cfg)
+	var buf bytes.Buffer
+	wr := NewWriter(&buf)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	sim.Run(w, c, sched.NewAlibabaLike(c, 1), sim.Config{OnTick: wr.OnTick})
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, wr, w
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	buf, wr, w := recordRun(t)
+	if wr.Records() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	db, err := Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := int(w.Horizon / trace.SampleInterval)
+	if len(db.Nodes) != 8*ticks {
+		t.Fatalf("node samples = %d, want %d", len(db.Nodes), 8*ticks)
+	}
+	if len(db.Pods) == 0 {
+		t.Fatal("no pod samples")
+	}
+	if len(db.Nodes)+len(db.Pods) != wr.Records() {
+		t.Fatalf("record count mismatch: %d + %d != %d",
+			len(db.Nodes), len(db.Pods), wr.Records())
+	}
+	// Node series are time-ordered and complete.
+	ns := db.NodeSeries(3)
+	if len(ns) != ticks {
+		t.Fatalf("node 3 series length %d", len(ns))
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i].T <= ns[i-1].T {
+			t.Fatal("node series out of order")
+		}
+	}
+	// App lookups agree with the raw pod records.
+	apps := db.Apps()
+	if len(apps) == 0 {
+		t.Fatal("no apps")
+	}
+	total := 0
+	for _, a := range apps {
+		samples := db.AppSamples(a)
+		total += len(samples)
+		for _, s := range samples {
+			if s.App != a {
+				t.Fatal("AppSamples returned a foreign sample")
+			}
+		}
+	}
+	if total != len(db.Pods) {
+		t.Fatalf("app partition covers %d of %d pod samples", total, len(db.Pods))
+	}
+	// Pod series sanity.
+	series := db.PodSeries(db.Pods[0].Pod)
+	if len(series) == 0 {
+		t.Fatal("empty pod series")
+	}
+	for _, s := range series {
+		if s.PSI60 < 0 || s.PSI60 > 1 || s.CPUUse < 0 {
+			t.Fatalf("bad sample: %+v", s)
+		}
+	}
+}
+
+func TestNodeOnlyMode(t *testing.T) {
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 4
+	cfg.Horizon = 600
+	w := trace.MustGenerate(cfg)
+	var buf bytes.Buffer
+	wr := NewWriter(&buf)
+	wr.SamplePods = false
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	sim.Run(w, c, sched.NewAlibabaLike(c, 1), sim.Config{OnTick: wr.OnTick})
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Pods) != 0 {
+		t.Error("pod samples written in node-only mode")
+	}
+	if len(db.Nodes) == 0 {
+		t.Error("no node samples")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json\n",
+		`{"kind":"mystery"}` + "\n",
+		`{"kind":"node"}` + "\n",
+		`{"kind":"pod"}` + "\n",
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Empty stream is a valid, empty DB.
+	db, err := Read(strings.NewReader(""))
+	if err != nil || len(db.Nodes) != 0 {
+		t.Error("empty stream should give an empty DB")
+	}
+}

@@ -1,0 +1,254 @@
+// Package unisched is a research-quality reproduction of "Understanding
+// and Optimizing Workloads for Unified Resource Management in Large Cloud
+// Platforms" (EuroSys '23): the Optum unified data-center scheduler, the
+// baseline schedulers it is evaluated against, a synthetic
+// Alibaba-trace-shaped workload generator, a contention-aware cluster
+// simulator, and the full characterization and evaluation pipelines behind
+// the paper's figures.
+//
+// The package is a thin, stable facade over the internal implementation.
+// Typical use:
+//
+//	w := unisched.MustGenerateWorkload(unisched.SmallWorkload())
+//	c := unisched.NewCluster(w)
+//	res := unisched.Simulate(w, c, unisched.NewAlibabaScheduler(c, 1), unisched.SimConfig{})
+//	fmt.Println(res.Placed, "pods placed")
+//
+// To run Optum itself, first build profiles (offline profiling pass), then
+// construct the scheduler:
+//
+//	setup, _ := unisched.NewEvaluation(unisched.QuickEvaluation())
+//	evals := unisched.CompareSchedulers(setup, nil)
+package unisched
+
+import (
+	"io"
+
+	"unisched/internal/analysis"
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/experiments"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/sim"
+	"unisched/internal/trace"
+	"unisched/internal/tracedb"
+)
+
+// Workload, pod and trace types.
+type (
+	// Workload is a generated or loaded trace: applications, pods, nodes.
+	Workload = trace.Workload
+	// WorkloadConfig controls the synthetic generator.
+	WorkloadConfig = trace.Config
+	// Pod is a single task instance.
+	Pod = trace.Pod
+	// App is an application (a group of consistent pods).
+	App = trace.App
+	// Node is a physical host description.
+	Node = trace.Node
+	// Resources is a (CPU, memory) vector.
+	Resources = trace.Resources
+	// SLO is a pod's service-level-objective class.
+	SLO = trace.SLO
+)
+
+// SLO classes.
+const (
+	SLOUnknown = trace.SLOUnknown
+	SLOSystem  = trace.SLOSystem
+	SLOVMEnv   = trace.SLOVMEnv
+	SLOLSR     = trace.SLOLSR
+	SLOLS      = trace.SLOLS
+	SLOBE      = trace.SLOBE
+)
+
+// DefaultWorkload returns the mid-scale generator configuration.
+func DefaultWorkload() WorkloadConfig { return trace.DefaultConfig() }
+
+// SmallWorkload returns a fast configuration for experimentation.
+func SmallWorkload() WorkloadConfig { return trace.SmallConfig() }
+
+// GenerateWorkload builds a reproducible synthetic workload.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) { return trace.Generate(cfg) }
+
+// MustGenerateWorkload is GenerateWorkload for known-good configurations.
+func MustGenerateWorkload(cfg WorkloadConfig) *Workload { return trace.MustGenerate(cfg) }
+
+// SaveWorkload / LoadWorkload persist workloads as JSON.
+func SaveWorkload(path string, w *Workload) error { return trace.SaveFile(path, w) }
+
+// LoadWorkload reads a workload saved by SaveWorkload.
+func LoadWorkload(path string) (*Workload, error) { return trace.LoadFile(path) }
+
+// Cluster simulation types.
+type (
+	// Cluster is the simulated data-center state.
+	Cluster = cluster.Cluster
+	// NodeSnapshot is a node's 30-second trace record.
+	NodeSnapshot = cluster.NodeSnapshot
+	// Physics parameterizes the contention model.
+	Physics = cluster.Physics
+)
+
+// NewCluster builds an empty cluster over the workload's nodes with the
+// default contention physics.
+func NewCluster(w *Workload) *Cluster {
+	return cluster.New(w.Nodes, cluster.DefaultPhysics())
+}
+
+// NewClusterWithPhysics builds a cluster with custom contention physics.
+func NewClusterWithPhysics(w *Workload, p Physics) *Cluster {
+	return cluster.New(w.Nodes, p)
+}
+
+// DefaultPhysics returns the tuned contention model.
+func DefaultPhysics() Physics { return cluster.DefaultPhysics() }
+
+// Scheduler types.
+type (
+	// Scheduler places batches of pending pods.
+	Scheduler = sched.Scheduler
+	// Decision is one pod's placement verdict.
+	Decision = sched.Decision
+	// OptumScheduler is the paper's contribution.
+	OptumScheduler = core.Optum
+	// OptumOptions are Optum's tunables.
+	OptumOptions = core.Options
+	// Profiles bundles the offline profiler outputs Optum consumes.
+	Profiles = core.Profiles
+)
+
+// DefaultOptumOptions returns the evaluation defaults (omega_o = 0.7,
+// omega_b = 0.3, 5 % PPO sampling, 0.8 memory cap).
+func DefaultOptumOptions() OptumOptions { return core.DefaultOptions() }
+
+// NewOptum builds the Optum scheduler over a cluster and trained profiles.
+func NewOptum(c *Cluster, p Profiles, opt OptumOptions, seed int64) *OptumScheduler {
+	return core.New(c, p, opt, seed)
+}
+
+// Baseline schedulers from the paper's evaluation.
+func NewAlibabaScheduler(c *Cluster, seed int64) Scheduler { return sched.NewAlibabaLike(c, seed) }
+
+// NewBorgScheduler returns the Borg-like baseline.
+func NewBorgScheduler(c *Cluster, seed int64) Scheduler { return sched.NewBorgLike(c, seed) }
+
+// NewNSigmaScheduler returns the N-sigma baseline.
+func NewNSigmaScheduler(c *Cluster, seed int64) Scheduler { return sched.NewNSigma(c, seed) }
+
+// NewRCScheduler returns the Resource-Central-like baseline.
+func NewRCScheduler(c *Cluster, seed int64) Scheduler { return sched.NewRCLike(c, seed) }
+
+// NewMedeaScheduler returns the Medea baseline (ILP for long-running pods).
+func NewMedeaScheduler(c *Cluster, seed int64) Scheduler { return sched.NewMedea(c, seed) }
+
+// NewKubeScheduler returns a stock-Kubernetes-profile scheduler built on
+// the plugin framework: strict request fit, least-allocated spreading,
+// balanced allocation, replica anti-affinity.
+func NewKubeScheduler(c *Cluster, seed int64) Scheduler { return sched.NewKubeLike(c, seed) }
+
+// SchedulerFramework re-exports the plugin framework so users can compose
+// their own Filter/Score pipelines.
+type SchedulerFramework = sched.Framework
+
+// NewSchedulerFramework returns an empty plugin scheduler; chain WithFilter
+// and WithScore to configure it.
+func NewSchedulerFramework(c *Cluster, label string, seed int64) *SchedulerFramework {
+	return sched.NewFramework(c, label, seed)
+}
+
+// NewParallelSchedulers bundles several schedulers into the §4.4
+// distributed arrangement: each member decides a hash-partition of every
+// batch concurrently. Simulate with SimConfig.ConflictResolve set so the
+// Deployment Module arbitrates same-host races.
+func NewParallelSchedulers(label string, members ...Scheduler) Scheduler {
+	return core.NewParallel(label, members...)
+}
+
+// Profiling types.
+type (
+	// Collector is the Tracing Coordinator feed for the offline profilers.
+	Collector = profiler.Collector
+	// InterferenceModels are the trained per-application profiles.
+	InterferenceModels = profiler.Models
+)
+
+// NewCollector returns an empty profiling collector.
+func NewCollector(seed int64) *Collector { return profiler.NewCollector(seed) }
+
+// TrainProfiles trains interference models from a collector's samples and
+// bundles everything Optum needs.
+func TrainProfiles(col *Collector) (Profiles, error) {
+	models, err := col.TrainInterference(profiler.DefaultFactory(), 0.25)
+	if err != nil {
+		return Profiles{}, err
+	}
+	return Profiles{ERO: col.ERO(), Stats: col.Stats(), Models: models}, nil
+}
+
+// Simulation types.
+type (
+	// SimConfig controls a trace-driven run.
+	SimConfig = sim.Config
+	// SimResult aggregates everything one run produces.
+	SimResult = sim.Result
+)
+
+// Simulate replays the workload on the cluster under the scheduler.
+func Simulate(w *Workload, c *Cluster, s Scheduler, cfg SimConfig) *SimResult {
+	return sim.Run(w, c, s, cfg)
+}
+
+// Sample recording (the Tracing Coordinator's storage backend).
+type (
+	// SampleWriter appends 30-second node and pod samples as JSON lines;
+	// hook its OnTick into SimConfig.OnTick.
+	SampleWriter = tracedb.Writer
+	// SampleDB is an in-memory view of a recorded sample stream.
+	SampleDB = tracedb.DB
+)
+
+// NewSampleWriter wraps w for JSONL sample recording.
+func NewSampleWriter(w io.Writer) *SampleWriter { return tracedb.NewWriter(w) }
+
+// ReadSamples parses a JSONL stream written by a SampleWriter.
+func ReadSamples(r io.Reader) (*SampleDB, error) { return tracedb.Read(r) }
+
+// Characterization (Section 3) surface.
+type (
+	// SeriesRecorder samples per-pod metric series during a run.
+	SeriesRecorder = analysis.SeriesRecorder
+	// CorrSummary summarizes per-application correlation distributions.
+	CorrSummary = analysis.CorrSummary
+)
+
+// NewSeriesRecorder returns a bounded-memory metric recorder; hook its
+// OnTick into SimConfig.OnTick.
+func NewSeriesRecorder() *SeriesRecorder { return analysis.NewSeriesRecorder() }
+
+// Evaluation (Section 5) surface.
+type (
+	// Evaluation is the shared context for the paper's evaluation figures.
+	Evaluation = experiments.Setup
+	// EvaluationScale sizes an evaluation.
+	EvaluationScale = experiments.Scale
+	// SchedulerEval is one scheduler's Fig. 19/20 row.
+	SchedulerEval = experiments.SchedulerEval
+)
+
+// QuickEvaluation returns the seconds-scale evaluation configuration.
+func QuickEvaluation() EvaluationScale { return experiments.QuickScale() }
+
+// FullEvaluation returns the paper-shaped evaluation configuration.
+func FullEvaluation() EvaluationScale { return experiments.FullScale() }
+
+// NewEvaluation generates the workload, replays the production baseline,
+// and trains the profiles — the shared context for every evaluation figure.
+func NewEvaluation(s EvaluationScale) (*Evaluation, error) { return experiments.NewSetup(s) }
+
+// CompareSchedulers runs Fig. 19/20: every scheduler against the baseline.
+// A nil name list runs the full §5.1 lineup.
+func CompareSchedulers(e *Evaluation, names []experiments.SchedulerName) []SchedulerEval {
+	return experiments.RunEvaluation(e, names)
+}

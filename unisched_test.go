@@ -1,0 +1,94 @@
+package unisched_test
+
+import (
+	"testing"
+
+	"unisched"
+)
+
+// TestFacadeEndToEnd drives the whole public API the way the README's
+// quickstart does: generate, profile, schedule with Optum, inspect.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := unisched.SmallWorkload()
+	cfg.NumNodes = 16
+	cfg.Horizon = 2 * 3600
+	w, err := unisched.GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Pods) == 0 || len(w.Nodes) != 16 {
+		t.Fatalf("workload shape: %d pods %d nodes", len(w.Pods), len(w.Nodes))
+	}
+
+	// Profile under the baseline.
+	col := unisched.NewCollector(1)
+	warm := unisched.NewCluster(w)
+	base := unisched.Simulate(w, warm, unisched.NewAlibabaScheduler(warm, 1),
+		unisched.SimConfig{Collector: col})
+	if base.Placed == 0 {
+		t.Fatal("baseline placed nothing")
+	}
+	prof, err := unisched.TrainProfiles(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.ERO.Pairs() == 0 {
+		t.Fatal("no profiles learned")
+	}
+
+	// Run Optum.
+	c := unisched.NewCluster(w)
+	o := unisched.NewOptum(c, prof, unisched.DefaultOptumOptions(), 1)
+	res := unisched.Simulate(w, c, o, unisched.SimConfig{})
+	if res.Placed == 0 {
+		t.Fatal("Optum placed nothing")
+	}
+	if res.Scheduler != "Optum" {
+		t.Errorf("scheduler name %q", res.Scheduler)
+	}
+}
+
+// TestFacadeBaselines constructs every baseline through the facade.
+func TestFacadeBaselines(t *testing.T) {
+	cfg := unisched.SmallWorkload()
+	cfg.NumNodes = 8
+	cfg.Horizon = 1800
+	w := unisched.MustGenerateWorkload(cfg)
+	builders := map[string]func(*unisched.Cluster, int64) unisched.Scheduler{
+		"Alibaba":   unisched.NewAlibabaScheduler,
+		"Borg-like": unisched.NewBorgScheduler,
+		"N-sigma":   unisched.NewNSigmaScheduler,
+		"RC-like":   unisched.NewRCScheduler,
+		"Medea":     unisched.NewMedeaScheduler,
+	}
+	for want, mk := range builders {
+		c := unisched.NewCluster(w)
+		s := mk(c, 1)
+		if s.Name() != want {
+			t.Errorf("Name = %q, want %q", s.Name(), want)
+		}
+		res := unisched.Simulate(w, c, s, unisched.SimConfig{})
+		if res.Placed == 0 {
+			t.Errorf("%s placed nothing", want)
+		}
+	}
+}
+
+// TestFacadeWorkloadIO exercises save/load through the facade.
+func TestFacadeWorkloadIO(t *testing.T) {
+	cfg := unisched.SmallWorkload()
+	cfg.NumNodes = 4
+	cfg.Horizon = 900
+	w := unisched.MustGenerateWorkload(cfg)
+	path := t.TempDir() + "/w.json"
+	if err := unisched.SaveWorkload(path, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := unisched.LoadWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Pods) != len(w.Pods) {
+		t.Fatal("round trip changed pod count")
+	}
+}
