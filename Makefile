@@ -1,0 +1,30 @@
+# Development targets. `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: build test race vet fmt check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The schedulers fan work out across goroutines (core.Parallel, PPO
+# sampling); the race detector must stay green.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: vet fmt build test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -6,6 +6,7 @@
 //
 //	optumsim -scheduler optum -nodes 100 -hours 6 -seed 1
 //	optumsim -scheduler alibaba -trace trace.json
+//	optumsim -chaos -nodes 100 -hours 6 -seed 1
 package main
 
 import (
@@ -16,8 +17,10 @@ import (
 	"strings"
 
 	"unisched/internal/analysis"
+	"unisched/internal/chaos"
 	"unisched/internal/cluster"
 	"unisched/internal/core"
+	"unisched/internal/experiments"
 	"unisched/internal/profiler"
 	"unisched/internal/sched"
 	"unisched/internal/sim"
@@ -38,9 +41,16 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed")
 		tracePath = flag.String("trace", "", "load workload from JSON instead of generating")
 		samples   = flag.String("samples", "", "record 30s node+pod samples to this JSONL file")
+		chaosRun  = flag.Bool("chaos", false,
+			"fault-injection mode: compare Optum vs the Alibaba baseline under identical node churn")
 	)
 	flag.Parse()
 	out := os.Stdout
+
+	if *chaosRun {
+		runChurn(out, *nodes, *hours, *seed)
+		return
+	}
 
 	var w *trace.Workload
 	var err error
@@ -142,4 +152,57 @@ func main() {
 		fmt.Fprintf(out, "scheduling latency per pod: mean %.3fms max %.3fms\n",
 			1000*stats.Mean(res.SchedLatency), 1000*stats.Max(res.SchedLatency))
 	}
+}
+
+// runChurn is the -chaos mode: train profiles once, then replay the same
+// workload under identical fault streams for Optum and the Alibaba
+// baseline, printing how each handles the disruption.
+func runChurn(out *os.File, nodes, hours int, seed int64) {
+	if nodes <= 0 || hours <= 0 {
+		log.Fatalf("-chaos needs positive -nodes and -hours, got %d and %d", nodes, hours)
+	}
+	scale := experiments.Scale{Nodes: nodes, Horizon: int64(hours) * 3600, Seed: seed}
+	fmt.Fprintf(out, "chaos mode: %d nodes, %dh horizon, seed %d\n", nodes, hours, seed)
+	fmt.Fprintln(out, "profiling (offline pass under the production baseline)...")
+	setup, err := experiments.NewSetup(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates := chaos.DefaultRates()
+	fmt.Fprintf(out, "fault rates: %.1f crashes/h (MTTR %ds), %.1f drains/h, %.1f evictions/h, %.1f blackouts/h\n\n",
+		rates.NodeFailPerHour, rates.MTTR, rates.NodeDrainPerHour,
+		rates.PodEvictPerHour, rates.BlackoutPerHour)
+
+	evals := experiments.FigChurn(setup, nil, rates, nil)
+	tb := texttab.New("scheduler", "faults", "evictions", "resched", "exhausted", "lost",
+		"ttr mean(s)", "cap lost", "violation", "util busy", "LS wait(s)")
+	for _, ev := range evals {
+		tb.Row(string(ev.Name),
+			fmt.Sprintf("%d", ev.FaultEvents),
+			fmt.Sprintf("%d", ev.Evictions),
+			fmt.Sprintf("%d", ev.Reschedules),
+			fmt.Sprintf("%d", ev.Exhausted),
+			fmt.Sprintf("%d", ev.LostPods),
+			fmt.Sprintf("%.0f", ev.MeanTimeToReplace),
+			fmt.Sprintf("%.3f", ev.MeanCapacityLost),
+			fmt.Sprintf("%.5f", ev.ViolationRate),
+			fmt.Sprintf("%.3f", ev.MeanUtilBusy),
+			fmt.Sprintf("%.1f", ev.MeanWaitLS),
+		)
+	}
+	tb.Render(out)
+	for _, ev := range evals {
+		fmt.Fprintf(out, "\n%s down-nodes   %s (max %d)\n", ev.Name,
+			texttab.Sparkline(intsToFloats(ev.Result.Disruption.DownNodes), 60), ev.MaxDownNodes)
+		fmt.Fprintf(out, "%s violation    %s (mean %.5f)\n", ev.Name,
+			texttab.Sparkline(ev.Result.Violation, 60), ev.ViolationRate)
+	}
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
 }

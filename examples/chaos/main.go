@@ -1,0 +1,92 @@
+// Chaos: schedule a workload with Optum while nodes crash, drain and
+// recover mid-run and the profiler blacks out, then print how the
+// scheduler absorbed the disruption — evictions, reschedules,
+// time-to-replacement, and capacity lost.
+//
+//	go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unisched"
+)
+
+func main() {
+	// 1. A reproducible synthetic workload.
+	cfg := unisched.SmallWorkload()
+	cfg.NumNodes = 24
+	w := unisched.MustGenerateWorkload(cfg)
+	fmt.Printf("workload: %d nodes, %d apps, %d pods\n",
+		len(w.Nodes), len(w.Apps), len(w.Pods))
+
+	// 2. Offline profiling, exactly as in the quickstart.
+	col := unisched.NewCollector(1)
+	warm := unisched.NewCluster(w)
+	unisched.Simulate(w, warm, unisched.NewAlibabaScheduler(warm, 1),
+		unisched.SimConfig{Collector: col})
+	profiles, err := unisched.TrainProfiles(col)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A scripted fault storm: two node crashes an hour in (one recovers
+	// after 30 minutes, one stays down), a drain, and a 20-minute profiler
+	// blackout during which Optum falls back to conservative request-based
+	// scoring.
+	schedule := []unisched.ChaosEvent{
+		{At: 3600, Kind: unisched.NodeFail, NodeID: 3},
+		{At: 3600, Kind: unisched.NodeFail, NodeID: 7},
+		{At: 3600, Kind: unisched.BlackoutStart, For: 1200},
+		{At: 5400, Kind: unisched.NodeRecover, NodeID: 3},
+		{At: 7200, Kind: unisched.NodeDrain, NodeID: 11},
+		{At: 9000, Kind: unisched.NodeRecover, NodeID: 11},
+	}
+	inj := unisched.NewChaosInjector(42, schedule, unisched.ChaosRates{})
+
+	// 4. Run Optum with the injector wired in twice: as the fault source
+	// (SimConfig.Chaos) and as the blackout signal (Profiles.Blackout).
+	profiles.Blackout = inj
+	c := unisched.NewCluster(w)
+	optum := unisched.NewOptum(c, profiles, unisched.DefaultOptumOptions(), 1)
+	res := unisched.Simulate(w, c, optum, unisched.SimConfig{Chaos: inj})
+
+	fmt.Printf("placed %d pods (%d still pending at the end)\n", res.Placed, res.Pending)
+	for _, e := range inj.Applied() {
+		switch e.Kind {
+		case unisched.NodeFail, unisched.NodeRecover, unisched.NodeDrain:
+			fmt.Printf("  t=%5ds %-13s node=%d\n", e.At, e.Kind, e.NodeID)
+		default:
+			fmt.Printf("  t=%5ds %s\n", e.At, e.Kind)
+		}
+	}
+
+	d := res.Disruption
+	fmt.Printf("evictions %d, rescheduled %d, retry budget exhausted %d\n",
+		d.Evictions, d.Reschedules, d.Exhausted)
+	var ttr float64
+	for _, t := range d.TimeToReplace {
+		ttr += t
+	}
+	if len(d.TimeToReplace) > 0 {
+		fmt.Printf("mean time to replacement %.0fs over %d displacements\n",
+			ttr/float64(len(d.TimeToReplace)), len(d.TimeToReplace))
+	}
+	maxDown := 0
+	var lost float64
+	for i, n := range d.DownNodes {
+		if n > maxDown {
+			maxDown = n
+		}
+		lost += d.CapacityLost[i]
+	}
+	fmt.Printf("max simultaneous down nodes %d, mean capacity lost %.3f\n",
+		maxDown, lost/float64(len(d.CapacityLost)))
+
+	var viol float64
+	for _, v := range res.Violation {
+		viol += v
+	}
+	fmt.Printf("capacity violation rate %.5f\n", viol/float64(len(res.Violation)))
+}

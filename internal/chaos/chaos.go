@@ -1,0 +1,307 @@
+// Package chaos injects deterministic faults into a simulated cluster:
+// node crashes, recoveries and drains, random pod evictions, and profiler
+// data blackouts. Faults come from an explicit schedule, from seeded
+// stochastic rates, or both; given the same seed, schedule and tick
+// sequence the injector produces byte-identical fault streams, so chaos
+// runs are as reproducible as failure-free ones.
+//
+// The injector is driven by the testbed once per tick (sim.Config.Chaos)
+// and doubles as the scheduler's data-availability signal: it implements
+// core.BlackoutSource, so Optum degrades to request-based scoring for
+// applications whose profiles are blacked out.
+package chaos
+
+import (
+	"math/rand"
+	"sort"
+
+	"unisched/internal/cluster"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+// Fault kinds. Node events target one host; PodEvict displaces running
+// pods; the Blackout pair gates profiler data per application ("" = all).
+const (
+	NodeFail Kind = iota
+	NodeRecover
+	NodeDrain
+	PodEvict
+	BlackoutStart
+	BlackoutEnd
+)
+
+var kindNames = [...]string{"NodeFail", "NodeRecover", "NodeDrain", "PodEvict", "BlackoutStart", "BlackoutEnd"}
+
+// String names the fault kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "?"
+	}
+	return kindNames[k]
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is when the event fires (seconds from trace start).
+	At   int64
+	Kind Kind
+	// NodeID targets a node event; -1 lets the injector pick a seeded
+	// random eligible host (Up for fail/drain, not-Up for recover).
+	NodeID int
+	// AppID scopes a blackout; "" blacks out every application.
+	AppID string
+	// Count is how many pods a PodEvict displaces (0 means 1).
+	Count int
+	// For is an optional BlackoutStart duration in seconds; 0 falls back
+	// to Rates.BlackoutFor, and if both are zero the blackout lasts until
+	// an explicit BlackoutEnd.
+	For int64
+}
+
+// Rates drives stochastic fault generation: expected events per hour across
+// the whole cluster, sampled once per tick from the injector's seeded RNG.
+// A zero rate disables that fault class.
+type Rates struct {
+	// NodeFailPerHour crashes a random Up node.
+	NodeFailPerHour float64
+	// MTTR is how long a failed node stays Down before auto-recovery
+	// (seconds; 0 means failed nodes never come back on their own).
+	MTTR int64
+	// NodeDrainPerHour cordons and drains a random Up node.
+	NodeDrainPerHour float64
+	// DrainFor is how long a drained node stays cordoned before returning
+	// to service (0 = forever).
+	DrainFor int64
+	// PodEvictPerHour displaces one random running pod.
+	PodEvictPerHour float64
+	// BlackoutPerHour starts a cluster-wide profiler blackout.
+	BlackoutPerHour float64
+	// BlackoutFor is the duration of rate-generated blackouts (seconds).
+	BlackoutFor int64
+}
+
+// DefaultRates is a moderately hostile churn profile: a couple of crashes
+// and a drain per hour with half-hour repair times, occasional random
+// evictions, and a profiler outage roughly every other hour.
+func DefaultRates() Rates {
+	return Rates{
+		NodeFailPerHour:  2,
+		MTTR:             1800,
+		NodeDrainPerHour: 1,
+		DrainFor:         3600,
+		PodEvictPerHour:  4,
+		BlackoutPerHour:  0.5,
+		BlackoutFor:      1800,
+	}
+}
+
+// Injector applies faults to a cluster tick by tick.
+type Injector struct {
+	rng   *rand.Rand
+	rates Rates
+
+	schedule []Event
+	next     int
+
+	now       int64
+	pendingAt []Event // auto-generated future events (recoveries, blackout ends)
+
+	// blackouts maps application ID ("" = all) to the end time of its
+	// blackout (negative = until an explicit BlackoutEnd).
+	blackouts map[string]int64
+
+	applied []Event
+}
+
+// NewInjector builds an injector over an explicit schedule (may be nil)
+// plus stochastic rates (may be zero). The schedule is sorted by time;
+// order among same-time events is preserved.
+func NewInjector(seed int64, schedule []Event, rates Rates) *Injector {
+	s := append([]Event(nil), schedule...)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].At < s[j].At })
+	return &Injector{
+		rng:       rand.New(rand.NewSource(seed)),
+		rates:     rates,
+		schedule:  s,
+		blackouts: make(map[string]int64),
+	}
+}
+
+// Step fires every fault due at time now against the cluster and returns
+// the displaced pods, in deterministic order. dt is the tick length in
+// seconds (the window the stochastic rates are sampled over).
+func (in *Injector) Step(c *cluster.Cluster, now, dt int64) []*cluster.PodState {
+	in.now = now
+	var displaced []*cluster.PodState
+
+	// 1. Auto-generated events (recoveries, blackout ends) that came due.
+	keep := in.pendingAt[:0]
+	for _, e := range in.pendingAt {
+		if e.At <= now {
+			in.apply(c, e, &displaced)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	in.pendingAt = keep
+
+	// 2. Scheduled events.
+	for in.next < len(in.schedule) && in.schedule[in.next].At <= now {
+		in.apply(c, in.schedule[in.next], &displaced)
+		in.next++
+	}
+
+	// 3. Rate-driven events: one Bernoulli draw per fault class per tick.
+	// Draws happen unconditionally so the random stream (and therefore the
+	// fault sequence) does not depend on cluster state.
+	h := float64(dt) / 3600
+	fail := in.rng.Float64() < in.rates.NodeFailPerHour*h
+	drain := in.rng.Float64() < in.rates.NodeDrainPerHour*h
+	evict := in.rng.Float64() < in.rates.PodEvictPerHour*h
+	black := in.rng.Float64() < in.rates.BlackoutPerHour*h
+	if fail && in.rates.NodeFailPerHour > 0 {
+		in.apply(c, Event{At: now, Kind: NodeFail, NodeID: -1}, &displaced)
+	}
+	if drain && in.rates.NodeDrainPerHour > 0 {
+		in.apply(c, Event{At: now, Kind: NodeDrain, NodeID: -1}, &displaced)
+	}
+	if evict && in.rates.PodEvictPerHour > 0 {
+		in.apply(c, Event{At: now, Kind: PodEvict, Count: 1}, &displaced)
+	}
+	if black && in.rates.BlackoutPerHour > 0 {
+		in.apply(c, Event{At: now, Kind: BlackoutStart}, &displaced)
+	}
+
+	// 4. Expire timed blackouts.
+	for app, until := range in.blackouts {
+		if until >= 0 && until <= now {
+			delete(in.blackouts, app)
+		}
+	}
+	return displaced
+}
+
+func (in *Injector) apply(c *cluster.Cluster, e Event, displaced *[]*cluster.PodState) {
+	e.At = in.now
+	switch e.Kind {
+	case NodeFail:
+		id := e.NodeID
+		if id < 0 {
+			id = in.pickNode(c, true)
+		}
+		if id < 0 {
+			return
+		}
+		e.NodeID = id
+		*displaced = append(*displaced, c.FailNode(id, in.now)...)
+		if in.rates.MTTR > 0 {
+			in.pendingAt = append(in.pendingAt, Event{At: in.now + in.rates.MTTR, Kind: NodeRecover, NodeID: id})
+		}
+	case NodeDrain:
+		id := e.NodeID
+		if id < 0 {
+			id = in.pickNode(c, true)
+		}
+		if id < 0 {
+			return
+		}
+		e.NodeID = id
+		*displaced = append(*displaced, c.DrainNode(id, in.now)...)
+		if in.rates.DrainFor > 0 {
+			in.pendingAt = append(in.pendingAt, Event{At: in.now + in.rates.DrainFor, Kind: NodeRecover, NodeID: id})
+		}
+	case NodeRecover:
+		id := e.NodeID
+		if id < 0 {
+			id = in.pickNode(c, false)
+		}
+		if id < 0 {
+			return
+		}
+		e.NodeID = id
+		c.RecoverNode(id)
+	case PodEvict:
+		count := e.Count
+		if count <= 0 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			ps := in.pickPod(c)
+			if ps == nil {
+				continue // keep drawing: rng use must not depend on state
+			}
+			if ev := c.Evict(ps.Pod.ID, in.now); ev != nil {
+				*displaced = append(*displaced, ev)
+			}
+		}
+	case BlackoutStart:
+		until := int64(-1)
+		if e.For > 0 {
+			until = in.now + e.For
+		} else if in.rates.BlackoutFor > 0 {
+			until = in.now + in.rates.BlackoutFor
+		}
+		in.blackouts[e.AppID] = until
+	case BlackoutEnd:
+		delete(in.blackouts, e.AppID)
+	}
+	in.applied = append(in.applied, e)
+}
+
+// pickNode returns a seeded random node ID: among Up nodes when up is true
+// (fail/drain targets), among non-Up nodes otherwise (recover targets).
+// Returns -1 when no node is eligible. Exactly one rng draw is consumed
+// regardless of eligibility, so the fault stream — the sequence of event
+// kinds and times — cannot depend on cluster state.
+func (in *Injector) pickNode(c *cluster.Cluster, up bool) int {
+	r := in.rng.Float64()
+	var ids []int
+	for _, n := range c.Nodes() {
+		if n.Schedulable() == up {
+			ids = append(ids, n.Node.ID)
+		}
+	}
+	if len(ids) == 0 {
+		return -1
+	}
+	return ids[int(r*float64(len(ids)))]
+}
+
+// pickPod returns a seeded random running pod, scanning nodes in ID order
+// for determinism. Returns nil when the cluster is idle. Like pickNode it
+// always consumes exactly one rng draw.
+func (in *Injector) pickPod(c *cluster.Cluster) *cluster.PodState {
+	r := in.rng.Float64()
+	total := 0
+	for _, n := range c.Nodes() {
+		total += len(n.Pods())
+	}
+	if total == 0 {
+		return nil
+	}
+	k := int(r * float64(total))
+	for _, n := range c.Nodes() {
+		pods := n.Pods()
+		if k < len(pods) {
+			return pods[k]
+		}
+		k -= len(pods)
+	}
+	return nil
+}
+
+// Blacked implements core.BlackoutSource: true while the application (or
+// everything) is inside a profiler blackout.
+func (in *Injector) Blacked(app string) bool {
+	if until, ok := in.blackouts[""]; ok && (until < 0 || until > in.now) {
+		return true
+	}
+	until, ok := in.blackouts[app]
+	return ok && (until < 0 || until > in.now)
+}
+
+// Applied returns the log of fired events (with picked targets resolved),
+// in firing order.
+func (in *Injector) Applied() []Event { return in.applied }

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+func testCluster(t *testing.T) (*cluster.Cluster, *trace.Workload) {
+	t.Helper()
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 8
+	w := trace.MustGenerate(cfg)
+	return cluster.New(w.Nodes, cluster.DefaultPhysics()), w
+}
+
+func TestScheduledEventsFireInOrder(t *testing.T) {
+	c, w := testCluster(t)
+	for _, p := range w.Pods[:6] {
+		if _, err := c.Place(p, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := NewInjector(1, []Event{
+		{At: 90, Kind: NodeRecover, NodeID: 1}, // out of order on purpose
+		{At: 30, Kind: NodeFail, NodeID: 1},
+	}, Rates{})
+
+	if got := in.Step(c, 0, 30); len(got) != 0 {
+		t.Fatalf("events fired early: %d pods displaced", len(got))
+	}
+	displaced := in.Step(c, 30, 30)
+	if len(displaced) != 6 {
+		t.Fatalf("displaced %d pods, want 6", len(displaced))
+	}
+	if c.Node(1).Phase() != cluster.NodeDown {
+		t.Fatal("node 1 not down after scheduled failure")
+	}
+	in.Step(c, 60, 30)
+	if c.Node(1).Phase() != cluster.NodeDown {
+		t.Fatal("node recovered early")
+	}
+	in.Step(c, 90, 30)
+	if c.Node(1).Phase() != cluster.NodeUp {
+		t.Fatal("node 1 not recovered at 90s")
+	}
+	applied := in.Applied()
+	if len(applied) != 2 || applied[0].Kind != NodeFail || applied[1].Kind != NodeRecover {
+		t.Fatalf("applied log = %+v", applied)
+	}
+}
+
+func TestMTTRAutoRecovery(t *testing.T) {
+	c, _ := testCluster(t)
+	in := NewInjector(1, []Event{{At: 0, Kind: NodeFail, NodeID: 3}}, Rates{MTTR: 60})
+	in.Step(c, 0, 30)
+	if c.Node(3).Phase() != cluster.NodeDown {
+		t.Fatal("not down")
+	}
+	in.Step(c, 30, 30)
+	if c.Node(3).Phase() != cluster.NodeUp {
+		// MTTR recovery lands at t=60.
+		in.Step(c, 60, 30)
+	}
+	if c.Node(3).Phase() != cluster.NodeUp {
+		t.Fatal("MTTR auto-recovery never fired")
+	}
+}
+
+func TestBlackoutSemantics(t *testing.T) {
+	c, _ := testCluster(t)
+	in := NewInjector(1, []Event{
+		{At: 0, Kind: BlackoutStart, AppID: "app-1", For: 60},
+		{At: 0, Kind: BlackoutStart, AppID: "app-2"}, // open-ended
+	}, Rates{})
+	in.Step(c, 0, 30)
+	if !in.Blacked("app-1") || !in.Blacked("app-2") {
+		t.Fatal("blackouts not active")
+	}
+	if in.Blacked("app-3") {
+		t.Fatal("unrelated app blacked out")
+	}
+	in.Step(c, 60, 30) // app-1's 60s window expires at t=60
+	if in.Blacked("app-1") {
+		t.Error("timed blackout did not expire")
+	}
+	if !in.Blacked("app-2") {
+		t.Error("open-ended blackout expired on its own")
+	}
+	in.Step(c, 90, 30)
+	inEnd := Event{At: 90, Kind: BlackoutEnd, AppID: "app-2"}
+	in.apply(c, inEnd, nil)
+	if in.Blacked("app-2") {
+		t.Error("explicit BlackoutEnd ignored")
+	}
+
+	// A global blackout ("" app) covers everything.
+	in2 := NewInjector(1, []Event{{At: 0, Kind: BlackoutStart}}, Rates{BlackoutFor: 120})
+	in2.Step(c, 0, 30)
+	if !in2.Blacked("anything") {
+		t.Error("global blackout not covering all apps")
+	}
+}
+
+func TestRateStreamDeterministicAndStateIndependent(t *testing.T) {
+	// Two injectors with the same seed must fire identical fault sequences
+	// even when the clusters they act on diverge (one has pods, one is
+	// empty): the Bernoulli draws must not depend on cluster state.
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 8
+	w := trace.MustGenerate(cfg)
+	c1 := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	c2 := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	for _, p := range w.Pods[:10] {
+		if _, err := c1.Place(p, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rates := Rates{NodeFailPerHour: 40, MTTR: 300, PodEvictPerHour: 40}
+	a := NewInjector(5, nil, rates)
+	b := NewInjector(5, nil, rates)
+	for now := int64(0); now < 2*3600; now += 30 {
+		a.Step(c1, now, 30)
+		b.Step(c2, now, 30)
+	}
+	// Node targets may differ (different eligible sets) but the sequence
+	// of fired kinds and times must match.
+	ka := eventKinds(a.Applied())
+	kb := eventKinds(b.Applied())
+	if !reflect.DeepEqual(ka, kb) {
+		t.Fatalf("fault streams diverged:\n%v\n%v", ka, kb)
+	}
+	if len(ka) == 0 {
+		t.Fatal("high rates fired nothing in two hours")
+	}
+}
+
+type kindAt struct {
+	At   int64
+	Kind Kind
+}
+
+func eventKinds(evs []Event) []kindAt {
+	out := make([]kindAt, len(evs))
+	for i, e := range evs {
+		out[i] = kindAt{e.At, e.Kind}
+	}
+	return out
+}
+
+func TestPodEvictCountAndIdleCluster(t *testing.T) {
+	c, w := testCluster(t)
+	in := NewInjector(1, []Event{{At: 0, Kind: PodEvict, Count: 3}}, Rates{})
+	// Idle cluster: eviction is a no-op, not a panic.
+	if got := in.Step(c, 0, 30); len(got) != 0 {
+		t.Fatalf("evicted %d pods from an empty cluster", len(got))
+	}
+
+	for _, p := range w.Pods[:5] {
+		if _, err := c.Place(p, 2, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in2 := NewInjector(1, []Event{{At: 0, Kind: PodEvict, Count: 3}}, Rates{})
+	if got := in2.Step(c, 0, 30); len(got) != 3 {
+		t.Fatalf("evicted %d pods, want 3", len(got))
+	}
+	if c.RunningPods() != 2 {
+		t.Fatalf("running pods = %d, want 2", c.RunningPods())
+	}
+}
+
+func TestRandomNodePickSkipsIneligible(t *testing.T) {
+	c, _ := testCluster(t)
+	// Fail all but one node via schedule, then a rate-driven failure must
+	// pick the last Up node; once none are Up, failures become no-ops.
+	var schedule []Event
+	for i := 0; i < 7; i++ {
+		schedule = append(schedule, Event{At: 0, Kind: NodeFail, NodeID: i})
+	}
+	in := NewInjector(9, schedule, Rates{})
+	in.Step(c, 0, 30)
+	var d []*cluster.PodState
+	in.apply(c, Event{Kind: NodeFail, NodeID: -1}, &d)
+	if c.Node(7).Phase() != cluster.NodeDown {
+		t.Fatal("random pick did not hit the only Up node")
+	}
+	before := len(in.Applied())
+	in.apply(c, Event{Kind: NodeFail, NodeID: -1}, &d)
+	if len(in.Applied()) != before {
+		t.Error("failure with no eligible nodes was logged as applied")
+	}
+}

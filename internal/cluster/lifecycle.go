@@ -1,0 +1,136 @@
+package cluster
+
+import "unisched/internal/trace"
+
+// NodePhase is the lifecycle state of a host. The testbed starts every node
+// Up; fault injection (internal/chaos) and operator actions move nodes
+// through Draining and Down and back.
+type NodePhase int
+
+// Node lifecycle phases. Up accepts placements and runs pods; Draining is
+// cordoned (no new placements) while its pods are relocated; Down is
+// crashed — no placements, no pods, capacity lost.
+const (
+	NodeUp NodePhase = iota
+	NodeDraining
+	NodeDown
+)
+
+var phaseNames = [...]string{"Up", "Draining", "Down"}
+
+// String names the phase.
+func (p NodePhase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return "?"
+	}
+	return phaseNames[p]
+}
+
+// Phase returns the node's lifecycle phase.
+func (n *NodeState) Phase() NodePhase { return n.phase }
+
+// Schedulable reports whether new pods may be placed on the node.
+func (n *NodeState) Schedulable() bool { return n.phase == NodeUp }
+
+// AllUp reports whether every node is schedulable — the fast path that lets
+// candidate filtering skip the per-node phase check on healthy clusters.
+func (c *Cluster) AllUp() bool { return c.notUp == 0 }
+
+// FailNode crashes a host: the node goes Down, every running pod is
+// displaced (removed, marked Displaced, returned in scheduling order for the
+// caller to re-queue), and the node's sampling history is wiped — a machine
+// that comes back after a crash is a fresh machine. Failing a Down node is a
+// no-op; Draining nodes can still crash.
+func (c *Cluster) FailNode(id int, now int64) []*PodState {
+	n := c.Node(id)
+	if n.phase == NodeDown {
+		return nil
+	}
+	if n.phase == NodeUp {
+		c.notUp++
+	}
+	n.phase = NodeDown
+	out := c.displaceAll(n, now)
+	n.hist = nodeHistory{}
+	return out
+}
+
+// DrainNode cordons a host for maintenance: no new placements land on it and
+// its running pods are gracefully displaced (removed, marked Displaced,
+// returned for rescheduling). Unlike a crash the node keeps sampling
+// history — the machine never went away. Draining a non-Up node is a no-op.
+func (c *Cluster) DrainNode(id int, now int64) []*PodState {
+	n := c.Node(id)
+	if n.phase != NodeUp {
+		return nil
+	}
+	n.phase = NodeDraining
+	c.notUp++
+	return c.displaceAll(n, now)
+}
+
+// RecoverNode returns a Down or Draining host to service. Recovering an Up
+// node is a no-op.
+func (c *Cluster) RecoverNode(id int) {
+	n := c.Node(id)
+	if n.phase == NodeUp {
+		return
+	}
+	n.phase = NodeUp
+	c.notUp--
+}
+
+// Evict removes one running pod (chaos-style displacement, distinct from
+// the LSR preemption path), marking it Displaced so reschedulers and
+// disruption metrics can tell it apart from completed pods. Returns nil if
+// the pod is not running.
+func (c *Cluster) Evict(podID int, now int64) *PodState {
+	ps, ok := c.byPod[podID]
+	if !ok || ps.Done {
+		return nil
+	}
+	c.Remove(podID, now, false)
+	ps.Displaced = true
+	return ps
+}
+
+// displaceAll removes every pod from the node, preserving scheduling order
+// and the node's capacity-accounting invariants (Remove maintains the sums,
+// so an emptied node reads exactly zero).
+func (c *Cluster) displaceAll(n *NodeState, now int64) []*PodState {
+	if len(n.pods) == 0 {
+		return nil
+	}
+	victims := make([]*PodState, len(n.pods))
+	copy(victims, n.pods)
+	for _, ps := range victims {
+		c.Remove(ps.Pod.ID, now, false)
+		ps.Displaced = true
+	}
+	return victims
+}
+
+// DownStats returns the number of Down hosts and their summed capacity —
+// the "capacity lost" disruption metric.
+func (c *Cluster) DownStats() (nodes int, capacity trace.Resources) {
+	if c.notUp == 0 {
+		return 0, trace.Resources{}
+	}
+	for _, n := range c.nodes {
+		if n.phase == NodeDown {
+			nodes++
+			capacity = capacity.Add(n.Node.Capacity)
+		}
+	}
+	return nodes, capacity
+}
+
+// TotalCapacity returns the summed capacity of every node regardless of
+// phase.
+func (c *Cluster) TotalCapacity() trace.Resources {
+	var sum trace.Resources
+	for _, n := range c.nodes {
+		sum = sum.Add(n.Node.Capacity)
+	}
+	return sum
+}

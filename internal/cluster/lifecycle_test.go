@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"unisched/internal/trace"
+)
+
+func TestFailNodeDisplacesAndZeroesAccounting(t *testing.T) {
+	c, w := newTestCluster(t)
+	var want int
+	for _, p := range w.Pods[:8] {
+		if _, err := c.Place(p, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	c.Tick(0, 30) // record some history before the crash
+
+	displaced := c.FailNode(0, 100)
+	if len(displaced) != want {
+		t.Fatalf("displaced %d pods, want %d", len(displaced), want)
+	}
+	for _, ps := range displaced {
+		if !ps.Displaced {
+			t.Error("displaced pod not marked Displaced")
+		}
+		if ps.Preempted {
+			t.Error("failure displacement marked as preemption")
+		}
+	}
+	n := c.Node(0)
+	if n.Phase() != NodeDown {
+		t.Fatalf("phase = %v, want Down", n.Phase())
+	}
+	if n.Schedulable() {
+		t.Error("down node is schedulable")
+	}
+	if got := n.ReqSum(); got.CPU != 0 || got.Mem != 0 {
+		t.Errorf("ReqSum after failure = %+v, want zero", got)
+	}
+	if len(n.Pods()) != 0 {
+		t.Errorf("pods after failure = %d", len(n.Pods()))
+	}
+	if len(n.UsageHistory()) != 0 {
+		t.Error("crash should wipe node history")
+	}
+	if _, err := c.Place(w.Pods[20], 0, 200); err == nil {
+		t.Fatal("placement on a down node should fail")
+	}
+	if c.AllUp() {
+		t.Error("AllUp with a down node")
+	}
+	nodes, capc := c.DownStats()
+	if nodes != 1 || capc.CPU != n.Capacity().CPU {
+		t.Errorf("DownStats = (%d, %+v)", nodes, capc)
+	}
+
+	// Failing an already-down node is a no-op.
+	if again := c.FailNode(0, 300); len(again) != 0 {
+		t.Errorf("second failure displaced %d pods", len(again))
+	}
+
+	c.RecoverNode(0)
+	if n.Phase() != NodeUp || !c.AllUp() {
+		t.Errorf("after recovery: phase=%v allUp=%v", n.Phase(), c.AllUp())
+	}
+	if _, err := c.Place(w.Pods[20], 0, 400); err != nil {
+		t.Fatalf("placement after recovery: %v", err)
+	}
+}
+
+func TestDrainNodeKeepsHistory(t *testing.T) {
+	c, w := newTestCluster(t)
+	for _, p := range w.Pods[:5] {
+		if _, err := c.Place(p, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Tick(0, 30)
+	n := c.Node(1)
+	histLen := len(n.UsageHistory())
+	if histLen == 0 {
+		t.Fatal("no history before drain")
+	}
+
+	displaced := c.DrainNode(1, 100)
+	if len(displaced) != 5 {
+		t.Fatalf("drained %d pods, want 5", len(displaced))
+	}
+	if n.Phase() != NodeDraining {
+		t.Fatalf("phase = %v, want Draining", n.Phase())
+	}
+	if len(n.UsageHistory()) != histLen {
+		t.Error("drain should keep node history (graceful shutdown)")
+	}
+	if _, err := c.Place(w.Pods[20], 1, 200); err == nil {
+		t.Fatal("placement on a draining node should fail")
+	}
+	// Draining nodes are unavailable but not Down: no capacity is "lost".
+	if nodes, _ := c.DownStats(); nodes != 0 {
+		t.Errorf("DownStats counts draining nodes: %d", nodes)
+	}
+	// A draining node cannot be drained or failed into displacing again.
+	if again := c.DrainNode(1, 300); len(again) != 0 {
+		t.Errorf("second drain displaced %d pods", len(again))
+	}
+}
+
+func TestEvictSinglePod(t *testing.T) {
+	c, w := newTestCluster(t)
+	p := w.Pods[0]
+	if _, err := c.Place(p, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	ps := c.Evict(p.ID, 50)
+	if ps == nil || !ps.Displaced {
+		t.Fatalf("Evict = %+v", ps)
+	}
+	if got := c.Node(2).ReqSum(); got.CPU != 0 {
+		t.Errorf("ReqSum after evict = %+v", got)
+	}
+	if c.Evict(p.ID, 60) != nil {
+		t.Error("evicting a non-running pod should return nil")
+	}
+	// An evicted pod can be re-placed (the testbed reschedules it).
+	if _, err := c.Place(p, 3, 100); err != nil {
+		t.Fatalf("re-place after evict: %v", err)
+	}
+}
+
+func TestSnapshotSkipsDownNodes(t *testing.T) {
+	c, w := newTestCluster(t)
+	for _, p := range w.Pods[:5] {
+		if _, err := c.Place(p, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.FailNode(0, 0)
+	snap := c.Snapshot(0, 30, false)
+	if snap.Phase != NodeDown {
+		t.Errorf("snapshot phase = %v", snap.Phase)
+	}
+	if snap.Usage.CPU != 0 || len(snap.Pods) != 0 {
+		t.Errorf("down node reported telemetry: %+v", snap.Usage)
+	}
+}
+
+// Property (satellite of the fault-injection PR): capacity accounting is
+// conserved across arbitrary interleavings of place, evict, fail, drain and
+// recover — every node's request sum always equals the sum over its running
+// pods, the cluster-wide running set matches per-node pod lists, and the
+// phase bookkeeping behind AllUp never drifts.
+func TestLifecycleConservationProperty(t *testing.T) {
+	w := testWorkload(t)
+	f := func(ops []uint16) bool {
+		c := New(w.Nodes, DefaultPhysics())
+		running := map[int]bool{}
+		now := int64(0)
+		for _, op := range ops {
+			now += 30
+			node := int(op) % len(w.Nodes)
+			switch op % 5 {
+			case 0, 1: // place (two slots: placement should dominate the mix)
+				pod := w.Pods[int(op/5)%len(w.Pods)]
+				if !running[pod.ID] {
+					if _, err := c.Place(pod, node, now); err == nil {
+						running[pod.ID] = true
+					}
+				}
+			case 2: // evict one random running pod
+				pod := w.Pods[int(op/5)%len(w.Pods)]
+				if c.Evict(pod.ID, now) != nil {
+					delete(running, pod.ID)
+				}
+			case 3: // fail or drain
+				var out []*PodState
+				if op%2 == 0 {
+					out = c.FailNode(node, now)
+				} else {
+					out = c.DrainNode(node, now)
+				}
+				for _, ps := range out {
+					if !running[ps.Pod.ID] {
+						return false // displaced a pod we never saw running
+					}
+					delete(running, ps.Pod.ID)
+				}
+			case 4:
+				c.RecoverNode(node)
+			}
+		}
+		// Invariant 1: per-node request sums match their pod lists.
+		total := 0
+		for _, n := range c.Nodes() {
+			var req, lim trace.Resources
+			for _, ps := range n.Pods() {
+				req = req.Add(ps.Pod.Request)
+				lim = lim.Add(ps.Pod.Limit)
+			}
+			got := n.ReqSum()
+			if math.Abs(got.CPU-req.CPU) > 1e-9 || math.Abs(got.Mem-req.Mem) > 1e-9 {
+				return false
+			}
+			gotLim := n.LimitSum()
+			if math.Abs(gotLim.CPU-lim.CPU) > 1e-9 || math.Abs(gotLim.Mem-lim.Mem) > 1e-9 {
+				return false
+			}
+			// Down/Draining nodes hold no pods.
+			if n.Phase() != NodeUp && len(n.Pods()) != 0 {
+				return false
+			}
+			total += len(n.Pods())
+		}
+		// Invariant 2: the running set matches the cluster's pod lists.
+		if total != len(running) {
+			return false
+		}
+		// Invariant 3: AllUp agrees with a direct phase scan.
+		allUp := true
+		for _, n := range c.Nodes() {
+			if n.Phase() != NodeUp {
+				allUp = false
+			}
+		}
+		return allUp == c.AllUp()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

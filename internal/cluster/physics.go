@@ -84,6 +84,7 @@ type PodSnapshot struct {
 type NodeSnapshot struct {
 	T      int64
 	Node   *NodeState
+	Phase  NodePhase       // lifecycle phase at sample time
 	Usage  trace.Resources // capped actual usage
 	Demand trace.Resources // sum of uncapped pod demand
 	// CPUPressure and MemPressure are demand/capacity (may exceed 1).
@@ -109,7 +110,12 @@ func (s *NodeSnapshot) Violated() bool {
 // tick; ad-hoc inspection passes false).
 func (c *Cluster) Snapshot(nodeID int, t int64, record bool) NodeSnapshot {
 	n := c.Node(nodeID)
-	snap := NodeSnapshot{T: t, Node: n, Pods: make([]PodSnapshot, len(n.pods))}
+	snap := NodeSnapshot{T: t, Node: n, Phase: n.phase, Pods: make([]PodSnapshot, len(n.pods))}
+	if n.phase == NodeDown {
+		// A crashed host produces no telemetry: no pods run, nothing is
+		// recorded, and its history stays wiped until recovery.
+		return snap
+	}
 	capc := n.Node.Capacity
 
 	// Pass 1: demand.

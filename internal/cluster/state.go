@@ -36,6 +36,10 @@ type PodState struct {
 	Finish int64
 	// Preempted marks pods evicted to make room for LSR pods.
 	Preempted bool
+	// Displaced marks pods removed by a node failure, drain, or chaos
+	// eviction — still-live workloads that must be rescheduled, unlike
+	// completed or lifetime-expired pods.
+	Displaced bool
 
 	hist podHistory
 }
@@ -57,6 +61,7 @@ func (p *PodState) P99CPU() float64 { return p.hist.p99CPU() }
 type NodeState struct {
 	Node *trace.Node
 
+	phase   NodePhase
 	pods    []*PodState // running pods, in scheduling order
 	nextSeq int
 
@@ -153,6 +158,9 @@ type Cluster struct {
 
 	nodes []*NodeState
 	byPod map[int]*PodState
+	// notUp counts nodes not in the Up phase, so the all-healthy fast path
+	// is O(1).
+	notUp int
 }
 
 // New builds a cluster over the workload's nodes with the given physics.
@@ -200,6 +208,9 @@ func (c *Cluster) Place(p *trace.Pod, nodeID int, now int64) (*PodState, error) 
 		return nil, fmt.Errorf("cluster: pod %d already running on node %d", p.ID, prev.NodeID)
 	}
 	n := c.Node(nodeID)
+	if n.phase != NodeUp {
+		return nil, fmt.Errorf("cluster: node %d is %s", nodeID, n.phase)
+	}
 	ps := &PodState{Pod: p, NodeID: nodeID, Seq: n.nextSeq, Start: now}
 	n.nextSeq++
 	n.pods = append(n.pods, ps)

@@ -47,6 +47,12 @@ func (d *Deployer) ApplyAll(ds []sched.Decision, now int64) Outcome {
 			out.Requeued = append(out.Requeued, dec.Pod)
 			continue
 		}
+		if !d.Cluster.Node(dec.NodeID).Schedulable() {
+			// The target crashed or was cordoned after the scheduler read
+			// its state; the decision is stale, not wrong — re-dispatch.
+			out.Requeued = append(out.Requeued, dec.Pod)
+			continue
+		}
 		if dec.NeedPreempt {
 			evicted := d.Cluster.PreemptBE(dec.NodeID, dec.Pod.Request, now)
 			out.Evicted = append(out.Evicted, evicted...)
@@ -75,6 +81,12 @@ func (d *Deployer) Apply(ds []sched.Decision, now int64) Outcome {
 			continue
 		}
 		if dec.NodeID >= total {
+			out.Requeued = append(out.Requeued, dec.Pod)
+			continue
+		}
+		if !d.Cluster.Node(dec.NodeID).Schedulable() {
+			// Stale target (crashed/cordoned between scheduling and
+			// deployment): re-dispatch rather than placing on a dead host.
 			out.Requeued = append(out.Requeued, dec.Pod)
 			continue
 		}

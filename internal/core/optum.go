@@ -19,13 +19,27 @@ import (
 	"unisched/internal/trace"
 )
 
+// BlackoutSource reports whether the profilers currently have no (or stale)
+// data for an application — a tracing-pipeline outage, typically injected
+// by internal/chaos. While an application is blacked out, the Node Selector
+// must not trust its profiles: Optum falls back to the conservative
+// request-based score for affected pods instead of scoring garbage.
+type BlackoutSource interface {
+	Blacked(app string) bool
+}
+
 // Profiles bundles the Offline Profiler outputs the Online Scheduler
 // consumes. ERO and Stats are live stores that keep updating while the
-// scheduler runs; Models is the most recent training snapshot.
+// scheduler runs; Models is the most recent training snapshot. Blackout,
+// when non-nil, is the live data-availability signal gating all of them.
 type Profiles struct {
 	ERO    *profiler.EROStore
 	Stats  *profiler.AppStatsStore
 	Models *profiler.Models
+	// Blackout, when non-nil, marks applications whose profiler data is
+	// currently unavailable; Optum degrades to request-based scoring for
+	// their pods.
+	Blackout BlackoutSource
 }
 
 // Options are Optum's tunables with the evaluation's defaults.
@@ -134,6 +148,9 @@ func (o *Optum) Schedule(pods []*trace.Pod, now int64) []sched.Decision {
 }
 
 func (o *Optum) one(p *trace.Pod) sched.Decision {
+	if o.degraded(p.AppID) {
+		return o.fallbackRequest(p)
+	}
 	all := o.Candidates(p)
 	cands := o.sample(all)
 	if len(cands) == 0 {
@@ -151,6 +168,33 @@ func (o *Optum) one(p *trace.Pod) sched.Decision {
 		}
 	}
 	return d
+}
+
+// degraded reports whether the profilers cannot be trusted for the
+// application right now: no trained models at all, or an active blackout.
+func (o *Optum) degraded(app string) bool {
+	if o.Profiles.Models == nil {
+		return true
+	}
+	return o.Profiles.Blackout != nil && o.Profiles.Blackout.Blacked(app)
+}
+
+// fallbackRequest is the degraded-mode Node Selector: with no usable
+// profile the predicted-usage and interference terms of Eq. 11 are
+// meaningless, so admission reverts to the conservative request-based rule
+// (sum of requests within capacity, memory under the cap) and scoring to
+// the production alignment heuristic. Strictly safer, strictly less
+// efficient — exactly the trade a scheduler should make blind.
+func (o *Optum) fallbackRequest(p *trace.Pod) sched.Decision {
+	return o.Greedy(p, o.Candidates(p),
+		func(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (cpuOK, memOK bool) {
+			load := n.ReqSum().Add(resv).Add(p.Request)
+			capc := n.Capacity()
+			return load.CPU <= capc.CPU, load.Mem <= o.Opt.MemCap*capc.Mem
+		},
+		func(n *cluster.NodeState, p *trace.Pod) float64 {
+			return p.Request.Dot(n.ReqSum())
+		})
 }
 
 // scan scores the candidate set and returns the best admissible decision,

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"unisched/internal/chaos"
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/sched"
+	"unisched/internal/sim"
+	"unisched/internal/stats"
+	"unisched/internal/trace"
+)
+
+// ChurnEval is one scheduler's row in the fault-injection comparison: how
+// the scheduler behaves when nodes crash, drain and recover mid-run, pods
+// are randomly evicted, and profiler data blacks out.
+type ChurnEval struct {
+	Name SchedulerName
+
+	// Disruption counters from the run.
+	Evictions   int
+	Reschedules int
+	Exhausted   int
+	// LostPods counts submitted pods with no terminal accounting at all —
+	// never placed, not pending at the end, and not reported as
+	// evicted-with-exhausted-retries. Any scheduler/testbed combination
+	// that loses track of a pod under churn reports it here; the invariant
+	// is zero.
+	LostPods int
+
+	// MeanTimeToReplace is the mean seconds from a displacement to the
+	// pod's next placement (NaN-free: zero when nothing was displaced).
+	MeanTimeToReplace float64
+	// MeanCapacityLost is the run-average fraction of cluster CPU capacity
+	// sitting on Down hosts.
+	MeanCapacityLost float64
+	// MaxDownNodes is the worst simultaneous Down-host count.
+	MaxDownNodes int
+
+	// ViolationRate is the mean per-(up-host, tick) usage-violation rate —
+	// the safety metric that must survive degraded-mode scheduling.
+	ViolationRate float64
+	// MeanUtilBusy is the run-average CPU utilization over busy hosts.
+	MeanUtilBusy float64
+	// MeanWaitLS is the mean scheduling delay of latency-sensitive pods
+	// (displaced LSR/LS pods jump the queue, so churn should barely move
+	// this).
+	MeanWaitLS float64
+
+	// FaultEvents is how many faults actually fired.
+	FaultEvents int
+
+	Result *sim.Result
+}
+
+// RunSchedulerChaos replays the workload under one scheduler with fault
+// injection. Each run gets a fresh injector with the same seed, schedule
+// and rates, so every scheduler faces an identical fault stream. For Optum
+// the injector doubles as the profiler-blackout signal, exercising the
+// degraded request-based fallback.
+func (s *Setup) RunSchedulerChaos(name SchedulerName, opt core.Options, schedule []chaos.Event, rates chaos.Rates) (*sim.Result, *chaos.Injector) {
+	c := cluster.New(s.Workload.Nodes, cluster.DefaultPhysics())
+	inj := chaos.NewInjector(s.Scale.Seed+999, schedule, rates)
+	var schd sched.Scheduler
+	if name == NameOptum {
+		prof := s.Profiles
+		prof.Blackout = inj
+		schd = core.New(c, prof, opt, s.Scale.Seed+100)
+	} else {
+		schd = s.buildScheduler(name, c, opt)
+	}
+	res := sim.Run(s.Workload, c, schd, sim.Config{Chaos: inj})
+	return res, inj
+}
+
+// ChurnSchedulers is the default fault-injection comparison: Optum against
+// the production baseline it replaces.
+var ChurnSchedulers = []SchedulerName{NameOptum, NameAlibaba}
+
+// FigChurn replays the workload under identical fault streams for each
+// scheduler and summarizes disruption handling. A nil/empty name list runs
+// ChurnSchedulers; zero rates plus a nil schedule mean DefaultRates.
+func FigChurn(s *Setup, schedule []chaos.Event, rates chaos.Rates, names []SchedulerName) []ChurnEval {
+	if len(names) == 0 {
+		names = ChurnSchedulers
+	}
+	if rates == (chaos.Rates{}) && len(schedule) == 0 {
+		rates = chaos.DefaultRates()
+	}
+	out := make([]ChurnEval, 0, len(names))
+	for _, name := range names {
+		res, inj := s.RunSchedulerChaos(name, core.DefaultOptions(), schedule, rates)
+		out = append(out, EvaluateChurn(s, res, inj))
+	}
+	return out
+}
+
+// EvaluateChurn summarizes one chaos run.
+func EvaluateChurn(s *Setup, res *sim.Result, inj *chaos.Injector) ChurnEval {
+	d := &res.Disruption
+	ev := ChurnEval{
+		Name:          SchedulerName(res.Scheduler),
+		Evictions:     d.Evictions,
+		Reschedules:   d.Reschedules,
+		Exhausted:     d.Exhausted,
+		LostPods:      LostPods(s.Workload, res),
+		ViolationRate: stats.Mean(res.Violation),
+		MeanUtilBusy:  stats.Mean(res.CPUUtilBusy),
+		Result:        res,
+	}
+	if len(d.TimeToReplace) > 0 {
+		ev.MeanTimeToReplace = stats.Mean(d.TimeToReplace)
+	}
+	if len(d.CapacityLost) > 0 {
+		ev.MeanCapacityLost = stats.Mean(d.CapacityLost)
+	}
+	for _, n := range d.DownNodes {
+		if n > ev.MaxDownNodes {
+			ev.MaxDownNodes = n
+		}
+	}
+	var lsWaits []float64
+	for _, pw := range res.Waits {
+		if pw.Scheduled && pw.SLO.LatencySensitive() {
+			lsWaits = append(lsWaits, float64(pw.Wait))
+		}
+	}
+	if len(lsWaits) > 0 {
+		ev.MeanWaitLS = stats.Mean(lsWaits)
+	}
+	if inj != nil {
+		ev.FaultEvents = len(inj.Applied())
+	}
+	return ev
+}
+
+// LostPods counts submitted pods the run lost track of. Every pod submitted
+// within the horizon must have at least one PodWait record: placed, censored
+// pending at the end, or evicted-with-exhausted-retries. Zero is the
+// invariant FigChurn asserts.
+func LostPods(w *trace.Workload, res *sim.Result) int {
+	seen := make(map[int]bool, len(res.Waits))
+	for _, pw := range res.Waits {
+		seen[pw.PodID] = true
+	}
+	lost := 0
+	for _, p := range w.Pods {
+		if p.Submit <= w.Horizon && !seen[p.ID] {
+			lost++
+		}
+	}
+	return lost
+}

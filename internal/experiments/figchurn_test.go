@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"unisched/internal/chaos"
+)
+
+func TestFigChurnAcceptance(t *testing.T) {
+	s := quickSetup(t)
+	evals := FigChurn(s, nil, chaos.Rates{}, nil) // defaults: Optum vs Alibaba, DefaultRates
+	if len(evals) != 2 {
+		t.Fatalf("got %d churn evals", len(evals))
+	}
+	var optum *ChurnEval
+	for i := range evals {
+		ev := &evals[i]
+		// Zero lost pods: under churn every scheduler/testbed combination
+		// must account for every submitted pod — placed, pending at the
+		// end, or evicted-with-exhausted-retries.
+		if ev.LostPods != 0 {
+			t.Errorf("%s lost %d pods under churn", ev.Name, ev.LostPods)
+		}
+		if ev.FaultEvents == 0 || ev.Evictions == 0 {
+			t.Errorf("%s saw no faults (%d events, %d evictions) — injector not wired",
+				ev.Name, ev.FaultEvents, ev.Evictions)
+		}
+		if ev.Reschedules+ev.Exhausted > ev.Evictions {
+			t.Errorf("%s: reschedules %d + exhausted %d exceed evictions %d",
+				ev.Name, ev.Reschedules, ev.Exhausted, ev.Evictions)
+		}
+		if ev.MaxDownNodes == 0 {
+			t.Errorf("%s never saw a down node under default crash rates", ev.Name)
+		}
+		if ev.Name == NameOptum {
+			optum = ev
+		}
+	}
+	if optum == nil {
+		t.Fatal("no Optum row")
+	}
+	// Degraded-mode safety: even with crashes, drains and profiler
+	// blackouts, Optum's conservative fallback keeps capacity violations
+	// essentially at zero.
+	if optum.ViolationRate >= 0.01 {
+		t.Errorf("Optum violation rate under churn = %v, want < 0.01", optum.ViolationRate)
+	}
+	// Displaced pods actually come back.
+	if optum.Reschedules == 0 {
+		t.Error("Optum rescheduled nothing after displacement")
+	}
+}
+
+func TestFigChurnIdenticalFaultStreams(t *testing.T) {
+	// Every scheduler in one FigChurn call must face the same fault
+	// schedule: same seed, same injector construction.
+	s := quickSetup(t)
+	schedule := []chaos.Event{
+		{At: 1800, Kind: chaos.NodeFail, NodeID: 1},
+		{At: 3600, Kind: chaos.NodeRecover, NodeID: 1},
+	}
+	evals := FigChurn(s, schedule, chaos.Rates{}, nil)
+	for _, ev := range evals {
+		if ev.FaultEvents != len(schedule) {
+			t.Errorf("%s fired %d events, want %d", ev.Name, ev.FaultEvents, len(schedule))
+		}
+		if ev.Evictions != ev.Result.Disruption.Evictions {
+			t.Errorf("%s eval/result eviction mismatch", ev.Name)
+		}
+	}
+}

@@ -156,6 +156,9 @@ func (m *Medea) pickHosts() []int {
 	}
 	all := make([]hv, 0, len(m.Cluster.Nodes()))
 	for _, n := range m.Cluster.Nodes() {
+		if !n.Schedulable() {
+			continue
+		}
 		f := n.Capacity().Sub(n.ReqSum()).Sub(m.Reserved(n.Node.ID))
 		all = append(all, hv{n.Node.ID, f.CPU + f.Mem})
 	}

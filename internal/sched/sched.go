@@ -118,13 +118,24 @@ func (b *Base) Reserved(id int) trace.Resources { return b.resv[id] }
 // slice is shared; callers must not modify it.
 func (b *Base) ReservedPods(id int) []*trace.Pod { return b.resvPods[id] }
 
-// Candidates returns the node IDs satisfying the pod's affinity.
+// Candidates returns the node IDs satisfying the pod's affinity, excluding
+// Draining and Down hosts. On a fully healthy cluster it returns the
+// precomputed index without allocating.
 func (b *Base) Candidates(p *trace.Pod) []int {
-	aff := p.App().Affinity
-	if aff < 0 {
-		return b.all
+	ids := b.all
+	if aff := p.App().Affinity; aff >= 0 {
+		ids = b.groups[aff]
 	}
-	return b.groups[aff]
+	if b.Cluster.AllUp() {
+		return ids
+	}
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if b.Cluster.Node(id).Schedulable() {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // admitFn reports whether node n can admit pod p, per dimension. resv is

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"unisched/internal/chaos"
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// chaosRun replays the test workload under the Alibaba baseline with a
+// fresh injector built from the given seed, schedule and rates.
+func chaosRun(t *testing.T, w *trace.Workload, seed int64, schedule []chaos.Event, rates chaos.Rates) *Result {
+	t.Helper()
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	inj := chaos.NewInjector(seed, schedule, rates)
+	return Run(w, c, sched.NewAlibabaLike(c, 1), Config{Chaos: inj})
+}
+
+func TestChaosRunByteIdenticalAcrossRuns(t *testing.T) {
+	// The acceptance bar for fault injection: the same seed + schedule must
+	// yield a byte-identical Result — chaos runs are exactly as
+	// reproducible as failure-free ones. SchedLatency is wall-clock (the
+	// documented sole non-deterministic field), so it is zeroed first.
+	w := testWorkload(t)
+	schedule := []chaos.Event{
+		{At: 1800, Kind: chaos.NodeFail, NodeID: 2},
+		{At: 3600, Kind: chaos.NodeRecover, NodeID: 2},
+		{At: 5400, Kind: chaos.BlackoutStart, For: 900},
+	}
+	rates := chaos.DefaultRates()
+	a := chaosRun(t, w, 7, schedule, rates)
+	b := chaosRun(t, w, 7, schedule, rates)
+	a.SchedLatency, b.SchedLatency = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seed and schedule produced different Results")
+	}
+
+	// A different seed must actually change the stochastic fault stream
+	// (otherwise the test above proves nothing).
+	c := chaosRun(t, w, 8, schedule, rates)
+	c.SchedLatency = nil
+	if reflect.DeepEqual(a, c) {
+		t.Error("different chaos seeds produced identical Results")
+	}
+}
+
+func TestChaosDisruptionAccounting(t *testing.T) {
+	w := testWorkload(t)
+	res := chaosRun(t, w, 7, nil, chaos.DefaultRates())
+
+	d := &res.Disruption
+	if d.Evictions == 0 {
+		t.Fatal("default rates injected no displacements over the horizon")
+	}
+	if d.Reschedules+d.Exhausted > d.Evictions {
+		t.Errorf("reschedules %d + exhausted %d exceed evictions %d",
+			d.Reschedules, d.Exhausted, d.Evictions)
+	}
+	if len(d.TimeToReplace) != d.Reschedules {
+		t.Errorf("TimeToReplace entries %d != reschedules %d", len(d.TimeToReplace), d.Reschedules)
+	}
+	for _, ttr := range d.TimeToReplace {
+		if ttr < 0 {
+			t.Fatalf("negative time-to-replacement %v", ttr)
+		}
+	}
+	if len(d.DownNodes) != len(res.Times) || len(d.CapacityLost) != len(res.Times) {
+		t.Fatalf("disruption series misaligned: %d/%d vs %d ticks",
+			len(d.DownNodes), len(d.CapacityLost), len(res.Times))
+	}
+	for i, f := range d.CapacityLost {
+		if f < 0 || f > 1 {
+			t.Fatalf("capacity lost %v out of range", f)
+		}
+		if (f > 0) != (d.DownNodes[i] > 0) {
+			t.Fatalf("tick %d: capacity lost %v with %d down nodes", i, f, d.DownNodes[i])
+		}
+	}
+
+	// Zero lost pods: every submitted pod is placed, pending, or reported
+	// evicted-with-exhausted-retries — displacement never silently loses
+	// workloads.
+	seen := map[int]bool{}
+	exhausted := 0
+	for _, pw := range res.Waits {
+		seen[pw.PodID] = true
+		if pw.Exhausted {
+			exhausted++
+		}
+	}
+	for _, p := range w.Pods {
+		if p.Submit <= w.Horizon && !seen[p.ID] {
+			t.Fatalf("pod %d vanished from accounting under chaos", p.ID)
+		}
+	}
+	if exhausted != d.Exhausted {
+		t.Errorf("exhausted wait records %d != counter %d", exhausted, d.Exhausted)
+	}
+}
+
+func TestScheduledFailAndRecoverShowInSeries(t *testing.T) {
+	w := testWorkload(t)
+	schedule := []chaos.Event{
+		{At: 1800, Kind: chaos.NodeFail, NodeID: 0},
+		{At: 3600, Kind: chaos.NodeRecover, NodeID: 0},
+	}
+	res := chaosRun(t, w, 1, schedule, chaos.Rates{})
+	tick := func(at int64) int { return int(at / trace.SampleInterval) }
+	if got := res.Disruption.DownNodes[tick(1800)]; got != 1 {
+		t.Errorf("down nodes at failure = %d, want 1", got)
+	}
+	if got := res.Disruption.DownNodes[tick(1800)-1]; got != 0 {
+		t.Errorf("down nodes before failure = %d, want 0", got)
+	}
+	if got := res.Disruption.DownNodes[tick(3600)]; got != 0 {
+		t.Errorf("down nodes after recovery = %d, want 0", got)
+	}
+}
+
+func TestRetryBudgetExhaustsUnderPermanentPressure(t *testing.T) {
+	// Evict pods relentlessly with a tiny budget: some pod must hit the
+	// budget and be reported, not retried forever or dropped.
+	w := testWorkload(t)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	inj := chaos.NewInjector(3, nil, chaos.Rates{PodEvictPerHour: 600})
+	res := Run(w, c, sched.NewAlibabaLike(c, 1), Config{
+		Chaos: inj,
+		Retry: RetryPolicy{MaxDisplacements: 2, BaseBackoff: trace.SampleInterval},
+	})
+	if res.Disruption.Exhausted == 0 {
+		t.Error("no pod exhausted a 2-displacement budget under 600 evictions/hour")
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	rp := RetryPolicy{BaseBackoff: 30, MaxBackoff: 200}
+	want := []int64{30, 60, 120, 200, 200}
+	for i, w := range want {
+		if got := rp.backoff(i); got != w {
+			t.Errorf("backoff(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := (RetryPolicy{}).backoff(5); got != 0 {
+		t.Errorf("zero policy backoff = %d", got)
+	}
+	if got := (RetryPolicy{BaseBackoff: 10}).backoff(50); got != 320 {
+		t.Errorf("default cap = %d, want 32x base", got)
+	}
+}
+
+// floodScheduler targets node 0 for every pod — the adversarial input for
+// the conflict-resolution path: every decision in a batch races on the
+// same host.
+type floodScheduler struct{ name string }
+
+func (f *floodScheduler) Name() string { return f.name }
+func (f *floodScheduler) Schedule(pods []*trace.Pod, now int64) []sched.Decision {
+	out := make([]sched.Decision, len(pods))
+	for i, p := range pods {
+		out[i] = sched.Decision{Pod: p, NodeID: 0, Score: float64(p.ID)}
+	}
+	return out
+}
+
+func TestConflictLoserNeverDroppedAndRoundsProgress(t *testing.T) {
+	// Regression for the within-tick re-queue path: two parallel members
+	// flooding one host produce a conflict for every pod every round. The
+	// losers must survive to the next tick (never dropped), and the
+	// MaxRounds loop must deploy more than one pod per tick — one winner
+	// per round, not one per tick.
+	w := testWorkload(t)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	par := core.NewParallel("flood-x2",
+		&floodScheduler{name: "flood-a"}, &floodScheduler{name: "flood-b"})
+	until := int64(10 * trace.SampleInterval)
+	res := Run(w, c, par, Config{ConflictResolve: true, Until: until})
+
+	ticks := int(until / trace.SampleInterval)
+	if res.Placed <= ticks {
+		t.Errorf("placed %d pods over %d ticks — conflict rounds are not re-dispatching within the tick", res.Placed, ticks)
+	}
+	if res.Placed > ticks*8 {
+		t.Errorf("placed %d pods over %d ticks — MaxRounds bound (8) not applied", res.Placed, ticks)
+	}
+	// Every submitted pod is accounted: placed or still pending.
+	seen := map[int]bool{}
+	for _, pw := range res.Waits {
+		seen[pw.PodID] = true
+	}
+	for _, p := range w.Pods {
+		if p.Submit <= until && !seen[p.ID] {
+			t.Fatalf("pod %d dropped after losing conflicts", p.ID)
+		}
+	}
+	if res.Placed+res.Pending != len(seen) {
+		t.Errorf("placed %d + pending %d != %d accounted pods",
+			res.Placed, res.Pending, len(seen))
+	}
+	// All placements landed on the flooded host.
+	for id, n := range res.NodeOf {
+		if n != 0 {
+			t.Fatalf("pod %d placed on node %d by a node-0-only scheduler", id, n)
+		}
+	}
+}
+
+func TestLegacyConfigUnchangedByRetryPlumbing(t *testing.T) {
+	// A zero-value Config (no chaos, no retry) must behave exactly as
+	// before the fault-injection rework: this pins the refactor.
+	w := testWorkload(t)
+	a := runAlibaba(t, w, Config{})
+	if a.Disruption.Evictions != 0 || a.Disruption.Exhausted != 0 {
+		t.Errorf("failure-free run reports disruption: %+v", a.Disruption)
+	}
+	for _, f := range a.Disruption.CapacityLost {
+		if f != 0 {
+			t.Fatal("capacity lost without chaos")
+		}
+	}
+	for _, pw := range a.Waits {
+		if pw.Exhausted {
+			t.Fatal("exhausted pod without a retry budget")
+		}
+	}
+}

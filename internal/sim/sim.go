@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"unisched/internal/chaos"
 	"unisched/internal/cluster"
 	"unisched/internal/core"
 	"unisched/internal/profiler"
@@ -27,6 +28,14 @@ type Config struct {
 	// are re-dispatched within the same tick until no progress or the
 	// bound is hit.
 	MaxRounds int
+	// Chaos, when non-nil, injects faults at the top of every tick (node
+	// crashes, drains, evictions, profiler blackouts); pods it displaces
+	// re-enter the scheduling queue under the Retry policy.
+	Chaos *chaos.Injector
+	// Retry tunes displaced-pod rescheduling. The zero value preserves the
+	// failure-free behaviour (no backoff, no budget); when Chaos is set and
+	// Retry is zero, DefaultRetryPolicy applies.
+	Retry RetryPolicy
 	// Collector, when non-nil, receives every tick's snapshots and every
 	// BE completion — the Tracing Coordinator feed for the profilers.
 	Collector *profiler.Collector
@@ -47,13 +56,83 @@ type Config struct {
 	OnTick func(t int64, snaps []cluster.NodeSnapshot)
 }
 
-// PodWait records one pod's scheduling outcome.
+// PodWait records one pod's scheduling outcome. A pod placed, displaced and
+// placed again has one record per placement.
 type PodWait struct {
 	PodID     int
 	SLO       trace.SLO
 	Wait      int64 // seconds from submission to placement (or censoring)
 	Scheduled bool
 	Reason    sched.Reason // last blocking reason for delayed pods
+	// Exhausted marks a displaced pod abandoned after the retry budget
+	// (RetryPolicy.MaxDisplacements) — the terminal
+	// evicted-with-exhausted-retries outcome.
+	Exhausted bool
+}
+
+// RetryPolicy tunes how displaced and evicted pods are rescheduled. The
+// zero value preserves the failure-free behaviour: retry every tick,
+// forever.
+type RetryPolicy struct {
+	// MaxDisplacements bounds how many times one pod may be removed while
+	// running (node failure, drain, chaos eviction, or LSR preemption)
+	// before the testbed abandons it as evicted-with-exhausted-retries
+	// (0 = unlimited).
+	MaxDisplacements int
+	// BaseBackoff is the initial best-effort backoff in seconds: a BE pod
+	// that fails a scheduling attempt or is displaced sits out at least
+	// this long, doubling per failed attempt. Displaced LSR/LS pods never
+	// back off — they jump the queue instead (0 = retry every tick).
+	BaseBackoff int64
+	// MaxBackoff caps the exponential backoff (0 = 32x BaseBackoff).
+	MaxBackoff int64
+}
+
+// DefaultRetryPolicy returns the chaos-mode rescheduling configuration:
+// one-tick initial backoff doubling to at most 16 minutes, and a budget of
+// 8 displacements per pod.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxDisplacements: 8, BaseBackoff: trace.SampleInterval, MaxBackoff: 960}
+}
+
+// backoff returns the wait before retry number attempts+1 (attempts failed
+// tries so far), or 0 when backoff is disabled.
+func (rp RetryPolicy) backoff(attempts int) int64 {
+	if rp.BaseBackoff <= 0 {
+		return 0
+	}
+	cap := rp.MaxBackoff
+	if cap <= 0 {
+		cap = 32 * rp.BaseBackoff
+	}
+	b := rp.BaseBackoff
+	for i := 0; i < attempts && b < cap; i++ {
+		b *= 2
+	}
+	if b > cap {
+		b = cap
+	}
+	return b
+}
+
+// Disruption aggregates a run's failure-handling metrics.
+type Disruption struct {
+	// Evictions counts displacement events: pods removed while running by
+	// node failures, drains, or chaos evictions. LSR preemptions are
+	// tracked separately in Result.BEPreempted.
+	Evictions int
+	// Reschedules counts displaced pods successfully placed again.
+	Reschedules int
+	// Exhausted counts pods abandoned after the retry budget.
+	Exhausted int
+	// TimeToReplace holds seconds from each displacement to the pod's
+	// next placement.
+	TimeToReplace []float64
+	// CapacityLost is the per-tick fraction of cluster CPU capacity on
+	// Down hosts.
+	CapacityLost []float64
+	// DownNodes is the per-tick count of Down hosts.
+	DownNodes []int
 }
 
 // Rank records a placement's host rank under the two §3.2 over-commitment
@@ -107,7 +186,12 @@ type Result struct {
 	// Ranks (only when Config.RecordRanks).
 	Ranks []Rank
 
-	// SchedLatency holds wall-clock seconds per pod decision.
+	// Disruption holds the failure-handling metrics (all zero/empty series
+	// when no faults were injected).
+	Disruption Disruption
+
+	// SchedLatency holds wall-clock seconds per pod decision. It is the
+	// one non-deterministic field of a Result.
 	SchedLatency []float64
 }
 
@@ -136,13 +220,54 @@ func Run(w *trace.Workload, c *cluster.Cluster, s sched.Scheduler, cfg Config) *
 	}
 	dep := &core.Deployer{Cluster: c}
 
+	retry := cfg.Retry
+	if cfg.Chaos != nil && retry == (RetryPolicy{}) {
+		retry = DefaultRetryPolicy()
+	}
+
 	var queue []*pending
 	nextPod := 0
 
 	// Expiry heap for long-running pods with finite lifetimes.
 	var expiry lifetimeHeap
 
+	// Displacement bookkeeping: lifetime displacement counts (retry budget)
+	// and, for pods currently awaiting replacement, when they were displaced.
+	displaceCount := make(map[int]int)
+	displacedAt := make(map[int]int64)
+	totalCap := c.TotalCapacity()
+
 	for now := int64(0); now < horizon; now += cfg.Tick {
+		// 0. Inject faults. Displaced pods are still-live workloads: they
+		// re-enter the queue under the retry policy — LSR/LS pods jump the
+		// queue, BE pods back off — unless their lifetime already passed or
+		// their displacement budget is spent.
+		if cfg.Chaos != nil {
+			for _, ps := range cfg.Chaos.Step(c, now, cfg.Tick) {
+				res.Disruption.Evictions++
+				p := ps.Pod
+				displaceCount[p.ID]++
+				delete(res.NodeOf, p.ID)
+				if p.Lifetime > 0 && p.Lifetime <= now {
+					// Its scheduled life is over anyway; nothing to replace.
+					continue
+				}
+				if retry.MaxDisplacements > 0 && displaceCount[p.ID] > retry.MaxDisplacements {
+					res.Disruption.Exhausted++
+					res.Waits = append(res.Waits, PodWait{
+						PodID: p.ID, SLO: p.SLO, Scheduled: false, Exhausted: true,
+					})
+					continue
+				}
+				displacedAt[p.ID] = now
+				pe := &pending{pod: p, since: now, displaced: true}
+				if p.SLO == trace.SLOBE {
+					pe.notBefore = now + retry.backoff(0)
+				}
+				queue = append(queue, pe)
+			}
+		}
+
 		// 1. Admit newly submitted pods.
 		for nextPod < len(w.Pods) && w.Pods[nextPod].Submit <= now {
 			p := w.Pods[nextPod]
@@ -156,83 +281,148 @@ func Run(w *trace.Workload, c *cluster.Cluster, s sched.Scheduler, cfg Config) *
 			c.Remove(e.podID, now, false)
 		}
 
-		// 3. Scheduling: one batched decision pass per tick. The scheduler
-		// reserves capacity for its own in-batch decisions, so every
-		// placement can deploy; pods left out wait for the next tick.
-		if len(queue) > 0 {
-			sortQueue(queue)
-			batch := make([]*trace.Pod, len(queue))
-			for i, pe := range queue {
-				batch[i] = pe.pod
+		// 3. Scheduling: batched decision passes over the pods whose backoff
+		// has expired. With ConflictResolve, conflict losers and stale-target
+		// pods are re-dispatched within the same tick for up to MaxRounds
+		// rounds — a pod that loses every round stays pending for the next
+		// tick; it is never dropped.
+		ready := make([]*pending, 0, len(queue))
+		for _, pe := range queue {
+			if pe.notBefore <= now {
+				ready = append(ready, pe)
 			}
-			start := time.Now()
-			decisions := s.Schedule(batch, now)
-			elapsed := time.Since(start).Seconds() / float64(len(batch))
-			for range batch {
-				res.SchedLatency = append(res.SchedLatency, elapsed)
-			}
-
-			// Rank the selected hosts before deployment mutates the state
-			// the selection was made against.
-			var preRanks map[int]Rank
-			if cfg.RecordRanks {
-				preRanks = make(map[int]Rank)
-				for _, d := range decisions {
-					if d.NodeID >= 0 {
-						preRanks[d.Pod.ID] = rankPlacement(c, d.Pod, d.NodeID)
-					}
-				}
-			}
-
-			var outcome core.Outcome
-			if cfg.ConflictResolve {
-				outcome = dep.Apply(decisions, now)
-			} else {
-				outcome = dep.ApplyAll(decisions, now)
-			}
-
-			// Record reasons for unplaced pods.
-			byPod := make(map[int]*pending, len(queue))
-			for _, pe := range queue {
+		}
+		placedSet := make(map[int]bool)
+		var evictedAll []*cluster.PodState
+		if len(ready) > 0 {
+			sortQueue(ready)
+			byPod := make(map[int]*pending, len(ready))
+			for _, pe := range ready {
 				byPod[pe.pod.ID] = pe
 			}
-			for _, d := range decisions {
-				if d.NodeID < 0 {
-					if pe := byPod[d.Pod.ID]; pe != nil {
-						pe.reason = d.Reason
+			rounds := 1
+			if cfg.ConflictResolve {
+				rounds = cfg.MaxRounds
+			}
+			remaining := ready
+			for round := 0; round < rounds && len(remaining) > 0; round++ {
+				batch := make([]*trace.Pod, len(remaining))
+				for i, pe := range remaining {
+					batch[i] = pe.pod
+				}
+				start := time.Now()
+				decisions := s.Schedule(batch, now)
+				elapsed := time.Since(start).Seconds() / float64(len(batch))
+				for range batch {
+					res.SchedLatency = append(res.SchedLatency, elapsed)
+				}
+
+				// Rank the selected hosts before deployment mutates the state
+				// the selection was made against.
+				var preRanks map[int]Rank
+				if cfg.RecordRanks {
+					preRanks = make(map[int]Rank)
+					for _, d := range decisions {
+						if d.NodeID >= 0 {
+							preRanks[d.Pod.ID] = rankPlacement(c, d.Pod, d.NodeID)
+						}
 					}
 				}
-			}
 
-			placedSet := make(map[int]bool, len(outcome.Placed))
-			for _, d := range outcome.Placed {
-				placedSet[d.Pod.ID] = true
-				pe := byPod[d.Pod.ID]
-				res.Waits = append(res.Waits, PodWait{
-					PodID: d.Pod.ID, SLO: d.Pod.SLO,
-					Wait: now - pe.since, Scheduled: true, Reason: pe.reason,
-				})
-				res.Placed++
-				res.NodeOf[d.Pod.ID] = d.NodeID
-				if cfg.RecordRanks {
-					res.Ranks = append(res.Ranks, preRanks[d.Pod.ID])
+				var outcome core.Outcome
+				if cfg.ConflictResolve {
+					outcome = dep.Apply(decisions, now)
+				} else {
+					outcome = dep.ApplyAll(decisions, now)
 				}
-				if d.Pod.Lifetime > 0 {
-					heap.Push(&expiry, lifetimeEntry{at: d.Pod.Lifetime, podID: d.Pod.ID})
-				}
-			}
+				evictedAll = append(evictedAll, outcome.Evicted...)
 
-			// Rebuild the queue: drop placed pods, re-add evicted BE pods.
+				// Record reasons for unplaced pods.
+				for _, d := range decisions {
+					if d.NodeID < 0 {
+						if pe := byPod[d.Pod.ID]; pe != nil {
+							pe.reason = d.Reason
+						}
+					}
+				}
+
+				for _, d := range outcome.Placed {
+					placedSet[d.Pod.ID] = true
+					pe := byPod[d.Pod.ID]
+					res.Waits = append(res.Waits, PodWait{
+						PodID: d.Pod.ID, SLO: d.Pod.SLO,
+						Wait: now - pe.since, Scheduled: true, Reason: pe.reason,
+					})
+					res.Placed++
+					res.NodeOf[d.Pod.ID] = d.NodeID
+					if cfg.RecordRanks {
+						res.Ranks = append(res.Ranks, preRanks[d.Pod.ID])
+					}
+					if d.Pod.Lifetime > 0 {
+						heap.Push(&expiry, lifetimeEntry{at: d.Pod.Lifetime, podID: d.Pod.ID})
+					}
+					if at, ok := displacedAt[d.Pod.ID]; ok {
+						res.Disruption.Reschedules++
+						res.Disruption.TimeToReplace = append(res.Disruption.TimeToReplace, float64(now-at))
+						delete(displacedAt, d.Pod.ID)
+					}
+				}
+
+				// Re-dispatch only this round's deployment rejects (conflict
+				// losers and stale targets); stop when a round deploys
+				// nothing — the schedulers' view did not change, so another
+				// round would decide identically.
+				if len(outcome.Requeued) == 0 || len(outcome.Placed) == 0 {
+					break
+				}
+				reQ := make([]*pending, 0, len(outcome.Requeued))
+				for _, p := range outcome.Requeued {
+					if pe := byPod[p.ID]; pe != nil && !placedSet[p.ID] {
+						reQ = append(reQ, pe)
+					}
+				}
+				remaining = reQ
+			}
+		}
+
+		// Rebuild the queue: drop placed pods; pods that were attempted and
+		// failed accrue a backoff (BE only), pods still in backoff ride
+		// through untouched.
+		if len(ready) > 0 || len(evictedAll) > 0 {
 			next := queue[:0]
 			for _, pe := range queue {
-				if !placedSet[pe.pod.ID] {
-					next = append(next, pe)
+				if placedSet[pe.pod.ID] {
+					continue
 				}
+				if pe.notBefore <= now {
+					pe.attempts++
+					if pe.pod.SLO == trace.SLOBE {
+						if b := retry.backoff(pe.attempts - 1); b > 0 {
+							pe.notBefore = now + b
+						}
+					}
+				}
+				next = append(next, pe)
 			}
 			queue = next
-			for _, ev := range outcome.Evicted {
+			// Preempted BE pods re-enter the queue (unless their budget is
+			// spent — preemption counts as a displacement too).
+			for _, ev := range evictedAll {
 				res.BEPreempted[ev.Pod.ID]++
-				queue = append(queue, &pending{pod: ev.Pod, since: now})
+				displaceCount[ev.Pod.ID]++
+				delete(res.NodeOf, ev.Pod.ID)
+				if retry.MaxDisplacements > 0 && displaceCount[ev.Pod.ID] > retry.MaxDisplacements {
+					res.Disruption.Exhausted++
+					res.Waits = append(res.Waits, PodWait{
+						PodID: ev.Pod.ID, SLO: ev.Pod.SLO, Scheduled: false, Exhausted: true,
+					})
+					continue
+				}
+				pe := &pending{pod: ev.Pod, since: now}
+				if b := retry.backoff(0); b > 0 {
+					pe.notBefore = now + b
+				}
+				queue = append(queue, pe)
 			}
 		}
 
@@ -248,6 +438,13 @@ func Run(w *trace.Workload, c *cluster.Cluster, s sched.Scheduler, cfg Config) *
 			cfg.OnTick(now, snaps)
 		}
 		res.observeTick(now, snaps)
+		downN, downCap := c.DownStats()
+		res.Disruption.DownNodes = append(res.Disruption.DownNodes, downN)
+		lost := 0.0
+		if totalCap.CPU > 0 {
+			lost = downCap.CPU / totalCap.CPU
+		}
+		res.Disruption.CapacityLost = append(res.Disruption.CapacityLost, lost)
 		for _, ps := range completed {
 			if ps.Pod.SLO == trace.SLOBE {
 				res.BECT[ps.Pod.ID] = float64(ps.Finish - ps.Start)
@@ -275,10 +472,15 @@ func Run(w *trace.Workload, c *cluster.Cluster, s sched.Scheduler, cfg Config) *
 }
 
 // sortQueue orders pending pods by SLO priority (LSR, LS, then the rest)
-// and then submission time — the production queueing discipline.
+// and then submission time — the production queueing discipline. Displaced
+// latency-sensitive pods jump the whole queue: they already held capacity
+// and their users are actively degraded until replacement.
 func sortQueue(q []*pending) {
-	prio := func(s trace.SLO) int {
-		switch s {
+	prio := func(pe *pending) int {
+		if pe.displaced && pe.pod.SLO.LatencySensitive() {
+			return -1
+		}
+		switch pe.pod.SLO {
 		case trace.SLOLSR:
 			return 0
 		case trace.SLOLS:
@@ -292,7 +494,7 @@ func sortQueue(q []*pending) {
 		}
 	}
 	sort.SliceStable(q, func(a, b int) bool {
-		pa, pb := prio(q[a].pod.SLO), prio(q[b].pod.SLO)
+		pa, pb := prio(q[a]), prio(q[b])
 		if pa != pb {
 			return pa < pb
 		}
@@ -305,6 +507,15 @@ type pending struct {
 	pod    *trace.Pod
 	since  int64
 	reason sched.Reason
+	// attempts counts failed scheduling tries since the pod last entered
+	// the queue; it drives the BE exponential backoff.
+	attempts int
+	// notBefore keeps the pod out of scheduling batches until its backoff
+	// expires.
+	notBefore int64
+	// displaced marks a pod that was running and lost its node; displaced
+	// LSR/LS pods jump the queue.
+	displaced bool
 }
 
 func (r *Result) observeTick(now int64, snaps []cluster.NodeSnapshot) {
@@ -314,8 +525,15 @@ func (r *Result) observeTick(now int64, snaps []cluster.NodeSnapshot) {
 	busy := 0
 	classSum := map[trace.SLO]float64{}
 	classN := map[trace.SLO]int{}
+	up := 0
 	for i := range snaps {
 		s := &snaps[i]
+		if s.Phase == cluster.NodeDown {
+			// Crashed hosts report nothing; averaging their zeros in would
+			// make failures look like utilization wins.
+			continue
+		}
+		up++
 		cu := s.CPUUtil()
 		cpuSum += cu
 		memSum += s.MemUtil()
@@ -354,7 +572,10 @@ func (r *Result) observeTick(now int64, snaps []cluster.NodeSnapshot) {
 			}
 		}
 	}
-	n := float64(len(snaps))
+	n := float64(up)
+	if up == 0 {
+		n = 1 // whole cluster down: report zeros, not NaNs
+	}
 	r.CPUUtilAvg = append(r.CPUUtilAvg, cpuSum/n)
 	r.CPUUtilMax = append(r.CPUUtilMax, cpuMax)
 	r.MemUtilAvg = append(r.MemUtilAvg, memSum/n)

@@ -264,8 +264,9 @@ func TestParallelSchedulersEndToEnd(t *testing.T) {
 	if res.Scheduler != "Optum-x3" {
 		t.Errorf("scheduler name %q", res.Scheduler)
 	}
-	// Conflict resolution admits at most one pod per host per tick, so a
-	// parallel bundle trades some throughput for coordination-free members.
+	// Conflict resolution admits one pod per host per *round* (losers are
+	// re-dispatched within the tick up to MaxRounds), so a parallel bundle
+	// trades a little throughput for coordination-free members.
 	frac := float64(res.Placed) / float64(len(w.Pods))
 	if frac < 0.75 {
 		t.Errorf("only %.2f of pods placed under parallel schedulers", frac)

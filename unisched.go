@@ -25,6 +25,7 @@ import (
 	"io"
 
 	"unisched/internal/analysis"
+	"unisched/internal/chaos"
 	"unisched/internal/cluster"
 	"unisched/internal/core"
 	"unisched/internal/experiments"
@@ -193,12 +194,49 @@ type (
 	SimConfig = sim.Config
 	// SimResult aggregates everything one run produces.
 	SimResult = sim.Result
+	// RetryPolicy tunes displaced-pod rescheduling under fault injection.
+	RetryPolicy = sim.RetryPolicy
+	// Disruption aggregates a run's failure-handling metrics.
+	Disruption = sim.Disruption
 )
 
 // Simulate replays the workload on the cluster under the scheduler.
 func Simulate(w *Workload, c *Cluster, s Scheduler, cfg SimConfig) *SimResult {
 	return sim.Run(w, c, s, cfg)
 }
+
+// DefaultRetryPolicy returns the chaos-mode rescheduling configuration.
+func DefaultRetryPolicy() RetryPolicy { return sim.DefaultRetryPolicy() }
+
+// Fault injection types (set SimConfig.Chaos to enable).
+type (
+	// ChaosInjector applies deterministic faults to a cluster tick by tick;
+	// it also implements the profiler-blackout signal Profiles.Blackout.
+	ChaosInjector = chaos.Injector
+	// ChaosEvent is one scheduled fault.
+	ChaosEvent = chaos.Event
+	// ChaosRates drives seeded stochastic fault generation.
+	ChaosRates = chaos.Rates
+)
+
+// Fault kinds for scheduled ChaosEvents.
+const (
+	NodeFail      = chaos.NodeFail
+	NodeRecover   = chaos.NodeRecover
+	NodeDrain     = chaos.NodeDrain
+	PodEvict      = chaos.PodEvict
+	BlackoutStart = chaos.BlackoutStart
+	BlackoutEnd   = chaos.BlackoutEnd
+)
+
+// NewChaosInjector builds a fault injector from an explicit schedule (may
+// be nil) plus stochastic rates (may be zero).
+func NewChaosInjector(seed int64, schedule []ChaosEvent, rates ChaosRates) *ChaosInjector {
+	return chaos.NewInjector(seed, schedule, rates)
+}
+
+// DefaultChaosRates returns the moderately hostile churn profile.
+func DefaultChaosRates() ChaosRates { return chaos.DefaultRates() }
 
 // Sample recording (the Tracing Coordinator's storage backend).
 type (
@@ -251,4 +289,14 @@ func NewEvaluation(s EvaluationScale) (*Evaluation, error) { return experiments.
 // A nil name list runs the full §5.1 lineup.
 func CompareSchedulers(e *Evaluation, names []experiments.SchedulerName) []SchedulerEval {
 	return experiments.RunEvaluation(e, names)
+}
+
+// ChurnEval is one scheduler's row in the fault-injection comparison.
+type ChurnEval = experiments.ChurnEval
+
+// CompareUnderChurn replays the workload under identical fault streams for
+// each scheduler (default: Optum vs the Alibaba baseline) and summarizes
+// disruption handling. Zero rates plus a nil schedule mean DefaultChaosRates.
+func CompareUnderChurn(e *Evaluation, schedule []ChaosEvent, rates ChaosRates, names []experiments.SchedulerName) []ChurnEval {
+	return experiments.FigChurn(e, schedule, rates, names)
 }
