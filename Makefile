@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check bench
+.PHONY: build test race vet fmt check bench bench-engine
 
 build:
 	$(GO) build ./...
@@ -26,5 +26,12 @@ fmt:
 
 check: vet fmt build test race
 
-bench:
+# bench runs the figure benchmarks, then the engine throughput benchmarks,
+# committing the latter as machine-parsable JSON (name / ns-op / allocs /
+# placements-per-sec) so the perf trajectory accumulates across changes.
+bench: bench-engine
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+bench-engine:
+	$(GO) test -bench BenchmarkEngine -benchmem -benchtime 3x -run '^$$' ./internal/engine \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_engine.json

@@ -1,0 +1,241 @@
+// Command loadgen replays a generated trace.Workload against a running
+// unischedd instance: pods are submitted over HTTP in trace order, paced
+// by their submission timestamps at a configurable speedup, from a pool
+// of concurrent clients. At the end it polls the server until the engine
+// settles and verifies conservation — every submission is placed, pending,
+// or explicitly shed; nothing is lost.
+//
+// Usage (server and loadgen must agree on the workload):
+//
+//	unischedd -nodes 200 -hours 24 -seed 1 &
+//	loadgen -addr http://localhost:8080 -nodes 200 -hours 24 -seed 1 -speedup 1200
+//
+// It reports achieved submission throughput, HTTP latency percentiles,
+// and the server's placement metrics, and exits non-zero on lost
+// submissions or transport errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"unisched/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "unischedd base URL")
+		tracePath = flag.String("trace", "", "load workload from JSON instead of generating")
+		nodes     = flag.Int("nodes", 200, "number of hosts (must match the server)")
+		hours     = flag.Int("hours", 24, "horizon in hours (must match the server)")
+		seed      = flag.Int64("seed", 1, "seed (must match the server)")
+		speedup   = flag.Float64("speedup", 0, "trace-time speedup; 0 submits as fast as possible")
+		clients   = flag.Int("clients", 8, "concurrent HTTP clients")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "settle-poll timeout after the replay")
+	)
+	flag.Parse()
+
+	var w *trace.Workload
+	var err error
+	if *tracePath != "" {
+		w, err = trace.LoadFile(*tracePath)
+	} else {
+		cfg := trace.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.NumNodes = *nodes
+		cfg.Horizon = int64(*hours) * 3600
+		w, err = trace.Generate(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	pods := append([]*trace.Pod(nil), w.Pods...)
+	sort.SliceStable(pods, func(i, j int) bool { return pods[i].Submit < pods[j].Submit })
+	log.Printf("replaying %d pods against %s with %d clients (speedup %g)",
+		len(pods), *addr, *clients, *speedup)
+
+	// Pacer feeds the client pool in trace order; clients post and tally.
+	work := make(chan *trace.Pod, 4**clients)
+	results := make([]clientResult, *clients)
+	var wg sync.WaitGroup
+	hc := &http.Client{Timeout: 30 * time.Second}
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(res *clientResult) {
+			defer wg.Done()
+			for p := range work {
+				postPod(hc, *addr, p, res)
+			}
+		}(&results[i])
+	}
+
+	start := time.Now()
+	for _, p := range pods {
+		if *speedup > 0 {
+			target := time.Duration(float64(p.Submit) / *speedup * float64(time.Second))
+			if d := target - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total clientResult
+	for i := range results {
+		total.merge(&results[i])
+	}
+	sent := total.accepted + total.shed + total.dup + total.errors
+	fmt.Printf("submitted %d pods in %v (%.0f submissions/s)\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	fmt.Printf("  accepted %d, shed %d, duplicate %d, transport errors %d\n",
+		total.accepted, total.shed, total.dup, total.errors)
+	sort.Slice(total.lat, func(i, j int) bool { return total.lat[i] < total.lat[j] })
+	if len(total.lat) > 0 {
+		fmt.Printf("  http latency p50 %v  p95 %v  p99 %v\n",
+			pct(total.lat, 0.50), pct(total.lat, 0.95), pct(total.lat, 0.99))
+	}
+
+	// Wait for the engine to settle, then check conservation.
+	sn, settled := waitSettled(hc, *addr, *timeout)
+	fmt.Printf("server: placed %d (%.0f placements/s wall), completed %d, shed %d, "+
+		"pending %d, conflicts %d, decision p99 %.3fms\n",
+		sn.Placed, sn.PlacementsPerSec, sn.Completed, sn.Shed,
+		sn.Pending, sn.CommitConflicts, sn.DecisionP99Ms)
+
+	lost := sn.Submitted - (sn.Placed + sn.Completed + sn.Expired + sn.Exhausted + sn.Shed + int64(sn.Pending))
+	// Placed pods that later completed/expired are counted once: States is
+	// authoritative when present.
+	if sn.States != nil {
+		lost = sn.Submitted
+		for _, v := range sn.States {
+			lost -= v
+		}
+	}
+	switch {
+	case total.errors > 0:
+		log.Fatalf("FAIL: %d transport errors", total.errors)
+	case sn.Submitted != int64(total.accepted+total.shed):
+		log.Fatalf("FAIL: server saw %d submissions, client sent %d accepted+shed",
+			sn.Submitted, total.accepted+total.shed)
+	case lost != 0:
+		log.Fatalf("FAIL: %d submissions lost (states %v)", lost, sn.States)
+	case !settled:
+		log.Printf("WARN: engine still working after %v (pending %d); conservation holds", *timeout, sn.Pending)
+	default:
+		fmt.Println("OK: zero lost submissions")
+	}
+}
+
+// clientResult tallies one client's outcomes.
+type clientResult struct {
+	accepted int
+	shed     int
+	dup      int
+	errors   int
+	lat      []time.Duration
+}
+
+func (r *clientResult) merge(o *clientResult) {
+	r.accepted += o.accepted
+	r.shed += o.shed
+	r.dup += o.dup
+	r.errors += o.errors
+	r.lat = append(r.lat, o.lat...)
+}
+
+func postPod(hc *http.Client, addr string, p *trace.Pod, res *clientResult) {
+	body, err := json.Marshal(p)
+	if err != nil {
+		res.errors++
+		return
+	}
+	t0 := time.Now()
+	resp, err := hc.Post(addr+"/v1/pods", "application/json", bytes.NewReader(body))
+	res.lat = append(res.lat, time.Since(t0))
+	if err != nil {
+		res.errors++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		res.accepted++
+	case http.StatusTooManyRequests:
+		res.shed++
+	case http.StatusConflict:
+		res.dup++
+	default:
+		res.errors++
+	}
+}
+
+// metricsView mirrors the engine Snapshot fields loadgen consumes.
+type metricsView struct {
+	Submitted        int64            `json:"submitted"`
+	Placed           int64            `json:"placed"`
+	Completed        int64            `json:"completed"`
+	Expired          int64            `json:"expired"`
+	Exhausted        int64            `json:"exhausted"`
+	Shed             int64            `json:"shed"`
+	Pending          int              `json:"pending"`
+	CommitConflicts  int64            `json:"commit_conflicts"`
+	PlacementsPerSec float64          `json:"placements_per_sec"`
+	DecisionP99Ms    float64          `json:"decision_p99_ms"`
+	States           map[string]int64 `json:"states"`
+}
+
+func fetchMetrics(hc *http.Client, addr string) (metricsView, error) {
+	var m metricsView
+	resp, err := hc.Get(addr + "/v1/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// waitSettled polls the metrics endpoint until nothing is pending (or the
+// timeout passes) and returns the last snapshot.
+func waitSettled(hc *http.Client, addr string, timeout time.Duration) (metricsView, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		m, err := fetchMetrics(hc, addr)
+		if err != nil {
+			log.Printf("metrics poll: %v", err)
+		} else if m.Pending == 0 {
+			return m, true
+		}
+		if time.Now().After(deadline) {
+			return m, false
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"unisched/internal/analysis"
@@ -134,8 +135,14 @@ func main() {
 
 	fmt.Fprintf(out, "pods placed %d, still pending %d\n", res.Placed, res.Pending)
 	tb := texttab.New("SLO", "waits (s)")
-	for slo, cdf := range analysis.WaitingTimeCDF(res) {
-		tb.Row(slo.String(), texttab.CDFRow(cdf))
+	cdfs := analysis.WaitingTimeCDF(res)
+	slos := make([]trace.SLO, 0, len(cdfs))
+	for slo := range cdfs {
+		slos = append(slos, slo)
+	}
+	sort.Slice(slos, func(i, j int) bool { return slos[i] < slos[j] })
+	for _, slo := range slos {
+		tb.Row(slo.String(), texttab.CDFRow(cdfs[slo]))
 	}
 	tb.Render(out)
 

@@ -1,0 +1,296 @@
+// Command unischedd is the online scheduling service: the engine behind a
+// stdlib net/http JSON API. It generates (or loads) a workload for its
+// application catalogue and node fleet, starts N parallel scheduler
+// workers over the sharded cluster store, and accepts pod submissions
+// until shut down.
+//
+// Usage:
+//
+//	unischedd -addr :8080 -nodes 200 -hours 24 -seed 1 -workers 4
+//	unischedd -trace trace.json -scheduler optum -speedup 120
+//
+// API:
+//
+//	GET  /healthz           liveness
+//	POST /v1/pods           submit one pod (JSON trace.Pod)
+//	GET  /v1/pods/{id}      submission status
+//	GET  /v1/nodes          all node states
+//	GET  /v1/nodes/{id}     one node state
+//	GET  /v1/metrics        engine metrics snapshot (JSON)
+//
+// SIGTERM/SIGINT shut the server down gracefully: the listener closes,
+// in-flight requests finish, the engine stops, and the final metrics
+// snapshot is printed to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"unisched/internal/chaos"
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/engine"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/sim"
+	"unisched/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("unischedd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		nodes     = flag.Int("nodes", 200, "number of hosts (ignored with -trace)")
+		hours     = flag.Int("hours", 24, "application-catalogue horizon in hours (ignored with -trace)")
+		seed      = flag.Int64("seed", 1, "seed")
+		tracePath = flag.String("trace", "", "load the workload catalogue from JSON instead of generating")
+		schedName = flag.String("scheduler", "alibaba",
+			"scheduler: optum | alibaba | borg | nsigma | rc | medea | kube")
+		workers   = flag.Int("workers", 4, "parallel scheduler workers")
+		shards    = flag.Int("shards", 16, "cluster-state store shards")
+		queueCap  = flag.Int("queue", 8192, "admission queue capacity")
+		speedup   = flag.Float64("speedup", 120, "virtual-clock speedup over wall time")
+		chaosRun  = flag.Bool("chaos", false, "inject node churn (default stochastic rates)")
+		partition = flag.Bool("partition", true, "give each worker a disjoint node partition")
+	)
+	flag.Parse()
+
+	w, err := loadWorkload(*tracePath, *nodes, *hours, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("catalogue: %d nodes, %d apps, %dh horizon", len(w.Nodes), len(w.Apps), w.Horizon/3600)
+
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	factory, err := makeFactory(*schedName, w, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := engine.Config{
+		Workers:        *workers,
+		Shards:         *shards,
+		QueueCap:       *queueCap,
+		TickWall:       time.Duration(float64(trace.SampleInterval) * float64(time.Second) / *speedup),
+		PartitionNodes: *partition,
+		Seed:           *seed,
+	}
+	if *chaosRun {
+		cfg.Chaos = chaos.NewInjector(*seed, nil, chaos.DefaultRates())
+	}
+	e := engine.New(c, factory, cfg)
+	e.Start()
+	log.Printf("engine: %d workers, %d shards, queue %d, tick %v (%gx), scheduler %s",
+		cfg.Workers, cfg.Shards, cfg.QueueCap, cfg.TickWall, *speedup, *schedName)
+
+	srv := &http.Server{Addr: *addr, Handler: newAPI(e, w)}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Print("signal received, shutting down")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	e.Stop()
+
+	enc, _ := json.MarshalIndent(e.Snapshot(), "", "  ")
+	os.Stdout.Write(append(enc, '\n'))
+}
+
+func loadWorkload(path string, nodes, hours int, seed int64) (*trace.Workload, error) {
+	if path != "" {
+		return trace.LoadFile(path)
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumNodes = nodes
+	cfg.Horizon = int64(hours) * 3600
+	return trace.Generate(cfg)
+}
+
+// makeFactory builds the per-worker scheduler constructor. Optum first
+// needs an offline profiling pass under the production baseline, exactly
+// like cmd/optumsim.
+func makeFactory(name string, w *trace.Workload, seed int64) (engine.SchedulerFactory, error) {
+	switch strings.ToLower(name) {
+	case "optum":
+		log.Print("profiling (offline pass under the production baseline)...")
+		col := profiler.NewCollector(seed)
+		warm := cluster.New(w.Nodes, cluster.DefaultPhysics())
+		sim.Run(w, warm, sched.NewAlibabaLike(warm, seed), sim.Config{Collector: col})
+		models, err := col.TrainInterference(profiler.DefaultFactory(), 0.25)
+		if err != nil {
+			return nil, err
+		}
+		prof := core.Profiles{ERO: col.ERO(), Stats: col.Stats(), Models: models}
+		return func(c *cluster.Cluster, worker int, s int64) sched.Scheduler {
+			return core.New(c, prof, core.DefaultOptions(), s)
+		}, nil
+	case "alibaba":
+		return func(c *cluster.Cluster, worker int, s int64) sched.Scheduler {
+			return sched.NewAlibabaLike(c, s)
+		}, nil
+	case "borg":
+		return func(c *cluster.Cluster, worker int, s int64) sched.Scheduler {
+			return sched.NewBorgLike(c, s)
+		}, nil
+	case "nsigma":
+		return func(c *cluster.Cluster, worker int, s int64) sched.Scheduler {
+			return sched.NewNSigma(c, s)
+		}, nil
+	case "rc":
+		return func(c *cluster.Cluster, worker int, s int64) sched.Scheduler {
+			return sched.NewRCLike(c, s)
+		}, nil
+	case "medea":
+		return func(c *cluster.Cluster, worker int, s int64) sched.Scheduler {
+			return sched.NewMedea(c, s)
+		}, nil
+	case "kube":
+		return func(c *cluster.Cluster, worker int, s int64) sched.Scheduler {
+			return sched.NewKubeLike(c, s)
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown scheduler %q", name)
+}
+
+// api is the HTTP surface over one engine.
+type api struct {
+	e *engine.Engine
+	w *trace.Workload
+	// nextID assigns IDs to submissions that arrive without one.
+	nextID atomic.Int64
+}
+
+func newAPI(e *engine.Engine, w *trace.Workload) http.Handler {
+	a := &api{e: e, w: w}
+	max := int64(0)
+	for _, p := range w.Pods {
+		if int64(p.ID) >= max {
+			max = int64(p.ID)
+		}
+	}
+	a.nextID.Store(max + 1_000_000)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("POST /v1/pods", a.submitPod)
+	mux.HandleFunc("GET /v1/pods/{id}", a.getPod)
+	mux.HandleFunc("GET /v1/nodes", a.getNodes)
+	mux.HandleFunc("GET /v1/nodes/{id}", a.getNode)
+	mux.HandleFunc("GET /v1/metrics", a.getMetrics)
+	return mux
+}
+
+// submitResponse is the POST /v1/pods reply.
+type submitResponse struct {
+	ID     int    `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (a *api) submitPod(rw http.ResponseWriter, r *http.Request) {
+	var p trace.Pod
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		writeJSON(rw, http.StatusBadRequest, submitResponse{Status: "rejected", Error: err.Error()})
+		return
+	}
+	if p.ID < 0 {
+		p.ID = int(a.nextID.Add(1))
+	}
+	if p.CPUScale == 0 {
+		p.CPUScale = 1
+	}
+	if p.MemScale == 0 {
+		p.MemScale = 1
+	}
+	if err := a.w.LinkPod(&p); err != nil {
+		writeJSON(rw, http.StatusBadRequest, submitResponse{ID: p.ID, Status: "rejected", Error: err.Error()})
+		return
+	}
+	switch err := a.e.Submit(&p); {
+	case err == nil:
+		writeJSON(rw, http.StatusAccepted, submitResponse{ID: p.ID, Status: "queued"})
+	case errors.Is(err, engine.ErrQueueFull):
+		writeJSON(rw, http.StatusTooManyRequests, submitResponse{ID: p.ID, Status: "shed", Error: err.Error()})
+	case errors.Is(err, engine.ErrDuplicate):
+		writeJSON(rw, http.StatusConflict, submitResponse{ID: p.ID, Status: "duplicate", Error: err.Error()})
+	default:
+		writeJSON(rw, http.StatusServiceUnavailable, submitResponse{ID: p.ID, Status: "rejected", Error: err.Error()})
+	}
+}
+
+func (a *api) getPod(rw http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(rw, "bad pod id", http.StatusBadRequest)
+		return
+	}
+	st, ok := a.e.PodStatus(id)
+	if !ok {
+		http.Error(rw, "unknown pod", http.StatusNotFound)
+		return
+	}
+	writeJSON(rw, http.StatusOK, st)
+}
+
+func (a *api) getNodes(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, http.StatusOK, a.e.NodeStatuses())
+}
+
+func (a *api) getNode(rw http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(rw, "bad node id", http.StatusBadRequest)
+		return
+	}
+	st, ok := a.e.NodeStatus(id)
+	if !ok {
+		http.Error(rw, "unknown node", http.StatusNotFound)
+		return
+	}
+	writeJSON(rw, http.StatusOK, st)
+}
+
+func (a *api) getMetrics(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, http.StatusOK, a.e.Snapshot())
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,58 @@
+package unisched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSimulateDeterministic guards the shared scheduling paths against
+// accidental nondeterminism: two runs with identical workload, cluster,
+// scheduler seeds, and fault schedule must produce identical placements
+// and disruption counters. The online engine work shares these paths; a
+// stray map-iteration dependence or time.Now leak would show up here.
+func TestSimulateDeterministic(t *testing.T) {
+	run := func() *SimResult {
+		cfg := SmallWorkload()
+		w := MustGenerateWorkload(cfg)
+		c := NewCluster(w)
+		sim := SimConfig{
+			Chaos: NewChaosInjector(3, nil, DefaultChaosRates()),
+			Retry: DefaultRetryPolicy(),
+		}
+		return Simulate(w, c, NewAlibabaScheduler(c, 1), sim)
+	}
+	a, b := run(), run()
+
+	if a.Placed != b.Placed || a.Pending != b.Pending {
+		t.Fatalf("placement counts diverge: %d/%d vs %d/%d",
+			a.Placed, a.Pending, b.Placed, b.Pending)
+	}
+	if !reflect.DeepEqual(a.NodeOf, b.NodeOf) {
+		diff := 0
+		for id, n := range a.NodeOf {
+			if b.NodeOf[id] != n {
+				diff++
+			}
+		}
+		t.Fatalf("placements diverge on %d of %d pods", diff, len(a.NodeOf))
+	}
+	da, db := a.Disruption, b.Disruption
+	if da.Evictions != db.Evictions || da.Reschedules != db.Reschedules || da.Exhausted != db.Exhausted {
+		t.Fatalf("disruption counters diverge: %+v vs %+v",
+			struct{ E, R, X int }{da.Evictions, da.Reschedules, da.Exhausted},
+			struct{ E, R, X int }{db.Evictions, db.Reschedules, db.Exhausted})
+	}
+	if !reflect.DeepEqual(da.TimeToReplace, db.TimeToReplace) {
+		t.Fatal("time-to-replace series diverge")
+	}
+	if !reflect.DeepEqual(da.DownNodes, db.DownNodes) {
+		t.Fatal("down-node series diverge")
+	}
+	if !reflect.DeepEqual(a.CPUUtilAvg, b.CPUUtilAvg) || !reflect.DeepEqual(a.Violation, b.Violation) {
+		t.Fatal("utilization series diverge")
+	}
+	if !reflect.DeepEqual(a.BEPreempted, b.BEPreempted) {
+		t.Fatal("preemption counts diverge")
+	}
+	// SchedLatency is wall-clock and intentionally excluded.
+}

@@ -1,0 +1,92 @@
+// Service: drive the online scheduling engine in-process — the same
+// event-driven pipeline cmd/unischedd serves over HTTP. Pods stream
+// through a bounded per-SLO priority queue into four parallel scheduler
+// workers racing over the sharded cluster store; a virtual-clock event
+// loop advances usage, BE completions and lifetime expiries. The example
+// then replays the identical workload through the batch simulator and
+// compares the two Results side by side.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"unisched"
+)
+
+func main() {
+	// 1. A reproducible synthetic workload and an empty cluster.
+	cfg := unisched.SmallWorkload()
+	w := unisched.MustGenerateWorkload(cfg)
+	fmt.Printf("workload: %d nodes, %d apps, %d pods, %dh horizon\n\n",
+		len(w.Nodes), len(w.Apps), len(w.Pods), w.Horizon/3600)
+
+	// 2. The engine: four parallel workers, each owning a disjoint
+	//    partition of the cluster, over a sharded state store. Fast mode
+	//    (no TickWall) advances the virtual clock as quickly as the
+	//    workers drain the queue — ideal for in-process use; cmd/unischedd
+	//    sets TickWall to pace it against the wall clock instead.
+	c := unisched.NewCluster(w)
+	e := unisched.NewEngine(c,
+		func(cc *unisched.Cluster, worker int, seed int64) unisched.Scheduler {
+			return unisched.NewAlibabaScheduler(cc, seed)
+		},
+		unisched.EngineConfig{
+			Workers:        4,
+			Shards:         8,
+			QueueCap:       len(w.Pods),
+			Horizon:        w.Horizon,
+			PartitionNodes: true,
+			Seed:           1,
+		})
+	e.Start()
+
+	// 3. Stream every pod in. Submissions are admitted through per-SLO
+	//    priority lanes; with a full queue they would block or shed.
+	start := time.Now()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			fmt.Println("submit:", err)
+			return
+		}
+	}
+	if !e.Drain(5 * time.Minute) {
+		fmt.Println("engine did not settle")
+		return
+	}
+	e.Stop()
+
+	sn := e.Snapshot()
+	fmt.Printf("engine:   placed %d of %d in %v (%.0f placements/s)\n",
+		sn.Placed, sn.Submitted, time.Since(start).Round(time.Millisecond),
+		float64(sn.Placed)/time.Since(start).Seconds())
+	fmt.Printf("          completed %d BE, expired %d, pending %d, lost %d\n",
+		sn.Completed, sn.Expired, sn.Pending, sn.Lost())
+	fmt.Printf("          commit conflicts %d, decision p99 %.3fms\n\n",
+		sn.CommitConflicts, sn.DecisionP99Ms)
+
+	// 4. The same workload through the batch simulator: the engine's
+	//    utilization series is directly comparable to the sim Result.
+	c2 := unisched.NewCluster(w)
+	res := unisched.Simulate(w, c2, unisched.NewAlibabaScheduler(c2, 1), unisched.SimConfig{})
+	fmt.Printf("sim.Run:  placed %d, pending %d\n\n", res.Placed, res.Pending)
+
+	eng := e.Series()
+	fmt.Println("mean CPU utilization over the horizon:")
+	fmt.Printf("  engine %.3f   sim %.3f\n", mean(eng.CPUUtilAvg), mean(res.CPUUtilAvg))
+	fmt.Println("mean capacity-violation fraction:")
+	fmt.Printf("  engine %.3f   sim %.3f\n", mean(eng.Violation), mean(res.Violation))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"unisched/internal/cluster"
+)
+
+// BenchmarkEngineThroughput measures end-to-end placement throughput —
+// submit a pre-linked workload, drain it, count placements per wall
+// second — across worker counts. With PartitionNodes each worker scans a
+// disjoint slice of the cluster, so per-decision cost shrinks with the
+// worker count: more workers means higher placements/sec even on a single
+// core, and genuinely parallel commits on larger machines.
+func BenchmarkEngineThroughput(b *testing.B) {
+	const (
+		nodes = 2048
+		pods  = 4096
+	)
+	w := testWorkload(b, nodes, pods, 0.1)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var placed int64
+			var busy time.Duration
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+				e := New(c, alibabaFactory, Config{
+					Workers:        workers,
+					Shards:         16,
+					QueueCap:       len(w.Pods),
+					PartitionNodes: true,
+					Seed:           int64(i + 1),
+				})
+				b.StartTimer()
+				start := time.Now()
+				e.Start()
+				for _, p := range w.Pods {
+					if err := e.Submit(p); err != nil {
+						b.Fatalf("submit pod %d: %v", p.ID, err)
+					}
+				}
+				if !e.Drain(2 * time.Minute) {
+					b.Fatalf("engine did not settle: %+v", e.Snapshot())
+				}
+				busy += time.Since(start)
+				e.Stop()
+				sn := e.Snapshot()
+				if sn.Lost() != 0 {
+					b.Fatalf("lost %d submissions", sn.Lost())
+				}
+				placed += sn.Placed
+			}
+			if busy > 0 {
+				b.ReportMetric(float64(placed)/busy.Seconds(), "placements/s")
+			}
+		})
+	}
+}

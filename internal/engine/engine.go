@@ -1,0 +1,801 @@
+// Package engine is the online scheduling service: a long-running,
+// event-driven wrapper around the repository's schedulers that replaces
+// the batch tick-loop of internal/sim with a concurrent submission
+// pipeline, the way production unified schedulers (and the paper's §4.4
+// parallel-scheduler arrangement) actually run.
+//
+// The pieces:
+//
+//   - a sharded cluster-state Store with per-shard locking and an
+//     optimistic-concurrency commit path (store.go), so N scheduler
+//     workers place pods in parallel and same-host races are arbitrated
+//     like the Deployment Module arbitrates them: first committer wins,
+//     losers are re-dispatched;
+//   - a bounded admission queue with per-SLO priority lanes and
+//     backpressure — LSR/LS jump best-effort, submissions block or shed
+//     when the queue is full (queue.go);
+//   - a virtual-clock event loop that advances usage sampling, BE
+//     progress, lifetime expiry and chaos injection in 30-second virtual
+//     ticks, either paced against the wall clock (a live service) or
+//     as fast as the workers drain the queue (benchmarks and tests);
+//   - an engine-wide metrics registry (metrics.go) snapshot-able as JSON.
+//
+// Conservation invariant: every accepted submission ends in exactly one of
+// the terminal-or-pending states (queued, placed, done, shed, exhausted).
+// Snapshot.Lost() is always zero.
+package engine
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unisched/internal/chaos"
+	"unisched/internal/cluster"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// RetryPolicy tunes how failed and displaced pods are re-dispatched. It
+// mirrors sim.RetryPolicy; the engine additionally floors every backoff at
+// one virtual tick so an unschedulable pod cannot spin the pipeline within
+// a single tick.
+type RetryPolicy struct {
+	// MaxDisplacements bounds how many times one pod may be removed while
+	// running before the engine abandons it as exhausted (0 = unlimited).
+	MaxDisplacements int
+	// BaseBackoff is the initial BE retry backoff in virtual seconds,
+	// doubling per failed attempt (0 = one tick).
+	BaseBackoff int64
+	// MaxBackoff caps the exponential backoff (0 = 32x BaseBackoff).
+	MaxBackoff int64
+}
+
+// DefaultRetryPolicy matches sim.DefaultRetryPolicy.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxDisplacements: 8, BaseBackoff: trace.SampleInterval, MaxBackoff: 960}
+}
+
+// Backoff returns the wait before retry number attempts+1.
+func (rp RetryPolicy) Backoff(attempts int) int64 {
+	if rp.BaseBackoff <= 0 {
+		return 0
+	}
+	limit := rp.MaxBackoff
+	if limit <= 0 {
+		limit = 32 * rp.BaseBackoff
+	}
+	b := rp.BaseBackoff
+	for i := 0; i < attempts && b < limit; i++ {
+		b *= 2
+	}
+	if b > limit {
+		b = limit
+	}
+	return b
+}
+
+// SchedulerFactory builds one worker's scheduler over the shared cluster.
+// Each worker gets its own instance (schedulers carry per-batch state);
+// worker is the worker index and seed is already de-correlated per worker.
+type SchedulerFactory func(c *cluster.Cluster, worker int, seed int64) sched.Scheduler
+
+// candidateRestrictor is implemented by schedulers (via sched.Base) that
+// can limit their candidate universe to a partition of the cluster.
+type candidateRestrictor interface {
+	RestrictTo(ids []int)
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Workers is the number of parallel scheduler workers (default 1).
+	Workers int
+	// Shards is the state-store shard count (default 8, clamped to the
+	// node count).
+	Shards int
+	// QueueCap bounds the admission queue (default 4096).
+	QueueCap int
+	// MaxBatch bounds one worker's scheduling batch (default 64).
+	MaxBatch int
+	// Tick is the virtual step in seconds (default trace.SampleInterval).
+	Tick int64
+	// TickWall paces the virtual clock against the wall clock: one Tick
+	// of virtual time per TickWall of wall time. 0 runs in fast mode —
+	// the clock advances whenever the ready queue is drained and no
+	// worker holds pods in flight (benchmarks, tests, in-process use).
+	TickWall time.Duration
+	// Horizon stops the virtual clock (0 = unbounded). Pods still in
+	// backoff past the horizon stay pending, as in sim.Run.
+	Horizon int64
+	// BlockOnFull makes Submit block for queue space instead of shedding.
+	BlockOnFull bool
+	// PartitionNodes assigns each worker a disjoint slice of the cluster
+	// (node ID mod Workers), the scale-out arrangement of §4.4: per-pod
+	// scan cost shrinks with the worker count at a small placement-
+	// quality cost. Requires schedulers built on sched.Base.
+	PartitionNodes bool
+	// Retry tunes re-dispatch of failed and displaced pods; the zero
+	// value retries every tick with an 8-displacement budget.
+	Retry RetryPolicy
+	// Chaos, when non-nil, injects faults at the top of every tick;
+	// displaced pods are re-dispatched under Retry.
+	Chaos *chaos.Injector
+	// Seed de-correlates the workers' samplers.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Tick <= 0 {
+		c.Tick = trace.SampleInterval
+	}
+	if c.Retry.MaxDisplacements == 0 && c.Retry.BaseBackoff == 0 && c.Retry.MaxBackoff == 0 {
+		c.Retry = RetryPolicy{MaxDisplacements: 8}
+	}
+	return c
+}
+
+// PodPhase is a submitted pod's lifecycle state in the engine.
+type PodPhase int
+
+// Pod phases. PodQueued covers waiting in the queue, sitting out a retry
+// backoff, and being mid-decision in a worker; PodDone covers BE
+// completion and lifetime expiry.
+const (
+	PodQueued PodPhase = iota
+	PodPlaced
+	PodDone
+	PodShed
+	PodExhausted
+)
+
+var phaseNames = [...]string{"queued", "placed", "done", "shed", "exhausted"}
+
+// String names the phase.
+func (p PodPhase) String() string {
+	if p < 0 || int(p) >= len(phaseNames) {
+		return "?"
+	}
+	return phaseNames[p]
+}
+
+// PodStatus is the queryable view of one submission.
+type PodStatus struct {
+	ID            int    `json:"id"`
+	SLO           string `json:"slo"`
+	Phase         string `json:"phase"`
+	Node          int    `json:"node"` // -1 unless placed
+	Attempts      int    `json:"attempts"`
+	Displacements int    `json:"displacements"`
+	Reason        string `json:"reason,omitempty"`
+}
+
+// NodeStatus is the queryable view of one host.
+type NodeStatus struct {
+	ID      int     `json:"id"`
+	Phase   string  `json:"phase"`
+	Pods    int     `json:"pods"`
+	ReqCPU  float64 `json:"req_cpu"`
+	ReqMem  float64 `json:"req_mem"`
+	CapCPU  float64 `json:"cap_cpu"`
+	CapMem  float64 `json:"cap_mem"`
+	Version uint64  `json:"version"`
+}
+
+// Series holds the engine's per-tick utilization series, directly
+// comparable to the same-named fields of sim.Result.
+type Series struct {
+	Times      []int64   `json:"times"`
+	CPUUtilAvg []float64 `json:"cpu_util_avg"`
+	MemUtilAvg []float64 `json:"mem_util_avg"`
+	Violation  []float64 `json:"violation"`
+}
+
+// podRecord is the engine's bookkeeping for one submission.
+type podRecord struct {
+	pod           *trace.Pod
+	phase         PodPhase
+	node          int
+	attempts      int
+	displacements int
+	// since is when the pod last entered the queue (virtual seconds);
+	// reset on displacement, it drives the waiting-time metrics.
+	since  int64
+	reason sched.Reason
+}
+
+// Engine is the online scheduling service.
+type Engine struct {
+	cfg   Config
+	store *Store
+	c     *cluster.Cluster
+	q     *queue
+	m     *Metrics
+
+	scheds []sched.Scheduler
+
+	now      atomic.Int64
+	inFlight atomic.Int64
+	// queued counts records in PodQueued phase (queue + backoff + in
+	// flight); zero means the engine is settled.
+	queued atomic.Int64
+	// active counts pods currently running on the cluster.
+	active atomic.Int64
+
+	recMu sync.Mutex
+	recs  map[int]*podRecord
+
+	wMu     sync.Mutex
+	waiting waitHeap
+
+	exMu   sync.Mutex
+	expiry expiryHeap
+
+	serMu  sync.Mutex
+	series Series
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds an engine over a cluster. The cluster must be empty and must
+// not be mutated by anyone else while the engine runs.
+func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:    cfg,
+		store:  NewStore(c, cfg.Shards),
+		c:      c,
+		q:      newQueue(cfg.QueueCap),
+		m:      newMetrics(),
+		recs:   make(map[int]*podRecord),
+		stopCh: make(chan struct{}),
+	}
+	e.q.onPop = func(n int) { e.inFlight.Add(int64(n)) }
+	for w := 0; w < cfg.Workers; w++ {
+		s := factory(c, w, cfg.Seed+int64(w)*7919)
+		if cfg.PartitionNodes && cfg.Workers > 1 {
+			if r, ok := s.(candidateRestrictor); ok {
+				var ids []int
+				for _, n := range c.Nodes() {
+					if n.Node.ID%cfg.Workers == w {
+						ids = append(ids, n.Node.ID)
+					}
+				}
+				r.RestrictTo(ids)
+			}
+		}
+		e.scheds = append(e.scheds, s)
+	}
+	return e
+}
+
+// Store exposes the sharded state store (tests and diagnostics).
+func (e *Engine) Store() *Store { return e.store }
+
+// Now returns the virtual clock in seconds.
+func (e *Engine) Now() int64 { return e.now.Load() }
+
+// Start launches the scheduler workers and the event loop.
+func (e *Engine) Start() {
+	for i := range e.scheds {
+		e.wg.Add(1)
+		go e.runWorker(e.scheds[i])
+	}
+	e.wg.Add(1)
+	go e.loop()
+}
+
+// Stop shuts the engine down gracefully: no further submissions are
+// accepted, workers finish their in-flight batches, and the event loop
+// exits. Pods still queued stay accounted as pending.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() {
+		close(e.stopCh)
+		e.q.close()
+	})
+	e.wg.Wait()
+}
+
+// Submit admits one pod. The pod must be linked to its application
+// (Workload.LinkPod). It returns ErrQueueFull when the submission was shed
+// under backpressure, ErrDuplicate for a known pod ID, ErrClosed after
+// Stop. A shed submission is still accounted: its record ends in the shed
+// state.
+func (e *Engine) Submit(p *trace.Pod) error {
+	if p == nil || !p.Linked() {
+		return ErrNotLinked
+	}
+	now := e.now.Load()
+	e.recMu.Lock()
+	if _, ok := e.recs[p.ID]; ok {
+		e.recMu.Unlock()
+		return ErrDuplicate
+	}
+	rec := &podRecord{pod: p, node: -1, since: now}
+	e.recs[p.ID] = rec
+	e.recMu.Unlock()
+	e.m.submitted.Add(1)
+
+	err := e.q.push(item{pod: p}, e.cfg.BlockOnFull)
+	switch err {
+	case nil:
+		e.queued.Add(1)
+		e.m.accepted.Add(1)
+		return nil
+	case ErrQueueFull:
+		e.recMu.Lock()
+		rec.phase = PodShed
+		e.recMu.Unlock()
+		e.m.shedBySLO[sloIdx(p.SLO)].Add(1)
+		return ErrQueueFull
+	default: // ErrClosed
+		e.recMu.Lock()
+		delete(e.recs, p.ID)
+		e.recMu.Unlock()
+		e.m.submitted.Add(-1)
+		return err
+	}
+}
+
+// Drain blocks until the engine settles — every accepted pod placed, done,
+// shed or exhausted, or (with a Horizon) the virtual clock has reached the
+// horizon with nothing left ready to schedule. It returns false on
+// timeout.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if e.settled() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return e.settled()
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (e *Engine) settled() bool {
+	if e.cfg.Horizon > 0 {
+		// In fast mode the clock always reaches the horizon (so the
+		// utilization series covers it, like a sim.Run Result); past it
+		// the clock stops, pods still in backoff will never be released,
+		// and the engine is settled once nothing is ready to schedule.
+		if e.now.Load() >= e.cfg.Horizon {
+			return e.q.len() == 0 && e.inFlight.Load() == 0
+		}
+		if e.cfg.TickWall == 0 {
+			return false
+		}
+	}
+	return e.queued.Load() == 0
+}
+
+// Snapshot assembles the JSON-ready metrics view.
+func (e *Engine) Snapshot() Snapshot {
+	sn := e.m.snapshot()
+	sn.VirtualNow = e.now.Load()
+	sn.QueueDepth = e.q.len()
+	sn.InFlight = int(e.inFlight.Load())
+	e.wMu.Lock()
+	sn.Backlogged = len(e.waiting)
+	e.wMu.Unlock()
+	sn.Pending = sn.QueueDepth + sn.Backlogged + sn.InFlight
+	sn.Running = int(e.active.Load())
+	sn.States = make(map[string]int64)
+	e.recMu.Lock()
+	for _, rec := range e.recs {
+		sn.States[rec.phase.String()]++
+	}
+	e.recMu.Unlock()
+	return sn
+}
+
+// PodStatus reports one submission's state.
+func (e *Engine) PodStatus(id int) (PodStatus, bool) {
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
+	rec, ok := e.recs[id]
+	if !ok {
+		return PodStatus{}, false
+	}
+	st := PodStatus{
+		ID: id, SLO: rec.pod.SLO.String(), Phase: rec.phase.String(),
+		Node: rec.node, Attempts: rec.attempts, Displacements: rec.displacements,
+	}
+	if rec.reason != sched.ReasonNone {
+		st.Reason = rec.reason.String()
+	}
+	return st, true
+}
+
+// NodeStatus reports one host's state.
+func (e *Engine) NodeStatus(id int) (NodeStatus, bool) {
+	if id < 0 || id >= len(e.c.Nodes()) {
+		return NodeStatus{}, false
+	}
+	var st NodeStatus
+	e.store.ReadNode(id, func(n *cluster.NodeState) {
+		st = e.nodeStatusLocked(n)
+	})
+	return st, true
+}
+
+// NodeStatuses reports every host under one consistent read lock.
+func (e *Engine) NodeStatuses() []NodeStatus {
+	e.store.RLockAll()
+	defer e.store.RUnlockAll()
+	out := make([]NodeStatus, 0, len(e.c.Nodes()))
+	for _, n := range e.c.Nodes() {
+		out = append(out, e.nodeStatusLocked(n))
+	}
+	return out
+}
+
+func (e *Engine) nodeStatusLocked(n *cluster.NodeState) NodeStatus {
+	id := n.Node.ID
+	return NodeStatus{
+		ID: id, Phase: n.Phase().String(), Pods: len(n.Pods()),
+		ReqCPU: n.ReqSum().CPU, ReqMem: n.ReqSum().Mem,
+		CapCPU: n.Capacity().CPU, CapMem: n.Capacity().Mem,
+		Version: e.store.version[id],
+	}
+}
+
+// Series returns a copy of the per-tick utilization series recorded so
+// far.
+func (e *Engine) Series() Series {
+	e.serMu.Lock()
+	defer e.serMu.Unlock()
+	return Series{
+		Times:      append([]int64(nil), e.series.Times...),
+		CPUUtilAvg: append([]float64(nil), e.series.CPUUtilAvg...),
+		MemUtilAvg: append([]float64(nil), e.series.MemUtilAvg...),
+		Violation:  append([]float64(nil), e.series.Violation...),
+	}
+}
+
+// runWorker is one scheduler worker: pop a priority batch, score it under
+// shard read locks, commit each decision through the optimistic path, and
+// park failures for retry.
+func (e *Engine) runWorker(sc sched.Scheduler) {
+	defer e.wg.Done()
+	for {
+		items := e.q.popBatch(e.cfg.MaxBatch)
+		if items == nil {
+			return
+		}
+		now := e.now.Load()
+		batch := make([]*trace.Pod, len(items))
+		for i, it := range items {
+			batch[i] = it.pod
+		}
+		start := time.Now()
+		decisions, versions := e.store.ScheduleBatch(sc, batch, now)
+		perPod := time.Duration(int64(time.Since(start)) / int64(len(items)))
+
+		// bumps tracks this worker's own commits per node within the
+		// batch, so stacking two pods on one host doesn't read as a
+		// conflict with itself.
+		bumps := make(map[int]uint64)
+		for i, d := range decisions {
+			e.m.decision.observe(perPod)
+			if d.NodeID < 0 {
+				e.fail(items[i], d.Reason, now)
+				continue
+			}
+			res := e.store.Commit(d, versions[i]+bumps[d.NodeID], now, func(evicted []*cluster.PodState) {
+				e.onPlaced(d, now, evicted)
+			})
+			if res.Status == CommitPlaced || res.Status == CommitConflictPlaced {
+				bumps[d.NodeID]++
+			}
+			switch res.Status {
+			case CommitPlaced:
+			case CommitConflictPlaced:
+				e.m.commitConflicts.Add(1)
+			case CommitConflictRejected:
+				e.m.commitConflicts.Add(1)
+				e.m.conflictRejects.Add(1)
+				e.fail(items[i], sched.ReasonOther, now)
+			case CommitStale:
+				e.m.staleRejects.Add(1)
+				e.fail(items[i], sched.ReasonOther, now)
+			}
+		}
+		e.inFlight.Add(-int64(len(items)))
+	}
+}
+
+// onPlaced runs under the target's shard write lock, immediately after the
+// placement: record updates happen atomically with the deployment so the
+// event loop can never observe a placed pod without its record agreeing.
+func (e *Engine) onPlaced(d sched.Decision, now int64, evicted []*cluster.PodState) {
+	p := d.Pod
+	e.recMu.Lock()
+	rec := e.recs[p.ID]
+	if rec != nil {
+		rec.phase = PodPlaced
+		rec.node = d.NodeID
+		rec.reason = sched.ReasonNone
+		wait := now - rec.since
+		idx := sloIdx(p.SLO)
+		e.m.waitSum[idx].Add(wait)
+		e.m.waitCount[idx].Add(1)
+	}
+	e.recMu.Unlock()
+	e.queued.Add(-1)
+	e.active.Add(1)
+	e.m.placed.Add(1)
+	e.m.placedBySLO[sloIdx(p.SLO)].Add(1)
+	if p.Lifetime > 0 {
+		e.exMu.Lock()
+		heap.Push(&e.expiry, expiryEntry{at: p.Lifetime, podID: p.ID})
+		e.exMu.Unlock()
+	}
+	for _, ev := range evicted {
+		e.m.preempted.Add(1)
+		e.displacedPod(ev, now, false)
+	}
+}
+
+// fail parks a pod that could not be placed this attempt. Everyone waits
+// at least one virtual tick (retrying within the tick would re-score
+// unchanged state); BE pods additionally back off exponentially.
+func (e *Engine) fail(it item, reason sched.Reason, now int64) {
+	e.recMu.Lock()
+	if rec := e.recs[it.pod.ID]; rec != nil {
+		rec.attempts++
+		rec.reason = reason
+		if b := e.cfg.Retry.Backoff(rec.attempts - 1); it.pod.SLO == trace.SLOBE && b > e.cfg.Tick {
+			now += b
+		} else {
+			now += e.cfg.Tick
+		}
+	}
+	e.recMu.Unlock()
+	e.m.retries.Add(1)
+	e.wMu.Lock()
+	heap.Push(&e.waiting, waitEntry{notBefore: now, it: it})
+	e.wMu.Unlock()
+}
+
+// displacedPod handles a pod removed while running (chaos fault or BE
+// preemption): re-dispatch under the retry policy, or abandon it once the
+// displacement budget is spent. jump marks chaos displacement, which lets
+// latency-sensitive pods jump the queue.
+func (e *Engine) displacedPod(ps *cluster.PodState, now int64, jump bool) {
+	p := ps.Pod
+	e.recMu.Lock()
+	rec := e.recs[p.ID]
+	if rec == nil || rec.phase != PodPlaced {
+		e.recMu.Unlock()
+		return
+	}
+	e.active.Add(-1)
+	e.m.displaced.Add(1)
+	rec.node = -1
+	rec.displacements++
+	if p.Lifetime > 0 && p.Lifetime <= now {
+		// Its scheduled life is over anyway; nothing to replace.
+		rec.phase = PodDone
+		e.m.expired.Add(1)
+		e.recMu.Unlock()
+		return
+	}
+	if mx := e.cfg.Retry.MaxDisplacements; mx > 0 && rec.displacements > mx {
+		rec.phase = PodExhausted
+		e.m.exhausted.Add(1)
+		e.recMu.Unlock()
+		return
+	}
+	rec.phase = PodQueued
+	rec.since = now
+	rec.attempts = 0
+	rec.reason = sched.ReasonNone
+	e.recMu.Unlock()
+	e.queued.Add(1)
+	it := item{pod: p, displaced: jump}
+	if p.SLO == trace.SLOBE {
+		if b := e.cfg.Retry.Backoff(0); b > 0 {
+			e.wMu.Lock()
+			heap.Push(&e.waiting, waitEntry{notBefore: now + b, it: it})
+			e.wMu.Unlock()
+			return
+		}
+	}
+	e.q.forcePush(it)
+}
+
+// loop is the event loop. With TickWall set it paces virtual ticks
+// against the wall clock; in fast mode it advances whenever the pipeline
+// is quiescent (ready queue drained, nothing in flight) and there is
+// still work a tick could unlock.
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	if e.cfg.TickWall > 0 {
+		tk := time.NewTicker(e.cfg.TickWall)
+		defer tk.Stop()
+		for {
+			select {
+			case <-e.stopCh:
+				return
+			case <-tk.C:
+				if e.cfg.Horizon <= 0 || e.now.Load() < e.cfg.Horizon {
+					e.tick()
+				}
+			}
+		}
+	}
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		default:
+		}
+		// Order matters: queue length before inFlight (popBatch moves
+		// counts from the former to the latter atomically under the
+		// queue lock, so this order can never see both at zero mid-pop).
+		if e.q.len() == 0 && e.inFlight.Load() == 0 && e.tickWorthwhile() {
+			e.tick()
+			continue
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// tickWorthwhile reports whether advancing the clock can make progress.
+// With a Horizon set the clock always runs to it (so the utilization
+// series covers the horizon exactly like a sim.Run Result); without one,
+// ticks only fire while they can change something — pods waiting out a
+// backoff or pods running (BE progress, lifetime expiries).
+func (e *Engine) tickWorthwhile() bool {
+	if e.cfg.Horizon > 0 {
+		return e.now.Load() < e.cfg.Horizon
+	}
+	e.wMu.Lock()
+	waiting := len(e.waiting)
+	e.wMu.Unlock()
+	return waiting > 0 || e.active.Load() > 0
+}
+
+// tick advances one virtual step: chaos faults, lifetime expiry, physics
+// and usage sampling under full write locks, then release of due retries.
+func (e *Engine) tick() {
+	t := e.now.Load()
+	e.store.LockAll()
+	e.store.podMu.Lock()
+
+	if e.cfg.Chaos != nil {
+		for _, ps := range e.cfg.Chaos.Step(e.c, t, e.cfg.Tick) {
+			e.displacedPod(ps, t, true)
+		}
+	}
+
+	e.exMu.Lock()
+	for len(e.expiry) > 0 && e.expiry[0].at <= t {
+		ent := heap.Pop(&e.expiry).(expiryEntry)
+		e.recMu.Lock()
+		rec := e.recs[ent.podID]
+		if rec != nil && rec.phase == PodPlaced {
+			e.c.Remove(ent.podID, t, false)
+			rec.phase = PodDone
+			rec.node = -1
+			e.active.Add(-1)
+			e.m.expired.Add(1)
+		}
+		e.recMu.Unlock()
+	}
+	e.exMu.Unlock()
+
+	completed, snaps := e.c.Tick(t, float64(e.cfg.Tick))
+	for _, ps := range completed {
+		e.recMu.Lock()
+		if rec := e.recs[ps.Pod.ID]; rec != nil && rec.phase == PodPlaced {
+			rec.phase = PodDone
+			rec.node = -1
+			e.active.Add(-1)
+			e.m.completed.Add(1)
+		}
+		e.recMu.Unlock()
+	}
+
+	e.store.podMu.Unlock()
+	e.store.UnlockAll()
+
+	e.observeTick(t, snaps)
+	next := t + e.cfg.Tick
+	e.now.Store(next)
+
+	// Release retries whose backoff has expired into the queue.
+	e.wMu.Lock()
+	for len(e.waiting) > 0 && e.waiting[0].notBefore <= next {
+		ent := heap.Pop(&e.waiting).(waitEntry)
+		e.wMu.Unlock()
+		e.q.forcePush(ent.it)
+		e.wMu.Lock()
+	}
+	e.wMu.Unlock()
+}
+
+// observeTick records the per-tick utilization sample, mirroring
+// sim.Result.observeTick's headline series (Down hosts excluded).
+func (e *Engine) observeTick(t int64, snaps []cluster.NodeSnapshot) {
+	var cpuSum, memSum, violated float64
+	up := 0
+	for i := range snaps {
+		s := &snaps[i]
+		if s.Phase == cluster.NodeDown {
+			continue
+		}
+		up++
+		cpuSum += s.CPUUtil()
+		memSum += s.MemUtil()
+		if s.Violated() {
+			violated++
+		}
+	}
+	n := float64(up)
+	if up == 0 {
+		n = 1
+	}
+	e.serMu.Lock()
+	e.series.Times = append(e.series.Times, t)
+	e.series.CPUUtilAvg = append(e.series.CPUUtilAvg, cpuSum/n)
+	e.series.MemUtilAvg = append(e.series.MemUtilAvg, memSum/n)
+	e.series.Violation = append(e.series.Violation, violated/n)
+	e.serMu.Unlock()
+}
+
+// waitEntry is a pod sitting out a retry backoff.
+type waitEntry struct {
+	notBefore int64
+	it        item
+}
+
+type waitHeap []waitEntry
+
+func (h waitHeap) Len() int            { return len(h) }
+func (h waitHeap) Less(i, j int) bool  { return h[i].notBefore < h[j].notBefore }
+func (h waitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waitHeap) Push(x interface{}) { *h = append(*h, x.(waitEntry)) }
+func (h *waitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// expiryEntry is a placed pod's scheduled lifetime end.
+type expiryEntry struct {
+	at    int64
+	podID int
+}
+
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int            { return len(h) }
+func (h expiryHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x interface{}) { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

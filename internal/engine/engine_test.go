@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"unisched/internal/chaos"
+	"unisched/internal/cluster"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+func alibabaFactory(c *cluster.Cluster, worker int, seed int64) sched.Scheduler {
+	return sched.NewAlibabaLike(c, seed)
+}
+
+func smallWorkload(t *testing.T) *trace.Workload {
+	t.Helper()
+	cfg := trace.SmallConfig()
+	return trace.MustGenerate(cfg)
+}
+
+// runEngine submits the whole workload to a fresh engine and drains it.
+func runEngine(t *testing.T, w *trace.Workload, cfg Config) (*Engine, Snapshot) {
+	t.Helper()
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	if cfg.Horizon == 0 {
+		cfg.Horizon = w.Horizon
+	}
+	cfg.BlockOnFull = true
+	e := New(c, alibabaFactory, cfg)
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("submit pod %d: %v", p.ID, err)
+		}
+	}
+	if !e.Drain(60 * time.Second) {
+		e.Stop()
+		t.Fatalf("engine did not settle: %+v", e.Snapshot())
+	}
+	e.Stop()
+	return e, e.Snapshot()
+}
+
+func checkConservation(t *testing.T, w *trace.Workload, sn Snapshot) {
+	t.Helper()
+	if sn.Submitted != int64(len(w.Pods)) {
+		t.Fatalf("submitted %d, want %d", sn.Submitted, len(w.Pods))
+	}
+	if lost := sn.Lost(); lost != 0 {
+		t.Fatalf("lost %d submissions; states %v", lost, sn.States)
+	}
+	if sn.Placed == 0 {
+		t.Fatal("engine placed nothing")
+	}
+}
+
+func TestEngineDrainsWorkload(t *testing.T) {
+	w := smallWorkload(t)
+	e, sn := runEngine(t, w, Config{Workers: 1})
+	checkConservation(t, w, sn)
+	if sn.States["queued"] != int64(sn.Pending) {
+		t.Fatalf("queued records %d != pending %d", sn.States["queued"], sn.Pending)
+	}
+	// The utilization series must cover the horizon like a sim run does.
+	ser := e.Series()
+	if len(ser.Times) == 0 {
+		t.Fatal("no utilization series recorded")
+	}
+	if got := ser.Times[len(ser.Times)-1]; got < w.Horizon-2*trace.SampleInterval {
+		t.Fatalf("series stops at %d, horizon %d", got, w.Horizon)
+	}
+}
+
+func TestEngineParallelWorkersConserve(t *testing.T) {
+	w := smallWorkload(t)
+	_, sn := runEngine(t, w, Config{Workers: 4, Shards: 8})
+	checkConservation(t, w, sn)
+}
+
+func TestEnginePartitionedWorkersConserve(t *testing.T) {
+	w := smallWorkload(t)
+	_, sn := runEngine(t, w, Config{Workers: 4, Shards: 8, PartitionNodes: true})
+	checkConservation(t, w, sn)
+}
+
+func TestEngineChaosConserves(t *testing.T) {
+	w := smallWorkload(t)
+	inj := chaos.NewInjector(7, nil, chaos.DefaultRates())
+	_, sn := runEngine(t, w, Config{Workers: 2, Chaos: inj})
+	checkConservation(t, w, sn)
+	if sn.Displaced == 0 {
+		t.Log("warning: chaos displaced nothing at this scale")
+	}
+	// Displaced pods either came back, exhausted their budget, or are
+	// pending — never vanished (Lost()==0 above already guarantees it).
+}
+
+func TestEngineShedsUnderBackpressure(t *testing.T) {
+	w := testWorkload(t, 2, 64, 0.25)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{QueueCap: 4, Horizon: 3600})
+	// Not started: the queue fills to capacity, the rest shed.
+	shed := 0
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err == ErrQueueFull {
+			shed++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if shed != len(w.Pods)-4 {
+		t.Fatalf("shed %d, want %d", shed, len(w.Pods)-4)
+	}
+	e.Start()
+	if !e.Drain(10 * time.Second) {
+		t.Fatalf("did not settle: %+v", e.Snapshot())
+	}
+	e.Stop()
+	sn := e.Snapshot()
+	if sn.Lost() != 0 {
+		t.Fatalf("lost %d; states %v", sn.Lost(), sn.States)
+	}
+	if sn.Shed != int64(shed) || sn.States["shed"] != int64(shed) {
+		t.Fatalf("shed accounting: metric %d, state %d, want %d", sn.Shed, sn.States["shed"], shed)
+	}
+	if sn.ShedBySLO["LS"] != int64(shed) {
+		t.Fatalf("shed_by_slo %v", sn.ShedBySLO)
+	}
+}
+
+func TestEngineRejectsBadSubmissions(t *testing.T) {
+	w := testWorkload(t, 2, 2, 0.25)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{})
+	if err := e.Submit(&trace.Pod{ID: 99, AppID: "nope"}); err != ErrNotLinked {
+		t.Fatalf("unlinked submit = %v, want ErrNotLinked", err)
+	}
+	if err := e.Submit(w.Pods[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(w.Pods[0]); err != ErrDuplicate {
+		t.Fatalf("duplicate submit = %v, want ErrDuplicate", err)
+	}
+	e.Start()
+	e.Stop()
+	if err := e.Submit(w.Pods[1]); err != ErrClosed {
+		t.Fatalf("submit after stop = %v, want ErrClosed", err)
+	}
+	sn := e.Snapshot()
+	if sn.Submitted != 1 || sn.Lost() != 0 {
+		t.Fatalf("accounting after rejects: %+v", sn.States)
+	}
+}
+
+func TestEngineStatusQueries(t *testing.T) {
+	w := testWorkload(t, 4, 4, 0.25)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{Horizon: 3600})
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Drain(10 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	e.Stop()
+
+	st, ok := e.PodStatus(w.Pods[0].ID)
+	if !ok || st.Phase != "placed" || st.Node < 0 {
+		t.Fatalf("pod status = %+v, ok=%v", st, ok)
+	}
+	if _, ok := e.PodStatus(12345); ok {
+		t.Fatal("unknown pod reported present")
+	}
+	ns := e.NodeStatuses()
+	if len(ns) != 4 {
+		t.Fatalf("got %d node statuses", len(ns))
+	}
+	pods := 0
+	for _, n := range ns {
+		pods += n.Pods
+	}
+	if pods != 4 {
+		t.Fatalf("nodes hold %d pods, want 4", pods)
+	}
+	if _, ok := e.NodeStatus(99); ok {
+		t.Fatal("bogus node reported present")
+	}
+}

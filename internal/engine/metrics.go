@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"unisched/internal/trace"
+)
+
+// latBuckets are power-of-two decision-latency histogram bucket upper
+// bounds in nanoseconds, from 1 µs to ~34 s.
+const (
+	latBase    = 1000 // 1 µs
+	latBuckets = 26
+)
+
+// hist is a lock-free log-scale latency histogram.
+type hist struct {
+	buckets [latBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+func (h *hist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for bound := int64(latBase); b < latBuckets-1 && ns > bound; b++ {
+		bound *= 2
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// quantile returns the q-quantile in seconds (upper bucket bound), or 0
+// with no observations.
+func (h *hist) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen int64
+	bound := int64(latBase)
+	for b := 0; b < latBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen > target {
+			return float64(bound) / 1e9
+		}
+		bound *= 2
+	}
+	return float64(bound) / 1e9
+}
+
+func (h *hist) mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n) / 1e9
+}
+
+// Metrics is the engine-wide registry: lock-free counters updated by
+// workers and the event loop, snapshot-able as JSON at any time.
+type Metrics struct {
+	start time.Time
+
+	submitted atomic.Int64
+	accepted  atomic.Int64
+	placed    atomic.Int64
+	completed atomic.Int64
+	expired   atomic.Int64
+	preempted atomic.Int64
+	displaced atomic.Int64
+	exhausted atomic.Int64
+	retries   atomic.Int64
+
+	commitConflicts atomic.Int64
+	conflictRejects atomic.Int64
+	staleRejects    atomic.Int64
+
+	shedBySLO   [int(trace.SLOBE) + 1]atomic.Int64
+	placedBySLO [int(trace.SLOBE) + 1]atomic.Int64
+
+	// waitSum/waitCount accumulate virtual waiting seconds per SLO.
+	waitSum   [int(trace.SLOBE) + 1]atomic.Int64
+	waitCount [int(trace.SLOBE) + 1]atomic.Int64
+
+	decision hist
+}
+
+func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+func sloIdx(s trace.SLO) int {
+	i := int(s)
+	if i < 0 || i > int(trace.SLOBE) {
+		return 0
+	}
+	return i
+}
+
+// Snapshot is a JSON-serializable view of the engine's state at one
+// instant.
+type Snapshot struct {
+	// WallSeconds is the time since the engine was built.
+	WallSeconds float64 `json:"wall_seconds"`
+	// VirtualNow is the engine's virtual clock (seconds).
+	VirtualNow int64 `json:"virtual_now"`
+
+	Submitted int64 `json:"submitted"`
+	Accepted  int64 `json:"accepted"`
+	Shed      int64 `json:"shed"`
+	Placed    int64 `json:"placed"`
+	Completed int64 `json:"completed"`
+	Expired   int64 `json:"expired"`
+	Preempted int64 `json:"preempted"`
+	Displaced int64 `json:"displaced"`
+	Exhausted int64 `json:"exhausted"`
+	// Retries counts failed scheduling attempts that were re-queued.
+	Retries int64 `json:"retries"`
+
+	// CommitConflicts counts commits whose observed node version was
+	// stale (another worker placed first); ConflictRejects the subset
+	// that lost re-validation, StaleRejects commits onto no-longer-
+	// schedulable hosts.
+	CommitConflicts int64 `json:"commit_conflicts"`
+	ConflictRejects int64 `json:"conflict_rejects"`
+	StaleRejects    int64 `json:"stale_rejects"`
+
+	ShedBySLO   map[string]int64 `json:"shed_by_slo,omitempty"`
+	PlacedBySLO map[string]int64 `json:"placed_by_slo,omitempty"`
+	// MeanWaitBySLO is the mean virtual waiting time (seconds) from
+	// admission to placement, per SLO class.
+	MeanWaitBySLO map[string]float64 `json:"mean_wait_by_slo,omitempty"`
+
+	// PlacementsPerSec is Placed / WallSeconds — the headline throughput.
+	PlacementsPerSec float64 `json:"placements_per_sec"`
+
+	QueueDepth int `json:"queue_depth"`
+	// Backlogged counts pods sitting out a retry backoff.
+	Backlogged int `json:"backlogged"`
+	InFlight   int `json:"in_flight"`
+	// Pending = QueueDepth + Backlogged + InFlight: accepted pods not yet
+	// placed, shed, or exhausted.
+	Pending int `json:"pending"`
+	Running int `json:"running"`
+
+	DecisionP50Ms  float64 `json:"decision_p50_ms"`
+	DecisionP99Ms  float64 `json:"decision_p99_ms"`
+	DecisionMeanMs float64 `json:"decision_mean_ms"`
+
+	// States counts pod records by phase (queued/placed/done/shed/
+	// exhausted). Submitted == sum of all states; the engine loses
+	// nothing.
+	States map[string]int64 `json:"states"`
+}
+
+// Lost returns the number of submissions unaccounted for — zero on a
+// correct engine.
+func (s Snapshot) Lost() int64 {
+	var sum int64
+	for _, v := range s.States {
+		sum += v
+	}
+	return s.Submitted - sum
+}
+
+func (m *Metrics) snapshot() Snapshot {
+	wall := time.Since(m.start).Seconds()
+	sn := Snapshot{
+		WallSeconds:     wall,
+		Submitted:       m.submitted.Load(),
+		Accepted:        m.accepted.Load(),
+		Placed:          m.placed.Load(),
+		Completed:       m.completed.Load(),
+		Expired:         m.expired.Load(),
+		Preempted:       m.preempted.Load(),
+		Displaced:       m.displaced.Load(),
+		Exhausted:       m.exhausted.Load(),
+		Retries:         m.retries.Load(),
+		CommitConflicts: m.commitConflicts.Load(),
+		ConflictRejects: m.conflictRejects.Load(),
+		StaleRejects:    m.staleRejects.Load(),
+		DecisionP50Ms:   1000 * m.decision.quantile(0.50),
+		DecisionP99Ms:   1000 * m.decision.quantile(0.99),
+		DecisionMeanMs:  1000 * m.decision.mean(),
+	}
+	sn.ShedBySLO = make(map[string]int64)
+	sn.PlacedBySLO = make(map[string]int64)
+	sn.MeanWaitBySLO = make(map[string]float64)
+	for i := 0; i <= int(trace.SLOBE); i++ {
+		slo := trace.SLO(i)
+		if v := m.shedBySLO[i].Load(); v > 0 {
+			sn.ShedBySLO[slo.String()] = v
+			sn.Shed += v
+		}
+		if v := m.placedBySLO[i].Load(); v > 0 {
+			sn.PlacedBySLO[slo.String()] = v
+		}
+		if n := m.waitCount[i].Load(); n > 0 {
+			sn.MeanWaitBySLO[slo.String()] = float64(m.waitSum[i].Load()) / float64(n)
+		}
+	}
+	if wall > 0 {
+		sn.PlacementsPerSec = float64(sn.Placed) / wall
+	}
+	return sn
+}

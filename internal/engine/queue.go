@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"unisched/internal/trace"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull reports a shed submission: the admission queue was at
+	// capacity and the engine is configured to shed rather than block.
+	ErrQueueFull = errors.New("engine: admission queue full")
+	// ErrClosed reports a submission to a stopped engine.
+	ErrClosed = errors.New("engine: closed")
+	// ErrDuplicate reports a pod ID the engine has already accepted.
+	ErrDuplicate = errors.New("engine: duplicate pod")
+	// ErrNotLinked reports a pod whose App pointer is unresolved.
+	ErrNotLinked = errors.New("engine: pod not linked to an app")
+)
+
+// numLanes is the number of priority lanes: LSR, LS, no-explicit-SLO, BE —
+// the production queueing discipline sim.sortQueue encodes, as lanes.
+const numLanes = 4
+
+// laneOf maps an SLO class to its priority lane. Displaced
+// latency-sensitive pods jump to the front lane: they already held capacity
+// and their users are actively degraded until replacement.
+func laneOf(slo trace.SLO, displaced bool) int {
+	if displaced && slo.LatencySensitive() {
+		return 0
+	}
+	switch slo {
+	case trace.SLOLSR:
+		return 0
+	case trace.SLOLS:
+		return 1
+	case trace.SLOBE:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// item is one queued scheduling request.
+type item struct {
+	pod *trace.Pod
+	// displaced marks a pod that was running and lost its host.
+	displaced bool
+}
+
+// lane is a FIFO of items with an amortized-O(1) pop-front.
+type lane struct {
+	items []item
+	head  int
+}
+
+func (l *lane) len() int { return len(l.items) - l.head }
+
+func (l *lane) push(it item) { l.items = append(l.items, it) }
+
+func (l *lane) pop() item {
+	it := l.items[l.head]
+	l.items[l.head] = item{}
+	l.head++
+	if l.head > 64 && l.head*2 >= len(l.items) {
+		n := copy(l.items, l.items[l.head:])
+		l.items = l.items[:n]
+		l.head = 0
+	}
+	return it
+}
+
+// queue is the bounded admission queue: per-SLO priority lanes, blocking or
+// shedding submission, and batched priority-ordered pops. External
+// submissions respect the capacity bound; internal re-admissions (displaced
+// and retried pods, which were already accepted once) bypass it so faults
+// can never turn an accepted pod into a lost one.
+type queue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	lanes    [numLanes]lane
+	size     int
+	capacity int
+	closed   bool
+	// onPop, when set, runs under the queue lock with the batch size
+	// just popped. The engine uses it to move counts from queue depth to
+	// in-flight atomically, so quiescence checks never see both at zero
+	// mid-handoff.
+	onPop func(n int)
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{capacity: capacity}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits an external submission. When the queue is full it blocks
+// (block=true) or fails with ErrQueueFull (block=false).
+func (q *queue) push(it item, block bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size >= q.capacity && !q.closed {
+		if !block {
+			return ErrQueueFull
+		}
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.lanes[laneOf(it.pod.SLO, it.displaced)].push(it)
+	q.size++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// forcePush re-admits an already-accepted pod (displacement, retry,
+// preemption), bypassing the capacity bound. It is a no-op on a closed
+// queue (the pod stays accounted as pending via its record).
+func (q *queue) forcePush(it item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.lanes[laneOf(it.pod.SLO, it.displaced)].push(it)
+	q.size++
+	q.notEmpty.Signal()
+}
+
+// popBatch removes up to max items in priority order, blocking while the
+// queue is empty. It returns nil once the queue is closed.
+func (q *queue) popBatch(max int) []item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.closed {
+		return nil
+	}
+	if max > q.size {
+		max = q.size
+	}
+	out := make([]item, 0, max)
+	for l := 0; l < numLanes && len(out) < max; l++ {
+		for q.lanes[l].len() > 0 && len(out) < max {
+			out = append(out, q.lanes[l].pop())
+		}
+	}
+	q.size -= len(out)
+	if q.onPop != nil {
+		q.onPop(len(out))
+	}
+	if q.size < q.capacity {
+		q.notFull.Broadcast()
+	}
+	return out
+}
+
+// len returns the number of queued items.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// close wakes every blocked producer and consumer; subsequent pushes fail
+// with ErrClosed and popBatch returns nil.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}

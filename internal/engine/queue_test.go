@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"unisched/internal/trace"
+)
+
+func mkPod(id int, slo trace.SLO) *trace.Pod {
+	return &trace.Pod{ID: id, SLO: slo}
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	q := newQueue(16)
+	q.forcePush(item{pod: mkPod(1, trace.SLOBE)})
+	q.forcePush(item{pod: mkPod(2, trace.SLOLS)})
+	q.forcePush(item{pod: mkPod(3, trace.SLOSystem)})
+	q.forcePush(item{pod: mkPod(4, trace.SLOLSR)})
+	q.forcePush(item{pod: mkPod(5, trace.SLOLS), displaced: true}) // jumps to front lane
+
+	got := q.popBatch(16)
+	want := []int{4, 5, 2, 3, 1} // LSR, displaced LS, LS, no-SLO, BE
+	if len(got) != len(want) {
+		t.Fatalf("popped %d items, want %d", len(got), len(want))
+	}
+	for i, it := range got {
+		if it.pod.ID != want[i] {
+			t.Fatalf("pop order %d = pod %d, want %d", i, it.pod.ID, want[i])
+		}
+	}
+}
+
+func TestQueueShedsWhenFull(t *testing.T) {
+	q := newQueue(2)
+	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(item{pod: mkPod(2, trace.SLOBE)}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(item{pod: mkPod(3, trace.SLOBE)}, false); err != ErrQueueFull {
+		t.Fatalf("push on full queue = %v, want ErrQueueFull", err)
+	}
+	// Internal re-admissions bypass the bound.
+	q.forcePush(item{pod: mkPod(4, trace.SLOBE)})
+	if q.len() != 3 {
+		t.Fatalf("len = %d after forcePush, want 3", q.len())
+	}
+}
+
+func TestQueueBlockingPushUnblocksOnPop(t *testing.T) {
+	q := newQueue(1)
+	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, true); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.push(item{pod: mkPod(2, trace.SLOBE)}, true) }()
+	select {
+	case err := <-done:
+		t.Fatalf("blocking push returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	q.popBatch(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked push failed: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("push still blocked after pop freed space")
+	}
+}
+
+func TestQueueCloseWakesEveryone(t *testing.T) {
+	q := newQueue(1)
+	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, false); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 1)
+	batches := make(chan []item, 2)
+	wg.Add(3)
+	go func() { defer wg.Done(); errs <- q.push(item{pod: mkPod(2, trace.SLOBE)}, true) }()
+	// One consumer drains the queued item; a second blocks empty.
+	for i := 0; i < 2; i++ {
+		go func() { defer wg.Done(); batches <- q.popBatch(4) }()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	wg.Wait()
+	if err := <-errs; err != ErrClosed && err != nil {
+		t.Fatalf("blocked push after close = %v, want ErrClosed or success", err)
+	}
+	if err := q.push(item{pod: mkPod(9, trace.SLOBE)}, false); err != ErrClosed {
+		t.Fatalf("push after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestLaneCompaction(t *testing.T) {
+	var l lane
+	for i := 0; i < 1000; i++ {
+		l.push(item{pod: mkPod(i, trace.SLOBE)})
+	}
+	for i := 0; i < 1000; i++ {
+		if it := l.pop(); it.pod.ID != i {
+			t.Fatalf("pop %d = pod %d", i, it.pod.ID)
+		}
+	}
+	if l.len() != 0 {
+		t.Fatalf("len = %d after draining", l.len())
+	}
+}

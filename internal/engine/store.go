@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"sync"
+
+	"unisched/internal/cluster"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// Store wraps a cluster with sharded locking and per-node versions so N
+// scheduler workers can race over live state without a global lock — the
+// online analogue of the §4.4 Deployment Module.
+//
+// Locking protocol:
+//
+//   - A scheduling pass holds every shard's read lock while a scheduler
+//     scores candidates, and captures the version of each chosen host
+//     before releasing. Passes from different workers run concurrently.
+//   - A commit takes one shard's write lock, so commits to different
+//     shards proceed in parallel and only block scheduling passes briefly.
+//   - Cluster-wide mutations (the physics tick, chaos injection, lifetime
+//     expiry) take every write lock via LockAll.
+//   - The cluster's pod index is shared across shards, so the short
+//     index-mutating sections (Place/Remove) additionally hold podMu.
+//     Lock order is always shards-ascending, then podMu.
+//
+// Versions advance only when a placement consumes capacity on a node. A
+// commit whose observed version is stale therefore means another worker
+// placed onto the same host in the race window — exactly the conflict the
+// Deployment Module arbitrates. The first committer won; the late commit
+// re-validates against the conservative request-based rule and either
+// deploys alongside (there is clearly room) or is rejected for
+// re-dispatch.
+type Store struct {
+	c      *cluster.Cluster
+	shards []sync.RWMutex
+	podMu  sync.Mutex
+	// version[nodeID] is guarded by the owning shard's lock.
+	version []uint64
+}
+
+// NewStore builds a sharded store over the cluster. shards is clamped to
+// [1, nodes].
+func NewStore(c *cluster.Cluster, shards int) *Store {
+	n := len(c.Nodes())
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1 // empty cluster: keep one shard so locking still works
+	}
+	return &Store{
+		c:       c,
+		shards:  make([]sync.RWMutex, shards),
+		version: make([]uint64, n),
+	}
+}
+
+// Cluster returns the wrapped cluster. Callers must hold the appropriate
+// locks while reading or writing it.
+func (s *Store) Cluster() *cluster.Cluster { return s.c }
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+func (s *Store) shardOf(nodeID int) int { return nodeID % len(s.shards) }
+
+// RLockAll takes every shard's read lock in ascending order (scheduling
+// pass).
+func (s *Store) RLockAll() {
+	for i := range s.shards {
+		s.shards[i].RLock()
+	}
+}
+
+// RUnlockAll releases every shard's read lock.
+func (s *Store) RUnlockAll() {
+	for i := range s.shards {
+		s.shards[i].RUnlock()
+	}
+}
+
+// LockAll takes every shard's write lock in ascending order (tick-scope
+// mutations).
+func (s *Store) LockAll() {
+	for i := range s.shards {
+		s.shards[i].Lock()
+	}
+}
+
+// UnlockAll releases every shard's write lock.
+func (s *Store) UnlockAll() {
+	for i := range s.shards {
+		s.shards[i].Unlock()
+	}
+}
+
+// ScheduleBatch runs one scheduler pass over the batch under read locks
+// and returns the decisions together with the observed version of each
+// chosen host — the optimistic-concurrency token the commit validates.
+func (s *Store) ScheduleBatch(sc sched.Scheduler, batch []*trace.Pod, now int64) ([]sched.Decision, []uint64) {
+	s.RLockAll()
+	ds := sc.Schedule(batch, now)
+	vers := make([]uint64, len(ds))
+	for i, d := range ds {
+		if d.NodeID >= 0 && d.NodeID < len(s.version) {
+			vers[i] = s.version[d.NodeID]
+		}
+	}
+	s.RUnlockAll()
+	return ds, vers
+}
+
+// CommitStatus classifies one commit attempt.
+type CommitStatus int
+
+// Commit outcomes. CommitPlaced deployed on first attempt;
+// CommitConflictPlaced deployed after winning the conservative
+// re-validation of a version conflict; CommitConflictRejected lost the
+// race and must be re-dispatched; CommitStale targeted a host that is no
+// longer schedulable (crashed or cordoned after the scheduling pass).
+const (
+	CommitPlaced CommitStatus = iota
+	CommitConflictPlaced
+	CommitConflictRejected
+	CommitStale
+)
+
+// CommitResult reports what Commit did.
+type CommitResult struct {
+	Status CommitStatus
+	// Evicted holds BE pods preempted for an LSR admission; the caller
+	// must re-dispatch them.
+	Evicted []*cluster.PodState
+}
+
+// Commit deploys one scheduling decision through the optimistic commit
+// path. onPlaced, when non-nil, runs while the shard lock is still held on
+// successful deployment, so callers can update their own bookkeeping
+// atomically with the placement (the engine updates pod records there).
+func (s *Store) Commit(d sched.Decision, observed uint64, now int64, onPlaced func(evicted []*cluster.PodState)) CommitResult {
+	if d.NodeID < 0 || d.NodeID >= len(s.version) {
+		return CommitResult{Status: CommitConflictRejected}
+	}
+	sh := s.shardOf(d.NodeID)
+	s.shards[sh].Lock()
+	defer s.shards[sh].Unlock()
+
+	n := s.c.Node(d.NodeID)
+	if !n.Schedulable() {
+		return CommitResult{Status: CommitStale}
+	}
+	status := CommitPlaced
+	if s.version[d.NodeID] != observed {
+		// Another worker placed onto this host after our scheduling pass
+		// read it. First committer wins; we only deploy on top if the
+		// conservative request-based rule still clearly admits the pod.
+		status = CommitConflictPlaced
+		if !requestFits(n, d.Pod) {
+			return CommitResult{Status: CommitConflictRejected}
+		}
+	}
+
+	var res CommitResult
+	res.Status = status
+	s.podMu.Lock()
+	if d.NeedPreempt {
+		res.Evicted = s.c.PreemptBE(d.NodeID, d.Pod.Request, now)
+	}
+	_, err := s.c.Place(d.Pod, d.NodeID, now)
+	s.podMu.Unlock()
+	if err != nil {
+		// Already running (a duplicate decision surviving a race): treat
+		// as a rejected commit; the engine's records keep it consistent.
+		res.Status = CommitConflictRejected
+		return res
+	}
+	s.version[d.NodeID]++
+	if onPlaced != nil {
+		onPlaced(res.Evicted)
+	}
+	return res
+}
+
+// Remove removes a running pod under the owning shard's write lock and the
+// pod-index lock (displacements driven from outside the tick).
+func (s *Store) Remove(podID, nodeID int, now int64) {
+	sh := s.shardOf(nodeID)
+	s.shards[sh].Lock()
+	s.podMu.Lock()
+	s.c.Remove(podID, now, false)
+	s.podMu.Unlock()
+	s.shards[sh].Unlock()
+}
+
+// ReadNode runs fn with the node's shard read-locked.
+func (s *Store) ReadNode(nodeID int, fn func(n *cluster.NodeState)) {
+	sh := s.shardOf(nodeID)
+	s.shards[sh].RLock()
+	fn(s.c.Node(nodeID))
+	s.shards[sh].RUnlock()
+}
+
+// requestFits is the conservative re-validation applied to conflicting
+// commits: the pod's request must fit within remaining request-based
+// capacity in both dimensions. Stricter than most schedulers' own
+// admission (which over-commit), so a post-conflict deploy never admits
+// more aggressively than the losing scheduler intended.
+func requestFits(n *cluster.NodeState, p *trace.Pod) bool {
+	load := n.ReqSum().Add(p.Request)
+	capc := n.Capacity()
+	return load.CPU <= capc.CPU && load.Mem <= capc.Mem
+}

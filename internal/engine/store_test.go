@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// testWorkload builds a tiny hand-rolled workload: nodes of unit capacity
+// and one LS app whose pods request (req, req).
+func testWorkload(t testing.TB, nodes, pods int, req float64) *trace.Workload {
+	t.Helper()
+	app := &trace.App{
+		ID: "app", SLO: trace.SLOLS,
+		Request: trace.Resources{CPU: req, Mem: req},
+		Limit:   trace.Resources{CPU: req, Mem: req},
+		MemUtil: 0.5, CPUBaseUtil: 0.3, Affinity: -1,
+	}
+	w := &trace.Workload{Apps: []*trace.App{app}, Horizon: 3600, Seed: 1}
+	for i := 0; i < nodes; i++ {
+		w.Nodes = append(w.Nodes, &trace.Node{ID: i, Capacity: trace.Resources{CPU: 1, Mem: 1}})
+	}
+	for i := 0; i < pods; i++ {
+		p := &trace.Pod{
+			ID: i, AppID: "app", SLO: trace.SLOLS,
+			Request: app.Request, Limit: app.Limit,
+			CPUScale: 1, MemScale: 1,
+		}
+		if err := w.LinkPod(p); err != nil {
+			t.Fatal(err)
+		}
+		w.Pods = append(w.Pods, p)
+	}
+	return w
+}
+
+func dec(p *trace.Pod, node int) sched.Decision {
+	return sched.Decision{Pod: p, NodeID: node}
+}
+
+func TestCommitBumpsVersionAndPlaces(t *testing.T) {
+	w := testWorkload(t, 2, 2, 0.3)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	s := NewStore(c, 2)
+
+	res := s.Commit(dec(w.Pods[0], 0), 0, 0, nil)
+	if res.Status != CommitPlaced {
+		t.Fatalf("status = %v, want CommitPlaced", res.Status)
+	}
+	if s.version[0] != 1 {
+		t.Fatalf("version = %d, want 1", s.version[0])
+	}
+	if len(c.Node(0).Pods()) != 1 {
+		t.Fatal("pod not on node")
+	}
+}
+
+func TestCommitConflictRevalidates(t *testing.T) {
+	w := testWorkload(t, 1, 4, 0.3)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	s := NewStore(c, 1)
+
+	// Both "workers" observed version 0; the first commit wins.
+	if res := s.Commit(dec(w.Pods[0], 0), 0, 0, nil); res.Status != CommitPlaced {
+		t.Fatalf("first commit = %v", res.Status)
+	}
+	// Second commit is stale but the pod still clearly fits: deployed.
+	if res := s.Commit(dec(w.Pods[1], 0), 0, 0, nil); res.Status != CommitConflictPlaced {
+		t.Fatalf("conflicting fitting commit = %v, want CommitConflictPlaced", res.Status)
+	}
+	// Third fits too (0.9 total), fourth would exceed capacity: rejected.
+	if res := s.Commit(dec(w.Pods[2], 0), 0, 0, nil); res.Status != CommitConflictPlaced {
+		t.Fatalf("third commit = %v", res.Status)
+	}
+	if res := s.Commit(dec(w.Pods[3], 0), 0, 0, nil); res.Status != CommitConflictRejected {
+		t.Fatalf("overflowing commit = %v, want CommitConflictRejected", res.Status)
+	}
+	if got := len(c.Node(0).Pods()); got != 3 {
+		t.Fatalf("node holds %d pods, want 3", got)
+	}
+}
+
+func TestCommitStaleOnUnschedulableNode(t *testing.T) {
+	w := testWorkload(t, 2, 1, 0.3)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	s := NewStore(c, 2)
+
+	c.FailNode(1, 0)
+	if res := s.Commit(dec(w.Pods[0], 1), 0, 0, nil); res.Status != CommitStale {
+		t.Fatalf("commit onto down node = %v, want CommitStale", res.Status)
+	}
+	if res := s.Commit(dec(w.Pods[0], 99), 0, 0, nil); res.Status != CommitConflictRejected {
+		t.Fatalf("commit onto bogus node = %v, want CommitConflictRejected", res.Status)
+	}
+}
+
+// TestConcurrentCommitsConserveCapacity hammers one node from many
+// goroutines with stale versions; under -race this exercises the locking,
+// and the request-based re-validation must never oversubscribe the host.
+func TestConcurrentCommitsConserveCapacity(t *testing.T) {
+	const pods = 64
+	w := testWorkload(t, 1, pods, 0.1)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	s := NewStore(c, 1)
+
+	var wg sync.WaitGroup
+	placed := make(chan int, pods)
+	for i := 0; i < pods; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Every committer observed version 0: all but the first conflict.
+			res := s.Commit(dec(w.Pods[i], 0), 0, 0, nil)
+			if res.Status == CommitPlaced || res.Status == CommitConflictPlaced {
+				placed <- i
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(placed)
+	n := 0
+	for range placed {
+		n++
+	}
+	if got := len(c.Node(0).Pods()); got != n {
+		t.Fatalf("node holds %d pods but %d commits reported placed", got, n)
+	}
+	req := c.Node(0).ReqSum()
+	capc := c.Node(0).Capacity()
+	if req.CPU > capc.CPU+1e-9 || req.Mem > capc.Mem+1e-9 {
+		t.Fatalf("oversubscribed: req %+v > cap %+v", req, capc)
+	}
+	if n != 10 { // 0.1 request against unit capacity
+		t.Fatalf("placed %d pods, want 10", n)
+	}
+}
+
+func TestScheduleBatchCapturesVersions(t *testing.T) {
+	w := testWorkload(t, 4, 2, 0.3)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	s := NewStore(c, 2)
+	sc := sched.NewAlibabaLike(c, 1)
+
+	ds, vers := s.ScheduleBatch(sc, w.Pods, 0)
+	if len(ds) != len(w.Pods) || len(vers) != len(ds) {
+		t.Fatalf("got %d decisions / %d versions for %d pods", len(ds), len(vers), len(w.Pods))
+	}
+	// Track our own commits per node, as the engine worker does: stacking
+	// two batch pods on one host is not a conflict with ourselves.
+	bumps := make(map[int]uint64)
+	for i, d := range ds {
+		if d.NodeID < 0 {
+			t.Fatalf("pod %d unplaced: %v", i, d.Reason)
+		}
+		if res := s.Commit(d, vers[i]+bumps[d.NodeID], 0, nil); res.Status != CommitPlaced {
+			t.Fatalf("commit %d = %v", i, res.Status)
+		}
+		bumps[d.NodeID]++
+	}
+}

@@ -94,6 +94,34 @@ func NewBase(c *cluster.Cluster, seed int64) *Base {
 	return b
 }
 
+// RestrictTo limits the scheduler's candidate universe to the given node
+// IDs (unknown IDs are ignored). Parallel scheduler deployments use it to
+// give each worker a disjoint partition of the cluster, which shrinks the
+// per-pod scan cost with the worker count. Affinity groups are filtered
+// to the intersection; a pod whose affinity group has no nodes in the
+// partition simply finds no candidates and is retried elsewhere.
+func (b *Base) RestrictTo(ids []int) {
+	keep := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if id >= 0 && id < len(b.Cluster.Nodes()) {
+			keep[id] = true
+		}
+	}
+	filter := func(in []int) []int {
+		out := in[:0:0]
+		for _, id := range in {
+			if keep[id] {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	b.all = filter(b.all)
+	for g, ids := range b.groups {
+		b.groups[g] = filter(ids)
+	}
+}
+
 // BeginBatch clears the reservation ledger; schedulers call it at the top
 // of every Schedule invocation.
 func (b *Base) BeginBatch() {

@@ -198,6 +198,11 @@ type Pod struct {
 	app *App // resolved pointer; set by Workload.link
 }
 
+// Linked reports whether the pod's application pointer is resolved.
+// Schedulers require linked pods; services accepting pods over the wire
+// check this before admission.
+func (p *Pod) Linked() bool { return p.app != nil }
+
 // App returns the pod's application. It panics if the pod has not been
 // linked into a Workload, which indicates a construction bug.
 func (p *Pod) App() *App {
@@ -303,6 +308,21 @@ func (w *Workload) AppByID(id string) *App {
 		w.link()
 	}
 	return w.appByID[id]
+}
+
+// LinkPod resolves an externally-constructed pod (e.g. decoded from an API
+// request) against this workload's applications. The pod is not appended
+// to w.Pods; callers own its lifecycle.
+func (w *Workload) LinkPod(p *Pod) error {
+	if w.appByID == nil {
+		w.link()
+	}
+	a := w.appByID[p.AppID]
+	if a == nil {
+		return fmt.Errorf("trace: pod %d references unknown app %q", p.ID, p.AppID)
+	}
+	p.app = a
+	return nil
 }
 
 // link resolves pod->app pointers and builds the app index. It must be

@@ -2,7 +2,9 @@ package tracedb
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"unisched/internal/cluster"
@@ -128,5 +130,61 @@ func TestReadRejectsGarbage(t *testing.T) {
 	db, err := Read(strings.NewReader(""))
 	if err != nil || len(db.Nodes) != 0 {
 		t.Error("empty stream should give an empty DB")
+	}
+}
+
+// TestConcurrentReaders hammers one shared DB from parallel readers; with
+// -race this guards the query surface backing concurrent state queries
+// (e.g. the online engine's HTTP handlers). Every query method must be
+// safe for concurrent use and return consistent views.
+func TestConcurrentReaders(t *testing.T) {
+	buf, _, _ := recordRun(t)
+	db, err := Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := db.Apps()
+	if len(apps) == 0 || len(db.Pods) == 0 {
+		t.Fatal("empty DB")
+	}
+	wantApp := make(map[string]int, len(apps))
+	for _, a := range apps {
+		wantApp[a] = len(db.AppSamples(a))
+	}
+	wantNode := len(db.NodeSeries(0))
+	podID := db.Pods[0].Pod
+	wantPod := len(db.PodSeries(podID))
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a := apps[(g+i)%len(apps)]
+				if got := len(db.AppSamples(a)); got != wantApp[a] {
+					errs <- fmt.Sprintf("AppSamples(%s) = %d, want %d", a, got, wantApp[a])
+					return
+				}
+				if got := len(db.NodeSeries(0)); got != wantNode {
+					errs <- fmt.Sprintf("NodeSeries(0) = %d, want %d", got, wantNode)
+					return
+				}
+				if got := len(db.PodSeries(podID)); got != wantPod {
+					errs <- fmt.Sprintf("PodSeries(%d) = %d, want %d", podID, got, wantPod)
+					return
+				}
+				if got := db.Apps(); len(got) != len(apps) {
+					errs <- fmt.Sprintf("Apps() = %d, want %d", len(got), len(apps))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }

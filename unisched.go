@@ -28,6 +28,7 @@ import (
 	"unisched/internal/chaos"
 	"unisched/internal/cluster"
 	"unisched/internal/core"
+	"unisched/internal/engine"
 	"unisched/internal/experiments"
 	"unisched/internal/profiler"
 	"unisched/internal/sched"
@@ -207,6 +208,42 @@ func Simulate(w *Workload, c *Cluster, s Scheduler, cfg SimConfig) *SimResult {
 
 // DefaultRetryPolicy returns the chaos-mode rescheduling configuration.
 func DefaultRetryPolicy() RetryPolicy { return sim.DefaultRetryPolicy() }
+
+// Online engine types (the long-running scheduling service; see
+// internal/engine and cmd/unischedd).
+type (
+	// Engine is the event-driven online scheduling service: N parallel
+	// scheduler workers over a sharded cluster-state store, a bounded
+	// per-SLO priority admission queue, and a virtual-clock event loop.
+	Engine = engine.Engine
+	// EngineConfig tunes workers, shards, queueing, pacing, and retries.
+	EngineConfig = engine.Config
+	// EngineSnapshot is the engine's JSON-ready metrics view.
+	EngineSnapshot = engine.Snapshot
+	// EngineRetryPolicy tunes the engine's re-dispatch of failed pods.
+	EngineRetryPolicy = engine.RetryPolicy
+	// SchedulerFactory builds one engine worker's scheduler.
+	SchedulerFactory = engine.SchedulerFactory
+	// EnginePodStatus / EngineNodeStatus are the engine's query views.
+	EnginePodStatus  = engine.PodStatus
+	EngineNodeStatus = engine.NodeStatus
+)
+
+// Engine submission errors.
+var (
+	// ErrQueueFull reports a shed submission under backpressure.
+	ErrQueueFull = engine.ErrQueueFull
+	// ErrEngineClosed reports a submission to a stopped engine.
+	ErrEngineClosed = engine.ErrClosed
+	// ErrDuplicatePod reports a pod ID the engine already accepted.
+	ErrDuplicatePod = engine.ErrDuplicate
+)
+
+// NewEngine builds the online scheduling service over a cluster; factory
+// constructs one scheduler per worker. Call Start, Submit pods, and Stop.
+func NewEngine(c *Cluster, factory SchedulerFactory, cfg EngineConfig) *Engine {
+	return engine.New(c, factory, cfg)
+}
 
 // Fault injection types (set SimConfig.Chaos to enable).
 type (
