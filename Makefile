@@ -33,5 +33,5 @@ bench: bench-engine
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 bench-engine:
-	$(GO) test -bench BenchmarkEngine -benchmem -benchtime 3x -run '^$$' ./internal/engine \
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkPipeline' -benchmem -benchtime 3x -run '^$$' ./internal/engine \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_engine.json

@@ -1,28 +1,55 @@
 package unisched
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
+	"time"
 )
 
-// TestSimulateDeterministic guards the shared scheduling paths against
-// accidental nondeterminism: two runs with identical workload, cluster,
-// scheduler seeds, and fault schedule must produce identical placements
-// and disruption counters. The online engine work shares these paths; a
-// stray map-iteration dependence or time.Now leak would show up here.
-func TestSimulateDeterministic(t *testing.T) {
-	run := func() *SimResult {
-		cfg := SmallWorkload()
-		w := MustGenerateWorkload(cfg)
-		c := NewCluster(w)
-		sim := SimConfig{
-			Chaos: NewChaosInjector(3, nil, DefaultChaosRates()),
-			Retry: DefaultRetryPolicy(),
-		}
-		return Simulate(w, c, NewAlibabaScheduler(c, 1), sim)
-	}
-	a, b := run(), run()
+// schedulerBuilders lists every baseline scheduler under the determinism
+// gate. Optum is covered separately by TestOptumDeterministic in
+// internal/core (it needs trained profiles).
+var schedulerBuilders = []struct {
+	name  string
+	build func(c *Cluster, seed int64) Scheduler
+}{
+	{"Alibaba", NewAlibabaScheduler},
+	{"Borg-like", NewBorgScheduler},
+	{"N-sigma", NewNSigmaScheduler},
+	{"RC-like", NewRCScheduler},
+	{"Medea", NewMedeaScheduler},
+	{"Kube-like", NewKubeScheduler},
+}
 
+// TestSimulateDeterministic guards the shared scheduling paths against
+// accidental nondeterminism: for every scheduler, two runs with identical
+// workload, cluster, scheduler seeds, and fault schedule must produce
+// identical placements and disruption counters. A stray map-iteration
+// dependence, goroutine race, or time.Now leak in the pipeline, the index,
+// or a plugin would show up here.
+func TestSimulateDeterministic(t *testing.T) {
+	for _, sb := range schedulerBuilders {
+		sb := sb
+		t.Run(sb.name, func(t *testing.T) {
+			t.Parallel()
+			run := func() *SimResult {
+				cfg := SmallWorkload()
+				w := MustGenerateWorkload(cfg)
+				c := NewCluster(w)
+				sim := SimConfig{
+					Chaos: NewChaosInjector(3, nil, DefaultChaosRates()),
+					Retry: DefaultRetryPolicy(),
+				}
+				return Simulate(w, c, sb.build(c, 1), sim)
+			}
+			compareSimResults(t, run(), run())
+		})
+	}
+}
+
+func compareSimResults(t *testing.T, a, b *SimResult) {
+	t.Helper()
 	if a.Placed != b.Placed || a.Pending != b.Pending {
 		t.Fatalf("placement counts diverge: %d/%d vs %d/%d",
 			a.Placed, a.Pending, b.Placed, b.Pending)
@@ -54,5 +81,80 @@ func TestSimulateDeterministic(t *testing.T) {
 	if !reflect.DeepEqual(a.BEPreempted, b.BEPreempted) {
 		t.Fatal("preemption counts diverge")
 	}
+	if (a.Pipeline == nil) != (b.Pipeline == nil) {
+		t.Fatal("pipeline stats presence diverges")
+	}
+	if a.Pipeline != nil {
+		pa, pb := *a.Pipeline, *b.Pipeline
+		// Stage timings are wall-clock; the counters must match exactly.
+		pa.StageMicros, pb.StageMicros = nil, nil
+		pa.StageMicrosPerDecision, pb.StageMicrosPerDecision = nil, nil
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("pipeline counters diverge:\n%+v\n%+v", pa, pb)
+		}
+	}
 	// SchedLatency is wall-clock and intentionally excluded.
+}
+
+// TestEngineDeterministic runs every baseline through the online engine's
+// single-worker fast mode twice and requires identical terminal pod states:
+// the pipeline and indexed candidate store behave identically under the
+// engine's lock-and-commit driver too.
+func TestEngineDeterministic(t *testing.T) {
+	for _, sb := range schedulerBuilders {
+		sb := sb
+		t.Run(sb.name, func(t *testing.T) {
+			t.Parallel()
+			a := enginePodStates(t, sb.build)
+			b := enginePodStates(t, sb.build)
+			if !reflect.DeepEqual(a, b) {
+				diff := 0
+				for id, st := range a {
+					if b[id] != st {
+						diff++
+					}
+				}
+				t.Fatalf("engine pod states diverge on %d of %d pods", diff, len(a))
+			}
+		})
+	}
+}
+
+// enginePodStates replays the small workload through a deterministic engine
+// configuration — one worker, fast virtual clock, every pod submitted
+// before Start so queue order is fixed — and returns each pod's terminal
+// phase and host.
+func enginePodStates(t *testing.T, build func(c *Cluster, seed int64) Scheduler) map[int]string {
+	t.Helper()
+	cfg := SmallWorkload()
+	w := MustGenerateWorkload(cfg)
+	c := NewCluster(w)
+	e := NewEngine(c, func(cc *Cluster, worker int, seed int64) Scheduler {
+		return build(cc, seed)
+	}, EngineConfig{
+		Workers:  1,
+		QueueCap: len(w.Pods) + 1,
+		Horizon:  w.Horizon,
+		Seed:     42,
+	})
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Start()
+	if !e.Drain(60 * time.Second) {
+		e.Stop()
+		t.Fatal("engine did not settle")
+	}
+	e.Stop()
+	out := make(map[int]string, len(w.Pods))
+	for _, p := range w.Pods {
+		st, ok := e.PodStatus(p.ID)
+		if !ok {
+			t.Fatalf("pod %d lost", p.ID)
+		}
+		out[p.ID] = fmt.Sprintf("%s@%d", st.Phase, st.Node)
+	}
+	return out
 }

@@ -1,0 +1,67 @@
+package unisched
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+
+	"unisched/internal/experiments"
+)
+
+// goldenHashes pins the exact placement stream (pod->node map, placed and
+// pending counts) each scheduler produces on the fixed-seed quick workload.
+// The hashes were captured from the pre-pipeline scan-loop implementations;
+// the plugin pipeline must reproduce them bit-for-bit. Any intentional
+// behaviour change must re-record these values and say why in the commit.
+var goldenHashes = map[experiments.SchedulerName]struct {
+	hash    uint64
+	placed  int
+	pending int
+}{
+	experiments.NameAlibaba:  {0x6be21411aef2341e, 1342, 112},
+	experiments.NameBorgLike: {0x3817301cd19cdd9e, 1367, 87},
+	experiments.NameNSigma:   {0x5ef8b4759fda5402, 1248, 206},
+	experiments.NameRCLike:   {0xacff1ad8c4f69df5, 1420, 34},
+	experiments.NameMedea:    {0x07603dbdee4dd752, 1360, 94},
+	experiments.NameKubeLike: {0x516c874cfe6ff092, 1249, 205},
+	experiments.NameOptum:    {0xed513f3b967ef4de, 1442, 12},
+}
+
+// placementHash folds a run's placement stream into one FNV-64a value.
+func placementHash(nodeOf map[int]int, placed, pending int) uint64 {
+	h := fnv.New64a()
+	ids := make([]int, 0, len(nodeOf))
+	for id := range nodeOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(h, "%d:%d;", id, nodeOf[id])
+	}
+	fmt.Fprintf(h, "placed=%d pending=%d", placed, pending)
+	return h.Sum64()
+}
+
+// TestGoldenPlacementEquivalence replays every scheduler on the fixed-seed
+// quick workload and checks the placement stream against the recorded
+// pre-refactor hash — the acceptance gate that the staged pipeline (indexed
+// candidate store, bucket pruning, plugin specs) changes *how* hosts are
+// found, never *which* hosts are chosen.
+func TestGoldenPlacementEquivalence(t *testing.T) {
+	setup, err := experiments.NewSetup(experiments.QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range goldenHashes {
+		res := setup.RunScheduler(name, DefaultOptumOptions())
+		if res.Placed != want.placed || res.Pending != want.pending {
+			t.Errorf("%s: placed/pending = %d/%d, want %d/%d",
+				name, res.Placed, res.Pending, want.placed, want.pending)
+		}
+		if got := placementHash(res.NodeOf, res.Placed, res.Pending); got != want.hash {
+			t.Errorf("%s: placement hash %#016x, want %#016x — the pipeline "+
+				"changed which hosts are chosen", name, got, want.hash)
+		}
+	}
+}

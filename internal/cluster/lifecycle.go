@@ -52,6 +52,7 @@ func (c *Cluster) FailNode(id int, now int64) []*PodState {
 	n.phase = NodeDown
 	out := c.displaceAll(n, now)
 	n.hist = nodeHistory{}
+	c.notify(id)
 	return out
 }
 
@@ -66,7 +67,9 @@ func (c *Cluster) DrainNode(id int, now int64) []*PodState {
 	}
 	n.phase = NodeDraining
 	c.notUp++
-	return c.displaceAll(n, now)
+	out := c.displaceAll(n, now)
+	c.notify(id)
+	return out
 }
 
 // RecoverNode returns a Down or Draining host to service. Recovering an Up
@@ -78,6 +81,7 @@ func (c *Cluster) RecoverNode(id int) {
 	}
 	n.phase = NodeUp
 	c.notUp--
+	c.notify(id)
 }
 
 // Evict removes one running pod (chaos-style displacement, distinct from

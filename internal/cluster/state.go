@@ -161,6 +161,24 @@ type Cluster struct {
 	// notUp counts nodes not in the Up phase, so the all-healthy fast path
 	// is O(1).
 	notUp int
+	// observers are notified (with the node ID) after every state change
+	// that affects a node's scheduling-relevant accounting: placement,
+	// removal, and lifecycle transitions. The pipeline's candidate index
+	// maintains itself through this hook.
+	observers []func(nodeID int)
+}
+
+// AddObserver registers a callback invoked after every node state change.
+// Observers run synchronously on the mutating goroutine; they must be fast
+// and must not mutate the cluster.
+func (c *Cluster) AddObserver(fn func(nodeID int)) {
+	c.observers = append(c.observers, fn)
+}
+
+func (c *Cluster) notify(nodeID int) {
+	for _, fn := range c.observers {
+		fn(nodeID)
+	}
 }
 
 // New builds a cluster over the workload's nodes with the given physics.
@@ -220,6 +238,7 @@ func (c *Cluster) Place(p *trace.Pod, nodeID int, now int64) (*PodState, error) 
 		n.guarReq = n.guarReq.Add(p.Request)
 	}
 	c.byPod[p.ID] = ps
+	c.notify(nodeID)
 	return ps, nil
 }
 
@@ -248,6 +267,7 @@ func (c *Cluster) Remove(podID int, now int64, preempted bool) {
 	clampNonNeg(&n.reqSum)
 	clampNonNeg(&n.limitSum)
 	clampNonNeg(&n.guarReq)
+	c.notify(ps.NodeID)
 }
 
 // PreemptBE evicts up to the cheapest BE pods on the node freeing at least

@@ -123,11 +123,12 @@ func TestOptumSampling(t *testing.T) {
 	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
 	o := New(c, prof, DefaultOptions(), 7)
 
+	sampler := ppoSampler{o}
 	cands := make([]int, 1000)
 	for i := range cands {
 		cands[i] = i
 	}
-	s := o.sample(cands)
+	s := sampler.Sample(nil, cands)
 	if len(s) != 50 { // 5% of 1000
 		t.Errorf("sample size = %d, want 50", len(s))
 	}
@@ -139,16 +140,16 @@ func TestOptumSampling(t *testing.T) {
 		seen[id] = true
 	}
 	// Mid-size sets: floored at MinCandidates.
-	if got := o.sample(cands[:40]); len(got) != o.Opt.MinCandidates {
+	if got := sampler.Sample(nil, cands[:40]); len(got) != o.Opt.MinCandidates {
 		t.Errorf("mid set sample = %d, want %d", len(got), o.Opt.MinCandidates)
 	}
 	// Sets at or below the floor are returned whole.
-	if got := o.sample(cands[:20]); len(got) != 20 {
+	if got := sampler.Sample(nil, cands[:20]); len(got) != 20 {
 		t.Errorf("small set should be returned whole, got %d", len(got))
 	}
 	// FullScan ablation.
 	o.Opt.FullScan = true
-	if got := o.sample(cands); len(got) != 1000 {
+	if got := sampler.Sample(nil, cands); len(got) != 1000 {
 		t.Errorf("FullScan sample = %d", len(got))
 	}
 }
@@ -198,73 +199,6 @@ func TestOptumPrefersLowInterference(t *testing.T) {
 	}
 }
 
-func TestDeployerConflictResolution(t *testing.T) {
-	w := smallWorkload(t, 4)
-	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	d := &Deployer{Cluster: c}
-	p1, p2, p3 := w.Pods[0], w.Pods[1], w.Pods[2]
-	out := d.Apply([]sched.Decision{
-		{Pod: p1, NodeID: 0, Score: 0.5},
-		{Pod: p2, NodeID: 0, Score: 0.9}, // conflict winner
-		{Pod: p3, NodeID: 1, Score: 0.1},
-	}, 100)
-	if len(out.Placed) != 2 {
-		t.Fatalf("placed %d, want 2", len(out.Placed))
-	}
-	if len(out.Requeued) != 1 || out.Requeued[0].ID != p1.ID {
-		t.Fatalf("requeued = %+v, want p1", out.Requeued)
-	}
-	if c.PodState(p2.ID) == nil || c.PodState(p2.ID).NodeID != 0 {
-		t.Error("winner not placed on node 0")
-	}
-	if c.PodState(p1.ID) != nil {
-		t.Error("loser was placed")
-	}
-}
-
-func TestDeployerPreemption(t *testing.T) {
-	w := smallWorkload(t, 2)
-	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	d := &Deployer{Cluster: c}
-	var be []*trace.Pod
-	var lsr *trace.Pod
-	for _, p := range w.Pods {
-		if p.SLO == trace.SLOBE && len(be) < 10 {
-			be = append(be, p)
-		}
-		if p.SLO == trace.SLOLSR && lsr == nil {
-			lsr = p
-		}
-	}
-	for _, p := range be {
-		if _, err := c.Place(p, 0, 0); err != nil {
-			t.Fatal(err)
-		}
-	}
-	out := d.Apply([]sched.Decision{{Pod: lsr, NodeID: 0, NeedPreempt: true, Score: 1}}, 50)
-	if len(out.Placed) != 1 {
-		t.Fatalf("LSR not placed")
-	}
-	if len(out.Evicted) == 0 {
-		t.Fatal("nothing evicted")
-	}
-	for _, ev := range out.Evicted {
-		if ev.Pod.SLO != trace.SLOBE || !ev.Preempted {
-			t.Error("evicted pod not a preempted BE pod")
-		}
-	}
-}
-
-func TestDeployerIgnoresUnplaced(t *testing.T) {
-	w := smallWorkload(t, 2)
-	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	d := &Deployer{Cluster: c}
-	out := d.Apply([]sched.Decision{{Pod: w.Pods[0], NodeID: -1, Reason: sched.ReasonMem}}, 0)
-	if len(out.Placed) != 0 || len(out.Requeued) != 0 {
-		t.Error("unplaced decision should be a no-op")
-	}
-}
-
 func TestDefaultOptions(t *testing.T) {
 	o := DefaultOptions()
 	if o.OmegaO != 0.7 || o.OmegaB != 0.3 {
@@ -272,23 +206,6 @@ func TestDefaultOptions(t *testing.T) {
 	}
 	if o.SampleProb != 0.05 || o.MemCap != 0.8 || o.MAPEGate != 0.2 {
 		t.Errorf("defaults wrong: %+v", o)
-	}
-}
-
-func TestDeployerRejectsInvalidNode(t *testing.T) {
-	// Failure injection: a buggy scheduler proposing a nonexistent host
-	// must not crash the testbed; the pod is re-dispatched.
-	w := smallWorkload(t, 2)
-	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	d := &Deployer{Cluster: c}
-	for _, apply := range []func([]sched.Decision, int64) Outcome{d.ApplyAll, d.Apply} {
-		out := apply([]sched.Decision{{Pod: w.Pods[0], NodeID: 99, Score: 1}}, 0)
-		if len(out.Placed) != 0 {
-			t.Fatal("invalid node deployed")
-		}
-		if len(out.Requeued) != 1 || out.Requeued[0].ID != w.Pods[0].ID {
-			t.Fatalf("pod not requeued: %+v", out)
-		}
 	}
 }
 

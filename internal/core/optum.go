@@ -10,9 +10,9 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"unisched/internal/cluster"
+	"unisched/internal/pipeline"
 	"unisched/internal/predictor"
 	"unisched/internal/profiler"
 	"unisched/internal/sched"
@@ -137,37 +137,43 @@ func (o *Optum) Name() string { return "Optum" }
 func (o *Optum) Predictor() *predictor.Optum { return o.pred }
 
 // Schedule implements sched.Scheduler: one greedy, objective-guided
-// decision per pending pod.
+// decision per pending pod, driven through the shared placement pipeline.
+// The specs are rebuilt per batch so option changes between batches take
+// effect.
 func (o *Optum) Schedule(pods []*trace.Pod, now int64) []sched.Decision {
 	o.BeginBatch()
+	workers := o.Opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	main := &pipeline.Spec{
+		Eval:             optumEval{o},
+		Sampler:          ppoSampler{o},
+		Preempt:          true,
+		FullScanFallback: o.Opt.FullScanFallback,
+		ScanWorkers:      workers,
+	}
+	fallback := &pipeline.Spec{
+		Filters: []pipeline.FilterPlugin{requestFallbackFit{memCap: o.Opt.MemCap}},
+		Scores:  []pipeline.WeightedScore{{Plugin: sched.ReqAlignment{}, Weight: 1}},
+		Preempt: true,
+	}
 	out := make([]sched.Decision, len(pods))
 	for i, p := range pods {
-		out[i] = o.one(p)
+		if o.degraded(p.AppID) {
+			// Degraded mode: with no usable profile the predicted-usage and
+			// interference terms of Eq. 11 are meaningless, so admission
+			// reverts to the conservative request-based rule (sum of
+			// requests within capacity, memory under the cap) and scoring to
+			// the production alignment heuristic. Strictly safer, strictly
+			// less efficient — exactly the trade a scheduler should make
+			// blind.
+			out[i] = o.Select(p, fallback)
+			continue
+		}
+		out[i] = o.Select(p, main)
 	}
 	return out
-}
-
-func (o *Optum) one(p *trace.Pod) sched.Decision {
-	if o.degraded(p.AppID) {
-		return o.fallbackRequest(p)
-	}
-	all := o.Candidates(p)
-	cands := o.sample(all)
-	if len(cands) == 0 {
-		return sched.Decision{Pod: p, NodeID: -1, Reason: sched.ReasonOther}
-	}
-	d := o.scan(p, cands)
-	if d.NodeID < 0 && o.Opt.FullScanFallback && len(cands) < len(all) {
-		// Second chance: the sample missed every admissible host.
-		d = o.scan(p, all)
-	}
-	if d.NodeID < 0 && p.SLO == trace.SLOLSR {
-		if id, ok := o.PreemptTarget(p, all); ok {
-			o.Reserve(id, p)
-			return sched.Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: sched.ReasonNone}
-		}
-	}
-	return d
 }
 
 // degraded reports whether the profilers cannot be trusted for the
@@ -179,114 +185,63 @@ func (o *Optum) degraded(app string) bool {
 	return o.Profiles.Blackout != nil && o.Profiles.Blackout.Blacked(app)
 }
 
-// fallbackRequest is the degraded-mode Node Selector: with no usable
-// profile the predicted-usage and interference terms of Eq. 11 are
-// meaningless, so admission reverts to the conservative request-based rule
-// (sum of requests within capacity, memory under the cap) and scoring to
-// the production alignment heuristic. Strictly safer, strictly less
-// efficient — exactly the trade a scheduler should make blind.
-func (o *Optum) fallbackRequest(p *trace.Pod) sched.Decision {
-	return o.Greedy(p, o.Candidates(p),
-		func(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (cpuOK, memOK bool) {
-			load := n.ReqSum().Add(resv).Add(p.Request)
-			capc := n.Capacity()
-			return load.CPU <= capc.CPU, load.Mem <= o.Opt.MemCap*capc.Mem
-		},
-		func(n *cluster.NodeState, p *trace.Pod) float64 {
-			return p.Request.Dot(n.ReqSum())
-		})
+// requestFallbackFit is the degraded-mode admission: sum of requests
+// within CPU capacity, request memory under the MemCap budget.
+type requestFallbackFit struct {
+	memCap float64
 }
 
-// scan scores the candidate set and returns the best admissible decision,
-// or the blocking reason.
-func (o *Optum) scan(p *trace.Pod, cands []int) sched.Decision {
+// FilterName implements pipeline.FilterPlugin.
+func (requestFallbackFit) FilterName() string { return "RequestFallbackFit" }
 
-	type result struct {
-		id    int
-		ok    bool
-		cpuNo bool
-		memNo bool
-		score float64
-	}
-	results := make([]result, len(cands))
-	eval := func(k int) {
-		n := o.Cluster.Node(cands[k])
-		score, cpuOK, memOK := o.scoreHost(n, p)
-		results[k] = result{id: cands[k], ok: cpuOK && memOK, cpuNo: !cpuOK, memNo: !memOK, score: score}
-	}
-
-	workers := o.Opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > 1 && len(cands) >= 16 {
-		var wg sync.WaitGroup
-		chunk := (len(cands) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			if lo >= len(cands) {
-				break
-			}
-			hi := lo + chunk
-			if hi > len(cands) {
-				hi = len(cands)
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for k := lo; k < hi; k++ {
-					eval(k)
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
-	} else {
-		for k := range cands {
-			eval(k)
-		}
-	}
-
-	best := sched.Decision{Pod: p, NodeID: -1, Reason: sched.ReasonOther}
-	found := false
-	cpuBlock, memBlock := 0, 0
-	for _, r := range results {
-		if r.ok {
-			// Deterministic tie-break on node ID for reproducibility.
-			if !found || r.score > best.Score || (r.score == best.Score && r.id < best.NodeID) {
-				best.NodeID = r.id
-				best.Score = r.score
-				best.Reason = sched.ReasonNone
-				found = true
-			}
-			continue
-		}
-		if r.cpuNo {
-			cpuBlock++
-		}
-		if r.memNo {
-			memBlock++
-		}
-	}
-	if found {
-		o.Reserve(best.NodeID, p)
-		return best
-	}
-	switch {
-	case cpuBlock > 0 && memBlock > 0:
-		best.Reason = sched.ReasonCPUMem
-	case cpuBlock > 0:
-		best.Reason = sched.ReasonCPU
-	case memBlock > 0:
-		best.Reason = sched.ReasonMem
-	}
-	return best
+// Filter implements pipeline.FilterPlugin.
+func (f requestFallbackFit) Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+	load := n.ReqSum().Add(resv).Add(p.Request)
+	capc := n.Capacity()
+	return load.CPU <= capc.CPU, load.Mem <= f.memCap*capc.Mem
 }
 
-// sample applies the PPO-style random host partition: each scheduling
-// decision scores only a random SampleProb fraction of the candidates
-// (floored at MinCandidates), which keeps per-pod latency flat as the
-// cluster grows.
-func (o *Optum) sample(cands []int) []int {
+// MinHeadroom implements pipeline.HeadroomBounder: both dimensions are
+// request-based (memory against the MemCap fraction of capacity).
+func (f requestFallbackFit) MinHeadroom(p *trace.Pod, minCap, maxCap trace.Resources) (trace.Resources, bool) {
+	return trace.Resources{
+		CPU: p.Request.CPU,
+		Mem: pipeline.OvercommitBound(p.Request.Mem, f.memCap, minCap.Mem, maxCap.Mem),
+	}, true
+}
+
+// optumEval is the Node Selector as a fused pipeline evaluation: Eq. 11's
+// admission and scoring share the Eq. 7-8 usage prediction, so splitting
+// them into Filter and Score plugins would predict twice.
+type optumEval struct {
+	o *Optum
+}
+
+// EvalName implements pipeline.EvalPlugin.
+func (optumEval) EvalName() string { return "OptumNodeSelector" }
+
+// Evaluate implements pipeline.EvalPlugin. Batch reservations are read
+// from the pipeline ledger as whole pods (Eq. 7-8 pairing), not from the
+// summed resv argument.
+func (e optumEval) Evaluate(n *cluster.NodeState, p *trace.Pod, _ trace.Resources) (float64, bool, bool) {
+	return e.o.scoreHost(n, p)
+}
+
+// ppoSampler is the §4.3.4 PPO-style random host partition as a pipeline
+// sampling plugin: each scheduling decision scores only a random
+// SampleProb fraction of the candidates (floored at MinCandidates), which
+// keeps per-pod latency flat as the cluster grows. It reads the current
+// Options on every call, so FullScan toggles apply immediately.
+type ppoSampler struct {
+	o *Optum
+}
+
+// SamplerName implements pipeline.SamplerPlugin.
+func (ppoSampler) SamplerName() string { return "PPO" }
+
+// Sample implements pipeline.SamplerPlugin.
+func (s ppoSampler) Sample(_ *trace.Pod, cands []int) []int {
+	o := s.o
 	if o.Opt.FullScan {
 		return cands
 	}

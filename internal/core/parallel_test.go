@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"unisched/internal/cluster"
+	"unisched/internal/pipeline"
 	"unisched/internal/sched"
 )
 
@@ -63,7 +64,7 @@ func TestParallelConflictsResolved(t *testing.T) {
 	}
 	par := NewParallel("borg-x2", members...)
 	ds := par.Schedule(w.Pods[:20], 0)
-	dep := &Deployer{Cluster: c}
+	dep := &pipeline.Deployer{Cluster: c}
 	out := dep.Apply(ds, 0)
 	// At most one placement per node in a conflict-resolved batch.
 	perNode := map[int]int{}

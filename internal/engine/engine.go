@@ -33,6 +33,7 @@ import (
 
 	"unisched/internal/chaos"
 	"unisched/internal/cluster"
+	"unisched/internal/pipeline"
 	"unisched/internal/sched"
 	"unisched/internal/trace"
 )
@@ -401,6 +402,18 @@ func (e *Engine) Snapshot() Snapshot {
 		sn.States[rec.phase.String()]++
 	}
 	e.recMu.Unlock()
+	var ps pipeline.StatsSnapshot
+	merged := false
+	for _, sc := range e.scheds {
+		if pp, ok := sc.(interface{ Pipeline() *pipeline.Pipeline }); ok {
+			pp.Pipeline().Stats().AddTo(&ps)
+			merged = true
+		}
+	}
+	if merged {
+		ps.Finalize()
+		sn.Pipeline = &ps
+	}
 	return sn
 }
 
@@ -720,15 +733,16 @@ func (e *Engine) tick() {
 	next := t + e.cfg.Tick
 	e.now.Store(next)
 
-	// Release retries whose backoff has expired into the queue.
+	// Release retries whose backoff has expired into the queue — in one
+	// atomic push, so workers see the whole release or none of it and
+	// batch composition stays deterministic.
 	e.wMu.Lock()
+	var due []item
 	for len(e.waiting) > 0 && e.waiting[0].notBefore <= next {
-		ent := heap.Pop(&e.waiting).(waitEntry)
-		e.wMu.Unlock()
-		e.q.forcePush(ent.it)
-		e.wMu.Lock()
+		due = append(due, heap.Pop(&e.waiting).(waitEntry).it)
 	}
 	e.wMu.Unlock()
+	e.q.forcePushAll(due)
 }
 
 // observeTick records the per-tick utilization sample, mirroring

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unisched/internal/pipeline"
 	"unisched/internal/trace"
 )
 
@@ -159,6 +160,11 @@ type Snapshot struct {
 	// exhausted). Submitted == sum of all states; the engine loses
 	// nothing.
 	States map[string]int64 `json:"states"`
+
+	// Pipeline merges the placement-pipeline stage counters across every
+	// worker's scheduler (visited/pruned/sampled nodes, per-stage
+	// latencies). Nil when no worker runs on the shared pipeline.
+	Pipeline *pipeline.StatsSnapshot `json:"pipeline,omitempty"`
 }
 
 // Lost returns the number of submissions unaccounted for — zero on a

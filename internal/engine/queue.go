@@ -133,6 +133,28 @@ func (q *queue) forcePush(it item) {
 	q.notEmpty.Signal()
 }
 
+// forcePushAll re-admits a batch of already-accepted pods under one lock
+// acquisition, so a consumer blocked in popBatch observes either none or
+// all of them. The event loop releases each tick's due retries this way:
+// releasing them one by one would let a worker pop a wall-clock-dependent
+// prefix, making batch composition — and with it the decisions of
+// history-sensitive schedulers — nondeterministic.
+func (q *queue) forcePushAll(its []item) {
+	if len(its) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	for _, it := range its {
+		q.lanes[laneOf(it.pod.SLO, it.displaced)].push(it)
+	}
+	q.size += len(its)
+	q.notEmpty.Broadcast()
+}
+
 // popBatch removes up to max items in priority order, blocking while the
 // queue is empty. It returns nil once the queue is closed.
 func (q *queue) popBatch(max int) []item {

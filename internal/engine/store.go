@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"unisched/internal/cluster"
+	"unisched/internal/pipeline"
 	"unisched/internal/sched"
 	"unisched/internal/trace"
 )
@@ -168,11 +169,9 @@ func (s *Store) Commit(d sched.Decision, observed uint64, now int64, onPlaced fu
 	var res CommitResult
 	res.Status = status
 	s.podMu.Lock()
-	if d.NeedPreempt {
-		res.Evicted = s.c.PreemptBE(d.NodeID, d.Pod.Request, now)
-	}
-	_, err := s.c.Place(d.Pod, d.NodeID, now)
+	evicted, err := pipeline.Deploy(s.c, d, now)
 	s.podMu.Unlock()
+	res.Evicted = evicted
 	if err != nil {
 		// Already running (a duplicate decision surviving a race): treat
 		// as a rejected commit; the engine's records keep it consistent.

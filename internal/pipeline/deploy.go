@@ -1,12 +1,28 @@
-package core
+package pipeline
 
 import (
 	"sort"
 
 	"unisched/internal/cluster"
-	"unisched/internal/sched"
 	"unisched/internal/trace"
 )
+
+// Deploy executes one placement decision against the cluster: BE
+// preemption first when the decision asks for it, then the placement
+// itself. It is the single commit path both drivers share — the sim's
+// Deployer below and the engine's optimistic per-node-version commit both
+// call it, so preemption/placement ordering can never diverge between
+// offline and online runs.
+func Deploy(c *cluster.Cluster, dec Decision, now int64) ([]*cluster.PodState, error) {
+	var evicted []*cluster.PodState
+	if dec.NeedPreempt {
+		evicted = c.PreemptBE(dec.NodeID, dec.Pod.Request, now)
+	}
+	if _, err := c.Place(dec.Pod, dec.NodeID, now); err != nil {
+		return evicted, err
+	}
+	return evicted, nil
+}
 
 // Deployer is the Deployment Module (§4.4): it executes scheduling
 // decisions against the cluster and resolves conflicts. When several pods
@@ -21,7 +37,7 @@ type Deployer struct {
 // Outcome reports what Apply did with one batch of decisions.
 type Outcome struct {
 	// Placed are the decisions that were deployed.
-	Placed []sched.Decision
+	Placed []Decision
 	// Requeued are pods that must be rescheduled: conflict losers and
 	// pods whose decisions were unplaceable.
 	Requeued []*trace.Pod
@@ -34,7 +50,7 @@ type Outcome struct {
 // scheduler's in-batch reservations — the single-scheduler fast path. The
 // conflict-resolving Apply below is for multiple parallel schedulers whose
 // decisions can genuinely race (§4.4).
-func (d *Deployer) ApplyAll(ds []sched.Decision, now int64) Outcome {
+func (d *Deployer) ApplyAll(ds []Decision, now int64) Outcome {
 	var out Outcome
 	nodes := len(d.Cluster.Nodes())
 	for _, dec := range ds {
@@ -53,11 +69,9 @@ func (d *Deployer) ApplyAll(ds []sched.Decision, now int64) Outcome {
 			out.Requeued = append(out.Requeued, dec.Pod)
 			continue
 		}
-		if dec.NeedPreempt {
-			evicted := d.Cluster.PreemptBE(dec.NodeID, dec.Pod.Request, now)
-			out.Evicted = append(out.Evicted, evicted...)
-		}
-		if _, err := d.Cluster.Place(dec.Pod, dec.NodeID, now); err != nil {
+		evicted, err := Deploy(d.Cluster, dec, now)
+		out.Evicted = append(out.Evicted, evicted...)
+		if err != nil {
 			continue
 		}
 		out.Placed = append(out.Placed, dec)
@@ -69,11 +83,11 @@ func (d *Deployer) ApplyAll(ds []sched.Decision, now int64) Outcome {
 // resolution: when several pods target one host, only the highest score
 // deploys and the rest are re-dispatched. Decisions with NodeID < 0 are
 // ignored (their pods stay pending at the caller).
-func (d *Deployer) Apply(ds []sched.Decision, now int64) Outcome {
+func (d *Deployer) Apply(ds []Decision, now int64) Outcome {
 	var out Outcome
 
 	// Group placements per node, keeping input order deterministic.
-	byNode := make(map[int][]sched.Decision)
+	byNode := make(map[int][]Decision)
 	total := len(d.Cluster.Nodes())
 	var nodes []int
 	for _, dec := range ds {
@@ -111,11 +125,9 @@ func (d *Deployer) Apply(ds []sched.Decision, now int64) Outcome {
 				out.Requeued = append(out.Requeued, dec.Pod)
 				continue
 			}
-			if dec.NeedPreempt {
-				evicted := d.Cluster.PreemptBE(nodeID, dec.Pod.Request, now)
-				out.Evicted = append(out.Evicted, evicted...)
-			}
-			if _, err := d.Cluster.Place(dec.Pod, nodeID, now); err != nil {
+			evicted, err := Deploy(d.Cluster, dec, now)
+			out.Evicted = append(out.Evicted, evicted...)
+			if err != nil {
 				// Already running (duplicate decision): drop silently.
 				continue
 			}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+func smallWorkload(t *testing.T, nodes int) *trace.Workload {
+	t.Helper()
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = nodes
+	return trace.MustGenerate(cfg)
+}
+
+func TestDeployerConflictResolution(t *testing.T) {
+	w := smallWorkload(t, 4)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	d := &Deployer{Cluster: c}
+	p1, p2, p3 := w.Pods[0], w.Pods[1], w.Pods[2]
+	out := d.Apply([]Decision{
+		{Pod: p1, NodeID: 0, Score: 0.5},
+		{Pod: p2, NodeID: 0, Score: 0.9}, // conflict winner
+		{Pod: p3, NodeID: 1, Score: 0.1},
+	}, 100)
+	if len(out.Placed) != 2 {
+		t.Fatalf("placed %d, want 2", len(out.Placed))
+	}
+	if len(out.Requeued) != 1 || out.Requeued[0].ID != p1.ID {
+		t.Fatalf("requeued = %+v, want p1", out.Requeued)
+	}
+	if c.PodState(p2.ID) == nil || c.PodState(p2.ID).NodeID != 0 {
+		t.Error("winner not placed on node 0")
+	}
+	if c.PodState(p1.ID) != nil {
+		t.Error("loser was placed")
+	}
+}
+
+func TestDeployerPreemption(t *testing.T) {
+	w := smallWorkload(t, 2)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	d := &Deployer{Cluster: c}
+	var be []*trace.Pod
+	var lsr *trace.Pod
+	for _, p := range w.Pods {
+		if p.SLO == trace.SLOBE && len(be) < 10 {
+			be = append(be, p)
+		}
+		if p.SLO == trace.SLOLSR && lsr == nil {
+			lsr = p
+		}
+	}
+	for _, p := range be {
+		if _, err := c.Place(p, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := d.Apply([]Decision{{Pod: lsr, NodeID: 0, NeedPreempt: true, Score: 1}}, 50)
+	if len(out.Placed) != 1 {
+		t.Fatalf("LSR not placed")
+	}
+	if len(out.Evicted) == 0 {
+		t.Fatal("nothing evicted")
+	}
+	for _, ev := range out.Evicted {
+		if ev.Pod.SLO != trace.SLOBE || !ev.Preempted {
+			t.Error("evicted pod not a preempted BE pod")
+		}
+	}
+}
+
+func TestDeployerIgnoresUnplaced(t *testing.T) {
+	w := smallWorkload(t, 2)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	d := &Deployer{Cluster: c}
+	out := d.Apply([]Decision{{Pod: w.Pods[0], NodeID: -1, Reason: ReasonMem}}, 0)
+	if len(out.Placed) != 0 || len(out.Requeued) != 0 {
+		t.Error("unplaced decision should be a no-op")
+	}
+}
+
+func TestDeployerRejectsInvalidNode(t *testing.T) {
+	// Failure injection: a buggy scheduler proposing a nonexistent host
+	// must not crash the testbed; the pod is re-dispatched.
+	w := smallWorkload(t, 2)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	d := &Deployer{Cluster: c}
+	for _, apply := range []func([]Decision, int64) Outcome{d.ApplyAll, d.Apply} {
+		out := apply([]Decision{{Pod: w.Pods[0], NodeID: 99, Score: 1}}, 0)
+		if len(out.Placed) != 0 {
+			t.Fatal("invalid node deployed")
+		}
+		if len(out.Requeued) != 1 || out.Requeued[0].ID != w.Pods[0].ID {
+			t.Fatalf("pod not requeued: %+v", out)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package pipeline
+
+import (
+	"sort"
+	"sync"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// headroomBins is the bucket-grid resolution per dimension. binEdges are
+// the lower bounds of each bin, in normalized resource units (node
+// capacities are ~1.0): bin j covers [binEdges[j], binEdges[j+1]), the
+// last bin is unbounded above. The spacing is logarithmic because request
+// sizes are: most pods ask for a few percent of a host, so fine bins near
+// zero separate "almost full" hosts — the ones worth pruning — while one
+// coarse bin suffices for near-empty hosts.
+const headroomBins = 8
+
+var binEdges = [headroomBins]float64{0, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64}
+
+// binOf maps a headroom value to its bin. Negative headroom (an
+// over-committed dimension) lands in bin 0.
+func binOf(h float64) int {
+	b := 0
+	for b+1 < headroomBins && h >= binEdges[b+1] {
+		b++
+	}
+	return b
+}
+
+// prunableBin returns the first bin that may contain a node with headroom
+// >= need: every node in a lower bin has headroom < binEdges[bin] <= need
+// and can be skipped wholesale. need <= 0 prunes nothing.
+func prunableBin(need float64) int {
+	if need <= 0 {
+		return 0
+	}
+	return binOf(need)
+}
+
+// bucketLoc tracks where a node currently sits inside a group.
+type bucketLoc struct {
+	cb, mb uint8
+	pos    int // index within the bucket slice
+}
+
+// group indexes one candidate universe (an affinity group, or the whole
+// cluster): the schedulable members in ascending ID order, plus the same
+// members bucketed on the 2-D static-headroom grid.
+type group struct {
+	ordered []int
+	buckets [headroomBins][headroomBins][]int
+	loc     map[int]bucketLoc
+}
+
+func newGroup() *group { return &group{loc: make(map[int]bucketLoc)} }
+
+// reconcile brings one node's membership and bucket up to date.
+func (g *group) reconcile(id int, in bool, h trace.Resources) {
+	l, present := g.loc[id]
+	if !in {
+		if present {
+			g.bucketRemove(id, l)
+			g.orderedRemove(id)
+		}
+		return
+	}
+	cb, mb := uint8(binOf(h.CPU)), uint8(binOf(h.Mem))
+	if present {
+		if l.cb == cb && l.mb == mb {
+			return
+		}
+		g.bucketRemove(id, l)
+	} else {
+		g.orderedInsert(id)
+	}
+	g.bucketAdd(id, cb, mb)
+}
+
+func (g *group) bucketAdd(id int, cb, mb uint8) {
+	b := g.buckets[cb][mb]
+	g.loc[id] = bucketLoc{cb: cb, mb: mb, pos: len(b)}
+	g.buckets[cb][mb] = append(b, id)
+}
+
+func (g *group) bucketRemove(id int, l bucketLoc) {
+	b := g.buckets[l.cb][l.mb]
+	last := len(b) - 1
+	if l.pos != last {
+		moved := b[last]
+		b[l.pos] = moved
+		ml := g.loc[moved]
+		ml.pos = l.pos
+		g.loc[moved] = ml
+	}
+	g.buckets[l.cb][l.mb] = b[:last]
+	delete(g.loc, id)
+}
+
+func (g *group) orderedInsert(id int) {
+	i := sort.SearchInts(g.ordered, id)
+	g.ordered = append(g.ordered, 0)
+	copy(g.ordered[i+1:], g.ordered[i:])
+	g.ordered[i] = id
+}
+
+func (g *group) orderedRemove(id int) {
+	i := sort.SearchInts(g.ordered, id)
+	if i < len(g.ordered) && g.ordered[i] == id {
+		g.ordered = append(g.ordered[:i], g.ordered[i+1:]...)
+	}
+}
+
+// Index is the indexed candidate store behind the Filter stage: for every
+// affinity group (and the whole cluster), the schedulable member nodes in
+// ascending ID order plus a 2-D bucket grid over static request headroom
+// (capacity minus running request sum). It registers itself as a cluster
+// observer and reconciles incrementally on every deploy, eviction,
+// lifecycle change, and sampling-driven removal — candidate filtering
+// never rescans the cluster.
+//
+// Thread-safety: mutation (observer callbacks, RestrictTo) is serialized
+// by mu. Reads (Candidates, Scan) intentionally take no lock — in the
+// sim they are single-threaded, and in the engine every cluster mutation
+// happens under a store shard write lock while every scheduling pass
+// holds all shard read locks, so readers and index mutations are already
+// mutually exclusive (the RWMutexes provide the happens-before edges).
+type Index struct {
+	c  *cluster.Cluster
+	mu sync.Mutex
+
+	member  []bool // RestrictTo universe; index == node ID
+	all     *group
+	groups  map[int]*group
+	pruning bool
+
+	minCap, maxCap trace.Resources
+}
+
+// NewIndex builds the store over the cluster's current state and hooks it
+// into the cluster's observer list so it stays current.
+func NewIndex(c *cluster.Cluster) *Index {
+	ix := &Index{
+		c:       c,
+		member:  make([]bool, len(c.Nodes())),
+		all:     newGroup(),
+		groups:  make(map[int]*group),
+		pruning: true,
+	}
+	for i := range ix.member {
+		ix.member[i] = true
+	}
+	for _, n := range c.Nodes() {
+		capc := n.Capacity()
+		if ix.maxCap.CPU == 0 && ix.maxCap.Mem == 0 {
+			ix.minCap, ix.maxCap = capc, capc
+		}
+		if capc.CPU < ix.minCap.CPU {
+			ix.minCap.CPU = capc.CPU
+		}
+		if capc.Mem < ix.minCap.Mem {
+			ix.minCap.Mem = capc.Mem
+		}
+		if capc.CPU > ix.maxCap.CPU {
+			ix.maxCap.CPU = capc.CPU
+		}
+		if capc.Mem > ix.maxCap.Mem {
+			ix.maxCap.Mem = capc.Mem
+		}
+		if _, ok := ix.groups[n.Node.Group]; !ok {
+			ix.groups[n.Node.Group] = newGroup()
+		}
+	}
+	ix.rebuild()
+	c.AddObserver(ix.Reconcile)
+	return ix
+}
+
+// CapRange returns the smallest and largest node capacity per dimension —
+// the inputs conservative headroom bounds need on heterogeneous clusters.
+func (ix *Index) CapRange() (min, max trace.Resources) { return ix.minCap, ix.maxCap }
+
+// SetPruning toggles headroom-bucket pruning. Equivalence tests and the
+// BenchmarkPipelineVsScan baseline disable it to force full scans.
+func (ix *Index) SetPruning(on bool) {
+	ix.mu.Lock()
+	ix.pruning = on
+	ix.mu.Unlock()
+}
+
+// headroom is the static per-dimension request headroom the buckets key
+// on. In-batch reservations are deliberately excluded: they reset every
+// batch, and bounds are valid without them (reservations only shrink
+// headroom further).
+func headroom(n *cluster.NodeState) trace.Resources {
+	return n.Capacity().Sub(n.ReqSum())
+}
+
+// Reconcile brings one node up to date after any state change. It is
+// idempotent and cheap (O(1) amortized), so the cluster calls it on every
+// placement, removal, and lifecycle transition.
+func (ix *Index) Reconcile(id int) {
+	if id < 0 || id >= len(ix.member) {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n := ix.c.Node(id)
+	in := ix.member[id] && n.Schedulable()
+	h := headroom(n)
+	ix.all.reconcile(id, in, h)
+	ix.groups[n.Node.Group].reconcile(id, in, h)
+}
+
+// rebuild reconstructs every group from the cluster (initial build and
+// RestrictTo). Caller holds mu (or is single-threaded construction).
+func (ix *Index) rebuild() {
+	ix.all = newGroup()
+	for gid := range ix.groups {
+		ix.groups[gid] = newGroup()
+	}
+	for _, n := range ix.c.Nodes() {
+		id := n.Node.ID
+		in := ix.member[id] && n.Schedulable()
+		h := headroom(n)
+		ix.all.reconcile(id, in, h)
+		ix.groups[n.Node.Group].reconcile(id, in, h)
+	}
+}
+
+// RestrictTo limits the candidate universe to the given node IDs (unknown
+// IDs are ignored). Affinity groups compose with the partition — each
+// group's candidates become the intersection of the group and the
+// partition; a pod whose affinity group has no nodes in the partition
+// simply finds no candidates and is retried elsewhere.
+func (ix *Index) RestrictTo(ids []int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for i := range ix.member {
+		ix.member[i] = false
+	}
+	for _, id := range ids {
+		if id >= 0 && id < len(ix.member) {
+			ix.member[id] = true
+		}
+	}
+	ix.rebuild()
+}
+
+// groupFor resolves the candidate universe for a pod's affinity.
+func (ix *Index) groupFor(p *trace.Pod) *group {
+	if aff := p.App().Affinity; aff >= 0 {
+		g := ix.groups[aff]
+		if g == nil {
+			return newGroup()
+		}
+		return g
+	}
+	return ix.all
+}
+
+// Candidates returns the node IDs satisfying the pod's affinity, excluding
+// Draining/Down hosts and nodes outside the RestrictTo partition, in
+// ascending ID order without allocating. The slice is live; callers must
+// not modify or retain it across cluster mutations.
+func (ix *Index) Candidates(p *trace.Pod) []int { return ix.groupFor(p).ordered }
+
+// Universe returns the full (affinity-free) candidate list: the
+// schedulable members of the RestrictTo partition in ascending ID order.
+// The slice is live; callers must not modify it.
+func (ix *Index) Universe() []int { return ix.all.ordered }
+
+// Scan iterates the pod's candidates through the bucket grid, skipping
+// buckets whose static headroom provably cannot satisfy need, and calls
+// visit for each surviving node. It returns how many nodes were pruned,
+// split per dimension: a pruned node counts toward a dimension when its
+// bucket's bound proves that dimension insufficient (a node pruned on CPU
+// alone may also have failed memory — bucket-level pruning cannot know,
+// so per-dimension pruned counts are conservative per dimension).
+// Iteration order is bucket-major and deterministic; callers must not
+// rely on ascending ID order and should reduce with an explicit
+// lowest-ID tie-break.
+func (ix *Index) Scan(p *trace.Pod, need trace.Resources, visit func(id int)) (prunedCPU, prunedMem, pruned int) {
+	g := ix.groupFor(p)
+	kc, km := prunableBin(need.CPU), prunableBin(need.Mem)
+	if !ix.pruning {
+		kc, km = 0, 0
+	}
+	for cb := 0; cb < headroomBins; cb++ {
+		for mb := 0; mb < headroomBins; mb++ {
+			b := g.buckets[cb][mb]
+			if len(b) == 0 {
+				continue
+			}
+			if cb < kc || mb < km {
+				if cb < kc {
+					prunedCPU += len(b)
+				}
+				if mb < km {
+					prunedMem += len(b)
+				}
+				pruned += len(b)
+				continue
+			}
+			for _, id := range b {
+				visit(id)
+			}
+		}
+	}
+	return prunedCPU, prunedMem, pruned
+}

@@ -1,0 +1,47 @@
+package pipeline
+
+import "unisched/internal/trace"
+
+// Ledger is the in-batch reservation stage: a scheduler deciding a batch
+// of pods must account for its own earlier decisions before they deploy —
+// otherwise every pod in the batch piles onto the same "best" host. The
+// ledger records both the reserved request mass per node (admission input)
+// and the reserved pods themselves (Optum's Eq. 7-8 pairing treats them
+// like running pods). Medea shares one ledger across its greedy and ILP
+// tiers by construction: both tiers reserve through the same Pipeline.
+type Ledger struct {
+	resv map[int]trace.Resources
+	pods map[int][]*trace.Pod
+}
+
+// NewLedger returns an empty reservation ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		resv: make(map[int]trace.Resources),
+		pods: make(map[int][]*trace.Pod),
+	}
+}
+
+// Begin clears the ledger; schedulers call it at the top of every
+// Schedule invocation.
+func (l *Ledger) Begin() {
+	for k := range l.resv {
+		delete(l.resv, k)
+	}
+	for k := range l.pods {
+		delete(l.pods, k)
+	}
+}
+
+// Add records that this batch has decided to place p on node id.
+func (l *Ledger) Add(id int, p *trace.Pod) {
+	l.resv[id] = l.resv[id].Add(p.Request)
+	l.pods[id] = append(l.pods[id], p)
+}
+
+// Reserved returns the requests this batch has already promised to node id.
+func (l *Ledger) Reserved(id int) trace.Resources { return l.resv[id] }
+
+// Pods returns the pods this batch has promised to node id. The slice is
+// shared; callers must not modify it.
+func (l *Ledger) Pods(id int) []*trace.Pod { return l.pods[id] }

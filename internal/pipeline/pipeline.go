@@ -1,0 +1,392 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// parallelScanMin is the candidate-count threshold below which a parallel
+// scan is not worth the goroutine overhead.
+const parallelScanMin = 16
+
+// Pipeline binds the staged plugin machinery to one cluster view: the
+// indexed candidate store, the in-batch reservation ledger, and the
+// per-stage stats. Every scheduler owns one Pipeline (via sched.Base) and
+// drives each pod through Select with its declarative Spec.
+type Pipeline struct {
+	c     *cluster.Cluster
+	idx   *Index
+	led   *Ledger
+	stats *Stats
+}
+
+// New builds a pipeline over the cluster.
+func New(c *cluster.Cluster) *Pipeline {
+	return &Pipeline{c: c, idx: NewIndex(c), led: NewLedger(), stats: &Stats{}}
+}
+
+// Cluster returns the underlying cluster view.
+func (pl *Pipeline) Cluster() *cluster.Cluster { return pl.c }
+
+// Index returns the indexed candidate store.
+func (pl *Pipeline) Index() *Index { return pl.idx }
+
+// Ledger returns the in-batch reservation ledger.
+func (pl *Pipeline) Ledger() *Ledger { return pl.led }
+
+// Stats returns the live per-stage counters.
+func (pl *Pipeline) Stats() *Stats { return pl.stats }
+
+// BeginBatch clears the reservation ledger; schedulers call it at the top
+// of every Schedule invocation.
+func (pl *Pipeline) BeginBatch() { pl.led.Begin() }
+
+// Reserve records an externally-made placement decision (Medea's ILP) in
+// the ledger so subsequent Selects account for it.
+func (pl *Pipeline) Reserve(id int, p *trace.Pod) { pl.led.Add(id, p) }
+
+// Candidates returns the pod's affinity-and-lifecycle-filtered candidate
+// universe from the index. The slice is live; callers must not modify it.
+func (pl *Pipeline) Candidates(p *trace.Pod) []int { return pl.idx.Candidates(p) }
+
+// RestrictTo limits the candidate universe to a partition of the cluster;
+// affinity groups compose (partition ∩ group).
+func (pl *Pipeline) RestrictTo(ids []int) { pl.idx.RestrictTo(ids) }
+
+// Select drives one pod through the staged pipeline: PreFilter, candidate
+// lookup, optional sampling, the filter/score scan (bucket-pruned when the
+// spec's filters expose headroom bounds and no sampler is set), and
+// reservation of the winner. When nothing admits the pod it classifies
+// the blocking resource, and for LSR pods with Preempt set it proposes BE
+// preemption on the fullest candidate (§3.1.3).
+//
+// Ties break to the lowest node ID, which makes the bucket-order scan
+// equivalent to a first-wins scan over the ascending-ID candidate list.
+func (pl *Pipeline) Select(p *trace.Pod, sp *Spec) Decision {
+	st := pl.stats
+	st.decisions.Add(1)
+
+	if len(sp.Pre) > 0 {
+		t0 := time.Now()
+		for _, pre := range sp.Pre {
+			if reason, ok := pre.PreFilter(p); !ok {
+				st.prefilterRejects.Add(1)
+				st.observe(StagePreFilter, time.Since(t0))
+				return Decision{Pod: p, NodeID: -1, Reason: reason}
+			}
+		}
+		st.observe(StagePreFilter, time.Since(t0))
+	}
+
+	t1 := time.Now()
+	cands := pl.idx.Candidates(p)
+	st.candidateNodes.Add(int64(len(cands)))
+	st.observe(StageCandidates, time.Since(t1))
+	if len(cands) == 0 {
+		return Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
+	}
+
+	var d Decision
+	var cpuBlock, memBlock int
+	if sp.Sampler != nil {
+		t2 := time.Now()
+		scanSet := sp.Sampler.Sample(p, cands)
+		st.sampledNodes.Add(int64(len(scanSet)))
+		st.observe(StageSample, time.Since(t2))
+
+		t3 := time.Now()
+		d, cpuBlock, memBlock = pl.scanList(p, scanSet, sp)
+		if d.NodeID < 0 && sp.FullScanFallback && len(scanSet) < len(cands) {
+			// Second chance: the sample missed every admissible host.
+			d, cpuBlock, memBlock = pl.scanList(p, cands, sp)
+		}
+		st.observe(StageScan, time.Since(t3))
+	} else {
+		st.sampledNodes.Add(int64(len(cands)))
+		t3 := time.Now()
+		if need, ok := sp.minHeadroom(p, pl.idx.minCap, pl.idx.maxCap); ok {
+			d, cpuBlock, memBlock = pl.scanIndexed(p, need, sp)
+		} else {
+			d, cpuBlock, memBlock = pl.scanList(p, cands, sp)
+		}
+		st.observe(StageScan, time.Since(t3))
+	}
+
+	if d.NodeID >= 0 {
+		pl.led.Add(d.NodeID, p)
+		st.placed.Add(1)
+		return d
+	}
+	d.Reason = Classify(cpuBlock, memBlock)
+	if sp.Preempt && p.SLO == trace.SLOLSR {
+		t4 := time.Now()
+		id, ok := pl.PreemptTarget(p, cands)
+		st.observe(StagePreempt, time.Since(t4))
+		if ok {
+			pl.led.Add(id, p)
+			st.placed.Add(1)
+			st.preempts.Add(1)
+			return Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: ReasonNone}
+		}
+	}
+	return d
+}
+
+// SelectFrom runs the scan over an explicit candidate list instead of the
+// index, preserving the caller's iteration order for tie-breaking
+// (first-wins on equal scores) — the compatibility path behind
+// sched.Base.Greedy. No sampling or bucket pruning applies.
+func (pl *Pipeline) SelectFrom(p *trace.Pod, cands []int, sp *Spec) Decision {
+	st := pl.stats
+	st.decisions.Add(1)
+	st.candidateNodes.Add(int64(len(cands)))
+	best := Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
+	if len(cands) == 0 {
+		return best
+	}
+	st.sampledNodes.Add(int64(len(cands)))
+
+	t0 := time.Now()
+	found := false
+	cpuBlock, memBlock := 0, 0
+	scored := 0
+	for _, id := range cands {
+		n := pl.c.Node(id)
+		s, cpuOK, memOK := sp.evaluate(n, p, pl.led.Reserved(id))
+		if cpuOK && memOK {
+			scored++
+			if !found || s > best.Score {
+				best.NodeID = id
+				best.Score = s
+				best.Reason = ReasonNone
+				found = true
+			}
+			continue
+		}
+		if !cpuOK {
+			cpuBlock++
+		}
+		if !memOK {
+			memBlock++
+		}
+	}
+	st.visitedNodes.Add(int64(len(cands)))
+	st.scoredNodes.Add(int64(scored))
+	st.observe(StageScan, time.Since(t0))
+
+	if found {
+		pl.led.Add(best.NodeID, p)
+		st.placed.Add(1)
+		return best
+	}
+	best.Reason = Classify(cpuBlock, memBlock)
+	if sp.Preempt && p.SLO == trace.SLOLSR {
+		t1 := time.Now()
+		id, ok := pl.PreemptTarget(p, cands)
+		st.observe(StagePreempt, time.Since(t1))
+		if ok {
+			pl.led.Add(id, p)
+			st.placed.Add(1)
+			st.preempts.Add(1)
+			return Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: ReasonNone}
+		}
+	}
+	return best
+}
+
+// Explain re-runs the spec's filters over the pod's candidates and
+// classifies the blocking dimension without selecting or reserving — for
+// schedulers (Medea's ILP tier) that decide placement elsewhere but share
+// the reason taxonomy.
+func (pl *Pipeline) Explain(p *trace.Pod, sp *Spec) Reason {
+	cpuBlock, memBlock := 0, 0
+	count := func(id int) {
+		n := pl.c.Node(id)
+		_, cpuOK, memOK := sp.evaluate(n, p, pl.led.Reserved(id))
+		if !cpuOK {
+			cpuBlock++
+		}
+		if !memOK {
+			memBlock++
+		}
+	}
+	if need, ok := sp.minHeadroom(p, pl.idx.minCap, pl.idx.maxCap); ok {
+		pc, pm, _ := pl.idx.Scan(p, need, count)
+		cpuBlock += pc
+		memBlock += pm
+	} else {
+		for _, id := range pl.idx.Candidates(p) {
+			count(id)
+		}
+	}
+	return Classify(cpuBlock, memBlock)
+}
+
+// PreemptTarget picks the candidate with the most evictable BE request
+// mass that would fit the LSR pod after eviction — the LSR admission
+// fallback (§3.1.3).
+func (pl *Pipeline) PreemptTarget(p *trace.Pod, cands []int) (int, bool) {
+	bestID, bestBE := -1, 0.0
+	for _, id := range cands {
+		n := pl.c.Node(id)
+		var beReq trace.Resources
+		for _, ps := range n.Pods() {
+			if ps.Pod.SLO == trace.SLOBE {
+				beReq = beReq.Add(ps.Pod.Request)
+			}
+		}
+		free := n.Capacity().Sub(n.ReqSum()).Sub(pl.led.Reserved(id)).Add(beReq)
+		if p.Request.FitsIn(free) && beReq.CPU > bestBE {
+			bestBE = beReq.CPU
+			bestID = id
+		}
+	}
+	return bestID, bestID >= 0
+}
+
+// scanIndexed runs the filter/score scan through the headroom bucket grid,
+// skipping buckets the spec's bounds prove infeasible. Pruned nodes join
+// the per-dimension block counts (their bucket bound proves the failing
+// dimension), so Reason classification stays meaningful under pruning.
+func (pl *Pipeline) scanIndexed(p *trace.Pod, need trace.Resources, sp *Spec) (Decision, int, int) {
+	st := pl.stats
+	best := Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
+	found := false
+	cpuBlock, memBlock := 0, 0
+	visited, scored := 0, 0
+	pc, pm, pruned := pl.idx.Scan(p, need, func(id int) {
+		visited++
+		n := pl.c.Node(id)
+		s, cpuOK, memOK := sp.evaluate(n, p, pl.led.Reserved(id))
+		if cpuOK && memOK {
+			scored++
+			if !found || s > best.Score || (s == best.Score && id < best.NodeID) {
+				best.NodeID = id
+				best.Score = s
+				best.Reason = ReasonNone
+				found = true
+			}
+			return
+		}
+		if !cpuOK {
+			cpuBlock++
+		}
+		if !memOK {
+			memBlock++
+		}
+	})
+	st.visitedNodes.Add(int64(visited))
+	st.scoredNodes.Add(int64(scored))
+	st.prunedNodes.Add(int64(pruned))
+	st.prunedCPU.Add(int64(pc))
+	st.prunedMem.Add(int64(pm))
+	return best, cpuBlock + pc, memBlock + pm
+}
+
+// scanList evaluates an explicit candidate list (a PPO sample, or a
+// universe with no usable headroom bounds) with the lowest-ID tie-break,
+// in parallel when the spec asks for it and the list is large enough.
+func (pl *Pipeline) scanList(p *trace.Pod, ids []int, sp *Spec) (Decision, int, int) {
+	if sp.ScanWorkers > 1 && len(ids) >= parallelScanMin {
+		return pl.scanParallel(p, ids, sp)
+	}
+	st := pl.stats
+	best := Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
+	found := false
+	cpuBlock, memBlock := 0, 0
+	scored := 0
+	for _, id := range ids {
+		n := pl.c.Node(id)
+		s, cpuOK, memOK := sp.evaluate(n, p, pl.led.Reserved(id))
+		if cpuOK && memOK {
+			scored++
+			if !found || s > best.Score || (s == best.Score && id < best.NodeID) {
+				best.NodeID = id
+				best.Score = s
+				best.Reason = ReasonNone
+				found = true
+			}
+			continue
+		}
+		if !cpuOK {
+			cpuBlock++
+		}
+		if !memOK {
+			memBlock++
+		}
+	}
+	st.visitedNodes.Add(int64(len(ids)))
+	st.scoredNodes.Add(int64(scored))
+	return best, cpuBlock, memBlock
+}
+
+// scanParallel fans the per-node evaluation across ScanWorkers goroutines
+// in contiguous chunks, then reduces serially in list order — bitwise
+// identical results to the serial scan, whatever the interleaving.
+func (pl *Pipeline) scanParallel(p *trace.Pod, ids []int, sp *Spec) (Decision, int, int) {
+	type result struct {
+		id    int
+		ok    bool
+		cpuNo bool
+		memNo bool
+		score float64
+	}
+	results := make([]result, len(ids))
+	eval := func(k int) {
+		id := ids[k]
+		n := pl.c.Node(id)
+		score, cpuOK, memOK := sp.evaluate(n, p, pl.led.Reserved(id))
+		results[k] = result{id: id, ok: cpuOK && memOK, cpuNo: !cpuOK, memNo: !memOK, score: score}
+	}
+	var wg sync.WaitGroup
+	workers := sp.ScanWorkers
+	chunk := (len(ids) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(ids) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				eval(k)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	st := pl.stats
+	best := Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
+	found := false
+	cpuBlock, memBlock := 0, 0
+	scored := 0
+	for _, r := range results {
+		if r.ok {
+			scored++
+			if !found || r.score > best.Score || (r.score == best.Score && r.id < best.NodeID) {
+				best.NodeID = r.id
+				best.Score = r.score
+				best.Reason = ReasonNone
+				found = true
+			}
+			continue
+		}
+		if r.cpuNo {
+			cpuBlock++
+		}
+		if r.memNo {
+			memBlock++
+		}
+	}
+	st.visitedNodes.Add(int64(len(ids)))
+	st.scoredNodes.Add(int64(scored))
+	return best, cpuBlock, memBlock
+}

@@ -1,0 +1,384 @@
+package pipeline
+
+import (
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// reqFit is the test stand-in for a conservative request-based filter:
+// requests plus reservations must fit capacity in both dimensions. It
+// exposes the exact headroom bound (the pod's request), so the indexed
+// scan may prune buckets.
+type reqFit struct{}
+
+func (reqFit) FilterName() string { return "req-fit" }
+
+func (reqFit) Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+	load := n.ReqSum().Add(resv).Add(p.Request)
+	capc := n.Capacity()
+	return load.CPU <= capc.CPU, load.Mem <= capc.Mem
+}
+
+func (reqFit) MinHeadroom(p *trace.Pod, _, _ trace.Resources) (trace.Resources, bool) {
+	return p.Request, true
+}
+
+// spreadScore prefers emptier hosts, so placements spread and headroom
+// buckets churn during a test run.
+type spreadScore struct{}
+
+func (spreadScore) ScoreName() string { return "spread" }
+
+func (spreadScore) Score(n *cluster.NodeState, _ *trace.Pod) float64 {
+	return -(n.ReqSum().CPU + n.ReqSum().Mem)
+}
+
+// constScore makes every admissible host tie, exposing the tie-break rule.
+type constScore struct{}
+
+func (constScore) ScoreName() string                                { return "const" }
+func (constScore) Score(_ *cluster.NodeState, _ *trace.Pod) float64 { return 1 }
+
+// rejectAll is a prefilter that rejects every pod.
+type rejectAll struct{}
+
+func (rejectAll) PreFilterName() string                 { return "reject-all" }
+func (rejectAll) PreFilter(_ *trace.Pod) (Reason, bool) { return ReasonOther, false }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		cpu, mem int
+		want     Reason
+	}{
+		{1, 1, ReasonCPUMem},
+		{1, 0, ReasonCPU},
+		{0, 1, ReasonMem},
+		{0, 0, ReasonOther},
+	}
+	for _, c := range cases {
+		if got := Classify(c.cpu, c.mem); got != c.want {
+			t.Errorf("Classify(%d,%d) = %v, want %v", c.cpu, c.mem, got, c.want)
+		}
+	}
+}
+
+func TestOvercommitBound(t *testing.T) {
+	// oc >= 1: headroom < request - (oc-1)*maxCap implies rejection on any
+	// node, because reqSum + req > oc*cap <=> cap - reqSum < req - (oc-1)*cap
+	// and (oc-1)*cap <= (oc-1)*maxCap.
+	almost := func(a, b float64) bool { d := a - b; return d < 1e-12 && d > -1e-12 }
+	if got := OvercommitBound(0.5, 1.0, 0.8, 1.2); got != 0.5 {
+		t.Errorf("oc=1 bound = %v, want request itself", got)
+	}
+	if got := OvercommitBound(0.5, 1.5, 0.8, 1.2); !almost(got, 0.5-0.5*1.2) {
+		t.Errorf("oc=1.5 bound = %v", got)
+	}
+	// oc < 1: the test is tighter than capacity, so the bound grows by
+	// (1-oc)*minCap.
+	if got := OvercommitBound(0.5, 0.8, 0.8, 1.2); !almost(got, 0.5+0.2*0.8) {
+		t.Errorf("oc=0.8 bound = %v", got)
+	}
+}
+
+func TestBinMapping(t *testing.T) {
+	if binOf(-0.5) != 0 || binOf(0) != 0 || binOf(0.005) != 0 {
+		t.Error("tiny/negative headroom must land in bin 0")
+	}
+	if binOf(0.01) != 1 || binOf(0.64) != 7 || binOf(99) != 7 {
+		t.Errorf("bin edges wrong: binOf(0.01)=%d binOf(0.64)=%d", binOf(0.01), binOf(0.64))
+	}
+	if prunableBin(0) != 0 || prunableBin(-1) != 0 {
+		t.Error("non-positive need must prune nothing")
+	}
+	// A node in any bin below prunableBin(need) has headroom < need.
+	for _, need := range []float64{0.005, 0.01, 0.05, 0.3, 2.0} {
+		k := prunableBin(need)
+		if k > 0 && binEdges[k] > need {
+			t.Errorf("prunableBin(%v)=%d but edge %v > need — would prune feasible nodes",
+				need, k, binEdges[k])
+		}
+	}
+}
+
+func TestIndexReconcileTracksLifecycle(t *testing.T) {
+	w := smallWorkload(t, 6)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	ix := NewIndex(c)
+	var free *trace.Pod
+	for _, p := range w.Pods {
+		if p.App().Affinity < 0 {
+			free = p
+			break
+		}
+	}
+	if free == nil {
+		t.Skip("no affinity-free pod")
+	}
+	if got := len(ix.Candidates(free)); got != 6 {
+		t.Fatalf("initial candidates = %d, want 6", got)
+	}
+
+	// Placements reshuffle headroom buckets via the observer — the bucketed
+	// membership must stay exactly the ordered membership.
+	for i, p := range w.Pods[:20] {
+		if _, err := c.Place(p, i%6, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkIndexConsistent(t, ix, free, 6)
+
+	// Lifecycle transitions drop and restore candidates.
+	c.FailNode(1, 0)
+	if got := len(ix.Candidates(free)); got != 5 {
+		t.Fatalf("after fail: %d candidates, want 5", got)
+	}
+	for _, id := range ix.Candidates(free) {
+		if id == 1 {
+			t.Fatal("failed node still a candidate")
+		}
+	}
+	c.RecoverNode(1)
+	if got := len(ix.Candidates(free)); got != 6 {
+		t.Fatalf("after recover: %d candidates, want 6", got)
+	}
+	c.DrainNode(2, 60)
+	for _, id := range ix.Candidates(free) {
+		if id == 2 {
+			t.Fatal("draining node still a candidate")
+		}
+	}
+	checkIndexConsistent(t, ix, free, 5)
+}
+
+// checkIndexConsistent verifies the bucket grid holds exactly the ordered
+// membership, each node in the bucket matching its current headroom.
+func checkIndexConsistent(t *testing.T, ix *Index, p *trace.Pod, want int) {
+	t.Helper()
+	cands := ix.Candidates(p)
+	if len(cands) != want {
+		t.Fatalf("candidates = %d, want %d", len(cands), want)
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i] <= cands[i-1] {
+			t.Fatal("candidates not in ascending ID order")
+		}
+	}
+	seen := make(map[int]bool)
+	ix.Scan(p, trace.Resources{}, func(id int) {
+		if seen[id] {
+			t.Fatalf("node %d appears twice in bucket scan", id)
+		}
+		seen[id] = true
+		h := headroom(ix.c.Node(id))
+		g := ix.groupFor(p)
+		l := g.loc[id]
+		if int(l.cb) != binOf(h.CPU) || int(l.mb) != binOf(h.Mem) {
+			t.Fatalf("node %d in bucket (%d,%d), headroom %v wants (%d,%d)",
+				id, l.cb, l.mb, h, binOf(h.CPU), binOf(h.Mem))
+		}
+	})
+	if len(seen) != len(cands) {
+		t.Fatalf("bucket scan visited %d nodes, ordered membership has %d", len(seen), len(cands))
+	}
+}
+
+func TestIndexRestrictToComposesWithAffinity(t *testing.T) {
+	w := smallWorkload(t, 8)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	ix := NewIndex(c)
+	ix.RestrictTo([]int{0, 2, 4, 6, 99})
+	if got := ix.Universe(); len(got) != 4 {
+		t.Fatalf("universe = %v, want the 4 valid partition members", got)
+	}
+	// An affinity-constrained pod sees partition ∩ group.
+	app := w.Apps[0]
+	app.Affinity = c.Node(1).Node.Group
+	var pod *trace.Pod
+	for _, p := range w.Pods {
+		if p.AppID == app.ID {
+			pod = p
+			break
+		}
+	}
+	if pod == nil {
+		t.Skip("no pod for app 0")
+	}
+	for _, id := range ix.Candidates(pod) {
+		if id%2 != 0 {
+			t.Fatalf("candidate %d outside the partition", id)
+		}
+		if c.Node(id).Node.Group != app.Affinity {
+			t.Fatalf("candidate %d outside the affinity group", id)
+		}
+	}
+	// Restoring the full universe brings every schedulable node back.
+	all := make([]int, 8)
+	for i := range all {
+		all[i] = i
+	}
+	ix.RestrictTo(all)
+	if got := len(ix.Universe()); got != 8 {
+		t.Fatalf("restored universe = %d, want 8", got)
+	}
+}
+
+// TestSelectPruningEquivalence is the tentpole acceptance check in unit
+// form: the indexed bucket-pruned scan must choose exactly the hosts a full
+// scan chooses, while provably visiting fewer nodes.
+func TestSelectPruningEquivalence(t *testing.T) {
+	run := func(pruning bool) ([]int, StatsSnapshot) {
+		w := smallWorkload(t, 10)
+		c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+		pl := New(c)
+		pl.Index().SetPruning(pruning)
+		sp := &Spec{
+			Filters: []FilterPlugin{reqFit{}},
+			Scores:  []WeightedScore{{Plugin: spreadScore{}, Weight: 1}},
+		}
+		limit := len(w.Pods)
+		if limit > 600 {
+			limit = 600
+		}
+		var nodes []int
+		for start := 0; start < limit; start += 16 {
+			end := start + 16
+			if end > limit {
+				end = limit
+			}
+			pl.BeginBatch()
+			for _, p := range w.Pods[start:end] {
+				d := pl.Select(p, sp)
+				nodes = append(nodes, d.NodeID)
+				if d.NodeID >= 0 {
+					if _, err := c.Place(p, d.NodeID, 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		return nodes, pl.Stats().Snapshot()
+	}
+
+	pruned, prunedStats := run(true)
+	full, fullStats := run(false)
+	if len(pruned) != len(full) {
+		t.Fatalf("decision counts differ: %d vs %d", len(pruned), len(full))
+	}
+	for i := range pruned {
+		if pruned[i] != full[i] {
+			t.Fatalf("decision %d differs: pruned scan chose %d, full scan %d",
+				i, pruned[i], full[i])
+		}
+	}
+	if fullStats.PrunedNodes != 0 {
+		t.Fatalf("full scan reported %d pruned nodes", fullStats.PrunedNodes)
+	}
+	if prunedStats.PrunedNodes == 0 {
+		t.Fatal("pruning never skipped a bucket — the equivalence test is vacuous")
+	}
+	if prunedStats.VisitedNodes >= fullStats.VisitedNodes {
+		t.Fatalf("pruned scan visited %d nodes, full scan %d — no work saved",
+			prunedStats.VisitedNodes, fullStats.VisitedNodes)
+	}
+}
+
+func TestSelectTieBreaksToLowestID(t *testing.T) {
+	// Every empty host ties under constScore; bucket-major iteration order
+	// must not leak: the winner is the lowest node ID, as in a first-wins
+	// ascending scan.
+	w := smallWorkload(t, 8)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	pl := New(c)
+	sp := &Spec{
+		Filters: []FilterPlugin{reqFit{}},
+		Scores:  []WeightedScore{{Plugin: constScore{}, Weight: 1}},
+	}
+	var free *trace.Pod
+	for _, p := range w.Pods {
+		if p.App().Affinity < 0 {
+			free = p
+			break
+		}
+	}
+	if free == nil {
+		t.Skip("no affinity-free pod")
+	}
+	pl.BeginBatch()
+	if d := pl.Select(free, sp); d.NodeID != 0 {
+		t.Fatalf("tie broke to node %d, want 0", d.NodeID)
+	}
+}
+
+func TestSelectPreFilterStage(t *testing.T) {
+	w := smallWorkload(t, 4)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	pl := New(c)
+	sp := &Spec{
+		Pre:     []PreFilterPlugin{rejectAll{}},
+		Filters: []FilterPlugin{reqFit{}},
+	}
+	pl.BeginBatch()
+	d := pl.Select(w.Pods[0], sp)
+	if d.NodeID != -1 || d.Reason != ReasonOther {
+		t.Fatalf("prefiltered pod got %+v", d)
+	}
+	sn := pl.Stats().Snapshot()
+	if sn.PrefilterRejects != 1 {
+		t.Errorf("prefilter rejects = %d, want 1", sn.PrefilterRejects)
+	}
+	if sn.VisitedNodes != 0 {
+		t.Errorf("prefiltered pod still visited %d nodes", sn.VisitedNodes)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	w := smallWorkload(t, 2)
+	led := NewLedger()
+	p1, p2 := w.Pods[0], w.Pods[1]
+	led.Add(0, p1)
+	led.Add(0, p2)
+	want := p1.Request.Add(p2.Request)
+	if got := led.Reserved(0); got != want {
+		t.Errorf("reserved = %v, want %v", got, want)
+	}
+	if got := len(led.Pods(0)); got != 2 {
+		t.Errorf("reserved pods = %d, want 2", got)
+	}
+	if got := led.Reserved(1); got != (trace.Resources{}) {
+		t.Errorf("untouched node reserved %v", got)
+	}
+	led.Begin()
+	if got := led.Reserved(0); got != (trace.Resources{}) {
+		t.Errorf("Begin did not clear: %v", got)
+	}
+}
+
+func TestStatsMergeAndFinalize(t *testing.T) {
+	var a, b Stats
+	a.decisions.Store(2)
+	a.visitedNodes.Store(10)
+	a.candidateNodes.Store(20)
+	a.prunedNodes.Store(4)
+	b.decisions.Store(2)
+	b.visitedNodes.Store(6)
+	b.candidateNodes.Store(12)
+
+	var sn StatsSnapshot
+	a.AddTo(&sn)
+	b.AddTo(&sn)
+	sn.Finalize()
+	if sn.Decisions != 4 || sn.VisitedNodes != 16 || sn.PrunedNodes != 4 {
+		t.Fatalf("merged counters wrong: %+v", sn)
+	}
+	if sn.NodesVisitedPerDecision != 4 {
+		t.Errorf("nodes visited per decision = %v, want 4", sn.NodesVisitedPerDecision)
+	}
+	if sn.CandidatesPerDecision != 8 {
+		t.Errorf("candidates per decision = %v, want 8", sn.CandidatesPerDecision)
+	}
+	if sn.NodesPrunedPerDecision != 1 {
+		t.Errorf("nodes pruned per decision = %v, want 1", sn.NodesPrunedPerDecision)
+	}
+}

@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one pipeline stage in the latency/visit counters.
+type Stage int
+
+// Pipeline stages, in execution order. StageScan fuses Filter and Score:
+// the scan interleaves them per node (scores run only on admitted nodes),
+// so their latencies are not separable without per-node clocking; their
+// visit counts are tracked separately (VisitedNodes vs ScoredNodes).
+const (
+	StagePreFilter Stage = iota
+	StageCandidates
+	StageSample
+	StageScan
+	StagePreempt
+	numStages
+)
+
+var stageNames = [numStages]string{"prefilter", "candidates", "sample", "scan", "preempt"}
+
+// String names the stage.
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "?"
+	}
+	return stageNames[s]
+}
+
+// Stats instruments one pipeline with lock-free per-stage counters. All
+// fields are atomics: the engine's scheduler workers update them
+// concurrently and the metrics registry snapshots them at any time.
+type Stats struct {
+	decisions        atomic.Int64
+	placed           atomic.Int64
+	preempts         atomic.Int64
+	prefilterRejects atomic.Int64
+
+	candidateNodes atomic.Int64 // universe sizes, summed over decisions
+	sampledNodes   atomic.Int64 // candidates surviving the Sample stage
+	prunedNodes    atomic.Int64 // skipped via headroom buckets
+	prunedCPU      atomic.Int64
+	prunedMem      atomic.Int64
+	visitedNodes   atomic.Int64 // per-node filter/eval executions
+	scoredNodes    atomic.Int64 // score executions (admitted nodes)
+
+	nanos [numStages]atomic.Int64
+}
+
+// observe adds d to one stage's latency accumulator.
+func (st *Stats) observe(s Stage, d time.Duration) {
+	st.nanos[s].Add(d.Nanoseconds())
+}
+
+// StatsSnapshot is a JSON-ready view of a Stats at one instant. Snapshots
+// from several pipelines (one per engine worker) merge additively via
+// Merge; call Finalize once after merging to fill the derived
+// per-decision rates.
+type StatsSnapshot struct {
+	Decisions        int64 `json:"decisions"`
+	Placed           int64 `json:"placed"`
+	Preemptions      int64 `json:"preemptions"`
+	PrefilterRejects int64 `json:"prefilter_rejects,omitempty"`
+
+	CandidateNodes int64 `json:"candidate_nodes"`
+	SampledNodes   int64 `json:"sampled_nodes"`
+	PrunedNodes    int64 `json:"pruned_nodes"`
+	PrunedCPU      int64 `json:"pruned_cpu,omitempty"`
+	PrunedMem      int64 `json:"pruned_mem,omitempty"`
+	VisitedNodes   int64 `json:"visited_nodes"`
+	ScoredNodes    int64 `json:"scored_nodes"`
+
+	// StageMicros is total microseconds spent per stage.
+	StageMicros map[string]float64 `json:"stage_micros"`
+
+	// Derived per-decision rates (Finalize).
+	NodesVisitedPerDecision float64 `json:"nodes_visited_per_decision"`
+	NodesPrunedPerDecision  float64 `json:"nodes_pruned_per_decision"`
+	CandidatesPerDecision   float64 `json:"candidates_per_decision"`
+	// StageMicrosPerDecision is mean microseconds per decision per stage.
+	StageMicrosPerDecision map[string]float64 `json:"stage_micros_per_decision"`
+}
+
+// Snapshot captures the counters and computes the derived rates.
+func (st *Stats) Snapshot() StatsSnapshot {
+	var sn StatsSnapshot
+	st.AddTo(&sn)
+	sn.Finalize()
+	return sn
+}
+
+// AddTo accumulates the raw counters into sn (merging across pipelines).
+func (st *Stats) AddTo(sn *StatsSnapshot) {
+	sn.Decisions += st.decisions.Load()
+	sn.Placed += st.placed.Load()
+	sn.Preemptions += st.preempts.Load()
+	sn.PrefilterRejects += st.prefilterRejects.Load()
+	sn.CandidateNodes += st.candidateNodes.Load()
+	sn.SampledNodes += st.sampledNodes.Load()
+	sn.PrunedNodes += st.prunedNodes.Load()
+	sn.PrunedCPU += st.prunedCPU.Load()
+	sn.PrunedMem += st.prunedMem.Load()
+	sn.VisitedNodes += st.visitedNodes.Load()
+	sn.ScoredNodes += st.scoredNodes.Load()
+	if sn.StageMicros == nil {
+		sn.StageMicros = make(map[string]float64, int(numStages))
+	}
+	for s := Stage(0); s < numStages; s++ {
+		sn.StageMicros[s.String()] += float64(st.nanos[s].Load()) / 1e3
+	}
+}
+
+// Finalize fills the derived per-decision rates from the raw counters.
+func (sn *StatsSnapshot) Finalize() {
+	if sn.Decisions == 0 {
+		return
+	}
+	d := float64(sn.Decisions)
+	sn.NodesVisitedPerDecision = float64(sn.VisitedNodes) / d
+	sn.NodesPrunedPerDecision = float64(sn.PrunedNodes) / d
+	sn.CandidatesPerDecision = float64(sn.CandidateNodes) / d
+	sn.StageMicrosPerDecision = make(map[string]float64, len(sn.StageMicros))
+	for k, v := range sn.StageMicros {
+		sn.StageMicrosPerDecision[k] = v / d
+	}
+}

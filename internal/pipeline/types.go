@@ -1,0 +1,268 @@
+// Package pipeline is the staged placement substrate every scheduler in
+// the repository runs on: PreFilter -> Filter -> Score -> Sample ->
+// Reserve, backed by an incrementally-maintained indexed candidate store
+// and instrumented with per-stage counters. The paper's Node Selector
+// (§4.2.2) and every §5.1 baseline are instances of the same shape —
+// filter candidates, score them, reserve, commit — so the shape lives
+// here once, the way production scheduling frameworks (kube-scheduler,
+// YuniKorn) factor it, and each scheduler reduces to a declarative plugin
+// set. Both drivers consume the same pipeline: internal/sim deploys
+// batches through Deployer, and internal/engine's optimistic per-node-
+// version commit path executes single decisions through Deploy.
+package pipeline
+
+import (
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// Reason classifies why a pod could not be scheduled this round — the
+// delay-source taxonomy of Fig. 9(b).
+type Reason int
+
+// Delay reasons. ReasonNone means the pod was placed.
+const (
+	ReasonNone   Reason = iota
+	ReasonCPUMem        // both CPU and memory insufficient on candidates
+	ReasonCPU           // CPU insufficient
+	ReasonMem           // memory insufficient
+	ReasonOther         // affinity or no candidates
+)
+
+var reasonNames = [...]string{"None", "CPU&Mem", "CPU", "Mem", "Other"}
+
+// String names the reason as in Fig. 9(b).
+func (r Reason) String() string {
+	if r < 0 || int(r) >= len(reasonNames) {
+		return "?"
+	}
+	return reasonNames[r]
+}
+
+// Classify maps per-dimension blocking counts over a candidate set to the
+// delay-source taxonomy: the single place the CPU/Mem/CPU&Mem/Other
+// bucketing lives.
+func Classify(cpuBlock, memBlock int) Reason {
+	switch {
+	case cpuBlock > 0 && memBlock > 0:
+		return ReasonCPUMem
+	case cpuBlock > 0:
+		return ReasonCPU
+	case memBlock > 0:
+		return ReasonMem
+	default:
+		return ReasonOther
+	}
+}
+
+// Decision is a scheduler's verdict for one pod.
+type Decision struct {
+	Pod *trace.Pod
+	// NodeID is the chosen host, or -1 when the pod stays pending.
+	NodeID int
+	// Score is the scheduler's score for the chosen host; the Deployment
+	// Module uses it to resolve conflicts between parallel schedulers.
+	Score float64
+	// NeedPreempt asks the deployer to evict BE pods on NodeID first
+	// (LSR admission).
+	NeedPreempt bool
+	// Reason explains an unplaced pod.
+	Reason Reason
+}
+
+// Scheduler places batches of pending pods. Implementations read cluster
+// state directly and must not mutate it — deployment is the drivers' job.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Schedule proposes placements for the pending pods at time now. It
+	// returns one decision per input pod, in order.
+	Schedule(pods []*trace.Pod, now int64) []Decision
+}
+
+// PreFilterPlugin rejects a pod before any node is considered — pod-level
+// admissibility (malformed requests, policy holds). Returning ok=false
+// leaves the pod pending with the given reason.
+type PreFilterPlugin interface {
+	// PreFilterName identifies the plugin in configuration dumps.
+	PreFilterName() string
+	// PreFilter reports whether the pod may be scheduled at all.
+	PreFilter(p *trace.Pod) (reason Reason, ok bool)
+}
+
+// FilterPlugin vetoes hosts for a pod. Filters see the batch reservations
+// so in-batch decisions stack correctly.
+type FilterPlugin interface {
+	// FilterName identifies the plugin in configuration dumps.
+	FilterName() string
+	// Filter reports per-dimension admission; both true admits.
+	Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (cpuOK, memOK bool)
+}
+
+// ScorePlugin ranks an admissible host for a pod; higher is better.
+// Scores from all plugins are summed with their weights.
+type ScorePlugin interface {
+	// ScoreName identifies the plugin.
+	ScoreName() string
+	// Score returns an arbitrary-scale value; use Weight to balance.
+	Score(n *cluster.NodeState, p *trace.Pod) float64
+}
+
+// WeightedScore pairs a plugin with its weight.
+type WeightedScore struct {
+	Plugin ScorePlugin
+	Weight float64
+}
+
+// EvalPlugin fuses Filter and Score into one per-node evaluation, for
+// schedulers whose admission and scoring share an expensive intermediate
+// (Optum's Eq. 7-8 usage prediction feeds both). A Spec uses either Eval
+// or Filters+Scores, never both.
+type EvalPlugin interface {
+	// EvalName identifies the plugin.
+	EvalName() string
+	// Evaluate returns the node's score and per-dimension admission. The
+	// score is ignored unless both dimensions admit.
+	Evaluate(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (score float64, cpuOK, memOK bool)
+}
+
+// SamplerPlugin thins the candidate set before the scan — the §4.3.4
+// PPO-style subset sampling that keeps per-decision cost flat as the
+// cluster grows. Returning the input slice unchanged disables thinning
+// for this decision.
+type SamplerPlugin interface {
+	// SamplerName identifies the plugin.
+	SamplerName() string
+	// Sample picks the subset of cands to scan for p. It must not modify
+	// cands.
+	Sample(p *trace.Pod, cands []int) []int
+}
+
+// HeadroomBounder is an optional interface on Filter/Eval plugins: it
+// returns, per dimension, a static-headroom threshold below which the
+// plugin is guaranteed to reject the node for this pod. Headroom is the
+// node's capacity minus its running request sum, *before* in-batch
+// reservations — reservations only reduce headroom further, so a bound
+// that fails at zero reservations fails a fortiori. The indexed candidate
+// store uses these bounds to skip whole headroom buckets; a dimension
+// with no usable bound reports a non-positive threshold. Bounds must be
+// conservative: pruning a node that the filter would have admitted
+// changes placements, which the fixed-seed equivalence tests forbid.
+// minCap and maxCap are the cluster's per-dimension capacity extremes
+// (Index.CapRange) — over-commitment bounds depend on node capacity, and
+// on heterogeneous clusters only the extremes yield a bound valid for
+// every node.
+type HeadroomBounder interface {
+	// MinHeadroom returns the per-dimension thresholds and whether any
+	// pruning is possible at all for this pod.
+	MinHeadroom(p *trace.Pod, minCap, maxCap trace.Resources) (trace.Resources, bool)
+}
+
+// OvercommitBound is the conservative static-headroom bound for a
+// request-based admission test of the form
+//
+//	reqSum + resv + request <= oc * capacity
+//
+// in one dimension. The test failing is implied by headroom (capacity -
+// reqSum) < request - (oc-1)*capacity; since per-node capacity is unknown
+// at bound time, the capacity extreme that minimizes the right-hand side
+// makes the bound valid for every node: maxCap when oc >= 1, minCap
+// otherwise.
+func OvercommitBound(request, oc, minCap, maxCap float64) float64 {
+	if oc >= 1 {
+		return request - (oc-1)*maxCap
+	}
+	return request + (1-oc)*minCap
+}
+
+// Spec declares one scheduler path as a plugin set. Schedulers build a
+// Spec (typically once per batch, so tunable fields read current values)
+// and hand each pod to Pipeline.Select.
+type Spec struct {
+	// Pre runs before any node is considered.
+	Pre []PreFilterPlugin
+	// Filters and Scores drive the per-node scan when Eval is nil.
+	Filters []FilterPlugin
+	Scores  []WeightedScore
+	// Eval replaces Filters+Scores with one fused evaluation.
+	Eval EvalPlugin
+	// Sampler, when non-nil, thins the candidate set before scanning.
+	// Sampling disables headroom-bucket pruning: the sample must be drawn
+	// from the full candidate list to preserve the sampler's RNG stream.
+	Sampler SamplerPlugin
+	// Preempt enables the LSR fallback: when nothing admits an LSR pod,
+	// propose BE preemption on the fullest candidate (§3.1.3).
+	Preempt bool
+	// FullScanFallback rescans the full candidate set when a sampled scan
+	// admits nothing (bounds worst-case waiting at high occupancy).
+	FullScanFallback bool
+	// ScanWorkers parallelizes the scan when > 1 and the candidate list
+	// is large. The reduction is deterministic regardless.
+	ScanWorkers int
+}
+
+// evaluate runs the spec's per-node evaluation: the fused Eval plugin, or
+// the Filter conjunction followed (only on admission) by the weighted
+// score sum.
+func (sp *Spec) evaluate(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (score float64, cpuOK, memOK bool) {
+	if sp.Eval != nil {
+		return sp.Eval.Evaluate(n, p, resv)
+	}
+	cpuOK, memOK = true, true
+	for _, fp := range sp.Filters {
+		c, m := fp.Filter(n, p, resv)
+		cpuOK = cpuOK && c
+		memOK = memOK && m
+		if !cpuOK && !memOK {
+			break
+		}
+	}
+	if !cpuOK || !memOK {
+		return 0, cpuOK, memOK
+	}
+	for _, ws := range sp.Scores {
+		score += ws.Weight * ws.Plugin.Score(n, p)
+	}
+	return score, true, true
+}
+
+// minHeadroom combines the HeadroomBounder bounds of the spec's plugins:
+// a node must pass every filter, so the per-dimension maximum over all
+// bounds is itself a valid bound. Returns ok=false when no plugin offers
+// a usable (positive in some dimension) bound.
+func (sp *Spec) minHeadroom(p *trace.Pod, minCap, maxCap trace.Resources) (trace.Resources, bool) {
+	var h trace.Resources
+	found := false
+	consider := func(v interface{}) {
+		hb, ok := v.(HeadroomBounder)
+		if !ok {
+			return
+		}
+		b, usable := hb.MinHeadroom(p, minCap, maxCap)
+		if !usable {
+			return
+		}
+		if !found {
+			h = b
+			found = true
+			return
+		}
+		if b.CPU > h.CPU {
+			h.CPU = b.CPU
+		}
+		if b.Mem > h.Mem {
+			h.Mem = b.Mem
+		}
+	}
+	if sp.Eval != nil {
+		consider(sp.Eval)
+	} else {
+		for _, f := range sp.Filters {
+			consider(f)
+		}
+	}
+	if !found || (h.CPU <= 0 && h.Mem <= 0) {
+		return trace.Resources{}, false
+	}
+	return h, true
+}

@@ -2,9 +2,170 @@ package sched
 
 import (
 	"unisched/internal/cluster"
+	"unisched/internal/pipeline"
 	"unisched/internal/predictor"
 	"unisched/internal/trace"
 )
+
+// --- Plugins implementing the production admission/scoring policies ---
+
+// GuaranteedFit is the conservative guaranteed-class admission (§3.2):
+// requests plus reservations must fit physical capacity in both
+// dimensions — no over-commitment.
+type GuaranteedFit struct{}
+
+// FilterName implements pipeline.FilterPlugin.
+func (GuaranteedFit) FilterName() string { return "GuaranteedFit" }
+
+// Filter implements pipeline.FilterPlugin.
+func (GuaranteedFit) Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+	req := n.ReqSum().Add(resv).Add(p.Request)
+	capc := n.Capacity()
+	return req.CPU <= capc.CPU, req.Mem <= capc.Mem
+}
+
+// MinHeadroom implements pipeline.HeadroomBounder: a node whose static
+// headroom is below the pod's request in either dimension cannot pass the
+// no-over-commit test.
+func (GuaranteedFit) MinHeadroom(p *trace.Pod, _, _ trace.Resources) (trace.Resources, bool) {
+	return p.Request, true
+}
+
+// ReqAlignment is the production multi-resource packing score: alignment
+// of the pod's request with the host's request load (§3.2).
+type ReqAlignment struct{}
+
+// ScoreName implements pipeline.ScorePlugin.
+func (ReqAlignment) ScoreName() string { return "ReqAlignment" }
+
+// Score implements pipeline.ScorePlugin.
+func (ReqAlignment) Score(n *cluster.NodeState, p *trace.Pod) float64 {
+	return alignment(n.ReqSum(), p)
+}
+
+// UsageAlignment scores by alignment with the host's last observed usage —
+// the aggressive BE packing signal.
+type UsageAlignment struct{}
+
+// ScoreName implements pipeline.ScorePlugin.
+func (UsageAlignment) ScoreName() string { return "UsageAlignment" }
+
+// Score implements pipeline.ScorePlugin.
+func (UsageAlignment) Score(n *cluster.NodeState, p *trace.Pod) float64 {
+	return alignment(n.LastUsage(), p)
+}
+
+// BEUsageFit is the §3.2 production BE admission policy: the guaranteed
+// classes' requests are a hard reservation ("hardly over-commits when
+// scheduling LS pods" — their unused request capacity is NOT given away),
+// and best-effort pods over-commit only the leftover, against their own
+// observed usage. This is exactly why BE pods wait 100+ seconds while
+// hosts sit at ~30 % utilization (Fig. 8, Fig. 9b) — the waste Optum
+// exists to reclaim.
+type BEUsageFit struct {
+	// Ceil caps a host's request over-commitment rate when admitting BE
+	// pods (<= 0 disables the cap).
+	Ceil float64
+	// NoGuaranteedReserve admits BE against total observed usage instead of
+	// reserving guaranteed requests — the Section-3 characterization
+	// variant.
+	NoGuaranteedReserve bool
+}
+
+// FilterName implements pipeline.FilterPlugin.
+func (BEUsageFit) FilterName() string { return "BEUsageFit" }
+
+// Filter implements pipeline.FilterPlugin.
+func (f BEUsageFit) Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+	base := n.GuaranteedReq().Add(n.BEPeakUsage())
+	if f.NoGuaranteedReserve {
+		base = n.PeakUsage()
+	}
+	load := base.Add(n.UnmeasuredReq()).Add(resv).Add(p.Request)
+	req := n.ReqSum().Add(resv).Add(p.Request)
+	full := n.Capacity()
+	cpuOK := load.CPU <= 0.9*full.CPU
+	if f.Ceil > 0 {
+		cpuOK = cpuOK && req.CPU <= f.Ceil*full.CPU
+	}
+	// Memory: conservative — requests must fit capacity, because an
+	// OOM kills every pod on the host (Fig. 5b: memory is almost
+	// never over-committed in production).
+	memOK := req.Mem <= full.Mem
+	return cpuOK, memOK
+}
+
+// MinHeadroom implements pipeline.HeadroomBounder. Memory admission is
+// request-based with no over-commit, so the memory request bounds it; CPU
+// is usage-based, so only the over-commit ceiling (when enabled) yields a
+// static bound.
+func (f BEUsageFit) MinHeadroom(p *trace.Pod, minCap, maxCap trace.Resources) (trace.Resources, bool) {
+	h := trace.Resources{Mem: p.Request.Mem}
+	if f.Ceil > 0 {
+		h.CPU = pipeline.OvercommitBound(p.Request.CPU, f.Ceil, minCap.CPU, maxCap.CPU)
+	}
+	return h, true
+}
+
+// PredictedFit admits a pod when a usage predictor's host estimate plus
+// the pod's request fits a capacity budget — the admission shared by the
+// predictor-driven baselines (§5.1).
+type PredictedFit struct {
+	Pr predictor.Predictor
+	// CapFactor scales capacity in the admission test (Resource Central
+	// uses 0.8).
+	CapFactor float64
+	// MaxOvercommit bounds the request over-commit ratio (<= 0 disables;
+	// Resource Central uses 1.2).
+	MaxOvercommit float64
+}
+
+// FilterName implements pipeline.FilterPlugin.
+func (PredictedFit) FilterName() string { return "PredictedFit" }
+
+// Filter implements pipeline.FilterPlugin.
+func (f PredictedFit) Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
+	capc := n.Capacity().Scale(f.CapFactor)
+	load := predictedLoad(f.Pr, n).Add(resv)
+	cpuOK := load.CPU+p.Request.CPU <= capc.CPU
+	memOK := load.Mem+p.Request.Mem <= capc.Mem
+	if f.MaxOvercommit > 0 {
+		req := n.ReqSum().Add(resv).Add(p.Request)
+		full := n.Capacity()
+		cpuOK = cpuOK && req.CPU <= f.MaxOvercommit*full.CPU
+		memOK = memOK && req.Mem <= f.MaxOvercommit*full.Mem
+	}
+	return cpuOK, memOK
+}
+
+// MinHeadroom implements pipeline.HeadroomBounder. The prediction-based
+// test has no static-headroom bound (predictions move with usage), but the
+// request over-commit cap, when enabled, does.
+func (f PredictedFit) MinHeadroom(p *trace.Pod, minCap, maxCap trace.Resources) (trace.Resources, bool) {
+	if f.MaxOvercommit <= 0 {
+		return trace.Resources{}, false
+	}
+	return trace.Resources{
+		CPU: pipeline.OvercommitBound(p.Request.CPU, f.MaxOvercommit, minCap.CPU, maxCap.CPU),
+		Mem: pipeline.OvercommitBound(p.Request.Mem, f.MaxOvercommit, minCap.Mem, maxCap.Mem),
+	}, true
+}
+
+// PredictedAlignment scores by alignment with the predictor's host load
+// estimate.
+type PredictedAlignment struct {
+	Pr predictor.Predictor
+}
+
+// ScoreName implements pipeline.ScorePlugin.
+func (PredictedAlignment) ScoreName() string { return "PredictedAlignment" }
+
+// Score implements pipeline.ScorePlugin.
+func (s PredictedAlignment) Score(n *cluster.NodeState, p *trace.Pod) float64 {
+	return alignment(predictedLoad(s.Pr, n), p)
+}
+
+// --- Baseline schedulers as plugin sets ---
 
 // AlibabaLike reproduces the production unified scheduler the paper
 // characterizes (§3.2): alignment-score host ranking with a conservative
@@ -36,69 +197,39 @@ func NewAlibabaLike(c *cluster.Cluster, seed int64) *AlibabaLike {
 // Name implements Scheduler.
 func (s *AlibabaLike) Name() string { return "Alibaba" }
 
-// Schedule implements Scheduler.
+// Schedule implements Scheduler. The specs are built per batch so tunable
+// fields (BEOvercommitCeil, NoGuaranteedReserve) read current values.
 func (s *AlibabaLike) Schedule(pods []*trace.Pod, now int64) []Decision {
 	s.BeginBatch()
+	// Replica anti-affinity dominates the guaranteed-class score:
+	// long-running service replicas spread across failure domains, the
+	// reliability-first policy of production LS schedulers (and a root
+	// cause of the low baseline utilization the paper measures).
+	// Alignment packing breaks ties.
+	ls := &pipeline.Spec{
+		Filters: []pipeline.FilterPlugin{GuaranteedFit{}},
+		Scores: []pipeline.WeightedScore{
+			{Plugin: ReplicaSpread{}, Weight: 1e6},
+			{Plugin: ReqAlignment{}, Weight: 1},
+		},
+		Preempt: true,
+	}
+	be := &pipeline.Spec{
+		Filters: []pipeline.FilterPlugin{
+			BEUsageFit{Ceil: s.BEOvercommitCeil, NoGuaranteedReserve: s.NoGuaranteedReserve},
+		},
+		Scores:  []pipeline.WeightedScore{{Plugin: UsageAlignment{}, Weight: 1}},
+		Preempt: true,
+	}
 	out := make([]Decision, len(pods))
 	for i, p := range pods {
-		out[i] = s.one(p)
+		if p.SLO.LatencySensitive() || p.SLO == trace.SLOSystem {
+			out[i] = s.Select(p, ls)
+		} else {
+			out[i] = s.Select(p, be)
+		}
 	}
 	return out
-}
-
-func (s *AlibabaLike) one(p *trace.Pod) Decision {
-	cands := s.Candidates(p)
-	if p.SLO.LatencySensitive() || p.SLO == trace.SLOSystem {
-		// Conservative: requests must fit physical capacity.
-		admit := func(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
-			req := n.ReqSum().Add(resv).Add(p.Request)
-			capc := n.Capacity()
-			return req.CPU <= capc.CPU, req.Mem <= capc.Mem
-		}
-		// Replica anti-affinity dominates: long-running service replicas
-		// spread across failure domains, the reliability-first policy of
-		// production LS schedulers (and a root cause of the low baseline
-		// utilization the paper measures). Alignment packing breaks ties.
-		score := func(n *cluster.NodeState, p *trace.Pod) float64 {
-			replicas := 0
-			for _, ps := range n.Pods() {
-				if ps.Pod.AppID == p.AppID {
-					replicas++
-				}
-			}
-			return -1e6*float64(replicas) + alignment(n.ReqSum(), p)
-		}
-		return s.Greedy(p, cands, admit, score)
-	}
-	// BE admission, the §3.2 production policy: the guaranteed classes'
-	// requests are a hard reservation ("hardly over-commits when
-	// scheduling LS pods" — their unused request capacity is NOT given
-	// away), and best-effort pods over-commit only the leftover, against
-	// their own observed usage. This is exactly why BE pods wait 100+
-	// seconds while hosts sit at ~30 % utilization (Fig. 8, Fig. 9b) — the
-	// waste Optum exists to reclaim.
-	admit := func(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
-		base := n.GuaranteedReq().Add(n.BEPeakUsage())
-		if s.NoGuaranteedReserve {
-			base = n.PeakUsage()
-		}
-		load := base.Add(n.UnmeasuredReq()).Add(resv).Add(p.Request)
-		req := n.ReqSum().Add(resv).Add(p.Request)
-		full := n.Capacity()
-		cpuOK := load.CPU <= 0.9*full.CPU
-		if s.BEOvercommitCeil > 0 {
-			cpuOK = cpuOK && req.CPU <= s.BEOvercommitCeil*full.CPU
-		}
-		// Memory: conservative — requests must fit capacity, because an
-		// OOM kills every pod on the host (Fig. 5b: memory is almost
-		// never over-committed in production).
-		memOK := req.Mem <= full.Mem
-		return cpuOK, memOK
-	}
-	score := func(n *cluster.NodeState, p *trace.Pod) float64 {
-		return alignment(n.LastUsage(), p)
-	}
-	return s.Greedy(p, cands, admit, score)
 }
 
 // PredictorScheduler is the family of §5.1 baselines that differ only in
@@ -145,30 +276,24 @@ func NewRCLike(c *cluster.Cluster, seed int64) *PredictorScheduler {
 // Name implements Scheduler.
 func (s *PredictorScheduler) Name() string { return s.label }
 
+// spec declares the scheduler's plugin set from its current tuning.
+func (s *PredictorScheduler) spec() *pipeline.Spec {
+	return &pipeline.Spec{
+		Filters: []pipeline.FilterPlugin{
+			PredictedFit{Pr: s.pr, CapFactor: s.CapFactor, MaxOvercommit: s.MaxOvercommit},
+		},
+		Scores:  []pipeline.WeightedScore{{Plugin: PredictedAlignment{Pr: s.pr}, Weight: 1}},
+		Preempt: true,
+	}
+}
+
 // Schedule implements Scheduler.
 func (s *PredictorScheduler) Schedule(pods []*trace.Pod, now int64) []Decision {
 	s.BeginBatch()
+	sp := s.spec()
 	out := make([]Decision, len(pods))
 	for i, p := range pods {
-		out[i] = s.Greedy(p, s.Candidates(p), s.admit, s.score)
+		out[i] = s.Select(p, sp)
 	}
 	return out
-}
-
-func (s *PredictorScheduler) admit(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
-	capc := n.Capacity().Scale(s.CapFactor)
-	load := predictedLoad(s.pr, n).Add(resv)
-	cpuOK := load.CPU+p.Request.CPU <= capc.CPU
-	memOK := load.Mem+p.Request.Mem <= capc.Mem
-	if s.MaxOvercommit > 0 {
-		req := n.ReqSum().Add(resv).Add(p.Request)
-		full := n.Capacity()
-		cpuOK = cpuOK && req.CPU <= s.MaxOvercommit*full.CPU
-		memOK = memOK && req.Mem <= s.MaxOvercommit*full.Mem
-	}
-	return cpuOK, memOK
-}
-
-func (s *PredictorScheduler) score(n *cluster.NodeState, p *trace.Pod) float64 {
-	return alignment(predictedLoad(s.pr, n), p)
 }

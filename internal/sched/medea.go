@@ -4,6 +4,8 @@ import (
 	"sort"
 
 	"unisched/internal/cluster"
+	"unisched/internal/pipeline"
+	"unisched/internal/predictor"
 	"unisched/internal/trace"
 )
 
@@ -11,10 +13,13 @@ import (
 // long-running pods are placed by an ILP-style exact optimizer over a
 // bounded sub-problem (at most MaxHosts candidate hosts and MaxPods pods
 // per batch, solved by branch-and-bound), while short-running pods go
-// through a traditional low-latency greedy scheduler.
+// through a traditional low-latency greedy scheduler — here a Borg-style
+// plugin set on the shared pipeline. Both tiers reserve through the same
+// pipeline ledger, so their in-batch decisions stack correctly.
 type Medea struct {
 	*Base
-	short *PredictorScheduler
+	// shortPr predicts host usage for the short-pod tier (Borg default).
+	shortPr predictor.Predictor
 
 	// MaxHosts bounds the ILP's host set (the evaluation uses 40).
 	MaxHosts int
@@ -29,7 +34,7 @@ type Medea struct {
 func NewMedea(c *cluster.Cluster, seed int64) *Medea {
 	return &Medea{
 		Base:       NewBase(c, seed),
-		short:      NewBorgLike(c, seed+1),
+		shortPr:    predictor.NewBorgDefault(),
 		MaxHosts:   40,
 		MaxPods:    15,
 		NodeBudget: 200000,
@@ -42,14 +47,22 @@ func (m *Medea) Name() string { return "Medea" }
 // Schedule implements Scheduler.
 func (m *Medea) Schedule(pods []*trace.Pod, now int64) []Decision {
 	m.BeginBatch()
-	m.short.resv = m.resv // unify the reservation ledger across both tiers
+	short := &pipeline.Spec{
+		Filters: []pipeline.FilterPlugin{PredictedFit{Pr: m.shortPr, CapFactor: 1}},
+		Scores:  []pipeline.WeightedScore{{Plugin: PredictedAlignment{Pr: m.shortPr}, Weight: 1}},
+		Preempt: true,
+	}
+	// fit mirrors the ILP's request-based capacity constraint; Explain uses
+	// it to classify pods the batch solver left unplaced.
+	fit := &pipeline.Spec{Filters: []pipeline.FilterPlugin{GuaranteedFit{}}}
+
 	out := make([]Decision, len(pods))
 	var longIdx []int
 	for i, p := range pods {
 		if p.App().LongRunning() {
 			longIdx = append(longIdx, i)
 		} else {
-			out[i] = m.short.Greedy(p, m.Candidates(p), m.short.admit, m.short.score)
+			out[i] = m.Select(p, short)
 		}
 	}
 	// Long-running pods in ILP batches.
@@ -62,7 +75,7 @@ func (m *Medea) Schedule(pods []*trace.Pod, now int64) []Decision {
 		for _, i := range longIdx[start:end] {
 			batch = append(batch, pods[i])
 		}
-		decisions := m.solveBatch(batch)
+		decisions := m.solveBatch(batch, fit)
 		for k, i := range longIdx[start:end] {
 			out[i] = decisions[k]
 		}
@@ -74,7 +87,7 @@ func (m *Medea) Schedule(pods []*trace.Pod, now int64) []Decision {
 // hosts with the most free requestable capacity, maximizing the number of
 // placed pods (ties broken by total alignment) subject to request-based
 // capacity constraints.
-func (m *Medea) solveBatch(batch []*trace.Pod) []Decision {
+func (m *Medea) solveBatch(batch []*trace.Pod, fit *pipeline.Spec) []Decision {
 	hosts := m.pickHosts()
 	free := make([]trace.Resources, len(hosts))
 	loads := make([]trace.Resources, len(hosts))
@@ -103,7 +116,7 @@ func (m *Medea) solveBatch(batch []*trace.Pod) []Decision {
 	for i, p := range batch {
 		hi := s.best[i]
 		if hi < 0 {
-			out[i] = m.classify(p)
+			out[i] = m.classify(p, fit)
 			continue
 		}
 		m.Reserve(hosts[hi], p)
@@ -112,32 +125,10 @@ func (m *Medea) solveBatch(batch []*trace.Pod) []Decision {
 	return out
 }
 
-// classify explains an unplaced pod using the shared reason taxonomy.
-func (m *Medea) classify(p *trace.Pod) Decision {
-	cpuBlock, memBlock := 0, 0
-	for _, id := range m.Candidates(p) {
-		n := m.Cluster.Node(id)
-		req := n.ReqSum().Add(m.Reserved(id)).Add(p.Request)
-		capc := n.Capacity()
-		if req.CPU > capc.CPU {
-			cpuBlock++
-		}
-		if req.Mem > capc.Mem {
-			memBlock++
-		}
-	}
-	d := Decision{Pod: p, NodeID: -1}
-	switch {
-	case cpuBlock > 0 && memBlock > 0:
-		d.Reason = ReasonCPUMem
-	case cpuBlock > 0:
-		d.Reason = ReasonCPU
-	case memBlock > 0:
-		d.Reason = ReasonMem
-	default:
-		// The batch solver gave the room to other pods; retry next round.
-		d.Reason = ReasonOther
-	}
+// classify explains a pod the batch solver left unplaced, using the
+// pipeline's shared reason taxonomy and LSR preemption fallback.
+func (m *Medea) classify(p *trace.Pod, fit *pipeline.Spec) Decision {
+	d := Decision{Pod: p, NodeID: -1, Reason: m.Pipeline().Explain(p, fit)}
 	if p.SLO == trace.SLOLSR {
 		if id, ok := m.PreemptTarget(p, m.Candidates(p)); ok {
 			m.Reserve(id, p)
@@ -148,19 +139,19 @@ func (m *Medea) classify(p *trace.Pod) Decision {
 }
 
 // pickHosts selects the MaxHosts candidates with the most free CPU+memory
-// request headroom (net of this batch's reservations).
+// request headroom (net of this batch's reservations) from the pipeline's
+// schedulable universe — which also respects RestrictTo partitions.
 func (m *Medea) pickHosts() []int {
 	type hv struct {
 		id   int
 		head float64
 	}
-	all := make([]hv, 0, len(m.Cluster.Nodes()))
-	for _, n := range m.Cluster.Nodes() {
-		if !n.Schedulable() {
-			continue
-		}
-		f := n.Capacity().Sub(n.ReqSum()).Sub(m.Reserved(n.Node.ID))
-		all = append(all, hv{n.Node.ID, f.CPU + f.Mem})
+	universe := m.Pipeline().Index().Universe()
+	all := make([]hv, 0, len(universe))
+	for _, id := range universe {
+		n := m.Cluster.Node(id)
+		f := n.Capacity().Sub(n.ReqSum()).Sub(m.Reserved(id))
+		all = append(all, hv{id, f.CPU + f.Mem})
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a].head > all[b].head })
 	k := m.MaxHosts

@@ -2,46 +2,35 @@ package sched
 
 import (
 	"unisched/internal/cluster"
+	"unisched/internal/pipeline"
 	"unisched/internal/trace"
 )
 
-// A Kubernetes-style scheduling framework: composable Filter and Score
-// plugins around the shared Greedy scan. The unified scheduling the paper
-// studies is deployed on exactly this kind of plugin substrate (Alibaba's
-// unified scheduler is Kubernetes-compatible), so the repository provides
-// one both as a sixth comparison point and as the extension surface users
-// would reach for first.
+// A Kubernetes-style scheduling framework: composable PreFilter, Filter
+// and Score plugins over the shared placement pipeline. The unified
+// scheduling the paper studies is deployed on exactly this kind of plugin
+// substrate (Alibaba's unified scheduler is Kubernetes-compatible), so the
+// repository provides one both as a sixth comparison point and as the
+// extension surface users would reach for first. The plugin interfaces are
+// the pipeline's, re-exported.
 
-// FilterPlugin vetoes hosts for a pod. Filters see the batch reservations
-// so in-batch decisions stack correctly.
-type FilterPlugin interface {
-	// FilterName identifies the plugin in configuration dumps.
-	FilterName() string
-	// Filter reports per-dimension admission; both true admits.
-	Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (cpuOK, memOK bool)
-}
+// PreFilterPlugin rejects a pod before any node is considered.
+type PreFilterPlugin = pipeline.PreFilterPlugin
+
+// FilterPlugin vetoes hosts for a pod.
+type FilterPlugin = pipeline.FilterPlugin
 
 // ScorePlugin ranks an admissible host for a pod; higher is better.
-// Scores from all plugins are summed with their weights.
-type ScorePlugin interface {
-	// ScoreName identifies the plugin.
-	ScoreName() string
-	// Score returns an arbitrary-scale value; use Weight to balance.
-	Score(n *cluster.NodeState, p *trace.Pod) float64
-}
+type ScorePlugin = pipeline.ScorePlugin
 
 // WeightedScore pairs a plugin with its weight.
-type WeightedScore struct {
-	Plugin ScorePlugin
-	Weight float64
-}
+type WeightedScore = pipeline.WeightedScore
 
-// Framework is the plugin-driven scheduler.
+// Framework is the plugin-driven scheduler: a named pipeline.Spec.
 type Framework struct {
 	*Base
-	label   string
-	filters []FilterPlugin
-	scores  []WeightedScore
+	label string
+	spec  pipeline.Spec
 }
 
 // NewFramework builds a plugin scheduler; add plugins before scheduling.
@@ -49,18 +38,24 @@ func NewFramework(c *cluster.Cluster, label string, seed int64) *Framework {
 	if label == "" {
 		label = "Framework"
 	}
-	return &Framework{Base: NewBase(c, seed), label: label}
+	return &Framework{Base: NewBase(c, seed), label: label, spec: pipeline.Spec{Preempt: true}}
+}
+
+// WithPreFilter appends a pre-filter plugin and returns the framework.
+func (f *Framework) WithPreFilter(p PreFilterPlugin) *Framework {
+	f.spec.Pre = append(f.spec.Pre, p)
+	return f
 }
 
 // WithFilter appends a filter plugin and returns the framework.
 func (f *Framework) WithFilter(p FilterPlugin) *Framework {
-	f.filters = append(f.filters, p)
+	f.spec.Filters = append(f.spec.Filters, p)
 	return f
 }
 
 // WithScore appends a weighted score plugin and returns the framework.
 func (f *Framework) WithScore(p ScorePlugin, weight float64) *Framework {
-	f.scores = append(f.scores, WeightedScore{Plugin: p, Weight: weight})
+	f.spec.Scores = append(f.spec.Scores, WeightedScore{Plugin: p, Weight: weight})
 	return f
 }
 
@@ -71,32 +66,29 @@ func (f *Framework) Name() string { return f.label }
 func (f *Framework) Schedule(pods []*trace.Pod, now int64) []Decision {
 	f.BeginBatch()
 	out := make([]Decision, len(pods))
-	admit := func(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (bool, bool) {
-		cpuOK, memOK := true, true
-		for _, fp := range f.filters {
-			c, m := fp.Filter(n, p, resv)
-			cpuOK = cpuOK && c
-			memOK = memOK && m
-			if !cpuOK && !memOK {
-				break
-			}
-		}
-		return cpuOK, memOK
-	}
-	score := func(n *cluster.NodeState, p *trace.Pod) float64 {
-		var s float64
-		for _, ws := range f.scores {
-			s += ws.Weight * ws.Plugin.Score(n, p)
-		}
-		return s
-	}
 	for i, p := range pods {
-		out[i] = f.Greedy(p, f.Candidates(p), admit, score)
+		out[i] = f.Select(p, &f.spec)
 	}
 	return out
 }
 
 // --- Stock plugins ---
+
+// ValidRequest is a pod-level admissibility gate: a pod requesting nothing
+// in both dimensions (a malformed spec) can never be meaningfully placed
+// and is rejected before any node is scanned.
+type ValidRequest struct{}
+
+// PreFilterName implements PreFilterPlugin.
+func (ValidRequest) PreFilterName() string { return "ValidRequest" }
+
+// PreFilter implements PreFilterPlugin.
+func (ValidRequest) PreFilter(p *trace.Pod) (Reason, bool) {
+	if p.Request.CPU <= 0 && p.Request.Mem <= 0 {
+		return ReasonOther, false
+	}
+	return ReasonNone, true
+}
 
 // ResourcesFit admits a pod when requests plus reservations fit the node's
 // capacity scaled by MaxOvercommit (1.0 = no over-commitment, the
@@ -119,8 +111,22 @@ func (r ResourcesFit) Filter(n *cluster.NodeState, p *trace.Pod, resv trace.Reso
 	return req.CPU <= capc.CPU, req.Mem <= capc.Mem
 }
 
+// MinHeadroom implements pipeline.HeadroomBounder: the request-based fit
+// bounds static headroom in both dimensions.
+func (r ResourcesFit) MinHeadroom(p *trace.Pod, minCap, maxCap trace.Resources) (trace.Resources, bool) {
+	oc := r.MaxOvercommit
+	if oc <= 0 {
+		oc = 1
+	}
+	return trace.Resources{
+		CPU: pipeline.OvercommitBound(p.Request.CPU, oc, minCap.CPU, maxCap.CPU),
+		Mem: pipeline.OvercommitBound(p.Request.Mem, oc, minCap.Mem, maxCap.Mem),
+	}, true
+}
+
 // UsageFit admits a pod when recent peak usage plus unmeasured and reserved
 // requests fit a capacity margin — the usage-driven over-commitment filter.
+// Usage moves with the workload, so it offers no static headroom bound.
 type UsageFit struct {
 	Margin float64 // fraction of capacity usable (default 0.9)
 }

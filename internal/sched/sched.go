@@ -1,170 +1,92 @@
-// Package sched defines the scheduling interface the trace-driven testbed
-// drives and implements the baseline schedulers the paper evaluates against
-// (§5.1): the Alibaba-like unified scheduler (alignment scoring with
-// conservative-LS / aggressive-BE over-commitment), Borg-like, N-sigma,
-// Resource-Central-like, and Medea (ILP placement for long-running pods).
+// Package sched implements the baseline schedulers the paper evaluates
+// against (§5.1) on top of the shared placement pipeline
+// (internal/pipeline): the Alibaba-like unified scheduler (alignment
+// scoring with conservative-LS / aggressive-BE over-commitment),
+// Borg-like, N-sigma, Resource-Central-like, and Medea (ILP placement for
+// long-running pods). Each scheduler is a declarative plugin set — a
+// pipeline.Spec — rather than a bespoke scan loop; the pipeline owns
+// candidate indexing, sampling, scanning, reservation, and preemption.
 //
-// Optum itself lives in internal/core and implements the same interface.
+// Optum itself lives in internal/core and runs on the same pipeline.
 package sched
 
 import (
-	"math/rand"
-
 	"unisched/internal/cluster"
+	"unisched/internal/pipeline"
 	"unisched/internal/predictor"
 	"unisched/internal/trace"
 )
 
 // Reason classifies why a pod could not be scheduled this round — the
-// delay-source taxonomy of Fig. 9(b).
-type Reason int
+// delay-source taxonomy of Fig. 9(b). It is the pipeline's taxonomy,
+// re-exported so existing callers keep compiling.
+type Reason = pipeline.Reason
 
 // Delay reasons. ReasonNone means the pod was placed.
 const (
-	ReasonNone   Reason = iota
-	ReasonCPUMem        // both CPU and memory insufficient on candidates
-	ReasonCPU           // CPU insufficient
-	ReasonMem           // memory insufficient
-	ReasonOther         // affinity or no candidates
+	ReasonNone   = pipeline.ReasonNone
+	ReasonCPUMem = pipeline.ReasonCPUMem
+	ReasonCPU    = pipeline.ReasonCPU
+	ReasonMem    = pipeline.ReasonMem
+	ReasonOther  = pipeline.ReasonOther
 )
 
-var reasonNames = [...]string{"None", "CPU&Mem", "CPU", "Mem", "Other"}
-
-// String names the reason as in Fig. 9(b).
-func (r Reason) String() string {
-	if r < 0 || int(r) >= len(reasonNames) {
-		return "?"
-	}
-	return reasonNames[r]
-}
-
 // Decision is a scheduler's verdict for one pod.
-type Decision struct {
-	Pod *trace.Pod
-	// NodeID is the chosen host, or -1 when the pod stays pending.
-	NodeID int
-	// Score is the scheduler's score for the chosen host; the Deployment
-	// Module uses it to resolve conflicts between parallel schedulers.
-	Score float64
-	// NeedPreempt asks the deployer to evict BE pods on NodeID first
-	// (LSR admission).
-	NeedPreempt bool
-	// Reason explains an unplaced pod.
-	Reason Reason
-}
+type Decision = pipeline.Decision
 
-// Scheduler places batches of pending pods. Implementations read cluster
-// state directly and must not mutate it — deployment is the testbed's job.
-type Scheduler interface {
-	// Name identifies the scheduler in reports.
-	Name() string
-	// Schedule proposes placements for the pending pods at time now. It
-	// returns one decision per input pod, in order.
-	Schedule(pods []*trace.Pod, now int64) []Decision
-}
+// Scheduler places batches of pending pods.
+type Scheduler = pipeline.Scheduler
 
 // Base carries the state shared by every scheduler implementation: the
-// cluster view, affinity-group indexes, a seeded RNG, and the in-batch
-// reservation ledger. A scheduler deciding a batch of pods must account
-// for its own earlier decisions before they are deployed and sampled —
-// otherwise every pod in the batch piles onto the same "best" host.
+// cluster view and the placement pipeline (candidate index, in-batch
+// reservation ledger, per-stage stats). The seed parameter is kept for
+// construction compatibility; schedulers that randomize (Optum's sampler)
+// own their RNGs.
 type Base struct {
 	Cluster *cluster.Cluster
-	rng     *rand.Rand
-	groups  map[int][]int // node IDs per affinity group
-	all     []int
-
-	resv     map[int]trace.Resources // per-node requests reserved this batch
-	resvPods map[int][]*trace.Pod    // the reserved pods themselves
+	pl      *pipeline.Pipeline
 }
 
 // NewBase builds the shared scheduler state over a cluster.
 func NewBase(c *cluster.Cluster, seed int64) *Base {
-	b := &Base{
-		Cluster:  c,
-		rng:      rand.New(rand.NewSource(seed)),
-		groups:   make(map[int][]int),
-		resv:     make(map[int]trace.Resources),
-		resvPods: make(map[int][]*trace.Pod),
-	}
-	for _, n := range c.Nodes() {
-		b.groups[n.Node.Group] = append(b.groups[n.Node.Group], n.Node.ID)
-		b.all = append(b.all, n.Node.ID)
-	}
-	return b
+	_ = seed
+	return &Base{Cluster: c, pl: pipeline.New(c)}
 }
+
+// Pipeline returns the scheduler's placement pipeline — the drivers use it
+// to read per-stage stats and toggle index pruning.
+func (b *Base) Pipeline() *pipeline.Pipeline { return b.pl }
 
 // RestrictTo limits the scheduler's candidate universe to the given node
 // IDs (unknown IDs are ignored). Parallel scheduler deployments use it to
 // give each worker a disjoint partition of the cluster, which shrinks the
-// per-pod scan cost with the worker count. Affinity groups are filtered
-// to the intersection; a pod whose affinity group has no nodes in the
-// partition simply finds no candidates and is retried elsewhere.
-func (b *Base) RestrictTo(ids []int) {
-	keep := make(map[int]bool, len(ids))
-	for _, id := range ids {
-		if id >= 0 && id < len(b.Cluster.Nodes()) {
-			keep[id] = true
-		}
-	}
-	filter := func(in []int) []int {
-		out := in[:0:0]
-		for _, id := range in {
-			if keep[id] {
-				out = append(out, id)
-			}
-		}
-		return out
-	}
-	b.all = filter(b.all)
-	for g, ids := range b.groups {
-		b.groups[g] = filter(ids)
-	}
-}
+// per-pod scan cost with the worker count. Affinity groups compose with
+// the partition (partition ∩ group); a pod whose affinity group has no
+// nodes in the partition simply finds no candidates and is retried
+// elsewhere.
+func (b *Base) RestrictTo(ids []int) { b.pl.RestrictTo(ids) }
 
 // BeginBatch clears the reservation ledger; schedulers call it at the top
 // of every Schedule invocation.
-func (b *Base) BeginBatch() {
-	for k := range b.resv {
-		delete(b.resv, k)
-	}
-	for k := range b.resvPods {
-		delete(b.resvPods, k)
-	}
-}
+func (b *Base) BeginBatch() { b.pl.BeginBatch() }
 
 // Reserve records that this batch has decided to place p on node id.
-func (b *Base) Reserve(id int, p *trace.Pod) {
-	b.resv[id] = b.resv[id].Add(p.Request)
-	b.resvPods[id] = append(b.resvPods[id], p)
-}
+func (b *Base) Reserve(id int, p *trace.Pod) { b.pl.Reserve(id, p) }
 
 // Reserved returns the requests this batch has already promised to node id.
-func (b *Base) Reserved(id int) trace.Resources { return b.resv[id] }
+func (b *Base) Reserved(id int) trace.Resources { return b.pl.Ledger().Reserved(id) }
 
 // ReservedPods returns the pods this batch has promised to node id. The
 // slice is shared; callers must not modify it.
-func (b *Base) ReservedPods(id int) []*trace.Pod { return b.resvPods[id] }
+func (b *Base) ReservedPods(id int) []*trace.Pod { return b.pl.Ledger().Pods(id) }
 
 // Candidates returns the node IDs satisfying the pod's affinity, excluding
-// Draining and Down hosts. On a fully healthy cluster it returns the
-// precomputed index without allocating.
-func (b *Base) Candidates(p *trace.Pod) []int {
-	ids := b.all
-	if aff := p.App().Affinity; aff >= 0 {
-		ids = b.groups[aff]
-	}
-	if b.Cluster.AllUp() {
-		return ids
-	}
-	out := make([]int, 0, len(ids))
-	for _, id := range ids {
-		if b.Cluster.Node(id).Schedulable() {
-			out = append(out, id)
-		}
-	}
-	return out
-}
+// Draining and Down hosts, in ascending ID order. The slice is the live
+// index; callers must not modify it.
+func (b *Base) Candidates(p *trace.Pod) []int { return b.pl.Candidates(p) }
+
+// Select drives one pod through the pipeline with the given plugin spec.
+func (b *Base) Select(p *trace.Pod, sp *pipeline.Spec) Decision { return b.pl.Select(p, sp) }
 
 // admitFn reports whether node n can admit pod p, per dimension. resv is
 // the batch's already-reserved requests on n; admission must treat them as
@@ -174,81 +96,38 @@ type admitFn func(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (cpu
 // scoreFn ranks an admissible node for pod p (higher is better).
 type scoreFn func(n *cluster.NodeState, p *trace.Pod) float64
 
-// Greedy runs the shared candidate scan: filter by affinity, test
-// admission (including this batch's reservations), score the admissible
-// nodes and pick the best — reserving the winner. When nothing admits the
-// pod it classifies the blocking resource, and for LSR pods it proposes BE
-// preemption on the fullest candidate (§3.1.3).
+// funcEval adapts an admit/score closure pair to the pipeline's fused
+// evaluation plugin — the compatibility shim behind Greedy.
+type funcEval struct {
+	admit admitFn
+	score scoreFn
+}
+
+func (funcEval) EvalName() string { return "func" }
+
+func (e funcEval) Evaluate(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (float64, bool, bool) {
+	cpuOK, memOK := e.admit(n, p, resv)
+	if !cpuOK || !memOK {
+		return 0, cpuOK, memOK
+	}
+	return e.score(n, p), true, true
+}
+
+// Greedy runs a pipeline scan over an explicit candidate list with
+// closure-based admission and scoring, preserving the list's order for
+// tie-breaking (first admissible host with the top score wins). It remains
+// for callers that compute their own candidate sets; scheduler
+// implementations declare a pipeline.Spec instead.
 func (b *Base) Greedy(p *trace.Pod, cands []int, admit admitFn, score scoreFn) Decision {
-	best := Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
-	if len(cands) == 0 {
-		return best
-	}
-	cpuBlock, memBlock := 0, 0
-	found := false
-	for _, id := range cands {
-		n := b.Cluster.Node(id)
-		cpuOK, memOK := admit(n, p, b.resv[id])
-		if cpuOK && memOK {
-			s := score(n, p)
-			if !found || s > best.Score {
-				best.NodeID = id
-				best.Score = s
-				best.Reason = ReasonNone
-				found = true
-			}
-			continue
-		}
-		if !cpuOK {
-			cpuBlock++
-		}
-		if !memOK {
-			memBlock++
-		}
-	}
-	if found {
-		b.Reserve(best.NodeID, p)
-		return best
-	}
-	switch {
-	case cpuBlock > 0 && memBlock > 0:
-		best.Reason = ReasonCPUMem
-	case cpuBlock > 0:
-		best.Reason = ReasonCPU
-	case memBlock > 0:
-		best.Reason = ReasonMem
-	default:
-		best.Reason = ReasonOther
-	}
-	if p.SLO == trace.SLOLSR {
-		if id, ok := b.PreemptTarget(p, cands); ok {
-			b.Reserve(id, p)
-			return Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: ReasonNone}
-		}
-	}
-	return best
+	sp := &pipeline.Spec{Eval: funcEval{admit: admit, score: score}, Preempt: true}
+	return b.pl.SelectFrom(p, cands, sp)
 }
 
 // PreemptTarget picks the candidate with the most evictable BE request mass
 // that would fit the LSR pod after eviction. Schedulers use it as the LSR
 // admission fallback.
 func (b *Base) PreemptTarget(p *trace.Pod, cands []int) (int, bool) {
-	bestID, bestBE := -1, 0.0
-	for _, id := range cands {
-		n := b.Cluster.Node(id)
-		var beReq trace.Resources
-		for _, ps := range n.Pods() {
-			if ps.Pod.SLO == trace.SLOBE {
-				beReq = beReq.Add(ps.Pod.Request)
-			}
-		}
-		free := n.Capacity().Sub(n.ReqSum()).Sub(b.resv[id]).Add(beReq)
-		if p.Request.FitsIn(free) && beReq.CPU > bestBE {
-			bestBE = beReq.CPU
-			bestID = id
-		}
-	}
-	return bestID, bestID >= 0
+	return b.pl.PreemptTarget(p, cands)
 }
 
 // alignment is the production multi-resource packing score: the inner

@@ -336,6 +336,50 @@ func TestMedeaShortPodsGreedy(t *testing.T) {
 	}
 }
 
+func TestMedeaILPDeterministicUnderPipeline(t *testing.T) {
+	// The ILP tier reserves through the shared pipeline ledger and reads
+	// its host set from the indexed store; two identically-seeded runs over
+	// the same batch stream must produce identical decision streams.
+	run := func() []int {
+		c, w := testSetup(t, 6)
+		m := NewMedea(c, 1)
+		var out []int
+		for start := 0; start+20 <= 200; start += 20 {
+			for _, d := range m.Schedule(w.Pods[start:start+20], 0) {
+				out = append(out, d.NodeID)
+				if d.NodeID >= 0 && !d.NeedPreempt {
+					if _, err := c.Place(d.Pod, d.NodeID, 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			c.Tick(0, 30)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMedeaILPRespectsRestrictTo(t *testing.T) {
+	// pickHosts draws from the pipeline's schedulable universe, so a
+	// partitioned Medea must keep both tiers inside its partition.
+	c, w := testSetup(t, 8)
+	m := NewMedea(c, 1)
+	part := []int{1, 3, 5, 7}
+	m.RestrictTo(part)
+	allowed := map[int]bool{1: true, 3: true, 5: true, 7: true}
+	for _, d := range m.Schedule(w.Pods[:60], 0) {
+		if d.NodeID >= 0 && !allowed[d.NodeID] {
+			t.Fatalf("pod %d placed on node %d outside the partition", d.Pod.ID, d.NodeID)
+		}
+	}
+}
+
 func TestMedeaBudgetTermination(t *testing.T) {
 	c, w := testSetup(t, 40)
 	m := NewMedea(c, 1)

@@ -35,6 +35,8 @@ func TestChaosRunByteIdenticalAcrossRuns(t *testing.T) {
 	a := chaosRun(t, w, 7, schedule, rates)
 	b := chaosRun(t, w, 7, schedule, rates)
 	a.SchedLatency, b.SchedLatency = nil, nil
+	stripWallClock(a)
+	stripWallClock(b)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("identical seed and schedule produced different Results")
 	}
@@ -43,8 +45,18 @@ func TestChaosRunByteIdenticalAcrossRuns(t *testing.T) {
 	// (otherwise the test above proves nothing).
 	c := chaosRun(t, w, 8, schedule, rates)
 	c.SchedLatency = nil
+	stripWallClock(c)
 	if reflect.DeepEqual(a, c) {
 		t.Error("different chaos seeds produced identical Results")
+	}
+}
+
+// stripWallClock drops the pipeline stage timings — like SchedLatency they
+// are wall-clock; the stage *counters* stay under the determinism check.
+func stripWallClock(r *Result) {
+	if r.Pipeline != nil {
+		r.Pipeline.StageMicros = nil
+		r.Pipeline.StageMicrosPerDecision = nil
 	}
 }
 

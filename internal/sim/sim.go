@@ -14,7 +14,7 @@ import (
 
 	"unisched/internal/chaos"
 	"unisched/internal/cluster"
-	"unisched/internal/core"
+	"unisched/internal/pipeline"
 	"unisched/internal/profiler"
 	"unisched/internal/sched"
 	"unisched/internal/trace"
@@ -193,6 +193,12 @@ type Result struct {
 	// SchedLatency holds wall-clock seconds per pod decision. It is the
 	// one non-deterministic field of a Result.
 	SchedLatency []float64
+
+	// Pipeline holds the placement pipeline's per-stage counters (visited
+	// nodes, pruning effectiveness, stage latencies) when the scheduler
+	// runs on the shared pipeline; nil otherwise. Stage timings share
+	// SchedLatency's non-determinism caveat.
+	Pipeline *pipeline.StatsSnapshot
 }
 
 // Run replays the workload on the cluster under the scheduler. The cluster
@@ -218,7 +224,7 @@ func Run(w *trace.Workload, c *cluster.Cluster, s sched.Scheduler, cfg Config) *
 		BEPreempted: make(map[int]int),
 		NodeOf:      make(map[int]int),
 	}
-	dep := &core.Deployer{Cluster: c}
+	dep := &pipeline.Deployer{Cluster: c}
 
 	retry := cfg.Retry
 	if cfg.Chaos != nil && retry == (RetryPolicy{}) {
@@ -329,7 +335,7 @@ func Run(w *trace.Workload, c *cluster.Cluster, s sched.Scheduler, cfg Config) *
 					}
 				}
 
-				var outcome core.Outcome
+				var outcome pipeline.Outcome
 				if cfg.ConflictResolve {
 					outcome = dep.Apply(decisions, now)
 				} else {
@@ -468,6 +474,10 @@ func Run(w *trace.Workload, c *cluster.Cluster, s sched.Scheduler, cfg Config) *
 		})
 	}
 	res.Pending = len(queue)
+	if ps, ok := s.(interface{ Pipeline() *pipeline.Pipeline }); ok {
+		snap := ps.Pipeline().Stats().Snapshot()
+		res.Pipeline = &snap
+	}
 	return res
 }
 
