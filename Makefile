@@ -32,6 +32,11 @@ check: vet fmt build test race
 bench: bench-engine
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# The engine throughput benchmarks are heavyweight (a full workload drain
+# per iteration) and run at 3x; the scoreHost microbenchmark is cheap and
+# needs iterations to be meaningful, so it runs at 2000x. Both feed one
+# JSON document.
 bench-engine:
-	$(GO) test -bench 'BenchmarkEngine|BenchmarkPipeline' -benchmem -benchtime 3x -run '^$$' ./internal/engine \
+	{ $(GO) test -bench 'BenchmarkEngine|BenchmarkPipeline' -benchmem -benchtime 3x -run '^$$' ./internal/engine; \
+	  $(GO) test -bench 'BenchmarkScoreHost' -benchmem -benchtime 2000x -run '^$$' ./internal/core; } \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_engine.json

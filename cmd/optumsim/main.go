@@ -7,6 +7,7 @@
 //	optumsim -scheduler optum -nodes 100 -hours 6 -seed 1
 //	optumsim -scheduler alibaba -trace trace.json
 //	optumsim -chaos -nodes 100 -hours 6 -seed 1
+//	optumsim -scheduler optum -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -44,9 +47,38 @@ func main() {
 		samples   = flag.String("samples", "", "record 30s node+pod samples to this JSONL file")
 		chaosRun  = flag.Bool("chaos", false,
 			"fault-injection mode: compare Optum vs the Alibaba baseline under identical node churn")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
 	out := os.Stdout
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Deferred so the profile reflects the completed run; GC first so
+		// it shows live objects rather than garbage awaiting collection.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *chaosRun {
 		runChurn(out, *nodes, *hours, *seed)

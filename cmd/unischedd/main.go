@@ -8,6 +8,7 @@
 //
 //	unischedd -addr :8080 -nodes 200 -hours 24 -seed 1 -workers 4
 //	unischedd -trace trace.json -scheduler optum -speedup 120
+//	unischedd -debug-addr localhost:6060   # live pprof at /debug/pprof/
 //
 // API:
 //
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -66,8 +68,22 @@ func main() {
 		speedup   = flag.Float64("speedup", 120, "virtual-clock speedup over wall time")
 		chaosRun  = flag.Bool("chaos", false, "inject node churn (default stochastic rates)")
 		partition = flag.Bool("partition", true, "give each worker a disjoint node partition")
+		debugAddr = flag.String("debug-addr", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// The profiling endpoint lives on its own listener so it is never
+		// exposed on the service address; http.DefaultServeMux carries the
+		// /debug/pprof handlers registered by the net/http/pprof import.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	w, err := loadWorkload(*tracePath, *nodes, *hours, *seed)
 	if err != nil {

@@ -122,6 +122,12 @@ func (h *nodeHistory) recordBE(be trace.Resources) {
 func (h *nodeHistory) record(u trace.Resources) {
 	v := [2]float64{u.CPU, u.Mem}
 	if len(h.buf) < nodeHistCap {
+		if h.buf == nil {
+			// Seed the ring with a chunk: every node records every tick, so
+			// letting append grow from 1 would cost each node a cascade of
+			// reallocations in its first minutes.
+			h.buf = make([][2]float64, 0, 256)
+		}
 		h.buf = append(h.buf, v)
 	} else {
 		old := h.buf[h.n%nodeHistCap]

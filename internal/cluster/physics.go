@@ -107,14 +107,35 @@ func (s *NodeSnapshot) Violated() bool {
 // Snapshot computes the node's state at time t: pod demands, contention
 // capping, usage, PSI and performance metrics. record controls whether the
 // sample is appended to pod/node histories (the simulator records once per
-// tick; ad-hoc inspection passes false).
+// tick; ad-hoc inspection passes false). The returned snapshot owns its pod
+// slice and may be retained; the bulk path (Tick) reuses buffers instead.
 func (c *Cluster) Snapshot(nodeID int, t int64, record bool) NodeSnapshot {
+	var snap NodeSnapshot
+	c.snapshotInto(&snap, nodeID, t, record)
+	return snap
+}
+
+// snapshotInto computes the node's snapshot in place, reusing snap.Pods'
+// capacity across calls — the per-tick path would otherwise allocate one
+// pod slice per node per tick.
+func (c *Cluster) snapshotInto(snap *NodeSnapshot, nodeID int, t int64, record bool) {
 	n := c.Node(nodeID)
-	snap := NodeSnapshot{T: t, Node: n, Phase: n.phase, Pods: make([]PodSnapshot, len(n.pods))}
+	pods := snap.Pods
+	if cap(pods) < len(n.pods) {
+		// Headroom so a node steadily gaining pods doesn't reallocate its
+		// snapshot slice every tick.
+		pods = make([]PodSnapshot, len(n.pods), len(n.pods)+8)
+	} else {
+		pods = pods[:len(n.pods)]
+	}
+	*snap = NodeSnapshot{T: t, Node: n, Phase: n.phase, Pods: pods}
 	if n.phase == NodeDown {
 		// A crashed host produces no telemetry: no pods run, nothing is
 		// recorded, and its history stays wiped until recovery.
-		return snap
+		for i := range pods {
+			pods[i] = PodSnapshot{}
+		}
+		return
 	}
 	capc := n.Node.Capacity
 
@@ -164,7 +185,6 @@ func (c *Cluster) Snapshot(nodeID int, t int64, record bool) NodeSnapshot {
 		n.hist.record(snap.Usage)
 		n.hist.recordBE(trace.Resources{CPU: beCPU, Mem: beMem})
 	}
-	return snap
 }
 
 // fillPerf computes PSI, RT and BE progress rate for one pod snapshot.
@@ -225,11 +245,18 @@ func (c *Cluster) fillPerf(p *PodSnapshot, cCPU, cMem float64, t int64) {
 
 // Tick advances all BE pods on every node by dt seconds at time t and
 // returns the pods that completed. It records histories for all nodes.
+//
+// The returned snapshots live in a buffer reused by the next Tick call:
+// consumers (collectors, recorders, result observers) process them
+// synchronously; anything retained past the tick must be copied out.
 func (c *Cluster) Tick(t int64, dt float64) (completed []*PodState, snaps []NodeSnapshot) {
-	snaps = make([]NodeSnapshot, len(c.nodes))
+	if len(c.snapScratch) != len(c.nodes) {
+		c.snapScratch = make([]NodeSnapshot, len(c.nodes))
+	}
+	snaps = c.snapScratch
 	for i := range c.nodes {
-		snap := c.Snapshot(i, t, true)
-		snaps[i] = snap
+		c.snapshotInto(&snaps[i], i, t, true)
+		snap := &snaps[i]
 		for j := range snap.Pods {
 			p := &snap.Pods[j]
 			if p.Pod.Pod.Work <= 0 {

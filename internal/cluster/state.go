@@ -72,7 +72,47 @@ type NodeState struct {
 	// BE): the capacity the production scheduler reserves for them.
 	guarReq trace.Resources
 
+	// appCounts is the per-application resident pod count, maintained on
+	// Place/Remove so replica-spread scoring is O(distinct apps) instead of
+	// O(pods). Few distinct apps share a node, so a linear multiset beats a
+	// map and allocates only on first sight of an app.
+	appCounts []appCount
+
 	hist nodeHistory
+}
+
+// appCount is one entry of a node's per-application pod counter.
+type appCount struct {
+	app string
+	n   int
+}
+
+// AppPodCount returns how many running pods of the application the node
+// hosts.
+func (n *NodeState) AppPodCount(app string) int {
+	for i := range n.appCounts {
+		if n.appCounts[i].app == app {
+			return n.appCounts[i].n
+		}
+	}
+	return 0
+}
+
+func (n *NodeState) bumpApp(app string, delta int) {
+	for i := range n.appCounts {
+		if n.appCounts[i].app == app {
+			n.appCounts[i].n += delta
+			if n.appCounts[i].n <= 0 {
+				last := len(n.appCounts) - 1
+				n.appCounts[i] = n.appCounts[last]
+				n.appCounts = n.appCounts[:last]
+			}
+			return
+		}
+	}
+	if delta > 0 {
+		n.appCounts = append(n.appCounts, appCount{app: app, n: delta})
+	}
 }
 
 // Pods returns the running pods in scheduling order. The slice is shared;
@@ -166,6 +206,28 @@ type Cluster struct {
 	// removal, and lifecycle transitions. The pipeline's candidate index
 	// maintains itself through this hook.
 	observers []func(nodeID int)
+
+	// slab batches PodState allocations: placements are the dominant
+	// allocation source at engine scale, and every PodState is retained for
+	// the cluster's lifetime (byPod keeps finished pods), so chunked
+	// allocation wastes nothing.
+	slab []PodState
+	// podRefSlab carves the initial per-node pod slices in 16-entry views,
+	// sparing every node its own append-growth cascade; Remove truncates in
+	// place, so the backing views live as long as the cluster.
+	podRefSlab []*PodState
+	// snapScratch is Tick's reusable snapshot buffer.
+	snapScratch []NodeSnapshot
+}
+
+// newPodState hands out one PodState from the slab.
+func (c *Cluster) newPodState() *PodState {
+	if len(c.slab) == 0 {
+		c.slab = make([]PodState, 512)
+	}
+	ps := &c.slab[0]
+	c.slab = c.slab[1:]
+	return ps
 }
 
 // AddObserver registers a callback invoked after every node state change.
@@ -188,8 +250,13 @@ func New(nodes []*trace.Node, phys Physics) *Cluster {
 		nodes:   make([]*NodeState, len(nodes)),
 		byPod:   make(map[int]*PodState),
 	}
+	// One backing array for every NodeState: node states live as long as
+	// the cluster, so a slab halves the per-node allocation count and keeps
+	// the scan's node metadata contiguous.
+	states := make([]NodeState, len(nodes))
 	for i, n := range nodes {
-		c.nodes[i] = &NodeState{Node: n}
+		states[i].Node = n
+		c.nodes[i] = &states[i]
 	}
 	return c
 }
@@ -229,14 +296,23 @@ func (c *Cluster) Place(p *trace.Pod, nodeID int, now int64) (*PodState, error) 
 	if n.phase != NodeUp {
 		return nil, fmt.Errorf("cluster: node %d is %s", nodeID, n.phase)
 	}
-	ps := &PodState{Pod: p, NodeID: nodeID, Seq: n.nextSeq, Start: now}
+	ps := c.newPodState()
+	ps.Pod, ps.NodeID, ps.Seq, ps.Start = p, nodeID, n.nextSeq, now
 	n.nextSeq++
+	if n.pods == nil {
+		if len(c.podRefSlab) < 16 {
+			c.podRefSlab = make([]*PodState, 4096)
+		}
+		n.pods = c.podRefSlab[:0:16]
+		c.podRefSlab = c.podRefSlab[16:]
+	}
 	n.pods = append(n.pods, ps)
 	n.reqSum = n.reqSum.Add(p.Request)
 	n.limitSum = n.limitSum.Add(p.Limit)
 	if p.SLO != trace.SLOBE {
 		n.guarReq = n.guarReq.Add(p.Request)
 	}
+	n.bumpApp(p.AppID, 1)
 	c.byPod[p.ID] = ps
 	c.notify(nodeID)
 	return ps, nil
@@ -264,6 +340,7 @@ func (c *Cluster) Remove(podID int, now int64, preempted bool) {
 	if ps.Pod.SLO != trace.SLOBE {
 		n.guarReq = n.guarReq.Sub(ps.Pod.Request)
 	}
+	n.bumpApp(ps.Pod.AppID, -1)
 	clampNonNeg(&n.reqSum)
 	clampNonNeg(&n.limitSum)
 	clampNonNeg(&n.guarReq)

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// benchScoreSetup builds an Optum over one node carrying `residents` pods,
+// with the reservation ledger initialized and the node's summary warm —
+// the steady state a candidate evaluation runs in.
+func benchScoreSetup(tb testing.TB, residents int) (*Optum, *cluster.NodeState, *trace.Pod) {
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 4
+	w := trace.MustGenerate(cfg)
+	prof := trainedProfiles(tb, w, 60)
+	// Inflate capacity so admission passes at every resident count: the
+	// benchmark must measure the full scoring path, not the cheap
+	// over-capacity rejection.
+	for _, n := range w.Nodes {
+		n.Capacity = n.Capacity.Scale(float64(residents))
+	}
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	o := New(c, prof, DefaultOptions(), 7)
+	placed := 0
+	for _, p := range w.Pods {
+		if placed >= residents {
+			break
+		}
+		if _, err := c.Place(p, 0, 0); err == nil {
+			placed++
+		}
+	}
+	if placed < residents {
+		tb.Fatalf("placed %d of %d residents", placed, residents)
+	}
+	o.Schedule(nil, 0) // BeginBatch: the scan reads the reservation ledger
+	n := c.Node(0)
+	cand := w.Pods[len(w.Pods)-1]
+	ScoreHostForTest(o, n, cand) // build the node's summary once
+	return o, n, cand
+}
+
+// BenchmarkScoreHost measures one Eq. 11 candidate evaluation against
+// growing resident populations. With incremental prediction summaries the
+// per-candidate cost is O(extras) amortized — near-flat from 8 to 128
+// residents — where the pre-summary implementation re-walked every resident
+// pod per candidate.
+func BenchmarkScoreHost(b *testing.B) {
+	for _, residents := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("residents=%d", residents), func(b *testing.B) {
+			o, n, cand := benchScoreSetup(b, residents)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ScoreHostForTest(o, n, cand)
+			}
+			b.StopTimer()
+			hits, appends, rebuilds := o.Summaries().Counters()
+			b.ReportMetric(float64(hits)/float64(b.N), "summary_hits/op")
+			b.ReportMetric(float64(appends+rebuilds), "summary_maintenance_total")
+		})
+	}
+}
+
+// TestScoreHostAllocFree pins the tentpole's zero-allocation claim: a
+// steady-state candidate evaluation (summary warm, app count within the
+// stack scratch) must not allocate at all.
+func TestScoreHostAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	o, n, cand := benchScoreSetup(t, 32)
+	if avg := testing.AllocsPerRun(100, func() {
+		ScoreHostForTest(o, n, cand)
+	}); avg != 0 {
+		t.Errorf("scoreHost allocates %v objects per call, want 0", avg)
+	}
+}
+
+// TestFallbackFilterAllocFree pins the degraded-mode admission filter: its
+// request chain is value-typed end to end.
+func TestFallbackFilterAllocFree(t *testing.T) {
+	o, n, cand := benchScoreSetup(t, 8)
+	_ = o
+	f := requestFallbackFit{memCap: 0.8}
+	resv := trace.Resources{CPU: 0.5, Mem: 1 << 28}
+	if avg := testing.AllocsPerRun(100, func() {
+		f.Filter(n, cand, resv)
+	}); avg != 0 {
+		t.Errorf("requestFallbackFit.Filter allocates %v per call, want 0", avg)
+	}
+}

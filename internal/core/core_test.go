@@ -10,8 +10,9 @@ import (
 )
 
 // trainedProfiles builds profiles by replaying a round-robin warmup, the
-// same trick the profiler tests use.
-func trainedProfiles(t *testing.T, w *trace.Workload, ticks int) Profiles {
+// same trick the profiler tests use. It takes testing.TB so benchmarks can
+// share it.
+func trainedProfiles(t testing.TB, w *trace.Workload, ticks int) Profiles {
 	t.Helper()
 	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
 	col := profiler.NewCollector(1)

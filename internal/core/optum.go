@@ -104,7 +104,17 @@ type Optum struct {
 	Profiles Profiles
 
 	pred *predictor.Optum
+	// sums caches per-node Eq. 7-8 prediction state so scoring appends only
+	// the batch reservations and the candidate instead of re-walking every
+	// resident pod (see predictor.SummaryStore for the exactness argument).
+	sums *predictor.SummaryStore
 	rng  *rand.Rand
+	// Sampler scratch, reused across decisions. Sample runs serially on the
+	// batch goroutine (only the per-node scan is parallel), and the returned
+	// slice is consumed before the next decision starts.
+	sampleOut, sampleIdx []int
+	// Cached pipeline specs; option-derived fields are refreshed per batch.
+	mainSpec, fallbackSpec *pipeline.Spec
 }
 
 // New builds an Optum scheduler over a cluster and profiler outputs.
@@ -125,6 +135,7 @@ func New(c *cluster.Cluster, prof Profiles, opt Options, seed int64) *Optum {
 		Opt:      opt,
 		Profiles: prof,
 		pred:     pred,
+		sums:     predictor.NewSummaryStore(pred, c),
 		rng:      rand.New(rand.NewSource(seed + 1)),
 	}
 }
@@ -138,26 +149,30 @@ func (o *Optum) Predictor() *predictor.Optum { return o.pred }
 
 // Schedule implements sched.Scheduler: one greedy, objective-guided
 // decision per pending pod, driven through the shared placement pipeline.
-// The specs are rebuilt per batch so option changes between batches take
-// effect.
+// The specs are cached; option-derived fields are refreshed per batch so
+// option changes between batches still take effect.
 func (o *Optum) Schedule(pods []*trace.Pod, now int64) []sched.Decision {
 	o.BeginBatch()
 	workers := o.Opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	main := &pipeline.Spec{
-		Eval:             optumEval{o},
-		Sampler:          ppoSampler{o},
-		Preempt:          true,
-		FullScanFallback: o.Opt.FullScanFallback,
-		ScanWorkers:      workers,
+	if o.mainSpec == nil {
+		o.mainSpec = &pipeline.Spec{
+			Eval:    optumEval{o},
+			Sampler: ppoSampler{o},
+			Preempt: true,
+		}
+		o.fallbackSpec = &pipeline.Spec{
+			Filters: []pipeline.FilterPlugin{nil},
+			Scores:  []pipeline.WeightedScore{{Plugin: sched.ReqAlignment{}, Weight: 1}},
+			Preempt: true,
+		}
 	}
-	fallback := &pipeline.Spec{
-		Filters: []pipeline.FilterPlugin{requestFallbackFit{memCap: o.Opt.MemCap}},
-		Scores:  []pipeline.WeightedScore{{Plugin: sched.ReqAlignment{}, Weight: 1}},
-		Preempt: true,
-	}
+	o.mainSpec.FullScanFallback = o.Opt.FullScanFallback
+	o.mainSpec.ScanWorkers = workers
+	o.fallbackSpec.Filters[0] = requestFallbackFit{memCap: o.Opt.MemCap}
+	main, fallback := o.mainSpec, o.fallbackSpec
 	out := make([]sched.Decision, len(pods))
 	for i, p := range pods {
 		if o.degraded(p.AppID) {
@@ -173,6 +188,7 @@ func (o *Optum) Schedule(pods []*trace.Pod, now int64) []sched.Decision {
 		}
 		out[i] = o.Select(p, main)
 	}
+	o.sums.FlushStats(o.Pipeline().Stats())
 	return out
 }
 
@@ -252,10 +268,17 @@ func (s ppoSampler) Sample(_ *trace.Pod, cands []int) []int {
 	if k >= len(cands) {
 		return cands
 	}
-	out := make([]int, k)
-	// Partial Fisher-Yates over a copy of indices.
-	idx := make([]int, len(cands))
+	// Partial Fisher-Yates over a copy of indices, in buffers reused across
+	// decisions (Sample is serial; the result is consumed per decision).
+	if cap(o.sampleIdx) < len(cands) {
+		o.sampleIdx = make([]int, len(cands))
+	}
+	idx := o.sampleIdx[:len(cands)]
 	copy(idx, cands)
+	if cap(o.sampleOut) < k {
+		o.sampleOut = make([]int, k)
+	}
+	out := o.sampleOut[:k]
 	for i := 0; i < k; i++ {
 		j := i + o.rng.Intn(len(idx)-i)
 		idx[i], idx[j] = idx[j], idx[i]
@@ -275,14 +298,14 @@ func (o *Optum) scoreHost(n *cluster.NodeState, p *trace.Pod) (score float64, cp
 	// Pods reserved by this batch's earlier decisions enter the Eq. 7-8
 	// pairing exactly like running pods — their applications' ERO profiles
 	// apply, so burst arrivals of one application pack as tightly as the
-	// profiles justify.
+	// profiles justify. The node's resident state comes from the cached
+	// summary, so only resv and p are walked here: O(extras), not
+	// O(residents), and nothing is allocated.
 	resv := o.ReservedPods(n.Node.ID)
-	extras := make([]*trace.Pod, 0, len(resv)+1)
-	extras = append(extras, resv...)
-	extras = append(extras, p)
+	sum := o.sums.ForNode(n)
 
-	poc := o.pred.PredictCPUPods(n.Pods(), extras)
-	pom := o.pred.PredictMemPods(n.Pods(), extras)
+	poc := o.sums.CPUWith(sum, resv, p)
+	pom := o.sums.MemWith(sum, resv, p)
 	cpuOK = poc <= capc.CPU
 	memOK = pom <= o.Opt.MemCap*capc.Mem
 	if !cpuOK || !memOK {
@@ -294,57 +317,75 @@ func (o *Optum) scoreHost(n *cluster.NodeState, p *trace.Pod) (score float64, cp
 	// "Before" load level for the delta form: the host without p.
 	hostC0, hostM0 := hostC, hostM
 	if !o.Opt.AbsoluteScore {
-		hostC0 = o.pred.PredictCPUPods(n.Pods(), resv) / capc.CPU
-		hostM0 = o.pred.PredictMemPods(n.Pods(), resv) / capc.Mem
+		hostC0 = o.sums.CPUWith(sum, resv, nil) / capc.CPU
+		hostM0 = o.sums.MemWith(sum, resv, nil) / capc.Mem
 	}
 
 	var lsSum, beSum float64
-	// Per-application memoization: pods of one app share profile inputs.
-	cache := make(map[string]float64, 8)
-	// addResident accumulates a resident pod's term: its interference
-	// increase caused by the placement (delta form) or its absolute level
-	// (Eq. 11 literal form).
-	addResident := func(appID string, slo trace.SLO) {
-		switch {
-		case slo.LatencySensitive():
-			ri, ok := cache["L"+appID]
-			if !ok {
-				cm, mm, qm, _ := o.Profiles.Stats.Max(appID)
-				ri = o.Profiles.Models.PredictPSI(appID, cm, mm, hostC, hostM, qm)
-				if !o.Opt.AbsoluteScore {
-					ri -= o.Profiles.Models.PredictPSI(appID, cm, mm, hostC0, hostM0, qm)
-				}
-				cache["L"+appID] = ri
-			}
-			lsSum += ri
-		case slo == trace.SLOBE:
-			if !o.Profiles.Models.TrustedBE(appID, o.Opt.MAPEGate) {
-				return
-			}
-			ri, ok := cache["B"+appID]
-			if !ok {
-				cm, mm, _, _ := o.Profiles.Stats.Max(appID)
-				ri = o.Profiles.Models.PredictCT(appID, cm, mm, hostC, hostM)
-				if o.Opt.AbsoluteScore {
-					// Degradation form: subtract the app's uncontended
-					// completion time so calm co-location costs nothing.
-					ri -= o.Profiles.Models.PredictCT(appID, cm, mm, 0, 0)
-				} else {
-					ri -= o.Profiles.Models.PredictCT(appID, cm, mm, hostC0, hostM0)
-				}
-				if ri < 0 {
-					ri = 0
-				}
-				cache["B"+appID] = ri
-			}
-			beSum += ri
+	// Pods of one application share profile inputs, so terms are computed
+	// once per distinct (application, SLO class) entry of the node's
+	// composition multiset — a flat scratch indexed by the summary, not a
+	// per-candidate map with concatenated string keys.
+	apps := sum.Apps()
+	var termBuf [64]float64
+	terms := termBuf[:0]
+	if len(apps) > len(termBuf) {
+		terms = make([]float64, 0, len(apps))
+	}
+	for i := range apps {
+		terms = append(terms, o.residentTerm(apps[i].App, apps[i].LS, hostC, hostM, hostC0, hostM0))
+	}
+	// Replay the residents in scheduling order: the identical sequence of
+	// floating-point additions a full per-pod walk performs (untrusted BE
+	// entries hold 0.0, a bitwise no-op on the non-negative accumulator).
+	for _, idx := range sum.TermIdx() {
+		if idx < 0 {
+			continue
+		}
+		if apps[idx].LS {
+			lsSum += terms[idx]
+		} else {
+			beSum += terms[idx]
 		}
 	}
-	for _, ps := range n.Pods() {
-		addResident(ps.Pod.AppID, ps.Pod.SLO)
-	}
+	// Batch-reserved pods reuse resident entries where the (application,
+	// class) matches; new pairs get a small scratch extension.
+	var extBuf [8]resvTerm
+	ext := extBuf[:0]
 	for _, rp := range resv {
-		addResident(rp.AppID, rp.SLO)
+		var ls bool
+		switch {
+		case rp.SLO.LatencySensitive():
+			ls = true
+		case rp.SLO == trace.SLOBE:
+			ls = false
+		default:
+			continue
+		}
+		ri, found := 0.0, false
+		for i := range apps {
+			if apps[i].LS == ls && apps[i].App == rp.AppID {
+				ri, found = terms[i], true
+				break
+			}
+		}
+		if !found {
+			for i := range ext {
+				if ext[i].ls == ls && ext[i].app == rp.AppID {
+					ri, found = ext[i].val, true
+					break
+				}
+			}
+		}
+		if !found {
+			ri = o.residentTerm(rp.AppID, ls, hostC, hostM, hostC0, hostM0)
+			ext = append(ext, resvTerm{app: rp.AppID, ls: ls, val: ri})
+		}
+		if ls {
+			lsSum += ri
+		} else {
+			beSum += ri
+		}
 	}
 	// The about-to-be-scheduled pod's own term is its absolute predicted
 	// degradation at the new load level in both forms (it had no "before").
@@ -380,6 +421,51 @@ func (o *Optum) scoreHost(n *cluster.NodeState, p *trace.Pod) (score float64, cp
 	}
 	return score, true, true
 }
+
+// resvTerm is scratch for a batch-reserved pod's interference entry not
+// already present in the node's resident multiset.
+type resvTerm struct {
+	app string
+	ls  bool
+	val float64
+}
+
+// residentTerm computes one (application, SLO class) entry's Eq. 11
+// interference term: the degradation increase the placement causes (delta
+// form) or the absolute level (literal form). It is a pure function of the
+// entry and the host load levels, so one evaluation serves every pod of the
+// entry. Untrusted BE applications contribute zero, exactly like the
+// per-pod walk that skipped them.
+func (o *Optum) residentTerm(appID string, ls bool, hostC, hostM, hostC0, hostM0 float64) float64 {
+	if ls {
+		cm, mm, qm, _ := o.Profiles.Stats.Max(appID)
+		ri := o.Profiles.Models.PredictPSI(appID, cm, mm, hostC, hostM, qm)
+		if !o.Opt.AbsoluteScore {
+			ri -= o.Profiles.Models.PredictPSI(appID, cm, mm, hostC0, hostM0, qm)
+		}
+		return ri
+	}
+	if !o.Profiles.Models.TrustedBE(appID, o.Opt.MAPEGate) {
+		return 0
+	}
+	cm, mm, _, _ := o.Profiles.Stats.Max(appID)
+	ri := o.Profiles.Models.PredictCT(appID, cm, mm, hostC, hostM)
+	if o.Opt.AbsoluteScore {
+		// Degradation form: subtract the app's uncontended completion time
+		// so calm co-location costs nothing.
+		ri -= o.Profiles.Models.PredictCT(appID, cm, mm, 0, 0)
+	} else {
+		ri -= o.Profiles.Models.PredictCT(appID, cm, mm, hostC0, hostM0)
+	}
+	if ri < 0 {
+		ri = 0
+	}
+	return ri
+}
+
+// Summaries exposes the prediction-summary store (benchmarks and tests read
+// its counters directly).
+func (o *Optum) Summaries() *predictor.SummaryStore { return o.sums }
 
 // ScoreHostForTest exposes scoreHost for diagnostic tests.
 func ScoreHostForTest(o *Optum, n *cluster.NodeState, p *trace.Pod) (float64, bool, bool) {

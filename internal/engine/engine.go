@@ -237,6 +237,10 @@ type Engine struct {
 
 	recMu sync.Mutex
 	recs  map[int]*podRecord
+	// recSlab batches podRecord allocations (guarded by recMu): records are
+	// retained for the engine's lifetime, so chunking wastes nothing and
+	// removes one heap object per submission.
+	recSlab []podRecord
 
 	wMu     sync.Mutex
 	waiting waitHeap
@@ -262,7 +266,7 @@ func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
 		c:      c,
 		q:      newQueue(cfg.QueueCap),
 		m:      newMetrics(),
-		recs:   make(map[int]*podRecord),
+		recs:   make(map[int]*podRecord, 8192),
 		stopCh: make(chan struct{}),
 	}
 	e.q.onPop = func(n int) { e.inFlight.Add(int64(n)) }
@@ -326,7 +330,12 @@ func (e *Engine) Submit(p *trace.Pod) error {
 		e.recMu.Unlock()
 		return ErrDuplicate
 	}
-	rec := &podRecord{pod: p, node: -1, since: now}
+	if len(e.recSlab) == 0 {
+		e.recSlab = make([]podRecord, 512)
+	}
+	rec := &e.recSlab[0]
+	e.recSlab = e.recSlab[1:]
+	rec.pod, rec.node, rec.since = p, -1, now
 	e.recs[p.ID] = rec
 	e.recMu.Unlock()
 	e.m.submitted.Add(1)

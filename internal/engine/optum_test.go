@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/core"
+	"unisched/internal/profiler"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// trainOptumProfiles replays a short round-robin warmup on a throwaway
+// cluster so the engine tests can run the full Optum scheduler.
+func trainOptumProfiles(t *testing.T, w *trace.Workload) core.Profiles {
+	t.Helper()
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	col := profiler.NewCollector(1)
+	next := 0
+	placed := map[int]bool{}
+	for tick := 0; tick < 60; tick++ {
+		now := int64(tick) * trace.SampleInterval
+		for _, p := range w.Pods {
+			if p.Submit > now {
+				break
+			}
+			if placed[p.ID] {
+				continue
+			}
+			if _, err := c.Place(p, next%len(w.Nodes), now); err == nil {
+				placed[p.ID] = true
+				next++
+			}
+		}
+		completed, snaps := c.Tick(now, float64(trace.SampleInterval))
+		col.ObserveTick(snaps)
+		for _, ps := range completed {
+			col.ObserveCompletion(ps)
+		}
+	}
+	models, err := col.TrainInterference(profiler.DefaultFactory(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Profiles{ERO: col.ERO(), Stats: col.Stats(), Models: models}
+}
+
+// TestEngineOptumWorkersSummaries runs the full Optum scheduler on a
+// multi-worker engine: every worker owns a scheduler (and so a summary
+// store), but they share one cluster, so each store's observer fires on
+// every worker's commit. The race detector covers the observer/scan
+// interplay when CI runs this package with -race; the assertions cover
+// conservation and that the summary counters surface in the merged engine
+// snapshot.
+func TestEngineOptumWorkersSummaries(t *testing.T) {
+	w := smallWorkload(t)
+	prof := trainOptumProfiles(t, w)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	factory := func(c *cluster.Cluster, worker int, seed int64) sched.Scheduler {
+		return core.New(c, prof, core.DefaultOptions(), seed)
+	}
+	e := New(c, factory, Config{Workers: 4, Shards: 8, Horizon: w.Horizon, BlockOnFull: true})
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("submit pod %d: %v", p.ID, err)
+		}
+	}
+	if !e.Drain(60 * time.Second) {
+		e.Stop()
+		t.Fatalf("engine did not settle: %+v", e.Snapshot())
+	}
+	e.Stop()
+	sn := e.Snapshot()
+	checkConservation(t, w, sn)
+	if sn.Pipeline == nil {
+		t.Fatal("snapshot carries no pipeline stats")
+	}
+	if sn.Pipeline.SummaryHits == 0 {
+		t.Errorf("no summary cache hits recorded: %+v", *sn.Pipeline)
+	}
+	if sn.Pipeline.SummaryAppends+sn.Pipeline.SummaryRebuilds == 0 {
+		t.Errorf("no summary maintenance recorded: %+v", *sn.Pipeline)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"hash/fnv"
+	"sort"
+	"testing"
+
+	"unisched/internal/core"
+	"unisched/internal/sim"
+)
+
+// GoldenSchedulers is every scheduler config the repo evaluates — the
+// Fig. 19-20 lineup plus the two production reference points.
+var GoldenSchedulers = []SchedulerName{
+	NameOptum, NameRCLike, NameNSigma, NameBorgLike,
+	NameMedea, NameKubeLike, NameAlibaba,
+}
+
+// goldenPlacements freezes the fixed-seed placement outcome of every
+// scheduler config: an FNV-1a hash over the final pod-to-node assignment
+// plus the placed/pending totals of a QuickScale replay.
+//
+// These values are the repo's bit-identity gate. Performance work on the
+// scoring path (prediction summaries, scratch reuse, index pruning) must
+// reproduce scores EXACTLY — floating-point accumulation order included —
+// so a hash change here is a correctness regression unless the PR
+// deliberately changes scheduling policy, in which case the new values
+// must be justified in the PR description and updated together.
+var goldenPlacements = map[SchedulerName]uint64{
+	NameOptum:    0x0d4fcd25ba6186c8,
+	NameRCLike:   0xd7a385e05d8e3d42,
+	NameNSigma:   0x04c997864d9a3c13,
+	NameBorgLike: 0x3d41ebb87180c93d,
+	NameMedea:    0x68c6fe639fe630c1,
+	NameKubeLike: 0x45332a2555a1e998,
+	NameAlibaba:  0x72da2df3fd080b9a,
+}
+
+// placementHash digests the deterministic placement outcome of a run.
+func placementHash(res *sim.Result) uint64 {
+	ids := make([]int, 0, len(res.NodeOf))
+	for id := range res.NodeOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	h := fnv.New64a()
+	buf := make([]byte, 0, 16)
+	put := func(v int) {
+		buf = buf[:0]
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(v>>(8*i)))
+		}
+		h.Write(buf)
+	}
+	put(res.Placed)
+	put(res.Pending)
+	for _, id := range ids {
+		put(id)
+		put(res.NodeOf[id])
+	}
+	return h.Sum64()
+}
+
+func TestGoldenPlacements(t *testing.T) {
+	s := quickSetup(t)
+	for _, name := range GoldenSchedulers {
+		res := s.RunScheduler(name, core.DefaultOptions())
+		got := placementHash(res)
+		if want := goldenPlacements[name]; got != want {
+			t.Errorf("%s: placement hash %#016x, want %#016x (placed=%d pending=%d) — "+
+				"scores moved; see goldenPlacements doc before updating",
+				name, got, want, res.Placed, res.Pending)
+		}
+	}
+}

@@ -9,32 +9,56 @@ import "unisched/internal/trace"
 // and the reserved pods themselves (Optum's Eq. 7-8 pairing treats them
 // like running pods). Medea shares one ledger across its greedy and ILP
 // tiers by construction: both tiers reserve through the same Pipeline.
+//
+// Storage is dense — slices indexed by node ID — because Reserved sits on
+// the scan hot path (one lookup per visited candidate, concurrently from
+// the parallel scan's goroutines): a slice read costs an index, a map read
+// costs hashing plus probing. A dirty list keeps Begin proportional to the
+// nodes the previous batch actually touched.
 type Ledger struct {
-	resv map[int]trace.Resources
-	pods map[int][]*trace.Pod
+	resv  []trace.Resources
+	pods  [][]*trace.Pod
+	dirty []int
+	// slab carves the initial per-node pod slices in 4-pod views from a
+	// shared chunk: the first reservation on a node then costs no
+	// allocation. A node that collects more than 4 reservations in one
+	// batch grows onto its own array; the slices persist across Begin.
+	slab []*trace.Pod
 }
 
-// NewLedger returns an empty reservation ledger.
-func NewLedger() *Ledger {
+// NewLedger returns an empty reservation ledger over a cluster of `nodes`
+// hosts (node IDs are dense in [0, nodes)).
+func NewLedger(nodes int) *Ledger {
 	return &Ledger{
-		resv: make(map[int]trace.Resources),
-		pods: make(map[int][]*trace.Pod),
+		resv:  make([]trace.Resources, nodes),
+		pods:  make([][]*trace.Pod, nodes),
+		dirty: make([]int, 0, 64),
 	}
 }
 
 // Begin clears the ledger; schedulers call it at the top of every
-// Schedule invocation.
+// Schedule invocation. Per-node pod slices are truncated, not freed, so
+// steady-state batches reserve without allocating.
 func (l *Ledger) Begin() {
-	for k := range l.resv {
-		delete(l.resv, k)
+	for _, id := range l.dirty {
+		l.resv[id] = trace.Resources{}
+		l.pods[id] = l.pods[id][:0]
 	}
-	for k := range l.pods {
-		delete(l.pods, k)
-	}
+	l.dirty = l.dirty[:0]
 }
 
 // Add records that this batch has decided to place p on node id.
 func (l *Ledger) Add(id int, p *trace.Pod) {
+	if len(l.pods[id]) == 0 {
+		l.dirty = append(l.dirty, id)
+		if l.pods[id] == nil {
+			if len(l.slab) < 4 {
+				l.slab = make([]*trace.Pod, 256)
+			}
+			l.pods[id] = l.slab[:0:4]
+			l.slab = l.slab[4:]
+		}
+	}
 	l.resv[id] = l.resv[id].Add(p.Request)
 	l.pods[id] = append(l.pods[id], p)
 }
@@ -43,5 +67,5 @@ func (l *Ledger) Add(id int, p *trace.Pod) {
 func (l *Ledger) Reserved(id int) trace.Resources { return l.resv[id] }
 
 // Pods returns the pods this batch has promised to node id. The slice is
-// shared; callers must not modify it.
+// shared and reused across batches; callers must not modify or retain it.
 func (l *Ledger) Pods(id int) []*trace.Pod { return l.pods[id] }

@@ -21,11 +21,24 @@ type Pipeline struct {
 	idx   *Index
 	led   *Ledger
 	stats *Stats
+	// scanBuf is the parallel scan's per-decision result scratch, reused
+	// across decisions (Select runs serially on the batch goroutine; only
+	// the per-node evaluation inside one decision fans out).
+	scanBuf []scanResult
+}
+
+// scanResult is one candidate's evaluation outcome in a parallel scan.
+type scanResult struct {
+	id    int
+	ok    bool
+	cpuNo bool
+	memNo bool
+	score float64
 }
 
 // New builds a pipeline over the cluster.
 func New(c *cluster.Cluster) *Pipeline {
-	return &Pipeline{c: c, idx: NewIndex(c), led: NewLedger(), stats: &Stats{}}
+	return &Pipeline{c: c, idx: NewIndex(c), led: NewLedger(len(c.Nodes())), stats: &Stats{}}
 }
 
 // Cluster returns the underlying cluster view.
@@ -327,19 +340,15 @@ func (pl *Pipeline) scanList(p *trace.Pod, ids []int, sp *Spec) (Decision, int, 
 // in contiguous chunks, then reduces serially in list order — bitwise
 // identical results to the serial scan, whatever the interleaving.
 func (pl *Pipeline) scanParallel(p *trace.Pod, ids []int, sp *Spec) (Decision, int, int) {
-	type result struct {
-		id    int
-		ok    bool
-		cpuNo bool
-		memNo bool
-		score float64
+	if cap(pl.scanBuf) < len(ids) {
+		pl.scanBuf = make([]scanResult, len(ids))
 	}
-	results := make([]result, len(ids))
+	results := pl.scanBuf[:len(ids)]
 	eval := func(k int) {
 		id := ids[k]
 		n := pl.c.Node(id)
 		score, cpuOK, memOK := sp.evaluate(n, p, pl.led.Reserved(id))
-		results[k] = result{id: id, ok: cpuOK && memOK, cpuNo: !cpuOK, memNo: !memOK, score: score}
+		results[k] = scanResult{id: id, ok: cpuOK && memOK, cpuNo: !cpuOK, memNo: !memOK, score: score}
 	}
 	var wg sync.WaitGroup
 	workers := sp.ScanWorkers

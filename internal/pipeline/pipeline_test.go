@@ -335,7 +335,7 @@ func TestSelectPreFilterStage(t *testing.T) {
 
 func TestLedger(t *testing.T) {
 	w := smallWorkload(t, 2)
-	led := NewLedger()
+	led := NewLedger(2)
 	p1, p2 := w.Pods[0], w.Pods[1]
 	led.Add(0, p1)
 	led.Add(0, p2)

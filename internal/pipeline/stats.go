@@ -48,7 +48,22 @@ type Stats struct {
 	visitedNodes   atomic.Int64 // per-node filter/eval executions
 	scoredNodes    atomic.Int64 // score executions (admitted nodes)
 
+	// Prediction-summary cache counters (Optum's incremental per-node
+	// summaries; zero for schedulers that don't use them).
+	summaryHits     atomic.Int64
+	summaryAppends  atomic.Int64
+	summaryRebuilds atomic.Int64
+
 	nanos [numStages]atomic.Int64
+}
+
+// AddSummary accumulates prediction-summary cache counters: cache hits at
+// score time, O(1) observer appends, and full rebuilds. It implements
+// predictor.StatsSink.
+func (st *Stats) AddSummary(hits, appends, rebuilds int64) {
+	st.summaryHits.Add(hits)
+	st.summaryAppends.Add(appends)
+	st.summaryRebuilds.Add(rebuilds)
 }
 
 // observe adds d to one stage's latency accumulator.
@@ -73,6 +88,10 @@ type StatsSnapshot struct {
 	PrunedMem      int64 `json:"pruned_mem,omitempty"`
 	VisitedNodes   int64 `json:"visited_nodes"`
 	ScoredNodes    int64 `json:"scored_nodes"`
+
+	SummaryHits     int64 `json:"summary_hits,omitempty"`
+	SummaryAppends  int64 `json:"summary_appends,omitempty"`
+	SummaryRebuilds int64 `json:"summary_rebuilds,omitempty"`
 
 	// StageMicros is total microseconds spent per stage.
 	StageMicros map[string]float64 `json:"stage_micros"`
@@ -106,6 +125,9 @@ func (st *Stats) AddTo(sn *StatsSnapshot) {
 	sn.PrunedMem += st.prunedMem.Load()
 	sn.VisitedNodes += st.visitedNodes.Load()
 	sn.ScoredNodes += st.scoredNodes.Load()
+	sn.SummaryHits += st.summaryHits.Load()
+	sn.SummaryAppends += st.summaryAppends.Load()
+	sn.SummaryRebuilds += st.summaryRebuilds.Load()
 	if sn.StageMicros == nil {
 		sn.StageMicros = make(map[string]float64, int(numStages))
 	}

@@ -1,0 +1,345 @@
+package predictor
+
+import (
+	"sync/atomic"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// This file makes Optum's per-candidate cost O(extras) amortized instead of
+// O(residents): a SummaryStore caches, per node, the Eq. 7-8 prediction
+// state over the node's resident pods — the partial ERO sum of all complete
+// pod groups, the trailing ungrouped pods, and the memory-profile sum —
+// plus the node's app-composition multiset for the Eq. 11 interference
+// terms. Scoring a candidate then only appends the batch reservations and
+// the candidate pod to the cached tail.
+//
+// Exactness. Floating-point addition is not associative, so the cache keeps
+// the *accumulation order* of a from-scratch PredictCPUPods walk: pairSum
+// is the exact left-to-right partial sum after the last complete resident
+// group, and CPUWith continues that same sequence of additions with the
+// extras. A placement appends to the node's pod list, so the cached prefix
+// is untouched and the summary extends by one pod; a removal re-pairs every
+// subsequent pod, so the summary invalidates and rebuilds once per exit —
+// not once per candidate. Results are therefore bit-identical to the full
+// walk (golden placement hashes must not move).
+//
+// Concurrency. Summaries follow the same contract as pipeline.Index, which
+// is maintained through the identical cluster-observer hook: observer
+// mutations run synchronously on the mutating goroutine (the sim's single
+// thread, or an engine worker holding its shard's write lock), while reads
+// happen with no commit in flight on the node's shard. ForNode may rebuild
+// in place during a read, which is safe because the pipeline's parallel
+// scan hands each goroutine a disjoint set of node IDs. Counters are
+// atomic so concurrent scanners can bump them.
+
+// VersionedTable is implemented by profile tables whose answers change over
+// time (the live profiler.EROStore): TableVersion advances whenever any
+// ERO, ERO3 or MemProfile result may have moved, which is what lets a
+// SummaryStore invalidate cached sums exactly when the table does. Tables
+// without it (immutable test stubs) are treated as frozen at version 0.
+type VersionedTable interface {
+	TableVersion() uint64
+}
+
+// StatsSink receives summary cache counter deltas; pipeline.Stats
+// implements it.
+type StatsSink interface {
+	AddSummary(hits, appends, rebuilds int64)
+}
+
+// AppCount is one entry of a node's app-composition multiset: a distinct
+// (application, SLO class) pair with its resident pod count.
+type AppCount struct {
+	App string
+	// LS marks the latency-sensitive entry for the application; a false LS
+	// covers its best-effort pods.
+	LS bool
+	// N counts the resident pods in this entry.
+	N int
+}
+
+// NodeSummary is one node's cached prediction state. Zero value = invalid;
+// the first ForNode read builds it.
+type NodeSummary struct {
+	valid   bool
+	triples bool   // grouping mode the summary was built under
+	version uint64 // table version the sums were computed against
+	npods   int    // resident pods covered
+
+	// pairSum is the exact partial Eq. 7-8 sum over all complete resident
+	// groups, accumulated left-to-right exactly as PredictCPUPods would.
+	pairSum float64
+	// tail holds the trailing residents of an incomplete group (at most 1
+	// in pair mode, 2 in triple mode).
+	tail    [2]*trace.Pod
+	tailLen int
+	// memSum is the Eq. 8 memory sum Σ MemProfile(app)·request.Mem over
+	// residents, in scheduling order.
+	memSum float64
+
+	// apps is the app-composition multiset; termIdx maps each resident pod
+	// (in scheduling order) to its entry, -1 for pods outside both
+	// interference classes. Both slices are reused across rebuilds.
+	apps    []AppCount
+	termIdx []int32
+}
+
+// Apps returns the distinct (application, SLO class) entries among the
+// node's residents. The slice is owned by the summary: do not modify or
+// retain it past the current scoring call.
+func (sum *NodeSummary) Apps() []AppCount { return sum.apps }
+
+// TermIdx maps each resident pod, in scheduling order, to its Apps entry
+// (-1 for pods in no interference class). Replaying per-pod additions
+// through it reproduces the exact floating-point accumulation order of a
+// full resident walk — per-entry count·term multiplication would not.
+func (sum *NodeSummary) TermIdx() []int32 { return sum.termIdx }
+
+// Pods reports how many resident pods the summary covers.
+func (sum *NodeSummary) Pods() int { return sum.npods }
+
+// appIdx returns the multiset entry for (app, ls), adding one if missing,
+// and bumps its count. Distinct apps per node are few, so a linear scan
+// beats a map (and allocates nothing).
+func (sum *NodeSummary) appIdx(app string, ls bool) int32 {
+	for i := range sum.apps {
+		if sum.apps[i].LS == ls && sum.apps[i].App == app {
+			sum.apps[i].N++
+			return int32(i)
+		}
+	}
+	sum.apps = append(sum.apps, AppCount{App: app, LS: ls, N: 1})
+	return int32(len(sum.apps) - 1)
+}
+
+// SummaryStore maintains one NodeSummary per node, kept fresh through the
+// cluster's observer hook.
+type SummaryStore struct {
+	pred *Optum
+	c    *cluster.Cluster
+	vt   VersionedTable // nil when the table is immutable
+	sums []NodeSummary
+
+	hits, appends, rebuilds atomic.Int64
+	// Flush bookkeeping; only the (serial) batch goroutine touches these.
+	lastHits, lastAppends, lastRebuilds int64
+}
+
+// NewSummaryStore builds a store over the cluster's nodes and registers its
+// observer. Call once per scheduler instance, before scheduling starts.
+func NewSummaryStore(pred *Optum, c *cluster.Cluster) *SummaryStore {
+	s := &SummaryStore{
+		pred: pred,
+		c:    c,
+		sums: make([]NodeSummary, len(c.Nodes())),
+	}
+	s.vt, _ = pred.Table.(VersionedTable)
+	c.AddObserver(s.observe)
+	return s
+}
+
+func (s *SummaryStore) tableVersion() uint64 {
+	if s.vt == nil {
+		return 0
+	}
+	return s.vt.TableVersion()
+}
+
+// triplesOn reports the current Eq. 7-8 grouping mode, mirroring the
+// dispatch in PredictCPUPods.
+func (s *SummaryStore) triplesOn() bool {
+	if !s.pred.UseTriples {
+		return false
+	}
+	t3, ok := s.pred.Table.(EROTable3)
+	return ok && t3.TriplesEnabled()
+}
+
+// observe is the cluster observer: it fires after every single node
+// mutation. The pod-count delta identifies the mutation — the only change
+// that grows the list is Place, which appends, so the cached prefix is
+// untouched and the summary extends in O(1); a shrink (or any valid=false
+// state) defers to a lazy rebuild so a burst of exits costs one rebuild at
+// the next read, not one per event.
+func (s *SummaryStore) observe(nodeID int) {
+	sum := &s.sums[nodeID]
+	if !sum.valid {
+		return
+	}
+	pods := s.c.Node(nodeID).Pods()
+	switch len(pods) {
+	case sum.npods + 1:
+		if sum.version != s.tableVersion() {
+			// The table moved since the summary was built; extending it
+			// would mix coefficient versions. Rebuild on next read.
+			sum.valid = false
+			return
+		}
+		s.appendPod(sum, pods[len(pods)-1].Pod)
+		s.appends.Add(1)
+	case sum.npods:
+		// Phase-only lifecycle event: pod composition unchanged.
+	default:
+		sum.valid = false
+	}
+}
+
+// appendPod extends the summary by one pod, continuing the exact Eq. 7-8
+// accumulation sequence. Shared by the observer's O(1) append and rebuild.
+func (s *SummaryStore) appendPod(sum *NodeSummary, p *trace.Pod) {
+	t := s.pred.Table
+	if sum.triples {
+		if sum.tailLen == 2 {
+			a, b := sum.tail[0], sum.tail[1]
+			sum.pairSum += t.(EROTable3).ERO3(a.AppID, b.AppID, p.AppID) *
+				(a.Request.CPU + b.Request.CPU + p.Request.CPU)
+			sum.tail[0], sum.tail[1] = nil, nil
+			sum.tailLen = 0
+		} else {
+			sum.tail[sum.tailLen] = p
+			sum.tailLen++
+		}
+	} else {
+		if sum.tailLen == 1 {
+			a := sum.tail[0]
+			sum.pairSum += t.ERO(a.AppID, p.AppID) * (a.Request.CPU + p.Request.CPU)
+			sum.tail[0] = nil
+			sum.tailLen = 0
+		} else {
+			sum.tail[0] = p
+			sum.tailLen = 1
+		}
+	}
+	sum.memSum += t.MemProfile(p.AppID) * p.Request.Mem
+
+	idx := int32(-1)
+	switch {
+	case p.SLO.LatencySensitive():
+		idx = sum.appIdx(p.AppID, true)
+	case p.SLO == trace.SLOBE:
+		idx = sum.appIdx(p.AppID, false)
+	}
+	sum.termIdx = append(sum.termIdx, idx)
+	sum.npods++
+}
+
+// rebuild recomputes the summary from scratch: the same left-to-right walk
+// PredictCPUPods performs over the residents, so the cached partial sums
+// are bitwise prefixes of the full computation.
+func (s *SummaryStore) rebuild(sum *NodeSummary, n *cluster.NodeState) {
+	sum.version = s.tableVersion()
+	sum.triples = s.triplesOn()
+	sum.npods = 0
+	sum.pairSum = 0
+	sum.tail[0], sum.tail[1] = nil, nil
+	sum.tailLen = 0
+	sum.memSum = 0
+	sum.apps = sum.apps[:0]
+	sum.termIdx = sum.termIdx[:0]
+	for _, ps := range n.Pods() {
+		s.appendPod(sum, ps.Pod)
+	}
+	sum.valid = true
+	s.rebuilds.Add(1)
+}
+
+// ForNode returns the node's summary, rebuilding it if a removal, a table
+// version change, or a grouping-mode flip made the cache stale.
+func (s *SummaryStore) ForNode(n *cluster.NodeState) *NodeSummary {
+	sum := &s.sums[n.Node.ID]
+	if sum.valid && sum.npods == len(n.Pods()) && sum.version == s.tableVersion() &&
+		(!s.pred.UseTriples || sum.triples == s.triplesOn()) {
+		s.hits.Add(1)
+		return sum
+	}
+	s.rebuild(sum, n)
+	return sum
+}
+
+// CPUWith evaluates Eq. 7-8 for the summarized node as if extras and then p
+// (extras may be empty, p may be nil) were appended in scheduling order. It
+// continues the cached accumulation exactly where the residents left off,
+// so the result is bit-identical to PredictCPUPods over the full list — in
+// O(len(extras)) and without materializing a combined slice.
+func (s *SummaryStore) CPUWith(sum *NodeSummary, extras []*trace.Pod, p *trace.Pod) float64 {
+	t := s.pred.Table
+	total := sum.pairSum
+	m := len(extras)
+	if p != nil {
+		m++
+	}
+	if sum.triples {
+		t3 := t.(EROTable3)
+		a, b := sum.tail[0], sum.tail[1]
+		for i := 0; i < m; i++ {
+			e := p
+			if i < len(extras) {
+				e = extras[i]
+			}
+			switch {
+			case a == nil:
+				a = e
+			case b == nil:
+				b = e
+			default:
+				total += t3.ERO3(a.AppID, b.AppID, e.AppID) *
+					(a.Request.CPU + b.Request.CPU + e.Request.CPU)
+				a, b = nil, nil
+			}
+		}
+		switch {
+		case b != nil:
+			total += t.ERO(a.AppID, b.AppID) * (a.Request.CPU + b.Request.CPU)
+		case a != nil:
+			total += a.Request.CPU
+		}
+		return total
+	}
+	hold := sum.tail[0]
+	for i := 0; i < m; i++ {
+		e := p
+		if i < len(extras) {
+			e = extras[i]
+		}
+		if hold == nil {
+			hold = e
+			continue
+		}
+		total += t.ERO(hold.AppID, e.AppID) * (hold.Request.CPU + e.Request.CPU)
+		hold = nil
+	}
+	if hold != nil {
+		total += hold.Request.CPU
+	}
+	return total
+}
+
+// MemWith is the memory counterpart of CPUWith: the cached resident sum
+// plus the extras' profiled terms, in order.
+func (s *SummaryStore) MemWith(sum *NodeSummary, extras []*trace.Pod, p *trace.Pod) float64 {
+	t := s.pred.Table
+	total := sum.memSum
+	for _, e := range extras {
+		total += t.MemProfile(e.AppID) * e.Request.Mem
+	}
+	if p != nil {
+		total += t.MemProfile(p.AppID) * p.Request.Mem
+	}
+	return total
+}
+
+// Counters returns the cumulative hit / O(1)-append / rebuild counts.
+func (s *SummaryStore) Counters() (hits, appends, rebuilds int64) {
+	return s.hits.Load(), s.appends.Load(), s.rebuilds.Load()
+}
+
+// FlushStats reports the counters accrued since the previous flush to the
+// sink. Flushes must be serialized by the caller (Optum flushes once per
+// scheduling batch, on the batch goroutine).
+func (s *SummaryStore) FlushStats(sink StatsSink) {
+	h, a, r := s.hits.Load(), s.appends.Load(), s.rebuilds.Load()
+	sink.AddSummary(h-s.lastHits, a-s.lastAppends, r-s.lastRebuilds)
+	s.lastHits, s.lastAppends, s.lastRebuilds = h, a, r
+}

@@ -1,0 +1,181 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/profiler"
+	"unisched/internal/trace"
+)
+
+// The property the whole summary optimization rests on: after ANY sequence
+// of cluster events, the incremental summary must reproduce the
+// from-scratch Eq. 7-8 walk bit-for-bit — not approximately, because the
+// golden placement hashes freeze exact scores. The test drives a
+// SummaryStore through randomized place / remove / evict / node-lifecycle /
+// profiler-retrain sequences against the real profiler.EROStore (live
+// version counter and all) and compares every node's cached prediction to
+// PredictCPUPods / PredictMemPods after every single event, with and
+// without pending extras.
+func TestSummaryMatchesFullWalk(t *testing.T) {
+	t.Run("pairs", func(t *testing.T) { runSummaryProperty(t, false) })
+	// The triples variant also flips triple-wise profiling on mid-run: the
+	// grouping-mode change must invalidate every cached summary.
+	t.Run("triples", func(t *testing.T) { runSummaryProperty(t, true) })
+}
+
+func runSummaryProperty(t *testing.T, triples bool) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 6
+	w := trace.MustGenerate(cfg)
+
+	store := profiler.NewEROStore()
+	pred := NewOptum(store)
+	pred.UseTriples = triples
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	sums := NewSummaryStore(pred, c)
+
+	var pending []*trace.Pod // not running: never placed or displaced
+	pending = append(pending, w.Pods...)
+	var running []*cluster.PodState
+	now := int64(0)
+
+	dropRunning := func(victims ...*cluster.PodState) {
+		for _, v := range victims {
+			for i, ps := range running {
+				if ps == v {
+					running = append(running[:i], running[i+1:]...)
+					break
+				}
+			}
+			pending = append(pending, v.Pod)
+		}
+	}
+
+	// check asserts, for every node, that the summary path equals the
+	// from-scratch walk exactly — first bare, then with a random slice of
+	// pending pods standing in for batch reservations plus a candidate.
+	check := func(step int) {
+		t.Helper()
+		for _, n := range c.Nodes() {
+			sum := sums.ForNode(n)
+			if got, want := sums.CPUWith(sum, nil, nil), pred.PredictCPUPods(n.Pods(), nil); got != want {
+				t.Fatalf("step %d node %d: summary CPU %v != full walk %v", step, n.Node.ID, got, want)
+			}
+			if got, want := sums.MemWith(sum, nil, nil), pred.PredictMemPods(n.Pods(), nil); got != want {
+				t.Fatalf("step %d node %d: summary mem %v != full walk %v", step, n.Node.ID, got, want)
+			}
+			if len(pending) == 0 {
+				continue
+			}
+			k := rng.Intn(3)
+			if k >= len(pending) {
+				k = len(pending) - 1
+			}
+			extras := pending[:k]
+			cand := pending[k]
+			full := append(append([]*trace.Pod(nil), extras...), cand)
+			if got, want := sums.CPUWith(sum, extras, cand), pred.PredictCPUPods(n.Pods(), full); got != want {
+				t.Fatalf("step %d node %d: summary CPU with %d extras %v != full walk %v",
+					step, n.Node.ID, len(full), got, want)
+			}
+			if got, want := sums.MemWith(sum, extras, cand), pred.PredictMemPods(n.Pods(), full); got != want {
+				t.Fatalf("step %d node %d: summary mem with extras %v != %v", step, n.Node.ID, got, want)
+			}
+		}
+	}
+
+	steps := 400
+	for step := 0; step < steps; step++ {
+		now += 30
+		switch op := rng.Intn(12); {
+		case op < 5: // place a pending pod on a random node
+			if len(pending) == 0 {
+				continue
+			}
+			i := rng.Intn(len(pending))
+			p := pending[i]
+			if ps, err := c.Place(p, rng.Intn(cfg.NumNodes), now); err == nil {
+				pending = append(pending[:i], pending[i+1:]...)
+				running = append(running, ps)
+			}
+		case op < 7: // remove a random running pod (completion)
+			if len(running) == 0 {
+				continue
+			}
+			i := rng.Intn(len(running))
+			ps := running[i]
+			c.Remove(ps.Pod.ID, now, false)
+			dropRunning(ps)
+		case op == 7: // chaos-style eviction
+			if len(running) == 0 {
+				continue
+			}
+			ps := running[rng.Intn(len(running))]
+			if v := c.Evict(ps.Pod.ID, now); v != nil {
+				dropRunning(v)
+			}
+		case op == 8: // node crash: all residents displaced, summary stale
+			dropRunning(c.FailNode(rng.Intn(cfg.NumNodes), now)...)
+		case op == 9: // drain + immediate recovery elsewhere
+			id := rng.Intn(cfg.NumNodes)
+			dropRunning(c.DrainNode(id, now)...)
+			if rng.Intn(2) == 0 {
+				c.RecoverNode(id)
+			}
+		case op == 10:
+			c.RecoverNode(rng.Intn(cfg.NumNodes))
+		default: // profiler retrain: coefficients move, version advances
+			id := rng.Intn(cfg.NumNodes)
+			if c.Node(id).Phase() == cluster.NodeUp {
+				snap := c.Snapshot(id, now, false)
+				store.ObserveSnapshot(&snap)
+			}
+		}
+		if triples && step == steps/2 {
+			// Mid-run grouping flip: pairs -> triples. Every valid summary
+			// was built under pair grouping and must rebuild.
+			store.EnableTriples(1)
+		}
+		check(step)
+	}
+
+	hits, appends, rebuilds := sums.Counters()
+	if hits == 0 || appends == 0 || rebuilds == 0 {
+		t.Errorf("property run never exercised all cache paths: hits=%d appends=%d rebuilds=%d",
+			hits, appends, rebuilds)
+	}
+}
+
+// fixedERO3 from predictor_test.go has no version counter; a summary over
+// such a frozen table must still follow pod-composition changes.
+func TestSummaryUnversionedTable(t *testing.T) {
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 2
+	w := trace.MustGenerate(cfg)
+	pred := NewOptum(fixedERO{ero: 0.5, mem: 0.8})
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	sums := NewSummaryStore(pred, c)
+
+	for i, p := range w.Pods {
+		if i >= 6 {
+			break
+		}
+		if _, err := c.Place(p, 0, 0); err != nil {
+			t.Fatalf("place: %v", err)
+		}
+		n := c.Node(0)
+		sum := sums.ForNode(n)
+		if got, want := sums.CPUWith(sum, nil, nil), pred.PredictCPUPods(n.Pods(), nil); got != want {
+			t.Fatalf("after %d placements: summary %v != walk %v", i+1, got, want)
+		}
+	}
+	n := c.Node(0)
+	c.Remove(n.Pods()[2].Pod.ID, 30, false)
+	sum := sums.ForNode(n)
+	if got, want := sums.CPUWith(sum, nil, nil), pred.PredictCPUPods(n.Pods(), nil); got != want {
+		t.Fatalf("after removal: summary %v != walk %v", got, want)
+	}
+}

@@ -12,6 +12,7 @@ package profiler
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"unisched/internal/cluster"
 )
@@ -42,6 +43,11 @@ type EROStore struct {
 	ero3        map[uint64]float64
 	tripleEvery int
 	tripleTick  int
+
+	// version counts mutations that may change any ERO, ERO3 or MemProfile
+	// answer. Consumers that cache derived values (the predictor's node
+	// summaries) compare it to decide whether their cache is still exact.
+	version atomic.Uint64
 }
 
 type memStats struct {
@@ -123,6 +129,13 @@ func (s *EROStore) MemProfile(app string) float64 {
 	return p
 }
 
+// TableVersion reports a counter that advances whenever an observation may
+// have changed any ERO, ERO3 or MemProfile result. Two reads under the same
+// version are guaranteed to return identical values for identical inputs,
+// which is what lets the Optum predictor cache per-node prediction
+// summaries and invalidate them exactly when the table moves.
+func (s *EROStore) TableVersion() uint64 { return s.version.Load() }
+
 // Pairs returns the number of application pairs with observations.
 func (s *EROStore) Pairs() int {
 	s.mu.RLock()
@@ -137,6 +150,11 @@ func (s *EROStore) ObserveSnapshot(snap *cluster.NodeSnapshot) {
 	pods := snap.Pods
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(pods) > 0 {
+		// Any pod sample can move a memory profile or an ERO coefficient;
+		// advance the version so cached predictions rebuild.
+		s.version.Add(1)
+	}
 	if s.tripleEvery > 0 {
 		s.tripleTick++
 		if s.tripleTick%s.tripleEvery == 0 {

@@ -305,6 +305,13 @@ func trainGroup(group map[string]*appSamples, factory ModelFactory, testFrac flo
 	return nil
 }
 
+// featPool recycles prediction feature vectors. A literal slice would
+// escape through the Regressor interface call, costing one heap allocation
+// per model evaluation — the scheduler evaluates several per candidate on
+// its zero-alloc scan path. Pooled (not per-Models) scratch keeps Predict*
+// safe for the scan's concurrent goroutines.
+var featPool = sync.Pool{New: func() any { return new([5]float64) }}
+
 // PredictPSI evaluates an LS application's profile (Eq. 9 input shape);
 // unknown applications return the conservative worst case 1.
 func (m *Models) PredictPSI(app string, podCPUUtil, podMemUtil, hostCPUUtil, hostMemUtil, qps float64) float64 {
@@ -312,7 +319,11 @@ func (m *Models) PredictPSI(app string, podCPUUtil, podMemUtil, hostCPUUtil, hos
 	if !ok {
 		return 1
 	}
-	return clamp01(am.Model.Predict(LSFeatures(podCPUUtil, podMemUtil, hostCPUUtil, hostMemUtil, qps)))
+	f := featPool.Get().(*[5]float64)
+	*f = [5]float64{podCPUUtil, podMemUtil, hostCPUUtil, hostMemUtil, qps}
+	v := clamp01(am.Model.Predict(f[:]))
+	featPool.Put(f)
+	return v
 }
 
 // PredictCT evaluates a BE application's normalized-completion-time profile
@@ -322,7 +333,11 @@ func (m *Models) PredictCT(app string, maxPodCPUUtil, maxPodMemUtil, maxHostCPUU
 	if !ok {
 		return 1
 	}
-	return clamp01(am.Model.Predict(BEFeatures(maxPodCPUUtil, maxPodMemUtil, maxHostCPUUtil, maxHostMemUtil)))
+	f := featPool.Get().(*[5]float64)
+	*f = [5]float64{maxPodCPUUtil, maxPodMemUtil, maxHostCPUUtil, maxHostMemUtil, 0}
+	v := clamp01(am.Model.Predict(f[:4]))
+	featPool.Put(f)
+	return v
 }
 
 // TrustedBE reports whether a BE application's profile is accurate enough

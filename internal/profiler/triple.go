@@ -21,6 +21,9 @@ func (s *EROStore) EnableTriples(every int) {
 	if s.ero3 == nil {
 		s.ero3 = make(map[uint64]float64)
 	}
+	// Toggling triples changes how the predictor groups pods, so cached
+	// prediction summaries must rebuild.
+	s.version.Add(1)
 }
 
 // TriplesEnabled reports whether triple-wise profiling is on.

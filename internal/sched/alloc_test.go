@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"testing"
+
+	"unisched/internal/cluster"
+	"unisched/internal/pipeline"
+	"unisched/internal/trace"
+)
+
+// The admission filters and ranking scores run once per visited candidate
+// inside the parallel scan — the scheduling hot path. Their Resources
+// arithmetic is all value-typed chains (PeakUsage().Add(...).Add(...)), so
+// a single call must not allocate; a regression that boxes one of them (a
+// pointer receiver, an interface conversion, a slice-building accessor)
+// would silently multiply per-decision allocations by the nodes visited.
+func TestPluginHotPathAllocFree(t *testing.T) {
+	cfg := trace.SmallConfig()
+	cfg.NumNodes = 2
+	w := trace.MustGenerate(cfg)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	placed := 0
+	for _, p := range w.Pods {
+		if placed >= 12 {
+			break
+		}
+		if _, err := c.Place(p, 0, 0); err == nil {
+			placed++
+		}
+	}
+	// Warm histories so the usage-based paths read real peaks.
+	for i := 0; i < 5; i++ {
+		c.Tick(int64(i)*trace.SampleInterval, float64(trace.SampleInterval))
+	}
+	n := c.Node(0)
+	p := w.Pods[len(w.Pods)-1]
+	resv := trace.Resources{CPU: 0.5, Mem: 1 << 28}
+
+	filters := []pipeline.FilterPlugin{
+		GuaranteedFit{},
+		BEUsageFit{Ceil: 1.2},
+		BEUsageFit{NoGuaranteedReserve: true},
+		UsageFit{},
+		ResourcesFit{MaxOvercommit: 1.1},
+	}
+	for _, f := range filters {
+		f := f
+		if avg := testing.AllocsPerRun(100, func() {
+			f.Filter(n, p, resv)
+		}); avg != 0 {
+			t.Errorf("%s.Filter allocates %v per call, want 0", f.FilterName(), avg)
+		}
+	}
+
+	scores := []pipeline.ScorePlugin{
+		ReqAlignment{},
+		UsageAlignment{},
+		ReplicaSpread{},
+		LeastAllocated{},
+		MostAllocated{},
+		BalancedAllocation{},
+	}
+	for _, s := range scores {
+		s := s
+		if avg := testing.AllocsPerRun(100, func() {
+			s.Score(n, p)
+		}); avg != 0 {
+			t.Errorf("%s.Score allocates %v per call, want 0", s.ScoreName(), avg)
+		}
+	}
+}

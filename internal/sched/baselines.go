@@ -187,6 +187,10 @@ type AlibabaLike struct {
 	// production trace shows (Fig. 4b); the evaluation baseline keeps the
 	// reservation, per §3.2.
 	NoGuaranteedReserve bool
+
+	// lsSpec and beSpec are built once and their tunable plugin refreshed
+	// per batch, so scheduling a batch allocates no plugin machinery.
+	lsSpec, beSpec *pipeline.Spec
 }
 
 // NewAlibabaLike builds the scheduler over a cluster.
@@ -197,36 +201,38 @@ func NewAlibabaLike(c *cluster.Cluster, seed int64) *AlibabaLike {
 // Name implements Scheduler.
 func (s *AlibabaLike) Name() string { return "Alibaba" }
 
-// Schedule implements Scheduler. The specs are built per batch so tunable
-// fields (BEOvercommitCeil, NoGuaranteedReserve) read current values.
+// Schedule implements Scheduler. The specs are cached; the BE admission
+// plugin is refreshed per batch so tunable fields (BEOvercommitCeil,
+// NoGuaranteedReserve) read current values.
 func (s *AlibabaLike) Schedule(pods []*trace.Pod, now int64) []Decision {
 	s.BeginBatch()
-	// Replica anti-affinity dominates the guaranteed-class score:
-	// long-running service replicas spread across failure domains, the
-	// reliability-first policy of production LS schedulers (and a root
-	// cause of the low baseline utilization the paper measures).
-	// Alignment packing breaks ties.
-	ls := &pipeline.Spec{
-		Filters: []pipeline.FilterPlugin{GuaranteedFit{}},
-		Scores: []pipeline.WeightedScore{
-			{Plugin: ReplicaSpread{}, Weight: 1e6},
-			{Plugin: ReqAlignment{}, Weight: 1},
-		},
-		Preempt: true,
+	if s.lsSpec == nil {
+		// Replica anti-affinity dominates the guaranteed-class score:
+		// long-running service replicas spread across failure domains, the
+		// reliability-first policy of production LS schedulers (and a root
+		// cause of the low baseline utilization the paper measures).
+		// Alignment packing breaks ties.
+		s.lsSpec = &pipeline.Spec{
+			Filters: []pipeline.FilterPlugin{GuaranteedFit{}},
+			Scores: []pipeline.WeightedScore{
+				{Plugin: ReplicaSpread{}, Weight: 1e6},
+				{Plugin: ReqAlignment{}, Weight: 1},
+			},
+			Preempt: true,
+		}
+		s.beSpec = &pipeline.Spec{
+			Filters: []pipeline.FilterPlugin{nil},
+			Scores:  []pipeline.WeightedScore{{Plugin: UsageAlignment{}, Weight: 1}},
+			Preempt: true,
+		}
 	}
-	be := &pipeline.Spec{
-		Filters: []pipeline.FilterPlugin{
-			BEUsageFit{Ceil: s.BEOvercommitCeil, NoGuaranteedReserve: s.NoGuaranteedReserve},
-		},
-		Scores:  []pipeline.WeightedScore{{Plugin: UsageAlignment{}, Weight: 1}},
-		Preempt: true,
-	}
+	s.beSpec.Filters[0] = BEUsageFit{Ceil: s.BEOvercommitCeil, NoGuaranteedReserve: s.NoGuaranteedReserve}
 	out := make([]Decision, len(pods))
 	for i, p := range pods {
 		if p.SLO.LatencySensitive() || p.SLO == trace.SLOSystem {
-			out[i] = s.Select(p, ls)
+			out[i] = s.Select(p, s.lsSpec)
 		} else {
-			out[i] = s.Select(p, be)
+			out[i] = s.Select(p, s.beSpec)
 		}
 	}
 	return out
@@ -246,6 +252,10 @@ type PredictorScheduler struct {
 	// MaxOvercommit bounds the request over-commit ratio (<= 0 disables;
 	// Resource Central uses 1.2).
 	MaxOvercommit float64
+
+	// cached is the plugin spec, built once and its admission filter
+	// refreshed per batch so tuning changes still take effect.
+	cached *pipeline.Spec
 }
 
 // NewBorgLike returns the Borg-like baseline: prediction = 0.9 x requests.
@@ -276,15 +286,19 @@ func NewRCLike(c *cluster.Cluster, seed int64) *PredictorScheduler {
 // Name implements Scheduler.
 func (s *PredictorScheduler) Name() string { return s.label }
 
-// spec declares the scheduler's plugin set from its current tuning.
+// spec declares the scheduler's plugin set from its current tuning. The
+// spec struct is reused across batches; only the admission filter carries
+// tunable fields and is rebuilt on each call.
 func (s *PredictorScheduler) spec() *pipeline.Spec {
-	return &pipeline.Spec{
-		Filters: []pipeline.FilterPlugin{
-			PredictedFit{Pr: s.pr, CapFactor: s.CapFactor, MaxOvercommit: s.MaxOvercommit},
-		},
-		Scores:  []pipeline.WeightedScore{{Plugin: PredictedAlignment{Pr: s.pr}, Weight: 1}},
-		Preempt: true,
+	if s.cached == nil {
+		s.cached = &pipeline.Spec{
+			Filters: []pipeline.FilterPlugin{nil},
+			Scores:  []pipeline.WeightedScore{{Plugin: PredictedAlignment{Pr: s.pr}, Weight: 1}},
+			Preempt: true,
+		}
 	}
+	s.cached.Filters[0] = PredictedFit{Pr: s.pr, CapFactor: s.CapFactor, MaxOvercommit: s.MaxOvercommit}
+	return s.cached
 }
 
 // Schedule implements Scheduler.

@@ -201,15 +201,10 @@ type ReplicaSpread struct{}
 // ScoreName implements ScorePlugin.
 func (ReplicaSpread) ScoreName() string { return "ReplicaSpread" }
 
-// Score implements ScorePlugin.
+// Score implements ScorePlugin. The node maintains per-application counts
+// incrementally, so this is O(distinct apps) rather than O(pods).
 func (ReplicaSpread) Score(n *cluster.NodeState, p *trace.Pod) float64 {
-	k := 0
-	for _, ps := range n.Pods() {
-		if ps.Pod.AppID == p.AppID {
-			k++
-		}
-	}
-	return -float64(k)
+	return -float64(n.AppPodCount(p.AppID))
 }
 
 // NewKubeLike assembles the kube-scheduler default profile: strict
