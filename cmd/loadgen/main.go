@@ -12,7 +12,10 @@
 //
 // It reports achieved submission throughput, HTTP latency percentiles,
 // and the server's placement metrics, and exits non-zero on lost
-// submissions or transport errors.
+// submissions or transport errors. With -scrape it also checks the
+// observability surface: /metrics must be valid Prometheus exposition,
+// /v1/debug/decisions must hold traces when tracing is on, and
+// /v1/metrics/history must have accumulated at least two samples.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"unisched/internal/obs"
 	"unisched/internal/trace"
 )
 
@@ -42,6 +46,8 @@ func main() {
 		speedup   = flag.Float64("speedup", 0, "trace-time speedup; 0 submits as fast as possible")
 		clients   = flag.Int("clients", 8, "concurrent HTTP clients")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "settle-poll timeout after the replay")
+		scrape    = flag.Bool("scrape", false,
+			"after the replay, scrape /metrics, /v1/debug/decisions, and /v1/metrics/history and fail on malformed or empty output")
 	)
 	flag.Parse()
 
@@ -137,6 +143,73 @@ func main() {
 	default:
 		fmt.Println("OK: zero lost submissions")
 	}
+
+	if *scrape {
+		if err := scrapeObservability(hc, *addr); err != nil {
+			log.Fatalf("FAIL: %v", err)
+		}
+		fmt.Println("OK: observability endpoints healthy")
+	}
+}
+
+// scrapeObservability exercises the telemetry surface after a replay:
+// the Prometheus exposition must parse, the decision-trace ring must hold
+// records, and the utilization history must have accumulated samples.
+func scrapeObservability(hc *http.Client, addr string) error {
+	resp, err := hc.Get(addr + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape /metrics: %w", err)
+	}
+	err = obs.ValidateExposition(resp.Body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("/metrics exposition invalid: %w", err)
+	}
+
+	var dec struct {
+		Enabled   bool  `json:"enabled"`
+		Committed int64 `json:"committed"`
+		Count     int   `json:"count"`
+	}
+	if err := getJSON(hc, addr+"/v1/debug/decisions?last=5", &dec); err != nil {
+		return err
+	}
+	if dec.Enabled && (dec.Count == 0 || dec.Committed == 0) {
+		return fmt.Errorf("/v1/debug/decisions: tracing enabled but no traces recorded")
+	}
+
+	var hist struct {
+		Count   int `json:"count"`
+		Samples []struct {
+			T       int64 `json:"t"`
+			UpNodes int   `json:"up_nodes"`
+		} `json:"samples"`
+	}
+	if err := getJSON(hc, addr+"/v1/metrics/history", &hist); err != nil {
+		return err
+	}
+	if hist.Count < 2 || len(hist.Samples) != hist.Count {
+		return fmt.Errorf("/v1/metrics/history: %d samples (want >= 2)", hist.Count)
+	}
+	fmt.Printf("scrape: exposition valid, %d traces retained, %d history samples\n",
+		dec.Count, hist.Count)
+	return nil
+}
+
+func getJSON(hc *http.Client, url string, v any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	return nil
 }
 
 // clientResult tallies one client's outcomes.

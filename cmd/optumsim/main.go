@@ -8,6 +8,7 @@
 //	optumsim -scheduler alibaba -trace trace.json
 //	optumsim -chaos -nodes 100 -hours 6 -seed 1
 //	optumsim -scheduler optum -cpuprofile cpu.out -memprofile mem.out
+//	optumsim -scheduler optum -decision-trace decisions.json
 package main
 
 import (
@@ -25,6 +26,8 @@ import (
 	"unisched/internal/cluster"
 	"unisched/internal/core"
 	"unisched/internal/experiments"
+	"unisched/internal/obs"
+	"unisched/internal/pipeline"
 	"unisched/internal/profiler"
 	"unisched/internal/sched"
 	"unisched/internal/sim"
@@ -49,6 +52,8 @@ func main() {
 			"fault-injection mode: compare Optum vs the Alibaba baseline under identical node churn")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+		decTrace   = flag.String("decision-trace", "",
+			"record every placement decision and write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 	out := os.Stdout
@@ -137,6 +142,18 @@ func main() {
 		log.Fatalf("unknown scheduler %q", *schedName)
 	}
 
+	var rec *obs.Recorder
+	if *decTrace != "" {
+		pp, ok := s.(interface{ Pipeline() *pipeline.Pipeline })
+		if !ok {
+			log.Fatalf("-decision-trace: scheduler %q does not run on the staged pipeline", *schedName)
+		}
+		// Record every decision: an offline run has no latency budget, and
+		// a complete trace is what chrome://tracing is for.
+		rec = obs.NewRecorder(len(w.Pods)+1, 1)
+		pp.Pipeline().SetRecorder(rec)
+	}
+
 	fmt.Fprintf(out, "running %s...\n\n", s.Name())
 	simCfg := sim.Config{}
 	if *samples != "" {
@@ -155,6 +172,21 @@ func main() {
 		}()
 	}
 	res := sim.Run(w, c, s, simCfg)
+
+	if rec != nil {
+		f, err := os.Create(*decTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces := rec.All()
+		if err := obs.WriteChromeTrace(f, traces); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %d decision traces to %s\n", len(traces), *decTrace)
+	}
 
 	fmt.Fprintf(out, "host CPU util  %s (mean %.3f, busy-host mean %.3f)\n",
 		texttab.Sparkline(res.CPUUtilAvg, 60),

@@ -8,20 +8,28 @@
 //
 //	unischedd -addr :8080 -nodes 200 -hours 24 -seed 1 -workers 4
 //	unischedd -trace trace.json -scheduler optum -speedup 120
+//	unischedd -log-format json -trace-sample 1
 //	unischedd -debug-addr localhost:6060   # live pprof at /debug/pprof/
 //
 // API:
 //
-//	GET  /healthz           liveness
-//	POST /v1/pods           submit one pod (JSON trace.Pod)
-//	GET  /v1/pods/{id}      submission status
-//	GET  /v1/nodes          all node states
-//	GET  /v1/nodes/{id}     one node state
-//	GET  /v1/metrics        engine metrics snapshot (JSON)
+//	GET  /healthz                   liveness
+//	GET  /readyz                    readiness (503 until workers run, and
+//	                                again once shutdown begins)
+//	GET  /metrics                   Prometheus text exposition
+//	POST /v1/pods                   submit one pod (JSON trace.Pod)
+//	GET  /v1/pods/{id}              submission status
+//	GET  /v1/nodes                  all node states
+//	GET  /v1/nodes/{id}             one node state
+//	GET  /v1/metrics                engine metrics snapshot (JSON)
+//	GET  /v1/metrics/history        rolling cluster-utilization ring
+//	GET  /v1/debug/decisions        sampled decision traces (?last=N,
+//	                                ?outcome=placed|failed|...)
+//	GET  /v1/debug/decisions/{id}   traces for one pod
 //
-// SIGTERM/SIGINT shut the server down gracefully: the listener closes,
-// in-flight requests finish, the engine stops, and the final metrics
-// snapshot is printed to stdout.
+// SIGTERM/SIGINT shut the server down gracefully: /readyz flips to 503,
+// the listener closes, in-flight requests finish, the engine stops, and
+// the final metrics snapshot is printed to stdout.
 package main
 
 import (
@@ -30,7 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
@@ -45,6 +53,7 @@ import (
 	"unisched/internal/cluster"
 	"unisched/internal/core"
 	"unisched/internal/engine"
+	"unisched/internal/obs"
 	"unisched/internal/profiler"
 	"unisched/internal/sched"
 	"unisched/internal/sim"
@@ -52,8 +61,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("unischedd: ")
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		nodes     = flag.Int("nodes", 200, "number of hosts (ignored with -trace)")
@@ -68,33 +75,43 @@ func main() {
 		speedup   = flag.Float64("speedup", 120, "virtual-clock speedup over wall time")
 		chaosRun  = flag.Bool("chaos", false, "inject node churn (default stochastic rates)")
 		partition = flag.Bool("partition", true, "give each worker a disjoint node partition")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
+		traceN    = flag.Int("trace-sample", 16, "record every Nth placement decision (0 disables tracing)")
+		traceBuf  = flag.Int("trace-buf", 4096, "decision-trace ring capacity")
 		debugAddr = flag.String("debug-addr", "",
 			"serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unischedd:", err)
+		os.Exit(2)
+	}
 
 	if *debugAddr != "" {
 		// The profiling endpoint lives on its own listener so it is never
 		// exposed on the service address; http.DefaultServeMux carries the
 		// /debug/pprof handlers registered by the net/http/pprof import.
 		go func() {
-			log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+			logger.Info("pprof listening", "url", "http://"+*debugAddr+"/debug/pprof/")
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				log.Printf("pprof listener: %v", err)
+				logger.Warn("pprof listener failed", "err", err)
 			}
 		}()
 	}
 
 	w, err := loadWorkload(*tracePath, *nodes, *hours, *seed)
 	if err != nil {
-		log.Fatal(err)
+		fail(logger, "workload load failed", err)
 	}
-	log.Printf("catalogue: %d nodes, %d apps, %dh horizon", len(w.Nodes), len(w.Apps), w.Horizon/3600)
+	logger.Info("catalogue loaded",
+		"nodes", len(w.Nodes), "apps", len(w.Apps), "horizon_h", w.Horizon/3600)
 
 	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	factory, err := makeFactory(*schedName, w, *seed)
+	factory, err := makeFactory(*schedName, w, *seed, logger)
 	if err != nil {
-		log.Fatal(err)
+		fail(logger, "scheduler construction failed", err)
 	}
 
 	cfg := engine.Config{
@@ -104,40 +121,65 @@ func main() {
 		TickWall:       time.Duration(float64(trace.SampleInterval) * float64(time.Second) / *speedup),
 		PartitionNodes: *partition,
 		Seed:           *seed,
+		TraceEvery:     *traceN,
+		TraceBuffer:    *traceBuf,
+		Logger:         logger,
 	}
 	if *chaosRun {
 		cfg.Chaos = chaos.NewInjector(*seed, nil, chaos.DefaultRates())
 	}
 	e := engine.New(c, factory, cfg)
-	e.Start()
-	log.Printf("engine: %d workers, %d shards, queue %d, tick %v (%gx), scheduler %s",
-		cfg.Workers, cfg.Shards, cfg.QueueCap, cfg.TickWall, *speedup, *schedName)
 
-	srv := &http.Server{Addr: *addr, Handler: newAPI(e, w)}
+	// ready gates /readyz: false until the workers run, false again the
+	// moment shutdown starts so load balancers drain us before the
+	// listener closes.
+	var ready atomic.Bool
+	srv := &http.Server{Addr: *addr, Handler: logRequests(logger, newAPI(e, w, &ready))}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+
+	e.Start()
+	ready.Store(true)
+	logger.Info("listening", "addr", *addr, "scheduler", *schedName,
+		"speedup", *speedup, "trace_sample", *traceN)
 
 	select {
 	case <-ctx.Done():
-		log.Print("signal received, shutting down")
+		logger.Info("signal received, shutting down")
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fail(logger, "http server failed", err)
 		}
 	}
+	ready.Store(false) // flip readiness before the listener closes
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown incomplete", "err", err)
 	}
 	e.Stop()
 
 	enc, _ := json.MarshalIndent(e.Snapshot(), "", "  ")
 	os.Stdout.Write(append(enc, '\n'))
+}
+
+// newLogger builds the process logger for -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+func fail(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }
 
 func loadWorkload(path string, nodes, hours int, seed int64) (*trace.Workload, error) {
@@ -154,10 +196,10 @@ func loadWorkload(path string, nodes, hours int, seed int64) (*trace.Workload, e
 // makeFactory builds the per-worker scheduler constructor. Optum first
 // needs an offline profiling pass under the production baseline, exactly
 // like cmd/optumsim.
-func makeFactory(name string, w *trace.Workload, seed int64) (engine.SchedulerFactory, error) {
+func makeFactory(name string, w *trace.Workload, seed int64, logger *slog.Logger) (engine.SchedulerFactory, error) {
 	switch strings.ToLower(name) {
 	case "optum":
-		log.Print("profiling (offline pass under the production baseline)...")
+		logger.Info("profiling (offline pass under the production baseline)")
 		col := profiler.NewCollector(seed)
 		warm := cluster.New(w.Nodes, cluster.DefaultPhysics())
 		sim.Run(w, warm, sched.NewAlibabaLike(warm, seed), sim.Config{Collector: col})
@@ -197,16 +239,40 @@ func makeFactory(name string, w *trace.Workload, seed int64) (engine.SchedulerFa
 	return nil, fmt.Errorf("unknown scheduler %q", name)
 }
 
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests wraps the API with structured per-request logging.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: rw, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		logger.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "dur_ms", float64(time.Since(t0).Microseconds())/1000)
+	})
+}
+
 // api is the HTTP surface over one engine.
 type api struct {
-	e *engine.Engine
-	w *trace.Workload
+	e     *engine.Engine
+	w     *trace.Workload
+	ready *atomic.Bool
 	// nextID assigns IDs to submissions that arrive without one.
 	nextID atomic.Int64
 }
 
-func newAPI(e *engine.Engine, w *trace.Workload) http.Handler {
-	a := &api{e: e, w: w}
+func newAPI(e *engine.Engine, w *trace.Workload, ready *atomic.Bool) http.Handler {
+	a := &api{e: e, w: w, ready: ready}
 	max := int64(0)
 	for _, p := range w.Pods {
 		if int64(p.ID) >= max {
@@ -219,12 +285,25 @@ func newAPI(e *engine.Engine, w *trace.Workload) http.Handler {
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", a.getReady)
+	mux.Handle("GET /metrics", e.MetricsHandler())
 	mux.HandleFunc("POST /v1/pods", a.submitPod)
 	mux.HandleFunc("GET /v1/pods/{id}", a.getPod)
 	mux.HandleFunc("GET /v1/nodes", a.getNodes)
 	mux.HandleFunc("GET /v1/nodes/{id}", a.getNode)
 	mux.HandleFunc("GET /v1/metrics", a.getMetrics)
+	mux.HandleFunc("GET /v1/metrics/history", a.getHistory)
+	mux.HandleFunc("GET /v1/debug/decisions", a.getDecisions)
+	mux.HandleFunc("GET /v1/debug/decisions/{id}", a.getPodDecisions)
 	return mux
+}
+
+func (a *api) getReady(rw http.ResponseWriter, _ *http.Request) {
+	if a.ready != nil && a.ready.Load() {
+		rw.Write([]byte("ok\n"))
+		return
+	}
+	http.Error(rw, "not ready", http.StatusServiceUnavailable)
 }
 
 // submitResponse is the POST /v1/pods reply.
@@ -301,6 +380,67 @@ func (a *api) getNode(rw http.ResponseWriter, r *http.Request) {
 
 func (a *api) getMetrics(rw http.ResponseWriter, _ *http.Request) {
 	writeJSON(rw, http.StatusOK, a.e.Snapshot())
+}
+
+// historyResponse is the GET /v1/metrics/history reply.
+type historyResponse struct {
+	Interval int64             `json:"interval_s"`
+	Count    int               `json:"count"`
+	Samples  []obs.SamplePoint `json:"samples"`
+}
+
+func (a *api) getHistory(rw http.ResponseWriter, _ *http.Request) {
+	samples := a.e.History().Samples()
+	writeJSON(rw, http.StatusOK, historyResponse{
+		Interval: trace.SampleInterval,
+		Count:    len(samples),
+		Samples:  samples,
+	})
+}
+
+// decisionsResponse is the GET /v1/debug/decisions reply.
+type decisionsResponse struct {
+	Enabled   bool  `json:"enabled"`
+	Started   int64 `json:"started"`
+	Committed int64 `json:"committed"`
+	Count     int   `json:"count"`
+	Traces    any   `json:"traces"`
+}
+
+func (a *api) getDecisions(rw http.ResponseWriter, r *http.Request) {
+	rec := a.e.Traces()
+	n := 20
+	if s := r.URL.Query().Get("last"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(rw, "bad last= value", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	traces := rec.Last(n, r.URL.Query().Get("outcome"))
+	started, committed := rec.Counts()
+	writeJSON(rw, http.StatusOK, decisionsResponse{
+		Enabled:   rec.Enabled(),
+		Started:   started,
+		Committed: committed,
+		Count:     len(traces),
+		Traces:    traces,
+	})
+}
+
+func (a *api) getPodDecisions(rw http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(rw, "bad pod id", http.StatusBadRequest)
+		return
+	}
+	traces := a.e.Traces().ByPod(id)
+	if len(traces) == 0 {
+		http.Error(rw, "no traces for pod (not sampled, evicted, or tracing off)", http.StatusNotFound)
+		return
+	}
+	writeJSON(rw, http.StatusOK, traces)
 }
 
 func writeJSON(rw http.ResponseWriter, code int, v any) {

@@ -40,6 +40,9 @@ func main() {
 			Horizon:        w.Horizon,
 			PartitionNodes: true,
 			Seed:           1,
+			// Record every 16th placement decision; cmd/unischedd serves
+			// the same ring at /v1/debug/decisions.
+			TraceEvery: 16,
 		})
 	e.Start()
 
@@ -78,6 +81,23 @@ func main() {
 	fmt.Printf("  engine %.3f   sim %.3f\n", mean(eng.CPUUtilAvg), mean(res.CPUUtilAvg))
 	fmt.Println("mean capacity-violation fraction:")
 	fmt.Printf("  engine %.3f   sim %.3f\n", mean(eng.Violation), mean(res.Violation))
+
+	// 5. Observability: the sampled decision traces and the rolling
+	//    cluster-telemetry ring the engine kept while it ran.
+	_, committed := e.Traces().Counts()
+	fmt.Printf("\ndecision traces: %d sampled (every 16th), %d retained\n",
+		committed, e.Traces().Len())
+	for _, dt := range e.Traces().Last(1, "placed") {
+		fmt.Printf("  pod %d (%s/%s) -> node %d score %.4f: %d candidates, %d visited, %d pruned\n",
+			dt.PodID, dt.App, dt.SLO, dt.Node, dt.Score, dt.Candidates, dt.Visited, dt.Pruned)
+		for _, sp := range dt.Spans {
+			fmt.Printf("    %-10s %6.1fµs\n", sp.Stage, float64(sp.DurNs)/1e3)
+		}
+	}
+	if last, ok := e.History().Last(); ok {
+		fmt.Printf("telemetry ring: %d samples; last t=%ds cpu_alloc %.3f cpu_util %.3f overcommit %.2f running %v\n",
+			e.History().Len(), last.T, last.CPUAlloc, last.CPUUtil, last.CPUOverCommit, last.Running)
+	}
 }
 
 func mean(xs []float64) float64 {

@@ -12,6 +12,7 @@ import (
 	"runtime"
 
 	"unisched/internal/cluster"
+	"unisched/internal/obs"
 	"unisched/internal/pipeline"
 	"unisched/internal/predictor"
 	"unisched/internal/profiler"
@@ -173,9 +174,11 @@ func (o *Optum) Schedule(pods []*trace.Pod, now int64) []sched.Decision {
 	o.mainSpec.ScanWorkers = workers
 	o.fallbackSpec.Filters[0] = requestFallbackFit{memCap: o.Opt.MemCap}
 	main, fallback := o.mainSpec, o.fallbackSpec
+	rec := o.Pipeline().Recorder()
 	out := make([]sched.Decision, len(pods))
 	for i, p := range pods {
-		if o.degraded(p.AppID) {
+		deg := o.degraded(p.AppID)
+		if deg {
 			// Degraded mode: with no usable profile the predicted-usage and
 			// interference terms of Eq. 11 are meaningless, so admission
 			// reverts to the conservative request-based rule (sum of
@@ -184,12 +187,43 @@ func (o *Optum) Schedule(pods []*trace.Pod, now int64) []sched.Decision {
 			// less efficient — exactly the trade a scheduler should make
 			// blind.
 			out[i] = o.Select(p, fallback)
-			continue
+		} else {
+			out[i] = o.Select(p, main)
 		}
-		out[i] = o.Select(p, main)
+		if rec != nil {
+			if dt := o.Pipeline().LastTrace(); dt != nil && dt.PodID == p.ID {
+				o.attachEq11(rec, dt, p, out[i], deg)
+			}
+		}
 	}
 	o.sums.FlushStats(o.Pipeline().Stats())
 	return out
+}
+
+// attachEq11 amends a sampled decision trace with the Eq. 11 score
+// decomposition for the chosen host. It runs only on traced decisions:
+// the winner is re-scored with the trace sink attached, reproducing the
+// exact evaluation Select performed (the ledger already holds p on the
+// winning node, so p is excluded from the reservation list). Degraded and
+// preemption placements carry no prediction terms — the flag and the
+// summary-cache counters still land on the trace.
+func (o *Optum) attachEq11(rec *obs.Recorder, dt *obs.DecisionTrace, p *trace.Pod, d sched.Decision, degraded bool) {
+	eq := &obs.Eq11{Degraded: degraded}
+	eq.SummaryHits, eq.SummaryAppends, eq.SummaryRebuilds = o.sums.Counters()
+	if !degraded && d.NodeID >= 0 && !d.NeedPreempt {
+		n := o.Cluster.Node(d.NodeID)
+		resv := o.ReservedPods(d.NodeID)
+		trimmed := make([]*trace.Pod, 0, len(resv))
+		for _, rp := range resv {
+			if rp != p {
+				trimmed = append(trimmed, rp)
+			}
+		}
+		o.scoreHostResv(n, p, trimmed, eq)
+	} else {
+		eq.OmegaO, eq.OmegaB = o.Opt.OmegaO, o.Opt.OmegaB
+	}
+	rec.Amend(dt, func(t *obs.DecisionTrace) { t.Eq11 = eq })
 }
 
 // degraded reports whether the profilers cannot be trusted for the
@@ -235,6 +269,11 @@ type optumEval struct {
 
 // EvalName implements pipeline.EvalPlugin.
 func (optumEval) EvalName() string { return "OptumNodeSelector" }
+
+// RejectLabels implements pipeline.RejectLabeler: Optum admission fails
+// on the ERO-predicted usage exceeding the per-dimension caps (Eq. 7-8
+// feeding Eq. 11), not on raw request fit.
+func (optumEval) RejectLabels() (string, string) { return "ERO cap (cpu)", "ERO cap (mem)" }
 
 // Evaluate implements pipeline.EvalPlugin. Batch reservations are read
 // from the pipeline ledger as whole pods (Eq. 7-8 pairing), not from the
@@ -294,14 +333,22 @@ func (s ppoSampler) Sample(_ *trace.Pod, cands []int) []int {
 // BE degradation is the predicted normalized completion time in excess of
 // the application's uncontended baseline.
 func (o *Optum) scoreHost(n *cluster.NodeState, p *trace.Pod) (score float64, cpuOK, memOK bool) {
-	capc := n.Capacity()
 	// Pods reserved by this batch's earlier decisions enter the Eq. 7-8
 	// pairing exactly like running pods — their applications' ERO profiles
 	// apply, so burst arrivals of one application pack as tightly as the
-	// profiles justify. The node's resident state comes from the cached
-	// summary, so only resv and p are walked here: O(extras), not
-	// O(residents), and nothing is allocated.
-	resv := o.ReservedPods(n.Node.ID)
+	// profiles justify.
+	return o.scoreHostResv(n, p, o.ReservedPods(n.Node.ID), nil)
+}
+
+// scoreHostResv is scoreHost over an explicit reservation list, optionally
+// filling an Eq. 11 decomposition. The hot path passes eq == nil; the
+// decomposition branch runs only when a sampled decision trace re-scores
+// the winning host.
+func (o *Optum) scoreHostResv(n *cluster.NodeState, p *trace.Pod, resv []*trace.Pod, eq *obs.Eq11) (score float64, cpuOK, memOK bool) {
+	capc := n.Capacity()
+	// The node's resident state comes from the cached summary, so only resv
+	// and p are walked here: O(extras), not O(residents), and nothing is
+	// allocated.
 	sum := o.sums.ForNode(n)
 
 	poc := o.sums.CPUWith(sum, resv, p)
@@ -418,6 +465,14 @@ func (o *Optum) scoreHost(n *cluster.NodeState, p *trace.Pod) (score float64, cp
 	score = util - o.Opt.OmegaO*lsSum - o.Opt.OmegaB*beSum
 	if math.IsNaN(score) {
 		score = math.Inf(-1)
+	}
+	if eq != nil {
+		eq.UtilTerm = util
+		eq.LSDegradation = lsSum
+		eq.BEDegradation = beSum
+		eq.OmegaO = o.Opt.OmegaO
+		eq.OmegaB = o.Opt.OmegaB
+		eq.Score = score
 	}
 	return score, true, true
 }

@@ -27,12 +27,14 @@ package engine
 
 import (
 	"container/heap"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"unisched/internal/chaos"
 	"unisched/internal/cluster"
+	"unisched/internal/obs"
 	"unisched/internal/pipeline"
 	"unisched/internal/sched"
 	"unisched/internal/trace"
@@ -124,6 +126,19 @@ type Config struct {
 	Chaos *chaos.Injector
 	// Seed de-correlates the workers' samplers.
 	Seed int64
+
+	// TraceEvery samples one decision trace per this many scheduling
+	// attempts (0 disables tracing entirely: no recorder is built and the
+	// hot path pays nothing).
+	TraceEvery int
+	// TraceBuffer bounds the decision-trace ring (default 4096).
+	TraceBuffer int
+	// HistoryCap bounds the rolling cluster-telemetry ring (default 2880
+	// samples — 24h of 30s ticks).
+	HistoryCap int
+	// Logger receives structured engine lifecycle events; nil discards
+	// them (tests, benchmarks, embedded use).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -251,6 +266,14 @@ type Engine struct {
 	serMu  sync.Mutex
 	series Series
 
+	// rec is the sampled decision-trace recorder; nil when TraceEvery is 0
+	// so the scheduling path carries no tracing cost at all.
+	rec *obs.Recorder
+	// hist is the rolling cluster-telemetry ring, fed once per tick.
+	hist *obs.History
+	// log receives lifecycle events; always non-nil (discarding by default).
+	log *slog.Logger
+
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -267,8 +290,20 @@ func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
 		q:      newQueue(cfg.QueueCap),
 		m:      newMetrics(),
 		recs:   make(map[int]*podRecord, 8192),
+		log:    cfg.Logger,
 		stopCh: make(chan struct{}),
 	}
+	if e.log == nil {
+		e.log = discardLogger()
+	}
+	if cfg.TraceEvery > 0 {
+		e.rec = obs.NewRecorder(cfg.TraceBuffer, cfg.TraceEvery)
+	}
+	histCap := cfg.HistoryCap
+	if histCap <= 0 {
+		histCap = 2880
+	}
+	e.hist = obs.NewHistory(histCap, sloNames())
 	e.q.onPop = func(n int) { e.inFlight.Add(int64(n)) }
 	for w := 0; w < cfg.Workers; w++ {
 		s := factory(c, w, cfg.Seed+int64(w)*7919)
@@ -283,9 +318,25 @@ func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
 				r.RestrictTo(ids)
 			}
 		}
+		if e.rec != nil {
+			// Every worker's pipeline feeds the shared recorder; sampling
+			// and the ring are concurrency-safe.
+			if pp, ok := s.(interface{ Pipeline() *pipeline.Pipeline }); ok {
+				pp.Pipeline().SetRecorder(e.rec)
+			}
+		}
 		e.scheds = append(e.scheds, s)
 	}
 	return e
+}
+
+// sloNames lists the SLO classes in index order for the telemetry ring.
+func sloNames() []string {
+	out := make([]string, int(trace.SLOBE)+1)
+	for i := range out {
+		out[i] = trace.SLO(i).String()
+	}
+	return out
 }
 
 // Store exposes the sharded state store (tests and diagnostics).
@@ -294,8 +345,22 @@ func (e *Engine) Store() *Store { return e.store }
 // Now returns the virtual clock in seconds.
 func (e *Engine) Now() int64 { return e.now.Load() }
 
+// Traces returns the decision-trace recorder, or nil when tracing is
+// disabled (Config.TraceEvery 0).
+func (e *Engine) Traces() *obs.Recorder { return e.rec }
+
+// History returns the rolling cluster-telemetry ring.
+func (e *Engine) History() *obs.History { return e.hist }
+
 // Start launches the scheduler workers and the event loop.
 func (e *Engine) Start() {
+	e.log.Info("engine starting",
+		"workers", e.cfg.Workers,
+		"shards", e.cfg.Shards,
+		"queue_cap", e.cfg.QueueCap,
+		"tick_s", e.cfg.Tick,
+		"trace_every", e.cfg.TraceEvery,
+		"nodes", len(e.c.Nodes()))
 	for i := range e.scheds {
 		e.wg.Add(1)
 		go e.runWorker(e.scheds[i])
@@ -313,6 +378,10 @@ func (e *Engine) Stop() {
 		e.q.close()
 	})
 	e.wg.Wait()
+	e.log.Info("engine stopped",
+		"virtual_now", e.now.Load(),
+		"placed", e.m.placed.Load(),
+		"running", e.active.Load())
 }
 
 // Submit admits one pod. The pod must be linked to its application
@@ -509,19 +578,58 @@ func (e *Engine) runWorker(sc sched.Scheduler) {
 		decisions, versions := e.store.ScheduleBatch(sc, batch, now)
 		perPod := time.Duration(int64(time.Since(start)) / int64(len(items)))
 
+		// Sampled traces from this batch, by pod — the commit stage below
+		// amends exactly the attempt the scheduler just recorded (a pod can
+		// have older traces from earlier retries).
+		var btr map[int]*obs.DecisionTrace
+		if e.rec != nil {
+			if pp, ok := sc.(interface{ Pipeline() *pipeline.Pipeline }); ok {
+				if bt := pp.Pipeline().BatchTraces(); len(bt) > 0 {
+					btr = make(map[int]*obs.DecisionTrace, len(bt))
+					for _, dt := range bt {
+						btr[dt.PodID] = dt
+					}
+				}
+			}
+		}
+
 		// bumps tracks this worker's own commits per node within the
 		// batch, so stacking two pods on one host doesn't read as a
 		// conflict with itself.
 		bumps := make(map[int]uint64)
 		for i, d := range decisions {
 			e.m.decision.observe(perPod)
+			dt := btr[d.Pod.ID]
 			if d.NodeID < 0 {
+				if dt != nil {
+					e.rec.Amend(dt, func(t *obs.DecisionTrace) { t.Now = now })
+				}
 				e.fail(items[i], d.Reason, now)
 				continue
+			}
+			var c0 time.Time
+			if dt != nil {
+				c0 = time.Now()
 			}
 			res := e.store.Commit(d, versions[i]+bumps[d.NodeID], now, func(evicted []*cluster.PodState) {
 				e.onPlaced(d, now, evicted)
 			})
+			if dt != nil {
+				e.rec.Amend(dt, func(t *obs.DecisionTrace) {
+					t.Now = now
+					t.SpanFrom("commit", c0, time.Since(c0))
+					switch res.Status {
+					case CommitConflictPlaced:
+						t.Outcome = "conflict-placed"
+					case CommitConflictRejected:
+						t.Outcome = "conflict-rejected"
+						t.Reject("commit", "commit conflict", 1)
+					case CommitStale:
+						t.Outcome = "stale-rejected"
+						t.Reject("commit", "node not schedulable", 1)
+					}
+				})
+			}
 			if res.Status == CommitPlaced || res.Status == CommitConflictPlaced {
 				bumps[d.NodeID]++
 			}
@@ -755,9 +863,16 @@ func (e *Engine) tick() {
 }
 
 // observeTick records the per-tick utilization sample, mirroring
-// sim.Result.observeTick's headline series (Down hosts excluded).
+// sim.Result.observeTick's headline series (Down hosts excluded), and
+// appends one cluster-telemetry sample to the rolling history ring. It
+// runs after the store unlocks, so it reads only snapshot copies and
+// immutable pod/node descriptors — never live node state. The history
+// sample is a stack value copied into a preallocated slot: no allocation
+// per tick.
 func (e *Engine) observeTick(t int64, snaps []cluster.NodeSnapshot) {
 	var cpuSum, memSum, violated float64
+	var capSum, reqSum, limSum, useSum trace.Resources
+	sample := obs.ClusterSample{T: t}
 	up := 0
 	for i := range snaps {
 		s := &snaps[i]
@@ -770,11 +885,34 @@ func (e *Engine) observeTick(t int64, snaps []cluster.NodeSnapshot) {
 		if s.Violated() {
 			violated++
 		}
+		capSum = capSum.Add(s.Node.Node.Capacity)
+		useSum = useSum.Add(s.Usage)
+		for j := range s.Pods {
+			p := s.Pods[j].Pod.Pod
+			reqSum = reqSum.Add(p.Request)
+			limSum = limSum.Add(p.Limit)
+			sample.Running[sloIdx(p.SLO)]++
+		}
 	}
 	n := float64(up)
 	if up == 0 {
 		n = 1
 	}
+	sample.UpNodes = up
+	if capSum.CPU > 0 {
+		sample.CPUAlloc = reqSum.CPU / capSum.CPU
+		sample.CPUUtil = useSum.CPU / capSum.CPU
+		// Over-commitment: the ratio of promised limits to physical
+		// capacity — >1 means the cluster is over-committed (§3.2).
+		sample.CPUOverCommit = limSum.CPU / capSum.CPU
+	}
+	if capSum.Mem > 0 {
+		sample.MemAlloc = reqSum.Mem / capSum.Mem
+		sample.MemUtil = useSum.Mem / capSum.Mem
+	}
+	sample.Violation = violated / n
+	e.hist.Record(sample)
+
 	e.serMu.Lock()
 	e.series.Times = append(e.series.Times, t)
 	e.series.CPUUtilAvg = append(e.series.CPUUtilAvg, cpuSum/n)

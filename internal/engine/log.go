@@ -1,0 +1,14 @@
+package engine
+
+import (
+	"io"
+	"log/slog"
+)
+
+// discardLogger returns a logger that drops every record — the default
+// when Config.Logger is nil, so logging call sites stay unconditional.
+// The level gate rejects records before formatting, keeping the cost to a
+// single comparison.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}

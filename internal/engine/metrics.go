@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -36,27 +37,67 @@ func (h *hist) observe(d time.Duration) {
 	h.sum.Add(ns)
 }
 
-// quantile returns the q-quantile in seconds (upper bucket bound), or 0
-// with no observations.
+// quantile returns the q-quantile in seconds, interpolated within the
+// containing bucket, or 0 with no observations. The first bucket spans
+// [0, latBase] and interpolates linearly; every later bucket spans one
+// doubling, so the latency distribution is roughly uniform in log-space
+// within it and the interpolation is log-linear (lower * 2^frac). The
+// bucket layout itself is unchanged, so recorded histograms stay
+// comparable across versions.
 func (h *hist) quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
-	target := int64(q * float64(total))
-	if target >= total {
-		target = total - 1
+	if q < 0 {
+		q = 0
 	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
 	var seen int64
 	bound := int64(latBase)
 	for b := 0; b < latBuckets; b++ {
-		seen += h.buckets[b].Load()
-		if seen > target {
-			return float64(bound) / 1e9
+		n := h.buckets[b].Load()
+		if float64(seen+n) >= rank && n > 0 {
+			frac := (rank - float64(seen)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			if b == 0 {
+				return float64(bound) * frac / 1e9
+			}
+			lower := float64(bound) / 2
+			return lower * math.Pow(2, frac) / 1e9
 		}
-		bound *= 2
+		seen += n
+		if b < latBuckets-1 {
+			bound *= 2
+		}
 	}
 	return float64(bound) / 1e9
+}
+
+// export snapshots the histogram in cumulative Prometheus form: finite
+// upper bounds in seconds, cumulative counts per bound, the total count
+// (the +Inf bucket), and the sum in seconds. The total is derived from
+// the same per-bucket snapshot so cumulative counts stay monotone and the
+// +Inf bucket always equals _count even while workers keep observing.
+func (h *hist) export(bounds *[latBuckets - 1]float64, cum *[latBuckets - 1]int64) (sum float64, total int64) {
+	bound := int64(latBase)
+	var seen int64
+	for b := 0; b < latBuckets-1; b++ {
+		seen += h.buckets[b].Load()
+		bounds[b] = float64(bound) / 1e9
+		cum[b] = seen
+		bound *= 2
+	}
+	total = seen + h.buckets[latBuckets-1].Load()
+	return float64(h.sum.Load()) / 1e9, total
 }
 
 func (h *hist) mean() float64 {

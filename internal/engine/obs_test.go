@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/obs"
+)
+
+func TestHistQuantilePinned(t *testing.T) {
+	var h hist
+	if got := h.quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+
+	// 1000 observations of 3 µs land in the (2µs, 4µs] bucket. The median
+	// interpolates log-linearly to lower*2^0.5 = 2µs*sqrt(2).
+	for i := 0; i < 1000; i++ {
+		h.observe(3 * time.Microsecond)
+	}
+	want := 2e-6 * math.Sqrt2
+	if got := h.quantile(0.5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p50 = %v, want %v", got, want)
+	}
+	// The quantile stays inside the containing bucket at the extremes.
+	if got := h.quantile(0); math.Abs(got-2e-6) > 1e-12 {
+		t.Fatalf("p0 = %v, want bucket lower bound 2e-6", got)
+	}
+	if got := h.quantile(1); math.Abs(got-4e-6) > 1e-12 {
+		t.Fatalf("p100 = %v, want bucket upper bound 4e-6", got)
+	}
+
+	// The first bucket spans [0, 1µs] and interpolates linearly.
+	var h0 hist
+	for i := 0; i < 10; i++ {
+		h0.observe(500 * time.Nanosecond)
+	}
+	if got := h0.quantile(0.5); math.Abs(got-0.5e-6) > 1e-12 {
+		t.Fatalf("first-bucket p50 = %v, want 5e-7", got)
+	}
+
+	// A bimodal split: 900 fast (3µs) + 100 slow (33µs, bucket (32µs,64µs]).
+	// p50 stays in the fast bucket, p99 interpolates 90% into the slow one.
+	var hb hist
+	for i := 0; i < 900; i++ {
+		hb.observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		hb.observe(33 * time.Microsecond)
+	}
+	if p50, p99 := hb.quantile(0.5), hb.quantile(0.99); p50 >= 4e-6 || p99 <= 32e-6 {
+		t.Fatalf("bimodal p50=%v p99=%v", p50, p99)
+	}
+	wantP99 := 32e-6 * math.Pow(2, 0.9)
+	if got := hb.quantile(0.99); math.Abs(got-wantP99) > 1e-10 {
+		t.Fatalf("p99 = %v, want %v", got, wantP99)
+	}
+	// Quantiles are monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := hb.quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistExportCumulative(t *testing.T) {
+	var h hist
+	for _, d := range []time.Duration{500 * time.Nanosecond, 3 * time.Microsecond, 3 * time.Microsecond, 40 * time.Second} {
+		h.observe(d)
+	}
+	var bounds [latBuckets - 1]float64
+	var cum [latBuckets - 1]int64
+	sum, total := h.export(&bounds, &cum)
+	if total != 4 {
+		t.Fatalf("total = %d, want 4", total)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts not monotone at %d: %v", i, cum)
+		}
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, bounds)
+		}
+	}
+	// The 40s observation overflows every finite bucket, so the last finite
+	// cumulative count must be 3 while +Inf (total) is 4.
+	if cum[len(cum)-1] != 3 {
+		t.Fatalf("last finite bucket = %d, want 3", cum[len(cum)-1])
+	}
+	wantSum := 0.5e-6 + 2*3e-6 + 40.0
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", sum, wantSum)
+	}
+}
+
+// TestEngineTracingConcurrent runs a multi-worker engine with every
+// decision traced while goroutines hammer the observability readers, and
+// asserts no decision record is lost and the histogram stays monotone.
+// Run with -race to exercise the synchronization.
+func TestEngineTracingConcurrent(t *testing.T) {
+	w := smallWorkload(t)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{
+		Workers: 4, Shards: 8, Horizon: w.Horizon, BlockOnFull: true,
+		TraceEvery: 1, TraceBuffer: 1 << 16,
+	})
+	e.Start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var pollErr error
+	var pollMu sync.Mutex
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastCount int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e.Traces().Last(16, "")
+				e.Traces().Last(16, "failed")
+				e.History().Samples()
+				if err := e.WritePrometheus(io.Discard); err != nil {
+					pollMu.Lock()
+					pollErr = err
+					pollMu.Unlock()
+					return
+				}
+				var bounds [latBuckets - 1]float64
+				var cum [latBuckets - 1]int64
+				if _, total := e.m.decision.export(&bounds, &cum); total < lastCount {
+					pollMu.Lock()
+					pollErr = errHistWentBackwards
+					pollMu.Unlock()
+					return
+				} else {
+					lastCount = total
+				}
+			}
+		}()
+	}
+
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("submit pod %d: %v", p.ID, err)
+		}
+	}
+	if !e.Drain(60 * time.Second) {
+		t.Fatalf("engine did not settle: %+v", e.Snapshot())
+	}
+	e.Stop()
+	close(stop)
+	wg.Wait()
+	if pollErr != nil {
+		t.Fatalf("poller failed: %v", pollErr)
+	}
+
+	started, committed := e.Traces().Counts()
+	if started == 0 {
+		t.Fatal("no traces started with TraceEvery=1")
+	}
+	if started != committed {
+		t.Fatalf("lost decision records: started %d, committed %d", started, committed)
+	}
+	if e.Traces().Total() != committed {
+		t.Fatalf("ring total %d != committed %d", e.Traces().Total(), committed)
+	}
+	sn := e.Snapshot()
+	// Every pipeline decision was sampled, so the recorder must hold at
+	// least one record per placed pod (retries add more).
+	if committed < sn.Placed {
+		t.Fatalf("committed %d traces for %d placements", committed, sn.Placed)
+	}
+	for _, dt := range e.Traces().Last(64, "") {
+		switch dt.Outcome {
+		case "placed", "preempt-placed", "conflict-placed":
+			if dt.Node < 0 {
+				t.Fatalf("trace %d outcome %q has node %d", dt.PodID, dt.Outcome, dt.Node)
+			}
+		case "failed", "conflict-rejected", "stale-rejected":
+			if dt.Reason == "" && len(dt.Rejections) == 0 {
+				t.Fatalf("failed trace %d carries no reason or rejections", dt.PodID)
+			}
+		default:
+			t.Fatalf("trace %d has unexpected outcome %q", dt.PodID, dt.Outcome)
+		}
+		if len(dt.Spans) == 0 {
+			t.Fatalf("trace %d has no stage spans", dt.PodID)
+		}
+	}
+}
+
+var errHistWentBackwards = errDecreasing{}
+
+type errDecreasing struct{}
+
+func (errDecreasing) Error() string { return "decision histogram count decreased" }
+
+func TestEngineMetricsExposition(t *testing.T) {
+	w := smallWorkload(t)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{
+		Workers: 2, Shards: 4, Horizon: w.Horizon, BlockOnFull: true,
+		TraceEvery: 4,
+	})
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Drain(60 * time.Second) {
+		t.Fatalf("did not settle: %+v", e.Snapshot())
+	}
+	e.Stop()
+
+	rr := httptest.NewRecorder()
+	e.MetricsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content-type %q", ct)
+	}
+	body := rr.Body.String()
+	if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"unisched_placed_total",
+		"unisched_decision_seconds_bucket",
+		"unisched_decision_seconds_sum",
+		"unisched_decision_seconds_count",
+		"unisched_pipeline_stage_seconds_total{stage=\"scan\"}",
+		"unisched_traces_started_total",
+		"unisched_history_samples",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestEngineHistoryRecordsSamples(t *testing.T) {
+	w := smallWorkload(t)
+	e, sn := runEngine(t, w, Config{Workers: 2, Shards: 4})
+	checkConservation(t, w, sn)
+	// A 60-virtual-second run ticks twice at SampleInterval=30; the small
+	// workload's 3 h horizon yields far more.
+	hist := e.History()
+	if hist.Len() < 2 {
+		t.Fatalf("history holds %d samples, want >= 2", hist.Len())
+	}
+	samples := hist.Samples()
+	var prev int64 = -1
+	sawRunning := false
+	for _, s := range samples {
+		if s.T <= prev {
+			t.Fatalf("history times not increasing: %d after %d", s.T, prev)
+		}
+		prev = s.T
+		if s.UpNodes <= 0 {
+			t.Fatalf("sample at t=%d has %d up nodes", s.T, s.UpNodes)
+		}
+		if s.CPUAlloc < 0 || s.CPUUtil < 0 || s.CPUOverCommit < 0 {
+			t.Fatalf("negative utilization at t=%d: %+v", s.T, s)
+		}
+		for _, n := range s.Running {
+			if n > 0 {
+				sawRunning = true
+			}
+		}
+	}
+	if !sawRunning {
+		t.Fatal("no history sample ever saw a running pod")
+	}
+	last, ok := hist.Last()
+	if !ok || last.T != samples[len(samples)-1].T {
+		t.Fatalf("Last() = %+v, ok=%v", last, ok)
+	}
+}
+
+func TestEngineNoRecorderWhenTracingOff(t *testing.T) {
+	w := smallWorkload(t)
+	e, sn := runEngine(t, w, Config{Workers: 2})
+	checkConservation(t, w, sn)
+	if e.Traces() != nil {
+		t.Fatal("engine built a recorder with TraceEvery=0")
+	}
+	// The nil recorder is safe to query through the public accessors.
+	if e.Traces().Enabled() || e.Traces().Len() != 0 || e.Traces().Last(5, "") != nil {
+		t.Fatal("nil recorder accessors misbehaved")
+	}
+	// /metrics still renders (without trace families).
+	rr := httptest.NewRecorder()
+	e.MetricsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if err := obs.ValidateExposition(strings.NewReader(rr.Body.String())); err != nil {
+		t.Fatalf("exposition invalid with tracing off: %v", err)
+	}
+	if strings.Contains(rr.Body.String(), "unisched_traces_started_total") {
+		t.Fatal("trace counters exported with tracing off")
+	}
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"io"
+	"net/http"
+	"sort"
+
+	"unisched/internal/obs"
+	"unisched/internal/trace"
+)
+
+// WritePrometheus renders every engine counter, the decision-latency
+// histogram, the merged pipeline stage stats, and the queue gauges in
+// Prometheus text exposition format (0.0.4), using only the standard
+// library. Scrapes take the same snapshots the JSON endpoint takes; the
+// scheduling hot path is never touched.
+func (e *Engine) WritePrometheus(w io.Writer) error {
+	sn := e.Snapshot()
+	x := obs.NewExposition(w)
+
+	x.Counter("unisched_submitted_total", "Pods ever submitted to the engine.", float64(sn.Submitted))
+	x.Counter("unisched_accepted_total", "Submissions admitted to the queue.", float64(sn.Accepted))
+	x.Counter("unisched_placed_total", "Pods placed on a host.", float64(sn.Placed))
+	x.Counter("unisched_completed_total", "BE pods that finished their work.", float64(sn.Completed))
+	x.Counter("unisched_expired_total", "Pods that reached their lifetime.", float64(sn.Expired))
+	x.Counter("unisched_preempted_total", "BE pods evicted for LSR admission.", float64(sn.Preempted))
+	x.Counter("unisched_displaced_total", "Pods removed while running (faults or preemption).", float64(sn.Displaced))
+	x.Counter("unisched_exhausted_total", "Pods abandoned after the displacement budget.", float64(sn.Exhausted))
+	x.Counter("unisched_retries_total", "Failed scheduling attempts re-queued.", float64(sn.Retries))
+	x.Counter("unisched_commit_conflicts_total", "Optimistic commits that hit a stale node version.", float64(sn.CommitConflicts))
+	x.Counter("unisched_conflict_rejects_total", "Commits that lost re-validation after a conflict.", float64(sn.ConflictRejects))
+	x.Counter("unisched_stale_rejects_total", "Commits onto no-longer-schedulable hosts.", float64(sn.StaleRejects))
+
+	x.Family("unisched_shed_total", "Submissions shed under backpressure, by SLO class.", "counter")
+	emitBySLO(x, "unisched_shed_total", sn.ShedBySLO)
+	x.Family("unisched_placed_by_slo_total", "Pods placed, by SLO class.", "counter")
+	emitBySLO(x, "unisched_placed_by_slo_total", sn.PlacedBySLO)
+
+	x.Family("unisched_wait_virtual_seconds_total", "Virtual seconds pods spent waiting before placement, by SLO class.", "counter")
+	x.Family("unisched_wait_placements_total", "Placements contributing to the waiting-time sums, by SLO class.", "counter")
+	for i := 0; i <= int(trace.SLOBE); i++ {
+		slo := trace.SLO(i).String()
+		if n := e.m.waitCount[i].Load(); n > 0 {
+			x.Sample("unisched_wait_virtual_seconds_total", []obs.Label{{Name: "slo", Value: slo}}, float64(e.m.waitSum[i].Load()))
+			x.Sample("unisched_wait_placements_total", []obs.Label{{Name: "slo", Value: slo}}, float64(n))
+		}
+	}
+
+	x.Gauge("unisched_virtual_seconds", "The engine's virtual clock.", float64(sn.VirtualNow))
+	x.Gauge("unisched_queue_depth", "Pods in the admission queue.", float64(sn.QueueDepth))
+	x.Gauge("unisched_backlogged", "Pods sitting out a retry backoff.", float64(sn.Backlogged))
+	x.Gauge("unisched_in_flight", "Pods inside a worker's scheduling batch.", float64(sn.InFlight))
+	x.Gauge("unisched_pending", "Accepted pods not yet placed, shed, or exhausted.", float64(sn.Pending))
+	x.Gauge("unisched_running", "Pods currently running on the cluster.", float64(sn.Running))
+
+	var bounds [latBuckets - 1]float64
+	var cum [latBuckets - 1]int64
+	sum, total := e.m.decision.export(&bounds, &cum)
+	x.Histogram("unisched_decision_seconds", "Per-pod scheduling decision latency.", bounds[:], cum[:], sum, total)
+
+	if ps := sn.Pipeline; ps != nil {
+		x.Counter("unisched_pipeline_decisions_total", "Placement-pipeline decisions.", float64(ps.Decisions))
+		x.Counter("unisched_pipeline_placed_total", "Pipeline decisions that selected a host.", float64(ps.Placed))
+		x.Counter("unisched_pipeline_preemptions_total", "LSR preemption placements.", float64(ps.Preemptions))
+		x.Counter("unisched_pipeline_prefilter_rejects_total", "Pods rejected before any node was considered.", float64(ps.PrefilterRejects))
+		x.Counter("unisched_pipeline_candidate_nodes_total", "Candidate-universe sizes summed over decisions.", float64(ps.CandidateNodes))
+		x.Counter("unisched_pipeline_sampled_nodes_total", "Candidates surviving the Sample stage.", float64(ps.SampledNodes))
+		x.Counter("unisched_pipeline_pruned_nodes_total", "Nodes skipped wholesale via headroom buckets.", float64(ps.PrunedNodes))
+		x.Counter("unisched_pipeline_visited_nodes_total", "Per-node filter or eval executions.", float64(ps.VisitedNodes))
+		x.Counter("unisched_pipeline_scored_nodes_total", "Score executions on admitted nodes.", float64(ps.ScoredNodes))
+		x.Counter("unisched_pipeline_summary_hits_total", "Prediction-summary cache hits.", float64(ps.SummaryHits))
+		x.Counter("unisched_pipeline_summary_appends_total", "Prediction-summary O(1) appends.", float64(ps.SummaryAppends))
+		x.Counter("unisched_pipeline_summary_rebuilds_total", "Prediction-summary full rebuilds.", float64(ps.SummaryRebuilds))
+		x.Family("unisched_pipeline_stage_seconds_total", "Time spent per pipeline stage.", "counter")
+		stages := make([]string, 0, len(ps.StageMicros))
+		for st := range ps.StageMicros {
+			stages = append(stages, st)
+		}
+		sort.Strings(stages)
+		for _, st := range stages {
+			x.Sample("unisched_pipeline_stage_seconds_total", []obs.Label{{Name: "stage", Value: st}}, ps.StageMicros[st]/1e6)
+		}
+	}
+
+	if e.rec != nil {
+		started, committed := e.rec.Counts()
+		x.Counter("unisched_traces_started_total", "Decision traces sampled.", float64(started))
+		x.Counter("unisched_traces_committed_total", "Decision traces published to the ring.", float64(committed))
+		x.Gauge("unisched_traces_retained", "Decision traces currently in the ring buffer.", float64(e.rec.Len()))
+	}
+	x.Gauge("unisched_history_samples", "Cluster-telemetry samples currently retained.", float64(e.hist.Len()))
+
+	return x.Flush()
+}
+
+// emitBySLO writes one sample per SLO class in stable (index) order.
+func emitBySLO(x *obs.Exposition, name string, bySLO map[string]int64) {
+	for i := 0; i <= int(trace.SLOBE); i++ {
+		slo := trace.SLO(i).String()
+		if v, ok := bySLO[slo]; ok {
+			x.Sample(name, []obs.Label{{Name: "slo", Value: slo}}, float64(v))
+		}
+	}
+}
+
+// MetricsHandler serves WritePrometheus over HTTP — mounted at /metrics
+// by cmd/unischedd and usable directly in tests.
+func (e *Engine) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := e.WritePrometheus(w); err != nil {
+			// Headers are already gone; nothing useful to do but note it.
+			e.log.Warn("metrics write failed", "err", err)
+		}
+	})
+}

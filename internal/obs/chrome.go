@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event (the "Trace Event Format" JSON
+// array form understood by chrome://tracing and Perfetto). Durations are
+// "complete" events (ph "X") with microsecond ts/dur.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders decision traces as a Chrome trace-event JSON
+// array: one top-level "decision" slice per pod spanning the whole
+// attempt, with nested per-stage slices beneath it. Each pod gets its own
+// thread row so concurrent worker activity lays out as parallel lanes.
+func WriteChromeTrace(w io.Writer, traces []DecisionTrace) error {
+	events := make([]chromeEvent, 0, len(traces)*4)
+	for _, dt := range traces {
+		args := map[string]any{
+			"pod":     dt.PodID,
+			"app":     dt.App,
+			"slo":     dt.SLO,
+			"outcome": dt.Outcome,
+			"node":    dt.Node,
+			"score":   dt.Score,
+		}
+		if dt.Reason != "" {
+			args["reason"] = dt.Reason
+		}
+		if len(dt.Rejections) > 0 {
+			rej := make([]map[string]any, 0, len(dt.Rejections))
+			for _, r := range dt.Rejections {
+				rej = append(rej, map[string]any{
+					"stage": r.Stage, "reason": r.Reason, "count": r.Count,
+				})
+			}
+			args["rejections"] = rej
+		}
+		if dt.Eq11 != nil {
+			args["eq11"] = dt.Eq11
+		}
+		events = append(events, chromeEvent{
+			Name: "decision",
+			Cat:  "scheduler",
+			Ph:   "X",
+			TS:   float64(dt.StartNs) / 1e3,
+			Dur:  float64(dt.TotalNs) / 1e3,
+			PID:  1,
+			TID:  dt.PodID,
+			Args: args,
+		})
+		for _, sp := range dt.Spans {
+			events = append(events, chromeEvent{
+				Name: sp.Stage,
+				Cat:  "stage",
+				Ph:   "X",
+				TS:   float64(sp.StartNs) / 1e3,
+				Dur:  float64(sp.DurNs) / 1e3,
+				PID:  1,
+				TID:  dt.PodID,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import "sync"
+
+// maxClasses bounds the per-class running-count array so samples can be
+// fixed-size structs (no per-record allocation).
+const maxClasses = 8
+
+// ClusterSample is one point of the rolling cluster time series:
+// allocation (requested/capacity), usage (actual/capacity), the
+// over-commitment ratio (requested/usage where usage > 0), and how many
+// pods of each workload class are running.
+type ClusterSample struct {
+	T             int64             `json:"t"`
+	UpNodes       int               `json:"up_nodes"`
+	CPUAlloc      float64           `json:"cpu_alloc"`
+	MemAlloc      float64           `json:"mem_alloc"`
+	CPUUtil       float64           `json:"cpu_util"`
+	MemUtil       float64           `json:"mem_util"`
+	CPUOverCommit float64           `json:"cpu_overcommit"`
+	Violation     float64           `json:"violation"`
+	Running       [maxClasses]int64 `json:"-"`
+}
+
+// SamplePoint is the query-time view of a ClusterSample with the running
+// counts expanded to a class-name map (built only when serving reads, so
+// the record path stays allocation-free).
+type SamplePoint struct {
+	T             int64            `json:"t"`
+	UpNodes       int              `json:"up_nodes"`
+	CPUAlloc      float64          `json:"cpu_alloc"`
+	MemAlloc      float64          `json:"mem_alloc"`
+	CPUUtil       float64          `json:"cpu_util"`
+	MemUtil       float64          `json:"mem_util"`
+	CPUOverCommit float64          `json:"cpu_overcommit"`
+	Violation     float64          `json:"violation"`
+	Running       map[string]int64 `json:"running_by_slo"`
+}
+
+// History is a fixed-capacity ring of cluster samples. Record is called
+// from the engine tick loop and performs no allocation: the sample is
+// copied into a preallocated slot. Readers take the same mutex but only
+// at query time.
+type History struct {
+	mu      sync.Mutex
+	classes []string
+	ring    []ClusterSample
+	next    int
+	n       int
+	total   int64
+}
+
+// NewHistory builds a ring holding up to capacity samples. classes names
+// the per-class running-count slots (at most maxClasses are kept; the
+// engine passes the SLO names).
+func NewHistory(capacity int, classes []string) *History {
+	if capacity <= 0 {
+		capacity = 2880 // 24h of 30s samples
+	}
+	if len(classes) > maxClasses {
+		classes = classes[:maxClasses]
+	}
+	cs := make([]string, len(classes))
+	copy(cs, classes)
+	return &History{
+		classes: cs,
+		ring:    make([]ClusterSample, capacity),
+	}
+}
+
+// Record copies s into the ring, evicting the oldest sample when full.
+// Nil-receiver safe so callers can leave history unconfigured.
+func (h *History) Record(s ClusterSample) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ring[h.next] = s
+	h.next = (h.next + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	h.total++
+	h.mu.Unlock()
+}
+
+// Len reports how many samples are retained.
+func (h *History) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Total reports how many samples were ever recorded.
+func (h *History) Total() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Classes returns the per-class slot names.
+func (h *History) Classes() []string {
+	if h == nil {
+		return nil
+	}
+	out := make([]string, len(h.classes))
+	copy(out, h.classes)
+	return out
+}
+
+// Samples returns the retained window oldest-first, with running counts
+// expanded to class-name maps.
+func (h *History) Samples() []SamplePoint {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]SamplePoint, 0, h.n)
+	start := h.next - h.n
+	if start < 0 {
+		start += len(h.ring)
+	}
+	for i := 0; i < h.n; i++ {
+		out = append(out, h.point(h.ring[(start+i)%len(h.ring)]))
+	}
+	return out
+}
+
+// Last returns the most recent sample, or false when empty.
+func (h *History) Last() (SamplePoint, bool) {
+	if h == nil {
+		return SamplePoint{}, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return SamplePoint{}, false
+	}
+	idx := h.next - 1
+	if idx < 0 {
+		idx += len(h.ring)
+	}
+	return h.point(h.ring[idx]), true
+}
+
+func (h *History) point(s ClusterSample) SamplePoint {
+	running := make(map[string]int64, len(h.classes))
+	for i, name := range h.classes {
+		running[name] = s.Running[i]
+	}
+	return SamplePoint{
+		T:             s.T,
+		UpNodes:       s.UpNodes,
+		CPUAlloc:      s.CPUAlloc,
+		MemAlloc:      s.MemAlloc,
+		CPUUtil:       s.CPUUtil,
+		MemUtil:       s.MemUtil,
+		CPUOverCommit: s.CPUOverCommit,
+		Violation:     s.Violation,
+		Running:       running,
+	}
+}

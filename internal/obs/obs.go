@@ -1,0 +1,394 @@
+// Package obs is the observability layer: decision tracing, Prometheus
+// text exposition, and rolling cluster telemetry. It answers the two
+// questions an operator of a running scheduler actually asks — "why did
+// pod X land on host Y (or fail to land anywhere)?" and "what did the
+// cluster look like over the last hour?" — without rerunning a
+// simulation.
+//
+// The package deliberately depends on nothing but the standard library:
+// the pipeline, the schedulers, and the engine all feed it, so it must
+// sit below every one of them in the import graph.
+//
+// Design invariant: when tracing is off the hot path pays nothing. A nil
+// *Recorder is a valid, fully-disabled recorder (every method is
+// nil-receiver safe), and a recorder with sampling rate 0 rejects
+// decisions with one atomic load and no allocation. Only the sampled
+// path — a small fixed fraction of decisions — allocates a trace record
+// and takes the ring-buffer lock.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TopK bounds how many scored hosts a decision trace retains, best first.
+const TopK = 8
+
+// Span is one pipeline stage of a single scheduling decision: the stage
+// name, its start offset from the decision's start, and its duration.
+type Span struct {
+	Stage   string `json:"stage"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// ScoredHost is one admitted candidate and its score.
+type ScoredHost struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// Rejection is a structured reason for one group of rejected candidates:
+// which stage rejected them, why, and how many.
+type Rejection struct {
+	Stage  string `json:"stage"`
+	Reason string `json:"reason"`
+	Count  int    `json:"count"`
+}
+
+// Eq11 decomposes Optum's Node-Selector score (paper Eq. 11) for the
+// chosen host: score = util - omegaO*ls - omegaB*be. In the default delta
+// form UtilTerm is the placement-induced change of the joint-utilization
+// objective and the degradation terms are increases over the host's
+// pre-placement level.
+type Eq11 struct {
+	// UtilTerm is the (joint CPUxmem) utilization term of the score.
+	UtilTerm float64 `json:"util_term"`
+	// LSDegradation and BEDegradation are the unweighted interference
+	// sums; the score subtracts OmegaO*LS + OmegaB*BE.
+	LSDegradation float64 `json:"ls_degradation"`
+	BEDegradation float64 `json:"be_degradation"`
+	OmegaO        float64 `json:"omega_o"`
+	OmegaB        float64 `json:"omega_b"`
+	// Score is UtilTerm - OmegaO*LSDegradation - OmegaB*BEDegradation.
+	Score float64 `json:"score"`
+	// Degraded marks a pod scored under the request-based fallback (no
+	// trained models, or an active profiler blackout): no prediction
+	// terms exist for it.
+	Degraded bool `json:"degraded,omitempty"`
+	// Summary cache counters at trace time (cumulative per scheduler):
+	// prediction-summary hits, O(1) appends, and full rebuilds.
+	SummaryHits     int64 `json:"summary_hits"`
+	SummaryAppends  int64 `json:"summary_appends"`
+	SummaryRebuilds int64 `json:"summary_rebuilds"`
+}
+
+// DecisionTrace records one scheduling attempt for one pod as it moved
+// through the placement pipeline. Instances are created by
+// Recorder.Start, filled by the pipeline on its own goroutine, published
+// with Recorder.Commit, and from then on amended only through the
+// recorder (which serializes against readers).
+type DecisionTrace struct {
+	// Seq is the global decision-attempt sequence number at sampling
+	// time; two traces of the same pod (retries) differ in Seq.
+	Seq uint64 `json:"seq"`
+
+	PodID int    `json:"pod_id"`
+	App   string `json:"app,omitempty"`
+	SLO   string `json:"slo,omitempty"`
+
+	// Now is the virtual clock (seconds) of the attempt; filled by the
+	// engine at commit time, 0 on the batch-sim path.
+	Now int64 `json:"now"`
+	// StartNs is the wall-clock start, nanoseconds since the recorder's
+	// epoch; TotalNs the end-to-end attempt duration.
+	StartNs int64 `json:"start_ns"`
+	TotalNs int64 `json:"total_ns"`
+
+	// Outcome: "placed", "preempt-placed", "failed", and after the
+	// engine's commit stage possibly "conflict-placed",
+	// "conflict-rejected", or "stale-rejected".
+	Outcome string `json:"outcome"`
+	// Node is the chosen host (-1 when the pod stayed pending) and Score
+	// its winning score.
+	Node   int     `json:"node"`
+	Score  float64 `json:"score"`
+	Reason string  `json:"reason,omitempty"`
+
+	// Candidate accounting through the stages: the affinity-filtered
+	// universe, the post-sampler scan set, nodes pruned wholesale via
+	// headroom buckets, nodes the filters actually visited, and nodes
+	// that were admitted and scored.
+	Candidates int `json:"candidates"`
+	Sampled    int `json:"sampled"`
+	Pruned     int `json:"pruned"`
+	Visited    int `json:"visited"`
+	Scored     int `json:"scored"`
+
+	Spans      []Span       `json:"spans"`
+	Top        []ScoredHost `json:"top,omitempty"`
+	Rejections []Rejection  `json:"rejections,omitempty"`
+	Eq11       *Eq11        `json:"eq11,omitempty"`
+
+	start time.Time
+}
+
+// SpanFrom appends a stage span that started at t0 and took d, with the
+// offset computed against the decision's start.
+func (dt *DecisionTrace) SpanFrom(stage string, t0 time.Time, d time.Duration) {
+	dt.Spans = append(dt.Spans, Span{Stage: stage, StartNs: t0.Sub(dt.start).Nanoseconds(), DurNs: d.Nanoseconds()})
+}
+
+// Reject records one rejected candidate group; zero counts are dropped.
+func (dt *DecisionTrace) Reject(stage, reason string, count int) {
+	if count <= 0 {
+		return
+	}
+	dt.Rejections = append(dt.Rejections, Rejection{Stage: stage, Reason: reason, Count: count})
+}
+
+// NoteScore offers one admitted candidate to the trace's top-K list
+// (kept sorted, best first, within the slice's fixed capacity).
+func (dt *DecisionTrace) NoteScore(id int, score float64) {
+	i := len(dt.Top)
+	for i > 0 && (score > dt.Top[i-1].Score || (score == dt.Top[i-1].Score && id < dt.Top[i-1].Node)) {
+		i--
+	}
+	if i >= TopK {
+		return
+	}
+	if len(dt.Top) < TopK {
+		dt.Top = append(dt.Top, ScoredHost{})
+	}
+	copy(dt.Top[i+1:], dt.Top[i:])
+	dt.Top[i] = ScoredHost{Node: id, Score: score}
+}
+
+// clone deep-copies the trace for handing to readers.
+func (dt *DecisionTrace) clone() DecisionTrace {
+	out := *dt
+	out.Spans = append([]Span(nil), dt.Spans...)
+	out.Top = append([]ScoredHost(nil), dt.Top...)
+	out.Rejections = append([]Rejection(nil), dt.Rejections...)
+	if dt.Eq11 != nil {
+		e := *dt.Eq11
+		out.Eq11 = &e
+	}
+	return out
+}
+
+// Recorder is the sampled decision-trace store: a fixed-size ring buffer
+// of the most recent sampled traces plus a per-pod index for point
+// queries. All mutation after Commit goes through the recorder so
+// concurrent readers always observe consistent traces.
+type Recorder struct {
+	every atomic.Int64  // sample 1 in every; 0 disables
+	seq   atomic.Uint64 // decision-attempt counter (drives sampling)
+
+	started   atomic.Int64 // traces created by Start
+	committed atomic.Int64 // traces published by Commit
+
+	epoch time.Time
+
+	mu    sync.Mutex
+	ring  []*DecisionTrace
+	next  int
+	total int64 // traces ever committed into the ring
+	byPod map[int][]*DecisionTrace
+}
+
+// NewRecorder builds a recorder retaining up to capacity sampled traces,
+// sampling one of every `every` decisions (1 traces everything, 0
+// disables).
+func NewRecorder(capacity, every int) *Recorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	r := &Recorder{
+		epoch: time.Now(),
+		ring:  make([]*DecisionTrace, 0, capacity),
+		byPod: make(map[int][]*DecisionTrace),
+	}
+	r.every.Store(int64(every))
+	return r
+}
+
+// SetSampleEvery retunes the sampling rate at runtime (0 disables).
+func (r *Recorder) SetSampleEvery(every int) {
+	if r != nil {
+		r.every.Store(int64(every))
+	}
+}
+
+// Enabled reports whether any decision could currently be sampled.
+func (r *Recorder) Enabled() bool { return r != nil && r.every.Load() > 0 }
+
+// Start begins a trace for one scheduling attempt, or returns nil when
+// the attempt is not sampled. The fast path is one atomic load (rate 0)
+// or one load plus one increment; only sampled attempts allocate.
+func (r *Recorder) Start(podID int, app, slo string) *DecisionTrace {
+	if r == nil {
+		return nil
+	}
+	ev := r.every.Load()
+	if ev <= 0 {
+		return nil
+	}
+	n := r.seq.Add(1)
+	if n%uint64(ev) != 0 {
+		return nil
+	}
+	r.started.Add(1)
+	now := time.Now()
+	return &DecisionTrace{
+		Seq:     n,
+		PodID:   podID,
+		App:     app,
+		SLO:     slo,
+		StartNs: now.Sub(r.epoch).Nanoseconds(),
+		Node:    -1,
+		start:   now,
+		Spans:   make([]Span, 0, 8),
+		Top:     make([]ScoredHost, 0, TopK),
+	}
+}
+
+// Commit finalizes the trace's duration and publishes it into the ring,
+// evicting the oldest trace when full. nil traces are ignored.
+func (r *Recorder) Commit(dt *DecisionTrace) {
+	if r == nil || dt == nil {
+		return
+	}
+	dt.TotalNs = time.Since(dt.start).Nanoseconds()
+	r.committed.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, dt)
+	} else {
+		old := r.ring[r.next]
+		r.unindex(old)
+		r.ring[r.next] = dt
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	r.byPod[dt.PodID] = append(r.byPod[dt.PodID], dt)
+}
+
+// unindex removes an evicted trace from the per-pod index. Caller holds mu.
+func (r *Recorder) unindex(old *DecisionTrace) {
+	lst := r.byPod[old.PodID]
+	for i, dt := range lst {
+		if dt == old {
+			lst = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	if len(lst) == 0 {
+		delete(r.byPod, old.PodID)
+	} else {
+		r.byPod[old.PodID] = lst
+	}
+}
+
+// Amend mutates a committed trace under the recorder lock, so concurrent
+// readers never observe a half-written amendment. The engine uses it for
+// the commit/conflict stage and Optum for the Eq. 11 breakdown.
+func (r *Recorder) Amend(dt *DecisionTrace, fn func(*DecisionTrace)) {
+	if r == nil || dt == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	fn(dt)
+	r.mu.Unlock()
+}
+
+// Counts reports how many traces were started and committed — equal on a
+// quiescent recorder; a gap means a scheduler lost a record.
+func (r *Recorder) Counts() (started, committed int64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.started.Load(), r.committed.Load()
+}
+
+// Len returns the number of traces currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Total returns the number of traces ever committed (retained or
+// evicted).
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// ByPod returns copies of every retained trace for one pod, oldest
+// first.
+func (r *Recorder) ByPod(podID int) []DecisionTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lst := r.byPod[podID]
+	out := make([]DecisionTrace, 0, len(lst))
+	for _, dt := range lst {
+		out = append(out, dt.clone())
+	}
+	return out
+}
+
+// Last returns copies of up to n of the most recent traces, newest
+// first, optionally filtered by outcome. outcome "failed" matches every
+// non-placed outcome ("failed", "conflict-rejected", "stale-rejected");
+// any other non-empty outcome matches exactly.
+func (r *Recorder) Last(n int, outcome string) []DecisionTrace {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DecisionTrace, 0, n)
+	for i := 0; i < len(r.ring) && len(out) < n; i++ {
+		// Newest-first: walk backwards from the slot before next.
+		idx := r.next - 1 - i
+		for idx < 0 {
+			idx += len(r.ring)
+		}
+		dt := r.ring[idx%len(r.ring)]
+		if !matchOutcome(dt.Outcome, outcome) {
+			continue
+		}
+		out = append(out, dt.clone())
+	}
+	return out
+}
+
+func matchOutcome(got, want string) bool {
+	if want == "" {
+		return true
+	}
+	if want == "failed" {
+		return got == "failed" || got == "conflict-rejected" || got == "stale-rejected"
+	}
+	return got == want
+}
+
+// All returns copies of every retained trace, oldest first — the
+// exporter path.
+func (r *Recorder) All() []DecisionTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DecisionTrace, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		idx := (r.next + i) % len(r.ring)
+		out = append(out, r.ring[idx].clone())
+	}
+	return out
+}

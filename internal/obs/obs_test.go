@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRecorderSampling(t *testing.T) {
+	r := NewRecorder(16, 4)
+	var sampled int
+	for i := 0; i < 100; i++ {
+		if dt := r.Start(i, "app", "LS"); dt != nil {
+			sampled++
+			r.Commit(dt)
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("every=4 over 100 decisions sampled %d, want 25", sampled)
+	}
+	started, committed := r.Counts()
+	if started != 25 || committed != 25 {
+		t.Fatalf("counts = (%d, %d), want (25, 25)", started, committed)
+	}
+}
+
+func TestRecorderDisabled(t *testing.T) {
+	var r *Recorder // nil recorder: fully disabled
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if dt := r.Start(1, "a", "LS"); dt != nil {
+		t.Fatal("nil recorder sampled a decision")
+	}
+	r.Commit(nil)
+	r.Amend(nil, nil)
+	if got := r.Last(10, ""); got != nil {
+		t.Fatalf("nil recorder returned traces: %v", got)
+	}
+
+	r2 := NewRecorder(16, 0) // rate 0: constructed but off
+	if r2.Enabled() {
+		t.Fatal("rate-0 recorder reports enabled")
+	}
+	for i := 0; i < 10; i++ {
+		if dt := r2.Start(i, "a", "LS"); dt != nil {
+			t.Fatal("rate-0 recorder sampled a decision")
+		}
+	}
+	r2.SetSampleEvery(1)
+	if !r2.Enabled() {
+		t.Fatal("recorder not enabled after SetSampleEvery(1)")
+	}
+	if dt := r2.Start(11, "a", "LS"); dt == nil {
+		t.Fatal("every=1 recorder skipped a decision")
+	}
+}
+
+func TestRecorderStartZeroAllocWhenOff(t *testing.T) {
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		if dt := nilRec.Start(1, "a", "LS"); dt != nil {
+			t.Fatal("sampled")
+		}
+	}); n != 0 {
+		t.Fatalf("nil recorder Start allocates %.1f/op, want 0", n)
+	}
+	off := NewRecorder(16, 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		if dt := off.Start(1, "a", "LS"); dt != nil {
+			t.Fatal("sampled")
+		}
+	}); n != 0 {
+		t.Fatalf("rate-0 recorder Start allocates %.1f/op, want 0", n)
+	}
+	// Unsampled attempts of an enabled recorder must not allocate either.
+	sparse := NewRecorder(16, 1_000_000)
+	sparse.Start(0, "a", "LS") // burn the aligned first sample if any
+	if n := testing.AllocsPerRun(1000, func() {
+		sparse.Start(1, "a", "LS")
+	}); n != 0 {
+		t.Fatalf("unsampled Start allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestRecorderRingEvictionAndIndex(t *testing.T) {
+	r := NewRecorder(4, 1)
+	for i := 0; i < 10; i++ {
+		dt := r.Start(i%2, "app", "BE") // two pods, five traces each
+		if dt == nil {
+			t.Fatalf("every=1 skipped decision %d", i)
+		}
+		dt.Outcome = "placed"
+		dt.Node = i
+		r.Commit(dt)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring holds %d, want capacity 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total %d, want 10", r.Total())
+	}
+	// Only the last four commits (nodes 6..9) survive; pods 0 and 1 keep
+	// two traces each.
+	for pod := 0; pod <= 1; pod++ {
+		lst := r.ByPod(pod)
+		if len(lst) != 2 {
+			t.Fatalf("pod %d has %d traces, want 2", pod, len(lst))
+		}
+		for _, dt := range lst {
+			if dt.Node < 6 {
+				t.Fatalf("pod %d retains evicted trace node=%d", pod, dt.Node)
+			}
+		}
+	}
+	last := r.Last(2, "")
+	if len(last) != 2 || last[0].Node != 9 || last[1].Node != 8 {
+		t.Fatalf("Last(2) = %+v, want nodes 9 then 8", last)
+	}
+}
+
+func TestRecorderLastOutcomeFilter(t *testing.T) {
+	r := NewRecorder(16, 1)
+	outcomes := []string{"placed", "failed", "conflict-rejected", "placed", "stale-rejected"}
+	for i, oc := range outcomes {
+		dt := r.Start(i, "a", "LS")
+		dt.Outcome = oc
+		r.Commit(dt)
+	}
+	failed := r.Last(10, "failed")
+	if len(failed) != 3 {
+		t.Fatalf("outcome=failed matched %d traces, want 3 (failed + conflict/stale rejected)", len(failed))
+	}
+	placed := r.Last(10, "placed")
+	if len(placed) != 2 {
+		t.Fatalf("outcome=placed matched %d, want 2", len(placed))
+	}
+}
+
+func TestNoteScoreTopK(t *testing.T) {
+	dt := &DecisionTrace{Top: make([]ScoredHost, 0, TopK)}
+	for i := 0; i < 20; i++ {
+		dt.NoteScore(i, float64(i%10))
+	}
+	if len(dt.Top) != TopK {
+		t.Fatalf("top-K holds %d, want %d", len(dt.Top), TopK)
+	}
+	for i := 1; i < len(dt.Top); i++ {
+		if dt.Top[i].Score > dt.Top[i-1].Score {
+			t.Fatalf("top-K not sorted: %+v", dt.Top)
+		}
+		if dt.Top[i].Score == dt.Top[i-1].Score && dt.Top[i].Node < dt.Top[i-1].Node {
+			t.Fatalf("top-K ties not id-ordered: %+v", dt.Top)
+		}
+	}
+	if dt.Top[0].Score != 9 || dt.Top[0].Node != 9 {
+		t.Fatalf("best = %+v, want node 9 score 9", dt.Top[0])
+	}
+}
+
+func TestSpanAndRejection(t *testing.T) {
+	r := NewRecorder(4, 1)
+	dt := r.Start(7, "app", "LSR")
+	t0 := time.Now()
+	dt.SpanFrom("prefilter", t0, 5*time.Microsecond)
+	dt.Reject("scan", "insufficient cpu", 3)
+	dt.Reject("scan", "nothing", 0) // dropped
+	dt.Outcome = "failed"
+	dt.Reason = "CPU"
+	r.Commit(dt)
+
+	got := r.ByPod(7)
+	if len(got) != 1 {
+		t.Fatalf("ByPod(7) returned %d traces", len(got))
+	}
+	tr := got[0]
+	if len(tr.Spans) != 1 || tr.Spans[0].Stage != "prefilter" || tr.Spans[0].DurNs != 5000 {
+		t.Fatalf("spans = %+v", tr.Spans)
+	}
+	if len(tr.Rejections) != 1 || tr.Rejections[0].Reason != "insufficient cpu" || tr.Rejections[0].Count != 3 {
+		t.Fatalf("rejections = %+v", tr.Rejections)
+	}
+	if tr.TotalNs <= 0 {
+		t.Fatalf("TotalNs = %d, want > 0", tr.TotalNs)
+	}
+}
+
+func TestAmendSerializesWithReaders(t *testing.T) {
+	r := NewRecorder(8, 1)
+	dt := r.Start(1, "a", "BE")
+	dt.Outcome = "placed"
+	r.Commit(dt)
+	r.Amend(dt, func(d *DecisionTrace) {
+		d.Outcome = "conflict-rejected"
+		d.Reject("commit", "commit conflict", 1)
+	})
+	got := r.ByPod(1)
+	if got[0].Outcome != "conflict-rejected" || len(got[0].Rejections) != 1 {
+		t.Fatalf("amendment not visible: %+v", got[0])
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory(3, []string{"LSR", "LS", "BE"})
+	for i := 0; i < 5; i++ {
+		s := ClusterSample{T: int64(30 * i), CPUAlloc: float64(i) / 10, UpNodes: 100 - i}
+		s.Running[2] = int64(i)
+		h.Record(s)
+	}
+	if h.Len() != 3 || h.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 3 and 5", h.Len(), h.Total())
+	}
+	pts := h.Samples()
+	if len(pts) != 3 {
+		t.Fatalf("Samples returned %d", len(pts))
+	}
+	for i, want := range []int64{60, 90, 120} {
+		if pts[i].T != want {
+			t.Fatalf("sample %d at t=%d, want %d (oldest-first window)", i, pts[i].T, want)
+		}
+	}
+	last, ok := h.Last()
+	if !ok || last.T != 120 || last.Running["BE"] != 4 {
+		t.Fatalf("Last = %+v ok=%v", last, ok)
+	}
+	if _, ok := last.Running["LSR"]; !ok {
+		t.Fatal("running_by_slo missing LSR class")
+	}
+}
+
+func TestHistoryRecordZeroAlloc(t *testing.T) {
+	h := NewHistory(64, []string{"LSR", "LS", "BE"})
+	s := ClusterSample{T: 30, CPUAlloc: 0.5}
+	if n := testing.AllocsPerRun(1000, func() { h.Record(s) }); n != 0 {
+		t.Fatalf("History.Record allocates %.1f/op, want 0", n)
+	}
+	var nilH *History
+	if n := testing.AllocsPerRun(100, func() { nilH.Record(s) }); n != 0 {
+		t.Fatalf("nil History.Record allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := NewRecorder(8, 1)
+	for i := 0; i < 3; i++ {
+		dt := r.Start(i, fmt.Sprintf("app-%d", i), "LS")
+		dt.SpanFrom("prefilter", time.Now(), time.Microsecond)
+		dt.SpanFrom("scan", time.Now(), 3*time.Microsecond)
+		if i == 2 {
+			dt.Outcome = "failed"
+			dt.Reason = "CPU"
+			dt.Reject("scan", "insufficient cpu", 5)
+		} else {
+			dt.Outcome = "placed"
+			dt.Node = i
+			dt.Eq11 = &Eq11{UtilTerm: 0.5, Score: 0.4, OmegaO: 1, OmegaB: 1}
+		}
+		r.Commit(dt)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.All()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not a JSON array: %v", err)
+	}
+	// 3 decision events + 2 spans each.
+	if len(events) != 9 {
+		t.Fatalf("exported %d events, want 9", len(events))
+	}
+	var decisions, failed int
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("event ph = %v, want X", ev["ph"])
+		}
+		if ev["name"] == "decision" {
+			decisions++
+			args := ev["args"].(map[string]any)
+			if args["outcome"] == "failed" {
+				failed++
+				if args["reason"] != "CPU" {
+					t.Fatalf("failed decision lacks reason: %+v", args)
+				}
+			}
+		}
+	}
+	if decisions != 3 || failed != 1 {
+		t.Fatalf("decisions=%d failed=%d, want 3 and 1", decisions, failed)
+	}
+}

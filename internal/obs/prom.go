@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one metric label pair.
+type Label struct {
+	Name, Value string
+}
+
+// Exposition writes Prometheus text-format (version 0.0.4) metric
+// families using only the standard library. Errors are sticky: the first
+// write failure is retained and every later call is a no-op.
+type Exposition struct {
+	w       *bufio.Writer
+	err     error
+	current string
+}
+
+// NewExposition wraps w in an exposition writer.
+func NewExposition(w io.Writer) *Exposition {
+	return &Exposition{w: bufio.NewWriter(w)}
+}
+
+// Family opens a metric family: one # HELP and # TYPE header pair.
+// Samples of the family follow via Sample (or the Counter/Gauge
+// shortcuts).
+func (x *Exposition) Family(name, help, typ string) {
+	if x.err != nil {
+		return
+	}
+	_, x.err = fmt.Fprintf(x.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	x.current = name
+}
+
+// Sample writes one sample line of the current family. Non-finite values
+// are rendered as +Inf/-Inf/NaN per the format.
+func (x *Exposition) Sample(name string, labels []Label, v float64) {
+	if x.err != nil {
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	if len(labels) > 0 {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l.Name)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(l.Value))
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+	_, x.err = x.w.WriteString(sb.String())
+}
+
+// Counter writes a single-sample counter family.
+func (x *Exposition) Counter(name, help string, v float64) {
+	x.Family(name, help, "counter")
+	x.Sample(name, nil, v)
+}
+
+// Gauge writes a single-sample gauge family.
+func (x *Exposition) Gauge(name, help string, v float64) {
+	x.Family(name, help, "gauge")
+	x.Sample(name, nil, v)
+}
+
+// Histogram writes one histogram family in proper _bucket/_sum/_count
+// form. bounds are the buckets' upper limits (seconds, ascending) and
+// cumulative the matching cumulative counts; the +Inf bucket is emitted
+// from total.
+func (x *Exposition) Histogram(name, help string, bounds []float64, cumulative []int64, sum float64, total int64) {
+	x.Family(name, help, "histogram")
+	for i, b := range bounds {
+		x.Sample(name+"_bucket", []Label{{Name: "le", Value: formatValue(b)}}, float64(cumulative[i]))
+	}
+	x.Sample(name+"_bucket", []Label{{Name: "le", Value: "+Inf"}}, float64(total))
+	x.Sample(name+"_sum", nil, sum)
+	x.Sample(name+"_count", nil, float64(total))
+}
+
+// Flush writes buffered output and returns the first error encountered.
+func (x *Exposition) Flush() error {
+	if x.err != nil {
+		return x.err
+	}
+	return x.w.Flush()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ValidateExposition parses r under the Prometheus text-format rules and
+// returns the first violation: malformed sample lines, samples of a
+// family not announced by # TYPE, duplicate TYPE headers, histogram
+// buckets that are non-cumulative or missing the +Inf bucket, and
+// histograms without _sum/_count. Tests and the CI smoke gate use it to
+// fail on malformed /metrics output.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	types := map[string]string{}
+	var histograms []string
+	bucketLast := map[string]float64{} // last cumulative bucket value per histogram
+	bucketLe := map[string]float64{}   // last le bound per histogram
+	seen := map[string]bool{}          // suffixes seen per histogram: name|suffix
+
+	line := 0
+	samples := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				name, typ := fields[2], ""
+				if len(fields) == 4 {
+					typ = strings.TrimSpace(fields[3])
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q for %s", line, typ, name)
+				}
+				types[name] = typ
+				if typ == "histogram" {
+					histograms = append(histograms, name)
+					bucketLe[name] = math.Inf(-1)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		samples++
+		family := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", line, name)
+		}
+		if typ == "histogram" {
+			if suffix == "" {
+				return fmt.Errorf("line %d: histogram %s sample must be _bucket/_sum/_count", line, family)
+			}
+			seen[family+"|"+suffix] = true
+			if suffix == "_bucket" {
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket of %s without le label", line, family)
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", line, err)
+				}
+				if bound <= bucketLe[family] {
+					return fmt.Errorf("line %d: histogram %s bucket bounds not ascending", line, family)
+				}
+				if value < bucketLast[family] {
+					return fmt.Errorf("line %d: histogram %s buckets not cumulative", line, family)
+				}
+				bucketLe[family] = bound
+				bucketLast[family] = value
+				if math.IsInf(bound, 1) {
+					seen[family+"|+Inf"] = true
+				}
+			}
+		}
+		if typ == "counter" && value < 0 {
+			return fmt.Errorf("line %d: counter %s is negative", line, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for _, h := range histograms {
+		for _, req := range []string{"|_bucket", "|_sum", "|_count", "|+Inf"} {
+			if !seen[h+req] {
+				return fmt.Errorf("histogram %s missing %s", h, strings.TrimPrefix(req, "|"))
+			}
+		}
+	}
+	return nil
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// parseSample splits one sample line into name, labels, and value.
+func parseSample(text string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unbalanced braces in %q", text)
+		}
+		if err := parseLabels(rest[i+1:j], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample %q", text)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// A trailing timestamp is permitted by the format; value is field 0.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", text)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %v", text, err)
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string, into map[string]string) error {
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label in %q", s)
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest := s[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", s)
+		}
+		// Scan for the closing quote, honoring escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", s)
+		}
+		into[lname] = rest[1:end]
+		s = strings.TrimSpace(rest[end+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SortedLabelNames is a test helper: label names of a parsed sample in
+// stable order.
+func SortedLabelNames(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExpositionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	x := NewExposition(&buf)
+	x.Counter("unisched_decisions_total", "Scheduling decisions attempted.", 1234)
+	x.Gauge("unisched_queue_depth", "Pods waiting in the admission queue.", 17)
+	x.Family("unisched_placed_total", "Pods placed, by SLO class.", "counter")
+	x.Sample("unisched_placed_total", []Label{{Name: "slo", Value: "LSR"}}, 10)
+	x.Sample("unisched_placed_total", []Label{{Name: "slo", Value: "BE"}}, 90)
+	bounds := []float64{0.001, 0.01, 0.1}
+	cum := []int64{5, 42, 99}
+	x.Histogram("unisched_decision_seconds", "Decision latency.", bounds, cum, 1.5, 100)
+	if err := x.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE unisched_decisions_total counter",
+		"unisched_decisions_total 1234",
+		`unisched_placed_total{slo="LSR"} 10`,
+		`unisched_decision_seconds_bucket{le="0.001"} 5`,
+		`unisched_decision_seconds_bucket{le="+Inf"} 100`,
+		"unisched_decision_seconds_sum 1.5",
+		"unisched_decision_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition fails validation: %v\n%s", err, out)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no samples", "# HELP x y\n# TYPE x counter\n"},
+		{"missing type", "foo 1\n"},
+		{"bad value", "# TYPE foo counter\nfoo one\n"},
+		{"bad name", "# TYPE 9foo counter\n9foo 1\n"},
+		{"negative counter", "# TYPE foo counter\nfoo -3\n"},
+		{"duplicate type", "# TYPE foo counter\nfoo 1\n# TYPE foo gauge\n"},
+		{"unknown type", "# TYPE foo widget\nfoo 1\n"},
+		{
+			"non-cumulative buckets",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="1"} 10` + "\n" +
+				`h_bucket{le="2"} 5` + "\n" +
+				`h_bucket{le="+Inf"} 10` + "\nh_sum 1\nh_count 10\n",
+		},
+		{
+			"unordered bounds",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="2"} 5` + "\n" +
+				`h_bucket{le="1"} 10` + "\n" +
+				`h_bucket{le="+Inf"} 10` + "\nh_sum 1\nh_count 10\n",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="1"} 10` + "\nh_sum 1\nh_count 10\n",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 10` + "\nh_count 10\n",
+		},
+		{"bucket without le", "# TYPE h histogram\nh_bucket 10\nh_sum 1\nh_count 10\n"},
+		{"unquoted label", "# TYPE foo counter\nfoo{a=b} 1\n"},
+		{"unterminated label", `# TYPE foo counter` + "\n" + `foo{a="b} 1` + "\n"},
+	}
+	for _, tc := range cases {
+		if err := ValidateExposition(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: validator accepted malformed input:\n%s", tc.name, tc.in)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsEscapes(t *testing.T) {
+	in := "# TYPE foo counter\n" +
+		`foo{msg="a \"quoted\" value, with \\ and comma"} 1` + "\n"
+	if err := ValidateExposition(strings.NewReader(in)); err != nil {
+		t.Fatalf("escaped labels rejected: %v", err)
+	}
+}
+
+func TestExpositionLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	x := NewExposition(&buf)
+	x.Family("foo", "has \"quotes\" and\nnewlines", "gauge")
+	x.Sample("foo", []Label{{Name: "r", Value: `a"b\c`}}, 1)
+	if err := x.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("escaped output fails validation: %v\n%s", err, buf.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"unisched/internal/cluster"
+	"unisched/internal/obs"
 	"unisched/internal/trace"
 )
 
@@ -25,6 +26,12 @@ type Pipeline struct {
 	// across decisions (Select runs serially on the batch goroutine; only
 	// the per-node evaluation inside one decision fans out).
 	scanBuf []scanResult
+	// rec, when set, samples per-pod decision traces. The nil check guards
+	// every trace touch so the disabled path costs nothing.
+	rec *obs.Recorder
+	// batch holds the traces sampled during the current batch, in Select
+	// order, so drivers can amend exactly the attempt they committed.
+	batch []*obs.DecisionTrace
 }
 
 // scanResult is one candidate's evaluation outcome in a parallel scan.
@@ -53,9 +60,36 @@ func (pl *Pipeline) Ledger() *Ledger { return pl.led }
 // Stats returns the live per-stage counters.
 func (pl *Pipeline) Stats() *Stats { return pl.stats }
 
+// SetRecorder attaches a decision-trace recorder (nil detaches). The
+// pipeline samples one trace per Recorder policy for each Select.
+func (pl *Pipeline) SetRecorder(r *obs.Recorder) { pl.rec = r }
+
+// Recorder returns the attached decision-trace recorder (possibly nil).
+func (pl *Pipeline) Recorder() *obs.Recorder { return pl.rec }
+
+// LastTrace returns the trace of the most recent Select in this batch, or
+// nil when that decision was not sampled. Schedulers use it right after
+// Select to attach score decompositions.
+func (pl *Pipeline) LastTrace() *obs.DecisionTrace {
+	if len(pl.batch) == 0 {
+		return nil
+	}
+	return pl.batch[len(pl.batch)-1]
+}
+
+// BatchTraces returns the traces sampled during the current batch, in
+// decision order. The slice is reused across batches; drivers consume it
+// before the next BeginBatch.
+func (pl *Pipeline) BatchTraces() []*obs.DecisionTrace { return pl.batch }
+
 // BeginBatch clears the reservation ledger; schedulers call it at the top
 // of every Schedule invocation.
-func (pl *Pipeline) BeginBatch() { pl.led.Begin() }
+func (pl *Pipeline) BeginBatch() {
+	pl.led.Begin()
+	if len(pl.batch) > 0 {
+		pl.batch = pl.batch[:0]
+	}
+}
 
 // Reserve records an externally-made placement decision (Medea's ILP) in
 // the ledger so subsequent Selects account for it.
@@ -81,6 +115,10 @@ func (pl *Pipeline) RestrictTo(ids []int) { pl.idx.RestrictTo(ids) }
 func (pl *Pipeline) Select(p *trace.Pod, sp *Spec) Decision {
 	st := pl.stats
 	st.decisions.Add(1)
+	var dt *obs.DecisionTrace
+	if pl.rec != nil {
+		dt = pl.rec.Start(p.ID, p.AppID, p.SLO.String())
+	}
 
 	if len(sp.Pre) > 0 {
 		t0 := time.Now()
@@ -88,18 +126,37 @@ func (pl *Pipeline) Select(p *trace.Pod, sp *Spec) Decision {
 			if reason, ok := pre.PreFilter(p); !ok {
 				st.prefilterRejects.Add(1)
 				st.observe(StagePreFilter, time.Since(t0))
-				return Decision{Pod: p, NodeID: -1, Reason: reason}
+				if dt != nil {
+					dt.SpanFrom(StagePreFilter.String(), t0, time.Since(t0))
+					dt.Reject(StagePreFilter.String(), reason.String(), 1)
+				}
+				return pl.finish(dt, Decision{Pod: p, NodeID: -1, Reason: reason})
 			}
 		}
 		st.observe(StagePreFilter, time.Since(t0))
+		if dt != nil {
+			dt.SpanFrom(StagePreFilter.String(), t0, time.Since(t0))
+		}
 	}
 
 	t1 := time.Now()
 	cands := pl.idx.Candidates(p)
 	st.candidateNodes.Add(int64(len(cands)))
 	st.observe(StageCandidates, time.Since(t1))
+	if dt != nil {
+		dt.SpanFrom(StageCandidates.String(), t1, time.Since(t1))
+		dt.Candidates = len(cands)
+		// O(nodes) walk, but only on the sampled path: name the hosts the
+		// index excluded because they are not Up.
+		if down, _ := pl.c.DownStats(); down > 0 {
+			dt.Reject(StageCandidates.String(), "node not Up", down)
+		}
+	}
 	if len(cands) == 0 {
-		return Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
+		if dt != nil {
+			dt.Reject(StageCandidates.String(), "no candidates", 1)
+		}
+		return pl.finish(dt, Decision{Pod: p, NodeID: -1, Reason: ReasonOther})
 	}
 
 	var d Decision
@@ -109,42 +166,80 @@ func (pl *Pipeline) Select(p *trace.Pod, sp *Spec) Decision {
 		scanSet := sp.Sampler.Sample(p, cands)
 		st.sampledNodes.Add(int64(len(scanSet)))
 		st.observe(StageSample, time.Since(t2))
+		if dt != nil {
+			dt.SpanFrom(StageSample.String(), t2, time.Since(t2))
+			dt.Sampled = len(scanSet)
+		}
 
 		t3 := time.Now()
-		d, cpuBlock, memBlock = pl.scanList(p, scanSet, sp)
+		d, cpuBlock, memBlock = pl.scanList(p, scanSet, sp, dt)
 		if d.NodeID < 0 && sp.FullScanFallback && len(scanSet) < len(cands) {
 			// Second chance: the sample missed every admissible host.
-			d, cpuBlock, memBlock = pl.scanList(p, cands, sp)
+			d, cpuBlock, memBlock = pl.scanList(p, cands, sp, dt)
 		}
 		st.observe(StageScan, time.Since(t3))
+		if dt != nil {
+			dt.SpanFrom(StageScan.String(), t3, time.Since(t3))
+		}
 	} else {
 		st.sampledNodes.Add(int64(len(cands)))
 		t3 := time.Now()
 		if need, ok := sp.minHeadroom(p, pl.idx.minCap, pl.idx.maxCap); ok {
-			d, cpuBlock, memBlock = pl.scanIndexed(p, need, sp)
+			d, cpuBlock, memBlock = pl.scanIndexed(p, need, sp, dt)
 		} else {
-			d, cpuBlock, memBlock = pl.scanList(p, cands, sp)
+			d, cpuBlock, memBlock = pl.scanList(p, cands, sp, dt)
 		}
 		st.observe(StageScan, time.Since(t3))
+		if dt != nil {
+			dt.Sampled = len(cands)
+			dt.SpanFrom(StageScan.String(), t3, time.Since(t3))
+		}
 	}
 
 	if d.NodeID >= 0 {
 		pl.led.Add(d.NodeID, p)
 		st.placed.Add(1)
-		return d
+		return pl.finish(dt, d)
 	}
 	d.Reason = Classify(cpuBlock, memBlock)
 	if sp.Preempt && p.SLO == trace.SLOLSR {
 		t4 := time.Now()
 		id, ok := pl.PreemptTarget(p, cands)
 		st.observe(StagePreempt, time.Since(t4))
+		if dt != nil {
+			dt.SpanFrom(StagePreempt.String(), t4, time.Since(t4))
+		}
 		if ok {
 			pl.led.Add(id, p)
 			st.placed.Add(1)
 			st.preempts.Add(1)
-			return Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: ReasonNone}
+			return pl.finish(dt, Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: ReasonNone})
 		}
 	}
+	return pl.finish(dt, d)
+}
+
+// finish stamps the decision's outcome on its trace (when sampled),
+// commits it to the recorder, and remembers it for batch-level
+// amendments. The nil fast path keeps the untraced decision free.
+func (pl *Pipeline) finish(dt *obs.DecisionTrace, d Decision) Decision {
+	if dt == nil {
+		return d
+	}
+	if d.NodeID >= 0 {
+		if d.NeedPreempt {
+			dt.Outcome = "preempt-placed"
+		} else {
+			dt.Outcome = "placed"
+		}
+		dt.Node = d.NodeID
+		dt.Score = d.Score
+	} else {
+		dt.Outcome = "failed"
+		dt.Reason = d.Reason.String()
+	}
+	pl.rec.Commit(dt)
+	pl.batch = append(pl.batch, dt)
 	return d
 }
 
@@ -156,9 +251,20 @@ func (pl *Pipeline) SelectFrom(p *trace.Pod, cands []int, sp *Spec) Decision {
 	st := pl.stats
 	st.decisions.Add(1)
 	st.candidateNodes.Add(int64(len(cands)))
+	var dt *obs.DecisionTrace
+	if pl.rec != nil {
+		dt = pl.rec.Start(p.ID, p.AppID, p.SLO.String())
+		if dt != nil {
+			dt.Candidates = len(cands)
+			dt.Sampled = len(cands)
+		}
+	}
 	best := Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
 	if len(cands) == 0 {
-		return best
+		if dt != nil {
+			dt.Reject(StageCandidates.String(), "no candidates", 1)
+		}
+		return pl.finish(dt, best)
 	}
 	st.sampledNodes.Add(int64(len(cands)))
 
@@ -171,6 +277,9 @@ func (pl *Pipeline) SelectFrom(p *trace.Pod, cands []int, sp *Spec) Decision {
 		s, cpuOK, memOK := sp.evaluate(n, p, pl.led.Reserved(id))
 		if cpuOK && memOK {
 			scored++
+			if dt != nil {
+				dt.NoteScore(id, s)
+			}
 			if !found || s > best.Score {
 				best.NodeID = id
 				best.Score = s
@@ -189,25 +298,36 @@ func (pl *Pipeline) SelectFrom(p *trace.Pod, cands []int, sp *Spec) Decision {
 	st.visitedNodes.Add(int64(len(cands)))
 	st.scoredNodes.Add(int64(scored))
 	st.observe(StageScan, time.Since(t0))
+	if dt != nil {
+		dt.Visited += len(cands)
+		dt.Scored += scored
+		dt.SpanFrom(StageScan.String(), t0, time.Since(t0))
+		cpuLbl, memLbl := rejectLabels(sp)
+		dt.Reject(StageScan.String(), cpuLbl, cpuBlock)
+		dt.Reject(StageScan.String(), memLbl, memBlock)
+	}
 
 	if found {
 		pl.led.Add(best.NodeID, p)
 		st.placed.Add(1)
-		return best
+		return pl.finish(dt, best)
 	}
 	best.Reason = Classify(cpuBlock, memBlock)
 	if sp.Preempt && p.SLO == trace.SLOLSR {
 		t1 := time.Now()
 		id, ok := pl.PreemptTarget(p, cands)
 		st.observe(StagePreempt, time.Since(t1))
+		if dt != nil {
+			dt.SpanFrom(StagePreempt.String(), t1, time.Since(t1))
+		}
 		if ok {
 			pl.led.Add(id, p)
 			st.placed.Add(1)
 			st.preempts.Add(1)
-			return Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: ReasonNone}
+			return pl.finish(dt, Decision{Pod: p, NodeID: id, NeedPreempt: true, Reason: ReasonNone})
 		}
 	}
-	return best
+	return pl.finish(dt, best)
 }
 
 // Explain re-runs the spec's filters over the pod's candidates and
@@ -264,7 +384,7 @@ func (pl *Pipeline) PreemptTarget(p *trace.Pod, cands []int) (int, bool) {
 // skipping buckets the spec's bounds prove infeasible. Pruned nodes join
 // the per-dimension block counts (their bucket bound proves the failing
 // dimension), so Reason classification stays meaningful under pruning.
-func (pl *Pipeline) scanIndexed(p *trace.Pod, need trace.Resources, sp *Spec) (Decision, int, int) {
+func (pl *Pipeline) scanIndexed(p *trace.Pod, need trace.Resources, sp *Spec, dt *obs.DecisionTrace) (Decision, int, int) {
 	st := pl.stats
 	best := Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
 	found := false
@@ -276,6 +396,9 @@ func (pl *Pipeline) scanIndexed(p *trace.Pod, need trace.Resources, sp *Spec) (D
 		s, cpuOK, memOK := sp.evaluate(n, p, pl.led.Reserved(id))
 		if cpuOK && memOK {
 			scored++
+			if dt != nil {
+				dt.NoteScore(id, s)
+			}
 			if !found || s > best.Score || (s == best.Score && id < best.NodeID) {
 				best.NodeID = id
 				best.Score = s
@@ -296,15 +419,25 @@ func (pl *Pipeline) scanIndexed(p *trace.Pod, need trace.Resources, sp *Spec) (D
 	st.prunedNodes.Add(int64(pruned))
 	st.prunedCPU.Add(int64(pc))
 	st.prunedMem.Add(int64(pm))
+	if dt != nil {
+		dt.Visited += visited
+		dt.Scored += scored
+		dt.Pruned += pruned
+		dt.Reject(StageScan.String(), "no headroom bucket (cpu)", pc)
+		dt.Reject(StageScan.String(), "no headroom bucket (mem)", pm)
+		cpuLbl, memLbl := rejectLabels(sp)
+		dt.Reject(StageScan.String(), cpuLbl, cpuBlock)
+		dt.Reject(StageScan.String(), memLbl, memBlock)
+	}
 	return best, cpuBlock + pc, memBlock + pm
 }
 
 // scanList evaluates an explicit candidate list (a PPO sample, or a
 // universe with no usable headroom bounds) with the lowest-ID tie-break,
 // in parallel when the spec asks for it and the list is large enough.
-func (pl *Pipeline) scanList(p *trace.Pod, ids []int, sp *Spec) (Decision, int, int) {
+func (pl *Pipeline) scanList(p *trace.Pod, ids []int, sp *Spec, dt *obs.DecisionTrace) (Decision, int, int) {
 	if sp.ScanWorkers > 1 && len(ids) >= parallelScanMin {
-		return pl.scanParallel(p, ids, sp)
+		return pl.scanParallel(p, ids, sp, dt)
 	}
 	st := pl.stats
 	best := Decision{Pod: p, NodeID: -1, Reason: ReasonOther}
@@ -316,6 +449,9 @@ func (pl *Pipeline) scanList(p *trace.Pod, ids []int, sp *Spec) (Decision, int, 
 		s, cpuOK, memOK := sp.evaluate(n, p, pl.led.Reserved(id))
 		if cpuOK && memOK {
 			scored++
+			if dt != nil {
+				dt.NoteScore(id, s)
+			}
 			if !found || s > best.Score || (s == best.Score && id < best.NodeID) {
 				best.NodeID = id
 				best.Score = s
@@ -333,13 +469,20 @@ func (pl *Pipeline) scanList(p *trace.Pod, ids []int, sp *Spec) (Decision, int, 
 	}
 	st.visitedNodes.Add(int64(len(ids)))
 	st.scoredNodes.Add(int64(scored))
+	if dt != nil {
+		dt.Visited += len(ids)
+		dt.Scored += scored
+		cpuLbl, memLbl := rejectLabels(sp)
+		dt.Reject(StageScan.String(), cpuLbl, cpuBlock)
+		dt.Reject(StageScan.String(), memLbl, memBlock)
+	}
 	return best, cpuBlock, memBlock
 }
 
 // scanParallel fans the per-node evaluation across ScanWorkers goroutines
 // in contiguous chunks, then reduces serially in list order — bitwise
 // identical results to the serial scan, whatever the interleaving.
-func (pl *Pipeline) scanParallel(p *trace.Pod, ids []int, sp *Spec) (Decision, int, int) {
+func (pl *Pipeline) scanParallel(p *trace.Pod, ids []int, sp *Spec, dt *obs.DecisionTrace) (Decision, int, int) {
 	if cap(pl.scanBuf) < len(ids) {
 		pl.scanBuf = make([]scanResult, len(ids))
 	}
@@ -380,6 +523,11 @@ func (pl *Pipeline) scanParallel(p *trace.Pod, ids []int, sp *Spec) (Decision, i
 	for _, r := range results {
 		if r.ok {
 			scored++
+			if dt != nil {
+				// Trace capture stays in the serial reduction: the trace is
+				// not safe for concurrent writes from the eval goroutines.
+				dt.NoteScore(r.id, r.score)
+			}
 			if !found || r.score > best.Score || (r.score == best.Score && r.id < best.NodeID) {
 				best.NodeID = r.id
 				best.Score = r.score
@@ -397,5 +545,22 @@ func (pl *Pipeline) scanParallel(p *trace.Pod, ids []int, sp *Spec) (Decision, i
 	}
 	st.visitedNodes.Add(int64(len(ids)))
 	st.scoredNodes.Add(int64(scored))
+	if dt != nil {
+		dt.Visited += len(ids)
+		dt.Scored += scored
+		cpuLbl, memLbl := rejectLabels(sp)
+		dt.Reject(StageScan.String(), cpuLbl, cpuBlock)
+		dt.Reject(StageScan.String(), memLbl, memBlock)
+	}
 	return best, cpuBlock, memBlock
+}
+
+// rejectLabels names the scan-stage per-dimension rejections for a traced
+// decision: the Eval plugin's own labels when it provides them, the
+// generic request-fit wording otherwise.
+func rejectLabels(sp *Spec) (cpu, mem string) {
+	if rl, ok := sp.Eval.(RejectLabeler); ok {
+		return rl.RejectLabels()
+	}
+	return "insufficient cpu", "insufficient mem"
 }

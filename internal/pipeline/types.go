@@ -126,6 +126,16 @@ type EvalPlugin interface {
 	Evaluate(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (score float64, cpuOK, memOK bool)
 }
 
+// RejectLabeler is an optional interface on Eval plugins: it names the
+// per-dimension scan rejection for decision traces, replacing the generic
+// "insufficient cpu"/"insufficient mem" with the plugin's admission
+// semantics (Optum rejects on the ERO-predicted usage caps, not on raw
+// requests). Consulted only on traced decisions.
+type RejectLabeler interface {
+	// RejectLabels returns the per-dimension rejection reason strings.
+	RejectLabels() (cpu, mem string)
+}
+
 // SamplerPlugin thins the candidate set before the scan — the §4.3.4
 // PPO-style subset sampling that keeps per-decision cost flat as the
 // cluster grows. Returning the input slice unchanged disables thinning

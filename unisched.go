@@ -30,6 +30,7 @@ import (
 	"unisched/internal/core"
 	"unisched/internal/engine"
 	"unisched/internal/experiments"
+	"unisched/internal/obs"
 	"unisched/internal/profiler"
 	"unisched/internal/sched"
 	"unisched/internal/sim"
@@ -227,6 +228,18 @@ type (
 	// EnginePodStatus / EngineNodeStatus are the engine's query views.
 	EnginePodStatus  = engine.PodStatus
 	EngineNodeStatus = engine.NodeStatus
+	// DecisionTrace is one sampled per-pod placement record: stage spans,
+	// candidate funnel counts, top-scored hosts, structured rejections, and
+	// (under Optum) the Eq. 11 score decomposition. Enable with
+	// EngineConfig.TraceEvery; query via Engine.Traces().
+	DecisionTrace = obs.DecisionTrace
+	// DecisionRecorder is the sampled ring of DecisionTraces.
+	DecisionRecorder = obs.Recorder
+	// ClusterHistory is the rolling ring of per-tick utilization samples;
+	// query via Engine.History().
+	ClusterHistory = obs.History
+	// ClusterSamplePoint is one history sample with per-SLO running counts.
+	ClusterSamplePoint = obs.SamplePoint
 )
 
 // Engine submission errors.
