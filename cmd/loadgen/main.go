@@ -10,12 +10,31 @@
 //	unischedd -nodes 200 -hours 24 -seed 1 &
 //	loadgen -addr http://localhost:8080 -nodes 200 -hours 24 -seed 1 -speedup 1200
 //
+// Transient failures (connection refused/reset, 5xx responses) are retried
+// with capped, jittered exponential backoff — submission is idempotent on
+// the server (pod IDs dedupe), so retrying is always safe. Retries are
+// counted in the summary.
+//
 // It reports achieved submission throughput, HTTP latency percentiles,
 // and the server's placement metrics, and exits non-zero on lost
 // submissions or transport errors. With -scrape it also checks the
 // observability surface: /metrics must be valid Prometheus exposition,
 // /v1/debug/decisions must hold traces when tracing is on, and
 // /v1/metrics/history must have accumulated at least two samples.
+//
+// Crash-recovery chaos mode (-daemon) makes loadgen manage the server
+// itself and prove the durability guarantees end to end:
+//
+//	loadgen -daemon ./unischedd -data-dir /tmp/wal -nodes 50 -hours 2 -seed 1 \
+//	        -chaos-kill-after 200
+//
+// The protocol: boot the daemon durably, submit until -chaos-kill-after
+// pods are accepted, kill -9 it mid-flight, restart it on the same data
+// dir, resubmit the whole workload (survivors answer 409 duplicate, the
+// lost fsync tail is re-accepted), and verify zero lost and zero
+// duplicated submissions. Then it shuts the daemon down gracefully,
+// restarts it once more, and checks the recovered state hash is
+// bit-identical to the pre-shutdown one.
 package main
 
 import (
@@ -25,9 +44,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
+	"os"
+	"os/exec"
 	"sort"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"unisched/internal/obs"
@@ -46,8 +70,13 @@ func main() {
 		speedup   = flag.Float64("speedup", 0, "trace-time speedup; 0 submits as fast as possible")
 		clients   = flag.Int("clients", 8, "concurrent HTTP clients")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "settle-poll timeout after the replay")
+		retries   = flag.Int("retries", 4, "max retries per submission on transport errors and 5xx")
 		scrape    = flag.Bool("scrape", false,
 			"after the replay, scrape /metrics, /v1/debug/decisions, and /v1/metrics/history and fail on malformed or empty output")
+		daemonPath = flag.String("daemon", "",
+			"path to the unischedd binary: loadgen manages the server itself and runs the crash-recovery chaos protocol")
+		dataDir   = flag.String("data-dir", "", "daemon durability directory (chaos mode; default: a temp dir)")
+		killAfter = flag.Int("chaos-kill-after", 200, "kill -9 the daemon after this many accepted submissions (chaos mode)")
 	)
 	flag.Parse()
 
@@ -67,20 +96,36 @@ func main() {
 	}
 	pods := append([]*trace.Pod(nil), w.Pods...)
 	sort.SliceStable(pods, func(i, j int) bool { return pods[i].Submit < pods[j].Submit })
+
+	if *daemonPath != "" {
+		runChaos(chaosConfig{
+			daemon:    *daemonPath,
+			dataDir:   *dataDir,
+			nodes:     *nodes,
+			hours:     *hours,
+			seed:      *seed,
+			clients:   *clients,
+			retries:   *retries,
+			killAfter: *killAfter,
+			timeout:   *timeout,
+		}, pods)
+		return
+	}
+
 	log.Printf("replaying %d pods against %s with %d clients (speedup %g)",
 		len(pods), *addr, *clients, *speedup)
 
 	// Pacer feeds the client pool in trace order; clients post and tally.
 	work := make(chan *trace.Pod, 4**clients)
-	results := make([]clientResult, *clients)
-	var wg sync.WaitGroup
 	hc := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	results := make([]clientResult, *clients)
 	for i := 0; i < *clients; i++ {
 		wg.Add(1)
 		go func(res *clientResult) {
 			defer wg.Done()
 			for p := range work {
-				postPod(hc, *addr, p, res)
+				postPod(hc, *addr, p, res, *retries)
 			}
 		}(&results[i])
 	}
@@ -106,8 +151,8 @@ func main() {
 	sent := total.accepted + total.shed + total.dup + total.errors
 	fmt.Printf("submitted %d pods in %v (%.0f submissions/s)\n",
 		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
-	fmt.Printf("  accepted %d, shed %d, duplicate %d, transport errors %d\n",
-		total.accepted, total.shed, total.dup, total.errors)
+	fmt.Printf("  accepted %d, shed %d, duplicate %d, retries %d, transport errors %d\n",
+		total.accepted, total.shed, total.dup, total.retries, total.errors)
 	sort.Slice(total.lat, func(i, j int) bool { return total.lat[i] < total.lat[j] })
 	if len(total.lat) > 0 {
 		fmt.Printf("  http latency p50 %v  p95 %v  p99 %v\n",
@@ -218,6 +263,7 @@ type clientResult struct {
 	shed     int
 	dup      int
 	errors   int
+	retries  int
 	lat      []time.Duration
 }
 
@@ -226,33 +272,60 @@ func (r *clientResult) merge(o *clientResult) {
 	r.shed += o.shed
 	r.dup += o.dup
 	r.errors += o.errors
+	r.retries += o.retries
 	r.lat = append(r.lat, o.lat...)
 }
 
-func postPod(hc *http.Client, addr string, p *trace.Pod, res *clientResult) {
+// retryBackoff is the capped, jittered exponential backoff between
+// submission attempts: 50ms·2ⁿ, capped at 2s, ±25% jitter so a restarting
+// server is not hit by synchronized client retries.
+func retryBackoff(attempt int) time.Duration {
+	d := 50 * time.Millisecond << uint(attempt)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + jitter
+}
+
+// postPod submits one pod, retrying transport errors (connection refused
+// or reset while the server restarts) and 5xx responses. Each attempt
+// rebuilds the request body; submission is idempotent server-side, so a
+// retried request that already landed just answers 409 duplicate.
+func postPod(hc *http.Client, addr string, p *trace.Pod, res *clientResult, retries int) {
 	body, err := json.Marshal(p)
 	if err != nil {
 		res.errors++
 		return
 	}
-	t0 := time.Now()
-	resp, err := hc.Post(addr+"/v1/pods", "application/json", bytes.NewReader(body))
-	res.lat = append(res.lat, time.Since(t0))
-	if err != nil {
-		res.errors++
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusAccepted:
-		res.accepted++
-	case http.StatusTooManyRequests:
-		res.shed++
-	case http.StatusConflict:
-		res.dup++
-	default:
-		res.errors++
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		resp, err := hc.Post(addr+"/v1/pods", "application/json", bytes.NewReader(body))
+		res.lat = append(res.lat, time.Since(t0))
+		if err == nil {
+			code := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if code < 500 {
+				switch code {
+				case http.StatusAccepted:
+					res.accepted++
+				case http.StatusTooManyRequests:
+					res.shed++
+				case http.StatusConflict:
+					res.dup++
+				default:
+					res.errors++
+				}
+				return
+			}
+		}
+		if attempt >= retries {
+			res.errors++
+			return
+		}
+		res.retries++
+		time.Sleep(retryBackoff(attempt))
 	}
 }
 
@@ -265,6 +338,7 @@ type metricsView struct {
 	Exhausted        int64            `json:"exhausted"`
 	Shed             int64            `json:"shed"`
 	Pending          int              `json:"pending"`
+	Running          int              `json:"running"`
 	CommitConflicts  int64            `json:"commit_conflicts"`
 	PlacementsPerSec float64          `json:"placements_per_sec"`
 	DecisionP99Ms    float64          `json:"decision_p99_ms"`
@@ -311,4 +385,226 @@ func pct(sorted []time.Duration, q float64) time.Duration {
 		i = len(sorted) - 1
 	}
 	return sorted[i]
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery chaos mode.
+
+type chaosConfig struct {
+	daemon    string
+	dataDir   string
+	nodes     int
+	hours     int
+	seed      int64
+	clients   int
+	retries   int
+	killAfter int
+	timeout   time.Duration
+}
+
+// daemonProc is one managed unischedd process with its captured stdout.
+type daemonProc struct {
+	cmd *exec.Cmd
+	out *lockedBuffer
+}
+
+// lockedBuffer is a goroutine-safe sink for the daemon's stdout: os/exec
+// writes from its copier goroutine while the chaos driver reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+const chaosPort = "127.0.0.1:18231"
+
+func startDaemon(cfg chaosConfig) (*daemonProc, error) {
+	out := &lockedBuffer{}
+	cmd := exec.Command(cfg.daemon,
+		"-addr", chaosPort,
+		"-nodes", fmt.Sprint(cfg.nodes),
+		"-hours", fmt.Sprint(cfg.hours),
+		"-seed", fmt.Sprint(cfg.seed),
+		"-workers", "2",
+		"-speedup", "3000", // 10ms ticks: checkpoints actually get cut
+		"-checkpoint-every", "20",
+		"-fsync-every", "2ms",
+		"-trace-sample", "0",
+		"-data-dir", cfg.dataDir,
+	)
+	cmd.Stdout = out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &daemonProc{cmd: cmd, out: out}, nil
+}
+
+func waitReady(hc *http.Client, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := hc.Get(addr + "/readyz")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if ok {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon not ready after %v", timeout)
+}
+
+// hashLine extracts `key=<hex>` from the daemon's stdout.
+func hashLine(out, key string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, key+"=") {
+			return strings.TrimPrefix(line, key+"=")
+		}
+	}
+	return ""
+}
+
+// submitAll pushes every pod through the client pool and returns the tally.
+func submitAll(hc *http.Client, addr string, pods []*trace.Pod, clients, retries, stopAfterAccepted int) clientResult {
+	work := make(chan *trace.Pod, 4*clients)
+	results := make([]clientResult, clients)
+	var accepted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(res *clientResult) {
+			defer wg.Done()
+			for p := range work {
+				before := res.accepted
+				postPod(hc, addr, p, res, retries)
+				if res.accepted > before && stopAfterAccepted > 0 {
+					mu.Lock()
+					accepted++
+					mu.Unlock()
+				}
+			}
+		}(&results[i])
+	}
+	for _, p := range pods {
+		if stopAfterAccepted > 0 {
+			mu.Lock()
+			done := accepted >= int64(stopAfterAccepted)
+			mu.Unlock()
+			if done {
+				break
+			}
+		}
+		work <- p
+	}
+	close(work)
+	wg.Wait()
+	var total clientResult
+	for i := range results {
+		total.merge(&results[i])
+	}
+	return total
+}
+
+func runChaos(cfg chaosConfig, pods []*trace.Pod) {
+	if cfg.dataDir == "" {
+		dir, err := os.MkdirTemp("", "unischedd-chaos-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.dataDir = dir
+	}
+	addr := "http://" + chaosPort
+	hc := &http.Client{Timeout: 30 * time.Second}
+	log.Printf("chaos: %d pods, kill -9 after %d accepted, data dir %s",
+		len(pods), cfg.killAfter, cfg.dataDir)
+
+	// Phase 1: boot, submit until the kill threshold, kill -9 mid-flight.
+	d1, err := startDaemon(cfg)
+	if err != nil {
+		log.Fatalf("FAIL: start daemon: %v", err)
+	}
+	if err := waitReady(hc, addr, 60*time.Second); err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+	t1 := submitAll(hc, addr, pods, cfg.clients, cfg.retries, cfg.killAfter)
+	log.Printf("chaos: phase 1 accepted %d (retries %d); killing daemon with SIGKILL", t1.accepted, t1.retries)
+	d1.cmd.Process.Kill()
+	d1.cmd.Wait()
+
+	// Phase 2: restart on the same data dir, resubmit EVERYTHING. The
+	// journal tail that had not been fsynced at the kill is gone; those
+	// pods are accepted again, every survivor answers 409 duplicate.
+	d2, err := startDaemon(cfg)
+	if err != nil {
+		log.Fatalf("FAIL: restart daemon: %v", err)
+	}
+	if err := waitReady(hc, addr, 60*time.Second); err != nil {
+		log.Fatalf("FAIL: after kill -9: %v", err)
+	}
+	t2 := submitAll(hc, addr, pods, cfg.clients, cfg.retries, 0)
+	log.Printf("chaos: phase 2 resubmitted %d pods: accepted %d, duplicate %d, shed %d, errors %d",
+		len(pods), t2.accepted, t2.dup, t2.shed, t2.errors)
+	sn, settled := waitSettled(hc, addr, cfg.timeout)
+	lost := sn.Submitted
+	for _, v := range sn.States {
+		lost -= v
+	}
+	switch {
+	case t2.errors > 0:
+		log.Fatalf("FAIL: %d transport errors during resubmission", t2.errors)
+	case sn.Submitted != int64(len(pods)):
+		log.Fatalf("FAIL: server counts %d submissions, want %d — lost or duplicated admissions across the crash",
+			sn.Submitted, len(pods))
+	case lost != 0:
+		log.Fatalf("FAIL: %d submissions lost after crash recovery (states %v)", lost, sn.States)
+	case !settled:
+		log.Printf("WARN: engine still working after %v (pending %d); conservation holds", cfg.timeout, sn.Pending)
+	}
+	fmt.Printf("chaos: zero lost, zero duplicated across kill -9 (submitted %d, running %d)\n",
+		sn.Submitted, sn.Running)
+
+	// Graceful shutdown cuts the final checkpoint and prints the state
+	// hash.
+	d2.cmd.Process.Signal(syscall.SIGTERM)
+	d2.cmd.Wait()
+	final := hashLine(d2.out.String(), "final_state_hash")
+	if final == "" {
+		log.Fatalf("FAIL: daemon printed no final_state_hash; stdout:\n%s", d2.out.String())
+	}
+
+	// Phase 3: boot once more and compare the recovered hash bit for bit.
+	d3, err := startDaemon(cfg)
+	if err != nil {
+		log.Fatalf("FAIL: final restart: %v", err)
+	}
+	if err := waitReady(hc, addr, 60*time.Second); err != nil {
+		log.Fatalf("FAIL: final restart: %v", err)
+	}
+	d3.cmd.Process.Signal(syscall.SIGTERM)
+	d3.cmd.Wait()
+	recovered := hashLine(d3.out.String(), "recovered_state_hash")
+	if recovered == "" {
+		log.Fatalf("FAIL: daemon printed no recovered_state_hash; stdout:\n%s", d3.out.String())
+	}
+	if recovered != final {
+		log.Fatalf("FAIL: recovered state hash %s != pre-shutdown %s", recovered, final)
+	}
+	fmt.Printf("chaos: recovered state hash matches pre-shutdown hash (%s)\n", recovered)
+	fmt.Println("OK: crash recovery preserved every placement")
 }

@@ -9,13 +9,15 @@
 //	unischedd -addr :8080 -nodes 200 -hours 24 -seed 1 -workers 4
 //	unischedd -trace trace.json -scheduler optum -speedup 120
 //	unischedd -log-format json -trace-sample 1
-//	unischedd -debug-addr localhost:6060   # live pprof at /debug/pprof/
+//	unischedd -data-dir /var/lib/unischedd   # durable: journal + checkpoints
+//	unischedd -debug-addr localhost:6060     # live pprof at /debug/pprof/
 //
 // API:
 //
 //	GET  /healthz                   liveness
-//	GET  /readyz                    readiness (503 until workers run, and
-//	                                again once shutdown begins)
+//	GET  /readyz                    readiness (503 until recovery finishes
+//	                                and workers run, and again once
+//	                                shutdown begins)
 //	GET  /metrics                   Prometheus text exposition
 //	POST /v1/pods                   submit one pod (JSON trace.Pod)
 //	GET  /v1/pods/{id}              submission status
@@ -27,9 +29,16 @@
 //	                                ?outcome=placed|failed|...)
 //	GET  /v1/debug/decisions/{id}   traces for one pod
 //
+// With -data-dir set the engine runs durably: every admission, placement,
+// and removal is journaled before it is acknowledged, checkpoints are cut
+// periodically, and a restart recovers the pre-crash state (the boot line
+// `recovered_state_hash=` and the shutdown line `final_state_hash=` on
+// stdout let operators verify recovery end to end).
+//
 // SIGTERM/SIGINT shut the server down gracefully: /readyz flips to 503,
-// the listener closes, in-flight requests finish, the engine stops, and
-// the final metrics snapshot is printed to stdout.
+// the listener closes, in-flight requests finish, the engine stops — with
+// -data-dir it cuts a final checkpoint — and the final metrics snapshot is
+// printed to stdout.
 package main
 
 import (
@@ -38,7 +47,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
@@ -61,32 +72,49 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, nil))
+}
+
+// run is the whole daemon, factored out of main so tests can drive a full
+// boot/serve/drain cycle in-process: ctx cancellation is the SIGTERM
+// equivalent, stdout receives the state-hash lines and the final snapshot,
+// and onListen (optional) gets the bound address once the listener is up.
+func run(ctx context.Context, args []string, stdout io.Writer, onListen func(addr string)) int {
+	fs := flag.NewFlagSet("unischedd", flag.ContinueOnError)
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		nodes     = flag.Int("nodes", 200, "number of hosts (ignored with -trace)")
-		hours     = flag.Int("hours", 24, "application-catalogue horizon in hours (ignored with -trace)")
-		seed      = flag.Int64("seed", 1, "seed")
-		tracePath = flag.String("trace", "", "load the workload catalogue from JSON instead of generating")
-		schedName = flag.String("scheduler", "alibaba",
+		addr      = fs.String("addr", ":8080", "listen address")
+		nodes     = fs.Int("nodes", 200, "number of hosts (ignored with -trace)")
+		hours     = fs.Int("hours", 24, "application-catalogue horizon in hours (ignored with -trace)")
+		seed      = fs.Int64("seed", 1, "seed")
+		tracePath = fs.String("trace", "", "load the workload catalogue from JSON instead of generating")
+		schedName = fs.String("scheduler", "alibaba",
 			"scheduler: optum | alibaba | borg | nsigma | rc | medea | kube")
-		workers   = flag.Int("workers", 4, "parallel scheduler workers")
-		shards    = flag.Int("shards", 16, "cluster-state store shards")
-		queueCap  = flag.Int("queue", 8192, "admission queue capacity")
-		speedup   = flag.Float64("speedup", 120, "virtual-clock speedup over wall time")
-		chaosRun  = flag.Bool("chaos", false, "inject node churn (default stochastic rates)")
-		partition = flag.Bool("partition", true, "give each worker a disjoint node partition")
-		logFormat = flag.String("log-format", "text", "log output format: text | json")
-		traceN    = flag.Int("trace-sample", 16, "record every Nth placement decision (0 disables tracing)")
-		traceBuf  = flag.Int("trace-buf", 4096, "decision-trace ring capacity")
-		debugAddr = flag.String("debug-addr", "",
+		workers   = fs.Int("workers", 4, "parallel scheduler workers")
+		shards    = fs.Int("shards", 16, "cluster-state store shards")
+		queueCap  = fs.Int("queue", 8192, "admission queue capacity")
+		speedup   = fs.Float64("speedup", 120, "virtual-clock speedup over wall time")
+		chaosRun  = fs.Bool("chaos", false, "inject node churn (default stochastic rates)")
+		partition = fs.Bool("partition", true, "give each worker a disjoint node partition")
+		logFormat = fs.String("log-format", "text", "log output format: text | json")
+		traceN    = fs.Int("trace-sample", 16, "record every Nth placement decision (0 disables tracing)")
+		traceBuf  = fs.Int("trace-buf", 4096, "decision-trace ring capacity")
+		dataDir   = fs.String("data-dir", "",
+			"durability directory for the placement journal and checkpoints; empty disables durability")
+		ckptEvery = fs.Int("checkpoint-every", 120, "checkpoint every N virtual ticks (with -data-dir)")
+		fsyncEvry = fs.Duration("fsync-every", 10*time.Millisecond, "journal group-commit interval (with -data-dir)")
+		debugAddr = fs.String("debug-addr", "",
 			"serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	logger, err := newLogger(*logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "unischedd:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *debugAddr != "" {
@@ -103,7 +131,8 @@ func main() {
 
 	w, err := loadWorkload(*tracePath, *nodes, *hours, *seed)
 	if err != nil {
-		fail(logger, "workload load failed", err)
+		logger.Error("workload load failed", "err", err)
+		return 1
 	}
 	logger.Info("catalogue loaded",
 		"nodes", len(w.Nodes), "apps", len(w.Apps), "horizon_h", w.Horizon/3600)
@@ -111,7 +140,8 @@ func main() {
 	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
 	factory, err := makeFactory(*schedName, w, *seed, logger)
 	if err != nil {
-		fail(logger, "scheduler construction failed", err)
+		logger.Error("scheduler construction failed", "err", err)
+		return 1
 	}
 
 	cfg := engine.Config{
@@ -128,30 +158,52 @@ func main() {
 	if *chaosRun {
 		cfg.Chaos = chaos.NewInjector(*seed, nil, chaos.DefaultRates())
 	}
-	e := engine.New(c, factory, cfg)
 
-	// ready gates /readyz: false until the workers run, false again the
-	// moment shutdown starts so load balancers drain us before the
-	// listener closes.
+	// ready gates /readyz: false until recovery finishes and the workers
+	// run, false again the moment shutdown starts so load balancers drain
+	// us before the listener closes.
 	var ready atomic.Bool
-	srv := &http.Server{Addr: *addr, Handler: logRequests(logger, newAPI(e, w, &ready))}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
+	durable := *dataDir != ""
+	var e *engine.Engine
+	if durable {
+		cfg.DataDir = *dataDir
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.FsyncEvery = *fsyncEvry
+		var rs *engine.RecoveryStats
+		e, rs, err = engine.OpenDurable(c, factory, cfg, w.LinkPod)
+		if err != nil {
+			logger.Error("recovery failed", "err", err, "data_dir", *dataDir)
+			return 1
+		}
+		fmt.Fprintf(stdout, "recovered_state_hash=%s\n", rs.StateHash)
+	} else {
+		e = engine.New(c, factory, cfg)
+	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "err", err, "addr", *addr)
+		return 1
+	}
+	srv := &http.Server{Handler: logRequests(logger, newAPI(e, w, &ready))}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() { errCh <- srv.Serve(ln) }()
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
 
 	e.Start()
 	ready.Store(true)
-	logger.Info("listening", "addr", *addr, "scheduler", *schedName,
-		"speedup", *speedup, "trace_sample", *traceN)
+	logger.Info("listening", "addr", ln.Addr().String(), "scheduler", *schedName,
+		"speedup", *speedup, "trace_sample", *traceN, "durable", durable)
 
 	select {
 	case <-ctx.Done():
 		logger.Info("signal received, shutting down")
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fail(logger, "http server failed", err)
+			logger.Error("http server failed", "err", err)
+			return 1
 		}
 	}
 	ready.Store(false) // flip readiness before the listener closes
@@ -160,10 +212,17 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		logger.Warn("http shutdown incomplete", "err", err)
 	}
+	// Stop drains the workers and, on a durable engine, cuts the final
+	// checkpoint before closing the journal — everything admitted by the
+	// requests that just finished is committed or journaled.
 	e.Stop()
 
+	if durable {
+		fmt.Fprintf(stdout, "final_state_hash=%s\n", e.StateHash())
+	}
 	enc, _ := json.MarshalIndent(e.Snapshot(), "", "  ")
-	os.Stdout.Write(append(enc, '\n'))
+	stdout.Write(append(enc, '\n'))
+	return 0
 }
 
 // newLogger builds the process logger for -log-format.
@@ -175,11 +234,6 @@ func newLogger(format string) (*slog.Logger, error) {
 		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
 	}
 	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
-}
-
-func fail(logger *slog.Logger, msg string, err error) {
-	logger.Error(msg, "err", err)
-	os.Exit(1)
 }
 
 func loadWorkload(path string, nodes, hours int, seed int64) (*trace.Workload, error) {

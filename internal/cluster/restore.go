@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+
+	"unisched/internal/trace"
+)
+
+// Restore support: the engine's crash-recovery path (internal/engine
+// durability) rebuilds a cluster from a checkpoint by re-attaching pods
+// with their original sequence numbers and restoring node lifecycle phases
+// and accounting sums verbatim. These entry points bypass the normal
+// Place/FailNode invariant checks precisely because recovery replays a
+// history that already satisfied them; nothing else should call them.
+
+// RestorePod re-attaches a pod to a node with its recorded scheduling
+// sequence and start time. Unlike Place it does not advance nextSeq and
+// does not touch the accounting sums — recovery restores those verbatim
+// via RestoreNodeAccounting so the sums stay bit-identical to the live
+// cluster rather than being re-derived in a different addition order.
+// Pods must be restored in their original per-node scheduling order.
+func (c *Cluster) RestorePod(p *trace.Pod, nodeID int, seq int, start int64) (*PodState, error) {
+	if prev, ok := c.byPod[p.ID]; ok && !prev.Done {
+		return nil, fmt.Errorf("cluster: restore: pod %d already running on node %d", p.ID, prev.NodeID)
+	}
+	n := c.Node(nodeID)
+	ps := c.newPodState()
+	ps.Pod, ps.NodeID, ps.Seq, ps.Start = p, nodeID, seq, start
+	if n.pods == nil {
+		if len(c.podRefSlab) < 16 {
+			c.podRefSlab = make([]*PodState, 4096)
+		}
+		n.pods = c.podRefSlab[:0:16]
+		c.podRefSlab = c.podRefSlab[16:]
+	}
+	n.pods = append(n.pods, ps)
+	n.bumpApp(p.AppID, 1)
+	c.byPod[p.ID] = ps
+	c.notify(nodeID)
+	return ps, nil
+}
+
+// RestoreNodePhase sets a node's lifecycle phase without displacing pods
+// or wiping history: replay applies each pod's own removal record, so a
+// FailNode-style cascade here would double-remove them.
+func (c *Cluster) RestoreNodePhase(id int, phase NodePhase) {
+	n := c.Node(id)
+	if n.phase == phase {
+		return
+	}
+	wasUp := n.phase == NodeUp
+	n.phase = phase
+	switch {
+	case wasUp && phase != NodeUp:
+		c.notUp++
+	case !wasUp && phase == NodeUp:
+		c.notUp--
+	}
+	c.notify(id)
+}
+
+// RestoreNodeAccounting overwrites a node's incremental accounting sums
+// and next scheduling sequence with checkpointed values. Serialized
+// float64s round-trip exactly, so restored sums match the live cluster
+// bit for bit even though the addition order that produced them is gone.
+func (c *Cluster) RestoreNodeAccounting(id int, nextSeq int, req, limit, guar trace.Resources) {
+	n := c.Node(id)
+	n.nextSeq = nextSeq
+	n.reqSum = req
+	n.limitSum = limit
+	n.guarReq = guar
+	c.notify(id)
+}
+
+// NextSeq returns the node's next scheduling sequence number (checkpoint
+// assembly).
+func (n *NodeState) NextSeq() int { return n.nextSeq }

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"testing"
+
+	"unisched/internal/trace"
+)
+
+func restoreFixture() (*Cluster, []*trace.Pod) {
+	nodes := []*trace.Node{
+		{ID: 0, Capacity: trace.Resources{CPU: 64, Mem: 256}},
+		{ID: 1, Capacity: trace.Resources{CPU: 64, Mem: 256}},
+	}
+	pods := []*trace.Pod{
+		{ID: 10, AppID: "a", SLO: trace.SLOLS, Request: trace.Resources{CPU: 4, Mem: 8}, Limit: trace.Resources{CPU: 8, Mem: 16}},
+		{ID: 11, AppID: "a", SLO: trace.SLOBE, Request: trace.Resources{CPU: 2, Mem: 4}, Limit: trace.Resources{CPU: 4, Mem: 8}},
+		{ID: 12, AppID: "b", SLO: trace.SLOLSR, Request: trace.Resources{CPU: 1, Mem: 2}, Limit: trace.Resources{CPU: 2, Mem: 4}},
+	}
+	return New(nodes, DefaultPhysics()), pods
+}
+
+func TestRestorePodMatchesPlace(t *testing.T) {
+	// A live cluster built via Place/Remove and a restored one rebuilt
+	// from its observable state must agree on every scheduling-relevant
+	// field.
+	live, pods := restoreFixture()
+	for _, p := range pods {
+		if _, err := live.Place(p, 0, 100); err != nil {
+			t.Fatalf("place %d: %v", p.ID, err)
+		}
+	}
+	live.Remove(pods[1].ID, 200, false) // BE pod leaves; sums shrink
+
+	rest, _ := restoreFixture()
+	ln := live.Node(0)
+	for _, ps := range ln.pods {
+		if _, err := rest.RestorePod(ps.Pod, 0, ps.Seq, ps.Start); err != nil {
+			t.Fatalf("restore %d: %v", ps.Pod.ID, err)
+		}
+	}
+	rest.RestoreNodeAccounting(0, ln.nextSeq, ln.reqSum, ln.limitSum, ln.guarReq)
+
+	rn := rest.Node(0)
+	if len(rn.pods) != len(ln.pods) {
+		t.Fatalf("restored %d pods, want %d", len(rn.pods), len(ln.pods))
+	}
+	for i := range ln.pods {
+		l, r := ln.pods[i], rn.pods[i]
+		if l.Pod.ID != r.Pod.ID || l.Seq != r.Seq || l.Start != r.Start || l.NodeID != r.NodeID {
+			t.Fatalf("pod %d: live (%d,%d,%d) restored (%d,%d,%d)",
+				i, l.Pod.ID, l.Seq, l.Start, r.Pod.ID, r.Seq, r.Start)
+		}
+	}
+	if rn.reqSum != ln.reqSum || rn.limitSum != ln.limitSum || rn.guarReq != ln.guarReq {
+		t.Fatalf("sums diverge: restored %+v/%+v/%+v live %+v/%+v/%+v",
+			rn.reqSum, rn.limitSum, rn.guarReq, ln.reqSum, ln.limitSum, ln.guarReq)
+	}
+	if rn.nextSeq != ln.nextSeq {
+		t.Fatalf("nextSeq %d, want %d", rn.nextSeq, ln.nextSeq)
+	}
+	if got := rn.AppPodCount("a"); got != ln.AppPodCount("a") {
+		t.Fatalf(`AppPodCount("a") = %d, want %d`, got, ln.AppPodCount("a"))
+	}
+	// A later Place on the restored node continues the sequence exactly
+	// like the live one.
+	extra := &trace.Pod{ID: 99, AppID: "b", SLO: trace.SLOLS, Request: trace.Resources{CPU: 1, Mem: 1}}
+	lp, _ := live.Place(extra, 0, 300)
+	extra2 := *extra
+	rp, err := rest.Place(&extra2, 0, 300)
+	if err != nil {
+		t.Fatalf("place after restore: %v", err)
+	}
+	if rp.Seq != lp.Seq {
+		t.Fatalf("post-restore seq %d, want %d", rp.Seq, lp.Seq)
+	}
+}
+
+func TestRestorePodRejectsDuplicate(t *testing.T) {
+	c, pods := restoreFixture()
+	if _, err := c.RestorePod(pods[0], 0, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RestorePod(pods[0], 1, 0, 10); err == nil {
+		t.Fatal("restoring a running pod twice must fail")
+	}
+}
+
+func TestRestoreNodePhase(t *testing.T) {
+	c, pods := restoreFixture()
+	if !c.AllUp() {
+		t.Fatal("fresh cluster not AllUp")
+	}
+	// Down with a pod still attached: replay order applies the phase
+	// first, the pod's own removal record later — no cascade here.
+	c.RestorePod(pods[0], 0, 0, 10)
+	c.RestoreNodePhase(0, NodeDown)
+	if c.AllUp() {
+		t.Fatal("AllUp after RestoreNodePhase(Down)")
+	}
+	if len(c.Node(0).pods) != 1 {
+		t.Fatal("RestoreNodePhase displaced pods")
+	}
+	c.Remove(pods[0].ID, 20, false)
+	c.RestoreNodePhase(0, NodeUp)
+	if !c.AllUp() {
+		t.Fatal("notUp accounting broken after restore round-trip")
+	}
+	// Idempotent on same phase.
+	c.RestoreNodePhase(0, NodeUp)
+	if !c.AllUp() {
+		t.Fatal("same-phase restore changed notUp")
+	}
+}

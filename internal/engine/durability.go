@@ -1,0 +1,769 @@
+package engine
+
+// Durability: the engine's crash-recovery layer over internal/journal.
+//
+// Every externally-visible state mutation appends one journal record
+// before (or atomically with) the mutation, and a checkpoint is cut every
+// Config.CheckpointEvery virtual ticks serializing the full logical state
+// — cluster placements and accounting sums, pod records, queue contents,
+// retry and expiry heaps, counters — at a known log position. Recovery
+// (OpenDurable) restores the newest valid checkpoint and replays the log
+// tail, rebuilding a state that is bit-identical to the pre-crash engine
+// for everything the scheduler can observe: placements (node, sequence,
+// start time), the float64 accounting sums (restored verbatim from the
+// checkpoint and advanced by replaying the identical Add/Sub order),
+// record phases and counters.
+//
+// What is deliberately NOT durable, and why it is safe:
+//
+//   - Usage histories and BE progress: re-learned from post-recovery
+//     sampling, exactly like a fresh machine; predictors degrade briefly
+//     and recover.
+//   - Decision-latency and commit-conflict diagnostics: wall-clock
+//     contention measurements of a live process, meaningless across a
+//     restart.
+//   - Store versions: optimistic-concurrency tokens, valid only within
+//     one process lifetime; they restart at zero.
+//   - Queue order across concurrently-admitted pods: membership and lane
+//     assignment are exact; the interleaving of racing Submits is not.
+//
+// Locking protocol: checkpoint assembly takes ckptMu exclusively FIRST,
+// then every store shard, podMu, recMu, wMu, exMu (and the queue lock via
+// snapshot), reads the journal's last LSN, and captures everything.
+// Mutators that do not already run under a lock the assembler holds —
+// Submit and fail — hold ckptMu shared across their whole append+mutate
+// unit. Everything else (commit callbacks, displacement, the tick body)
+// runs under shard locks, so a checkpoint at LSN L reflects exactly the
+// records with LSN <= L. Taking ckptMu before the shard locks matters:
+// the reverse order deadlocks against a Submit blocked on queue space
+// while workers wait for a shard.
+
+import (
+	"container/heap"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/journal"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// OpRemove outcome codes (low 16 bits of the B field). Stable on-disk
+// values; never renumber.
+const (
+	rmCompleted   int64 = 1 // BE pod finished its work
+	rmExpired     int64 = 2 // lifetime expiry while running
+	rmRequeued    int64 = 3 // displaced and re-admitted (C = backoff release, 0 = immediate)
+	rmExhausted   int64 = 4 // displaced past the displacement budget
+	rmDispExpired int64 = 5 // displaced with its lifetime already over
+
+	rmOutcomeMask int64 = 0xffff
+	// jumpFlag marks a chaos displacement (vs a BE preemption), which lets
+	// latency-sensitive pods jump the queue on re-admission.
+	jumpFlag int64 = 1 << 16
+
+	// OpShed B values.
+	shedBackpressure int64 = 0
+	shedClosed       int64 = 1
+)
+
+func packFlag(jump bool) int64 {
+	if jump {
+		return jumpFlag
+	}
+	return 0
+}
+
+// errWouldBlock is the internal signal that a durable submission found the
+// queue full in blocking mode: nothing was journaled, wait and retry.
+var errWouldBlock = errors.New("engine: queue full, retry")
+
+// jrAppend appends one record, degrading to non-durable operation on a
+// journal write error (disk full, torn device): the engine keeps serving,
+// logs the failure once, and the operator sees it via journal stats.
+func (e *Engine) jrAppend(op journal.Op, t, a, b, c int64, blob []byte) {
+	if _, err := e.jr.Append(op, t, a, b, c, blob); err != nil && err != journal.ErrClosed {
+		e.journalError(err)
+	}
+}
+
+func (e *Engine) journalError(err error) {
+	e.jrErrOnce.Do(func() {
+		e.log.Error("journal write failed; continuing without durability", "err", err)
+	})
+}
+
+// installPhaseHook registers the cluster observer that journals node
+// lifecycle transitions. Installed only after recovery finishes, so replay
+// itself journals nothing.
+func (e *Engine) installPhaseHook() {
+	e.phaseSeen = make([]cluster.NodePhase, len(e.c.Nodes()))
+	for i, n := range e.c.Nodes() {
+		e.phaseSeen[i] = n.Phase()
+	}
+	e.c.AddObserver(func(nodeID int) {
+		// Runs under the mutating node's shard lock (or LockAll), which
+		// also guards phaseSeen[nodeID]. The phase record lands before
+		// the displacement OpRemoves: Fail/DrainNode flip the phase
+		// before removing pods, and the engine's displacement hooks run
+		// strictly after.
+		ph := e.c.Node(nodeID).Phase()
+		if e.phaseSeen[nodeID] == ph {
+			return
+		}
+		e.phaseSeen[nodeID] = ph
+		e.jrAppend(journal.OpNodePhase, e.now.Load(), int64(nodeID), int64(ph), 0, nil)
+	})
+}
+
+// ckptState is the checkpoint payload: the engine's full logical state in
+// canonical (deterministically ordered) form.
+type ckptState struct {
+	Now   int64 `json:"now"`
+	TickN int64 `json:"tick_n"`
+	// Nodes lists every node with non-default state (phase, sequence
+	// counter, accounting sums), ascending by ID.
+	Nodes []ckptNode `json:"nodes,omitempty"`
+	// Pods lists every submission record, ascending by pod ID. Placed
+	// pods carry their node-local scheduling sequence and start time.
+	Pods []ckptPod `json:"pods,omitempty"`
+	// Queue lists the admission queue in pop order, with pods that were
+	// in flight inside a worker at the cut appended at the tail (they
+	// re-enter the queue on recovery).
+	Queue []ckptQueued `json:"queue,omitempty"`
+	// Waiting and Expiry are the retry-backoff and lifetime heaps,
+	// sorted by (release time, pod ID) — a sorted array is a valid
+	// min-heap, and sorting makes the layout canonical (live heap layout
+	// depends on push interleaving).
+	Waiting  []ckptWaiting `json:"waiting,omitempty"`
+	Expiry   []ckptExpiry  `json:"expiry,omitempty"`
+	Counters ckptCounters  `json:"counters"`
+}
+
+type ckptNode struct {
+	ID      int             `json:"id"`
+	Phase   int             `json:"phase"`
+	NextSeq int             `json:"next_seq"`
+	Req     trace.Resources `json:"req"`
+	Limit   trace.Resources `json:"limit"`
+	Guar    trace.Resources `json:"guar"`
+}
+
+type ckptPod struct {
+	ID            int             `json:"id"`
+	Phase         int             `json:"phase"`
+	Node          int             `json:"node"`
+	Attempts      int             `json:"attempts"`
+	Displacements int             `json:"displacements"`
+	Since         int64           `json:"since"`
+	Reason        int             `json:"reason"`
+	Seq           int             `json:"seq,omitempty"`
+	Start         int64           `json:"start,omitempty"`
+	Spec          json.RawMessage `json:"spec,omitempty"`
+}
+
+type ckptQueued struct {
+	ID        int  `json:"id"`
+	Displaced bool `json:"displaced,omitempty"`
+}
+
+type ckptWaiting struct {
+	At        int64 `json:"at"`
+	ID        int   `json:"id"`
+	Displaced bool  `json:"displaced,omitempty"`
+}
+
+type ckptExpiry struct {
+	At int64 `json:"at"`
+	ID int   `json:"id"`
+}
+
+// ckptCounters carries the durable subset of Metrics. Commit-conflict
+// counters and the decision-latency histogram are per-process contention
+// diagnostics and deliberately excluded.
+type ckptCounters struct {
+	Submitted   int64   `json:"submitted"`
+	Accepted    int64   `json:"accepted"`
+	Placed      int64   `json:"placed"`
+	Completed   int64   `json:"completed"`
+	Expired     int64   `json:"expired"`
+	Preempted   int64   `json:"preempted"`
+	Displaced   int64   `json:"displaced"`
+	Exhausted   int64   `json:"exhausted"`
+	Retries     int64   `json:"retries"`
+	ShedBySLO   []int64 `json:"shed_by_slo"`
+	PlacedBySLO []int64 `json:"placed_by_slo"`
+	WaitSum     []int64 `json:"wait_sum"`
+	WaitCount   []int64 `json:"wait_count"`
+}
+
+func (e *Engine) captureCounters() ckptCounters {
+	n := int(trace.SLOBE) + 1
+	c := ckptCounters{
+		Submitted:   e.m.submitted.Load(),
+		Accepted:    e.m.accepted.Load(),
+		Placed:      e.m.placed.Load(),
+		Completed:   e.m.completed.Load(),
+		Expired:     e.m.expired.Load(),
+		Preempted:   e.m.preempted.Load(),
+		Displaced:   e.m.displaced.Load(),
+		Exhausted:   e.m.exhausted.Load(),
+		Retries:     e.m.retries.Load(),
+		ShedBySLO:   make([]int64, n),
+		PlacedBySLO: make([]int64, n),
+		WaitSum:     make([]int64, n),
+		WaitCount:   make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		c.ShedBySLO[i] = e.m.shedBySLO[i].Load()
+		c.PlacedBySLO[i] = e.m.placedBySLO[i].Load()
+		c.WaitSum[i] = e.m.waitSum[i].Load()
+		c.WaitCount[i] = e.m.waitCount[i].Load()
+	}
+	return c
+}
+
+func (e *Engine) restoreCounters(c ckptCounters) {
+	e.m.submitted.Store(c.Submitted)
+	e.m.accepted.Store(c.Accepted)
+	e.m.placed.Store(c.Placed)
+	e.m.completed.Store(c.Completed)
+	e.m.expired.Store(c.Expired)
+	e.m.preempted.Store(c.Preempted)
+	e.m.displaced.Store(c.Displaced)
+	e.m.exhausted.Store(c.Exhausted)
+	e.m.retries.Store(c.Retries)
+	for i := 0; i <= int(trace.SLOBE); i++ {
+		if i < len(c.ShedBySLO) {
+			e.m.shedBySLO[i].Store(c.ShedBySLO[i])
+		}
+		if i < len(c.PlacedBySLO) {
+			e.m.placedBySLO[i].Store(c.PlacedBySLO[i])
+		}
+		if i < len(c.WaitSum) {
+			e.m.waitSum[i].Store(c.WaitSum[i])
+		}
+		if i < len(c.WaitCount) {
+			e.m.waitCount[i].Store(c.WaitCount[i])
+		}
+	}
+}
+
+// capture assembles the canonical state under every lock the protocol
+// requires and returns it together with the pods backing each record (for
+// spec marshaling outside the locks) and the journal LSN the capture
+// reflects. It is safe on a stopped engine and the foundation of both
+// checkpoint() and StateHash().
+func (e *Engine) capture() (*ckptState, []*trace.Pod, uint64) {
+	e.ckptMu.Lock()
+	e.store.LockAll()
+	e.store.podMu.Lock()
+	e.recMu.Lock()
+	e.wMu.Lock()
+	e.exMu.Lock()
+
+	st := &ckptState{Now: e.now.Load(), TickN: e.tickN}
+
+	for _, n := range e.c.Nodes() {
+		if n.Phase() == cluster.NodeUp && n.NextSeq() == 0 {
+			continue // never touched: all-default state
+		}
+		st.Nodes = append(st.Nodes, ckptNode{
+			ID:      n.Node.ID,
+			Phase:   int(n.Phase()),
+			NextSeq: n.NextSeq(),
+			Req:     n.ReqSum(),
+			Limit:   n.LimitSum(),
+			Guar:    n.GuaranteedReq(),
+		})
+	}
+
+	ids := make([]int, 0, len(e.recs))
+	for id := range e.recs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	pods := make([]*trace.Pod, 0, len(ids))
+	st.Pods = make([]ckptPod, 0, len(ids))
+	for _, id := range ids {
+		rec := e.recs[id]
+		cp := ckptPod{
+			ID:            id,
+			Phase:         int(rec.phase),
+			Node:          rec.node,
+			Attempts:      rec.attempts,
+			Displacements: rec.displacements,
+			Since:         rec.since,
+			Reason:        int(rec.reason),
+		}
+		if rec.phase == PodPlaced {
+			if ps := e.c.PodState(id); ps != nil && !ps.Done {
+				cp.Seq, cp.Start = ps.Seq, ps.Start
+			}
+		}
+		st.Pods = append(st.Pods, cp)
+		pods = append(pods, rec.pod)
+	}
+
+	inHeapOrQueue := make(map[int]bool)
+	for _, it := range e.q.snapshot() {
+		st.Queue = append(st.Queue, ckptQueued{ID: it.pod.ID, Displaced: it.displaced})
+		inHeapOrQueue[it.pod.ID] = true
+	}
+	for _, w := range e.waiting {
+		st.Waiting = append(st.Waiting, ckptWaiting{At: w.notBefore, ID: w.it.pod.ID, Displaced: w.it.displaced})
+		inHeapOrQueue[w.it.pod.ID] = true
+	}
+	// Pods mid-decision inside a worker at the cut: queued per their
+	// record but in neither structure. They re-enter the queue tail on
+	// recovery (ascending by ID, for determinism).
+	var inflight []int
+	for _, id := range ids {
+		if e.recs[id].phase == PodQueued && !inHeapOrQueue[id] {
+			inflight = append(inflight, id)
+		}
+	}
+	for _, id := range inflight {
+		st.Queue = append(st.Queue, ckptQueued{ID: id})
+	}
+	sort.Slice(st.Waiting, func(i, j int) bool {
+		a, b := st.Waiting[i], st.Waiting[j]
+		return a.At < b.At || (a.At == b.At && a.ID < b.ID)
+	})
+	for _, x := range e.expiry {
+		st.Expiry = append(st.Expiry, ckptExpiry{At: x.at, ID: x.podID})
+	}
+	sort.Slice(st.Expiry, func(i, j int) bool {
+		a, b := st.Expiry[i], st.Expiry[j]
+		return a.At < b.At || (a.At == b.At && a.ID < b.ID)
+	})
+	st.Counters = e.captureCounters()
+
+	var lsn uint64
+	if e.jr != nil {
+		lsn = e.jr.LastLSN()
+	}
+
+	e.exMu.Unlock()
+	e.wMu.Unlock()
+	e.recMu.Unlock()
+	e.store.podMu.Unlock()
+	e.store.UnlockAll()
+	e.ckptMu.Unlock()
+	return st, pods, lsn
+}
+
+// checkpoint cuts one checkpoint at the current log position. Runs on the
+// event-loop goroutine (the tick cadence) or during shutdown.
+func (e *Engine) checkpoint() {
+	st, pods, lsn := e.capture()
+	// Specs marshal outside the locks: pod descriptors are immutable
+	// after linking, only the capture itself needs exclusion.
+	for i := range st.Pods {
+		blob, err := json.Marshal(pods[i])
+		if err != nil {
+			e.journalError(err)
+			return
+		}
+		st.Pods[i].Spec = blob
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		e.journalError(err)
+		return
+	}
+	if err := e.jr.WriteCheckpoint(lsn, payload); err != nil && err != journal.ErrClosed {
+		e.journalError(err)
+	}
+}
+
+// StateHash returns a SHA-256 over the engine's canonical logical state.
+// On a quiescent engine it is deterministic, and a recovered engine hashes
+// identically to the pre-crash one — the golden-hash recovery check. The
+// admission queue is hashed as a sorted set: membership and lanes are
+// exact across recovery, the interleaving of racing Submits is not.
+func (e *Engine) StateHash() string {
+	st, _, _ := e.capture()
+	q := append([]ckptQueued(nil), st.Queue...)
+	sort.Slice(q, func(i, j int) bool { return q[i].ID < q[j].ID })
+	st.Queue = q
+	h := sha256.New()
+	if err := json.NewEncoder(h).Encode(st); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RecoveryStats describes one crash recovery.
+type RecoveryStats struct {
+	// CheckpointLSN is the log position of the restored checkpoint (0 =
+	// no checkpoint; the whole log was replayed).
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	// ReplayedRecords counts log-tail records applied on top of it.
+	ReplayedRecords int `json:"replayed_records"`
+	// TruncatedBytes counts bytes cut from the log's torn tail.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// CorruptCheckpoints counts checkpoint files skipped as invalid.
+	CorruptCheckpoints int `json:"corrupt_checkpoints"`
+	// RecoveredPlaced and RecoveredPending count running and re-queued
+	// pods after recovery.
+	RecoveredPlaced  int `json:"recovered_placed"`
+	RecoveredPending int `json:"recovered_pending"`
+	// DurationMs is the wall time of restore + replay.
+	DurationMs float64 `json:"duration_ms"`
+	// StateHash is the canonical state hash at the end of recovery.
+	StateHash string `json:"state_hash"`
+}
+
+// Recovery returns the stats of the recovery that built this engine, or
+// nil for engines that started fresh.
+func (e *Engine) Recovery() *RecoveryStats { return e.recovery }
+
+// pendingSet accumulates the queue contents during recovery in admission
+// order, with O(1) removal when a later record places, parks or sheds the
+// pod.
+type pendingSet struct {
+	items []item
+	idx   map[int]int
+}
+
+func newPendingSet() *pendingSet { return &pendingSet{idx: make(map[int]int)} }
+
+func (s *pendingSet) add(it item) {
+	if _, ok := s.idx[it.pod.ID]; ok {
+		return
+	}
+	s.idx[it.pod.ID] = len(s.items)
+	s.items = append(s.items, it)
+}
+
+func (s *pendingSet) remove(id int) {
+	if i, ok := s.idx[id]; ok {
+		s.items[i].pod = nil // tombstone keeps indexes stable
+		delete(s.idx, id)
+	}
+}
+
+func (s *pendingSet) drain() []item {
+	out := make([]item, 0, len(s.idx))
+	for _, it := range s.items {
+		if it.pod != nil {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// OpenDurable builds an engine with a write-ahead journal under
+// cfg.DataDir, recovering any state a previous run left there: the newest
+// valid checkpoint is restored and the log tail replayed on top. link
+// resolves each recovered pod spec against its application (typically
+// Workload.LinkPod). The returned engine is fully recovered but not
+// started; call Start as usual.
+func OpenDurable(c *cluster.Cluster, factory SchedulerFactory, cfg Config, link func(*trace.Pod) error) (*Engine, *RecoveryStats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, nil, errors.New("engine: OpenDurable requires Config.DataDir")
+	}
+	if link == nil {
+		return nil, nil, errors.New("engine: OpenDurable requires a pod link function")
+	}
+	t0 := time.Now()
+	jr, rec, err := journal.Open(journal.Config{
+		Dir:          cfg.DataDir,
+		SegmentBytes: cfg.JournalSegmentBytes,
+		FsyncEvery:   cfg.FsyncEvery,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	e := New(c, factory, cfg)
+	e.jr = jr
+	stats := &RecoveryStats{
+		CheckpointLSN:      rec.CheckpointLSN,
+		ReplayedRecords:    len(rec.Records),
+		TruncatedBytes:     rec.TruncatedBytes,
+		CorruptCheckpoints: rec.CorruptCheckpoints,
+	}
+	pending := newPendingSet()
+	if rec.Checkpoint != nil {
+		if err := e.restoreCheckpoint(rec.Checkpoint, link, pending); err != nil {
+			jr.Close()
+			return nil, nil, fmt.Errorf("engine: checkpoint restore: %w", err)
+		}
+	}
+	for i := range rec.Records {
+		r := &rec.Records[i]
+		if err := e.replayRecord(r, link, pending); err != nil {
+			jr.Close()
+			return nil, nil, fmt.Errorf("engine: replay LSN %d (%s): %w", r.LSN, r.Op, err)
+		}
+	}
+	e.q.forcePushAll(pending.drain())
+	stats.RecoveredPlaced = int(e.active.Load())
+	stats.RecoveredPending = int(e.queued.Load())
+	stats.StateHash = e.StateHash()
+	stats.DurationMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	e.recovery = stats
+	e.installPhaseHook()
+	e.log.Info("engine recovered",
+		"checkpoint_lsn", stats.CheckpointLSN,
+		"replayed", stats.ReplayedRecords,
+		"truncated_bytes", stats.TruncatedBytes,
+		"placed", stats.RecoveredPlaced,
+		"pending", stats.RecoveredPending,
+		"duration_ms", stats.DurationMs)
+	return e, stats, nil
+}
+
+// newRecoveredRecord hands out one record during single-threaded recovery.
+func (e *Engine) newRecoveredRecord() *podRecord {
+	if len(e.recSlab) == 0 {
+		e.recSlab = make([]podRecord, 512)
+	}
+	rec := &e.recSlab[0]
+	e.recSlab = e.recSlab[1:]
+	return rec
+}
+
+// restoreCheckpoint rebuilds the engine's state from a checkpoint payload.
+// Single-threaded: the engine is not started yet.
+func (e *Engine) restoreCheckpoint(payload []byte, link func(*trace.Pod) error, pending *pendingSet) error {
+	var st ckptState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return err
+	}
+	e.now.Store(st.Now)
+	e.tickN = st.TickN
+
+	type placedPod struct {
+		p     *trace.Pod
+		node  int
+		seq   int
+		start int64
+	}
+	var placed []placedPod
+	var queued, active int64
+	for i := range st.Pods {
+		cp := &st.Pods[i]
+		p := new(trace.Pod)
+		if err := json.Unmarshal(cp.Spec, p); err != nil {
+			return fmt.Errorf("pod %d spec: %w", cp.ID, err)
+		}
+		if err := link(p); err != nil {
+			return err
+		}
+		if _, ok := e.recs[p.ID]; ok {
+			return fmt.Errorf("pod %d appears twice", p.ID)
+		}
+		rec := e.newRecoveredRecord()
+		rec.pod = p
+		rec.phase = PodPhase(cp.Phase)
+		rec.node = cp.Node
+		rec.attempts = cp.Attempts
+		rec.displacements = cp.Displacements
+		rec.since = cp.Since
+		rec.reason = sched.Reason(cp.Reason)
+		e.recs[p.ID] = rec
+		switch rec.phase {
+		case PodQueued:
+			queued++
+		case PodPlaced:
+			active++
+			placed = append(placed, placedPod{p: p, node: cp.Node, seq: cp.Seq, start: cp.Start})
+		}
+	}
+	e.queued.Store(queued)
+	e.active.Store(active)
+
+	// Re-attach running pods in their original per-node scheduling order,
+	// then overwrite each node's accounting verbatim: serialized float64s
+	// round-trip exactly, so the sums match the live cluster bit for bit.
+	sort.Slice(placed, func(i, j int) bool {
+		a, b := placed[i], placed[j]
+		return a.node < b.node || (a.node == b.node && a.seq < b.seq)
+	})
+	for _, pp := range placed {
+		if _, err := e.c.RestorePod(pp.p, pp.node, pp.seq, pp.start); err != nil {
+			return err
+		}
+	}
+	for _, cn := range st.Nodes {
+		e.c.RestoreNodePhase(cn.ID, cluster.NodePhase(cn.Phase))
+		e.c.RestoreNodeAccounting(cn.ID, cn.NextSeq, cn.Req, cn.Limit, cn.Guar)
+	}
+
+	for _, cq := range st.Queue {
+		rec := e.recs[cq.ID]
+		if rec == nil {
+			return fmt.Errorf("queued pod %d has no record", cq.ID)
+		}
+		pending.add(item{pod: rec.pod, displaced: cq.Displaced})
+	}
+	// A sorted array is a valid min-heap: install the canonical forms
+	// directly.
+	for _, cw := range st.Waiting {
+		rec := e.recs[cw.ID]
+		if rec == nil {
+			return fmt.Errorf("waiting pod %d has no record", cw.ID)
+		}
+		e.waiting = append(e.waiting, waitEntry{notBefore: cw.At, it: item{pod: rec.pod, displaced: cw.Displaced}})
+	}
+	for _, cx := range st.Expiry {
+		e.expiry = append(e.expiry, expiryEntry{at: cx.At, podID: cx.ID})
+	}
+	e.restoreCounters(st.Counters)
+	return nil
+}
+
+// replayRecord applies one log-tail record. Replay is strict: a record
+// that does not fit the current state means the journal and checkpoint
+// disagree, and recovery fails loudly rather than guessing.
+func (e *Engine) replayRecord(r *journal.Record, link func(*trace.Pod) error, pending *pendingSet) error {
+	switch r.Op {
+	case journal.OpAccept, journal.OpShed:
+		if r.Op == journal.OpShed && r.B == shedClosed {
+			return nil // historical form; nothing was admitted
+		}
+		p := new(trace.Pod)
+		if err := json.Unmarshal(r.Blob, p); err != nil {
+			return err
+		}
+		if err := link(p); err != nil {
+			return err
+		}
+		if _, ok := e.recs[p.ID]; ok {
+			return fmt.Errorf("pod %d already known", p.ID)
+		}
+		rec := e.newRecoveredRecord()
+		rec.pod, rec.node, rec.since = p, -1, r.Time
+		e.recs[p.ID] = rec
+		e.m.submitted.Add(1)
+		if r.Op == journal.OpShed {
+			rec.phase = PodShed
+			e.m.shedBySLO[sloIdx(p.SLO)].Add(1)
+			return nil
+		}
+		e.m.accepted.Add(1)
+		e.queued.Add(1)
+		pending.add(item{pod: p})
+		return nil
+
+	case journal.OpPlace:
+		id, node := int(r.A), int(r.B)
+		rec := e.recs[id]
+		if rec == nil || rec.phase != PodQueued {
+			return fmt.Errorf("place for pod %d in state %v", id, recPhase(rec))
+		}
+		if _, err := e.c.Place(rec.pod, node, r.Time); err != nil {
+			return err
+		}
+		pending.remove(id)
+		rec.phase = PodPlaced
+		rec.node = node
+		rec.reason = sched.ReasonNone
+		idx := sloIdx(rec.pod.SLO)
+		e.m.waitSum[idx].Add(r.Time - rec.since)
+		e.m.waitCount[idx].Add(1)
+		e.queued.Add(-1)
+		e.active.Add(1)
+		e.m.placed.Add(1)
+		e.m.placedBySLO[idx].Add(1)
+		if rec.pod.Lifetime > 0 {
+			heap.Push(&e.expiry, expiryEntry{at: rec.pod.Lifetime, podID: id})
+		}
+		return nil
+
+	case journal.OpRemove:
+		id := int(r.A)
+		outcome := r.B & rmOutcomeMask
+		jump := r.B&jumpFlag != 0
+		rec := e.recs[id]
+		if rec == nil || rec.phase != PodPlaced {
+			return fmt.Errorf("remove for pod %d in state %v", id, recPhase(rec))
+		}
+		e.c.Remove(id, r.Time, false)
+		e.active.Add(-1)
+		rec.node = -1
+		switch outcome {
+		case rmCompleted:
+			rec.phase = PodDone
+			e.m.completed.Add(1)
+		case rmExpired:
+			rec.phase = PodDone
+			e.m.expired.Add(1)
+		case rmRequeued, rmExhausted, rmDispExpired:
+			// Displacement: a BE preemption (jump clear) also counts as a
+			// preemption, mirroring onPlaced's eviction loop.
+			if !jump {
+				e.m.preempted.Add(1)
+			}
+			e.m.displaced.Add(1)
+			rec.displacements++
+			switch outcome {
+			case rmDispExpired:
+				rec.phase = PodDone
+				e.m.expired.Add(1)
+			case rmExhausted:
+				rec.phase = PodExhausted
+				e.m.exhausted.Add(1)
+			case rmRequeued:
+				rec.phase = PodQueued
+				rec.since = r.Time
+				rec.attempts = 0
+				rec.reason = sched.ReasonNone
+				e.queued.Add(1)
+				it := item{pod: rec.pod, displaced: jump}
+				if r.C > 0 {
+					heap.Push(&e.waiting, waitEntry{notBefore: r.C, it: it})
+				} else {
+					pending.add(it)
+				}
+			}
+		default:
+			return fmt.Errorf("unknown remove outcome %d for pod %d", outcome, id)
+		}
+		return nil
+
+	case journal.OpFail:
+		id := int(r.A)
+		rec := e.recs[id]
+		if rec == nil || rec.phase != PodQueued {
+			return fmt.Errorf("fail for pod %d in state %v", id, recPhase(rec))
+		}
+		jump := r.B&jumpFlag != 0
+		rec.attempts++
+		rec.reason = sched.Reason(r.B & rmOutcomeMask)
+		e.m.retries.Add(1)
+		pending.remove(id)
+		heap.Push(&e.waiting, waitEntry{notBefore: r.C, it: item{pod: rec.pod, displaced: jump}})
+		return nil
+
+	case journal.OpTick:
+		next := r.A
+		e.now.Store(next)
+		e.tickN++
+		for len(e.waiting) > 0 && e.waiting[0].notBefore <= next {
+			pending.add(heap.Pop(&e.waiting).(waitEntry).it)
+		}
+		return nil
+
+	case journal.OpNodePhase:
+		e.c.RestoreNodePhase(int(r.A), cluster.NodePhase(r.B))
+		return nil
+	}
+	return fmt.Errorf("unknown op %d", r.Op)
+}
+
+func recPhase(rec *podRecord) string {
+	if rec == nil {
+		return "unknown"
+	}
+	return rec.phase.String()
+}

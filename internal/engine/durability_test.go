@@ -1,0 +1,435 @@
+package engine
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"unisched/internal/chaos"
+	"unisched/internal/cluster"
+	"unisched/internal/obs"
+	"unisched/internal/trace"
+)
+
+func durableConfig(dir string, w *trace.Workload) Config {
+	return Config{
+		Workers:         2,
+		Shards:          4,
+		BlockOnFull:     true,
+		Horizon:         w.Horizon,
+		DataDir:         dir,
+		CheckpointEvery: 5,
+		FsyncEvery:      time.Millisecond,
+	}
+}
+
+func openDurable(t *testing.T, w *trace.Workload, cfg Config) (*Engine, *RecoveryStats) {
+	t.Helper()
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e, st, err := OpenDurable(c, alibabaFactory, cfg, w.LinkPod)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	return e, st
+}
+
+func drainOrFatal(t *testing.T, e *Engine) {
+	t.Helper()
+	if !e.Drain(60 * time.Second) {
+		e.Stop()
+		t.Fatalf("engine did not settle: %+v", e.Snapshot())
+	}
+}
+
+// TestDurableGoldenHashCrashRecover is the core recovery guarantee: after a
+// crash (no final checkpoint, journal tail only), the recovered engine's
+// canonical state hash is bit-identical to the pre-crash live engine's.
+func TestDurableGoldenHashCrashRecover(t *testing.T) {
+	w := smallWorkload(t)
+	dir := t.TempDir()
+	cfg := durableConfig(dir, w)
+
+	e, st := openDurable(t, w, cfg)
+	if st.CheckpointLSN != 0 || st.ReplayedRecords != 0 {
+		t.Fatalf("fresh data dir produced recovery work: %+v", st)
+	}
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("submit %d: %v", p.ID, err)
+		}
+	}
+	drainOrFatal(t, e)
+
+	// Late submissions after the last checkpoint guarantee the recovery
+	// exercises tail replay, not just checkpoint restore.
+	late := makeLatePods(t, w, 3)
+	for _, p := range late {
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("late submit %d: %v", p.ID, err)
+		}
+	}
+	drainOrFatal(t, e)
+
+	pre := e.Snapshot()
+	hash := e.StateHash()
+	if hash == "" {
+		t.Fatal("empty state hash")
+	}
+	e.crashStop() // no final checkpoint: recovery must replay the tail
+
+	e2, st2 := openDurable(t, w, cfg)
+	defer e2.Stop()
+	if st2.StateHash != hash {
+		t.Fatalf("recovered hash %s != pre-crash %s (checkpoint LSN %d, replayed %d)",
+			st2.StateHash, hash, st2.CheckpointLSN, st2.ReplayedRecords)
+	}
+	if again := e2.StateHash(); again != hash {
+		t.Fatalf("hash not stable after recovery: %s then %s", st2.StateHash, again)
+	}
+	if st2.CheckpointLSN == 0 {
+		t.Fatalf("no checkpoint was restored: %+v", st2)
+	}
+	if st2.ReplayedRecords == 0 {
+		t.Fatalf("no tail replay happened: %+v", st2)
+	}
+	if st2.TruncatedBytes != 0 || st2.CorruptCheckpoints != 0 {
+		t.Fatalf("clean shutdown reported corruption: %+v", st2)
+	}
+
+	post := e2.Snapshot()
+	if post.Submitted != pre.Submitted || post.Lost() != 0 {
+		t.Fatalf("conservation broke: pre %d post %d lost %d", pre.Submitted, post.Submitted, post.Lost())
+	}
+	for phase, n := range pre.States {
+		if post.States[phase] != n {
+			t.Fatalf("state %q: recovered %d, want %d", phase, post.States[phase], n)
+		}
+	}
+	if post.Running != pre.Running || post.Pending != pre.Pending {
+		t.Fatalf("running/pending diverge: pre %d/%d post %d/%d",
+			pre.Running, pre.Pending, post.Running, post.Pending)
+	}
+	if post.Recovery == nil || post.Recovery.StateHash != hash {
+		t.Fatalf("snapshot recovery stats missing or wrong: %+v", post.Recovery)
+	}
+	if post.Journal == nil {
+		t.Fatal("snapshot journal stats missing on durable engine")
+	}
+
+	// Idempotent resubmission: every pre-crash pod is already known.
+	for _, p := range append(append([]*trace.Pod(nil), w.Pods...), late...) {
+		if err := e2.Submit(p); err != ErrDuplicate {
+			t.Fatalf("resubmit %d = %v, want ErrDuplicate", p.ID, err)
+		}
+	}
+	// And the recovered engine keeps working: a genuinely new pod is
+	// accepted and scheduled by the running workers.
+	e2.Start()
+	fresh := makeLatePods(t, w, 1)[0]
+	fresh.ID += 1000
+	if err := w.LinkPod(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Submit(fresh); err != nil {
+		t.Fatalf("post-recovery submit: %v", err)
+	}
+	drainOrFatal(t, e2)
+	if sn := e2.Snapshot(); sn.Submitted != pre.Submitted+1 || sn.Lost() != 0 {
+		t.Fatalf("post-recovery accounting: %+v lost %d", sn.States, sn.Lost())
+	}
+}
+
+// makeLatePods builds n linked pods with IDs beyond the workload's.
+func makeLatePods(t *testing.T, w *trace.Workload, n int) []*trace.Pod {
+	t.Helper()
+	base := 0
+	for _, p := range w.Pods {
+		if p.ID >= base {
+			base = p.ID + 1
+		}
+	}
+	tmpl := w.Pods[0]
+	out := make([]*trace.Pod, 0, n)
+	for i := 0; i < n; i++ {
+		p := &trace.Pod{
+			ID: base + i, AppID: tmpl.AppID, SLO: tmpl.SLO,
+			Request: tmpl.Request, Limit: tmpl.Limit,
+			CPUScale: tmpl.CPUScale, MemScale: tmpl.MemScale,
+		}
+		if err := w.LinkPod(p); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestDurableTornTailGarbage: trailing garbage on the newest segment (a
+// torn write past the last complete record) is truncated away and the
+// recovered state still matches the pre-crash hash exactly.
+func TestDurableTornTailGarbage(t *testing.T) {
+	w := testWorkload(t, 2, 6, 0.25)
+	dir := t.TempDir()
+	cfg := durableConfig(dir, w)
+	cfg.Horizon = 60
+
+	e, _ := openDurable(t, w, cfg)
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOrFatal(t, e)
+	hash := e.StateHash()
+	e.crashStop()
+
+	seg := newestSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := make([]byte, 64)
+	for i := range garbage {
+		garbage[i] = 0xff
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	e2, st := openDurable(t, w, cfg)
+	defer e2.Stop()
+	if st.TruncatedBytes != int64(len(garbage)) {
+		t.Fatalf("truncated %d bytes, want %d", st.TruncatedBytes, len(garbage))
+	}
+	if st.StateHash != hash {
+		t.Fatalf("recovered hash %s != pre-crash %s", st.StateHash, hash)
+	}
+}
+
+// TestDurableLostTailResubmission: a crash that loses acknowledged records
+// off the journal tail (simulated by chopping bytes from the newest
+// segment) is healed by the idempotent-resubmission protocol — the client
+// resubmits everything, survivors dedupe, the lost tail is re-accepted,
+// and nothing is lost or double-counted.
+func TestDurableLostTailResubmission(t *testing.T) {
+	w := testWorkload(t, 2, 8, 0.25)
+	dir := t.TempDir()
+	cfg := durableConfig(dir, w)
+	cfg.Horizon = 60
+	cfg.CheckpointEvery = 1 << 30 // no checkpoints: pure log recovery
+
+	e, _ := openDurable(t, w, cfg)
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOrFatal(t, e)
+	e.crashStop()
+
+	seg := newestSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, st := openDurable(t, w, cfg)
+	defer e2.Stop()
+	if st.TruncatedBytes == 0 {
+		t.Fatal("chopped segment reported no truncation")
+	}
+	e2.Start()
+	accepted, dup := 0, 0
+	for _, p := range w.Pods {
+		switch err := e2.Submit(p); err {
+		case nil:
+			accepted++
+		case ErrDuplicate:
+			dup++
+		default:
+			t.Fatalf("resubmit %d: %v", p.ID, err)
+		}
+	}
+	if accepted+dup != len(w.Pods) {
+		t.Fatalf("resubmission split %d+%d, want %d", accepted, dup, len(w.Pods))
+	}
+	drainOrFatal(t, e2)
+	e2.Stop()
+	sn := e2.Snapshot()
+	if sn.Submitted != int64(len(w.Pods)) {
+		t.Fatalf("submitted %d after resubmission, want %d", sn.Submitted, len(w.Pods))
+	}
+	if sn.Lost() != 0 {
+		t.Fatalf("lost %d; states %v", sn.Lost(), sn.States)
+	}
+}
+
+// TestDurableChaosCrashMidRun: crash while workers are mid-placement under
+// chaos faults, recover, resubmit everything, and verify conservation —
+// zero lost, zero duplicated.
+func TestDurableChaosCrashMidRun(t *testing.T) {
+	w := smallWorkload(t)
+	dir := t.TempDir()
+	cfg := durableConfig(dir, w)
+	cfg.Chaos = chaos.NewInjector(7, nil, chaos.DefaultRates())
+
+	e, _ := openDurable(t, w, cfg)
+	e.Start()
+	half := len(w.Pods) / 2
+	for _, p := range w.Pods[:half] {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash while placements are still in flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for e.Snapshot().Placed == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	e.crashStop()
+
+	e2, _ := openDurable(t, w, cfg)
+	e2.Start()
+	for _, p := range w.Pods {
+		if err := e2.Submit(p); err != nil && err != ErrDuplicate {
+			t.Fatalf("resubmit %d: %v", p.ID, err)
+		}
+	}
+	drainOrFatal(t, e2)
+	e2.Stop()
+	sn := e2.Snapshot()
+	if sn.Submitted != int64(len(w.Pods)) {
+		t.Fatalf("submitted %d, want %d (duplicated admissions?)", sn.Submitted, len(w.Pods))
+	}
+	if sn.Lost() != 0 {
+		t.Fatalf("lost %d; states %v", sn.Lost(), sn.States)
+	}
+	if sn.Displaced == 0 {
+		t.Log("warning: chaos displaced nothing at this scale")
+	}
+}
+
+// TestDurableDisabledIsInert: without a DataDir the engine journals
+// nothing, exposes no journal stats, and OpenDurable refuses to run.
+func TestDurableDisabledIsInert(t *testing.T) {
+	w := testWorkload(t, 2, 2, 0.25)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{Horizon: 10})
+	if e.jr != nil {
+		t.Fatal("journal open without DataDir")
+	}
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOrFatal(t, e)
+	e.Stop()
+	sn := e.Snapshot()
+	if sn.Journal != nil || sn.Recovery != nil {
+		t.Fatalf("non-durable snapshot carries journal fields: %+v %+v", sn.Journal, sn.Recovery)
+	}
+	if _, _, err := OpenDurable(c, alibabaFactory, Config{}, w.LinkPod); err == nil {
+		t.Fatal("OpenDurable without DataDir succeeded")
+	}
+	if _, _, err := OpenDurable(c, alibabaFactory, Config{DataDir: t.TempDir()}, nil); err == nil {
+		t.Fatal("OpenDurable without link function succeeded")
+	}
+}
+
+// TestReadmissionUnderBackpressureConserves: displaced pods force-pushed
+// past a saturated admission queue are never lost, and backpressure sheds
+// are counted exactly once (metric == records == observed rejections).
+func TestReadmissionUnderBackpressureConserves(t *testing.T) {
+	w := smallWorkload(t)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	inj := chaos.NewInjector(7, nil, chaos.DefaultRates())
+	e := New(c, alibabaFactory, Config{Workers: 2, QueueCap: 8, Chaos: inj, Horizon: w.Horizon})
+	e.Start()
+	shed := 0
+	for _, p := range w.Pods {
+		switch err := e.Submit(p); err {
+		case nil:
+		case ErrQueueFull:
+			shed++
+		default:
+			t.Fatalf("submit %d: %v", p.ID, err)
+		}
+	}
+	drainOrFatal(t, e)
+	e.Stop()
+	sn := e.Snapshot()
+	if sn.Submitted != int64(len(w.Pods)) {
+		t.Fatalf("submitted %d, want %d", sn.Submitted, len(w.Pods))
+	}
+	if sn.Shed != int64(shed) || sn.States["shed"] != int64(shed) {
+		t.Fatalf("shed double-counted: metric %d, records %d, observed %d",
+			sn.Shed, sn.States["shed"], shed)
+	}
+	if sn.Lost() != 0 {
+		t.Fatalf("lost %d under backpressure readmission; states %v", sn.Lost(), sn.States)
+	}
+}
+
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no journal segments in %s: %v", dir, err)
+	}
+	return segs[len(segs)-1]
+}
+
+// TestDurableMetricsExposition: journal counters, the fsync-latency
+// histogram, and recovery gauges appear on /metrics and the exposition
+// stays valid.
+func TestDurableMetricsExposition(t *testing.T) {
+	w := testWorkload(t, 2, 6, 0.25)
+	dir := t.TempDir()
+	cfg := durableConfig(dir, w)
+	cfg.Horizon = 60
+
+	e, _ := openDurable(t, w, cfg)
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOrFatal(t, e)
+	e.Stop()
+
+	e2, _ := openDurable(t, w, cfg)
+	defer e2.Stop()
+	rr := httptest.NewRecorder()
+	e2.MetricsHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"unisched_journal_records_total",
+		"unisched_journal_bytes_total",
+		"unisched_journal_fsyncs_total",
+		"unisched_journal_fsync_seconds_bucket",
+		"unisched_journal_fsync_seconds_count",
+		"unisched_recovery_checkpoint_lsn",
+		"unisched_recovery_replayed_records",
+		"unisched_recovery_duration_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -27,6 +27,7 @@ package engine
 
 import (
 	"container/heap"
+	"encoding/json"
 	"log/slog"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 
 	"unisched/internal/chaos"
 	"unisched/internal/cluster"
+	"unisched/internal/journal"
 	"unisched/internal/obs"
 	"unisched/internal/pipeline"
 	"unisched/internal/sched"
@@ -139,6 +141,20 @@ type Config struct {
 	// Logger receives structured engine lifecycle events; nil discards
 	// them (tests, benchmarks, embedded use).
 	Logger *slog.Logger
+
+	// DataDir is the durability directory used by OpenDurable: a
+	// write-ahead journal of engine events plus periodic checkpoints.
+	// Engines built with New never journal regardless of this field, so
+	// the scheduling hot path pays nothing when durability is off.
+	DataDir string
+	// CheckpointEvery cuts a checkpoint every this many virtual ticks
+	// (default 120 — one virtual hour at 30-second ticks).
+	CheckpointEvery int
+	// FsyncEvery is the journal's group-commit interval (default 10ms).
+	FsyncEvery time.Duration
+	// JournalSegmentBytes rotates journal segments at this size
+	// (default 8 MiB).
+	JournalSegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +175,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retry.MaxDisplacements == 0 && c.Retry.BaseBackoff == 0 && c.Retry.MaxBackoff == 0 {
 		c.Retry = RetryPolicy{MaxDisplacements: 8}
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 120
 	}
 	return c
 }
@@ -266,6 +285,29 @@ type Engine struct {
 	serMu  sync.Mutex
 	series Series
 
+	// jr is the write-ahead journal; nil for engines built with New, so
+	// every durability hook is one predictable nil-check branch on the
+	// hot path. See durability.go for the record semantics and the
+	// locking protocol around checkpoint assembly.
+	jr *journal.Journal
+	// ckptMu orders journaled mutations against checkpoint assembly:
+	// mutators that are not otherwise exclusive with the assembler
+	// (Submit, fail) hold it shared across their append+mutate unit;
+	// assembly holds it exclusively while capturing the cut, so a
+	// checkpoint at LSN L reflects exactly the records with LSN <= L.
+	ckptMu sync.RWMutex
+	// phaseSeen tracks each node's last journaled lifecycle phase
+	// (element i guarded by node i's shard lock).
+	phaseSeen []cluster.NodePhase
+	// tickN counts virtual ticks for the checkpoint cadence (event-loop
+	// goroutine only).
+	tickN int64
+	// recovery holds the stats of the recovery that built this engine
+	// (OpenDurable), nil for fresh engines.
+	recovery  *RecoveryStats
+	jrErrOnce sync.Once
+	jrClosed  sync.Once
+
 	// rec is the sampled decision-trace recorder; nil when TraceEvery is 0
 	// so the scheduling path carries no tracing cost at all.
 	rec *obs.Recorder
@@ -371,13 +413,35 @@ func (e *Engine) Start() {
 
 // Stop shuts the engine down gracefully: no further submissions are
 // accepted, workers finish their in-flight batches, and the event loop
-// exits. Pods still queued stay accounted as pending.
-func (e *Engine) Stop() {
+// exits. Pods still queued stay accounted as pending. A durable engine
+// cuts a final checkpoint and closes the journal, so the next boot
+// restores without replaying the whole tail.
+func (e *Engine) Stop() { e.shutdown(true) }
+
+// crashStop stops the workers and abandons the journal without the final
+// checkpoint a graceful Stop would cut: the next OpenDurable must recover
+// from the last periodic checkpoint plus the journal tail, exactly like a
+// process killed mid-run (the tail is still flushed on close, so tests
+// recover a deterministic state). Test hook; no-op difference when the
+// engine is not durable.
+func (e *Engine) crashStop() { e.shutdown(false) }
+
+func (e *Engine) shutdown(final bool) {
 	e.stopOnce.Do(func() {
 		close(e.stopCh)
 		e.q.close()
 	})
 	e.wg.Wait()
+	if e.jr != nil {
+		e.jrClosed.Do(func() {
+			if final {
+				e.checkpoint()
+			}
+			if err := e.jr.Close(); err != nil {
+				e.log.Error("journal close failed", "err", err)
+			}
+		})
+	}
 	e.log.Info("engine stopped",
 		"virtual_now", e.now.Load(),
 		"placed", e.m.placed.Load(),
@@ -390,6 +454,29 @@ func (e *Engine) Stop() {
 // Stop. A shed submission is still accounted: its record ends in the shed
 // state.
 func (e *Engine) Submit(p *trace.Pod) error {
+	if e.jr == nil {
+		return e.submit(p)
+	}
+	// The whole admission unit (record creation, OpAccept append, queue
+	// push) runs under the shared checkpoint lock, so a checkpoint cut
+	// can never separate a record from its log entry. A full queue must
+	// not block while the lock is held — that would wedge the assembler
+	// behind a submitter that only workers can unblock — so the durable
+	// path always attempts without blocking, and waits for space outside
+	// the lock.
+	for {
+		e.ckptMu.RLock()
+		err := e.submitDurable(p)
+		e.ckptMu.RUnlock()
+		if err == errWouldBlock {
+			e.q.waitSpace()
+			continue
+		}
+		return err
+	}
+}
+
+func (e *Engine) submit(p *trace.Pod) error {
 	if p == nil || !p.Linked() {
 		return ErrNotLinked
 	}
@@ -409,7 +496,7 @@ func (e *Engine) Submit(p *trace.Pod) error {
 	e.recMu.Unlock()
 	e.m.submitted.Add(1)
 
-	err := e.q.push(item{pod: p}, e.cfg.BlockOnFull)
+	err := e.q.push(item{pod: p}, e.cfg.BlockOnFull, nil)
 	switch err {
 	case nil:
 		e.queued.Add(1)
@@ -420,6 +507,72 @@ func (e *Engine) Submit(p *trace.Pod) error {
 		rec.phase = PodShed
 		e.recMu.Unlock()
 		e.m.shedBySLO[sloIdx(p.SLO)].Add(1)
+		return ErrQueueFull
+	default: // ErrClosed
+		e.recMu.Lock()
+		delete(e.recs, p.ID)
+		e.recMu.Unlock()
+		e.m.submitted.Add(-1)
+		return err
+	}
+}
+
+// submitDurable is the journaled admission path. The OpAccept append runs
+// under the queue lock immediately before the enqueue, so the log carries
+// an accept exactly when the pod actually entered the queue: a rejected
+// push leaves no trace and can be retried (blocking mode) or recorded as
+// a self-contained OpShed (shedding mode).
+func (e *Engine) submitDurable(p *trace.Pod) error {
+	if p == nil || !p.Linked() {
+		return ErrNotLinked
+	}
+	now := e.now.Load()
+	e.recMu.Lock()
+	if _, ok := e.recs[p.ID]; ok {
+		e.recMu.Unlock()
+		return ErrDuplicate
+	}
+	if len(e.recSlab) == 0 {
+		e.recSlab = make([]podRecord, 512)
+	}
+	rec := &e.recSlab[0]
+	e.recSlab = e.recSlab[1:]
+	rec.pod, rec.node, rec.since = p, -1, now
+	e.recs[p.ID] = rec
+	e.recMu.Unlock()
+	e.m.submitted.Add(1)
+
+	blob, merr := json.Marshal(p)
+	if merr != nil {
+		e.journalError(merr)
+	}
+	err := e.q.push(item{pod: p}, false, func() {
+		if merr == nil {
+			e.jrAppend(journal.OpAccept, now, int64(p.ID), 0, 0, blob)
+		}
+	})
+	switch err {
+	case nil:
+		e.queued.Add(1)
+		e.m.accepted.Add(1)
+		return nil
+	case ErrQueueFull:
+		if e.cfg.BlockOnFull {
+			// Nothing was journaled; undo the record and let Submit wait
+			// for space outside the checkpoint lock.
+			e.recMu.Lock()
+			delete(e.recs, p.ID)
+			e.recMu.Unlock()
+			e.m.submitted.Add(-1)
+			return errWouldBlock
+		}
+		e.recMu.Lock()
+		rec.phase = PodShed
+		e.recMu.Unlock()
+		e.m.shedBySLO[sloIdx(p.SLO)].Add(1)
+		if merr == nil {
+			e.jrAppend(journal.OpShed, now, int64(p.ID), shedBackpressure, 0, blob)
+		}
 		return ErrQueueFull
 	default: // ErrClosed
 		e.recMu.Lock()
@@ -491,6 +644,11 @@ func (e *Engine) Snapshot() Snapshot {
 	if merged {
 		ps.Finalize()
 		sn.Pipeline = &ps
+	}
+	if e.jr != nil {
+		st := e.jr.Stats()
+		sn.Journal = &st
+		sn.Recovery = e.recovery
 	}
 	return sn
 }
@@ -655,6 +813,17 @@ func (e *Engine) runWorker(sc sched.Scheduler) {
 // event loop can never observe a placed pod without its record agreeing.
 func (e *Engine) onPlaced(d sched.Decision, now int64, evicted []*cluster.PodState) {
 	p := d.Pod
+	// Evictions first: the deployment path (pipeline.Deploy) removes the
+	// preempted BE pods from the node before placing the new pod, so the
+	// journal must carry the OpRemoves before the OpPlace for replay to
+	// apply the accounting adds and subs in the identical order.
+	for _, ev := range evicted {
+		e.m.preempted.Add(1)
+		e.displacedPod(ev, now, false)
+	}
+	if e.jr != nil {
+		e.jrAppend(journal.OpPlace, now, int64(p.ID), int64(d.NodeID), 0, nil)
+	}
 	e.recMu.Lock()
 	rec := e.recs[p.ID]
 	if rec != nil {
@@ -676,30 +845,40 @@ func (e *Engine) onPlaced(d sched.Decision, now int64, evicted []*cluster.PodSta
 		heap.Push(&e.expiry, expiryEntry{at: p.Lifetime, podID: p.ID})
 		e.exMu.Unlock()
 	}
-	for _, ev := range evicted {
-		e.m.preempted.Add(1)
-		e.displacedPod(ev, now, false)
-	}
 }
 
 // fail parks a pod that could not be placed this attempt. Everyone waits
 // at least one virtual tick (retrying within the tick would re-score
 // unchanged state); BE pods additionally back off exponentially.
 func (e *Engine) fail(it item, reason sched.Reason, now int64) {
+	if e.jr != nil {
+		// The whole unit — record update, retry counter, journal append,
+		// heap push — must land on one side of a checkpoint cut, and the
+		// append shares the wMu critical section with the push so the log
+		// order of this OpFail against the tick's OpTick agrees with
+		// whether that tick's release saw the entry. Lock order (ckptMu,
+		// then wMu) matches checkpoint assembly.
+		e.ckptMu.RLock()
+		defer e.ckptMu.RUnlock()
+	}
+	at := now
 	e.recMu.Lock()
 	if rec := e.recs[it.pod.ID]; rec != nil {
 		rec.attempts++
 		rec.reason = reason
 		if b := e.cfg.Retry.Backoff(rec.attempts - 1); it.pod.SLO == trace.SLOBE && b > e.cfg.Tick {
-			now += b
+			at = now + b
 		} else {
-			now += e.cfg.Tick
+			at = now + e.cfg.Tick
 		}
 	}
 	e.recMu.Unlock()
 	e.m.retries.Add(1)
 	e.wMu.Lock()
-	heap.Push(&e.waiting, waitEntry{notBefore: now, it: it})
+	if e.jr != nil {
+		e.jrAppend(journal.OpFail, now, int64(it.pod.ID), int64(reason)|packFlag(it.displaced), at, nil)
+	}
+	heap.Push(&e.waiting, waitEntry{notBefore: at, it: it})
 	e.wMu.Unlock()
 }
 
@@ -724,12 +903,18 @@ func (e *Engine) displacedPod(ps *cluster.PodState, now int64, jump bool) {
 		rec.phase = PodDone
 		e.m.expired.Add(1)
 		e.recMu.Unlock()
+		if e.jr != nil {
+			e.jrAppend(journal.OpRemove, now, int64(p.ID), rmDispExpired|packFlag(jump), 0, nil)
+		}
 		return
 	}
 	if mx := e.cfg.Retry.MaxDisplacements; mx > 0 && rec.displacements > mx {
 		rec.phase = PodExhausted
 		e.m.exhausted.Add(1)
 		e.recMu.Unlock()
+		if e.jr != nil {
+			e.jrAppend(journal.OpRemove, now, int64(p.ID), rmExhausted|packFlag(jump), 0, nil)
+		}
 		return
 	}
 	rec.phase = PodQueued
@@ -742,10 +927,16 @@ func (e *Engine) displacedPod(ps *cluster.PodState, now int64, jump bool) {
 	if p.SLO == trace.SLOBE {
 		if b := e.cfg.Retry.Backoff(0); b > 0 {
 			e.wMu.Lock()
+			if e.jr != nil {
+				e.jrAppend(journal.OpRemove, now, int64(p.ID), rmRequeued|packFlag(jump), now+b, nil)
+			}
 			heap.Push(&e.waiting, waitEntry{notBefore: now + b, it: it})
 			e.wMu.Unlock()
 			return
 		}
+	}
+	if e.jr != nil {
+		e.jrAppend(journal.OpRemove, now, int64(p.ID), rmRequeued|packFlag(jump), 0, nil)
 	}
 	e.q.forcePush(it)
 }
@@ -821,6 +1012,9 @@ func (e *Engine) tick() {
 		e.recMu.Lock()
 		rec := e.recs[ent.podID]
 		if rec != nil && rec.phase == PodPlaced {
+			if e.jr != nil {
+				e.jrAppend(journal.OpRemove, t, int64(ent.podID), rmExpired, 0, nil)
+			}
 			e.c.Remove(ent.podID, t, false)
 			rec.phase = PodDone
 			rec.node = -1
@@ -835,6 +1029,9 @@ func (e *Engine) tick() {
 	for _, ps := range completed {
 		e.recMu.Lock()
 		if rec := e.recs[ps.Pod.ID]; rec != nil && rec.phase == PodPlaced {
+			if e.jr != nil {
+				e.jrAppend(journal.OpRemove, t, int64(ps.Pod.ID), rmCompleted, 0, nil)
+			}
 			rec.phase = PodDone
 			rec.node = -1
 			e.active.Add(-1)
@@ -852,14 +1049,26 @@ func (e *Engine) tick() {
 
 	// Release retries whose backoff has expired into the queue — in one
 	// atomic push, so workers see the whole release or none of it and
-	// batch composition stays deterministic.
+	// batch composition stays deterministic. The OpTick append shares the
+	// wMu critical section with the pops: the log position of the tick
+	// decides exactly which OpFail/OpRemove entries it released.
 	e.wMu.Lock()
+	if e.jr != nil {
+		e.jrAppend(journal.OpTick, next, next, 0, 0, nil)
+	}
 	var due []item
 	for len(e.waiting) > 0 && e.waiting[0].notBefore <= next {
 		due = append(due, heap.Pop(&e.waiting).(waitEntry).it)
 	}
 	e.wMu.Unlock()
 	e.q.forcePushAll(due)
+
+	if e.jr != nil {
+		e.tickN++
+		if e.tickN%int64(e.cfg.CheckpointEvery) == 0 {
+			e.checkpoint()
+		}
+	}
 }
 
 // observeTick records the per-tick utilization sample, mirroring

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unisched/internal/journal"
 	"unisched/internal/pipeline"
 	"unisched/internal/trace"
 )
@@ -206,6 +207,13 @@ type Snapshot struct {
 	// worker's scheduler (visited/pruned/sampled nodes, per-stage
 	// latencies). Nil when no worker runs on the shared pipeline.
 	Pipeline *pipeline.StatsSnapshot `json:"pipeline,omitempty"`
+
+	// Journal holds the write-ahead journal's counters; nil when the
+	// engine runs without durability (New rather than OpenDurable).
+	Journal *journal.Stats `json:"journal,omitempty"`
+	// Recovery describes the crash recovery that built this engine; nil
+	// for engines that started fresh.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
 
 // Lost returns the number of submissions unaccounted for — zero on a

@@ -82,6 +82,24 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if js := sn.Journal; js != nil {
+		x.Counter("unisched_journal_records_total", "Records appended to the write-ahead journal.", float64(js.Records))
+		x.Counter("unisched_journal_bytes_total", "Bytes appended to the write-ahead journal.", float64(js.Bytes))
+		x.Counter("unisched_journal_fsyncs_total", "Group-commit fsyncs issued by the journal.", float64(js.Fsyncs))
+		x.Counter("unisched_journal_checkpoints_total", "Checkpoints written.", float64(js.Checkpoints))
+		x.Gauge("unisched_journal_segments", "Live journal segment files.", float64(js.Segments))
+		x.Gauge("unisched_journal_last_lsn", "Highest log sequence number appended.", float64(js.LastLSN))
+		bounds, cum, fsum, ftotal := e.jr.FsyncHistogram()
+		x.Histogram("unisched_journal_fsync_seconds", "Journal group-commit fsync latency.", bounds, cum, fsum, ftotal)
+	}
+	if rs := sn.Recovery; rs != nil {
+		x.Gauge("unisched_recovery_checkpoint_lsn", "LSN of the checkpoint restored at boot.", float64(rs.CheckpointLSN))
+		x.Gauge("unisched_recovery_replayed_records", "Journal records replayed on top of the checkpoint at boot.", float64(rs.ReplayedRecords))
+		x.Gauge("unisched_recovery_truncated_bytes", "Bytes truncated from the journal's torn tail at boot.", float64(rs.TruncatedBytes))
+		x.Gauge("unisched_recovery_corrupt_checkpoints", "Invalid checkpoint files skipped at boot.", float64(rs.CorruptCheckpoints))
+		x.Gauge("unisched_recovery_duration_seconds", "Wall time of checkpoint restore plus tail replay.", rs.DurationMs/1e3)
+	}
+
 	if e.rec != nil {
 		started, committed := e.rec.Counts()
 		x.Counter("unisched_traces_started_total", "Decision traces sampled.", float64(started))

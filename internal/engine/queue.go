@@ -100,8 +100,12 @@ func newQueue(capacity int) *queue {
 }
 
 // push admits an external submission. When the queue is full it blocks
-// (block=true) or fails with ErrQueueFull (block=false).
-func (q *queue) push(it item, block bool) error {
+// (block=true) or fails with ErrQueueFull (block=false). beforeAdd, when
+// non-nil, runs under the queue lock once space is secured, immediately
+// before the item becomes visible — the durable engine appends the
+// admission's journal record there, so the log carries an accept exactly
+// when the pod actually entered the queue.
+func (q *queue) push(it item, block bool, beforeAdd func()) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.size >= q.capacity && !q.closed {
@@ -113,10 +117,25 @@ func (q *queue) push(it item, block bool) error {
 	if q.closed {
 		return ErrClosed
 	}
+	if beforeAdd != nil {
+		beforeAdd()
+	}
 	q.lanes[laneOf(it.pod.SLO, it.displaced)].push(it)
 	q.size++
 	q.notEmpty.Signal()
 	return nil
+}
+
+// waitSpace blocks until the queue has room for an external push, or the
+// queue is closed. The durable submission path waits here instead of
+// inside push, because it must never block while holding the checkpoint
+// read lock.
+func (q *queue) waitSpace() {
+	q.mu.Lock()
+	for q.size >= q.capacity && !q.closed {
+		q.notFull.Wait()
+	}
+	q.mu.Unlock()
 }
 
 // forcePush re-admits an already-accepted pod (displacement, retry,
@@ -181,6 +200,19 @@ func (q *queue) popBatch(max int) []item {
 	}
 	if q.size < q.capacity {
 		q.notFull.Broadcast()
+	}
+	return out
+}
+
+// snapshot copies the queued items in pop (priority) order — checkpoint
+// assembly.
+func (q *queue) snapshot() []item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]item, 0, q.size)
+	for l := 0; l < numLanes; l++ {
+		la := &q.lanes[l]
+		out = append(out, la.items[la.head:]...)
 	}
 	return out
 }

@@ -34,13 +34,13 @@ func TestQueuePriorityOrder(t *testing.T) {
 
 func TestQueueShedsWhenFull(t *testing.T) {
 	q := newQueue(2)
-	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, false); err != nil {
+	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.push(item{pod: mkPod(2, trace.SLOBE)}, false); err != nil {
+	if err := q.push(item{pod: mkPod(2, trace.SLOBE)}, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.push(item{pod: mkPod(3, trace.SLOBE)}, false); err != ErrQueueFull {
+	if err := q.push(item{pod: mkPod(3, trace.SLOBE)}, false, nil); err != ErrQueueFull {
 		t.Fatalf("push on full queue = %v, want ErrQueueFull", err)
 	}
 	// Internal re-admissions bypass the bound.
@@ -52,11 +52,11 @@ func TestQueueShedsWhenFull(t *testing.T) {
 
 func TestQueueBlockingPushUnblocksOnPop(t *testing.T) {
 	q := newQueue(1)
-	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, true); err != nil {
+	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- q.push(item{pod: mkPod(2, trace.SLOBE)}, true) }()
+	go func() { done <- q.push(item{pod: mkPod(2, trace.SLOBE)}, true, nil) }()
 	select {
 	case err := <-done:
 		t.Fatalf("blocking push returned early: %v", err)
@@ -75,14 +75,14 @@ func TestQueueBlockingPushUnblocksOnPop(t *testing.T) {
 
 func TestQueueCloseWakesEveryone(t *testing.T) {
 	q := newQueue(1)
-	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, false); err != nil {
+	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, 1)
 	batches := make(chan []item, 2)
 	wg.Add(3)
-	go func() { defer wg.Done(); errs <- q.push(item{pod: mkPod(2, trace.SLOBE)}, true) }()
+	go func() { defer wg.Done(); errs <- q.push(item{pod: mkPod(2, trace.SLOBE)}, true, nil) }()
 	// One consumer drains the queued item; a second blocks empty.
 	for i := 0; i < 2; i++ {
 		go func() { defer wg.Done(); batches <- q.popBatch(4) }()
@@ -93,7 +93,7 @@ func TestQueueCloseWakesEveryone(t *testing.T) {
 	if err := <-errs; err != ErrClosed && err != nil {
 		t.Fatalf("blocked push after close = %v, want ErrClosed or success", err)
 	}
-	if err := q.push(item{pod: mkPod(9, trace.SLOBE)}, false); err != ErrClosed {
+	if err := q.push(item{pod: mkPod(9, trace.SLOBE)}, false, nil); err != ErrClosed {
 		t.Fatalf("push after close = %v, want ErrClosed", err)
 	}
 }
@@ -110,5 +110,70 @@ func TestLaneCompaction(t *testing.T) {
 	}
 	if l.len() != 0 {
 		t.Fatalf("len = %d after draining", l.len())
+	}
+}
+
+// TestQueueForcePushAllBypassKeepsExternalBound: batched re-admissions
+// bypass the capacity bound (an accepted pod must never be lost to a full
+// queue), but the bound keeps holding for external pushes, and draining
+// restores normal admission. Regression test for the backpressure /
+// re-admission interaction.
+func TestQueueForcePushAllBypassKeepsExternalBound(t *testing.T) {
+	q := newQueue(2)
+	for i := 0; i < 2; i++ {
+		if err := q.push(item{pod: mkPod(i, trace.SLOLS)}, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.push(item{pod: mkPod(2, trace.SLOLS)}, false, nil); err != ErrQueueFull {
+		t.Fatalf("push on full queue = %v, want ErrQueueFull", err)
+	}
+	q.forcePushAll([]item{
+		{pod: mkPod(10, trace.SLOBE)},
+		{pod: mkPod(11, trace.SLOLSR)},
+		{pod: mkPod(12, trace.SLOLS), displaced: true},
+	})
+	if q.len() != 5 {
+		t.Fatalf("len = %d after batched re-admission over a full queue, want 5", q.len())
+	}
+	// External admission is still shed: re-admissions must not open the
+	// gate for new work.
+	if err := q.push(item{pod: mkPod(3, trace.SLOLS)}, false, nil); err != ErrQueueFull {
+		t.Fatalf("push after forcePushAll = %v, want ErrQueueFull", err)
+	}
+	got := q.popBatch(16)
+	if len(got) != 5 {
+		t.Fatalf("popped %d, want 5", len(got))
+	}
+	// Priority order holds across the mixed batch: LSR and displaced LS
+	// first, then the LS lane in FIFO order, then BE.
+	want := []int{11, 12, 0, 1, 10}
+	for i, it := range got {
+		if it.pod.ID != want[i] {
+			t.Fatalf("pop order %d = pod %d, want %d", i, it.pod.ID, want[i])
+		}
+	}
+	// Drained below capacity, external pushes work again.
+	if err := q.push(item{pod: mkPod(4, trace.SLOLS)}, false, nil); err != nil {
+		t.Fatalf("push after drain = %v", err)
+	}
+}
+
+// TestQueuePushBeforeAddRunsOnlyOnAdmission: the beforeAdd hook (the
+// durable engine's journal append) fires exactly when the item is actually
+// enqueued — never on shed or closed pushes.
+func TestQueuePushBeforeAddRunsOnlyOnAdmission(t *testing.T) {
+	q := newQueue(1)
+	calls := 0
+	hook := func() { calls++ }
+	if err := q.push(item{pod: mkPod(1, trace.SLOLS)}, false, hook); err != nil || calls != 1 {
+		t.Fatalf("admitted push: err=%v calls=%d", err, calls)
+	}
+	if err := q.push(item{pod: mkPod(2, trace.SLOLS)}, false, hook); err != ErrQueueFull || calls != 1 {
+		t.Fatalf("shed push: err=%v calls=%d", err, calls)
+	}
+	q.close()
+	if err := q.push(item{pod: mkPod(3, trace.SLOLS)}, false, hook); err != ErrClosed || calls != 1 {
+		t.Fatalf("closed push: err=%v calls=%d", err, calls)
 	}
 }

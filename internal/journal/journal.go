@@ -1,0 +1,267 @@
+// Package journal is the engine's durability layer: an append-only,
+// checksummed, fsync-batched write-ahead log of engine events with segment
+// rotation, plus atomically-replaced checkpoint files that serialize the
+// full engine state at a known log position.
+//
+// The contract with the engine (internal/engine/durability.go):
+//
+//   - Every state mutation appends one Record before (or atomically with)
+//     the mutation; records carry a strictly increasing LSN assigned by the
+//     single writer.
+//   - A checkpoint taken at LSN L reflects every record with LSN <= L and
+//     none after it; recovery = restore the newest valid checkpoint, then
+//     replay the log tail (LSN > L) in order.
+//   - Corruption policy: the log is truncated at the first bad checksum or
+//     non-monotone LSN (a torn tail from a crash mid-write loses only
+//     unsynced records); corrupt checkpoints are skipped in favor of the
+//     next-older valid one.
+//
+// Appends are buffered and fsynced in groups on a short timer (group
+// commit), so a crash can lose up to one fsync interval of acknowledged
+// records. The engine's clients recover those via idempotent resubmission:
+// replayed pod IDs the journal already knows are deduplicated.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Op identifies one record type. Values are stable on-disk identifiers;
+// never renumber.
+type Op uint8
+
+// Record types. The semantics (fields A, B, C and the blob) belong to the
+// engine; the journal only frames and checksums them.
+const (
+	// OpAccept admits one pod: A = pod ID, blob = pod spec JSON.
+	OpAccept Op = 1 + iota
+	// OpShed rolls an accept back: A = pod ID, B = 0 shed under
+	// backpressure, B = 1 rejected (engine closed).
+	OpShed
+	// OpPlace commits one placement: A = pod ID, B = node ID.
+	OpPlace
+	// OpRemove removes a running pod: A = pod ID, B = outcome (engine
+	// codes), C = retry-release time for requeued pods.
+	OpRemove
+	// OpFail parks a pod after a failed scheduling attempt: A = pod ID,
+	// B = reason, C = retry-release time.
+	OpFail
+	// OpTick advances the virtual clock: A = the new virtual now.
+	OpTick
+	// OpNodePhase records a node lifecycle transition: A = node ID,
+	// B = the new phase.
+	OpNodePhase
+)
+
+var opNames = [...]string{"?", "accept", "shed", "place", "remove", "fail", "tick", "node-phase"}
+
+// String names the op.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "?"
+}
+
+// Record is one journal entry. A, B, C and Blob are opaque to the journal.
+type Record struct {
+	Op   Op
+	LSN  uint64
+	Time int64
+	A    int64
+	B    int64
+	C    int64
+	Blob []byte
+}
+
+// Frame layout: u32 payload length | u32 CRC32-C of the payload | payload.
+// Payload: op u8 | lsn u64 | time i64 | a i64 | b i64 | c i64 | blob.
+// All integers little-endian.
+const (
+	frameHeaderLen  = 8
+	payloadFixedLen = 1 + 8 + 8 + 8 + 8 + 8
+	// maxRecordLen bounds one payload; anything larger during recovery is
+	// treated as corruption.
+	maxRecordLen = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame encodes r as one checksummed frame appended to buf.
+func appendFrame(buf []byte, r *Record) []byte {
+	pl := payloadFixedLen + len(r.Blob)
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderLen+pl)...)
+	p := buf[start+frameHeaderLen:]
+	p[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(p[1:], r.LSN)
+	binary.LittleEndian.PutUint64(p[9:], uint64(r.Time))
+	binary.LittleEndian.PutUint64(p[17:], uint64(r.A))
+	binary.LittleEndian.PutUint64(p[25:], uint64(r.B))
+	binary.LittleEndian.PutUint64(p[33:], uint64(r.C))
+	copy(p[payloadFixedLen:], r.Blob)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(pl))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(p, castagnoli))
+	return buf
+}
+
+// decodePayload decodes one checksum-verified payload into a Record. The
+// blob is copied out of the scan buffer.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < payloadFixedLen {
+		return Record{}, fmt.Errorf("journal: short payload (%d bytes)", len(p))
+	}
+	r := Record{
+		Op:   Op(p[0]),
+		LSN:  binary.LittleEndian.Uint64(p[1:]),
+		Time: int64(binary.LittleEndian.Uint64(p[9:])),
+		A:    int64(binary.LittleEndian.Uint64(p[17:])),
+		B:    int64(binary.LittleEndian.Uint64(p[25:])),
+		C:    int64(binary.LittleEndian.Uint64(p[33:])),
+	}
+	if len(p) > payloadFixedLen {
+		r.Blob = append([]byte(nil), p[payloadFixedLen:]...)
+	}
+	return r, nil
+}
+
+// Config tunes the journal.
+type Config struct {
+	// Dir is the journal directory; created if absent.
+	Dir string
+	// SegmentBytes rotates the log once a segment exceeds this size
+	// (default 8 MiB).
+	SegmentBytes int64
+	// FsyncEvery is the group-commit interval: buffered appends are
+	// flushed and fsynced together on this cadence (default 10ms).
+	FsyncEvery time.Duration
+	// KeepCheckpoints retains this many newest checkpoint files
+	// (default 2); older checkpoints and the segments they cover are
+	// garbage-collected.
+	KeepCheckpoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 8 << 20
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = 10 * time.Millisecond
+	}
+	if c.KeepCheckpoints <= 0 {
+		c.KeepCheckpoints = 2
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the journal's counters.
+type Stats struct {
+	Records     int64   `json:"records"`
+	Bytes       int64   `json:"bytes"`
+	Fsyncs      int64   `json:"fsyncs"`
+	Segments    int64   `json:"segments"`
+	Checkpoints int64   `json:"checkpoints"`
+	LastLSN     uint64  `json:"last_lsn"`
+	FsyncMeanMs float64 `json:"fsync_mean_ms"`
+	FsyncP99Ms  float64 `json:"fsync_p99_ms"`
+}
+
+// fsyncBuckets are log-scale fsync-latency bucket bounds: 1µs doubling per
+// bucket, 20 buckets (~524ms top finite bound).
+const (
+	fsyncBase    = 1000 // 1µs in ns
+	fsyncBuckets = 20
+)
+
+// fsyncHist is a lock-free log-scale latency histogram for fsync calls,
+// exportable in cumulative Prometheus form.
+type fsyncHist struct {
+	buckets [fsyncBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // ns
+}
+
+func (h *fsyncHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for bound := int64(fsyncBase); b < fsyncBuckets-1 && ns > bound; b++ {
+		bound *= 2
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Export snapshots the histogram in cumulative Prometheus form: finite
+// bucket upper bounds in seconds, cumulative counts, total sum in seconds,
+// and the total count.
+func (h *fsyncHist) export() (bounds []float64, cum []int64, sum float64, total int64) {
+	bounds = make([]float64, fsyncBuckets-1)
+	cum = make([]int64, fsyncBuckets-1)
+	bound := int64(fsyncBase)
+	var seen int64
+	for b := 0; b < fsyncBuckets-1; b++ {
+		seen += h.buckets[b].Load()
+		bounds[b] = float64(bound) / 1e9
+		cum[b] = seen
+		bound *= 2
+	}
+	total = seen + h.buckets[fsyncBuckets-1].Load()
+	return bounds, cum, float64(h.sum.Load()) / 1e9, total
+}
+
+func (h *fsyncHist) mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n) / 1e9
+}
+
+// quantile interpolates the q-quantile in seconds (log-linear within the
+// containing bucket), mirroring the engine's decision histogram.
+func (h *fsyncHist) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var seen int64
+	bound := int64(fsyncBase)
+	for b := 0; b < fsyncBuckets; b++ {
+		n := h.buckets[b].Load()
+		if float64(seen+n) >= rank && n > 0 {
+			frac := (rank - float64(seen)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			if b == 0 {
+				return float64(bound) * frac / 1e9
+			}
+			lower := float64(bound) / 2
+			return lower * math.Pow(2, frac) / 1e9
+		}
+		seen += n
+		if b < fsyncBuckets-1 {
+			bound *= 2
+		}
+	}
+	return float64(bound) / 1e9
+}

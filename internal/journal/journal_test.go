@@ -1,0 +1,247 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, cfg Config) (*Journal, *Recovered) {
+	t.Helper()
+	j, rec, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, rec
+}
+
+func TestAppendRecoverRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec := openT(t, Config{Dir: dir})
+	if rec.Checkpoint != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", rec)
+	}
+	blob := []byte(`{"id":7}`)
+	for i := 1; i <= 100; i++ {
+		lsn, err := j.Append(OpAccept, int64(i*30), int64(i), 2, 3, blob)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	j2, rec2 := openT(t, Config{Dir: dir})
+	defer j2.Close()
+	if len(rec2.Records) != 100 {
+		t.Fatalf("recovered %d records, want 100", len(rec2.Records))
+	}
+	for i, r := range rec2.Records {
+		want := Record{Op: OpAccept, LSN: uint64(i + 1), Time: int64((i + 1) * 30), A: int64(i + 1), B: 2, C: 3}
+		if r.Op != want.Op || r.LSN != want.LSN || r.Time != want.Time || r.A != want.A || r.B != want.B || r.C != want.C {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want)
+		}
+		if string(r.Blob) != string(blob) {
+			t.Fatalf("record %d blob = %q", i, r.Blob)
+		}
+	}
+	if rec2.TruncatedBytes != 0 {
+		t.Fatalf("clean log reports %d truncated bytes", rec2.TruncatedBytes)
+	}
+	// New appends continue the LSN sequence.
+	lsn, err := j2.Append(OpTick, 0, 30, 0, 0, nil)
+	if err != nil || lsn != 101 {
+		t.Fatalf("post-recovery append lsn = %d, err %v; want 101", lsn, err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, Config{Dir: dir, SegmentBytes: 256})
+	for i := 0; i < 100; i++ {
+		if _, err := j.Append(OpTick, int64(i), int64(i), 0, 0, nil); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce >= 3 segments, got %d", len(segs))
+	}
+	_, rec := openT(t, Config{Dir: dir})
+	if len(rec.Records) != 100 {
+		t.Fatalf("recovered %d records across segments, want 100", len(rec.Records))
+	}
+	if len(rec.Segments) < 3 {
+		t.Fatalf("Segments reports %d, want >= 3", len(rec.Segments))
+	}
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, Config{Dir: dir})
+	for i := 1; i <= 10; i++ {
+		j.Append(OpTick, int64(i), int64(i), 0, 0, nil)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	seg := segmentPath(dir, 0)
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := len(buf) / 10
+	// Corrupt one byte inside record 8's payload, and append torn garbage.
+	buf[7*frame+frameHeaderLen+3] ^= 0xff
+	buf = append(buf, 0xde, 0xad)
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := openT(t, Config{Dir: dir})
+	defer j2.Close()
+	if len(rec.Records) != 7 {
+		t.Fatalf("recovered %d records after corruption at record 8, want 7", len(rec.Records))
+	}
+	if rec.TruncatedBytes != int64(3*frame+2) {
+		t.Fatalf("TruncatedBytes = %d, want %d", rec.TruncatedBytes, 3*frame+2)
+	}
+	if fi, _ := os.Stat(seg); fi.Size() != int64(7*frame) {
+		t.Fatalf("segment not truncated: %d bytes, want %d", fi.Size(), 7*frame)
+	}
+	// The journal must keep assigning LSNs after the surviving tail.
+	if lsn, _ := j2.Append(OpTick, 0, 0, 0, 0, nil); lsn != 8 {
+		t.Fatalf("post-truncation lsn = %d, want 8", lsn)
+	}
+}
+
+func TestCorruptionInEarlierSegmentDropsLaterOnes(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, Config{Dir: dir, SegmentBytes: 128})
+	for i := 1; i <= 30; i++ {
+		j.Append(OpTick, int64(i), int64(i), 0, 0, nil)
+	}
+	j.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Wreck the first record of the second segment.
+	buf, _ := os.ReadFile(segs[1])
+	buf[frameHeaderLen] ^= 0xff
+	os.WriteFile(segs[1], buf, 0o644)
+
+	j2, rec := openT(t, Config{Dir: dir})
+	defer j2.Close()
+	want := rec.Segments[0].Records
+	if len(rec.Records) != want {
+		t.Fatalf("recovered %d records, want only segment 0's %d", len(rec.Records), want)
+	}
+	for _, s := range segs[2:] {
+		if _, err := os.Stat(s); !os.IsNotExist(err) {
+			t.Fatalf("segment %s after corruption point not deleted", s)
+		}
+	}
+}
+
+func TestCheckpointSelectionAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, Config{Dir: dir})
+	for i := 1; i <= 20; i++ {
+		j.Append(OpTick, int64(i), int64(i), 0, 0, nil)
+	}
+	j.Sync()
+	if err := j.WriteCheckpoint(10, []byte(`{"at":10}`)); err != nil {
+		t.Fatalf("checkpoint 10: %v", err)
+	}
+	if err := j.WriteCheckpoint(20, []byte(`{"at":20}`)); err != nil {
+		t.Fatalf("checkpoint 20: %v", err)
+	}
+	j.Close()
+
+	// Newest valid checkpoint wins; tail is records > 20 (none).
+	_, rec := openT(t, Config{Dir: dir})
+	if rec.CheckpointLSN != 20 || string(rec.Checkpoint) != `{"at":20}` {
+		t.Fatalf("recovered checkpoint lsn %d payload %q", rec.CheckpointLSN, rec.Checkpoint)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("tail has %d records, want 0", len(rec.Records))
+	}
+
+	// Corrupt the newest checkpoint: recovery falls back to LSN 10 and
+	// replays records 11..20.
+	buf, _ := os.ReadFile(checkpointPath(dir, 20))
+	buf[len(buf)-1] ^= 0xff
+	os.WriteFile(checkpointPath(dir, 20), buf, 0o644)
+	_, rec2 := openT(t, Config{Dir: dir})
+	if rec2.CheckpointLSN != 10 || string(rec2.Checkpoint) != `{"at":10}` {
+		t.Fatalf("fallback checkpoint lsn %d payload %q", rec2.CheckpointLSN, rec2.Checkpoint)
+	}
+	if rec2.CorruptCheckpoints != 1 {
+		t.Fatalf("CorruptCheckpoints = %d, want 1", rec2.CorruptCheckpoints)
+	}
+	if len(rec2.Records) != 10 || rec2.Records[0].LSN != 11 {
+		t.Fatalf("tail after fallback: %d records, first LSN %d; want 10 from 11",
+			len(rec2.Records), rec2.Records[0].LSN)
+	}
+}
+
+func TestCheckpointGCDropsCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, Config{Dir: dir, SegmentBytes: 128, KeepCheckpoints: 2})
+	for i := 1; i <= 60; i++ {
+		j.Append(OpTick, int64(i), int64(i), 0, 0, nil)
+	}
+	j.Sync()
+	j.WriteCheckpoint(20, []byte("a"))
+	j.WriteCheckpoint(40, []byte("b"))
+	j.WriteCheckpoint(60, []byte("c"))
+
+	lsns, _ := listCheckpoints(dir)
+	if len(lsns) != 2 || lsns[0] != 60 || lsns[1] != 40 {
+		t.Fatalf("kept checkpoints %v, want [60 40]", lsns)
+	}
+	// Segments whose last record <= 40 must be gone; tail after 40 must
+	// survive for replay on top of the older kept checkpoint.
+	_, rec := openT(t, Config{Dir: dir})
+	for _, s := range rec.Segments {
+		if s.LastLSN <= 40 {
+			t.Fatalf("segment %d (last LSN %d) should have been GCed", s.Index, s.LastLSN)
+		}
+	}
+	if rec.CheckpointLSN != 60 {
+		t.Fatalf("recovered checkpoint %d, want 60", rec.CheckpointLSN)
+	}
+	j.Close()
+}
+
+func TestGroupCommitFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openT(t, Config{Dir: dir, FsyncEvery: time.Millisecond})
+	j.Append(OpTick, 0, 1, 0, 0, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for j.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never fsynced a dirty journal")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := j.Stats()
+	if st.Records != 1 || st.LastLSN != 1 || st.Bytes == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := j.Append(OpTick, 0, 2, 0, 0, nil); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}

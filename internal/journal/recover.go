@@ -1,0 +1,242 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SegmentInfo describes one scanned log segment.
+type SegmentInfo struct {
+	Index    int
+	FirstLSN uint64
+	LastLSN  uint64
+	Records  int
+}
+
+// Recovered is what Open found on disk: the newest valid checkpoint and
+// the log tail to replay on top of it.
+type Recovered struct {
+	// CheckpointLSN is the log position the checkpoint reflects (0 = no
+	// checkpoint; replay starts from the beginning of the log).
+	CheckpointLSN uint64
+	// Checkpoint is the checkpoint payload (nil if none).
+	Checkpoint []byte
+	// Records is the replayable tail: every valid record with
+	// LSN > CheckpointLSN, in LSN order.
+	Records []Record
+	// TruncatedBytes counts bytes cut from the log tail at the first bad
+	// checksum or non-monotone LSN (a torn write from the crash).
+	TruncatedBytes int64
+	// CorruptCheckpoints counts checkpoint files that failed validation
+	// and were skipped (and removed) in favor of an older one.
+	CorruptCheckpoints int
+	// Segments describes the surviving segments, ascending.
+	Segments []SegmentInfo
+
+	lastLSN uint64
+}
+
+// checkpoint file layout: magic "UJCK" | version u32 | lsn u64 |
+// payload length u32 | CRC32-C of payload u32 | payload.
+var ckptMagic = [4]byte{'U', 'J', 'C', 'K'}
+
+const ckptVersion = 1
+const ckptHeaderLen = 4 + 4 + 8 + 4 + 4
+
+func encodeCheckpoint(lsn uint64, payload []byte) []byte {
+	buf := make([]byte, ckptHeaderLen+len(payload))
+	copy(buf, ckptMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:], ckptVersion)
+	binary.LittleEndian.PutUint64(buf[8:], lsn)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[20:], crc32.Checksum(payload, castagnoli))
+	copy(buf[ckptHeaderLen:], payload)
+	return buf
+}
+
+func decodeCheckpoint(buf []byte) (lsn uint64, payload []byte, err error) {
+	if len(buf) < ckptHeaderLen {
+		return 0, nil, fmt.Errorf("journal: checkpoint too short (%d bytes)", len(buf))
+	}
+	if [4]byte(buf[:4]) != ckptMagic {
+		return 0, nil, fmt.Errorf("journal: bad checkpoint magic")
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != ckptVersion {
+		return 0, nil, fmt.Errorf("journal: unsupported checkpoint version %d", v)
+	}
+	lsn = binary.LittleEndian.Uint64(buf[8:])
+	n := binary.LittleEndian.Uint32(buf[16:])
+	crc := binary.LittleEndian.Uint32(buf[20:])
+	payload = buf[ckptHeaderLen:]
+	if uint32(len(payload)) != n {
+		return 0, nil, fmt.Errorf("journal: checkpoint length mismatch (%d != %d)", len(payload), n)
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return 0, nil, fmt.Errorf("journal: checkpoint checksum mismatch")
+	}
+	return lsn, payload, nil
+}
+
+// scanDir loads the newest valid checkpoint, scans every segment in index
+// order validating checksums and LSN continuity, truncates the log at the
+// first corruption, and returns the replayable tail. segLast maps each
+// surviving segment to its final LSN (for checkpoint GC); maxSeg is the
+// highest segment index seen (even if corrupt), so the writer never reuses
+// a name.
+func scanDir(dir string, keepCheckpoints int) (rec *Recovered, segLast map[int]uint64, maxSeg int, err error) {
+	rec = &Recovered{}
+	segLast = make(map[int]uint64)
+	maxSeg = -1
+
+	// Checkpoints, newest first: first valid one wins, corrupt ones are
+	// removed so the next boot doesn't re-validate them.
+	lsns, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, nil, -1, fmt.Errorf("journal: %w", err)
+	}
+	for _, lsn := range lsns {
+		if rec.Checkpoint != nil {
+			continue
+		}
+		path := checkpointPath(dir, lsn)
+		buf, rerr := os.ReadFile(path)
+		if rerr == nil {
+			if l, payload, derr := decodeCheckpoint(buf); derr == nil && l == lsn {
+				rec.CheckpointLSN = l
+				rec.Checkpoint = payload
+				continue
+			}
+		}
+		rec.CorruptCheckpoints++
+		os.Remove(path)
+	}
+	os.Remove(filepath.Join(dir, "checkpoint.tmp")) // pre-rename leftover
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, -1, fmt.Errorf("journal: %w", err)
+	}
+	var segs []int
+	for _, ent := range ents {
+		var idx int
+		if n, _ := fmt.Sscanf(ent.Name(), "wal-%d.seg", &idx); n == 1 &&
+			ent.Name() == fmt.Sprintf("wal-%08d.seg", idx) {
+			segs = append(segs, idx)
+			if idx > maxSeg {
+				maxSeg = idx
+			}
+		}
+		if filepath.Ext(ent.Name()) == ".tmp" {
+			os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+	sort.Ints(segs)
+
+	var prevLSN uint64
+	corrupt := false
+	for _, idx := range segs {
+		path := segmentPath(dir, idx)
+		if corrupt {
+			// Everything after the first corruption is unreachable tail.
+			if fi, e := os.Stat(path); e == nil {
+				rec.TruncatedBytes += fi.Size()
+			}
+			os.Remove(path)
+			continue
+		}
+		info, truncAt, serr := scanSegment(path, &prevLSN, rec)
+		if serr != nil {
+			return nil, nil, -1, serr
+		}
+		if truncAt >= 0 {
+			// Torn tail: cut the file at the first bad frame and stop
+			// trusting anything later.
+			if fi, e := os.Stat(path); e == nil {
+				rec.TruncatedBytes += fi.Size() - truncAt
+			}
+			if info.Records == 0 && truncAt == 0 {
+				os.Remove(path)
+			} else if e := os.Truncate(path, truncAt); e != nil {
+				return nil, nil, -1, fmt.Errorf("journal: truncate %s: %w", path, e)
+			}
+			corrupt = true
+		}
+		if info.Records > 0 {
+			rec.Segments = append(rec.Segments, info)
+			segLast[idx] = info.LastLSN
+			rec.lastLSN = info.LastLSN
+		} else if truncAt < 0 {
+			// Empty but intact segment (crash right after rotation).
+			os.Remove(path)
+		}
+	}
+	return rec, segLast, maxSeg, nil
+}
+
+// scanSegment reads one segment sequentially. Valid records with
+// LSN > rec.CheckpointLSN are appended to rec.Records. It returns the
+// byte offset at which the file must be truncated (-1 if the whole file is
+// valid). prevLSN carries LSN continuity across segments: after the first
+// record seen, every record must be exactly prev+1.
+func scanSegment(path string, prevLSN *uint64, rec *Recovered) (SegmentInfo, int64, error) {
+	var idx int
+	fmt.Sscanf(filepath.Base(path), "wal-%d.seg", &idx)
+	info := SegmentInfo{Index: idx}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return info, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	var off int64
+	hdr := make([]byte, frameHeaderLen)
+	var payload []byte
+	for {
+		n, rerr := io.ReadFull(f, hdr)
+		if rerr == io.EOF {
+			return info, -1, nil // clean end
+		}
+		if rerr != nil {
+			return info, off, nil // torn header
+		}
+		_ = n
+		pl := binary.LittleEndian.Uint32(hdr)
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if pl < payloadFixedLen || pl > maxRecordLen {
+			return info, off, nil // garbage length
+		}
+		if int(pl) > cap(payload) {
+			payload = make([]byte, pl)
+		}
+		payload = payload[:pl]
+		if _, rerr := io.ReadFull(f, payload); rerr != nil {
+			return info, off, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return info, off, nil // checksum mismatch
+		}
+		r, derr := decodePayload(payload)
+		if derr != nil {
+			return info, off, nil
+		}
+		if *prevLSN != 0 && r.LSN != *prevLSN+1 {
+			return info, off, nil // non-monotone LSN
+		}
+		*prevLSN = r.LSN
+		if info.Records == 0 {
+			info.FirstLSN = r.LSN
+		}
+		info.Records++
+		info.LastLSN = r.LSN
+		if r.LSN > rec.CheckpointLSN {
+			rec.Records = append(rec.Records, r)
+		}
+		off += int64(frameHeaderLen) + int64(pl)
+	}
+}

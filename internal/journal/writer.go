@@ -1,0 +1,377 @@
+package journal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed reports an append to a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// Journal is the append side of the write-ahead log. One goroutine may
+// call WriteCheckpoint concurrently with appends from many goroutines;
+// LSNs are assigned under the journal lock, so append order in the log is
+// exactly the order callers observed their LSNs.
+type Journal struct {
+	cfg Config
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	segIdx   int
+	segBytes int64
+	lastLSN  uint64
+	dirty    bool
+	closed   bool
+	err      error // sticky first I/O error
+	scratch  []byte
+	// segLast maps a closed segment index to the last LSN it holds, so
+	// checkpoint GC can drop segments fully covered by a checkpoint.
+	segLast map[int]uint64
+
+	records     atomic.Int64
+	bytes       atomic.Int64
+	fsyncs      atomic.Int64
+	segments    atomic.Int64
+	checkpoints atomic.Int64
+	hist        fsyncHist
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// Open recovers whatever the directory holds (newest valid checkpoint,
+// replayable log tail, torn-tail truncation) and returns a journal
+// appending to a fresh segment after the recovered tail. The caller
+// replays Recovered before appending new records.
+func Open(cfg Config) (*Journal, *Recovered, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, nil, errors.New("journal: Config.Dir required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	rec, segLast, maxSeg, err := scanDir(cfg.Dir, cfg.KeepCheckpoints)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{
+		cfg:     cfg,
+		segIdx:  maxSeg + 1,
+		segLast: segLast,
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	j.lastLSN = rec.lastLSN
+	if rec.CheckpointLSN > j.lastLSN {
+		j.lastLSN = rec.CheckpointLSN
+	}
+	if err := j.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	go j.flusher()
+	return j, rec, nil
+}
+
+func segmentPath(dir string, idx int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.seg", idx))
+}
+
+func checkpointPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%020d.ckpt", lsn))
+}
+
+// openSegment starts segment j.segIdx; the caller holds mu (or is the only
+// goroutine with a reference).
+func (j *Journal) openSegment() error {
+	f, err := os.OpenFile(segmentPath(j.cfg.Dir, j.segIdx), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriterSize(f, 1<<16)
+	j.segBytes = 0
+	j.segments.Add(1)
+	return nil
+}
+
+// Append writes one record and returns its LSN. The record is durable only
+// after the next group fsync (or Sync). Appends after an I/O error return
+// that error without writing.
+func (j *Journal) Append(op Op, t, a, b, c int64, blob []byte) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrClosed
+	}
+	if j.err != nil {
+		return 0, j.err
+	}
+	r := Record{Op: op, LSN: j.lastLSN + 1, Time: t, A: a, B: b, C: c, Blob: blob}
+	j.scratch = appendFrame(j.scratch[:0], &r)
+	if j.segBytes > 0 && j.segBytes+int64(len(j.scratch)) > j.cfg.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			j.err = err
+			return 0, err
+		}
+	}
+	if _, err := j.w.Write(j.scratch); err != nil {
+		j.err = err
+		return 0, err
+	}
+	j.lastLSN = r.LSN
+	j.segBytes += int64(len(j.scratch))
+	j.dirty = true
+	j.records.Add(1)
+	j.bytes.Add(int64(len(j.scratch)))
+	return r.LSN, nil
+}
+
+// rotateLocked seals the current segment (flush + fsync + close) and opens
+// the next one. Caller holds mu.
+func (j *Journal) rotateLocked() error {
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	j.segLast[j.segIdx] = j.lastLSN
+	j.segIdx++
+	return j.openSegment()
+}
+
+// syncLocked flushes the buffer and fsyncs the current segment. Caller
+// holds mu.
+func (j *Journal) syncLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.hist.observe(time.Since(t0))
+	j.fsyncs.Add(1)
+	j.dirty = false
+	return nil
+}
+
+// Sync forces an immediate flush + fsync of all appended records.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.syncLocked(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// flusher is the group-commit loop: every FsyncEvery it fsyncs whatever
+// accumulated, so appenders never wait on the disk.
+func (j *Journal) flusher() {
+	defer close(j.done)
+	tk := time.NewTicker(j.cfg.FsyncEvery)
+	defer tk.Stop()
+	for {
+		select {
+		case <-j.stopCh:
+			return
+		case <-tk.C:
+			j.mu.Lock()
+			if j.dirty && j.err == nil && !j.closed {
+				if err := j.syncLocked(); err != nil {
+					j.err = err
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 if
+// none). With appenders quiesced it is the exact cut point for a
+// checkpoint.
+func (j *Journal) LastLSN() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastLSN
+}
+
+// WriteCheckpoint durably replaces the newest checkpoint with payload,
+// which must reflect every record with LSN <= lsn and none after. The file
+// appears atomically (write to temp, fsync, rename, fsync dir); old
+// checkpoints beyond KeepCheckpoints and the segments they fully cover are
+// then garbage-collected.
+func (j *Journal) WriteCheckpoint(lsn uint64, payload []byte) error {
+	dir := j.cfg.Dir
+	final := checkpointPath(dir, lsn)
+	tmp := final + ".tmp"
+	buf := encodeCheckpoint(lsn, payload)
+	if err := writeFileSync(tmp, buf); err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("journal: checkpoint: %w", err)
+	}
+	j.checkpoints.Add(1)
+	j.gc()
+	return nil
+}
+
+// gc prunes checkpoints beyond KeepCheckpoints and deletes sealed segments
+// whose every record is covered by the oldest kept checkpoint.
+func (j *Journal) gc() {
+	lsns, err := listCheckpoints(j.cfg.Dir)
+	if err != nil || len(lsns) == 0 {
+		return
+	}
+	// lsns sorted descending; drop everything past KeepCheckpoints.
+	keep := lsns
+	if len(keep) > j.cfg.KeepCheckpoints {
+		for _, l := range keep[j.cfg.KeepCheckpoints:] {
+			os.Remove(checkpointPath(j.cfg.Dir, l))
+		}
+		keep = keep[:j.cfg.KeepCheckpoints]
+	}
+	minKept := keep[len(keep)-1]
+	j.mu.Lock()
+	for idx, last := range j.segLast {
+		if idx != j.segIdx && last <= minKept {
+			os.Remove(segmentPath(j.cfg.Dir, idx))
+			delete(j.segLast, idx)
+		}
+	}
+	j.mu.Unlock()
+}
+
+// Close stops the flusher, fsyncs the tail, and closes the segment. It
+// does not write a checkpoint; graceful shutdown cuts one first, a crash
+// simulation skips straight here.
+func (j *Journal) Close() error {
+	j.stopOnce.Do(func() { close(j.stopCh) })
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	j.closed = true
+	if j.err == nil {
+		j.err = func() error {
+			if err := j.w.Flush(); err != nil {
+				return err
+			}
+			if err := j.f.Sync(); err != nil {
+				return err
+			}
+			return nil
+		}()
+	}
+	if cerr := j.f.Close(); j.err == nil && cerr != nil {
+		j.err = cerr
+	}
+	if j.err != nil {
+		return j.err
+	}
+	return nil
+}
+
+// Err returns the sticky I/O error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Stats snapshots the journal counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	last := j.lastLSN
+	j.mu.Unlock()
+	return Stats{
+		Records:     j.records.Load(),
+		Bytes:       j.bytes.Load(),
+		Fsyncs:      j.fsyncs.Load(),
+		Segments:    j.segments.Load(),
+		Checkpoints: j.checkpoints.Load(),
+		LastLSN:     last,
+		FsyncMeanMs: 1000 * j.hist.mean(),
+		FsyncP99Ms:  1000 * j.hist.quantile(0.99),
+	}
+}
+
+// FsyncHistogram exports the fsync-latency histogram in cumulative
+// Prometheus form (finite bounds in seconds, cumulative counts, sum in
+// seconds, total observations).
+func (j *Journal) FsyncHistogram() (bounds []float64, cum []int64, sum float64, total int64) {
+	return j.hist.export()
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// listCheckpoints returns checkpoint LSNs present in dir, newest first.
+func listCheckpoints(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, ent := range ents {
+		var lsn uint64
+		if n, _ := fmt.Sscanf(ent.Name(), "checkpoint-%d.ckpt", &lsn); n == 1 &&
+			ent.Name() == fmt.Sprintf("checkpoint-%020d.ckpt", lsn) {
+			out = append(out, lsn)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] > out[k] })
+	return out, nil
+}

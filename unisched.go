@@ -30,6 +30,7 @@ import (
 	"unisched/internal/core"
 	"unisched/internal/engine"
 	"unisched/internal/experiments"
+	"unisched/internal/journal"
 	"unisched/internal/obs"
 	"unisched/internal/profiler"
 	"unisched/internal/sched"
@@ -256,6 +257,27 @@ var (
 // constructs one scheduler per worker. Call Start, Submit pods, and Stop.
 func NewEngine(c *Cluster, factory SchedulerFactory, cfg EngineConfig) *Engine {
 	return engine.New(c, factory, cfg)
+}
+
+// Durable engine state (write-ahead placement journal + checkpoints; see
+// DESIGN.md §4g).
+type (
+	// RecoveryStats reports what OpenDurableEngine did at boot: the
+	// checkpoint it restored, the journal tail it replayed, corruption it
+	// tolerated, and the recovered state hash.
+	RecoveryStats = engine.RecoveryStats
+	// JournalStats is the journal's live counter snapshot (also exported
+	// as unisched_journal_* metrics); EngineSnapshot.Journal carries it.
+	JournalStats = journal.Stats
+)
+
+// OpenDurableEngine opens (or creates) the journal in cfg.DataDir,
+// recovers the engine state recorded there, and returns the engine ready
+// to Start. link resolves a recovered pod spec back to its application
+// (use Workload.LinkPod). With a fresh directory it behaves like
+// NewEngine plus journaling.
+func OpenDurableEngine(c *Cluster, factory SchedulerFactory, cfg EngineConfig, link func(*Pod) error) (*Engine, *RecoveryStats, error) {
+	return engine.OpenDurable(c, factory, cfg, link)
 }
 
 // Fault injection types (set SimConfig.Chaos to enable).

@@ -2,6 +2,7 @@ package unisched_test
 
 import (
 	"testing"
+	"time"
 
 	"unisched"
 )
@@ -90,5 +91,59 @@ func TestFacadeWorkloadIO(t *testing.T) {
 	}
 	if len(got.Pods) != len(w.Pods) {
 		t.Fatal("round trip changed pod count")
+	}
+}
+
+// TestFacadeDurableEngine drives the durable-engine surface through the
+// facade: open, run, stop, reopen, and check the recovered hash.
+func TestFacadeDurableEngine(t *testing.T) {
+	cfg := unisched.SmallWorkload()
+	cfg.NumNodes = 8
+	cfg.Horizon = 1800
+	w := unisched.MustGenerateWorkload(cfg)
+	dir := t.TempDir()
+
+	ecfg := unisched.EngineConfig{
+		Workers: 2, Shards: 4, Horizon: w.Horizon,
+		DataDir: dir, CheckpointEvery: 5, FsyncEvery: time.Millisecond,
+	}
+	factory := func(c *unisched.Cluster, worker int, seed int64) unisched.Scheduler {
+		return unisched.NewAlibabaScheduler(c, seed)
+	}
+	c := unisched.NewCluster(w)
+	e, rs, err := unisched.OpenDurableEngine(c, factory, ecfg, w.LinkPod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.StateHash == "" {
+		t.Fatal("no state hash on a fresh open")
+	}
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("submit %d: %v", p.ID, err)
+		}
+	}
+	e.Drain(time.Minute)
+	e.Stop()
+	final := e.StateHash()
+	sn := e.Snapshot()
+	if sn.Journal == nil || sn.Journal.Records == 0 {
+		t.Fatal("durable engine journaled nothing")
+	}
+
+	c2 := unisched.NewCluster(w)
+	e2, rs2, err := unisched.OpenDurableEngine(c2, factory, ecfg, w.LinkPod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Stop()
+	if rs2.StateHash != final {
+		t.Fatalf("recovered hash %s != final %s", rs2.StateHash, final)
+	}
+	for _, p := range w.Pods {
+		if err := e2.Submit(p); err != unisched.ErrDuplicatePod {
+			t.Fatalf("resubmit %d after recovery: %v, want duplicate", p.ID, err)
+		}
 	}
 }
