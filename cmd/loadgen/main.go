@@ -35,6 +35,11 @@
 // duplicated submissions. Then it shuts the daemon down gracefully,
 // restarts it once more, and checks the recovered state hash is
 // bit-identical to the pre-shutdown one.
+//
+// Multi-tenant mode (-tenant-tokens, against unischedd -quota) replays
+// the workload as the first tenant while the remaining tenants play
+// adversaries; see tenants.go for the adversarial protocol and the
+// -quota-check starvation-resistance assertion.
 package main
 
 import (
@@ -75,10 +80,17 @@ func main() {
 			"after the replay, scrape /metrics, /v1/debug/decisions, and /v1/metrics/history and fail on malformed or empty output")
 		daemonPath = flag.String("daemon", "",
 			"path to the unischedd binary: loadgen manages the server itself and runs the crash-recovery chaos protocol")
-		dataDir   = flag.String("data-dir", "", "daemon durability directory (chaos mode; default: a temp dir)")
-		killAfter = flag.Int("chaos-kill-after", 200, "kill -9 the daemon after this many accepted submissions (chaos mode)")
+		dataDir    = flag.String("data-dir", "", "daemon durability directory (chaos mode; default: a temp dir)")
+		killAfter  = flag.Int("chaos-kill-after", 200, "kill -9 the daemon after this many accepted submissions (chaos mode)")
+		tenantToks = flag.String("tenant-tokens", "",
+			"comma-separated name=token list enabling multi-tenant mode; the first tenant is the guaranteed primary, the rest are adversaries")
+		adversarial = flag.Bool("adversarial", false,
+			"flood the server with every adversary tenant's cloned BE pods before the primary replay (multi-tenant mode)")
+		quotaFrac = flag.Float64("quota-check", 0,
+			"assert the primary tenant's peak placed CPU reaches this fraction of min(guarantee, demand) and that quota preemptions fired; 0 disables")
 	)
 	flag.Parse()
+	seedJitter(*seed)
 
 	var w *trace.Workload
 	var err error
@@ -112,6 +124,23 @@ func main() {
 		return
 	}
 
+	if *tenantToks != "" {
+		tenants, err := parseTenantTokens(*tenantToks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runMultiTenant(mtConfig{
+			addr:        *addr,
+			clients:     *clients,
+			retries:     *retries,
+			timeout:     *timeout,
+			tenants:     tenants,
+			adversarial: *adversarial,
+			quotaFrac:   *quotaFrac,
+		}, pods)
+		return
+	}
+
 	log.Printf("replaying %d pods against %s with %d clients (speedup %g)",
 		len(pods), *addr, *clients, *speedup)
 
@@ -125,7 +154,7 @@ func main() {
 		go func(res *clientResult) {
 			defer wg.Done()
 			for p := range work {
-				postPod(hc, *addr, p, res, *retries)
+				postPod(hc, *addr, p, res, *retries, "")
 			}
 		}(&results[i])
 	}
@@ -276,6 +305,17 @@ func (r *clientResult) merge(o *clientResult) {
 	r.lat = append(r.lat, o.lat...)
 }
 
+// jitterSrc is the retry-jitter source, seeded from -seed so two loadgen
+// runs with the same seed draw the same backoff schedule. A mutex guards
+// it: *rand.Rand is not goroutine-safe and every client retries through
+// here.
+var (
+	jitterMu  sync.Mutex
+	jitterSrc = rand.New(rand.NewSource(1))
+)
+
+func seedJitter(seed int64) { jitterSrc = rand.New(rand.NewSource(seed)) }
+
 // retryBackoff is the capped, jittered exponential backoff between
 // submission attempts: 50ms·2ⁿ, capped at 2s, ±25% jitter so a restarting
 // server is not hit by synchronized client retries.
@@ -284,23 +324,35 @@ func retryBackoff(attempt int) time.Duration {
 	if d > 2*time.Second {
 		d = 2 * time.Second
 	}
-	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
-	return d + jitter
+	jitterMu.Lock()
+	j := jitterSrc.Int63n(int64(d)/2 + 1)
+	jitterMu.Unlock()
+	return d + time.Duration(j) - d/4
 }
 
 // postPod submits one pod, retrying transport errors (connection refused
 // or reset while the server restarts) and 5xx responses. Each attempt
 // rebuilds the request body; submission is idempotent server-side, so a
-// retried request that already landed just answers 409 duplicate.
-func postPod(hc *http.Client, addr string, p *trace.Pod, res *clientResult, retries int) {
+// retried request that already landed just answers 409 duplicate. token,
+// when non-empty, is sent as a bearer token (multi-tenant mode).
+func postPod(hc *http.Client, addr string, p *trace.Pod, res *clientResult, retries int, token string) {
 	body, err := json.Marshal(p)
 	if err != nil {
 		res.errors++
 		return
 	}
 	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest("POST", addr+"/v1/pods", bytes.NewReader(body))
+		if err != nil {
+			res.errors++
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
 		t0 := time.Now()
-		resp, err := hc.Post(addr+"/v1/pods", "application/json", bytes.NewReader(body))
+		resp, err := hc.Do(req)
 		res.lat = append(res.lat, time.Since(t0))
 		if err == nil {
 			code := resp.StatusCode
@@ -342,6 +394,8 @@ type metricsView struct {
 	CommitConflicts  int64            `json:"commit_conflicts"`
 	PlacementsPerSec float64          `json:"placements_per_sec"`
 	DecisionP99Ms    float64          `json:"decision_p99_ms"`
+	QuotaShed        int64            `json:"quota_shed"`
+	QuotaPreempted   int64            `json:"quota_preempted"`
 	States           map[string]int64 `json:"states"`
 }
 
@@ -491,7 +545,7 @@ func submitAll(hc *http.Client, addr string, pods []*trace.Pod, clients, retries
 			defer wg.Done()
 			for p := range work {
 				before := res.accepted
-				postPod(hc, addr, p, res, retries)
+				postPod(hc, addr, p, res, retries, "")
 				if res.accepted > before && stopAfterAccepted > 0 {
 					mu.Lock()
 					accepted++

@@ -1,0 +1,235 @@
+package main
+
+// Multi-tenant adversarial mode: loadgen plays N tenants against one
+// unischedd running with -quota. The first tenant in -tenant-tokens is the
+// guaranteed primary; every other tenant is an adversary. With
+// -adversarial the adversaries first flood the server with clones of the
+// workload's best-effort pods (IDs remapped into disjoint ranges), and
+// only then does the primary replay the real workload — the worst case for
+// the primary's guarantee. While the engine works, loadgen polls
+// /v1/quotas and tracks the primary's peak placed CPU; -quota-check
+// asserts the peak reached the configured fraction of
+// min(guarantee, demand) and that cross-queue quota preemptions fired —
+// the end-to-end starvation-resistance proof.
+//
+//	unischedd -quota quota.json -nodes 16 -hours 2 -seed 7 &
+//	loadgen -nodes 16 -hours 2 -seed 7 \
+//	        -tenant-tokens "prod=tokA,spike=tokB,flood=tokC" \
+//	        -adversarial -quota-check 0.5
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"unisched/internal/quota"
+	"unisched/internal/trace"
+)
+
+// tenantSpec is one -tenant-tokens entry.
+type tenantSpec struct {
+	name  string
+	token string
+}
+
+func parseTenantTokens(s string) ([]tenantSpec, error) {
+	var out []tenantSpec
+	for _, part := range strings.Split(s, ",") {
+		name, tok, ok := strings.Cut(part, "=")
+		if !ok || name == "" || tok == "" {
+			return nil, fmt.Errorf("bad -tenant-tokens entry %q (want name=token)", part)
+		}
+		out = append(out, tenantSpec{name: name, token: tok})
+	}
+	return out, nil
+}
+
+type mtConfig struct {
+	addr        string
+	clients     int
+	retries     int
+	timeout     time.Duration
+	tenants     []tenantSpec
+	adversarial bool
+	quotaFrac   float64
+}
+
+// mtSub is one pod to submit under one tenant's token.
+type mtSub struct {
+	p     *trace.Pod
+	token string
+}
+
+// advIDStride separates each adversary's cloned pod IDs from the original
+// workload's and from each other's.
+const advIDStride = 10_000_000
+
+// submitSubs pushes a batch through the client pool and returns the tally.
+func submitSubs(hc *http.Client, addr string, subs []mtSub, clients, retries int) clientResult {
+	work := make(chan mtSub, 4*clients)
+	results := make([]clientResult, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(res *clientResult) {
+			defer wg.Done()
+			for s := range work {
+				postPod(hc, addr, s.p, res, retries, s.token)
+			}
+		}(&results[i])
+	}
+	for _, s := range subs {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	var total clientResult
+	for i := range results {
+		total.merge(&results[i])
+	}
+	return total
+}
+
+// fetchTenantQuota reads the primary tenant's placed and guaranteed CPU
+// from /v1/quotas.
+func fetchTenantQuota(hc *http.Client, addr, token, tenant string) (placed, guaranteed float64, err error) {
+	req, err := http.NewRequest("GET", addr+"/v1/quotas", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("/v1/quotas: HTTP %d", resp.StatusCode)
+	}
+	var snap quota.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, 0, err
+	}
+	for _, tn := range snap.Root.Children {
+		if tn.Name == tenant {
+			return tn.Placed.CPU, tn.Guaranteed.CPU, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("/v1/quotas: tenant %q not in snapshot", tenant)
+}
+
+func runMultiTenant(cfg mtConfig, pods []*trace.Pod) {
+	if len(cfg.tenants) < 2 {
+		log.Fatal("FAIL: multi-tenant mode needs at least a primary and one adversary in -tenant-tokens")
+	}
+	primary, adversaries := cfg.tenants[0], cfg.tenants[1:]
+	hc := &http.Client{Timeout: 30 * time.Second}
+
+	// Adversary flood: clones of every BE pod per adversary, IDs remapped
+	// into disjoint ranges. Tenant attribution comes from the token
+	// server-side; the spec fields just keep the intent readable.
+	var flood []mtSub
+	if cfg.adversarial {
+		for i, adv := range adversaries {
+			for _, p := range pods {
+				if p.SLO != trace.SLOBE {
+					continue
+				}
+				q := *p
+				q.ID = p.ID + (i+1)*advIDStride
+				q.Tenant = adv.name
+				flood = append(flood, mtSub{p: &q, token: adv.token})
+			}
+		}
+	}
+	primarySubs := make([]mtSub, 0, len(pods))
+	var demandCPU float64
+	for _, p := range pods {
+		q := *p
+		q.Tenant = primary.name
+		primarySubs = append(primarySubs, mtSub{p: &q, token: primary.token})
+		demandCPU += p.Request.CPU
+	}
+
+	log.Printf("multi-tenant: primary %q replays %d pods against %d adversaries (flood %d BE clones)",
+		primary.name, len(primarySubs), len(adversaries), len(flood))
+
+	floodRes := submitSubs(hc, cfg.addr, flood, cfg.clients, cfg.retries)
+	if len(flood) > 0 {
+		fmt.Printf("adversary flood: accepted %d, shed %d, errors %d\n",
+			floodRes.accepted, floodRes.shed, floodRes.errors)
+	}
+	primRes := submitSubs(hc, cfg.addr, primarySubs, cfg.clients, cfg.retries)
+	fmt.Printf("primary replay: accepted %d, shed %d, duplicate %d, errors %d\n",
+		primRes.accepted, primRes.shed, primRes.dup, primRes.errors)
+
+	// Poll until the engine settles, tracking the primary's peak placed
+	// CPU — the guarantee must be reached while the adversaries still hold
+	// the cluster, which only a mid-run sample can witness.
+	var peak, guarantee float64
+	var sn metricsView
+	settled := false
+	deadline := time.Now().Add(cfg.timeout)
+	for {
+		if placed, g, err := fetchTenantQuota(hc, cfg.addr, primary.token, primary.name); err == nil {
+			guarantee = g
+			if placed > peak {
+				peak = placed
+			}
+		} else {
+			log.Printf("quota poll: %v", err)
+		}
+		m, err := fetchMetrics(hc, cfg.addr)
+		if err == nil {
+			sn = m
+			if m.Pending == 0 {
+				settled = true
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	lost := sn.Submitted
+	for _, v := range sn.States {
+		lost -= v
+	}
+	fmt.Printf("server: placed %d, shed %d (quota %d), quota preemptions %d, pending %d\n",
+		sn.Placed, sn.Shed, sn.QuotaShed, sn.QuotaPreempted, sn.Pending)
+	fmt.Printf("primary %q: peak placed %.2f CPU of %.2f guaranteed (demand %.2f)\n",
+		primary.name, peak, guarantee, demandCPU)
+
+	switch {
+	case floodRes.errors+primRes.errors > 0:
+		log.Fatalf("FAIL: %d transport errors", floodRes.errors+primRes.errors)
+	case lost != 0:
+		log.Fatalf("FAIL: %d submissions lost (states %v)", lost, sn.States)
+	case !settled:
+		log.Printf("WARN: engine still working after %v (pending %d); conservation holds", cfg.timeout, sn.Pending)
+	}
+
+	if cfg.quotaFrac > 0 {
+		want := guarantee
+		if demandCPU < want {
+			want = demandCPU
+		}
+		want *= cfg.quotaFrac
+		if peak < want {
+			log.Fatalf("FAIL: primary %q peaked at %.2f placed CPU, want >= %.2f (%.0f%% of min(guarantee %.2f, demand %.2f)) — starved by adversaries",
+				primary.name, peak, want, 100*cfg.quotaFrac, guarantee, demandCPU)
+		}
+		if cfg.adversarial && sn.QuotaPreempted == 0 {
+			log.Fatal("FAIL: adversarial run finished without a single cross-queue quota preemption")
+		}
+		fmt.Printf("OK: primary reached %.2f CPU (>= %.2f required), %d quota preemptions\n",
+			peak, want, sn.QuotaPreempted)
+	}
+	fmt.Println("OK: multi-tenant replay complete, zero lost submissions")
+}

@@ -28,6 +28,16 @@
 //	GET  /v1/debug/decisions        sampled decision traces (?last=N,
 //	                                ?outcome=placed|failed|...)
 //	GET  /v1/debug/decisions/{id}   traces for one pod
+//	GET  /v1/quotas                 quota-tree snapshot (any valid token)
+//	PUT  /v1/quotas/{tenant}        create/update a tenant quota (admin)
+//	DELETE /v1/quotas/{tenant}      delete a drained tenant quota (admin)
+//
+// With -quota FILE the daemon runs multi-tenant: the file declares an
+// admin token plus per-tenant bearer tokens and quota caps, POST /v1/pods
+// requires a token (the token decides the tenant attribution), the quota
+// CRUD endpoints require the admin token, and /metrics gains per-tenant
+// series. Quota changes made through the API are journaled (with
+// -data-dir), so a restart restores the edited tree, not the file.
 //
 // With -data-dir set the engine runs durably: every admission, placement,
 // and removal is journaled before it is acknowledged, checkpoints are cut
@@ -66,6 +76,7 @@ import (
 	"unisched/internal/engine"
 	"unisched/internal/obs"
 	"unisched/internal/profiler"
+	"unisched/internal/quota"
 	"unisched/internal/sched"
 	"unisched/internal/sim"
 	"unisched/internal/trace"
@@ -106,6 +117,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 		fsyncEvry = fs.Duration("fsync-every", 10*time.Millisecond, "journal group-commit interval (with -data-dir)")
 		debugAddr = fs.String("debug-addr", "",
 			"serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
+		quotaPath = fs.String("quota", "",
+			"multi-tenant quota file (admin token, tenants with tokens and caps); empty runs single-tenant and open")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -158,6 +171,17 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 	if *chaosRun {
 		cfg.Chaos = chaos.NewInjector(*seed, nil, chaos.DefaultRates())
 	}
+	var auth *tenantAuth
+	if *quotaPath != "" {
+		qt, a, err := loadQuotaConfig(*quotaPath)
+		if err != nil {
+			logger.Error("quota config load failed", "err", err)
+			return 1
+		}
+		cfg.Quota = qt
+		auth = a
+		logger.Info("multi-tenant mode", "tenants", qt.Tenants(), "config_hash", qt.ConfigHash())
+	}
 
 	// ready gates /readyz: false until recovery finishes and the workers
 	// run, false again the moment shutdown starts so load balancers drain
@@ -185,7 +209,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 		logger.Error("listen failed", "err", err, "addr", *addr)
 		return 1
 	}
-	srv := &http.Server{Handler: logRequests(logger, newAPI(e, w, &ready))}
+	srv := &http.Server{Handler: logRequests(logger, newAPI(e, w, &ready, auth))}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	if onListen != nil {
@@ -321,12 +345,15 @@ type api struct {
 	e     *engine.Engine
 	w     *trace.Workload
 	ready *atomic.Bool
+	// auth is the bearer-token authenticator; nil in single-tenant open
+	// mode.
+	auth *tenantAuth
 	// nextID assigns IDs to submissions that arrive without one.
 	nextID atomic.Int64
 }
 
-func newAPI(e *engine.Engine, w *trace.Workload, ready *atomic.Bool) http.Handler {
-	a := &api{e: e, w: w, ready: ready}
+func newAPI(e *engine.Engine, w *trace.Workload, ready *atomic.Bool, auth *tenantAuth) http.Handler {
+	a := &api{e: e, w: w, ready: ready, auth: auth}
 	max := int64(0)
 	for _, p := range w.Pods {
 		if int64(p.ID) >= max {
@@ -349,6 +376,9 @@ func newAPI(e *engine.Engine, w *trace.Workload, ready *atomic.Bool) http.Handle
 	mux.HandleFunc("GET /v1/metrics/history", a.getHistory)
 	mux.HandleFunc("GET /v1/debug/decisions", a.getDecisions)
 	mux.HandleFunc("GET /v1/debug/decisions/{id}", a.getPodDecisions)
+	mux.HandleFunc("GET /v1/quotas", a.getQuotas)
+	mux.HandleFunc("PUT /v1/quotas/{tenant}", a.putQuota)
+	mux.HandleFunc("DELETE /v1/quotas/{tenant}", a.deleteQuota)
 	return mux
 }
 
@@ -368,12 +398,22 @@ type submitResponse struct {
 }
 
 func (a *api) submitPod(rw http.ResponseWriter, r *http.Request) {
+	tenant, admin, ok := a.requireAuth(rw, r)
+	if !ok {
+		return
+	}
 	var p trace.Pod
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&p); err != nil {
 		writeJSON(rw, http.StatusBadRequest, submitResponse{Status: "rejected", Error: err.Error()})
 		return
+	}
+	if a.auth != nil && !admin {
+		// The token decides the tenant: a spec claiming another tenant is
+		// overridden, never trusted. Admin submissions keep the spec's
+		// attribution (loadgen's adversarial mode uses this).
+		p.Tenant = tenant
 	}
 	if p.ID < 0 {
 		p.ID = int(a.nextID.Add(1))
@@ -393,6 +433,10 @@ func (a *api) submitPod(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusAccepted, submitResponse{ID: p.ID, Status: "queued"})
 	case errors.Is(err, engine.ErrQueueFull):
 		writeJSON(rw, http.StatusTooManyRequests, submitResponse{ID: p.ID, Status: "shed", Error: err.Error()})
+	case errors.Is(err, quota.ErrOverMax):
+		writeJSON(rw, http.StatusTooManyRequests, submitResponse{ID: p.ID, Status: "shed", Error: err.Error()})
+	case errors.Is(err, quota.ErrUnknownTenant), errors.Is(err, quota.ErrUnknownQueue):
+		writeJSON(rw, http.StatusBadRequest, submitResponse{ID: p.ID, Status: "rejected", Error: err.Error()})
 	case errors.Is(err, engine.ErrDuplicate):
 		writeJSON(rw, http.StatusConflict, submitResponse{ID: p.ID, Status: "duplicate", Error: err.Error()})
 	default:

@@ -17,7 +17,7 @@ import (
 // startRun boots the daemon in-process on an ephemeral port and returns
 // its base URL, the exit-code channel, and the cancel func that stands in
 // for SIGTERM.
-func startRun(t *testing.T, dataDir string, stdout io.Writer) (string, chan int, context.CancelFunc) {
+func startRun(t *testing.T, dataDir string, stdout io.Writer, extra ...string) (string, chan int, context.CancelFunc) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	args := []string{
@@ -30,6 +30,7 @@ func startRun(t *testing.T, dataDir string, stdout io.Writer) (string, chan int,
 		"-checkpoint-every", "10",
 		"-fsync-every", "1ms",
 	}
+	args = append(args, extra...)
 	addrCh := make(chan string, 1)
 	codeCh := make(chan int, 1)
 	go func() {

@@ -1,0 +1,201 @@
+package main
+
+// Multi-tenant surface: bearer-token authentication and the /v1/quotas
+// CRUD API. The -quota flag points at a JSON file declaring the admin
+// token, the default tenant, and one entry per tenant with its token and
+// quota caps; the file both seeds the engine's quota tree and defines who
+// may submit as whom. Without -quota the daemon runs single-tenant and
+// open, exactly as before.
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"unisched/internal/engine"
+	"unisched/internal/quota"
+	"unisched/internal/trace"
+)
+
+// quotaFileTenant is one tenant entry in the -quota file.
+type quotaFileTenant struct {
+	Name string `json:"name"`
+	// Token is the tenant's bearer token; submissions carrying it are
+	// attributed to this tenant, whatever the pod spec claims.
+	Token      string              `json:"token"`
+	Guaranteed trace.Resources     `json:"guaranteed"`
+	Max        trace.Resources     `json:"max,omitempty"`
+	Queues     []quota.QueueConfig `json:"queues,omitempty"`
+}
+
+// quotaFile is the -quota file layout.
+type quotaFile struct {
+	// AdminToken authorizes quota CRUD and may submit on any tenant's
+	// behalf.
+	AdminToken    string            `json:"admin_token"`
+	DefaultTenant string            `json:"default_tenant,omitempty"`
+	Tenants       []quotaFileTenant `json:"tenants"`
+}
+
+// tenantAuth authenticates bearer tokens against the -quota file.
+type tenantAuth struct {
+	admin string
+	// byTenant maps tenant name to its token; lookups iterate so every
+	// comparison is constant-time.
+	byTenant map[string]string
+}
+
+// loadQuotaConfig reads the -quota file and returns the quota tree plus
+// the authenticator.
+func loadQuotaConfig(path string) (*quota.Tree, *tenantAuth, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var qf quotaFile
+	if err := json.Unmarshal(raw, &qf); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if qf.AdminToken == "" {
+		return nil, nil, fmt.Errorf("%s: admin_token is required", path)
+	}
+	cfg := quota.Config{DefaultTenant: qf.DefaultTenant}
+	auth := &tenantAuth{admin: qf.AdminToken, byTenant: make(map[string]string)}
+	for _, t := range qf.Tenants {
+		cfg.Tenants = append(cfg.Tenants, quota.TenantConfig{
+			Name: t.Name, Guaranteed: t.Guaranteed, Max: t.Max, Queues: t.Queues,
+		})
+		if t.Token == "" {
+			return nil, nil, fmt.Errorf("%s: tenant %q has no token", path, t.Name)
+		}
+		if t.Token == qf.AdminToken {
+			return nil, nil, fmt.Errorf("%s: tenant %q reuses the admin token", path, t.Name)
+		}
+		if _, dup := auth.byTenant[t.Name]; dup {
+			return nil, nil, fmt.Errorf("%s: tenant %q declared twice", path, t.Name)
+		}
+		auth.byTenant[t.Name] = t.Token
+	}
+	qt, err := quota.New(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return qt, auth, nil
+}
+
+var errBadToken = errors.New("missing or unknown bearer token")
+
+// authenticate resolves the request's Authorization header. It returns the
+// authenticated tenant name ("" with admin=true for the admin token).
+func (ta *tenantAuth) authenticate(r *http.Request) (tenant string, admin bool, err error) {
+	h := r.Header.Get("Authorization")
+	tok, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok || tok == "" {
+		return "", false, errBadToken
+	}
+	if subtle.ConstantTimeCompare([]byte(tok), []byte(ta.admin)) == 1 {
+		return "", true, nil
+	}
+	// Compare against every tenant token so timing does not reveal which
+	// tenants exist; the map is small (tens of tenants).
+	match := ""
+	for name, t := range ta.byTenant {
+		if subtle.ConstantTimeCompare([]byte(tok), []byte(t)) == 1 {
+			match = name
+		}
+	}
+	if match == "" {
+		return "", false, errBadToken
+	}
+	return match, false, nil
+}
+
+// requireAuth authenticates or writes a 401. The boolean reports success.
+func (a *api) requireAuth(rw http.ResponseWriter, r *http.Request) (string, bool, bool) {
+	if a.auth == nil {
+		return "", true, true // open mode: everyone is admin
+	}
+	tenant, admin, err := a.auth.authenticate(r)
+	if err != nil {
+		rw.Header().Set("WWW-Authenticate", `Bearer realm="unischedd"`)
+		http.Error(rw, err.Error(), http.StatusUnauthorized)
+		return "", false, false
+	}
+	return tenant, admin, true
+}
+
+// getQuotas serves GET /v1/quotas: the full tree snapshot with usage and
+// fair shares. Any valid token (or open mode) may read it.
+func (a *api) getQuotas(rw http.ResponseWriter, r *http.Request) {
+	if _, _, ok := a.requireAuth(rw, r); !ok {
+		return
+	}
+	snap, err := a.e.QuotaSnapshot()
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(rw, http.StatusOK, snap)
+}
+
+// putQuota serves PUT /v1/quotas/{tenant}: create or update one tenant
+// subtree. Admin only; the path names the tenant and wins over the body.
+func (a *api) putQuota(rw http.ResponseWriter, r *http.Request) {
+	_, admin, ok := a.requireAuth(rw, r)
+	if !ok {
+		return
+	}
+	if !admin {
+		http.Error(rw, "admin token required", http.StatusForbidden)
+		return
+	}
+	var cfg quota.TenantConfig
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	name := r.PathValue("tenant")
+	if cfg.Name != "" && cfg.Name != name {
+		http.Error(rw, "body tenant name does not match the path", http.StatusBadRequest)
+		return
+	}
+	cfg.Name = name
+	switch err := a.e.SetTenantQuota(cfg); {
+	case err == nil:
+		snap, _ := a.e.QuotaSnapshot()
+		writeJSON(rw, http.StatusOK, snap)
+	case errors.Is(err, engine.ErrNoQuota):
+		http.Error(rw, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// deleteQuota serves DELETE /v1/quotas/{tenant}. Admin only; a tenant
+// still holding admitted usage fails with 409.
+func (a *api) deleteQuota(rw http.ResponseWriter, r *http.Request) {
+	_, admin, ok := a.requireAuth(rw, r)
+	if !ok {
+		return
+	}
+	if !admin {
+		http.Error(rw, "admin token required", http.StatusForbidden)
+		return
+	}
+	switch err := a.e.DeleteTenantQuota(r.PathValue("tenant")); {
+	case err == nil:
+		rw.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, quota.ErrInUse):
+		http.Error(rw, err.Error(), http.StatusConflict)
+	case errors.Is(err, quota.ErrUnknownTenant), errors.Is(err, engine.ErrNoQuota):
+		http.Error(rw, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+	}
+}

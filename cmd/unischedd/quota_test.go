@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"unisched/internal/quota"
+	"unisched/internal/trace"
+)
+
+func writeQuotaFile(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "quota.json")
+	cfg := `{
+  "admin_token": "admin-secret",
+  "default_tenant": "shared",
+  "tenants": [
+    {"name": "shared", "token": "tok-shared", "guaranteed": {"cpu": 4, "mem": 16}},
+    {"name": "prod", "token": "tok-prod", "guaranteed": {"cpu": 8, "mem": 32},
+     "max": {"cpu": 16, "mem": 64},
+     "queues": [{"name": "web", "guaranteed": {"cpu": 4, "mem": 16}}]}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadQuotaConfig(t *testing.T) {
+	path := writeQuotaFile(t, t.TempDir())
+	qt, auth, err := loadQuotaConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := qt.Tenants(); len(got) != 2 || got[0] != "prod" || got[1] != "shared" {
+		t.Fatalf("tenants = %v", got)
+	}
+	if _, err := qt.Resolve("prod", "web"); err != nil {
+		t.Fatalf("prod/web does not resolve: %v", err)
+	}
+
+	check := func(token, wantTenant string, wantAdmin, wantErr bool) {
+		t.Helper()
+		r := httptest.NewRequest("GET", "/", nil)
+		if token != "" {
+			r.Header.Set("Authorization", "Bearer "+token)
+		}
+		tenant, admin, err := auth.authenticate(r)
+		if (err != nil) != wantErr || tenant != wantTenant || admin != wantAdmin {
+			t.Fatalf("authenticate(%q) = (%q, %v, %v), want (%q, %v, err=%v)",
+				token, tenant, admin, err, wantTenant, wantAdmin, wantErr)
+		}
+	}
+	check("admin-secret", "", true, false)
+	check("tok-prod", "prod", false, false)
+	check("tok-shared", "shared", false, false)
+	check("wrong", "", false, true)
+	check("", "", false, true)
+}
+
+func TestLoadQuotaConfigRejects(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"no-admin":    `{"tenants": [{"name": "a", "token": "x"}]}`,
+		"no-token":    `{"admin_token": "a", "tenants": [{"name": "a"}]}`,
+		"admin-reuse": `{"admin_token": "a", "tenants": [{"name": "t", "token": "a"}]}`,
+		"bad-quota":   `{"admin_token": "a", "tenants": [{"name": "t", "token": "x", "guaranteed": {"cpu": 4}, "max": {"cpu": 2}}]}`,
+	} {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := loadQuotaConfig(path); err == nil {
+			t.Errorf("%s: load succeeded, want error", name)
+		}
+	}
+}
+
+// do issues one request with a bearer token and returns status + body.
+func do(t *testing.T, hc *http.Client, method, url, token string, body string) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestRunMultiTenant boots the daemon with a quota file and drives the
+// whole multi-tenant surface end to end: token-gated submission with
+// attribution override, the /v1/quotas CRUD (401/403/409 paths included),
+// per-tenant /metrics series, and CRUD durability across a restart.
+func TestRunMultiTenant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon cycle takes seconds")
+	}
+	dir := t.TempDir()
+	qpath := writeQuotaFile(t, dir)
+	dataDir := filepath.Join(dir, "data")
+
+	var out1 bytes.Buffer
+	base, codeCh, cancel := startRun(t, dataDir, &out1, "-quota", qpath)
+	hc := &http.Client{Timeout: 5 * time.Second}
+
+	// Unauthenticated: submission and quota reads both 401.
+	if code, _ := do(t, hc, "POST", base+"/v1/pods", "", `{"id": -1}`); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated submit = %d, want 401", code)
+	}
+	if code, _ := do(t, hc, "GET", base+"/v1/quotas", "", ""); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated quota read = %d, want 401", code)
+	}
+
+	// A tenant token submits; the spec's claimed tenant is overridden by
+	// the token's. The pod spec comes from the same catalogue the daemon
+	// generated (same seed/nodes/horizon), so linking succeeds.
+	wcfg := trace.DefaultConfig()
+	wcfg.Seed = 3
+	wcfg.NumNodes = 8
+	wcfg.Horizon = 3600
+	w, err := trace.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := *w.Pods[0]
+	spec.ID = 9_000_001
+	spec.Tenant = "shared" // the token must override this claim
+	specJSON, _ := json.Marshal(&spec)
+	code, body := do(t, hc, "POST", base+"/v1/pods", "tok-prod", string(specJSON))
+	if code != http.StatusAccepted {
+		t.Fatalf("tenant submit = %d (%s), want 202", code, body)
+	}
+
+	// The snapshot must show the admission charged to prod (the token's
+	// tenant), not shared (the spec's claim).
+	code, body = do(t, hc, "GET", base+"/v1/quotas", "tok-shared", "")
+	if code != http.StatusOK {
+		t.Fatalf("quota read = %d, want 200", code)
+	}
+	var snap quota.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	var prodAdmitted, sharedAdmitted float64
+	for _, tn := range snap.Root.Children {
+		switch tn.Name {
+		case "prod":
+			prodAdmitted = tn.Admitted.CPU
+		case "shared":
+			sharedAdmitted = tn.Admitted.CPU
+		}
+	}
+	if prodAdmitted != spec.Request.CPU || sharedAdmitted != 0 {
+		t.Fatalf("admitted cpu: prod=%v shared=%v, want prod=%v shared=0 (token must override spec)",
+			prodAdmitted, sharedAdmitted, spec.Request.CPU)
+	}
+
+	// CRUD is admin-only.
+	newTenant := `{"guaranteed": {"cpu": 2, "mem": 8}, "max": {"cpu": 4, "mem": 16}}`
+	if code, _ := do(t, hc, "PUT", base+"/v1/quotas/batchco", "tok-prod", newTenant); code != http.StatusForbidden {
+		t.Fatalf("tenant-token PUT = %d, want 403", code)
+	}
+	if code, body := do(t, hc, "PUT", base+"/v1/quotas/batchco", "admin-secret", newTenant); code != http.StatusOK {
+		t.Fatalf("admin PUT = %d (%s), want 200", code, body)
+	}
+	// Deleting a tenant with admitted usage conflicts; deleting the fresh
+	// one succeeds.
+	if code, _ := do(t, hc, "DELETE", base+"/v1/quotas/prod", "admin-secret", ""); code != http.StatusConflict {
+		t.Fatalf("DELETE in-use tenant = %d, want 409", code)
+	}
+	if code, _ := do(t, hc, "DELETE", base+"/v1/quotas/batchco", "tok-shared", ""); code != http.StatusForbidden {
+		t.Fatalf("tenant-token DELETE = %d, want 403", code)
+	}
+	// Re-create batchco so the restart check below can find it.
+	if code, _ := do(t, hc, "PUT", base+"/v1/quotas/batchco", "admin-secret", newTenant); code != http.StatusOK {
+		t.Fatal("re-create batchco failed")
+	}
+
+	// /metrics carries per-tenant series.
+	code, body = do(t, hc, "GET", base+"/metrics", "", "")
+	if code != http.StatusOK || !strings.Contains(body, `unisched_tenant_guaranteed_cpu{tenant="prod"}`) {
+		t.Fatalf("/metrics lacks per-tenant series (code %d)", code)
+	}
+
+	cancel()
+	select {
+	case c := <-codeCh:
+		if c != 0 {
+			t.Fatalf("run exited %d", c)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit")
+	}
+
+	// Restart on the same data dir: the journaled tree (with batchco) must
+	// win over the quota file (without it).
+	var out2 bytes.Buffer
+	base2, codeCh2, cancel2 := startRun(t, dataDir, &out2, "-quota", qpath)
+	code, body = do(t, hc, "GET", base2+"/v1/quotas", "admin-secret", "")
+	if code != http.StatusOK || !strings.Contains(body, `"batchco"`) {
+		t.Fatalf("restart lost the journaled tenant batchco (code %d):\n%s", code, body)
+	}
+	cancel2()
+	select {
+	case c := <-codeCh2:
+		if c != 0 {
+			t.Fatalf("second run exited %d", c)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("second run did not exit")
+	}
+}

@@ -26,6 +26,10 @@ package engine
 //     one process lifetime; they restart at zero.
 //   - Queue order across concurrently-admitted pods: membership and lane
 //     assignment are exact; the interleaving of racing Submits is not.
+//   - Per-tenant outcome counters on the quota tree (placed/shed/
+//     preempted pods): process-local diagnostics. The tree's config and
+//     usage vectors ARE durable — config via checkpoint + OpQuota replay,
+//     usage recharged from the restored pod records.
 //
 // Locking protocol: checkpoint assembly takes ckptMu exclusively FIRST,
 // then every store shard, podMu, recMu, wMu, exMu (and the queue lock via
@@ -50,6 +54,7 @@ import (
 
 	"unisched/internal/cluster"
 	"unisched/internal/journal"
+	"unisched/internal/quota"
 	"unisched/internal/sched"
 	"unisched/internal/trace"
 )
@@ -67,15 +72,31 @@ const (
 	// jumpFlag marks a chaos displacement (vs a BE preemption), which lets
 	// latency-sensitive pods jump the queue on re-admission.
 	jumpFlag int64 = 1 << 16
+	// quotaFlag marks a cross-queue quota eviction (an over-quota tenant's
+	// BE pod removed for an under-guaranteed tenant).
+	quotaFlag int64 = 1 << 17
 
 	// OpShed B values.
 	shedBackpressure int64 = 0
 	shedClosed       int64 = 1
+	// shedQuota marks a submission shed by the quota gate (over max).
+	shedQuota int64 = 2
+
+	// OpQuota A values: the quota CRUD op the blob carries.
+	quotaSetTenant    int64 = 1 // blob = quota.TenantConfig JSON
+	quotaDeleteTenant int64 = 2 // blob = tenant name, JSON string
 )
 
 func packFlag(jump bool) int64 {
 	if jump {
 		return jumpFlag
+	}
+	return 0
+}
+
+func packQuotaFlag(quotaEv bool) int64 {
+	if quotaEv {
+		return quotaFlag
 	}
 	return 0
 }
@@ -144,6 +165,11 @@ type ckptState struct {
 	Waiting  []ckptWaiting `json:"waiting,omitempty"`
 	Expiry   []ckptExpiry  `json:"expiry,omitempty"`
 	Counters ckptCounters  `json:"counters"`
+	// Quota is the quota tree's canonical configuration (quota.Config
+	// JSON), absent on single-tenant engines. Usage vectors are not
+	// serialized: recovery recharges them from the restored pod records,
+	// which is exactly conservation applied in reverse.
+	Quota json.RawMessage `json:"quota,omitempty"`
 }
 
 type ckptNode struct {
@@ -201,6 +227,10 @@ type ckptCounters struct {
 	PlacedBySLO []int64 `json:"placed_by_slo"`
 	WaitSum     []int64 `json:"wait_sum"`
 	WaitCount   []int64 `json:"wait_count"`
+	// omitempty keeps single-tenant checkpoints byte-identical to the
+	// pre-quota format.
+	QuotaShed      int64 `json:"quota_shed,omitempty"`
+	QuotaPreempted int64 `json:"quota_preempted,omitempty"`
 }
 
 func (e *Engine) captureCounters() ckptCounters {
@@ -226,6 +256,8 @@ func (e *Engine) captureCounters() ckptCounters {
 		c.WaitSum[i] = e.m.waitSum[i].Load()
 		c.WaitCount[i] = e.m.waitCount[i].Load()
 	}
+	c.QuotaShed = e.m.quotaShed.Load()
+	c.QuotaPreempted = e.m.quotaPreempted.Load()
 	return c
 }
 
@@ -253,6 +285,8 @@ func (e *Engine) restoreCounters(c ckptCounters) {
 			e.m.waitCount[i].Store(c.WaitCount[i])
 		}
 	}
+	e.m.quotaShed.Store(c.QuotaShed)
+	e.m.quotaPreempted.Store(c.QuotaPreempted)
 }
 
 // capture assembles the canonical state under every lock the protocol
@@ -344,6 +378,13 @@ func (e *Engine) capture() (*ckptState, []*trace.Pod, uint64) {
 		return a.At < b.At || (a.At == b.At && a.ID < b.ID)
 	})
 	st.Counters = e.captureCounters()
+	if e.qt != nil {
+		// Quota CRUD holds ckptMu shared, so the tree cannot change within
+		// this critical section and the config lands on the cut exactly.
+		if blob, err := e.qt.MarshalCanonical(); err == nil {
+			st.Quota = blob
+		}
+	}
 
 	var lsn uint64
 	if e.jr != nil {
@@ -542,6 +583,22 @@ func (e *Engine) restoreCheckpoint(payload []byte, link func(*trace.Pod) error, 
 	e.now.Store(st.Now)
 	e.tickN = st.TickN
 
+	// The journaled quota tree wins over the caller's configuration: CRUD
+	// applied through the API before the crash outlives the seed config.
+	if len(st.Quota) > 0 {
+		var qcfg quota.Config
+		if err := json.Unmarshal(st.Quota, &qcfg); err != nil {
+			return fmt.Errorf("quota config: %w", err)
+		}
+		qt, err := quota.New(qcfg)
+		if err != nil {
+			return fmt.Errorf("quota config: %w", err)
+		}
+		e.qt = qt
+		e.cfg.Quota = qt
+		e.q.setTree(qt)
+	}
+
 	type placedPod struct {
 		p     *trace.Pod
 		node  int
@@ -570,6 +627,7 @@ func (e *Engine) restoreCheckpoint(payload []byte, link func(*trace.Pod) error, 
 		rec.displacements = cp.Displacements
 		rec.since = cp.Since
 		rec.reason = sched.Reason(cp.Reason)
+		rec.leaf = e.rechargeQuota(p, rec.phase)
 		e.recs[p.ID] = rec
 		switch rec.phase {
 		case PodQueued:
@@ -604,7 +662,7 @@ func (e *Engine) restoreCheckpoint(payload []byte, link func(*trace.Pod) error, 
 		if rec == nil {
 			return fmt.Errorf("queued pod %d has no record", cq.ID)
 		}
-		pending.add(item{pod: rec.pod, displaced: cq.Displaced})
+		pending.add(item{pod: rec.pod, displaced: cq.Displaced, leaf: rec.leaf})
 	}
 	// A sorted array is a valid min-heap: install the canonical forms
 	// directly.
@@ -613,13 +671,38 @@ func (e *Engine) restoreCheckpoint(payload []byte, link func(*trace.Pod) error, 
 		if rec == nil {
 			return fmt.Errorf("waiting pod %d has no record", cw.ID)
 		}
-		e.waiting = append(e.waiting, waitEntry{notBefore: cw.At, it: item{pod: rec.pod, displaced: cw.Displaced}})
+		e.waiting = append(e.waiting, waitEntry{notBefore: cw.At, it: item{pod: rec.pod, displaced: cw.Displaced, leaf: rec.leaf}})
 	}
 	for _, cx := range st.Expiry {
 		e.expiry = append(e.expiry, expiryEntry{at: cx.At, podID: cx.ID})
 	}
 	e.restoreCounters(st.Counters)
 	return nil
+}
+
+// rechargeQuota resolves one recovered pod's quota leaf and recharges the
+// usage its restored phase implies — admitted for queued pods, admitted
+// plus placed for running ones; terminal phases were released before the
+// cut. Pods whose tenant no longer resolves (pre-quota data dirs, or a
+// tenant deleted after the pod finished) are grandfathered with leaf -1
+// and charge nothing. Tenant outcome counters are process-local
+// diagnostics and deliberately not recharged.
+func (e *Engine) rechargeQuota(p *trace.Pod, phase PodPhase) int32 {
+	if e.qt == nil {
+		return -1
+	}
+	leaf, err := e.qt.Resolve(p.Tenant, p.Queue)
+	if err != nil {
+		return -1
+	}
+	switch phase {
+	case PodQueued:
+		e.qt.RestoreAdmitted(leaf, p.Request)
+	case PodPlaced:
+		e.qt.RestoreAdmitted(leaf, p.Request)
+		e.qt.RestorePlaced(leaf, p.ID, p.Request, p.SLO == trace.SLOBE)
+	}
+	return leaf
 }
 
 // replayRecord applies one log-tail record. Replay is strict: a record
@@ -643,16 +726,21 @@ func (e *Engine) replayRecord(r *journal.Record, link func(*trace.Pod) error, pe
 		}
 		rec := e.newRecoveredRecord()
 		rec.pod, rec.node, rec.since = p, -1, r.Time
+		rec.leaf = -1
 		e.recs[p.ID] = rec
 		e.m.submitted.Add(1)
 		if r.Op == journal.OpShed {
 			rec.phase = PodShed
 			e.m.shedBySLO[sloIdx(p.SLO)].Add(1)
+			if r.B == shedQuota {
+				e.m.quotaShed.Add(1)
+			}
 			return nil
 		}
+		rec.leaf = e.rechargeQuota(p, PodQueued)
 		e.m.accepted.Add(1)
 		e.queued.Add(1)
-		pending.add(item{pod: p})
+		pending.add(item{pod: p, leaf: rec.leaf})
 		return nil
 
 	case journal.OpPlace:
@@ -668,6 +756,9 @@ func (e *Engine) replayRecord(r *journal.Record, link func(*trace.Pod) error, pe
 		rec.phase = PodPlaced
 		rec.node = node
 		rec.reason = sched.ReasonNone
+		if e.qt != nil {
+			e.qt.RestorePlaced(rec.leaf, id, rec.pod.Request, rec.pod.SLO == trace.SLOBE)
+		}
 		idx := sloIdx(rec.pod.SLO)
 		e.m.waitSum[idx].Add(r.Time - rec.since)
 		e.m.waitCount[idx].Add(1)
@@ -691,13 +782,26 @@ func (e *Engine) replayRecord(r *journal.Record, link func(*trace.Pod) error, pe
 		e.c.Remove(id, r.Time, false)
 		e.active.Add(-1)
 		rec.node = -1
+		if e.qt != nil {
+			e.qt.UnmarkPlaced(rec.leaf, id, rec.pod.Request)
+			if r.B&quotaFlag != 0 {
+				e.m.quotaPreempted.Add(1)
+			}
+		}
+		releaseQuota := func() {
+			if e.qt != nil {
+				e.qt.ReleaseAdmitted(rec.leaf, rec.pod.Request)
+			}
+		}
 		switch outcome {
 		case rmCompleted:
 			rec.phase = PodDone
 			e.m.completed.Add(1)
+			releaseQuota()
 		case rmExpired:
 			rec.phase = PodDone
 			e.m.expired.Add(1)
+			releaseQuota()
 		case rmRequeued, rmExhausted, rmDispExpired:
 			// Displacement: a BE preemption (jump clear) also counts as a
 			// preemption, mirroring onPlaced's eviction loop.
@@ -710,16 +814,18 @@ func (e *Engine) replayRecord(r *journal.Record, link func(*trace.Pod) error, pe
 			case rmDispExpired:
 				rec.phase = PodDone
 				e.m.expired.Add(1)
+				releaseQuota()
 			case rmExhausted:
 				rec.phase = PodExhausted
 				e.m.exhausted.Add(1)
+				releaseQuota()
 			case rmRequeued:
 				rec.phase = PodQueued
 				rec.since = r.Time
 				rec.attempts = 0
 				rec.reason = sched.ReasonNone
 				e.queued.Add(1)
-				it := item{pod: rec.pod, displaced: jump}
+				it := item{pod: rec.pod, displaced: jump, leaf: rec.leaf}
 				if r.C > 0 {
 					heap.Push(&e.waiting, waitEntry{notBefore: r.C, it: it})
 				} else {
@@ -742,7 +848,7 @@ func (e *Engine) replayRecord(r *journal.Record, link func(*trace.Pod) error, pe
 		rec.reason = sched.Reason(r.B & rmOutcomeMask)
 		e.m.retries.Add(1)
 		pending.remove(id)
-		heap.Push(&e.waiting, waitEntry{notBefore: r.C, it: item{pod: rec.pod, displaced: jump}})
+		heap.Push(&e.waiting, waitEntry{notBefore: r.C, it: item{pod: rec.pod, displaced: jump, leaf: rec.leaf}})
 		return nil
 
 	case journal.OpTick:
@@ -757,6 +863,29 @@ func (e *Engine) replayRecord(r *journal.Record, link func(*trace.Pod) error, pe
 	case journal.OpNodePhase:
 		e.c.RestoreNodePhase(int(r.A), cluster.NodePhase(r.B))
 		return nil
+
+	case journal.OpQuota:
+		// A pre-checkpoint crash can leave OpQuota records in the tail; they
+		// only exist when the live engine ran with a tree, so recovery must
+		// be handed the same seed config (or a checkpoint carrying it).
+		if e.qt == nil {
+			return errors.New("quota record but the engine has no quota tree")
+		}
+		switch r.A {
+		case quotaSetTenant:
+			var tc quota.TenantConfig
+			if err := json.Unmarshal(r.Blob, &tc); err != nil {
+				return err
+			}
+			return e.qt.SetTenant(tc)
+		case quotaDeleteTenant:
+			var name string
+			if err := json.Unmarshal(r.Blob, &name); err != nil {
+				return err
+			}
+			return e.qt.DeleteTenant(name)
+		}
+		return fmt.Errorf("unknown quota op %d", r.A)
 	}
 	return fmt.Errorf("unknown op %d", r.Op)
 }

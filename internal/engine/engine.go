@@ -38,6 +38,7 @@ import (
 	"unisched/internal/journal"
 	"unisched/internal/obs"
 	"unisched/internal/pipeline"
+	"unisched/internal/quota"
 	"unisched/internal/sched"
 	"unisched/internal/trace"
 )
@@ -128,6 +129,14 @@ type Config struct {
 	Chaos *chaos.Injector
 	// Seed de-correlates the workers' samplers.
 	Seed int64
+
+	// Quota, when non-nil, is the multi-tenant hierarchical quota tree
+	// (internal/quota) gating admission ahead of the SLO lanes: pods carry
+	// tenant/queue attribution, over-max submissions are shed, queued pods
+	// drain in fair-share order, and under-guaranteed tenants' LS/LSR pods
+	// may preempt over-quota tenants' BE pods through the displaced-pod
+	// path. Nil runs the engine single-tenant with zero quota cost.
+	Quota *quota.Tree
 
 	// TraceEvery samples one decision trace per this many scheduling
 	// attempts (0 disables tracing entirely: no recorder is built and the
@@ -249,6 +258,8 @@ type podRecord struct {
 	// reset on displacement, it drives the waiting-time metrics.
 	since  int64
 	reason sched.Reason
+	// leaf is the pod's quota-tree leaf handle, -1 without a quota tree.
+	leaf int32
 }
 
 // Engine is the online scheduling service.
@@ -258,6 +269,9 @@ type Engine struct {
 	c     *cluster.Cluster
 	q     *queue
 	m     *Metrics
+	// qt is the quota tree; nil when the engine runs single-tenant, so
+	// every quota hook is one predictable nil-check branch.
+	qt *quota.Tree
 
 	scheds []sched.Scheduler
 
@@ -329,8 +343,9 @@ func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
 		cfg:    cfg,
 		store:  NewStore(c, cfg.Shards),
 		c:      c,
-		q:      newQueue(cfg.QueueCap),
+		q:      newQueue(cfg.QueueCap, cfg.Quota),
 		m:      newMetrics(),
+		qt:     cfg.Quota,
 		recs:   make(map[int]*podRecord, 8192),
 		log:    cfg.Logger,
 		stopCh: make(chan struct{}),
@@ -480,6 +495,15 @@ func (e *Engine) submit(p *trace.Pod) error {
 	if p == nil || !p.Linked() {
 		return ErrNotLinked
 	}
+	// Resolve the pod's quota leaf before any state is created: an
+	// unresolvable tenant is a hard reject, like an unlinked pod.
+	leaf := int32(-1)
+	if e.qt != nil {
+		var err error
+		if leaf, err = e.qt.Resolve(p.Tenant, p.Queue); err != nil {
+			return err
+		}
+	}
 	now := e.now.Load()
 	e.recMu.Lock()
 	if _, ok := e.recs[p.ID]; ok {
@@ -491,12 +515,22 @@ func (e *Engine) submit(p *trace.Pod) error {
 	}
 	rec := &e.recSlab[0]
 	e.recSlab = e.recSlab[1:]
-	rec.pod, rec.node, rec.since = p, -1, now
+	rec.pod, rec.node, rec.since, rec.leaf = p, -1, now, leaf
 	e.recs[p.ID] = rec
 	e.recMu.Unlock()
 	e.m.submitted.Add(1)
 
-	err := e.q.push(item{pod: p}, e.cfg.BlockOnFull, nil)
+	// The quota gate runs ahead of the SLO lanes: an admission that would
+	// push any ancestor over its max is shed, accounted exactly like a
+	// backpressure shed (the record survives in the shed state).
+	if e.qt != nil {
+		if err := e.qt.Admit(leaf, p.Request); err != nil {
+			e.shedQuotaRec(rec, p, leaf)
+			return err
+		}
+	}
+
+	err := e.q.push(item{pod: p, leaf: leaf}, e.cfg.BlockOnFull, nil)
 	switch err {
 	case nil:
 		e.queued.Add(1)
@@ -507,14 +541,32 @@ func (e *Engine) submit(p *trace.Pod) error {
 		rec.phase = PodShed
 		e.recMu.Unlock()
 		e.m.shedBySLO[sloIdx(p.SLO)].Add(1)
+		if e.qt != nil {
+			e.qt.ReleaseAdmitted(leaf, p.Request)
+			e.qt.NoteShed(leaf)
+		}
 		return ErrQueueFull
 	default: // ErrClosed
 		e.recMu.Lock()
 		delete(e.recs, p.ID)
 		e.recMu.Unlock()
 		e.m.submitted.Add(-1)
+		if e.qt != nil {
+			e.qt.ReleaseAdmitted(leaf, p.Request)
+		}
 		return err
 	}
+}
+
+// shedQuotaRec marks a submission shed by the quota gate: the record stays
+// (conservation), the tenant's shed counter advances, nothing was charged.
+func (e *Engine) shedQuotaRec(rec *podRecord, p *trace.Pod, leaf int32) {
+	e.recMu.Lock()
+	rec.phase = PodShed
+	e.recMu.Unlock()
+	e.m.shedBySLO[sloIdx(p.SLO)].Add(1)
+	e.m.quotaShed.Add(1)
+	e.qt.NoteShed(leaf)
 }
 
 // submitDurable is the journaled admission path. The OpAccept append runs
@@ -526,6 +578,13 @@ func (e *Engine) submitDurable(p *trace.Pod) error {
 	if p == nil || !p.Linked() {
 		return ErrNotLinked
 	}
+	leaf := int32(-1)
+	if e.qt != nil {
+		var err error
+		if leaf, err = e.qt.Resolve(p.Tenant, p.Queue); err != nil {
+			return err
+		}
+	}
 	now := e.now.Load()
 	e.recMu.Lock()
 	if _, ok := e.recs[p.ID]; ok {
@@ -537,7 +596,7 @@ func (e *Engine) submitDurable(p *trace.Pod) error {
 	}
 	rec := &e.recSlab[0]
 	e.recSlab = e.recSlab[1:]
-	rec.pod, rec.node, rec.since = p, -1, now
+	rec.pod, rec.node, rec.since, rec.leaf = p, -1, now, leaf
 	e.recs[p.ID] = rec
 	e.recMu.Unlock()
 	e.m.submitted.Add(1)
@@ -546,7 +605,20 @@ func (e *Engine) submitDurable(p *trace.Pod) error {
 	if merr != nil {
 		e.journalError(merr)
 	}
-	err := e.q.push(item{pod: p}, false, func() {
+
+	// Quota gate before the journaled enqueue: a quota shed is journaled
+	// as its own self-contained OpShed (nothing was accepted to roll back).
+	if e.qt != nil {
+		if err := e.qt.Admit(leaf, p.Request); err != nil {
+			e.shedQuotaRec(rec, p, leaf)
+			if merr == nil {
+				e.jrAppend(journal.OpShed, now, int64(p.ID), shedQuota, 0, blob)
+			}
+			return err
+		}
+	}
+
+	err := e.q.push(item{pod: p, leaf: leaf}, false, func() {
 		if merr == nil {
 			e.jrAppend(journal.OpAccept, now, int64(p.ID), 0, 0, blob)
 		}
@@ -564,12 +636,19 @@ func (e *Engine) submitDurable(p *trace.Pod) error {
 			delete(e.recs, p.ID)
 			e.recMu.Unlock()
 			e.m.submitted.Add(-1)
+			if e.qt != nil {
+				e.qt.ReleaseAdmitted(leaf, p.Request)
+			}
 			return errWouldBlock
 		}
 		e.recMu.Lock()
 		rec.phase = PodShed
 		e.recMu.Unlock()
 		e.m.shedBySLO[sloIdx(p.SLO)].Add(1)
+		if e.qt != nil {
+			e.qt.ReleaseAdmitted(leaf, p.Request)
+			e.qt.NoteShed(leaf)
+		}
 		if merr == nil {
 			e.jrAppend(journal.OpShed, now, int64(p.ID), shedBackpressure, 0, blob)
 		}
@@ -579,6 +658,9 @@ func (e *Engine) submitDurable(p *trace.Pod) error {
 		delete(e.recs, p.ID)
 		e.recMu.Unlock()
 		e.m.submitted.Add(-1)
+		if e.qt != nil {
+			e.qt.ReleaseAdmitted(leaf, p.Request)
+		}
 		return err
 	}
 }
@@ -649,6 +731,10 @@ func (e *Engine) Snapshot() Snapshot {
 		st := e.jr.Stats()
 		sn.Journal = &st
 		sn.Recovery = e.recovery
+	}
+	if e.qt != nil {
+		qs := e.qt.Snapshot()
+		sn.Quota = &qs
 	}
 	return sn
 }
@@ -824,18 +910,23 @@ func (e *Engine) onPlaced(d sched.Decision, now int64, evicted []*cluster.PodSta
 	if e.jr != nil {
 		e.jrAppend(journal.OpPlace, now, int64(p.ID), int64(d.NodeID), 0, nil)
 	}
+	leaf := int32(-1)
 	e.recMu.Lock()
 	rec := e.recs[p.ID]
 	if rec != nil {
 		rec.phase = PodPlaced
 		rec.node = d.NodeID
 		rec.reason = sched.ReasonNone
+		leaf = rec.leaf
 		wait := now - rec.since
 		idx := sloIdx(p.SLO)
 		e.m.waitSum[idx].Add(wait)
 		e.m.waitCount[idx].Add(1)
 	}
 	e.recMu.Unlock()
+	if e.qt != nil {
+		e.qt.MarkPlaced(leaf, p.ID, p.Request, p.SLO == trace.SLOBE)
+	}
 	e.queued.Add(-1)
 	e.active.Add(1)
 	e.m.placed.Add(1)
@@ -849,7 +940,10 @@ func (e *Engine) onPlaced(d sched.Decision, now int64, evicted []*cluster.PodSta
 
 // fail parks a pod that could not be placed this attempt. Everyone waits
 // at least one virtual tick (retrying within the tick would re-score
-// unchanged state); BE pods additionally back off exponentially.
+// unchanged state); BE pods additionally back off exponentially. With a
+// quota tree, a capacity failure of an under-guaranteed tenant's LS/LSR
+// pod first evicts over-quota tenants' BE pods (cross-queue preemption),
+// so the retry lands on freed capacity.
 func (e *Engine) fail(it item, reason sched.Reason, now int64) {
 	if e.jr != nil {
 		// The whole unit — record update, retry counter, journal append,
@@ -857,9 +951,13 @@ func (e *Engine) fail(it item, reason sched.Reason, now int64) {
 		// append shares the wMu critical section with the push so the log
 		// order of this OpFail against the tick's OpTick agrees with
 		// whether that tick's release saw the entry. Lock order (ckptMu,
-		// then wMu) matches checkpoint assembly.
+		// then wMu) matches checkpoint assembly, and the quota evictions
+		// below take shard locks, which also nest inside ckptMu.
 		e.ckptMu.RLock()
 		defer e.ckptMu.RUnlock()
+	}
+	if e.qt != nil {
+		e.quotaPreempt(it, reason, now)
 	}
 	at := now
 	e.recMu.Lock()
@@ -882,29 +980,79 @@ func (e *Engine) fail(it item, reason sched.Reason, now int64) {
 	e.wMu.Unlock()
 }
 
+// maxQuotaVictims bounds the BE evictions one failed attempt may trigger.
+const maxQuotaVictims = 4
+
+// quotaPreempt composes the quota tree with the displaced-pod machinery:
+// when an under-guaranteed tenant's latency-sensitive pod fails on
+// capacity, the most over-quota tenants' best-effort pods are evicted
+// through the same removal/re-dispatch path chaos faults and LSR
+// preemption use. The failed pod itself retries next tick onto the freed
+// capacity.
+func (e *Engine) quotaPreempt(it item, reason sched.Reason, now int64) {
+	p := it.pod
+	if !p.SLO.LatencySensitive() {
+		return
+	}
+	if reason != sched.ReasonCPU && reason != sched.ReasonMem && reason != sched.ReasonCPUMem {
+		return
+	}
+	if !e.qt.UnderGuaranteed(it.leaf) {
+		return
+	}
+	for _, v := range e.qt.PickVictims(it.leaf, p.Request, maxQuotaVictims) {
+		ps := e.store.Evict(v.PodID, now)
+		if ps == nil {
+			continue // raced with completion or another preemption
+		}
+		e.m.preempted.Add(1)
+		e.m.quotaPreempted.Add(1)
+		e.qt.NotePreempted(v.Leaf)
+		e.displaced(ps, now, false, true)
+	}
+}
+
 // displacedPod handles a pod removed while running (chaos fault or BE
 // preemption): re-dispatch under the retry policy, or abandon it once the
 // displacement budget is spent. jump marks chaos displacement, which lets
 // latency-sensitive pods jump the queue.
 func (e *Engine) displacedPod(ps *cluster.PodState, now int64, jump bool) {
+	e.displaced(ps, now, jump, false)
+}
+
+// displaced is the displacement bookkeeping shared by chaos faults, LSR
+// preemption, and quota preemption (quotaEv). The pod has already been
+// removed from the cluster by the caller; this updates the record, the
+// quota tree, the journal, and re-dispatches or abandons the pod.
+func (e *Engine) displaced(ps *cluster.PodState, now int64, jump, quotaEv bool) {
 	p := ps.Pod
+	flags := packFlag(jump) | packQuotaFlag(quotaEv)
 	e.recMu.Lock()
 	rec := e.recs[p.ID]
 	if rec == nil || rec.phase != PodPlaced {
 		e.recMu.Unlock()
 		return
 	}
+	leaf := rec.leaf
 	e.active.Add(-1)
 	e.m.displaced.Add(1)
 	rec.node = -1
 	rec.displacements++
+	if e.qt != nil {
+		// The pod no longer holds its node either way; terminal branches
+		// below additionally return the admission charge.
+		e.qt.UnmarkPlaced(leaf, p.ID, p.Request)
+	}
 	if p.Lifetime > 0 && p.Lifetime <= now {
 		// Its scheduled life is over anyway; nothing to replace.
 		rec.phase = PodDone
 		e.m.expired.Add(1)
 		e.recMu.Unlock()
+		if e.qt != nil {
+			e.qt.ReleaseAdmitted(leaf, p.Request)
+		}
 		if e.jr != nil {
-			e.jrAppend(journal.OpRemove, now, int64(p.ID), rmDispExpired|packFlag(jump), 0, nil)
+			e.jrAppend(journal.OpRemove, now, int64(p.ID), rmDispExpired|flags, 0, nil)
 		}
 		return
 	}
@@ -912,8 +1060,11 @@ func (e *Engine) displacedPod(ps *cluster.PodState, now int64, jump bool) {
 		rec.phase = PodExhausted
 		e.m.exhausted.Add(1)
 		e.recMu.Unlock()
+		if e.qt != nil {
+			e.qt.ReleaseAdmitted(leaf, p.Request)
+		}
 		if e.jr != nil {
-			e.jrAppend(journal.OpRemove, now, int64(p.ID), rmExhausted|packFlag(jump), 0, nil)
+			e.jrAppend(journal.OpRemove, now, int64(p.ID), rmExhausted|flags, 0, nil)
 		}
 		return
 	}
@@ -923,12 +1074,12 @@ func (e *Engine) displacedPod(ps *cluster.PodState, now int64, jump bool) {
 	rec.reason = sched.ReasonNone
 	e.recMu.Unlock()
 	e.queued.Add(1)
-	it := item{pod: p, displaced: jump}
+	it := item{pod: p, displaced: jump, leaf: leaf}
 	if p.SLO == trace.SLOBE {
 		if b := e.cfg.Retry.Backoff(0); b > 0 {
 			e.wMu.Lock()
 			if e.jr != nil {
-				e.jrAppend(journal.OpRemove, now, int64(p.ID), rmRequeued|packFlag(jump), now+b, nil)
+				e.jrAppend(journal.OpRemove, now, int64(p.ID), rmRequeued|flags, now+b, nil)
 			}
 			heap.Push(&e.waiting, waitEntry{notBefore: now + b, it: it})
 			e.wMu.Unlock()
@@ -936,7 +1087,7 @@ func (e *Engine) displacedPod(ps *cluster.PodState, now int64, jump bool) {
 		}
 	}
 	if e.jr != nil {
-		e.jrAppend(journal.OpRemove, now, int64(p.ID), rmRequeued|packFlag(jump), 0, nil)
+		e.jrAppend(journal.OpRemove, now, int64(p.ID), rmRequeued|flags, 0, nil)
 	}
 	e.q.forcePush(it)
 }
@@ -1020,6 +1171,10 @@ func (e *Engine) tick() {
 			rec.node = -1
 			e.active.Add(-1)
 			e.m.expired.Add(1)
+			if e.qt != nil {
+				e.qt.UnmarkPlaced(rec.leaf, ent.podID, rec.pod.Request)
+				e.qt.ReleaseAdmitted(rec.leaf, rec.pod.Request)
+			}
 		}
 		e.recMu.Unlock()
 	}
@@ -1036,6 +1191,10 @@ func (e *Engine) tick() {
 			rec.node = -1
 			e.active.Add(-1)
 			e.m.completed.Add(1)
+			if e.qt != nil {
+				e.qt.UnmarkPlaced(rec.leaf, ps.Pod.ID, rec.pod.Request)
+				e.qt.ReleaseAdmitted(rec.leaf, rec.pod.Request)
+			}
 		}
 		e.recMu.Unlock()
 	}

@@ -7,6 +7,7 @@ import (
 
 	"unisched/internal/journal"
 	"unisched/internal/pipeline"
+	"unisched/internal/quota"
 	"unisched/internal/trace"
 )
 
@@ -135,6 +136,12 @@ type Metrics struct {
 	waitSum   [int(trace.SLOBE) + 1]atomic.Int64
 	waitCount [int(trace.SLOBE) + 1]atomic.Int64
 
+	// quotaShed counts submissions shed by the quota gate (over max);
+	// quotaPreempted counts BE pods evicted by cross-queue quota
+	// preemption. Both stay zero without a quota tree.
+	quotaShed      atomic.Int64
+	quotaPreempted atomic.Int64
+
 	decision hist
 }
 
@@ -175,6 +182,13 @@ type Snapshot struct {
 	CommitConflicts int64 `json:"commit_conflicts"`
 	ConflictRejects int64 `json:"conflict_rejects"`
 	StaleRejects    int64 `json:"stale_rejects"`
+
+	// QuotaShed and QuotaPreempted count the quota gate's sheds and
+	// cross-queue preemption's evictions; Quota is the tree snapshot.
+	// All absent without a quota tree.
+	QuotaShed      int64           `json:"quota_shed,omitempty"`
+	QuotaPreempted int64           `json:"quota_preempted,omitempty"`
+	Quota          *quota.Snapshot `json:"quota,omitempty"`
 
 	ShedBySLO   map[string]int64 `json:"shed_by_slo,omitempty"`
 	PlacedBySLO map[string]int64 `json:"placed_by_slo,omitempty"`
@@ -242,6 +256,8 @@ func (m *Metrics) snapshot() Snapshot {
 		CommitConflicts: m.commitConflicts.Load(),
 		ConflictRejects: m.conflictRejects.Load(),
 		StaleRejects:    m.staleRejects.Load(),
+		QuotaShed:       m.quotaShed.Load(),
+		QuotaPreempted:  m.quotaPreempted.Load(),
 		DecisionP50Ms:   1000 * m.decision.quantile(0.50),
 		DecisionP99Ms:   1000 * m.decision.quantile(0.99),
 		DecisionMeanMs:  1000 * m.decision.mean(),

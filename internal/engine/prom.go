@@ -100,6 +100,34 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 		x.Gauge("unisched_recovery_duration_seconds", "Wall time of checkpoint restore plus tail replay.", rs.DurationMs/1e3)
 	}
 
+	if qs := sn.Quota; qs != nil {
+		x.Counter("unisched_quota_shed_total", "Submissions shed by the quota gate (over max).", float64(sn.QuotaShed))
+		x.Counter("unisched_quota_preempted_total", "BE pods evicted by cross-queue quota preemption.", float64(sn.QuotaPreempted))
+		x.Family("unisched_tenant_guaranteed_cpu", "Tenant guaranteed CPU cores.", "gauge")
+		x.Family("unisched_tenant_guaranteed_mem", "Tenant guaranteed memory.", "gauge")
+		x.Family("unisched_tenant_admitted_cpu", "Tenant admitted CPU cores (queued plus running).", "gauge")
+		x.Family("unisched_tenant_admitted_mem", "Tenant admitted memory (queued plus running).", "gauge")
+		x.Family("unisched_tenant_placed_cpu", "Tenant CPU cores currently placed on hosts.", "gauge")
+		x.Family("unisched_tenant_placed_mem", "Tenant memory currently placed on hosts.", "gauge")
+		x.Family("unisched_tenant_fair_share", "Tenant dominant-resource fair share (placed over guaranteed; -1 = over share with no guarantee).", "gauge")
+		x.Family("unisched_tenant_placed_pods_total", "Pods placed, by tenant.", "counter")
+		x.Family("unisched_tenant_shed_pods_total", "Submissions shed by the quota gate, by tenant.", "counter")
+		x.Family("unisched_tenant_preempted_pods_total", "BE pods quota-preempted, by tenant.", "counter")
+		for _, tn := range qs.Root.Children {
+			lbl := []obs.Label{{Name: "tenant", Value: tn.Name}}
+			x.Sample("unisched_tenant_guaranteed_cpu", lbl, tn.Guaranteed.CPU)
+			x.Sample("unisched_tenant_guaranteed_mem", lbl, tn.Guaranteed.Mem)
+			x.Sample("unisched_tenant_admitted_cpu", lbl, tn.Admitted.CPU)
+			x.Sample("unisched_tenant_admitted_mem", lbl, tn.Admitted.Mem)
+			x.Sample("unisched_tenant_placed_cpu", lbl, tn.Placed.CPU)
+			x.Sample("unisched_tenant_placed_mem", lbl, tn.Placed.Mem)
+			x.Sample("unisched_tenant_fair_share", lbl, tn.FairShare)
+			x.Sample("unisched_tenant_placed_pods_total", lbl, float64(tn.PlacedPods))
+			x.Sample("unisched_tenant_shed_pods_total", lbl, float64(tn.ShedPods))
+			x.Sample("unisched_tenant_preempted_pods_total", lbl, float64(tn.Preempted))
+		}
+	}
+
 	if e.rec != nil {
 		started, committed := e.rec.Counts()
 		x.Counter("unisched_traces_started_total", "Decision traces sampled.", float64(started))

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"errors"
+	"sort"
 	"sync"
 
+	"unisched/internal/quota"
 	"unisched/internal/trace"
 )
 
@@ -48,6 +50,9 @@ type item struct {
 	pod *trace.Pod
 	// displaced marks a pod that was running and lost its host.
 	displaced bool
+	// leaf is the pod's quota-tree leaf handle, -1 when the engine runs
+	// without a quota tree.
+	leaf int32
 }
 
 // lane is a FIFO of items with an amortized-O(1) pop-front.
@@ -72,16 +77,51 @@ func (l *lane) pop() item {
 	return it
 }
 
+// fairLane fans one priority lane out into per-quota-leaf sub-queues.
+// Within the lane, popBatch drains leaves in fair-share order (most
+// under-guaranteed tenant first); within a leaf, FIFO order is preserved.
+type fairLane struct {
+	subs map[int32]*lane
+	// keys lists every leaf that ever had a sub-queue, ascending — the
+	// deterministic iteration order for ranking and snapshots.
+	keys []int32
+	size int
+}
+
+func (f *fairLane) push(it item) {
+	if f.subs == nil {
+		f.subs = make(map[int32]*lane)
+	}
+	sub := f.subs[it.leaf]
+	if sub == nil {
+		sub = &lane{}
+		f.subs[it.leaf] = sub
+		i := sort.Search(len(f.keys), func(i int) bool { return f.keys[i] >= it.leaf })
+		f.keys = append(f.keys, 0)
+		copy(f.keys[i+1:], f.keys[i:])
+		f.keys[i] = it.leaf
+	}
+	sub.push(it)
+	f.size++
+}
+
 // queue is the bounded admission queue: per-SLO priority lanes, blocking or
 // shedding submission, and batched priority-ordered pops. External
 // submissions respect the capacity bound; internal re-admissions (displaced
 // and retried pods, which were already accepted once) bypass it so faults
 // can never turn an accepted pod into a lost one.
+//
+// With a quota tree attached each priority lane is a fairLane — the lane
+// hierarchy becomes (SLO priority, fair share, FIFO) — and without one the
+// flat lanes carry zero quota cost.
 type queue struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	notFull  *sync.Cond
 	lanes    [numLanes]lane
+	// qt and flanes replace the flat lanes when a quota tree is attached.
+	qt       *quota.Tree
+	flanes   [numLanes]fairLane
 	size     int
 	capacity int
 	closed   bool
@@ -92,11 +132,32 @@ type queue struct {
 	onPop func(n int)
 }
 
-func newQueue(capacity int) *queue {
-	q := &queue{capacity: capacity}
+func newQueue(capacity int, qt *quota.Tree) *queue {
+	q := &queue{capacity: capacity, qt: qt}
 	q.notEmpty = sync.NewCond(&q.mu)
 	q.notFull = sync.NewCond(&q.mu)
 	return q
+}
+
+// setTree attaches a quota tree after construction (recovery found a
+// journaled tree the caller's config did not carry). Only legal before the
+// engine starts; the queue must be empty.
+func (q *queue) setTree(qt *quota.Tree) {
+	q.mu.Lock()
+	q.qt = qt
+	q.mu.Unlock()
+}
+
+// add appends one item to its (priority, fair-share) lane. Caller holds
+// q.mu.
+func (q *queue) add(it item) {
+	l := laneOf(it.pod.SLO, it.displaced)
+	if q.qt == nil {
+		q.lanes[l].push(it)
+	} else {
+		q.flanes[l].push(it)
+	}
+	q.size++
 }
 
 // push admits an external submission. When the queue is full it blocks
@@ -120,8 +181,7 @@ func (q *queue) push(it item, block bool, beforeAdd func()) error {
 	if beforeAdd != nil {
 		beforeAdd()
 	}
-	q.lanes[laneOf(it.pod.SLO, it.displaced)].push(it)
-	q.size++
+	q.add(it)
 	q.notEmpty.Signal()
 	return nil
 }
@@ -147,8 +207,7 @@ func (q *queue) forcePush(it item) {
 	if q.closed {
 		return
 	}
-	q.lanes[laneOf(it.pod.SLO, it.displaced)].push(it)
-	q.size++
+	q.add(it)
 	q.notEmpty.Signal()
 }
 
@@ -168,9 +227,8 @@ func (q *queue) forcePushAll(its []item) {
 		return
 	}
 	for _, it := range its {
-		q.lanes[laneOf(it.pod.SLO, it.displaced)].push(it)
+		q.add(it)
 	}
-	q.size += len(its)
 	q.notEmpty.Broadcast()
 }
 
@@ -189,9 +247,15 @@ func (q *queue) popBatch(max int) []item {
 		max = q.size
 	}
 	out := make([]item, 0, max)
-	for l := 0; l < numLanes && len(out) < max; l++ {
-		for q.lanes[l].len() > 0 && len(out) < max {
-			out = append(out, q.lanes[l].pop())
+	if q.qt == nil {
+		for l := 0; l < numLanes && len(out) < max; l++ {
+			for q.lanes[l].len() > 0 && len(out) < max {
+				out = append(out, q.lanes[l].pop())
+			}
+		}
+	} else {
+		for l := 0; l < numLanes && len(out) < max; l++ {
+			out = q.popFair(&q.flanes[l], out, max)
 		}
 	}
 	q.size -= len(out)
@@ -204,15 +268,71 @@ func (q *queue) popBatch(max int) []item {
 	return out
 }
 
-// snapshot copies the queued items in pop (priority) order — checkpoint
-// assembly.
+// popFair drains one fair lane into out: leaves ranked once per call by
+// (tenant fair share, queue fair share, leaf ID) ascending, so the most
+// under-guaranteed tenant's pods leave first. Caller holds q.mu; the
+// tree's own lock nests inside the queue lock (the tree never calls back
+// into the queue).
+func (q *queue) popFair(fl *fairLane, out []item, max int) []item {
+	if fl.size == 0 {
+		return out
+	}
+	type rankedLeaf struct {
+		leaf   int32
+		ts, qs float64
+	}
+	ranked := make([]rankedLeaf, 0, len(fl.keys))
+	for _, id := range fl.keys {
+		if fl.subs[id].len() == 0 {
+			continue
+		}
+		ts, qs := q.qt.ShareOf(id)
+		ranked = append(ranked, rankedLeaf{leaf: id, ts: ts, qs: qs})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.qs != b.qs {
+			return a.qs < b.qs
+		}
+		return a.leaf < b.leaf
+	})
+	for _, r := range ranked {
+		sub := fl.subs[r.leaf]
+		for sub.len() > 0 && len(out) < max {
+			out = append(out, sub.pop())
+			fl.size--
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// snapshot copies the queued items in deterministic order — checkpoint
+// assembly. Flat lanes snapshot in pop (priority) order; fair lanes in
+// (priority, leaf ID, FIFO) order, which preserves per-leaf FIFO across a
+// recovery round-trip.
 func (q *queue) snapshot() []item {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	out := make([]item, 0, q.size)
+	if q.qt == nil {
+		for l := 0; l < numLanes; l++ {
+			la := &q.lanes[l]
+			out = append(out, la.items[la.head:]...)
+		}
+		return out
+	}
 	for l := 0; l < numLanes; l++ {
-		la := &q.lanes[l]
-		out = append(out, la.items[la.head:]...)
+		fl := &q.flanes[l]
+		for _, id := range fl.keys {
+			la := fl.subs[id]
+			out = append(out, la.items[la.head:]...)
+		}
 	}
 	return out
 }

@@ -13,7 +13,7 @@ func mkPod(id int, slo trace.SLO) *trace.Pod {
 }
 
 func TestQueuePriorityOrder(t *testing.T) {
-	q := newQueue(16)
+	q := newQueue(16, nil)
 	q.forcePush(item{pod: mkPod(1, trace.SLOBE)})
 	q.forcePush(item{pod: mkPod(2, trace.SLOLS)})
 	q.forcePush(item{pod: mkPod(3, trace.SLOSystem)})
@@ -33,7 +33,7 @@ func TestQueuePriorityOrder(t *testing.T) {
 }
 
 func TestQueueShedsWhenFull(t *testing.T) {
-	q := newQueue(2)
+	q := newQueue(2, nil)
 	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, false, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestQueueShedsWhenFull(t *testing.T) {
 }
 
 func TestQueueBlockingPushUnblocksOnPop(t *testing.T) {
-	q := newQueue(1)
+	q := newQueue(1, nil)
 	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, true, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestQueueBlockingPushUnblocksOnPop(t *testing.T) {
 }
 
 func TestQueueCloseWakesEveryone(t *testing.T) {
-	q := newQueue(1)
+	q := newQueue(1, nil)
 	if err := q.push(item{pod: mkPod(1, trace.SLOBE)}, false, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestLaneCompaction(t *testing.T) {
 // restores normal admission. Regression test for the backpressure /
 // re-admission interaction.
 func TestQueueForcePushAllBypassKeepsExternalBound(t *testing.T) {
-	q := newQueue(2)
+	q := newQueue(2, nil)
 	for i := 0; i < 2; i++ {
 		if err := q.push(item{pod: mkPod(i, trace.SLOLS)}, false, nil); err != nil {
 			t.Fatal(err)
@@ -163,7 +163,7 @@ func TestQueueForcePushAllBypassKeepsExternalBound(t *testing.T) {
 // durable engine's journal append) fires exactly when the item is actually
 // enqueued — never on shed or closed pushes.
 func TestQueuePushBeforeAddRunsOnlyOnAdmission(t *testing.T) {
-	q := newQueue(1)
+	q := newQueue(1, nil)
 	calls := 0
 	hook := func() { calls++ }
 	if err := q.push(item{pod: mkPod(1, trace.SLOLS)}, false, hook); err != nil || calls != 1 {

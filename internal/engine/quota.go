@@ -1,0 +1,78 @@
+package engine
+
+// Quota CRUD: the engine's runtime surface for reshaping the quota tree
+// (unischedd's /v1/quotas endpoints call these). Every change is applied
+// and journaled as one OpQuota record under the shared checkpoint lock, so
+// a checkpoint either reflects the change and sits after its record, or
+// neither — recovery rebuilds the tree bit-identically either way.
+//
+// Apply runs before the append: a change the tree rejects (validation,
+// tenant still in use) journals nothing, so strict replay only ever sees
+// records that succeeded live — and succeeds again at the same log
+// position, because the tree state there is identical.
+
+import (
+	"encoding/json"
+	"errors"
+
+	"unisched/internal/journal"
+	"unisched/internal/quota"
+)
+
+// ErrNoQuota reports a quota operation on an engine running single-tenant
+// (no quota tree configured).
+var ErrNoQuota = errors.New("engine: no quota tree configured")
+
+// Quota returns the engine's quota tree, or nil when it runs single-tenant.
+func (e *Engine) Quota() *quota.Tree { return e.qt }
+
+// QuotaSnapshot captures the tree with usage and fair shares at every
+// level.
+func (e *Engine) QuotaSnapshot() (quota.Snapshot, error) {
+	if e.qt == nil {
+		return quota.Snapshot{}, ErrNoQuota
+	}
+	return e.qt.Snapshot(), nil
+}
+
+// SetTenantQuota creates or updates one tenant subtree and journals the
+// change.
+func (e *Engine) SetTenantQuota(cfg quota.TenantConfig) error {
+	if e.qt == nil {
+		return ErrNoQuota
+	}
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	e.ckptMu.RLock()
+	defer e.ckptMu.RUnlock()
+	if err := e.qt.SetTenant(cfg); err != nil {
+		return err
+	}
+	if e.jr != nil {
+		e.jrAppend(journal.OpQuota, e.now.Load(), quotaSetTenant, 0, 0, blob)
+	}
+	return nil
+}
+
+// DeleteTenantQuota tombstones a drained tenant and journals the deletion.
+// A tenant still holding admitted usage fails with quota.ErrInUse.
+func (e *Engine) DeleteTenantQuota(name string) error {
+	if e.qt == nil {
+		return ErrNoQuota
+	}
+	blob, err := json.Marshal(name)
+	if err != nil {
+		return err
+	}
+	e.ckptMu.RLock()
+	defer e.ckptMu.RUnlock()
+	if err := e.qt.DeleteTenant(name); err != nil {
+		return err
+	}
+	if e.jr != nil {
+		e.jrAppend(journal.OpQuota, e.now.Load(), quotaDeleteTenant, 0, 0, blob)
+	}
+	return nil
+}

@@ -1,0 +1,413 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/quota"
+	"unisched/internal/trace"
+)
+
+func mustTree(t testing.TB, cfg quota.Config) *quota.Tree {
+	t.Helper()
+	qt, err := quota.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qt
+}
+
+func r(cpu, mem float64) trace.Resources { return trace.Resources{CPU: cpu, Mem: mem} }
+
+// tenantWorkload builds nodes plus separate BE and LS pod populations
+// (IDs 0.. and 1000..) sharing one request size, unlinked to any tenant.
+func tenantWorkload(t testing.TB, nodes, bePods, lsPods int, req float64) *trace.Workload {
+	t.Helper()
+	mk := func(id string, slo trace.SLO) *trace.App {
+		return &trace.App{
+			ID: id, SLO: slo,
+			Request: r(req, req), Limit: r(req, req),
+			MemUtil: 0.5, CPUBaseUtil: 0.3, Affinity: -1,
+		}
+	}
+	w := &trace.Workload{
+		Apps:    []*trace.App{mk("be", trace.SLOBE), mk("ls", trace.SLOLS)},
+		Horizon: 3600, Seed: 1,
+	}
+	for i := 0; i < nodes; i++ {
+		w.Nodes = append(w.Nodes, &trace.Node{ID: i, Capacity: r(1, 1)})
+	}
+	add := func(base, n int, appID string, slo trace.SLO) {
+		for i := 0; i < n; i++ {
+			p := &trace.Pod{
+				ID: base + i, AppID: appID, SLO: slo,
+				Request: r(req, req), Limit: r(req, req),
+				CPUScale: 1, MemScale: 1,
+			}
+			if err := w.LinkPod(p); err != nil {
+				t.Fatal(err)
+			}
+			w.Pods = append(w.Pods, p)
+		}
+	}
+	add(0, bePods, "be", trace.SLOBE)
+	add(1000, lsPods, "ls", trace.SLOLS)
+	return w
+}
+
+// TestEngineQuotaAdmissionGate: the quota gate runs ahead of the SLO
+// lanes — over-max admissions shed like backpressure (conservation holds),
+// unresolvable tenants hard-reject like unlinked pods, and unattributed
+// pods land on the default tenant.
+func TestEngineQuotaAdmissionGate(t *testing.T) {
+	w := testWorkload(t, 4, 16, 0.25)
+	qt := mustTree(t, quota.Config{
+		DefaultTenant: "shared",
+		Tenants: []quota.TenantConfig{
+			{Name: "shared", Guaranteed: r(2, 2)},
+			{Name: "capped", Guaranteed: r(1, 1), Max: r(1, 1)},
+		},
+	})
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{Workers: 1, Horizon: w.Horizon, BlockOnFull: true, Quota: qt})
+
+	// capped admits exactly 4 quarter-CPU pods; the 5th sheds on max.
+	for i := 0; i < 5; i++ {
+		w.Pods[i].Tenant = "capped"
+		err := e.Submit(w.Pods[i])
+		if i < 4 && err != nil {
+			t.Fatalf("submit %d under max: %v", i, err)
+		}
+		if i == 4 && !errors.Is(err, quota.ErrOverMax) {
+			t.Fatalf("submit %d over max = %v, want ErrOverMax", i, err)
+		}
+	}
+	// Hard rejects create no record at all.
+	w.Pods[5].Tenant = "ghost"
+	if err := e.Submit(w.Pods[5]); !errors.Is(err, quota.ErrUnknownTenant) {
+		t.Fatalf("unknown tenant = %v", err)
+	}
+	w.Pods[6].Tenant = "capped"
+	w.Pods[6].Queue = "nope"
+	if err := e.Submit(w.Pods[6]); !errors.Is(err, quota.ErrUnknownQueue) {
+		t.Fatalf("unknown queue = %v", err)
+	}
+	// Unattributed pods fall back to the default tenant.
+	for _, p := range w.Pods[7:] {
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("default-tenant submit %d: %v", p.ID, err)
+		}
+	}
+
+	sn := e.Snapshot()
+	if sn.Submitted != 14 { // 5 capped + 9 shared; hard rejects uncounted
+		t.Fatalf("submitted %d, want 14", sn.Submitted)
+	}
+	if sn.QuotaShed != 1 || sn.Shed != 1 || sn.States["shed"] != 1 {
+		t.Fatalf("quota shed accounting: quota %d shed %d states %v", sn.QuotaShed, sn.Shed, sn.States)
+	}
+	if sn.Quota == nil {
+		t.Fatal("snapshot has no quota tree view")
+	}
+
+	e.Start()
+	if !e.Drain(30 * time.Second) {
+		t.Fatalf("did not settle: %+v", e.Snapshot())
+	}
+	e.Stop()
+	sn = e.Snapshot()
+	if sn.Lost() != 0 {
+		t.Fatalf("lost %d; states %v", sn.Lost(), sn.States)
+	}
+	// The snapshot's tree view conserves: root usage equals the tenant sum.
+	var cpuSum float64
+	for _, tn := range sn.Quota.Root.Children {
+		cpuSum += tn.Admitted.CPU
+	}
+	if root := sn.Quota.Root.Admitted.CPU; root != cpuSum {
+		t.Fatalf("root admitted %v != tenant sum %v", root, cpuSum)
+	}
+	placed, _, ok := qt.TenantUsage("capped")
+	if !ok || placed.CPU != 1 {
+		t.Fatalf("capped placed %v ok=%v, want exactly its 1-CPU max", placed, ok)
+	}
+}
+
+// TestEngineQuotaStarvationResistance is the cross-queue preemption
+// guarantee end to end: an adversary tenant's best-effort flood fills the
+// whole cluster first, and the guaranteed tenant's latency-sensitive pods
+// must still reach their full guarantee by evicting the adversary's BE
+// pods through the displaced-pod machinery.
+func TestEngineQuotaStarvationResistance(t *testing.T) {
+	const req = 0.25
+	w := tenantWorkload(t, 8, 36, 8, req) // 36 BE > 8-CPU cluster; 8 LS = 2 CPU
+	qt := mustTree(t, quota.Config{
+		Tenants: []quota.TenantConfig{
+			{Name: "prod", Guaranteed: r(2, 2)},
+			{Name: "greedy", Guaranteed: r(0.25, 0.25)},
+		},
+	})
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{
+		Workers: 1, Shards: 2, QueueCap: 256, BlockOnFull: true,
+		Horizon: 1 << 40, TickWall: 100 * time.Microsecond, Quota: qt,
+	})
+	e.Start()
+	defer e.Stop()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s: %+v", what, e.Snapshot())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: the adversary saturates the cluster (32 quarter-CPU pods
+	// fill 8 one-CPU nodes; the 4 spares keep retrying in backoff).
+	for _, p := range w.Pods[:36] {
+		p.Tenant = "greedy"
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("flood submit %d: %v", p.ID, err)
+		}
+	}
+	waitFor("adversary flood to fill the cluster", func() bool {
+		return e.Snapshot().Placed >= 32
+	})
+
+	// Phase 2: the guaranteed tenant arrives late and must still get its
+	// full 2 CPU.
+	for _, p := range w.Pods[36:] {
+		p.Tenant = "prod"
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("prod submit %d: %v", p.ID, err)
+		}
+	}
+	waitFor("prod to reach its guarantee", func() bool {
+		placed, _, ok := qt.TenantUsage("prod")
+		return ok && placed.CPU >= 2-1e-9
+	})
+
+	sn := e.Snapshot()
+	if sn.QuotaPreempted == 0 {
+		t.Fatal("prod reached its guarantee without a single quota preemption on a full cluster")
+	}
+	if sn.Lost() != 0 {
+		t.Fatalf("lost %d; states %v", sn.Lost(), sn.States)
+	}
+	var greedy *quota.NodeSnapshot
+	for i := range sn.Quota.Root.Children {
+		if sn.Quota.Root.Children[i].Name == "greedy" {
+			greedy = &sn.Quota.Root.Children[i]
+		}
+	}
+	if greedy == nil || greedy.Preempted == 0 {
+		t.Fatalf("adversary's preemption counter empty: %+v", greedy)
+	}
+	if greedy.FairShare <= 1 {
+		t.Fatalf("adversary fair share %v, want over-guarantee (>1)", greedy.FairShare)
+	}
+}
+
+// TestDurableQuotaCRUDRecovery: quota CRUD is journaled — after a crash
+// the recovered tree reflects every applied change bit-identically even
+// when the caller hands OpenDurable a stale seed config, and recovered
+// usage matches the pre-crash tree.
+func TestDurableQuotaCRUDRecovery(t *testing.T) {
+	w := testWorkload(t, 4, 10, 0.2)
+	base := quota.Config{
+		DefaultTenant: "shared",
+		Tenants: []quota.TenantConfig{
+			{Name: "shared", Guaranteed: r(2, 2)},
+			{Name: "prod", Guaranteed: r(1, 1)},
+		},
+	}
+	dir := t.TempDir()
+	cfg := durableConfig(dir, w)
+	cfg.Quota = mustTree(t, base)
+
+	e, _ := openDurable(t, w, cfg)
+	e.Start()
+	for _, p := range w.Pods[:6] {
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOrFatal(t, e)
+
+	// Live CRUD: grow a tenant, retire an unused one, and verify an
+	// in-use deletion refuses.
+	if err := e.SetTenantQuota(quota.TenantConfig{Name: "batch", Guaranteed: r(1, 1), Max: r(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range w.Pods[6:] {
+		p.Tenant = "batch"
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOrFatal(t, e)
+	if err := e.DeleteTenantQuota("prod"); err != nil {
+		t.Fatalf("delete drained tenant: %v", err)
+	}
+	if err := e.DeleteTenantQuota("batch"); !errors.Is(err, quota.ErrInUse) {
+		t.Fatalf("delete in-use tenant = %v, want ErrInUse", err)
+	}
+
+	hash := e.StateHash()
+	cfgHash := e.Quota().ConfigHash()
+	prePlaced, _, ok := e.Quota().TenantUsage("batch")
+	if !ok || prePlaced.CPU == 0 {
+		t.Fatalf("batch holds no usage before the crash: %v ok=%v", prePlaced, ok)
+	}
+	e.crashStop()
+
+	// Recovery gets the STALE base config (no batch, prod alive): the
+	// journaled tree must win.
+	cfg2 := durableConfig(dir, w)
+	cfg2.Quota = mustTree(t, base)
+	e2, st2 := openDurable(t, w, cfg2)
+	if st2.StateHash != hash {
+		t.Fatalf("recovered hash %s != pre-crash %s", st2.StateHash, hash)
+	}
+	if got := e2.Quota().ConfigHash(); got != cfgHash {
+		t.Fatalf("recovered quota config hash %s != pre-crash %s", got, cfgHash)
+	}
+	names := strings.Join(e2.Quota().Tenants(), ",")
+	if !strings.Contains(names, "batch") || strings.Contains(names, "prod") {
+		t.Fatalf("recovered tenants %q: want batch present, prod tombstoned", names)
+	}
+	if _, err := e2.Quota().Resolve("prod", ""); !errors.Is(err, quota.ErrUnknownTenant) {
+		t.Fatalf("tombstoned tenant resolves: %v", err)
+	}
+	postPlaced, _, ok := e2.Quota().TenantUsage("batch")
+	if !ok || postPlaced != prePlaced {
+		t.Fatalf("recovered batch usage %v, want %v", postPlaced, prePlaced)
+	}
+
+	// The recovered tree keeps working end to end.
+	e2.Start()
+	fresh := makeLatePods(t, w, 1)[0]
+	fresh.Tenant = "batch"
+	if err := e2.Submit(fresh); err != nil {
+		t.Fatalf("post-recovery submit: %v", err)
+	}
+	drainOrFatal(t, e2)
+	e2.Stop()
+	if sn := e2.Snapshot(); sn.Lost() != 0 {
+		t.Fatalf("post-recovery lost %d", sn.Lost())
+	}
+}
+
+// TestEngineNoQuotaInert pins zero-cost-when-off: without a tree the quota
+// surface is absent from the snapshot JSON entirely and the CRUD API
+// refuses, while tenant-attributed pods still schedule as single-tenant.
+func TestEngineNoQuotaInert(t *testing.T) {
+	w := testWorkload(t, 2, 4, 0.25)
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{Workers: 1, Horizon: w.Horizon, BlockOnFull: true})
+	if e.Quota() != nil {
+		t.Fatal("quota tree on a single-tenant engine")
+	}
+	if _, err := e.QuotaSnapshot(); !errors.Is(err, ErrNoQuota) {
+		t.Fatalf("QuotaSnapshot = %v, want ErrNoQuota", err)
+	}
+	if err := e.SetTenantQuota(quota.TenantConfig{Name: "x"}); !errors.Is(err, ErrNoQuota) {
+		t.Fatalf("SetTenantQuota = %v, want ErrNoQuota", err)
+	}
+	if err := e.DeleteTenantQuota("x"); !errors.Is(err, ErrNoQuota) {
+		t.Fatalf("DeleteTenantQuota = %v, want ErrNoQuota", err)
+	}
+	e.Start()
+	for _, p := range w.Pods {
+		p.Tenant = "whoever" // ignored without a tree, not rejected
+		if err := e.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Drain(30 * time.Second) {
+		t.Fatal("did not settle")
+	}
+	e.Stop()
+	sn := e.Snapshot()
+	if sn.Lost() != 0 || sn.Placed == 0 {
+		t.Fatalf("single-tenant run broke: %+v", sn.States)
+	}
+	blob, err := json.Marshal(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "quota") {
+		t.Fatalf("single-tenant snapshot leaks quota fields:\n%s", blob)
+	}
+}
+
+// BenchmarkEngineQuota measures the quota gate's overhead on the
+// throughput path: the same drain as BenchmarkEngineThroughput/workers=4
+// with a three-tenant tree attached and every pod attributed, so the
+// allocs/op delta against the no-tree run is the price of multi-tenancy.
+func BenchmarkEngineQuota(b *testing.B) {
+	const (
+		nodes = 2048
+		pods  = 4096
+	)
+	w := testWorkload(b, nodes, pods, 0.1)
+	tenants := []string{"a", "b", "c"}
+	for i, p := range w.Pods {
+		p.Tenant = tenants[i%len(tenants)]
+	}
+	qcfg := quota.Config{Tenants: []quota.TenantConfig{
+		{Name: "a", Guaranteed: r(512, 512)},
+		{Name: "b", Guaranteed: r(512, 512)},
+		{Name: "c", Guaranteed: r(512, 512)},
+	}}
+	b.Run("workers=4", func(b *testing.B) {
+		var placed int64
+		var busy time.Duration
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			qt, err := quota.New(qcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+			e := New(c, alibabaFactory, Config{
+				Workers:        4,
+				Shards:         16,
+				QueueCap:       len(w.Pods),
+				PartitionNodes: true,
+				Seed:           int64(i + 1),
+				Quota:          qt,
+			})
+			b.StartTimer()
+			start := time.Now()
+			e.Start()
+			for _, p := range w.Pods {
+				if err := e.Submit(p); err != nil {
+					b.Fatalf("submit pod %d: %v", p.ID, err)
+				}
+			}
+			if !e.Drain(2 * time.Minute) {
+				b.Fatalf("engine did not settle: %+v", e.Snapshot())
+			}
+			busy += time.Since(start)
+			e.Stop()
+			sn := e.Snapshot()
+			if sn.Lost() != 0 || sn.QuotaShed != 0 {
+				b.Fatalf("lost %d, quota shed %d", sn.Lost(), sn.QuotaShed)
+			}
+			placed += sn.Placed
+		}
+		if busy > 0 {
+			b.ReportMetric(float64(placed)/busy.Seconds(), "placements/s")
+		}
+	})
+}

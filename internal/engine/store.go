@@ -185,6 +185,41 @@ func (s *Store) Commit(d sched.Decision, observed uint64, now int64, onPlaced fu
 	return res
 }
 
+// Evict removes one running pod on behalf of the quota-preemption path and
+// returns its state for re-dispatch, or nil when the pod is not running
+// (it completed, expired, or was preempted in the race window). The caller
+// must hold no shard lock; the shard is derived from the pod's own node.
+func (s *Store) Evict(podID int, now int64) *cluster.PodState {
+	// The pod index is only mutated under podMu, so a brief podMu-only
+	// read pins the PodState and its node. The shard lock is then taken in
+	// protocol order (shard, then podMu) and the liveness re-checked: the
+	// pointer is stable, so a completion or re-placement in the window
+	// flips Done and the eviction bails.
+	s.podMu.Lock()
+	ps := s.c.PodState(podID)
+	var nodeID int
+	if ps != nil && !ps.Done {
+		nodeID = ps.NodeID
+	} else {
+		ps = nil
+	}
+	s.podMu.Unlock()
+	if ps == nil {
+		return nil
+	}
+	sh := s.shardOf(nodeID)
+	s.shards[sh].Lock()
+	s.podMu.Lock()
+	if ps.Done || ps.NodeID != nodeID {
+		ps = nil
+	} else {
+		s.c.Remove(podID, now, true)
+	}
+	s.podMu.Unlock()
+	s.shards[sh].Unlock()
+	return ps
+}
+
 // Remove removes a running pod under the owning shard's write lock and the
 // pod-index lock (displacements driven from outside the tick).
 func (s *Store) Remove(podID, nodeID int, now int64) {

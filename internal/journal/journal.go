@@ -56,9 +56,12 @@ const (
 	// OpNodePhase records a node lifecycle transition: A = node ID,
 	// B = the new phase.
 	OpNodePhase
+	// OpQuota records a quota-tree configuration change: A = the quota op
+	// (engine codes: set-tenant, delete-tenant), blob = the operand JSON.
+	OpQuota
 )
 
-var opNames = [...]string{"?", "accept", "shed", "place", "remove", "fail", "tick", "node-phase"}
+var opNames = [...]string{"?", "accept", "shed", "place", "remove", "fail", "tick", "node-phase", "quota"}
 
 // String names the op.
 func (o Op) String() string {

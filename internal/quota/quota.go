@@ -1,0 +1,758 @@
+// Package quota is the multi-tenant admission layer: a hierarchical quota
+// tree (root → tenant → queue) in the YuniKorn style, where every node
+// carries guaranteed and maximum resources, usage is accounted at every
+// level as pods are admitted, placed, and removed, and siblings are
+// ordered by fair share — usage divided by guarantee — so under-guaranteed
+// tenants drain first. The tree is the engine's admission gate ahead of
+// the SLO lanes (internal/engine): a submission that would push any
+// ancestor past its max is shed, queued pods pop in fair-share order, and
+// an under-guaranteed tenant's latency-sensitive pod may evict an
+// over-quota tenant's best-effort pod through the engine's existing
+// displaced-pod machinery (PickVictims chooses the victims; the engine
+// executes the eviction and re-dispatch).
+//
+// Two usage vectors are tracked per node:
+//
+//   - admitted: charged when the engine accepts a submission, released
+//     only when the pod reaches a terminal state (done, shed, exhausted).
+//     Max enforcement runs against admitted usage, so a tenant cannot park
+//     unbounded work in the queue.
+//   - placed: charged while the pod actually holds resources on a node.
+//     Fair-share ordering and preemption eligibility run against placed
+//     usage — queued work does not change what a tenant currently owns.
+//
+// Conservation invariant: at every interior node, each usage vector equals
+// the sum over its children, which the randomized property tests pin.
+//
+// The package is a stdlib-only leaf (it imports only internal/trace), so
+// the engine, the daemon, and the facade can all share it.
+package quota
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"unisched/internal/trace"
+)
+
+// DefaultQueue is the leaf a pod lands in when it names a tenant but no
+// queue; every tenant has one implicitly.
+const DefaultQueue = "default"
+
+// Admission errors. The engine maps ErrOverMax to a shed submission (the
+// tenant is over its cap; accepting would let it starve its siblings) and
+// the resolution errors to hard rejects.
+var (
+	// ErrOverMax reports an admission that would exceed some ancestor's
+	// maximum. Wrapped with the violating level's path.
+	ErrOverMax = errors.New("quota: over max")
+	// ErrUnknownTenant reports a pod naming no configured tenant (and the
+	// tree has no default tenant to fall back to).
+	ErrUnknownTenant = errors.New("quota: unknown tenant")
+	// ErrUnknownQueue reports a pod naming a queue its tenant lacks.
+	ErrUnknownQueue = errors.New("quota: unknown queue")
+	// ErrInUse reports a tenant deletion while the tenant still holds
+	// admitted usage (queued or running pods).
+	ErrInUse = errors.New("quota: tenant in use")
+)
+
+// QueueConfig declares one leaf queue under a tenant.
+type QueueConfig struct {
+	Name string `json:"name"`
+	// Guaranteed is the queue's fair-share anchor: usage below it makes
+	// the queue drain ahead of its siblings.
+	Guaranteed trace.Resources `json:"guaranteed"`
+	// Max caps the queue's admitted usage per dimension; a zero dimension
+	// is unlimited (the tenant's own cap still applies).
+	Max trace.Resources `json:"max,omitempty"`
+}
+
+// TenantConfig declares one tenant subtree.
+type TenantConfig struct {
+	Name       string          `json:"name"`
+	Guaranteed trace.Resources `json:"guaranteed"`
+	Max        trace.Resources `json:"max,omitempty"`
+	// Queues are the tenant's leaf queues; a "default" queue is added
+	// implicitly when not declared.
+	Queues []QueueConfig `json:"queues,omitempty"`
+}
+
+// Config declares the whole tree.
+type Config struct {
+	// DefaultTenant, when set, receives pods that carry no tenant
+	// attribution; when empty such pods are rejected.
+	DefaultTenant string         `json:"default_tenant,omitempty"`
+	Tenants       []TenantConfig `json:"tenants"`
+}
+
+// node is one tree vertex. All fields are guarded by the owning Tree's
+// mutex.
+type node struct {
+	name     string
+	parent   *node
+	children []*node
+	byName   map[string]*node
+
+	guaranteed trace.Resources
+	max        trace.Resources
+
+	admitted trace.Resources
+	placed   trace.Resources
+
+	// leafID indexes Tree.leaves for leaf nodes, -1 for interior nodes.
+	leafID int32
+	// bePods tracks placed best-effort pods on a leaf — the preemption
+	// victim pool — with their requests.
+	bePods map[int]trace.Resources
+
+	// Tenant-level outcome counters (zero on other levels).
+	placedN    int64
+	shedN      int64
+	preemptedN int64
+
+	// dead marks a tombstoned node after tenant deletion: resolution
+	// fails, but leaf IDs stay stable for the tree's lifetime.
+	dead bool
+}
+
+// Tree is the live quota hierarchy. All methods are safe for concurrent
+// use.
+type Tree struct {
+	mu            sync.Mutex
+	root          *node
+	defaultTenant string
+	leaves        []*node
+}
+
+// Victim is one preemption candidate chosen by PickVictims.
+type Victim struct {
+	PodID int
+	Leaf  int32
+	Req   trace.Resources
+}
+
+func validName(s string) error {
+	if s == "" {
+		return errors.New("quota: empty name")
+	}
+	if strings.ContainsAny(s, "/\n\"") {
+		return fmt.Errorf("quota: name %q contains a reserved character", s)
+	}
+	return nil
+}
+
+func validCaps(what string, g, m trace.Resources) error {
+	if g.CPU < 0 || g.Mem < 0 || m.CPU < 0 || m.Mem < 0 {
+		return fmt.Errorf("quota: %s has negative resources", what)
+	}
+	if (m.CPU > 0 && m.CPU < g.CPU) || (m.Mem > 0 && m.Mem < g.Mem) {
+		return fmt.Errorf("quota: %s max below guaranteed", what)
+	}
+	return nil
+}
+
+// New builds a tree from cfg. The configuration is copied; later edits to
+// cfg do not affect the tree.
+func New(cfg Config) (*Tree, error) {
+	t := &Tree{root: &node{name: "root", leafID: -1, byName: make(map[string]*node)}}
+	t.defaultTenant = cfg.DefaultTenant
+	for i := range cfg.Tenants {
+		if err := t.setTenantLocked(cfg.Tenants[i]); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DefaultTenant != "" {
+		if _, ok := t.root.byName[cfg.DefaultTenant]; !ok {
+			return nil, fmt.Errorf("quota: default tenant %q not configured", cfg.DefaultTenant)
+		}
+	}
+	return t, nil
+}
+
+// newChild attaches a node under parent.
+func (t *Tree) newChild(parent *node, name string) *node {
+	n := &node{name: name, parent: parent, leafID: -1, byName: make(map[string]*node)}
+	parent.children = append(parent.children, n)
+	parent.byName[name] = n
+	return n
+}
+
+// makeLeaf registers n in the leaf table.
+func (t *Tree) makeLeaf(n *node) {
+	n.leafID = int32(len(t.leaves))
+	n.bePods = make(map[int]trace.Resources)
+	t.leaves = append(t.leaves, n)
+}
+
+// setTenantLocked creates or updates one tenant subtree. Updates change
+// guarantees and caps in place and add new queues; existing queues absent
+// from cfg keep their current caps (queue removal is deliberate work:
+// delete and recreate the tenant when it is drained).
+func (t *Tree) setTenantLocked(cfg TenantConfig) error {
+	if err := validName(cfg.Name); err != nil {
+		return err
+	}
+	if err := validCaps("tenant "+cfg.Name, cfg.Guaranteed, cfg.Max); err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(cfg.Queues)+1)
+	for _, q := range cfg.Queues {
+		if err := validName(q.Name); err != nil {
+			return err
+		}
+		if seen[q.Name] {
+			return fmt.Errorf("quota: tenant %q declares queue %q twice", cfg.Name, q.Name)
+		}
+		seen[q.Name] = true
+		if err := validCaps(cfg.Name+"/"+q.Name, q.Guaranteed, q.Max); err != nil {
+			return err
+		}
+	}
+
+	tn := t.root.byName[cfg.Name]
+	if tn == nil || tn.dead {
+		if tn != nil && tn.dead {
+			// Revive the tombstone in place: leaf IDs stay valid.
+			tn.dead = false
+			for _, q := range tn.children {
+				q.dead = false
+			}
+		} else {
+			tn = t.newChild(t.root, cfg.Name)
+		}
+	}
+	tn.guaranteed, tn.max = cfg.Guaranteed, cfg.Max
+
+	queues := cfg.Queues
+	if !seen[DefaultQueue] {
+		queues = append(append([]QueueConfig(nil), queues...), QueueConfig{Name: DefaultQueue})
+	}
+	for _, qc := range queues {
+		qn := tn.byName[qc.Name]
+		if qn == nil {
+			qn = t.newChild(tn, qc.Name)
+			t.makeLeaf(qn)
+		}
+		qn.guaranteed, qn.max = qc.Guaranteed, qc.Max
+		qn.dead = false
+	}
+	// Root guarantee is informational: the sum of its tenants'.
+	var g trace.Resources
+	for _, c := range t.root.children {
+		if !c.dead {
+			g = g.Add(c.guaranteed)
+		}
+	}
+	t.root.guaranteed = g
+	return nil
+}
+
+// SetTenant creates or updates one tenant subtree (the /v1/quotas CRUD
+// surface; the engine journals the call before applying it).
+func (t *Tree) SetTenant(cfg TenantConfig) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.setTenantLocked(cfg)
+}
+
+// DeleteTenant tombstones a drained tenant: resolution fails afterwards,
+// and its guarantees leave the fair-share denominator. A tenant still
+// holding admitted usage cannot be deleted.
+func (t *Tree) DeleteTenant(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tn := t.root.byName[name]
+	if tn == nil || tn.dead {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	if tn.admitted.CPU > 0 || tn.admitted.Mem > 0 {
+		return fmt.Errorf("%w: tenant %q still holds admitted usage", ErrInUse, name)
+	}
+	if name == t.defaultTenant {
+		return fmt.Errorf("quota: tenant %q is the default tenant", name)
+	}
+	tn.dead = true
+	for _, q := range tn.children {
+		q.dead = true
+	}
+	var g trace.Resources
+	for _, c := range t.root.children {
+		if !c.dead {
+			g = g.Add(c.guaranteed)
+		}
+	}
+	t.root.guaranteed = g
+	return nil
+}
+
+// Resolve maps a pod's (tenant, queue) attribution to a stable leaf
+// handle. An empty tenant falls back to the default tenant; an empty queue
+// means the tenant's "default" queue.
+func (t *Tree) Resolve(tenant, queue string) (int32, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tenant == "" {
+		if t.defaultTenant == "" {
+			return -1, ErrUnknownTenant
+		}
+		tenant = t.defaultTenant
+	}
+	tn := t.root.byName[tenant]
+	if tn == nil || tn.dead {
+		return -1, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	if queue == "" {
+		queue = DefaultQueue
+	}
+	qn := tn.byName[queue]
+	if qn == nil || qn.dead {
+		return -1, fmt.Errorf("%w: %q/%q", ErrUnknownQueue, tenant, queue)
+	}
+	return qn.leafID, nil
+}
+
+// leaf returns the leaf node for a handle, or nil for out-of-range IDs.
+func (t *Tree) leaf(id int32) *node {
+	if id < 0 || int(id) >= len(t.leaves) {
+		return nil
+	}
+	return t.leaves[id]
+}
+
+// LeafPath names a leaf handle as "tenant/queue" (metrics labels, errors).
+func (t *Tree) LeafPath(id int32) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.leaf(id)
+	if n == nil {
+		return "?"
+	}
+	return n.parent.name + "/" + n.name
+}
+
+// Admit charges one admission against every level from the leaf to the
+// root, or returns ErrOverMax (wrapped with the violating level) charging
+// nothing. Max enforcement runs against admitted usage per dimension;
+// zero max dimensions are unlimited.
+func (t *Tree) Admit(id int32, req trace.Resources) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.leaf(id)
+	if n == nil {
+		return ErrUnknownTenant
+	}
+	for v := n; v != nil; v = v.parent {
+		next := v.admitted.Add(req)
+		if (v.max.CPU > 0 && next.CPU > v.max.CPU) || (v.max.Mem > 0 && next.Mem > v.max.Mem) {
+			return fmt.Errorf("%w at %s", ErrOverMax, t.pathOf(v))
+		}
+	}
+	for v := n; v != nil; v = v.parent {
+		v.admitted = v.admitted.Add(req)
+	}
+	return nil
+}
+
+// ReleaseAdmitted returns an admission's charge at every level — the pod
+// reached a terminal state.
+func (t *Tree) ReleaseAdmitted(id int32, req trace.Resources) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for v := t.leaf(id); v != nil; v = v.parent {
+		v.admitted = clampNonNeg(v.admitted.Sub(req))
+	}
+}
+
+// MarkPlaced charges a placement against every level and, for best-effort
+// pods, registers the pod in the leaf's preemption victim pool.
+func (t *Tree) MarkPlaced(id int32, podID int, req trace.Resources, be bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.leaf(id)
+	if n == nil {
+		return
+	}
+	for v := n; v != nil; v = v.parent {
+		v.placed = v.placed.Add(req)
+	}
+	if be {
+		n.bePods[podID] = req
+	}
+	n.parent.placedN++
+}
+
+// UnmarkPlaced returns a placement's charge at every level (the pod left
+// its node: completion, expiry, displacement, preemption).
+func (t *Tree) UnmarkPlaced(id int32, podID int, req trace.Resources) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.leaf(id)
+	if n == nil {
+		return
+	}
+	for v := n; v != nil; v = v.parent {
+		v.placed = clampNonNeg(v.placed.Sub(req))
+	}
+	delete(n.bePods, podID)
+}
+
+// RestoreAdmitted recharges an admission during crash recovery. Unlike
+// Admit it never checks max: the charge was legal when the live engine
+// accepted it, and a config shrunk since must not make recovery fail.
+func (t *Tree) RestoreAdmitted(id int32, req trace.Resources) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for v := t.leaf(id); v != nil; v = v.parent {
+		v.admitted = v.admitted.Add(req)
+	}
+}
+
+// RestorePlaced recharges a placement during crash recovery, rebuilding the
+// preemption victim pool but not the tenant outcome counters (those are
+// process-local diagnostics).
+func (t *Tree) RestorePlaced(id int32, podID int, req trace.Resources, be bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.leaf(id)
+	if n == nil {
+		return
+	}
+	for v := n; v != nil; v = v.parent {
+		v.placed = v.placed.Add(req)
+	}
+	if be {
+		n.bePods[podID] = req
+	}
+}
+
+// NoteShed counts one over-max shed on the leaf's tenant.
+func (t *Tree) NoteShed(id int32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := t.leaf(id); n != nil {
+		n.parent.shedN++
+	}
+}
+
+// share is the dominant-resource fair share: the largest placed/guaranteed
+// ratio over the guaranteed dimensions. A node with no guarantee at all is
+// infinitely over share as soon as it holds anything, so zero-guarantee
+// tenants always drain last and are first in line for preemption.
+func share(placed, guaranteed trace.Resources) float64 {
+	s := 0.0
+	any := false
+	if guaranteed.CPU > 0 {
+		s = placed.CPU / guaranteed.CPU
+		any = true
+	}
+	if guaranteed.Mem > 0 {
+		if m := placed.Mem / guaranteed.Mem; m > s {
+			s = m
+		}
+		any = true
+	}
+	if !any {
+		if placed.CPU > 0 || placed.Mem > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return s
+}
+
+// ShareOf returns the leaf's tenant-level and queue-level fair shares —
+// the sort key the engine's admission queue drains leaves by (lowest
+// first).
+func (t *Tree) ShareOf(id int32) (tenant, queue float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.leaf(id)
+	if n == nil {
+		return math.Inf(1), math.Inf(1)
+	}
+	return share(n.parent.placed, n.parent.guaranteed), share(n.placed, n.guaranteed)
+}
+
+// UnderGuaranteed reports whether the leaf's tenant holds less than its
+// guarantee — the precondition for cross-queue preemption on the tenant's
+// behalf.
+func (t *Tree) UnderGuaranteed(id int32) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.leaf(id)
+	if n == nil {
+		return false
+	}
+	g := n.parent.guaranteed
+	if g.CPU <= 0 && g.Mem <= 0 {
+		return false
+	}
+	return share(n.parent.placed, g) < 1
+}
+
+// PickVictims selects best-effort pods of over-quota tenants (placed share
+// strictly above 1) to evict on behalf of leaf id's tenant: most over-share
+// tenant first, then most over-share queue, then ascending pod ID, until
+// the victims' requests cover need or maxN victims are chosen. The
+// requesting tenant's own pods are never picked. Selection only reads the
+// tree; the caller executes the evictions (and UnmarkPlaced fires through
+// the normal removal path).
+func (t *Tree) PickVictims(id int32, need trace.Resources, maxN int) []Victim {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.leaf(id)
+	if n == nil || maxN <= 0 {
+		return nil
+	}
+	self := n.parent
+
+	type rankedTenant struct {
+		tn *node
+		s  float64
+	}
+	var tenants []rankedTenant
+	for _, tn := range t.root.children {
+		if tn == self || tn.dead {
+			continue
+		}
+		if s := share(tn.placed, tn.guaranteed); s > 1 {
+			tenants = append(tenants, rankedTenant{tn, s})
+		}
+	}
+	sort.Slice(tenants, func(i, j int) bool {
+		if tenants[i].s != tenants[j].s {
+			return tenants[i].s > tenants[j].s
+		}
+		return tenants[i].tn.name < tenants[j].tn.name
+	})
+
+	var out []Victim
+	var freed trace.Resources
+	covered := func() bool {
+		return (need.CPU <= 0 || freed.CPU >= need.CPU) && (need.Mem <= 0 || freed.Mem >= need.Mem)
+	}
+	for _, rt := range tenants {
+		queues := append([]*node(nil), rt.tn.children...)
+		sort.Slice(queues, func(i, j int) bool {
+			si, sj := share(queues[i].placed, queues[i].guaranteed), share(queues[j].placed, queues[j].guaranteed)
+			if si != sj {
+				return si > sj
+			}
+			return queues[i].name < queues[j].name
+		})
+		for _, qn := range queues {
+			if len(qn.bePods) == 0 {
+				continue
+			}
+			ids := make([]int, 0, len(qn.bePods))
+			for pid := range qn.bePods {
+				ids = append(ids, pid)
+			}
+			sort.Ints(ids)
+			for _, pid := range ids {
+				out = append(out, Victim{PodID: pid, Leaf: qn.leafID, Req: qn.bePods[pid]})
+				freed = freed.Add(qn.bePods[pid])
+				if len(out) >= maxN || covered() {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NotePreempted counts one victim eviction against the victim leaf's
+// tenant.
+func (t *Tree) NotePreempted(id int32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := t.leaf(id); n != nil {
+		n.parent.preemptedN++
+	}
+}
+
+func (t *Tree) pathOf(n *node) string {
+	if n.parent == nil {
+		return "root"
+	}
+	if n.parent.parent == nil {
+		return n.name
+	}
+	return n.parent.name + "/" + n.name
+}
+
+func clampNonNeg(r trace.Resources) trace.Resources {
+	if r.CPU < 0 {
+		r.CPU = 0
+	}
+	if r.Mem < 0 {
+		r.Mem = 0
+	}
+	return r
+}
+
+// CanonicalConfig returns the live configuration in canonical form:
+// tenants and queues sorted by name, tombstoned subtrees omitted. A tree
+// rebuilt from it resolves and enforces identically.
+func (t *Tree) CanonicalConfig() Config {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cfg := Config{DefaultTenant: t.defaultTenant}
+	for _, tn := range t.root.children {
+		if tn.dead {
+			continue
+		}
+		tc := TenantConfig{Name: tn.name, Guaranteed: tn.guaranteed, Max: tn.max}
+		for _, qn := range tn.children {
+			if qn.dead {
+				continue
+			}
+			tc.Queues = append(tc.Queues, QueueConfig{Name: qn.name, Guaranteed: qn.guaranteed, Max: qn.max})
+		}
+		sort.Slice(tc.Queues, func(i, j int) bool { return tc.Queues[i].Name < tc.Queues[j].Name })
+		cfg.Tenants = append(cfg.Tenants, tc)
+	}
+	sort.Slice(cfg.Tenants, func(i, j int) bool { return cfg.Tenants[i].Name < cfg.Tenants[j].Name })
+	return cfg
+}
+
+// MarshalCanonical serializes CanonicalConfig deterministically — the
+// checkpoint payload and the basis of ConfigHash.
+func (t *Tree) MarshalCanonical() ([]byte, error) {
+	return json.Marshal(t.CanonicalConfig())
+}
+
+// ConfigHash is a SHA-256 over the canonical configuration: two trees with
+// the same hash admit, order, and preempt identically (usage aside).
+func (t *Tree) ConfigHash() string {
+	b, err := t.MarshalCanonical()
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// NodeSnapshot is the JSON view of one tree vertex.
+type NodeSnapshot struct {
+	Name       string          `json:"name"`
+	Guaranteed trace.Resources `json:"guaranteed"`
+	Max        trace.Resources `json:"max,omitempty"`
+	Admitted   trace.Resources `json:"admitted"`
+	Placed     trace.Resources `json:"placed"`
+	// FairShare is the dominant-resource placed/guaranteed ratio.
+	FairShare float64 `json:"fair_share"`
+	// Tenant-level outcome counters.
+	PlacedPods int64 `json:"placed_pods,omitempty"`
+	ShedPods   int64 `json:"shed_pods,omitempty"`
+	Preempted  int64 `json:"preempted_pods,omitempty"`
+
+	Children []NodeSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot is the queryable view of the whole tree.
+type Snapshot struct {
+	ConfigHash    string       `json:"config_hash"`
+	DefaultTenant string       `json:"default_tenant,omitempty"`
+	Root          NodeSnapshot `json:"root"`
+}
+
+// Snapshot captures the tree with usage and shares at every level, tenants
+// and queues in name order.
+func (t *Tree) Snapshot() Snapshot {
+	hash := t.ConfigHash()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var snap func(n *node) NodeSnapshot
+	snap = func(n *node) NodeSnapshot {
+		fs := share(n.placed, n.guaranteed)
+		if math.IsInf(fs, 1) {
+			fs = -1 // JSON has no Inf; -1 marks "over share with no guarantee"
+		}
+		s := NodeSnapshot{
+			Name:       n.name,
+			Guaranteed: n.guaranteed,
+			Max:        n.max,
+			Admitted:   n.admitted,
+			Placed:     n.placed,
+			FairShare:  fs,
+			PlacedPods: n.placedN,
+			ShedPods:   n.shedN,
+			Preempted:  n.preemptedN,
+		}
+		kids := append([]*node(nil), n.children...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i].name < kids[j].name })
+		for _, c := range kids {
+			if c.dead {
+				continue
+			}
+			s.Children = append(s.Children, snap(c))
+		}
+		return s
+	}
+	return Snapshot{ConfigHash: hash, DefaultTenant: t.defaultTenant, Root: snap(t.root)}
+}
+
+// Tenants lists the live tenant names in sorted order.
+func (t *Tree) Tenants() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for _, tn := range t.root.children {
+		if !tn.dead {
+			out = append(out, tn.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TenantUsage reports one tenant's placed usage and guarantee (the
+// loadgen quota check reads it through /v1/quotas).
+func (t *Tree) TenantUsage(name string) (placed, guaranteed trace.Resources, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tn := t.root.byName[name]
+	if tn == nil || tn.dead {
+		return trace.Resources{}, trace.Resources{}, false
+	}
+	return tn.placed, tn.guaranteed, true
+}
+
+// checkConservation verifies the per-level sum invariant: every interior
+// node's usage vectors equal the sums over its live children (tombstoned
+// children must be empty). Tests call it after every random operation.
+func (t *Tree) checkConservation() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if len(n.children) == 0 {
+			return nil
+		}
+		var adm, pl trace.Resources
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+			adm = adm.Add(c.admitted)
+			pl = pl.Add(c.placed)
+		}
+		const eps = 1e-9
+		if math.Abs(adm.CPU-n.admitted.CPU) > eps || math.Abs(adm.Mem-n.admitted.Mem) > eps {
+			return fmt.Errorf("quota: %s admitted %v != children sum %v", t.pathOf(n), n.admitted, adm)
+		}
+		if math.Abs(pl.CPU-n.placed.CPU) > eps || math.Abs(pl.Mem-n.placed.Mem) > eps {
+			return fmt.Errorf("quota: %s placed %v != children sum %v", t.pathOf(n), n.placed, pl)
+		}
+		return nil
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,422 @@
+package quota
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"unisched/internal/trace"
+)
+
+func r(cpu, mem float64) trace.Resources { return trace.Resources{CPU: cpu, Mem: mem} }
+
+func testConfig() Config {
+	return Config{
+		DefaultTenant: "shared",
+		Tenants: []TenantConfig{
+			{Name: "shared", Guaranteed: r(10, 10), Max: r(40, 40)},
+			{
+				Name: "prod", Guaranteed: r(60, 60), Max: r(100, 100),
+				Queues: []QueueConfig{
+					{Name: "web", Guaranteed: r(40, 40)},
+					{Name: "batch", Guaranteed: r(20, 20), Max: r(30, 30)},
+				},
+			},
+			{Name: "scratch", Guaranteed: r(5, 5)},
+		},
+	}
+}
+
+func mustTree(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tr
+}
+
+func TestResolve(t *testing.T) {
+	tr := mustTree(t, testConfig())
+
+	web, err := tr.Resolve("prod", "web")
+	if err != nil {
+		t.Fatalf("resolve prod/web: %v", err)
+	}
+	if got := tr.LeafPath(web); got != "prod/web" {
+		t.Fatalf("LeafPath = %q, want prod/web", got)
+	}
+
+	// Empty queue lands on the implicit default queue.
+	def, err := tr.Resolve("prod", "")
+	if err != nil {
+		t.Fatalf("resolve prod/: %v", err)
+	}
+	if got := tr.LeafPath(def); got != "prod/default" {
+		t.Fatalf("LeafPath = %q, want prod/default", got)
+	}
+
+	// Empty tenant falls back to the default tenant.
+	shared, err := tr.Resolve("", "")
+	if err != nil {
+		t.Fatalf("resolve default tenant: %v", err)
+	}
+	if got := tr.LeafPath(shared); got != "shared/default" {
+		t.Fatalf("LeafPath = %q, want shared/default", got)
+	}
+
+	if _, err := tr.Resolve("nosuch", ""); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant err = %v", err)
+	}
+	if _, err := tr.Resolve("prod", "nosuch"); !errors.Is(err, ErrUnknownQueue) {
+		t.Fatalf("unknown queue err = %v", err)
+	}
+
+	// Resolution is stable: same leaf handle every time.
+	web2, _ := tr.Resolve("prod", "web")
+	if web2 != web {
+		t.Fatalf("leaf handle changed: %d vs %d", web, web2)
+	}
+}
+
+func TestNoDefaultTenantRejects(t *testing.T) {
+	cfg := testConfig()
+	cfg.DefaultTenant = ""
+	tr := mustTree(t, cfg)
+	if _, err := tr.Resolve("", ""); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("want ErrUnknownTenant without default tenant, got %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Tenants: []TenantConfig{{Name: ""}}},
+		{Tenants: []TenantConfig{{Name: "a/b"}}},
+		{Tenants: []TenantConfig{{Name: "t", Guaranteed: r(10, 10), Max: r(5, 20)}}},
+		{Tenants: []TenantConfig{{Name: "t", Guaranteed: r(-1, 0)}}},
+		{Tenants: []TenantConfig{{Name: "t", Queues: []QueueConfig{{Name: "q"}, {Name: "q"}}}}},
+		{DefaultTenant: "ghost", Tenants: []TenantConfig{{Name: "t"}}},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config", i)
+		}
+	}
+}
+
+func TestAdmitMaxEnforcement(t *testing.T) {
+	tr := mustTree(t, testConfig())
+	batch, _ := tr.Resolve("prod", "batch")
+
+	// Queue max (30) trips before tenant max (100).
+	if err := tr.Admit(batch, r(25, 25)); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := tr.Admit(batch, r(10, 10)); !errors.Is(err, ErrOverMax) {
+		t.Fatalf("want ErrOverMax over queue cap, got %v", err)
+	}
+	// A fit under the cap still goes through, and the failed admit charged
+	// nothing.
+	if err := tr.Admit(batch, r(5, 5)); err != nil {
+		t.Fatalf("admit under cap: %v", err)
+	}
+
+	// Tenant max trips even when each queue is individually unlimited.
+	web, _ := tr.Resolve("prod", "web")
+	if err := tr.Admit(web, r(80, 80)); !errors.Is(err, ErrOverMax) {
+		t.Fatalf("want ErrOverMax over tenant cap, got %v", err)
+	}
+
+	// Releases reopen headroom.
+	tr.ReleaseAdmitted(batch, r(30, 30))
+	if err := tr.Admit(web, r(80, 80)); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	if err := tr.checkConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroMaxIsUnlimited(t *testing.T) {
+	tr := mustTree(t, Config{Tenants: []TenantConfig{{Name: "t", Guaranteed: r(1, 1)}}})
+	leaf, _ := tr.Resolve("t", "")
+	if err := tr.Admit(leaf, r(1e6, 1e6)); err != nil {
+		t.Fatalf("zero max should be unlimited: %v", err)
+	}
+}
+
+func TestSharesAndOrdering(t *testing.T) {
+	tr := mustTree(t, testConfig())
+	web, _ := tr.Resolve("prod", "web")
+	shared, _ := tr.Resolve("shared", "")
+
+	// prod/web at 30 of 40 guaranteed -> queue share 0.75, tenant 30/60=0.5.
+	tr.MarkPlaced(web, 1, r(30, 30), false)
+	ts, qs := tr.ShareOf(web)
+	if math.Abs(ts-0.5) > 1e-12 || math.Abs(qs-0.75) > 1e-12 {
+		t.Fatalf("ShareOf(web) = %v, %v; want 0.5, 0.75", ts, qs)
+	}
+
+	// shared at 20 of 10 guaranteed -> share 2.0 (over quota).
+	tr.MarkPlaced(shared, 2, r(20, 20), true)
+	ts, _ = tr.ShareOf(shared)
+	if math.Abs(ts-2.0) > 1e-12 {
+		t.Fatalf("ShareOf(shared) tenant = %v, want 2.0", ts)
+	}
+
+	if !tr.UnderGuaranteed(web) {
+		t.Fatal("prod at 0.5 share should be under guaranteed")
+	}
+	if tr.UnderGuaranteed(shared) {
+		t.Fatal("shared at 2.0 share should not be under guaranteed")
+	}
+}
+
+func TestDominantResourceShare(t *testing.T) {
+	tr := mustTree(t, Config{Tenants: []TenantConfig{{Name: "t", Guaranteed: r(10, 100)}}})
+	leaf, _ := tr.Resolve("t", "")
+	// CPU is the dominant dimension: 8/10 vs 20/100.
+	tr.MarkPlaced(leaf, 1, r(8, 20), false)
+	ts, _ := tr.ShareOf(leaf)
+	if math.Abs(ts-0.8) > 1e-12 {
+		t.Fatalf("dominant share = %v, want 0.8", ts)
+	}
+}
+
+func TestPickVictims(t *testing.T) {
+	tr := mustTree(t, testConfig())
+	web, _ := tr.Resolve("prod", "web")
+	shared, _ := tr.Resolve("shared", "")
+	scratch, _ := tr.Resolve("scratch", "")
+
+	// shared: share 2.0 with BE pods 10, 11. scratch: share 4.0 with BE pod 20.
+	tr.MarkPlaced(shared, 10, r(10, 10), true)
+	tr.MarkPlaced(shared, 11, r(10, 10), true)
+	tr.MarkPlaced(scratch, 20, r(20, 20), true)
+	// prod holds a non-BE pod — never a victim.
+	tr.MarkPlaced(web, 30, r(10, 10), false)
+
+	// Most over-share tenant (scratch, 4.0) is tapped first.
+	vs := tr.PickVictims(web, r(15, 15), 4)
+	if len(vs) != 1 || vs[0].PodID != 20 {
+		t.Fatalf("victims = %+v, want [pod 20]", vs)
+	}
+
+	// Larger need spills into shared, ascending pod ID.
+	vs = tr.PickVictims(web, r(25, 25), 4)
+	if len(vs) != 2 || vs[0].PodID != 20 || vs[1].PodID != 10 {
+		t.Fatalf("victims = %+v, want pods [20 10]", vs)
+	}
+
+	// maxN bounds selection.
+	vs = tr.PickVictims(web, r(1000, 1000), 1)
+	if len(vs) != 1 {
+		t.Fatalf("maxN=1 got %d victims", len(vs))
+	}
+
+	// The requesting tenant's own BE pods are never picked.
+	vs = tr.PickVictims(shared, r(1000, 1000), 10)
+	for _, v := range vs {
+		if v.PodID == 10 || v.PodID == 11 {
+			t.Fatalf("picked the requester's own pod: %+v", v)
+		}
+	}
+
+	// Under-share tenants are untouchable: clear scratch, shrink shared
+	// below guarantee.
+	tr.UnmarkPlaced(scratch, 20, r(20, 20))
+	tr.UnmarkPlaced(shared, 10, r(10, 10))
+	tr.UnmarkPlaced(shared, 11, r(10, 10))
+	tr.MarkPlaced(shared, 12, r(5, 5), true)
+	if vs := tr.PickVictims(web, r(100, 100), 10); len(vs) != 0 {
+		t.Fatalf("picked victims from under-share tenants: %+v", vs)
+	}
+}
+
+func TestCRUDAndCanonicalConfig(t *testing.T) {
+	tr := mustTree(t, testConfig())
+	h0 := tr.ConfigHash()
+	if h0 == "" {
+		t.Fatal("empty config hash")
+	}
+
+	// Adding a tenant changes the hash; a rebuilt tree matches it.
+	if err := tr.SetTenant(TenantConfig{Name: "ml", Guaranteed: r(15, 15)}); err != nil {
+		t.Fatalf("SetTenant: %v", err)
+	}
+	h1 := tr.ConfigHash()
+	if h1 == h0 {
+		t.Fatal("hash unchanged after SetTenant")
+	}
+	rebuilt := mustTree(t, tr.CanonicalConfig())
+	if rebuilt.ConfigHash() != h1 {
+		t.Fatalf("rebuilt hash %s != %s", rebuilt.ConfigHash(), h1)
+	}
+
+	// Updating guarantees in place keeps leaf handles valid.
+	ml, _ := tr.Resolve("ml", "")
+	if err := tr.SetTenant(TenantConfig{Name: "ml", Guaranteed: r(30, 30)}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	ml2, _ := tr.Resolve("ml", "")
+	if ml2 != ml {
+		t.Fatalf("leaf handle changed across update: %d vs %d", ml, ml2)
+	}
+
+	// Deletion: blocked while in use, allowed when drained, revivable.
+	if err := tr.Admit(ml, r(1, 1)); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if err := tr.DeleteTenant("ml"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("delete in-use: %v", err)
+	}
+	tr.ReleaseAdmitted(ml, r(1, 1))
+	if err := tr.DeleteTenant("ml"); err != nil {
+		t.Fatalf("delete drained: %v", err)
+	}
+	if _, err := tr.Resolve("ml", ""); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("resolve deleted tenant: %v", err)
+	}
+	if tr.ConfigHash() != h0 {
+		t.Fatal("hash should return to pre-add value after delete")
+	}
+	if err := tr.DeleteTenant("shared"); err == nil {
+		t.Fatal("deleting the default tenant should fail")
+	}
+	// Revival reuses the tombstoned subtree: the old handle works again.
+	if err := tr.SetTenant(TenantConfig{Name: "ml", Guaranteed: r(5, 5)}); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	ml3, err := tr.Resolve("ml", "")
+	if err != nil || ml3 != ml {
+		t.Fatalf("revived handle = %d (err %v), want %d", ml3, err, ml)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	tr := mustTree(t, testConfig())
+	web, _ := tr.Resolve("prod", "web")
+	if err := tr.Admit(web, r(10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	tr.MarkPlaced(web, 1, r(10, 10), false)
+	tr.NoteShed(web)
+
+	snap := tr.Snapshot()
+	if snap.ConfigHash != tr.ConfigHash() {
+		t.Fatal("snapshot hash mismatch")
+	}
+	if len(snap.Root.Children) != 3 {
+		t.Fatalf("want 3 tenants, got %d", len(snap.Root.Children))
+	}
+	// Tenants sorted by name: prod, scratch, shared.
+	prod := snap.Root.Children[0]
+	if prod.Name != "prod" {
+		t.Fatalf("first tenant = %q", prod.Name)
+	}
+	if prod.Placed.CPU != 10 || prod.Admitted.CPU != 10 {
+		t.Fatalf("prod usage = %+v / %+v", prod.Placed, prod.Admitted)
+	}
+	if prod.PlacedPods != 1 || prod.ShedPods != 1 {
+		t.Fatalf("prod counters: placed=%d shed=%d", prod.PlacedPods, prod.ShedPods)
+	}
+	if snap.Root.Placed.CPU != 10 {
+		t.Fatalf("root placed = %+v", snap.Root.Placed)
+	}
+}
+
+// TestConservationProperty churns the tree with random admissions,
+// placements, preemptions, removals, and CRUD, checking after every step
+// that each interior node's usage equals the sum over its children.
+func TestConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := mustTree(t, testConfig())
+
+	leaves := []string{"shared/", "prod/web", "prod/batch", "prod/", "scratch/"}
+	type livePod struct {
+		leaf   int32
+		req    trace.Resources
+		placed bool
+	}
+	pods := make(map[int]*livePod)
+	next := 1
+
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // admit a new pod
+			name := leaves[rng.Intn(len(leaves))]
+			tenant, queue := name[:len(name)-1], ""
+			for i := 0; i < len(name); i++ {
+				if name[i] == '/' {
+					tenant, queue = name[:i], name[i+1:]
+					break
+				}
+			}
+			leaf, err := tr.Resolve(tenant, queue)
+			if err != nil {
+				break // tenant may be deleted this instant
+			}
+			req := r(float64(rng.Intn(8)+1), float64(rng.Intn(8)+1))
+			if tr.Admit(leaf, req) == nil {
+				pods[next] = &livePod{leaf: leaf, req: req}
+				next++
+			}
+		case op < 6: // place a queued pod
+			for id, p := range pods {
+				if !p.placed {
+					tr.MarkPlaced(p.leaf, id, p.req, rng.Intn(2) == 0)
+					p.placed = true
+					break
+				}
+			}
+		case op < 8: // remove a pod terminally
+			for id, p := range pods {
+				if p.placed {
+					tr.UnmarkPlaced(p.leaf, id, p.req)
+				}
+				tr.ReleaseAdmitted(p.leaf, p.req)
+				delete(pods, id)
+				break
+			}
+		case op < 9: // preempt: victims are unplaced but stay admitted
+			var anyLeaf int32
+			for _, p := range pods {
+				anyLeaf = p.leaf
+				break
+			}
+			for _, v := range tr.PickVictims(anyLeaf, r(10, 10), 2) {
+				if p := pods[v.PodID]; p != nil && p.placed {
+					tr.UnmarkPlaced(v.Leaf, v.PodID, v.Req)
+					tr.NotePreempted(v.Leaf)
+					p.placed = false
+				}
+			}
+		default: // CRUD churn on a side tenant
+			if rng.Intn(2) == 0 {
+				_ = tr.SetTenant(TenantConfig{Name: "churn", Guaranteed: r(float64(rng.Intn(20)+1), 5)})
+			} else {
+				_ = tr.DeleteTenant("churn")
+			}
+		}
+		if err := tr.checkConservation(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+
+	// Drain everything: usage must return exactly to zero.
+	for id, p := range pods {
+		if p.placed {
+			tr.UnmarkPlaced(p.leaf, id, p.req)
+		}
+		tr.ReleaseAdmitted(p.leaf, p.req)
+	}
+	snap := tr.Snapshot()
+	if snap.Root.Admitted.CPU != 0 || snap.Root.Admitted.Mem != 0 ||
+		snap.Root.Placed.CPU != 0 || snap.Root.Placed.Mem != 0 {
+		t.Fatalf("drained tree not empty: %+v / %+v", snap.Root.Admitted, snap.Root.Placed)
+	}
+	if err := tr.checkConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -195,6 +195,13 @@ type Pod struct {
 	// (seconds from trace start); 0 means "runs to the end of the trace".
 	Lifetime int64 `json:"lifetime"`
 
+	// Tenant and Queue attribute the pod to a leaf of the engine's
+	// multi-tenant quota tree (internal/quota). Empty values mean "the
+	// default tenant's default queue" and keep single-tenant specs, journal
+	// blobs, and hashes byte-identical to pods that predate attribution.
+	Tenant string `json:"tenant,omitempty"`
+	Queue  string `json:"queue,omitempty"`
+
 	app *App // resolved pointer; set by Workload.link
 }
 

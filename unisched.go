@@ -33,6 +33,7 @@ import (
 	"unisched/internal/journal"
 	"unisched/internal/obs"
 	"unisched/internal/profiler"
+	"unisched/internal/quota"
 	"unisched/internal/sched"
 	"unisched/internal/sim"
 	"unisched/internal/trace"
@@ -279,6 +280,45 @@ type (
 func OpenDurableEngine(c *Cluster, factory SchedulerFactory, cfg EngineConfig, link func(*Pod) error) (*Engine, *RecoveryStats, error) {
 	return engine.OpenDurable(c, factory, cfg, link)
 }
+
+// Multi-tenant quota surface (set EngineConfig.Quota to enable; pods carry
+// Tenant/Queue attribution).
+type (
+	// QuotaTree is the hierarchical root → tenant → queue quota tree with
+	// guaranteed and max capacity per node and fair-share ordering.
+	QuotaTree = quota.Tree
+	// QuotaConfig declares the whole tree; TenantConfig and QueueConfig
+	// declare one tenant subtree and one leaf queue.
+	QuotaConfig  = quota.Config
+	TenantConfig = quota.TenantConfig
+	QueueConfig  = quota.QueueConfig
+	// QuotaTreeSnapshot / QuotaNodeSnapshot are the tree's JSON view with
+	// usage, fair shares, and outcome counters at every level.
+	QuotaTreeSnapshot = quota.Snapshot
+	QuotaNodeSnapshot = quota.NodeSnapshot
+)
+
+// Quota admission and CRUD errors.
+var (
+	// ErrQuotaOverMax reports an admission the engine shed because it
+	// would push some quota ancestor over its max.
+	ErrQuotaOverMax = quota.ErrOverMax
+	// ErrUnknownTenant / ErrUnknownQueue report unresolvable attribution
+	// (hard rejects, like unlinked pods).
+	ErrUnknownTenant = quota.ErrUnknownTenant
+	ErrUnknownQueue  = quota.ErrUnknownQueue
+	// ErrTenantInUse reports a tenant deletion while it still holds
+	// admitted usage.
+	ErrTenantInUse = quota.ErrInUse
+	// ErrNoQuota reports a quota operation on a single-tenant engine.
+	ErrNoQuota = engine.ErrNoQuota
+)
+
+// DefaultQueue is the implicit per-tenant queue used when a pod names none.
+const DefaultQueue = quota.DefaultQueue
+
+// NewQuotaTree builds a quota tree to hand to EngineConfig.Quota.
+func NewQuotaTree(cfg QuotaConfig) (*QuotaTree, error) { return quota.New(cfg) }
 
 // Fault injection types (set SimConfig.Chaos to enable).
 type (

@@ -1,6 +1,7 @@
 package unisched_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -145,5 +146,60 @@ func TestFacadeDurableEngine(t *testing.T) {
 		if err := e2.Submit(p); err != unisched.ErrDuplicatePod {
 			t.Fatalf("resubmit %d after recovery: %v, want duplicate", p.ID, err)
 		}
+	}
+}
+
+// TestFacadeMultiTenantEngine drives the quota surface through the facade:
+// build a tree, run a two-tenant engine, shed over-max, inspect the tree.
+func TestFacadeMultiTenantEngine(t *testing.T) {
+	cfg := unisched.SmallWorkload()
+	cfg.NumNodes = 8
+	cfg.Horizon = 1800
+	w := unisched.MustGenerateWorkload(cfg)
+
+	qt, err := unisched.NewQuotaTree(unisched.QuotaConfig{
+		DefaultTenant: "shared",
+		Tenants: []unisched.TenantConfig{
+			{Name: "shared", Guaranteed: unisched.Resources{CPU: 4, Mem: 16}},
+			{Name: "tiny", Guaranteed: unisched.Resources{CPU: 0.1, Mem: 0.1},
+				Max: unisched.Resources{CPU: 0.1, Mem: 0.1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(c *unisched.Cluster, worker int, seed int64) unisched.Scheduler {
+		return unisched.NewAlibabaScheduler(c, seed)
+	}
+	c := unisched.NewCluster(w)
+	e := unisched.NewEngine(c, factory, unisched.EngineConfig{
+		Workers: 2, Horizon: w.Horizon, BlockOnFull: true, Quota: qt,
+	})
+	e.Start()
+	overMax := 0
+	for _, p := range w.Pods {
+		if i := p.ID % 8; i == 0 {
+			p.Tenant = "tiny" // most of these shed on the 0.1-CPU max
+		}
+		switch err := e.Submit(p); {
+		case err == nil:
+		case errors.Is(err, unisched.ErrQuotaOverMax):
+			overMax++
+		default:
+			t.Fatalf("submit %d: %v", p.ID, err)
+		}
+	}
+	e.Drain(time.Minute)
+	e.Stop()
+	if overMax == 0 {
+		t.Fatal("nothing shed on the tiny tenant's max")
+	}
+	sn := e.Snapshot()
+	if sn.Lost() != 0 || sn.Quota == nil || int64(overMax) != sn.QuotaShed {
+		t.Fatalf("quota accounting: lost %d, shed %d vs %d", sn.Lost(), sn.QuotaShed, overMax)
+	}
+	var qs unisched.QuotaTreeSnapshot
+	if qs, err = e.QuotaSnapshot(); err != nil || len(qs.Root.Children) != 2 {
+		t.Fatalf("quota snapshot: %v (%d tenants)", err, len(qs.Root.Children))
 	}
 }
