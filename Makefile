@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-engine
+.PHONY: build test race vet fmt check bench bench-engine bench-check
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,15 @@ bench-engine:
 	{ $(GO) test -bench 'BenchmarkEngine|BenchmarkPipeline' -benchmem -benchtime 3x -run '^$$' ./internal/engine; \
 	  $(GO) test -bench 'BenchmarkScoreHost' -benchmem -benchtime 2000x -run '^$$' ./internal/core; } \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_engine.json
+
+# bench-check is the CI perf-regression gate: re-run the engine
+# throughput benchmark and fail if workers=4 placements/s regresses more
+# than 10% against the committed BENCH_engine.json baseline. Single-run
+# benchmarks on shared hardware are noisy; the tolerance absorbs normal
+# jitter while still catching structural regressions.
+bench-check:
+	$(GO) test -bench 'BenchmarkEngineThroughput' -benchtime 3x -run '^$$' ./internal/engine \
+		| tee /dev/stderr | $(GO) run ./cmd/benchcheck \
+			-baseline BENCH_engine.json \
+			-name BenchmarkEngineThroughput/workers=4 \
+			-metric placements/s -tolerance 10

@@ -1,0 +1,92 @@
+// Command benchcheck is the CI perf-regression gate: it parses a fresh
+// `go test -bench` run from stdin and compares one benchmark's metric
+// against the committed baseline document (BENCH_engine.json), failing
+// with a non-zero exit when the fresh value regresses beyond the
+// tolerance:
+//
+//	go test -bench 'BenchmarkEngineThroughput' -benchtime 3x -run '^$' ./internal/engine \
+//	    | benchcheck -baseline BENCH_engine.json \
+//	                 -name BenchmarkEngineThroughput/workers=4 \
+//	                 -metric placements/s -tolerance 10
+//
+// The metric is assumed higher-is-better (throughput); ns/op style
+// lower-is-better checks invert via -lower-is-better.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"unisched/internal/benchfmt"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func metricOf(b *benchfmt.Benchmark, metric string) (float64, bool) {
+	if metric == "ns/op" {
+		return b.NsOp, b.NsOp != 0
+	}
+	v, ok := b.Metrics[metric]
+	return v, ok
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_engine.json", "committed baseline document")
+	name := flag.String("name", "BenchmarkEngineThroughput/workers=4", "benchmark to gate on")
+	metric := flag.String("metric", "placements/s", "metric unit to compare (ns/op or a custom unit)")
+	tolerance := flag.Float64("tolerance", 10, "allowed regression in percent")
+	lowerBetter := flag.Bool("lower-is-better", false, "treat the metric as lower-is-better (e.g. ns/op)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fail("read baseline: %v", err)
+	}
+	var base benchfmt.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fail("parse baseline %s: %v", *baseline, err)
+	}
+	bb := base.Find(*name)
+	if bb == nil {
+		fail("baseline %s has no benchmark %q", *baseline, *name)
+	}
+	baseVal, ok := metricOf(bb, *metric)
+	if !ok {
+		fail("baseline %q carries no metric %q", *name, *metric)
+	}
+
+	fresh, err := benchfmt.ParseStream(os.Stdin)
+	if err != nil {
+		fail("read bench output: %v", err)
+	}
+	fb := fresh.Find(*name)
+	if fb == nil {
+		fail("fresh run produced no benchmark %q (did the bench fail?)", *name)
+	}
+	freshVal, ok := metricOf(fb, *metric)
+	if !ok {
+		fail("fresh %q carries no metric %q", *name, *metric)
+	}
+
+	// Regression percentage, positive = worse than baseline.
+	var regress float64
+	if *lowerBetter {
+		regress = (freshVal - baseVal) / baseVal * 100
+	} else {
+		regress = (baseVal - freshVal) / baseVal * 100
+	}
+	verdict := "OK"
+	if regress > *tolerance {
+		verdict = "FAIL"
+	}
+	fmt.Printf("benchcheck %s: %s %s baseline=%.0f fresh=%.0f regression=%+.1f%% tolerance=%.1f%%\n",
+		verdict, *name, *metric, baseVal, freshVal, regress, *tolerance)
+	if verdict == "FAIL" {
+		os.Exit(1)
+	}
+}

@@ -8,61 +8,20 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"unisched/internal/benchfmt"
 )
-
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	Name string  `json:"name"`
-	N    int64   `json:"n"`
-	NsOp float64 `json:"ns_op"`
-	// AllocsOp and BytesOp are present with -benchmem.
-	BytesOp  *float64 `json:"bytes_op,omitempty"`
-	AllocsOp *float64 `json:"allocs_op,omitempty"`
-	// Metrics holds custom b.ReportMetric values by unit.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the full document.
-type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
-	rep := Report{Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "pkg:"):
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "cpu:"):
-			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseBench(line); ok {
-				rep.Benchmarks = append(rep.Benchmarks, b)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	rep, err := benchfmt.ParseStream(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
@@ -81,48 +40,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-}
-
-// parseBench parses one result line of the form
-//
-//	BenchmarkName-8  3  111882528 ns/op  36723 placements/s  42 B/op  12 allocs/op
-//
-// Fields come in (value, unit) pairs after the name and iteration count.
-func parseBench(line string) (Benchmark, bool) {
-	f := strings.Fields(line)
-	if len(f) < 4 {
-		return Benchmark{}, false
-	}
-	name := f[0]
-	// Trim the -GOMAXPROCS suffix.
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
-	n, err := strconv.ParseInt(f[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: name, N: n}
-	for i := 2; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseFloat(f[i], 64)
-		if err != nil {
-			continue
-		}
-		switch unit := f[i+1]; unit {
-		case "ns/op":
-			b.NsOp = v
-		case "B/op":
-			b.BytesOp = &v
-		case "allocs/op":
-			b.AllocsOp = &v
-		default:
-			if b.Metrics == nil {
-				b.Metrics = make(map[string]float64)
-			}
-			b.Metrics[unit] = v
-		}
-	}
-	return b, true
 }

@@ -1,0 +1,114 @@
+// Package benchfmt parses `go test -bench` text output into the JSON
+// document shape committed as BENCH_engine.json, shared by cmd/benchjson
+// (which writes the document) and cmd/benchcheck (which gates merges on
+// it). Only stdlib is used; custom b.ReportMetric values (placements/s,
+// nodes_visited/decision, ...) are preserved by unit.
+package benchfmt
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name string  `json:"name"`
+	N    int64   `json:"n"`
+	NsOp float64 `json:"ns_op"`
+	// AllocsOp and BytesOp are present with -benchmem.
+	BytesOp  *float64 `json:"bytes_op,omitempty"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Find returns the first benchmark whose name matches exactly, or nil.
+func (r *Report) Find(name string) *Benchmark {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// ParseStream reads `go test -bench` text output and accumulates every
+// result line (plus the goos/goarch/pkg/cpu header) into a Report.
+func ParseStream(in io.Reader) (Report, error) {
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := ParseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// ParseLine parses one result line of the form
+//
+//	BenchmarkName-8  3  111882528 ns/op  36723 placements/s  42 B/op  12 allocs/op
+//
+// Fields come in (value, unit) pairs after the name and iteration count.
+func ParseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	// Trim the -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, N: n}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsOp = v
+		case "B/op":
+			b.BytesOp = &v
+		case "allocs/op":
+			b.AllocsOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}

@@ -17,6 +17,11 @@ const podHistCap = 64
 // the 24-hour window the N-sigma predictor uses.
 const nodeHistCap = 2880
 
+// histSeedCap is the initial ring capacity each node's history is seeded
+// with at construction (~2 hours of samples); rings grow toward
+// nodeHistCap by append doubling from there.
+const histSeedCap = 256
+
 // podHistory tracks a pod's recent usage plus running extremes. The P99
 // statistic is cached and invalidated on record, because the Resource
 // Central predictor evaluates it once per candidate scan.

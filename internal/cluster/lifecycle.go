@@ -51,7 +51,7 @@ func (c *Cluster) FailNode(id int, now int64) []*PodState {
 	}
 	n.phase = NodeDown
 	out := c.displaceAll(n, now)
-	n.hist = nodeHistory{}
+	*n.hist = nodeHistory{}
 	c.notify(id)
 	return out
 }

@@ -78,7 +78,11 @@ type NodeState struct {
 	// map and allocates only on first sight of an app.
 	appCounts []appCount
 
-	hist nodeHistory
+	// hist is shared by pointer between the live node and every published
+	// clone (CloneView copies the pointer): history is written only by the
+	// physics tick, which quiesces all snapshot readers first, so clones
+	// always observe the freshest samples without being republished.
+	hist *nodeHistory
 }
 
 // appCount is one entry of a node's per-application pod counter.
@@ -254,8 +258,15 @@ func New(nodes []*trace.Node, phys Physics) *Cluster {
 	// the cluster, so a slab halves the per-node allocation count and keeps
 	// the scan's node metadata contiguous.
 	states := make([]NodeState, len(nodes))
+	hists := make([]nodeHistory, len(nodes))
+	// Seed every node's history ring from one contiguous slab so the first
+	// tick doesn't pay len(nodes) ring allocations at once; rings that
+	// outgrow the seed chunk re-allocate (and unshare) via append.
+	rings := make([][2]float64, len(nodes)*histSeedCap)
 	for i, n := range nodes {
 		states[i].Node = n
+		states[i].hist = &hists[i]
+		hists[i].buf = rings[i*histSeedCap : i*histSeedCap : (i+1)*histSeedCap]
 		c.nodes[i] = &states[i]
 	}
 	return c

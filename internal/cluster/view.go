@@ -1,0 +1,140 @@
+package cluster
+
+// Epoch-view support: the engine's zero-lock scheduling path scores
+// against per-worker view clusters whose nodes are immutable clones
+// published in copy-on-write shard snapshots (internal/engine/store.go).
+// A view cluster is structurally a Cluster — so pipelines, candidate
+// indexes, and prediction summaries built over it work unchanged — but it
+// is never mutated through Place/Remove. Instead the owning worker swaps
+// fresh clones in via AdoptNode, which fires the view's own observers
+// (index reconcile, summary maintenance) on the worker's goroutine.
+
+// CloneView returns an immutable copy of the node state for publication
+// in an epoch snapshot. The pods and appCounts slices are copied because
+// the live cluster mutates them in place (Remove shifts pods, bumpApp
+// swap-removes); the usage history (by pointer) and the PodState pointers
+// are shared, which is safe because only the physics tick writes them and
+// the engine quiesces every snapshot reader across ticks. Sharing the
+// history means a clone never goes stale on usage data — ticks only have
+// to republish nodes whose placement accounting changed.
+func (n *NodeState) CloneView() *NodeState {
+	cp := *n
+	cp.cloneSlicesFrom(n)
+	return &cp
+}
+
+// CloneViewInto overwrites dst with a publishable copy of n, like
+// CloneView but into caller-provided (typically slab-allocated) storage.
+func (n *NodeState) CloneViewInto(dst *NodeState) {
+	*dst = *n
+	dst.cloneSlicesFrom(n)
+}
+
+func (cp *NodeState) cloneSlicesFrom(n *NodeState) {
+	if len(n.pods) > 0 {
+		cp.pods = append([]*PodState(nil), n.pods...)
+	} else {
+		cp.pods = nil
+	}
+	if len(n.appCounts) > 0 {
+		cp.appCounts = append([]appCount(nil), n.appCounts...)
+	} else {
+		cp.appCounts = nil
+	}
+}
+
+// CloneArena slab-allocates view clones for a publisher that makes them
+// at high rate (the engine's epoch store: one clone per placement). The
+// clone structs and their pods/appCounts copies are carved from chunks,
+// cutting the three heap allocations per clone to amortized chunk
+// refills. Chunks are garbage-collected once every epoch snapshot
+// referencing them has been replaced. Not safe for concurrent use; the
+// engine keeps one arena per shard, used only under that shard's lock.
+type CloneArena struct {
+	nodes []NodeState
+	pods  []*PodState
+	apps  []appCount
+}
+
+// Clone returns a publishable copy of n, equivalent to CloneView but
+// arena-allocated.
+func (a *CloneArena) Clone(n *NodeState) *NodeState {
+	if len(a.nodes) == 0 {
+		a.nodes = make([]NodeState, 256)
+	}
+	cp := &a.nodes[0]
+	a.nodes = a.nodes[1:]
+	*cp = *n
+	if np := len(n.pods); np > 0 {
+		if len(a.pods) < np {
+			c := 4096
+			if c < np {
+				c = np
+			}
+			a.pods = make([]*PodState, c)
+		}
+		cp.pods = a.pods[:np:np]
+		a.pods = a.pods[np:]
+		copy(cp.pods, n.pods)
+	} else {
+		cp.pods = nil
+	}
+	if na := len(n.appCounts); na > 0 {
+		if len(a.apps) < na {
+			c := 1024
+			if c < na {
+				c = na
+			}
+			a.apps = make([]appCount, c)
+		}
+		cp.appCounts = a.apps[:na:na]
+		a.apps = a.apps[na:]
+		copy(cp.appCounts, n.appCounts)
+	} else {
+		cp.appCounts = nil
+	}
+	return cp
+}
+
+// NewView builds a read-only view cluster over src: same physics, same
+// node IDs, every node a CloneView of src's current state. The byPod
+// index stays empty — views never deploy, they only score. Node slots are
+// one contiguous slab, ordered by ID and stable for the view's lifetime:
+// adoption copies clone contents into the slot rather than retargeting
+// the pointer, so scoring scans walk sequential memory no matter where
+// the published clones were allocated.
+func NewView(src *Cluster) *Cluster {
+	v := &Cluster{
+		Physics: src.Physics,
+		nodes:   make([]*NodeState, len(src.nodes)),
+		byPod:   make(map[int]*PodState),
+		notUp:   src.notUp,
+	}
+	states := make([]NodeState, len(src.nodes))
+	for i, n := range src.nodes {
+		n.CloneViewInto(&states[i])
+		v.nodes[i] = &states[i]
+	}
+	return v
+}
+
+// AdoptNode installs a published clone into a view cluster, maintaining
+// the notUp counter across lifecycle transitions and firing the view's
+// observers so its candidate index and prediction summaries reconcile.
+// The clone's contents are copied into the view's stable per-ID slot
+// (its pods/appCounts slices are shared — the published clone is
+// immutable, and views never deploy), preserving the contiguous scan
+// layout. Only the view's owning goroutine may call it.
+func (c *Cluster) AdoptNode(clone *NodeState) {
+	id := clone.Node.ID
+	slot := c.nodes[id]
+	if (slot.phase == NodeUp) != (clone.phase == NodeUp) {
+		if clone.phase == NodeUp {
+			c.notUp--
+		} else {
+			c.notUp++
+		}
+	}
+	*slot = *clone
+	c.notify(id)
+}

@@ -7,6 +7,7 @@ import (
 
 	"unisched/internal/cluster"
 	"unisched/internal/sched"
+	"unisched/internal/trace"
 )
 
 // BenchmarkEngineThroughput measures end-to-end placement throughput —
@@ -120,5 +121,88 @@ func BenchmarkPipelineVsScan(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkEngineSoak is the sustained-churn benchmark (the
+// clusterloader2 shape: fixed workload waves replayed back-to-back
+// rather than one burst): successive waves of short-lived pods are
+// submitted and drained while earlier waves expire, so the engine
+// schedules against a cluster that is continuously filling and freeing.
+// Workers share the full cluster (no partitioning), which makes the
+// batched-commit conflict path and the work-stealing path do real work —
+// the reported commit_conflicts/placement and steals metrics are the
+// point of the benchmark, alongside placements/s.
+func BenchmarkEngineSoak(b *testing.B) {
+	const (
+		nodes    = 1024
+		wavePods = 2048
+		waves    = 3
+	)
+	// Hand-rolled workload (one LS app, unit nodes) with per-wave
+	// lifetimes: wave k expires one virtual tick after wave k+1 starts,
+	// so capacity recycles throughout the run.
+	app := testWorkload(b, 1, 1, 0.1).Apps[0]
+	w := &trace.Workload{Apps: []*trace.App{app}, Horizon: 3600, Seed: 1}
+	for i := 0; i < nodes; i++ {
+		w.Nodes = append(w.Nodes, &trace.Node{ID: i, Capacity: trace.Resources{CPU: 1, Mem: 1}})
+	}
+	for i := 0; i < waves*wavePods; i++ {
+		p := &trace.Pod{
+			ID: i, AppID: app.ID, SLO: app.SLO,
+			Request: app.Request, Limit: app.Limit,
+			CPUScale: 1, MemScale: 1,
+			Lifetime: int64(i/wavePods+2) * trace.SampleInterval,
+		}
+		if err := w.LinkPod(p); err != nil {
+			b.Fatal(err)
+		}
+		w.Pods = append(w.Pods, p)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var placed, conflicts, steals int64
+			var busy time.Duration
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+				e := New(c, alibabaFactory, Config{
+					Workers:  workers,
+					Shards:   16,
+					QueueCap: wavePods,
+					Seed:     int64(i + 1),
+				})
+				b.StartTimer()
+				start := time.Now()
+				e.Start()
+				for wave := 0; wave < waves; wave++ {
+					for _, p := range w.Pods[wave*wavePods : (wave+1)*wavePods] {
+						if err := e.Submit(p); err != nil {
+							b.Fatalf("submit pod %d: %v", p.ID, err)
+						}
+					}
+					if !e.Drain(2 * time.Minute) {
+						b.Fatalf("wave %d did not settle: %+v", wave, e.Snapshot())
+					}
+				}
+				busy += time.Since(start)
+				e.Stop()
+				sn := e.Snapshot()
+				if sn.Lost() != 0 {
+					b.Fatalf("lost %d submissions", sn.Lost())
+				}
+				placed += sn.Placed
+				conflicts += sn.CommitConflicts
+				steals += sn.Steals
+			}
+			if busy > 0 {
+				b.ReportMetric(float64(placed)/busy.Seconds(), "placements/s")
+			}
+			if placed > 0 {
+				b.ReportMetric(float64(conflicts)/float64(placed), "commit_conflicts/placement")
+			}
+			b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+		})
 	}
 }

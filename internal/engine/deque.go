@@ -1,0 +1,82 @@
+package engine
+
+import "sync"
+
+// wdeque is one worker's private run queue for work stealing: the owner
+// refills it from the shared admission queue in chunks and pops batches
+// from the front; idle peers steal half of the tail. The mutex guards
+// only these O(batch) transfers — it is never held during scoring, and
+// the zero-lock property of the snapshot read path (no sync primitives
+// between snapshot load and batch staging) is unaffected because every
+// deque operation happens before the snapshot load.
+type wdeque struct {
+	mu    sync.Mutex
+	items []item
+	head  int
+}
+
+// size returns how many items are queued.
+func (d *wdeque) size() int {
+	d.mu.Lock()
+	n := len(d.items) - d.head
+	d.mu.Unlock()
+	return n
+}
+
+// pushBack appends items at the tail (owner refill, or landing stolen
+// work).
+func (d *wdeque) pushBack(its []item) {
+	if len(its) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.items = append(d.items, its...)
+	d.mu.Unlock()
+}
+
+// popFront moves up to max items from the front into buf (owner only),
+// preserving FIFO order. The head compacts amortized-O(1) like the
+// admission queue's lanes.
+func (d *wdeque) popFront(max int, buf []item) []item {
+	d.mu.Lock()
+	n := len(d.items) - d.head
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		buf = append(buf, d.items[d.head])
+		d.items[d.head] = item{}
+		d.head++
+	}
+	if d.head == len(d.items) {
+		d.items = d.items[:0]
+		d.head = 0
+	} else if d.head > 64 && d.head*2 >= len(d.items) {
+		k := copy(d.items, d.items[d.head:])
+		d.items = d.items[:k]
+		d.head = 0
+	}
+	d.mu.Unlock()
+	return buf
+}
+
+// stealTail moves the back half of the deque into buf (a thief), leaving
+// the owner the front half it is about to process. Deques with fewer than
+// two items are not worth splitting.
+func (d *wdeque) stealTail(buf []item) []item {
+	d.mu.Lock()
+	n := len(d.items) - d.head
+	if n < 2 {
+		d.mu.Unlock()
+		return buf
+	}
+	take := n / 2
+	start := len(d.items) - take
+	buf = append(buf, d.items[start:]...)
+	for i := start; i < len(d.items); i++ {
+		d.items[i] = item{}
+	}
+	d.items = d.items[:start]
+	d.mu.Unlock()
+	return buf
+}

@@ -29,6 +29,7 @@ import (
 	"container/heap"
 	"encoding/json"
 	"log/slog"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -121,6 +122,12 @@ type Config struct {
 	// scan cost shrinks with the worker count at a small placement-
 	// quality cost. Requires schedulers built on sched.Base.
 	PartitionNodes bool
+	// PerPodCommit reverts commit validation to the pre-epoch
+	// one-lock-acquisition-per-decision path. Scoring still runs on epoch
+	// snapshots; only the commit grouping changes. Kept for A/B
+	// comparison and the StateHash-equivalence tests that pin the batched
+	// path to identical semantics.
+	PerPodCommit bool
 	// Retry tunes re-dispatch of failed and displaced pods; the zero
 	// value retries every tick with an 8-displacement budget.
 	Retry RetryPolicy
@@ -273,13 +280,19 @@ type Engine struct {
 	// every quota hook is one predictable nil-check branch.
 	qt *quota.Tree
 
-	scheds []sched.Scheduler
+	workers []*worker
 
 	now      atomic.Int64
 	inFlight atomic.Int64
 	// queued counts records in PodQueued phase (queue + backoff + in
 	// flight); zero means the engine is settled.
 	queued atomic.Int64
+	// quiet is an edge-triggered wake for Drain: commit paths send
+	// (non-blocking, capacity 1) when queued reaches zero, so a drain
+	// waiter unparks within the commit that settled the engine instead
+	// of on its next coarse poll. Drain re-checks settled() after every
+	// wake; a missed edge only costs it the fallback sleep.
+	quiet chan struct{}
 	// active counts pods currently running on the cluster.
 	active atomic.Int64
 
@@ -335,6 +348,47 @@ type Engine struct {
 	wg       sync.WaitGroup
 }
 
+// worker is one scheduling worker: a scheduler built over a private
+// epoch-view cluster, the adoption bookkeeping that keeps the view
+// current with the store's published shard snapshots, a private deque
+// for work stealing, and reusable scratch so the steady-state loop
+// allocates nothing.
+type worker struct {
+	id   int
+	sc   sched.Scheduler
+	view *cluster.Cluster
+	// member[id] marks nodes this worker can place on (PartitionNodes);
+	// nil means all. Adoption skips non-member nodes — the worker never
+	// scores them, so reconciling them into its view is pure waste.
+	member []bool
+	// memberShards[sh] marks store shards containing at least one member
+	// node; nil means all. Adoption skips whole shards outside the set,
+	// so a partitioned worker's reconcile cost scales with its partition
+	// rather than the cluster.
+	memberShards []bool
+	// adopted[id] is the clone currently installed in the view; pointer
+	// comparison against the published shardView detects staleness.
+	adopted []*cluster.NodeState
+	// gens[sh] is the last shardView generation adopted per shard.
+	gens []uint64
+	// vers[id] is the adopted version per node — the observed version the
+	// commit validates.
+	vers []uint64
+
+	dq wdeque
+
+	// Reusable scratch (owner goroutine only).
+	itemBuf  []item
+	chunkBuf []item
+	stealBuf []item
+	batch    []*trace.Pod
+	decVers  []uint64
+	results  []CommitResult
+	scr      CommitScratch
+	perPod   map[int]uint64
+	acc      batchAcc
+}
+
 // New builds an engine over a cluster. The cluster must be empty and must
 // not be mutated by anyone else while the engine runs.
 func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
@@ -349,6 +403,7 @@ func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
 		recs:   make(map[int]*podRecord, 8192),
 		log:    cfg.Logger,
 		stopCh: make(chan struct{}),
+		quiet:  make(chan struct{}, 1),
 	}
 	if e.log == nil {
 		e.log = discardLogger()
@@ -362,27 +417,51 @@ func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
 	}
 	e.hist = obs.NewHistory(histCap, sloNames())
 	e.q.onPop = func(n int) { e.inFlight.Add(int64(n)) }
-	for w := 0; w < cfg.Workers; w++ {
-		s := factory(c, w, cfg.Seed+int64(w)*7919)
+	for wi := 0; wi < cfg.Workers; wi++ {
+		// Each worker's scheduler is built over a private epoch-view
+		// cluster, so its candidate index and prediction summaries register
+		// their observers on the view and maintain themselves during clone
+		// adoption — lock-free, on the worker's own goroutine — instead of
+		// fanning out synchronously under the live cluster's shard locks.
+		vc := cluster.NewView(c)
+		s := factory(vc, wi, cfg.Seed+int64(wi)*7919)
+		w := &worker{id: wi, sc: s, view: vc}
+		w.adopted = make([]*cluster.NodeState, len(c.Nodes()))
+		copy(w.adopted, vc.Nodes())
+		w.gens = make([]uint64, e.store.Shards())
+		w.vers = make([]uint64, len(c.Nodes()))
 		if cfg.PartitionNodes && cfg.Workers > 1 {
 			if r, ok := s.(candidateRestrictor); ok {
 				var ids []int
+				w.member = make([]bool, len(c.Nodes()))
 				for _, n := range c.Nodes() {
-					if n.Node.ID%cfg.Workers == w {
+					if n.Node.ID%cfg.Workers == wi {
 						ids = append(ids, n.Node.ID)
+						w.member[n.Node.ID] = true
 					}
 				}
 				r.RestrictTo(ids)
+				w.memberShards = make([]bool, e.store.Shards())
+				for _, id := range ids {
+					w.memberShards[e.store.shardOf(id)] = true
+				}
 			}
 		}
-		if e.rec != nil {
-			// Every worker's pipeline feeds the shared recorder; sampling
-			// and the ring are concurrency-safe.
-			if pp, ok := s.(interface{ Pipeline() *pipeline.Pipeline }); ok {
+		if pp, ok := s.(interface{ Pipeline() *pipeline.Pipeline }); ok {
+			// The view's index is owned by this worker alone: drop its
+			// internal mutex from the adoption path.
+			pp.Pipeline().Index().SetExclusive(true)
+			// Stage spans cost two to three clock reads per decision;
+			// sample them. Counters (visits, prunes, placements) stay
+			// exact, and traced decisions are always timed.
+			pp.Pipeline().Stats().SetSpanSampling(64)
+			if e.rec != nil {
+				// Every worker's pipeline feeds the shared recorder;
+				// sampling and the ring are concurrency-safe.
 				pp.Pipeline().SetRecorder(e.rec)
 			}
 		}
-		e.scheds = append(e.scheds, s)
+		e.workers = append(e.workers, w)
 	}
 	return e
 }
@@ -418,9 +497,12 @@ func (e *Engine) Start() {
 		"tick_s", e.cfg.Tick,
 		"trace_every", e.cfg.TraceEvery,
 		"nodes", len(e.c.Nodes()))
-	for i := range e.scheds {
+	// Recovery replay (OpenDurable) mutates the cluster after NewStore's
+	// initial publish; republish so the first adoption sees current state.
+	e.store.PublishAll()
+	for i := range e.workers {
 		e.wg.Add(1)
-		go e.runWorker(e.scheds[i])
+		go e.runWorker(e.workers[i])
 	}
 	e.wg.Add(1)
 	go e.loop()
@@ -678,7 +760,23 @@ func (e *Engine) Drain(timeout time.Duration) bool {
 		if time.Now().After(deadline) {
 			return e.settled()
 		}
-		time.Sleep(time.Millisecond)
+		// Commit paths signal quiet when the pending counter hits zero,
+		// so the common case unparks immediately; the timeout keeps
+		// horizon-mode settling (no counter edge) making progress.
+		select {
+		case <-e.quiet:
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// signalQuiet wakes a Drain waiter. The channel is a capacity-1 edge
+// trigger: a send with no waiter parked is retained for the next one,
+// and extra sends are dropped.
+func (e *Engine) signalQuiet() {
+	select {
+	case e.quiet <- struct{}{}:
+	default:
 	}
 }
 
@@ -715,10 +813,11 @@ func (e *Engine) Snapshot() Snapshot {
 		sn.States[rec.phase.String()]++
 	}
 	e.recMu.Unlock()
+	sn.EpochsPublished = e.store.Epochs()
 	var ps pipeline.StatsSnapshot
 	merged := false
-	for _, sc := range e.scheds {
-		if pp, ok := sc.(interface{ Pipeline() *pipeline.Pipeline }); ok {
+	for _, w := range e.workers {
+		if pp, ok := w.sc.(interface{ Pipeline() *pipeline.Pipeline }); ok {
 			pp.Pipeline().Stats().AddTo(&ps)
 			merged = true
 		}
@@ -803,94 +902,286 @@ func (e *Engine) Series() Series {
 	}
 }
 
-// runWorker is one scheduler worker: pop a priority batch, score it under
-// shard read locks, commit each decision through the optimistic path, and
-// park failures for retry.
-func (e *Engine) runWorker(sc sched.Scheduler) {
+// runWorker is one scheduling worker: drain the private deque in
+// MaxBatch bites, refill it from the shared admission queue in
+// double-size chunks, and — when both are empty — steal half the tail of
+// the longest peer deque. Deque residents were already popped from the
+// shared queue, so they count as in flight and the fast-mode tick
+// barrier (queue empty AND nothing in flight) stays exact.
+func (e *Engine) runWorker(w *worker) {
 	defer e.wg.Done()
+	chunk := 2 * e.cfg.MaxBatch
+	idle := 0
 	for {
-		items := e.q.popBatch(e.cfg.MaxBatch)
-		if items == nil {
-			return
+		items := w.dq.popFront(e.cfg.MaxBatch, w.itemBuf[:0])
+		if len(items) == 0 {
+			got, closed := e.q.tryPopBatch(chunk, w.chunkBuf[:0])
+			w.chunkBuf = got[:0]
+			if len(got) > 0 {
+				w.dq.pushBack(got)
+				items = w.dq.popFront(e.cfg.MaxBatch, w.itemBuf[:0])
+			} else if closed {
+				// The queue yields nothing after close; finish what is
+				// already in the deque (in flight) and exit.
+				return
+			} else if stolen := e.steal(w); len(stolen) > 0 {
+				w.dq.pushBack(stolen)
+				items = w.dq.popFront(e.cfg.MaxBatch, w.itemBuf[:0])
+			}
 		}
-		now := e.now.Load()
-		batch := make([]*trace.Pod, len(items))
-		for i, it := range items {
-			batch[i] = it.pod
+		if len(items) == 0 {
+			// One yield covers a peer mid-commit about to requeue; after
+			// that, park on the queue's condvar so the next push (or a
+			// tick's backoff release) wakes the worker directly — timed
+			// sleeps here cost a full scheduler quantum per probe.
+			if idle++; idle < 2 {
+				runtime.Gosched()
+				continue
+			}
+			got := e.q.popBatch(chunk)
+			if got == nil {
+				return // closed
+			}
+			w.dq.pushBack(got)
+			if len(got) < e.cfg.MaxBatch {
+				// Woken on the leading edge of a burst: yield once so
+				// the producer can land the rest, then top the deque up
+				// — otherwise every push after an idle park schedules a
+				// near-empty batch at full per-batch cost.
+				runtime.Gosched()
+				more, _ := e.q.tryPopBatch(chunk-len(got), w.chunkBuf[:0])
+				w.chunkBuf = more[:0]
+				if len(more) > 0 {
+					w.dq.pushBack(more)
+				}
+			}
+			idle = 0
+			continue
 		}
-		start := time.Now()
-		decisions, versions := e.store.ScheduleBatch(sc, batch, now)
-		perPod := time.Duration(int64(time.Since(start)) / int64(len(items)))
+		idle = 0
+		w.itemBuf = items[:0]
+		e.processBatch(w, items)
+	}
+}
 
-		// Sampled traces from this batch, by pod — the commit stage below
-		// amends exactly the attempt the scheduler just recorded (a pod can
-		// have older traces from earlier retries).
-		var btr map[int]*obs.DecisionTrace
-		if e.rec != nil {
-			if pp, ok := sc.(interface{ Pipeline() *pipeline.Pipeline }); ok {
-				if bt := pp.Pipeline().BatchTraces(); len(bt) > 0 {
-					btr = make(map[int]*obs.DecisionTrace, len(bt))
-					for _, dt := range bt {
-						btr[dt.PodID] = dt
-					}
+// steal takes half the tail of the longest peer deque (at least two items
+// long, so there is something left for the owner). Called only when the
+// thief's own deque and the shared queue are both empty.
+func (e *Engine) steal(w *worker) []item {
+	var best *worker
+	bestN := 1
+	for _, p := range e.workers {
+		if p == w {
+			continue
+		}
+		if n := p.dq.size(); n > bestN {
+			best, bestN = p, n
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	buf := best.dq.stealTail(w.stealBuf[:0])
+	w.stealBuf = buf[:0]
+	if len(buf) > 0 {
+		e.m.steals.Add(1)
+	}
+	return buf
+}
+
+// processBatch scores one batch against the worker's epoch view with zero
+// locks, then commits the staged decisions: one write-lock acquisition
+// per target shard by default (CommitBatch), or the legacy per-decision
+// path under Config.PerPodCommit. Failures recycle through the retry
+// path in decision order either way.
+func (e *Engine) processBatch(w *worker, items []item) {
+	now := e.now.Load()
+	batch := w.batch[:0]
+	for _, it := range items {
+		batch = append(batch, it.pod)
+	}
+	w.batch = batch[:0]
+
+	start := time.Now()
+	// Snapshot load: enter the epoch-read section, adopt the newest
+	// published shard views into the private view cluster, then score.
+	// No sync primitive is acquired from here until the staged decisions
+	// go to commit — the view index runs in exclusive (mutex-free) mode
+	// and the barrier is pure atomics.
+	e.store.BeginScore()
+	e.adopt(w)
+	decisions := w.sc.Schedule(batch, now)
+	if cap(w.decVers) < len(decisions) {
+		w.decVers = make([]uint64, len(decisions))
+	}
+	vers := w.decVers[:len(decisions)]
+	for i := range decisions {
+		if id := decisions[i].NodeID; id >= 0 && id < len(w.vers) {
+			vers[i] = w.vers[id]
+		} else {
+			vers[i] = 0
+		}
+	}
+	e.store.EndScore()
+	schedSpan := time.Since(start)
+	e.m.schedNanos.Add(int64(schedSpan))
+	perPod := time.Duration(int64(schedSpan) / int64(len(items)))
+
+	// Sampled traces from this batch, by pod — the commit stage below
+	// amends exactly the attempt the scheduler just recorded (a pod can
+	// have older traces from earlier retries).
+	var btr map[int]*obs.DecisionTrace
+	if e.rec != nil {
+		if pp, ok := w.sc.(interface{ Pipeline() *pipeline.Pipeline }); ok {
+			if bt := pp.Pipeline().BatchTraces(); len(bt) > 0 {
+				btr = make(map[int]*obs.DecisionTrace, len(bt))
+				for _, dt := range bt {
+					btr[dt.PodID] = dt
 				}
 			}
 		}
+	}
 
+	if cap(w.results) < len(decisions) {
+		w.results = make([]CommitResult, len(decisions))
+	}
+	results := w.results[:len(decisions)]
+	c0 := time.Now()
+	staged := 0
+	if e.cfg.PerPodCommit {
 		// bumps tracks this worker's own commits per node within the
 		// batch, so stacking two pods on one host doesn't read as a
 		// conflict with itself.
-		bumps := make(map[int]uint64)
-		for i, d := range decisions {
-			e.m.decision.observe(perPod)
-			dt := btr[d.Pod.ID]
+		if w.perPod == nil {
+			w.perPod = make(map[int]uint64, 16)
+		} else {
+			clear(w.perPod)
+		}
+		for i := range decisions {
+			d := decisions[i]
 			if d.NodeID < 0 {
-				if dt != nil {
-					e.rec.Amend(dt, func(t *obs.DecisionTrace) { t.Now = now })
-				}
-				e.fail(items[i], d.Reason, now)
 				continue
 			}
-			var c0 time.Time
-			if dt != nil {
-				c0 = time.Now()
-			}
-			res := e.store.Commit(d, versions[i]+bumps[d.NodeID], now, func(evicted []*cluster.PodState) {
+			staged++
+			results[i] = e.store.Commit(d, vers[i]+w.perPod[d.NodeID], now, func(evicted []*cluster.PodState) {
 				e.onPlaced(d, now, evicted)
 			})
-			if dt != nil {
-				e.rec.Amend(dt, func(t *obs.DecisionTrace) {
-					t.Now = now
-					t.SpanFrom("commit", c0, time.Since(c0))
-					switch res.Status {
-					case CommitConflictPlaced:
-						t.Outcome = "conflict-placed"
-					case CommitConflictRejected:
-						t.Outcome = "conflict-rejected"
-						t.Reject("commit", "commit conflict", 1)
-					case CommitStale:
-						t.Outcome = "stale-rejected"
-						t.Reject("commit", "node not schedulable", 1)
-					}
-				})
-			}
-			if res.Status == CommitPlaced || res.Status == CommitConflictPlaced {
-				bumps[d.NodeID]++
-			}
-			switch res.Status {
-			case CommitPlaced:
-			case CommitConflictPlaced:
-				e.m.commitConflicts.Add(1)
-			case CommitConflictRejected:
-				e.m.commitConflicts.Add(1)
-				e.m.conflictRejects.Add(1)
-				e.fail(items[i], sched.ReasonOther, now)
-			case CommitStale:
-				e.m.staleRejects.Add(1)
-				e.fail(items[i], sched.ReasonOther, now)
+			if st := results[i].Status; st == CommitPlaced || st == CommitConflictPlaced {
+				w.perPod[d.NodeID]++
 			}
 		}
-		e.inFlight.Add(-int64(len(items)))
+	} else {
+		for i := range decisions {
+			if decisions[i].NodeID >= 0 {
+				staged++
+			}
+		}
+		if staged > 0 {
+			// The record mutex is taken lazily on a group's first placement
+			// and held until the store signals the group is done, so a shard
+			// group's record updates cost one acquisition instead of one per
+			// pod. Counter deltas accumulate in acc and flush once below —
+			// nothing on the per-pod path but the record write itself.
+			acc := &w.acc
+			*acc = batchAcc{}
+			recLocked := false
+			lockRec := func() {
+				if !recLocked {
+					e.recMu.Lock()
+					recLocked = true
+				}
+			}
+			unlockRec := func() {
+				if recLocked {
+					e.recMu.Unlock()
+					recLocked = false
+				}
+			}
+			e.store.CommitBatch(decisions, vers, now, results, &w.scr, func(i int, evicted []*cluster.PodState) {
+				e.onPlacedGrouped(decisions[i], now, evicted, lockRec, unlockRec, acc)
+			}, unlockRec)
+			e.m.batchCommits.Add(1)
+			e.flushAcc(acc)
+		}
+	}
+	commitSpan := time.Since(c0)
+	e.m.commitNanos.Add(int64(commitSpan))
+
+	e.m.decision.observeN(perPod, int64(len(decisions)))
+	for i, d := range decisions {
+		dt := btr[d.Pod.ID]
+		if d.NodeID < 0 {
+			if dt != nil {
+				e.rec.Amend(dt, func(t *obs.DecisionTrace) { t.Now = now })
+			}
+			e.fail(items[i], d.Reason, now)
+			continue
+		}
+		res := results[i]
+		if dt != nil {
+			e.rec.Amend(dt, func(t *obs.DecisionTrace) {
+				t.Now = now
+				// Commits are validated per shard group; the span is the
+				// whole batch's commit window.
+				t.SpanFrom("commit", c0, commitSpan)
+				switch res.Status {
+				case CommitConflictPlaced:
+					t.Outcome = "conflict-placed"
+				case CommitConflictRejected:
+					t.Outcome = "conflict-rejected"
+					t.Reject("commit", "commit conflict", 1)
+				case CommitStale:
+					t.Outcome = "stale-rejected"
+					t.Reject("commit", "node not schedulable", 1)
+				}
+			})
+		}
+		switch res.Status {
+		case CommitPlaced:
+		case CommitConflictPlaced:
+			e.m.commitConflicts.Add(1)
+			e.m.batchConflicts.Add(1)
+		case CommitConflictRejected:
+			e.m.commitConflicts.Add(1)
+			e.m.conflictRejects.Add(1)
+			e.m.batchConflicts.Add(1)
+			e.fail(items[i], sched.ReasonOther, now)
+		case CommitStale:
+			e.m.staleRejects.Add(1)
+			e.fail(items[i], sched.ReasonOther, now)
+		}
+	}
+	e.inFlight.Add(-int64(len(items)))
+}
+
+// adopt brings the worker's view cluster up to date with the store's
+// published epoch snapshots: for each shard whose generation moved, swap
+// in the clones that changed (pointer comparison) and record their
+// versions. Runs inside the snapshot-read section; touches no locks.
+// Partitioned workers skip nodes outside their member set — they never
+// score them, and commit validation runs against live state anyway.
+func (e *Engine) adopt(w *worker) {
+	nsh := e.store.Shards()
+	for sh := 0; sh < nsh; sh++ {
+		if w.memberShards != nil && !w.memberShards[sh] {
+			continue
+		}
+		v := e.store.view(sh)
+		if v == nil || v.gen == w.gens[sh] {
+			continue
+		}
+		w.gens[sh] = v.gen
+		for i, cl := range v.nodes {
+			id := sh + i*nsh
+			if w.member != nil && !w.member[id] {
+				continue
+			}
+			if w.adopted[id] != cl {
+				w.adopted[id] = cl
+				w.view.AdoptNode(cl)
+			}
+			w.vers[id] = v.vers[i]
+		}
 	}
 }
 
@@ -927,11 +1218,86 @@ func (e *Engine) onPlaced(d sched.Decision, now int64, evicted []*cluster.PodSta
 	if e.qt != nil {
 		e.qt.MarkPlaced(leaf, p.ID, p.Request, p.SLO == trace.SLOBE)
 	}
-	e.queued.Add(-1)
+	if e.queued.Add(-1) == 0 {
+		e.signalQuiet()
+	}
 	e.active.Add(1)
 	e.m.placed.Add(1)
 	e.m.placedBySLO[sloIdx(p.SLO)].Add(1)
 	if p.Lifetime > 0 {
+		e.exMu.Lock()
+		heap.Push(&e.expiry, expiryEntry{at: p.Lifetime, podID: p.ID})
+		e.exMu.Unlock()
+	}
+}
+
+// batchAcc accumulates one batch's counter deltas so the commit path
+// issues a handful of atomic adds per batch instead of several per pod.
+type batchAcc struct {
+	placed    int64
+	bySLO     [int(trace.SLOBE) + 1]int64
+	waitSum   [int(trace.SLOBE) + 1]int64
+	waitCount [int(trace.SLOBE) + 1]int64
+}
+
+// flushAcc publishes a batch's accumulated counter deltas.
+func (e *Engine) flushAcc(acc *batchAcc) {
+	if acc.placed == 0 {
+		return
+	}
+	if e.queued.Add(-acc.placed) == 0 {
+		e.signalQuiet()
+	}
+	e.active.Add(acc.placed)
+	e.m.placed.Add(acc.placed)
+	for i := range acc.bySLO {
+		if acc.bySLO[i] > 0 {
+			e.m.placedBySLO[i].Add(acc.bySLO[i])
+		}
+		if acc.waitCount[i] > 0 {
+			e.m.waitSum[i].Add(acc.waitSum[i])
+			e.m.waitCount[i].Add(acc.waitCount[i])
+		}
+	}
+}
+
+// onPlacedGrouped is onPlaced for the batched commit path: the record
+// mutex is acquired through lockRec (lazily, held across the shard
+// group), and counters go to acc instead of straight to the atomics.
+// Paths that take other engine locks (displacement, quota, expiry) call
+// unlockRec first so the lock order stays recMu-last everywhere.
+func (e *Engine) onPlacedGrouped(d sched.Decision, now int64, evicted []*cluster.PodState, lockRec, unlockRec func(), acc *batchAcc) {
+	p := d.Pod
+	if len(evicted) > 0 {
+		unlockRec() // displaced() takes recMu (and wMu) itself
+		for _, ev := range evicted {
+			e.m.preempted.Add(1)
+			e.displacedPod(ev, now, false)
+		}
+	}
+	if e.jr != nil {
+		e.jrAppend(journal.OpPlace, now, int64(p.ID), int64(d.NodeID), 0, nil)
+	}
+	leaf := int32(-1)
+	lockRec()
+	rec := e.recs[p.ID]
+	if rec != nil {
+		rec.phase = PodPlaced
+		rec.node = d.NodeID
+		rec.reason = sched.ReasonNone
+		leaf = rec.leaf
+		idx := sloIdx(p.SLO)
+		acc.waitSum[idx] += now - rec.since
+		acc.waitCount[idx]++
+	}
+	acc.placed++
+	acc.bySLO[sloIdx(p.SLO)]++
+	if e.qt != nil {
+		unlockRec() // quota tree has its own lock; keep recMu innermost
+		e.qt.MarkPlaced(leaf, p.ID, p.Request, p.SLO == trace.SLOBE)
+	}
+	if p.Lifetime > 0 {
+		unlockRec() // the tick acquires exMu before recMu
 		e.exMu.Lock()
 		heap.Push(&e.expiry, expiryEntry{at: p.Lifetime, podID: p.ID})
 		e.exMu.Unlock()
@@ -1112,6 +1478,8 @@ func (e *Engine) loop() {
 			}
 		}
 	}
+	const idleMin, idleMax = 50 * time.Microsecond, time.Millisecond
+	sleep := idleMin
 	for {
 		select {
 		case <-e.stopCh:
@@ -1123,9 +1491,16 @@ func (e *Engine) loop() {
 		// queue lock, so this order can never see both at zero mid-pop).
 		if e.q.len() == 0 && e.inFlight.Load() == 0 && e.tickWorthwhile() {
 			e.tick()
+			sleep = idleMin
 			continue
 		}
-		time.Sleep(50 * time.Microsecond)
+		// While the pipeline is busy the loop has nothing to do; back
+		// off so the polling does not steal cycles (and context
+		// switches) from the workers mid-burst.
+		time.Sleep(sleep)
+		if sleep *= 2; sleep > idleMax {
+			sleep = idleMax
+		}
 	}
 }
 
@@ -1148,8 +1523,16 @@ func (e *Engine) tickWorthwhile() bool {
 // and usage sampling under full write locks, then release of due retries.
 func (e *Engine) tick() {
 	t := e.now.Load()
+	// Tick writes reach state the published clones share (the usage
+	// history, PodState usage): quiesce every snapshot reader before
+	// mutating. Clones read usage history through a shared pointer, so
+	// history advances need no republish at all — only the nodes whose
+	// placement accounting changes (completions, expiries, displacements)
+	// are republished, via the store's dirty capture.
+	e.store.BeginMutate()
 	e.store.LockAll()
 	e.store.podMu.Lock()
+	e.store.beginDirtyCaptureLocked()
 
 	if e.cfg.Chaos != nil {
 		for _, ps := range e.cfg.Chaos.Step(e.c, t, e.cfg.Tick) {
@@ -1199,8 +1582,10 @@ func (e *Engine) tick() {
 		e.recMu.Unlock()
 	}
 
+	e.store.publishDirtyLocked()
 	e.store.podMu.Unlock()
 	e.store.UnlockAll()
+	e.store.EndMutate()
 
 	e.observeTick(t, snaps)
 	next := t + e.cfg.Tick
@@ -1213,7 +1598,12 @@ func (e *Engine) tick() {
 	// decides exactly which OpFail/OpRemove entries it released.
 	e.wMu.Lock()
 	if e.jr != nil {
+		// The tick count advances in the same critical section as the
+		// OpTick append: capture() reads tickN under wMu, so a state
+		// capture racing the end of a tick sees the journal position and
+		// the count move together — never one without the other.
 		e.jrAppend(journal.OpTick, next, next, 0, 0, nil)
+		e.tickN++
 	}
 	var due []item
 	for len(e.waiting) > 0 && e.waiting[0].notBefore <= next {
@@ -1222,11 +1612,10 @@ func (e *Engine) tick() {
 	e.wMu.Unlock()
 	e.q.forcePushAll(due)
 
-	if e.jr != nil {
-		e.tickN++
-		if e.tickN%int64(e.cfg.CheckpointEvery) == 0 {
-			e.checkpoint()
-		}
+	// tickN is only ever written by this goroutine; the unlocked read
+	// here races nothing.
+	if e.jr != nil && e.tickN%int64(e.cfg.CheckpointEvery) == 0 {
+		e.checkpoint()
 	}
 }
 

@@ -39,6 +39,27 @@ func (h *hist) observe(d time.Duration) {
 	h.sum.Add(ns)
 }
 
+// observeN records n observations of the same value with one bucket
+// search and three atomic adds — the batched commit path attributes a
+// batch's amortized per-decision latency to every decision in it, so the
+// value repeats across the whole batch.
+func (h *hist) observeN(d time.Duration, n int64) {
+	if n <= 0 {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for bound := int64(latBase); b < latBuckets-1 && ns > bound; b++ {
+		bound *= 2
+	}
+	h.buckets[b].Add(n)
+	h.count.Add(n)
+	h.sum.Add(ns * n)
+}
+
 // quantile returns the q-quantile in seconds, interpolated within the
 // containing bucket, or 0 with no observations. The first bucket spans
 // [0, latBase] and interpolates linearly; every later bucket spans one
@@ -129,6 +150,19 @@ type Metrics struct {
 	conflictRejects atomic.Int64
 	staleRejects    atomic.Int64
 
+	// batchCommits counts CommitBatch calls that staged at least one
+	// decision; batchConflicts the conflicts found inside them; steals the
+	// deque transfers between workers.
+	batchCommits   atomic.Int64
+	batchConflicts atomic.Int64
+	steals         atomic.Int64
+
+	// schedNanos/commitNanos accumulate wall time inside the zero-lock
+	// scheduling pass and the batched commit path (one add per batch) —
+	// the phase split behind the soak benchmark's reporting.
+	schedNanos  atomic.Int64
+	commitNanos atomic.Int64
+
 	shedBySLO   [int(trace.SLOBE) + 1]atomic.Int64
 	placedBySLO [int(trace.SLOBE) + 1]atomic.Int64
 
@@ -182,6 +216,20 @@ type Snapshot struct {
 	CommitConflicts int64 `json:"commit_conflicts"`
 	ConflictRejects int64 `json:"conflict_rejects"`
 	StaleRejects    int64 `json:"stale_rejects"`
+
+	// EpochsPublished counts copy-on-write shard snapshots published;
+	// BatchCommits the batched validation rounds; BatchConflicts the
+	// conflicts they detected; Steals the work-stealing deque transfers.
+	EpochsPublished int64 `json:"epochs_published"`
+	BatchCommits    int64 `json:"batch_commits"`
+	BatchConflicts  int64 `json:"batch_conflicts"`
+	Steals          int64 `json:"steals"`
+
+	// SchedSeconds/CommitSeconds split worker wall time between the
+	// zero-lock scheduling pass and the batched commit path, summed across
+	// workers.
+	SchedSeconds  float64 `json:"sched_seconds"`
+	CommitSeconds float64 `json:"commit_seconds"`
 
 	// QuotaShed and QuotaPreempted count the quota gate's sheds and
 	// cross-queue preemption's evictions; Quota is the tree snapshot.
@@ -256,6 +304,11 @@ func (m *Metrics) snapshot() Snapshot {
 		CommitConflicts: m.commitConflicts.Load(),
 		ConflictRejects: m.conflictRejects.Load(),
 		StaleRejects:    m.staleRejects.Load(),
+		BatchCommits:    m.batchCommits.Load(),
+		BatchConflicts:  m.batchConflicts.Load(),
+		Steals:          m.steals.Load(),
+		SchedSeconds:    float64(m.schedNanos.Load()) / 1e9,
+		CommitSeconds:   float64(m.commitNanos.Load()) / 1e9,
 		QuotaShed:       m.quotaShed.Load(),
 		QuotaPreempted:  m.quotaPreempted.Load(),
 		DecisionP50Ms:   1000 * m.decision.quantile(0.50),

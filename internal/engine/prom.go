@@ -30,6 +30,10 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 	x.Counter("unisched_commit_conflicts_total", "Optimistic commits that hit a stale node version.", float64(sn.CommitConflicts))
 	x.Counter("unisched_conflict_rejects_total", "Commits that lost re-validation after a conflict.", float64(sn.ConflictRejects))
 	x.Counter("unisched_stale_rejects_total", "Commits onto no-longer-schedulable hosts.", float64(sn.StaleRejects))
+	x.Counter("unisched_epochs_published_total", "Copy-on-write shard snapshots published.", float64(sn.EpochsPublished))
+	x.Counter("unisched_batch_commits_total", "Batched commit-validation rounds.", float64(sn.BatchCommits))
+	x.Counter("unisched_batch_conflicts_total", "Conflicts detected during batched commit validation.", float64(sn.BatchConflicts))
+	x.Counter("unisched_steals_total", "Work-stealing transfers between scheduler workers.", float64(sn.Steals))
 
 	x.Family("unisched_shed_total", "Submissions shed under backpressure, by SLO class.", "counter")
 	emitBySLO(x, "unisched_shed_total", sn.ShedBySLO)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"unisched/internal/quota"
 	"unisched/internal/trace"
@@ -125,6 +126,13 @@ type queue struct {
 	size     int
 	capacity int
 	closed   bool
+	// sz mirrors size for lock-free length reads. The event loop and
+	// Drain poll len() continuously; taking the queue mutex there
+	// contends with the producer/consumer hot path. Pops decrement sz
+	// after onPop has moved the count to in-flight, so a reader that
+	// checks length before in-flight can never see both at zero
+	// mid-handoff.
+	sz atomic.Int64
 	// onPop, when set, runs under the queue lock with the batch size
 	// just popped. The engine uses it to move counts from queue depth to
 	// in-flight atomically, so quiescence checks never see both at zero
@@ -158,6 +166,7 @@ func (q *queue) add(it item) {
 		q.flanes[l].push(it)
 	}
 	q.size++
+	q.sz.Add(1)
 }
 
 // push admits an external submission. When the queue is full it blocks
@@ -262,6 +271,7 @@ func (q *queue) popBatch(max int) []item {
 	if q.onPop != nil {
 		q.onPop(len(out))
 	}
+	q.sz.Add(-int64(len(out)))
 	if q.size < q.capacity {
 		q.notFull.Broadcast()
 	}
@@ -312,6 +322,47 @@ func (q *queue) popFair(fl *fairLane, out []item, max int) []item {
 	return out
 }
 
+// tryPopBatch is popBatch's non-blocking variant for the work-stealing
+// worker loop: it appends up to max items in priority order to buf and
+// returns immediately. closed reports a closed queue (matching popBatch,
+// a closed queue yields nothing — pods stay accounted as pending).
+func (q *queue) tryPopBatch(max int, buf []item) (out []item, closed bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return buf, true
+	}
+	if q.size == 0 {
+		return buf, false
+	}
+	if max > q.size {
+		max = q.size
+	}
+	base := len(buf)
+	out = buf
+	if q.qt == nil {
+		for l := 0; l < numLanes && len(out)-base < max; l++ {
+			for q.lanes[l].len() > 0 && len(out)-base < max {
+				out = append(out, q.lanes[l].pop())
+			}
+		}
+	} else {
+		for l := 0; l < numLanes && len(out)-base < max; l++ {
+			out = q.popFair(&q.flanes[l], out, base+max)
+		}
+	}
+	took := len(out) - base
+	q.size -= took
+	if q.onPop != nil {
+		q.onPop(took)
+	}
+	q.sz.Add(-int64(took))
+	if q.size < q.capacity {
+		q.notFull.Broadcast()
+	}
+	return out, false
+}
+
 // snapshot copies the queued items in deterministic order — checkpoint
 // assembly. Flat lanes snapshot in pop (priority) order; fair lanes in
 // (priority, leaf ID, FIFO) order, which preserves per-leaf FIFO across a
@@ -338,10 +389,9 @@ func (q *queue) snapshot() []item {
 }
 
 // len returns the number of queued items.
+// len reads the queue length without the lock (see sz).
 func (q *queue) len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.size
+	return int(q.sz.Load())
 }
 
 // close wakes every blocked producer and consumer; subsequent pushes fail

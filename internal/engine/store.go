@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"unisched/internal/cluster"
 	"unisched/internal/pipeline"
@@ -9,19 +11,39 @@ import (
 	"unisched/internal/trace"
 )
 
-// Store wraps a cluster with sharded locking and per-node versions so N
-// scheduler workers can race over live state without a global lock — the
-// online analogue of the §4.4 Deployment Module.
+// shardView is one shard's published epoch snapshot: an immutable
+// copy-on-write array of node clones plus the version each clone was
+// published at. Shard sh owns node IDs sh, sh+S, sh+2S, ... (S = shard
+// count), so the clone for node id sits at index id/S. Once stored
+// through the atomic pointer a shardView is never mutated; publishers
+// replace it wholesale.
+type shardView struct {
+	gen   uint64
+	nodes []*cluster.NodeState
+	vers  []uint64
+}
+
+// Store wraps a cluster with sharded locking, per-node versions, and
+// per-shard epoch snapshots so N scheduler workers can score entirely
+// lock-free and only serialize on commit — the online analogue of the
+// §4.4 Deployment Module, shaped like the Kubernetes scheduler cache /
+// Omega shared-state arrangement.
 //
-// Locking protocol:
+// Protocol:
 //
-//   - A scheduling pass holds every shard's read lock while a scheduler
-//     scores candidates, and captures the version of each chosen host
-//     before releasing. Passes from different workers run concurrently.
-//   - A commit takes one shard's write lock, so commits to different
-//     shards proceed in parallel and only block scheduling passes briefly.
+//   - A scheduling pass takes ZERO locks: the worker loads each shard's
+//     current shardView through its atomic pointer, adopts the clones
+//     into its private view cluster, and scores against those. The
+//     observed version of the chosen host comes from the snapshot.
+//   - A commit takes one shard's write lock, validates the batch against
+//     the live versions, applies winners, and republishes the shard's
+//     view (gen+1) before unlocking — so the next snapshot load anywhere
+//     sees the placements.
 //   - Cluster-wide mutations (the physics tick, chaos injection, lifetime
-//     expiry) take every write lock via LockAll.
+//     expiry) take every write lock via LockAll AND quiesce snapshot
+//     readers via BeginMutate/EndMutate: clones share usage-history ring
+//     backings and PodState pointers with the live nodes, and the tick
+//     writes those in place.
 //   - The cluster's pod index is shared across shards, so the short
 //     index-mutating sections (Place/Remove) additionally hold podMu.
 //     Lock order is always shards-ascending, then podMu.
@@ -32,17 +54,86 @@ import (
 // Deployment Module arbitrates. The first committer won; the late commit
 // re-validates against the conservative request-based rule and either
 // deploys alongside (there is clearly room) or is rejected for
-// re-dispatch.
+// re-dispatch. Batched validation applies the identical rule per decision
+// in decision order, just under one lock acquisition per shard.
 type Store struct {
 	c      *cluster.Cluster
 	shards []sync.RWMutex
 	podMu  sync.Mutex
 	// version[nodeID] is guarded by the owning shard's lock.
 	version []uint64
+
+	// views[sh] is shard sh's current epoch snapshot. Stored under the
+	// shard's write lock; loaded lock-free by scheduling passes.
+	views []atomic.Pointer[shardView]
+	// epochs counts shard views ever published.
+	epochs atomic.Int64
+
+	// tickPending + scoreRef implement the atomics-only tick barrier:
+	// snapshot readers hold a scoreRef while scoring, the tick raises
+	// tickPending and waits for the count to drain before mutating the
+	// shared backings, and readers spin (yielding) while a tick is
+	// pending. No sync primitives — the zero-lock read path stays
+	// mutex-free.
+	tickPending atomic.Bool
+	scoreRef    atomic.Int64
+
+	// slabs[sh] holds shard sh's clone-publication slabs, guarded by the
+	// shard's write lock (every publish happens under it).
+	slabs []publishSlabs
+
+	// Dirty capture: while a tick-scope mutation holds LockAll it flips
+	// capturing on, and the store's observer on the live cluster records
+	// every node whose accounting changed. Clones share usage history by
+	// pointer, so after the mutations only these dirty nodes need
+	// republishing — not the whole cluster. The flag is written under
+	// LockAll and read under a shard lock (commit-path placements), which
+	// are mutually exclusive, so plain fields suffice.
+	capturing  bool
+	dirtyIDs   []int
+	dirtyGroup []int
+	dirtySeen  []uint64
+	dirtyGen   uint64
+}
+
+// publishSlabs batches the allocations a shard-view publication makes:
+// node clones plus the copy-on-write nodes/vers arrays. Chunks become
+// garbage only when every view referencing them has been replaced.
+type publishSlabs struct {
+	arena cluster.CloneArena
+	nodes []*cluster.NodeState
+	vers  []uint64
+}
+
+func (p *publishSlabs) nodeSlice(n int) []*cluster.NodeState {
+	if len(p.nodes) < n {
+		c := 4096
+		if c < n {
+			c = n
+		}
+		p.nodes = make([]*cluster.NodeState, c)
+	}
+	out := p.nodes[:n:n]
+	p.nodes = p.nodes[n:]
+	return out
+}
+
+func (p *publishSlabs) verSlice(n int) []uint64 {
+	if len(p.vers) < n {
+		c := 4096
+		if c < n {
+			c = n
+		}
+		p.vers = make([]uint64, c)
+	}
+	out := p.vers[:n:n]
+	p.vers = p.vers[n:]
+	return out
 }
 
 // NewStore builds a sharded store over the cluster. shards is clamped to
-// [1, nodes].
+// [1, nodes]. The initial epoch (gen 1) is published immediately so
+// snapshot readers always find a view.
 func NewStore(c *cluster.Cluster, shards int) *Store {
 	n := len(c.Nodes())
 	if shards < 1 {
@@ -54,10 +145,61 @@ func NewStore(c *cluster.Cluster, shards int) *Store {
 	if shards < 1 {
 		shards = 1 // empty cluster: keep one shard so locking still works
 	}
-	return &Store{
-		c:       c,
-		shards:  make([]sync.RWMutex, shards),
-		version: make([]uint64, n),
+	s := &Store{
+		c:         c,
+		shards:    make([]sync.RWMutex, shards),
+		version:   make([]uint64, n),
+		views:     make([]atomic.Pointer[shardView], shards),
+		slabs:     make([]publishSlabs, shards),
+		dirtySeen: make([]uint64, n),
+	}
+	c.AddObserver(s.noteDirty)
+	s.PublishAll()
+	return s
+}
+
+// noteDirty is the store's observer on the live cluster: during a
+// tick-scope dirty capture it records which nodes' accounting changed.
+func (s *Store) noteDirty(nodeID int) {
+	if s.capturing {
+		s.dirtyIDs = append(s.dirtyIDs, nodeID)
+	}
+}
+
+// beginDirtyCaptureLocked arms dirty capture. Caller holds LockAll.
+func (s *Store) beginDirtyCaptureLocked() {
+	s.capturing = true
+	s.dirtyIDs = s.dirtyIDs[:0]
+}
+
+// publishDirtyLocked disarms dirty capture and republishes exactly the
+// shards holding captured nodes — each with only its dirty members
+// re-cloned. Caller holds LockAll. On a quiet tick (histories advanced,
+// no accounting changed) this publishes nothing at all: clones see the
+// new usage samples through the shared history pointers.
+func (s *Store) publishDirtyLocked() {
+	s.capturing = false
+	if len(s.dirtyIDs) == 0 {
+		return
+	}
+	s.dirtyGen++
+	// Group dirty IDs by shard, deduplicating via the generation-stamped
+	// seen array, then publish each affected shard once.
+	for start := 0; start < len(s.dirtyIDs); start++ {
+		first := s.dirtyIDs[start]
+		if s.dirtySeen[first] == s.dirtyGen {
+			continue
+		}
+		sh := s.shardOf(first)
+		s.dirtyGroup = s.dirtyGroup[:0]
+		for _, id := range s.dirtyIDs[start:] {
+			if s.shardOf(id) != sh || s.dirtySeen[id] == s.dirtyGen {
+				continue
+			}
+			s.dirtySeen[id] = s.dirtyGen
+			s.dirtyGroup = append(s.dirtyGroup, id)
+		}
+		s.publishShardLocked(sh, s.dirtyGroup)
 	}
 }
 
@@ -70,8 +212,128 @@ func (s *Store) Shards() int { return len(s.shards) }
 
 func (s *Store) shardOf(nodeID int) int { return nodeID % len(s.shards) }
 
-// RLockAll takes every shard's read lock in ascending order (scheduling
-// pass).
+// view loads one shard's current epoch snapshot — the zero-lock entry
+// point of a scheduling pass.
+func (s *Store) view(sh int) *shardView { return s.views[sh].Load() }
+
+// Epochs returns how many shard views have ever been published.
+func (s *Store) Epochs() int64 { return s.epochs.Load() }
+
+// publishShardLocked republishes shard sh's view with gen+1. Caller holds
+// shard sh's write lock. dirty lists the node IDs to re-clone; nil means
+// every node in the shard (ticks, recovery). Clean nodes keep their
+// existing clones — copy-on-write, so a one-placement commit clones one
+// node and copies two small slices.
+func (s *Store) publishShardLocked(sh int, dirty []int) {
+	nsh := len(s.shards)
+	old := s.views[sh].Load()
+	slab := &s.slabs[sh]
+	var nodes []*cluster.NodeState
+	var vers []uint64
+	if dirty == nil || old == nil {
+		count := 0
+		if len(s.version) > sh {
+			count = (len(s.version) - sh + nsh - 1) / nsh
+		}
+		nodes = slab.nodeSlice(count)
+		vers = slab.verSlice(count)
+		for i := 0; i < count; i++ {
+			id := sh + i*nsh
+			nodes[i] = slab.arena.Clone(s.c.Node(id))
+			vers[i] = s.version[id]
+		}
+	} else {
+		nodes = slab.nodeSlice(len(old.nodes))
+		vers = slab.verSlice(len(old.vers))
+		copy(nodes, old.nodes)
+		copy(vers, old.vers)
+		for _, id := range dirty {
+			i := id / nsh
+			nodes[i] = slab.arena.Clone(s.c.Node(id))
+			vers[i] = s.version[id]
+		}
+	}
+	gen := uint64(1)
+	if old != nil {
+		gen = old.gen + 1
+	}
+	s.views[sh].Store(&shardView{gen: gen, nodes: nodes, vers: vers})
+	s.epochs.Add(1)
+}
+
+// publishAllLocked republishes every shard. Caller holds all shard write
+// locks (LockAll).
+func (s *Store) publishAllLocked() {
+	for sh := range s.shards {
+		s.publishShardLocked(sh, nil)
+	}
+}
+
+// PublishAll republishes every shard's view from the live cluster —
+// construction, and after recovery replay mutated the cluster outside
+// the commit path.
+func (s *Store) PublishAll() {
+	s.LockAll()
+	s.publishAllLocked()
+	s.UnlockAll()
+}
+
+// BeginScore enters the zero-lock snapshot-read section. It spins (with
+// yields) while a tick is pending, so clones' shared history backings are
+// never read mid-mutation. Pure atomics — no mutex is acquired between
+// here and batch staging.
+func (s *Store) BeginScore() {
+	for {
+		s.scoreRef.Add(1)
+		if !s.tickPending.Load() {
+			return
+		}
+		s.scoreRef.Add(-1)
+		for s.tickPending.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// EndScore leaves the snapshot-read section.
+func (s *Store) EndScore() { s.scoreRef.Add(-1) }
+
+// BeginMutate quiesces snapshot readers ahead of in-place mutation of
+// state the published clones share (the physics tick's usage-history and
+// PodState writes). Pair with EndMutate. Readers hold no locks inside
+// the scoring section and scoring batches are bounded, so the wait is
+// short; commits need no quiescing (they only touch copied state under
+// shard locks and republish).
+func (s *Store) BeginMutate() {
+	s.tickPending.Store(true)
+	for s.scoreRef.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// EndMutate releases snapshot readers after a tick's mutations are
+// published.
+func (s *Store) EndMutate() { s.tickPending.Store(false) }
+
+// ScheduleBatch runs one scheduler pass over the batch under read locks
+// and returns the decisions together with the observed version of each
+// chosen host. This is the legacy locked pass — the engine's workers now
+// score lock-free against epoch views — retained for direct store users
+// and the per-pod-commit A/B path.
+func (s *Store) ScheduleBatch(sc sched.Scheduler, batch []*trace.Pod, now int64) ([]sched.Decision, []uint64) {
+	s.RLockAll()
+	ds := sc.Schedule(batch, now)
+	vers := make([]uint64, len(ds))
+	for i, d := range ds {
+		if d.NodeID >= 0 && d.NodeID < len(s.version) {
+			vers[i] = s.version[d.NodeID]
+		}
+	}
+	s.RUnlockAll()
+	return ds, vers
+}
+
+// RLockAll takes every shard's read lock in ascending order.
 func (s *Store) RLockAll() {
 	for i := range s.shards {
 		s.shards[i].RLock()
@@ -100,22 +362,6 @@ func (s *Store) UnlockAll() {
 	}
 }
 
-// ScheduleBatch runs one scheduler pass over the batch under read locks
-// and returns the decisions together with the observed version of each
-// chosen host — the optimistic-concurrency token the commit validates.
-func (s *Store) ScheduleBatch(sc sched.Scheduler, batch []*trace.Pod, now int64) ([]sched.Decision, []uint64) {
-	s.RLockAll()
-	ds := sc.Schedule(batch, now)
-	vers := make([]uint64, len(ds))
-	for i, d := range ds {
-		if d.NodeID >= 0 && d.NodeID < len(s.version) {
-			vers[i] = s.version[d.NodeID]
-		}
-	}
-	s.RUnlockAll()
-	return ds, vers
-}
-
 // CommitStatus classifies one commit attempt.
 type CommitStatus int
 
@@ -131,7 +377,7 @@ const (
 	CommitStale
 )
 
-// CommitResult reports what Commit did.
+// CommitResult reports what a commit did.
 type CommitResult struct {
 	Status CommitStatus
 	// Evicted holds BE pods preempted for an LSR admission; the caller
@@ -139,18 +385,10 @@ type CommitResult struct {
 	Evicted []*cluster.PodState
 }
 
-// Commit deploys one scheduling decision through the optimistic commit
-// path. onPlaced, when non-nil, runs while the shard lock is still held on
-// successful deployment, so callers can update their own bookkeeping
-// atomically with the placement (the engine updates pod records there).
-func (s *Store) Commit(d sched.Decision, observed uint64, now int64, onPlaced func(evicted []*cluster.PodState)) CommitResult {
-	if d.NodeID < 0 || d.NodeID >= len(s.version) {
-		return CommitResult{Status: CommitConflictRejected}
-	}
-	sh := s.shardOf(d.NodeID)
-	s.shards[sh].Lock()
-	defer s.shards[sh].Unlock()
-
+// commitLocked is the validation + deploy core shared by the per-pod and
+// batched commit paths. Caller holds the target's shard write lock AND
+// podMu (the batched path amortizes both over a whole shard group).
+func (s *Store) commitLocked(d sched.Decision, observed uint64, now int64, onPlaced func(evicted []*cluster.PodState)) CommitResult {
 	n := s.c.Node(d.NodeID)
 	if !n.Schedulable() {
 		return CommitResult{Status: CommitStale}
@@ -168,9 +406,7 @@ func (s *Store) Commit(d sched.Decision, observed uint64, now int64, onPlaced fu
 
 	var res CommitResult
 	res.Status = status
-	s.podMu.Lock()
 	evicted, err := pipeline.Deploy(s.c, d, now)
-	s.podMu.Unlock()
 	res.Evicted = evicted
 	if err != nil {
 		// Already running (a duplicate decision surviving a race): treat
@@ -183,6 +419,98 @@ func (s *Store) Commit(d sched.Decision, observed uint64, now int64, onPlaced fu
 		onPlaced(res.Evicted)
 	}
 	return res
+}
+
+// Commit deploys one scheduling decision through the optimistic commit
+// path and republishes the node's shard view. onPlaced, when non-nil,
+// runs while the shard lock is still held on successful deployment, so
+// callers can update their own bookkeeping atomically with the placement
+// (the engine updates pod records there).
+func (s *Store) Commit(d sched.Decision, observed uint64, now int64, onPlaced func(evicted []*cluster.PodState)) CommitResult {
+	if d.NodeID < 0 || d.NodeID >= len(s.version) {
+		return CommitResult{Status: CommitConflictRejected}
+	}
+	sh := s.shardOf(d.NodeID)
+	s.shards[sh].Lock()
+	s.podMu.Lock()
+	res := s.commitLocked(d, observed, now, onPlaced)
+	s.podMu.Unlock()
+	if res.Status == CommitPlaced || res.Status == CommitConflictPlaced || len(res.Evicted) > 0 {
+		one := [1]int{d.NodeID}
+		s.publishShardLocked(sh, one[:])
+	}
+	s.shards[sh].Unlock()
+	return res
+}
+
+// CommitScratch holds one worker's reusable batched-commit buffers.
+type CommitScratch struct {
+	dirty []int
+	bumps map[int]uint64
+}
+
+// CommitBatch validates and applies a whole batch of staged decisions,
+// taking each target shard's write lock exactly once: decisions are
+// grouped by shard (ascending), validated in decision order within the
+// group under the identical first-committer-wins rule Commit applies,
+// winners deployed, and the shard's view republished before unlock.
+// res[i] is filled for every decision with a valid NodeID; decisions the
+// scheduler left unplaced (NodeID < 0) are untouched and out-of-range
+// NodeIDs are rejected. bumps tracks the batch's own commits per node so
+// stacking two pods on one host never reads as a conflict with itself —
+// the same semantics the per-pod path gets from the engine's bump map.
+// podMu is held once around each shard group rather than per deploy, so a
+// group's placements cost two lock acquisitions total. onPlaced runs
+// under the shard lock (and podMu), with the decision's index; groupDone,
+// when non-nil, runs after each shard group's commits with podMu released
+// but the shard lock still held — callers use it to close out their own
+// per-group bookkeeping (the engine batches record-lock acquisition).
+func (s *Store) CommitBatch(ds []sched.Decision, observed []uint64, now int64, res []CommitResult, scr *CommitScratch, onPlaced func(i int, evicted []*cluster.PodState), groupDone func()) {
+	if scr.bumps == nil {
+		scr.bumps = make(map[int]uint64, 16)
+	} else {
+		clear(scr.bumps)
+	}
+	nsh := len(s.shards)
+	for i := range ds {
+		if id := ds[i].NodeID; id >= len(s.version) {
+			res[i] = CommitResult{Status: CommitConflictRejected}
+		}
+	}
+	for sh := 0; sh < nsh; sh++ {
+		locked := false
+		scr.dirty = scr.dirty[:0]
+		for i := range ds {
+			d := &ds[i]
+			if d.NodeID < 0 || d.NodeID >= len(s.version) || d.NodeID%nsh != sh {
+				continue
+			}
+			if !locked {
+				s.shards[sh].Lock()
+				s.podMu.Lock()
+				locked = true
+			}
+			idx := i
+			r := s.commitLocked(*d, observed[i]+scr.bumps[d.NodeID], now, func(evicted []*cluster.PodState) {
+				onPlaced(idx, evicted)
+			})
+			res[i] = r
+			if r.Status == CommitPlaced || r.Status == CommitConflictPlaced {
+				scr.bumps[d.NodeID]++
+				scr.dirty = append(scr.dirty, d.NodeID)
+			} else if len(r.Evicted) > 0 {
+				scr.dirty = append(scr.dirty, d.NodeID)
+			}
+		}
+		if locked {
+			s.podMu.Unlock()
+			if groupDone != nil {
+				groupDone()
+			}
+			s.publishShardLocked(sh, scr.dirty)
+			s.shards[sh].Unlock()
+		}
+	}
 }
 
 // Evict removes one running pod on behalf of the quota-preemption path and
@@ -216,18 +544,25 @@ func (s *Store) Evict(podID int, now int64) *cluster.PodState {
 		s.c.Remove(podID, now, true)
 	}
 	s.podMu.Unlock()
+	if ps != nil {
+		one := [1]int{nodeID}
+		s.publishShardLocked(sh, one[:])
+	}
 	s.shards[sh].Unlock()
 	return ps
 }
 
 // Remove removes a running pod under the owning shard's write lock and the
-// pod-index lock (displacements driven from outside the tick).
+// pod-index lock (displacements driven from outside the tick), then
+// republishes the node's shard view.
 func (s *Store) Remove(podID, nodeID int, now int64) {
 	sh := s.shardOf(nodeID)
 	s.shards[sh].Lock()
 	s.podMu.Lock()
 	s.c.Remove(podID, now, false)
 	s.podMu.Unlock()
+	one := [1]int{nodeID}
+	s.publishShardLocked(sh, one[:])
 	s.shards[sh].Unlock()
 }
 

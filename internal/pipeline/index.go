@@ -3,6 +3,7 @@ package pipeline
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"unisched/internal/cluster"
 	"unisched/internal/trace"
@@ -39,26 +40,39 @@ func prunableBin(need float64) int {
 	return binOf(need)
 }
 
-// bucketLoc tracks where a node currently sits inside a group.
+// bucketLoc tracks where a node currently sits inside a group. pos < 0
+// means the node is not a member.
 type bucketLoc struct {
 	cb, mb uint8
-	pos    int // index within the bucket slice
+	pos    int32 // index within the bucket slice, -1 = absent
 }
 
 // group indexes one candidate universe (an affinity group, or the whole
 // cluster): the schedulable members in ascending ID order, plus the same
-// members bucketed on the 2-D static-headroom grid.
+// members bucketed on the 2-D static-headroom grid. loc is dense (indexed
+// by node ID): reconciliation runs once per adopted clone on the engine's
+// hot path, where a map lookup per placement is measurable.
 type group struct {
 	ordered []int
 	buckets [headroomBins][headroomBins][]int
-	loc     map[int]bucketLoc
+	loc     []bucketLoc
 }
 
-func newGroup() *group { return &group{loc: make(map[int]bucketLoc)} }
+func newGroup(n int) *group {
+	g := &group{loc: make([]bucketLoc, n)}
+	for i := range g.loc {
+		g.loc[i].pos = -1
+	}
+	return g
+}
 
 // reconcile brings one node's membership and bucket up to date.
 func (g *group) reconcile(id int, in bool, h trace.Resources) {
-	l, present := g.loc[id]
+	if id >= len(g.loc) {
+		return
+	}
+	l := g.loc[id]
+	present := l.pos >= 0
 	if !in {
 		if present {
 			g.bucketRemove(id, l)
@@ -80,22 +94,20 @@ func (g *group) reconcile(id int, in bool, h trace.Resources) {
 
 func (g *group) bucketAdd(id int, cb, mb uint8) {
 	b := g.buckets[cb][mb]
-	g.loc[id] = bucketLoc{cb: cb, mb: mb, pos: len(b)}
+	g.loc[id] = bucketLoc{cb: cb, mb: mb, pos: int32(len(b))}
 	g.buckets[cb][mb] = append(b, id)
 }
 
 func (g *group) bucketRemove(id int, l bucketLoc) {
 	b := g.buckets[l.cb][l.mb]
 	last := len(b) - 1
-	if l.pos != last {
+	if int(l.pos) != last {
 		moved := b[last]
 		b[l.pos] = moved
-		ml := g.loc[moved]
-		ml.pos = l.pos
-		g.loc[moved] = ml
+		g.loc[moved].pos = l.pos
 	}
 	g.buckets[l.cb][l.mb] = b[:last]
-	delete(g.loc, id)
+	g.loc[id].pos = -1
 }
 
 func (g *group) orderedInsert(id int) {
@@ -121,14 +133,23 @@ func (g *group) orderedRemove(id int) {
 // never rescans the cluster.
 //
 // Thread-safety: mutation (observer callbacks, RestrictTo) is serialized
-// by mu. Reads (Candidates, Scan) intentionally take no lock — in the
-// sim they are single-threaded, and in the engine every cluster mutation
-// happens under a store shard write lock while every scheduling pass
-// holds all shard read locks, so readers and index mutations are already
-// mutually exclusive (the RWMutexes provide the happens-before edges).
+// by mu, and reads (Candidates, Scan) intentionally take no lock. In the
+// sim everything is single-threaded. In the engine each scheduler owns a
+// private epoch-view cluster: mutation happens only through clone
+// adoption on the owning worker's goroutine, so the index is effectively
+// single-owner and SetExclusive drops mu from the reconcile path
+// entirely — the zero-lock scoring guarantee depends on it. The
+// generation counter ticks once per reconcile or rebuild, threading a
+// snapshot epoch through the observer hooks: two reads that see the same
+// generation saw the identical candidate universe.
 type Index struct {
 	c  *cluster.Cluster
 	mu sync.Mutex
+	// exclusive marks a single-owner index (a worker's private view):
+	// reconciliation skips mu, the owner provides all ordering.
+	exclusive bool
+	// gen counts reconciles and rebuilds — the index's snapshot epoch.
+	gen atomic.Uint64
 
 	member  []bool // RestrictTo universe; index == node ID
 	all     *group
@@ -144,7 +165,7 @@ func NewIndex(c *cluster.Cluster) *Index {
 	ix := &Index{
 		c:       c,
 		member:  make([]bool, len(c.Nodes())),
-		all:     newGroup(),
+		all:     newGroup(len(c.Nodes())),
 		groups:  make(map[int]*group),
 		pruning: true,
 	}
@@ -169,7 +190,7 @@ func NewIndex(c *cluster.Cluster) *Index {
 			ix.maxCap.Mem = capc.Mem
 		}
 		if _, ok := ix.groups[n.Node.Group]; !ok {
-			ix.groups[n.Node.Group] = newGroup()
+			ix.groups[n.Node.Group] = newGroup(len(c.Nodes()))
 		}
 	}
 	ix.rebuild()
@@ -204,21 +225,39 @@ func (ix *Index) Reconcile(id int) {
 	if id < 0 || id >= len(ix.member) {
 		return
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	if !ix.exclusive {
+		ix.mu.Lock()
+		defer ix.mu.Unlock()
+	}
 	n := ix.c.Node(id)
 	in := ix.member[id] && n.Schedulable()
 	h := headroom(n)
 	ix.all.reconcile(id, in, h)
 	ix.groups[n.Node.Group].reconcile(id, in, h)
+	ix.gen.Add(1)
 }
+
+// SetExclusive marks the index single-owner: observer reconciliation
+// stops taking the internal mutex. The engine sets it on each worker's
+// private view index, whose only mutator is clone adoption on the
+// worker's own goroutine — part of the zero-lock snapshot scoring path.
+func (ix *Index) SetExclusive(on bool) {
+	ix.mu.Lock()
+	ix.exclusive = on
+	ix.mu.Unlock()
+}
+
+// Generation returns the index's snapshot epoch: it advances on every
+// reconcile and rebuild, so equal generations bracket an unchanged
+// candidate universe.
+func (ix *Index) Generation() uint64 { return ix.gen.Load() }
 
 // rebuild reconstructs every group from the cluster (initial build and
 // RestrictTo). Caller holds mu (or is single-threaded construction).
 func (ix *Index) rebuild() {
-	ix.all = newGroup()
+	ix.all = newGroup(len(ix.member))
 	for gid := range ix.groups {
-		ix.groups[gid] = newGroup()
+		ix.groups[gid] = newGroup(len(ix.member))
 	}
 	for _, n := range ix.c.Nodes() {
 		id := n.Node.ID
@@ -227,6 +266,7 @@ func (ix *Index) rebuild() {
 		ix.all.reconcile(id, in, h)
 		ix.groups[n.Node.Group].reconcile(id, in, h)
 	}
+	ix.gen.Add(1)
 }
 
 // RestrictTo limits the candidate universe to the given node IDs (unknown
@@ -253,7 +293,7 @@ func (ix *Index) groupFor(p *trace.Pod) *group {
 	if aff := p.App().Affinity; aff >= 0 {
 		g := ix.groups[aff]
 		if g == nil {
-			return newGroup()
+			return newGroup(0)
 		}
 		return g
 	}
@@ -282,6 +322,19 @@ func (ix *Index) Universe() []int { return ix.all.ordered }
 // rely on ascending ID order and should reduce with an explicit
 // lowest-ID tie-break.
 func (ix *Index) Scan(p *trace.Pod, need trace.Resources, visit func(id int)) (prunedCPU, prunedMem, pruned int) {
+	return ix.ScanRuns(p, need, func(ids []int) {
+		for _, id := range ids {
+			visit(id)
+		}
+	})
+}
+
+// ScanRuns is Scan with bucket-granularity delivery: visit receives each
+// surviving bucket's node-ID slice whole, so a hot caller amortizes the
+// indirect call over the run and keeps its per-node work inlined. The
+// slice is the index's own storage — callers must not retain or mutate
+// it, and must not mutate the index during the scan.
+func (ix *Index) ScanRuns(p *trace.Pod, need trace.Resources, visit func(ids []int)) (prunedCPU, prunedMem, pruned int) {
 	g := ix.groupFor(p)
 	kc, km := prunableBin(need.CPU), prunableBin(need.Mem)
 	if !ix.pruning {
@@ -303,9 +356,7 @@ func (ix *Index) Scan(p *trace.Pod, need trace.Resources, visit func(id int)) (p
 				pruned += len(b)
 				continue
 			}
-			for _, id := range b {
-				visit(id)
-			}
+			visit(b)
 		}
 	}
 	return prunedCPU, prunedMem, pruned

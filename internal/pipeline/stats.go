@@ -54,7 +54,23 @@ type Stats struct {
 	summaryAppends  atomic.Int64
 	summaryRebuilds atomic.Int64
 
+	// spanEvery samples stage-latency clock reads: spans are measured on
+	// every spanEvery-th decision (<=1 = all, the default). Counters stay
+	// exact either way; snapshots extrapolate StageMicros from the timed
+	// subset. The engine's workers set this — two to three time.Now calls
+	// per decision are measurable at six-digit decisions per second.
+	spanEvery      int64
+	timedDecisions atomic.Int64
+
 	nanos [numStages]atomic.Int64
+}
+
+// SetSpanSampling makes the stats measure stage spans on one decision in
+// every (1 = all). Counters are unaffected; StageMicros becomes an
+// extrapolated estimate. Not safe to change while decisions are in
+// flight.
+func (st *Stats) SetSpanSampling(every int) {
+	st.spanEvery = int64(every)
 }
 
 // AddSummary accumulates prediction-summary cache counters: cache hits at
@@ -131,8 +147,17 @@ func (st *Stats) AddTo(sn *StatsSnapshot) {
 	if sn.StageMicros == nil {
 		sn.StageMicros = make(map[string]float64, int(numStages))
 	}
+	// Under span sampling, scale the timed subset's totals up to the full
+	// decision count so merged snapshots stay comparable across pipelines
+	// with different sampling settings.
+	scale := 1.0
+	if timed := st.timedDecisions.Load(); timed > 0 {
+		if dec := st.decisions.Load(); dec > timed {
+			scale = float64(dec) / float64(timed)
+		}
+	}
 	for s := Stage(0); s < numStages; s++ {
-		sn.StageMicros[s.String()] += float64(st.nanos[s].Load()) / 1e3
+		sn.StageMicros[s.String()] += float64(st.nanos[s].Load()) * scale / 1e3
 	}
 }
 

@@ -107,6 +107,65 @@ func (f BEUsageFit) MinHeadroom(p *trace.Pod, minCap, maxCap trace.Resources) (t
 	return h, true
 }
 
+// lsEval is the fused per-node evaluation of the production guaranteed-
+// class path: GuaranteedFit admission, replica-spread-dominated scoring
+// with alignment tie-break. One interface call per visited node instead of
+// three, with the request sum fetched once — the scan is the engine's
+// hottest loop, and the fusion is bit-identical to the unfused plugin
+// stack (same operations in the same order), which the fixed-seed
+// equivalence tests pin.
+type lsEval struct{}
+
+// EvalName implements pipeline.EvalPlugin.
+func (lsEval) EvalName() string { return "GuaranteedFit+Spread+Align" }
+
+// Evaluate implements pipeline.EvalPlugin. The score is exactly
+// 1e6*ReplicaSpread + 1*ReqAlignment, computed in the weighted-sum order
+// Spec.evaluate uses for the unfused spec.
+func (lsEval) Evaluate(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (float64, bool, bool) {
+	rs := n.ReqSum()
+	req := rs.Add(resv).Add(p.Request)
+	capc := n.Capacity()
+	cpuOK := req.CPU <= capc.CPU
+	memOK := req.Mem <= capc.Mem
+	if !cpuOK || !memOK {
+		return 0, cpuOK, memOK
+	}
+	score := 1e6 * -float64(n.AppPodCount(p.AppID))
+	score += p.Request.Dot(rs)
+	return score, true, true
+}
+
+// MinHeadroom implements pipeline.HeadroomBounder, identical to
+// GuaranteedFit's bound.
+func (lsEval) MinHeadroom(p *trace.Pod, _, _ trace.Resources) (trace.Resources, bool) {
+	return p.Request, true
+}
+
+// beEval is the fused best-effort evaluation: BEUsageFit admission with
+// usage-alignment scoring, one call per node.
+type beEval struct {
+	fit BEUsageFit
+}
+
+// EvalName implements pipeline.EvalPlugin.
+func (beEval) EvalName() string { return "BEUsageFit+UsageAlign" }
+
+// Evaluate implements pipeline.EvalPlugin.
+func (e beEval) Evaluate(n *cluster.NodeState, p *trace.Pod, resv trace.Resources) (float64, bool, bool) {
+	cpuOK, memOK := e.fit.Filter(n, p, resv)
+	if !cpuOK || !memOK {
+		return 0, cpuOK, memOK
+	}
+	return alignment(n.LastUsage(), p), true, true
+}
+
+// MinHeadroom implements pipeline.HeadroomBounder, delegating to
+// BEUsageFit's bound.
+func (e beEval) MinHeadroom(p *trace.Pod, minCap, maxCap trace.Resources) (trace.Resources, bool) {
+	return e.fit.MinHeadroom(p, minCap, maxCap)
+}
+
 // PredictedFit admits a pod when a usage predictor's host estimate plus
 // the pod's request fits a capacity budget — the admission shared by the
 // predictor-driven baselines (§5.1).
@@ -211,22 +270,14 @@ func (s *AlibabaLike) Schedule(pods []*trace.Pod, now int64) []Decision {
 		// long-running service replicas spread across failure domains, the
 		// reliability-first policy of production LS schedulers (and a root
 		// cause of the low baseline utilization the paper measures).
-		// Alignment packing breaks ties.
-		s.lsSpec = &pipeline.Spec{
-			Filters: []pipeline.FilterPlugin{GuaranteedFit{}},
-			Scores: []pipeline.WeightedScore{
-				{Plugin: ReplicaSpread{}, Weight: 1e6},
-				{Plugin: ReqAlignment{}, Weight: 1},
-			},
-			Preempt: true,
-		}
-		s.beSpec = &pipeline.Spec{
-			Filters: []pipeline.FilterPlugin{nil},
-			Scores:  []pipeline.WeightedScore{{Plugin: UsageAlignment{}, Weight: 1}},
-			Preempt: true,
-		}
+		// Alignment packing breaks ties. Both paths run as fused Eval
+		// plugins — bit-identical to the GuaranteedFit/ReplicaSpread/
+		// ReqAlignment and BEUsageFit/UsageAlignment stacks they fold, one
+		// plugin call per visited node instead of three.
+		s.lsSpec = &pipeline.Spec{Eval: lsEval{}, Preempt: true}
+		s.beSpec = &pipeline.Spec{Preempt: true}
 	}
-	s.beSpec.Filters[0] = BEUsageFit{Ceil: s.BEOvercommitCeil, NoGuaranteedReserve: s.NoGuaranteedReserve}
+	s.beSpec.Eval = beEval{fit: BEUsageFit{Ceil: s.BEOvercommitCeil, NoGuaranteedReserve: s.NoGuaranteedReserve}}
 	out := make([]Decision, len(pods))
 	for i, p := range pods {
 		if p.SLO.LatencySensitive() || p.SLO == trace.SLOSystem {
