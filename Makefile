@@ -33,22 +33,34 @@ bench: bench-engine
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # The engine throughput benchmarks are heavyweight (a full workload drain
-# per iteration) and run at 3x; the scoreHost microbenchmark is cheap and
-# needs iterations to be meaningful, so it runs at 2000x. Both feed one
-# JSON document.
+# per iteration) and run at 3x; the federation replay drains a 100k-node
+# fleet per partition count and runs once; the scoreHost microbenchmark
+# is cheap and needs iterations to be meaningful, so it runs at 2000x.
+# All feed one JSON document.
 bench-engine:
 	{ $(GO) test -bench 'BenchmarkEngine|BenchmarkPipeline' -benchmem -benchtime 3x -run '^$$' ./internal/engine; \
+	  $(GO) test -bench 'BenchmarkFederationThroughput' -benchmem -benchtime 1x -run '^$$' -timeout 1800s ./internal/federation; \
 	  $(GO) test -bench 'BenchmarkScoreHost' -benchmem -benchtime 2000x -run '^$$' ./internal/core; } \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_engine.json
 
-# bench-check is the CI perf-regression gate: re-run the engine
-# throughput benchmark and fail if workers=4 placements/s regresses more
-# than 10% against the committed BENCH_engine.json baseline. Single-run
-# benchmarks on shared hardware are noisy; the tolerance absorbs normal
-# jitter while still catching structural regressions.
+# bench-check is the CI perf-regression gate: re-run the gated benchmarks
+# and fail when any regresses past its tolerance against the committed
+# BENCH_engine.json baseline, or when a baseline benchmark a -require
+# pattern matches is missing from the fresh run (a renamed or silently
+# skipped benchmark must not pass as "no regression"). Single-run
+# benchmarks on shared hardware are noisy; the tolerances absorb normal
+# jitter while still catching structural regressions. The federation
+# replay runs only parts=1 and parts=4 here — parts=1 anchors the
+# speedup_x metric, and the 25% tolerance on a ~4x baseline keeps the
+# federation's headline scaling above ~3x.
 bench-check:
-	$(GO) test -bench 'BenchmarkEngineThroughput' -benchtime 3x -run '^$$' ./internal/engine \
+	{ $(GO) test -bench 'BenchmarkEngineThroughput|BenchmarkEngineSoak' -benchtime 3x -run '^$$' ./internal/engine; \
+	  $(GO) test -bench 'BenchmarkFederationThroughput/parts=(1|4)$$' -benchtime 1x -run '^$$' -timeout 1800s ./internal/federation; } \
 		| tee /dev/stderr | $(GO) run ./cmd/benchcheck \
 			-baseline BENCH_engine.json \
-			-name BenchmarkEngineThroughput/workers=4 \
-			-metric placements/s -tolerance 10
+			-gate 'BenchmarkEngineThroughput/workers=4,placements/s,10' \
+			-gate 'BenchmarkEngineSoak/workers=4,placements/s,25' \
+			-gate 'BenchmarkFederationThroughput/parts=4,speedup_x,25' \
+			-require 'BenchmarkEngineThroughput/workers=[124]$$' \
+			-require 'BenchmarkEngineSoak/workers=[1248]$$' \
+			-require 'BenchmarkFederationThroughput/parts=[14]$$'

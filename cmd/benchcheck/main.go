@@ -1,16 +1,24 @@
 // Command benchcheck is the CI perf-regression gate: it parses a fresh
-// `go test -bench` run from stdin and compares one benchmark's metric
+// `go test -bench` run from stdin and compares benchmark metrics
 // against the committed baseline document (BENCH_engine.json), failing
-// with a non-zero exit when the fresh value regresses beyond the
-// tolerance:
+// with a non-zero exit when a fresh value regresses beyond its
+// tolerance — or when a benchmark the baseline knows about silently
+// vanished from the fresh run.
 //
-//	go test -bench 'BenchmarkEngineThroughput' -benchtime 3x -run '^$' ./internal/engine \
+//	go test -bench 'BenchmarkEngineThroughput|BenchmarkEngineSoak' -benchtime 3x -run '^$' ./internal/engine \
 //	    | benchcheck -baseline BENCH_engine.json \
-//	                 -name BenchmarkEngineThroughput/workers=4 \
-//	                 -metric placements/s -tolerance 10
+//	                 -require '^BenchmarkEngine(Throughput|Soak)/' \
+//	                 -gate 'BenchmarkEngineThroughput/workers=4,placements/s,10' \
+//	                 -gate 'BenchmarkEngineSoak/workers=4,placements/s,25'
 //
-// The metric is assumed higher-is-better (throughput); ns/op style
-// lower-is-better checks invert via -lower-is-better.
+// Each -gate is name,metric,tolerance-percent[,lower] — "lower" marks a
+// lower-is-better metric (ns/op). Tolerances are per gate, so noisy
+// soak metrics can run with a wider band than the headline throughput.
+// Each -require is a regexp: every baseline benchmark matching it must
+// appear in the fresh run, so a renamed or dropped benchmark fails the
+// gate instead of passing by absence. The single-gate flags (-name,
+// -metric, -tolerance, -lower-is-better) remain as a shorthand when no
+// -gate is given.
 package main
 
 import (
@@ -18,6 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"strconv"
+	"strings"
 
 	"unisched/internal/benchfmt"
 )
@@ -35,13 +46,99 @@ func metricOf(b *benchfmt.Benchmark, metric string) (float64, bool) {
 	return v, ok
 }
 
+// gate is one name/metric comparison with its own tolerance.
+type gate struct {
+	name        string
+	metric      string
+	tolerance   float64
+	lowerBetter bool
+}
+
+func parseGate(s string) (gate, error) {
+	f := strings.Split(s, ",")
+	if len(f) < 3 || len(f) > 4 {
+		return gate{}, fmt.Errorf("want name,metric,tolerance[,lower], got %q", s)
+	}
+	tol, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return gate{}, fmt.Errorf("tolerance %q: %v", f[2], err)
+	}
+	g := gate{name: f[0], metric: f[1], tolerance: tol}
+	if len(f) == 4 {
+		if f[3] != "lower" {
+			return gate{}, fmt.Errorf("want \"lower\" as 4th field, got %q", f[3])
+		}
+		g.lowerBetter = true
+	}
+	return g, nil
+}
+
+// check compares one gate; returns a verdict line and whether it passed.
+func (g gate) check(base, fresh *benchfmt.Report) (string, bool) {
+	bb := base.Find(g.name)
+	if bb == nil {
+		return fmt.Sprintf("FAIL %s: baseline has no such benchmark", g.name), false
+	}
+	baseVal, ok := metricOf(bb, g.metric)
+	if !ok {
+		return fmt.Sprintf("FAIL %s: baseline carries no metric %q", g.name, g.metric), false
+	}
+	fb := fresh.Find(g.name)
+	if fb == nil {
+		return fmt.Sprintf("FAIL %s: missing from the fresh run (did the bench fail or get renamed?)", g.name), false
+	}
+	freshVal, ok := metricOf(fb, g.metric)
+	if !ok {
+		return fmt.Sprintf("FAIL %s: fresh run carries no metric %q", g.name, g.metric), false
+	}
+	// Regression percentage, positive = worse than baseline.
+	var regress float64
+	if g.lowerBetter {
+		regress = (freshVal - baseVal) / baseVal * 100
+	} else {
+		regress = (baseVal - freshVal) / baseVal * 100
+	}
+	verdict := "OK"
+	pass := regress <= g.tolerance
+	if !pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s %s %s baseline=%.2f fresh=%.2f regression=%+.1f%% tolerance=%.1f%%",
+		verdict, g.name, g.metric, baseVal, freshVal, regress, g.tolerance), pass
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_engine.json", "committed baseline document")
-	name := flag.String("name", "BenchmarkEngineThroughput/workers=4", "benchmark to gate on")
-	metric := flag.String("metric", "placements/s", "metric unit to compare (ns/op or a custom unit)")
-	tolerance := flag.Float64("tolerance", 10, "allowed regression in percent")
-	lowerBetter := flag.Bool("lower-is-better", false, "treat the metric as lower-is-better (e.g. ns/op)")
+	name := flag.String("name", "", "benchmark to gate on (shorthand for one -gate)")
+	metric := flag.String("metric", "placements/s", "metric unit for -name (ns/op or a custom unit)")
+	tolerance := flag.Float64("tolerance", 10, "allowed regression in percent for -name")
+	lowerBetter := flag.Bool("lower-is-better", false, "treat the -name metric as lower-is-better (e.g. ns/op)")
+	var gates []gate
+	flag.Func("gate", "name,metric,tolerance[,lower] (repeatable)", func(s string) error {
+		g, err := parseGate(s)
+		if err != nil {
+			return err
+		}
+		gates = append(gates, g)
+		return nil
+	})
+	var requires []*regexp.Regexp
+	flag.Func("require", "regexp: baseline benchmarks matching it must appear in the fresh run (repeatable)", func(s string) error {
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return err
+		}
+		requires = append(requires, re)
+		return nil
+	})
 	flag.Parse()
+
+	if *name != "" {
+		gates = append(gates, gate{name: *name, metric: *metric, tolerance: *tolerance, lowerBetter: *lowerBetter})
+	}
+	if len(gates) == 0 && len(requires) == 0 {
+		fail("nothing to check: pass -gate/-require (or -name)")
+	}
 
 	raw, err := os.ReadFile(*baseline)
 	if err != nil {
@@ -51,42 +148,27 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fail("parse baseline %s: %v", *baseline, err)
 	}
-	bb := base.Find(*name)
-	if bb == nil {
-		fail("baseline %s has no benchmark %q", *baseline, *name)
-	}
-	baseVal, ok := metricOf(bb, *metric)
-	if !ok {
-		fail("baseline %q carries no metric %q", *name, *metric)
-	}
-
 	fresh, err := benchfmt.ParseStream(os.Stdin)
 	if err != nil {
 		fail("read bench output: %v", err)
 	}
-	fb := fresh.Find(*name)
-	if fb == nil {
-		fail("fresh run produced no benchmark %q (did the bench fail?)", *name)
-	}
-	freshVal, ok := metricOf(fb, *metric)
-	if !ok {
-		fail("fresh %q carries no metric %q", *name, *metric)
-	}
 
-	// Regression percentage, positive = worse than baseline.
-	var regress float64
-	if *lowerBetter {
-		regress = (freshVal - baseVal) / baseVal * 100
-	} else {
-		regress = (baseVal - freshVal) / baseVal * 100
+	ok := true
+	for _, re := range requires {
+		for i := range base.Benchmarks {
+			bn := base.Benchmarks[i].Name
+			if re.MatchString(bn) && fresh.Find(bn) == nil {
+				fmt.Printf("benchcheck FAIL %s: in baseline, matched -require %q, but missing from the fresh run\n", bn, re)
+				ok = false
+			}
+		}
 	}
-	verdict := "OK"
-	if regress > *tolerance {
-		verdict = "FAIL"
+	for _, g := range gates {
+		line, pass := g.check(&base, &fresh)
+		fmt.Printf("benchcheck %s\n", line)
+		ok = ok && pass
 	}
-	fmt.Printf("benchcheck %s: %s %s baseline=%.0f fresh=%.0f regression=%+.1f%% tolerance=%.1f%%\n",
-		verdict, *name, *metric, baseVal, freshVal, regress, *tolerance)
-	if verdict == "FAIL" {
+	if !ok {
 		os.Exit(1)
 	}
 }

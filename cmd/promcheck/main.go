@@ -1,0 +1,117 @@
+// promcheck fetches Prometheus text expositions and validates them with
+// the same checker the loadgen scrape harness uses: every sample line
+// must belong to a declared family, histogram buckets must be cumulative
+// and le-ordered, and counters must not carry gauge suffixes. Each
+// argument is a URL (http:// or https://) or a file path; with no
+// arguments it validates stdin. Exit status is nonzero when any source
+// fails, so CI can gate a live /metrics endpoint:
+//
+//	promcheck http://127.0.0.1:9090/metrics
+//
+// -require NAME may repeat: every listed metric family must be declared
+// in every source, catching expositions that validate but silently lost
+// a family.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"time"
+
+	"unisched/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("promcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var require []string
+	fs.Func("require", "metric family that must be declared (repeatable)", func(s string) error {
+		require = append(require, s)
+		return nil
+	})
+	timeout := fs.Duration("timeout", 10*time.Second, "per-URL fetch timeout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sources := fs.Args()
+	ok := true
+	if len(sources) == 0 {
+		ok = check(stdout, stderr, "stdin", stdin, require)
+	}
+	client := &http.Client{Timeout: *timeout}
+	for _, src := range sources {
+		body, err := open(client, src)
+		if err != nil {
+			fmt.Fprintf(stderr, "promcheck FAIL %s: %v\n", src, err)
+			ok = false
+			continue
+		}
+		if !check(stdout, stderr, src, body, require) {
+			ok = false
+		}
+		body.Close()
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func open(client *http.Client, src string) (io.ReadCloser, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := client.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("status %s", resp.Status)
+		}
+		return resp.Body, nil
+	}
+	return os.Open(src)
+}
+
+var helpLine = regexp.MustCompile(`^# HELP (\S+) `)
+
+func check(stdout, stderr io.Writer, label string, r io.Reader, require []string) bool {
+	// The exposition is read twice (validate, then family scan), so
+	// buffer it; these are metric pages, not bulk data.
+	raw, err := io.ReadAll(io.LimitReader(r, 16<<20))
+	if err != nil {
+		fmt.Fprintf(stderr, "promcheck FAIL %s: read: %v\n", label, err)
+		return false
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(raw)); err != nil {
+		fmt.Fprintf(stderr, "promcheck FAIL %s: %v\n", label, err)
+		return false
+	}
+	declared := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if m := helpLine.FindStringSubmatch(line); m != nil {
+			declared[m[1]] = true
+		}
+	}
+	ok := true
+	for _, name := range require {
+		if !declared[name] {
+			fmt.Fprintf(stderr, "promcheck FAIL %s: required family %q not declared\n", label, name)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Fprintf(stdout, "promcheck OK %s: %d families\n", label, len(declared))
+	}
+	return ok
+}

@@ -1,0 +1,241 @@
+// Federation modes of unischedd.
+//
+// Partition mode (-partition-index I -partition-count N) runs the normal
+// engine daemon restricted to its shard of the node fleet: every node
+// outside the shard is Down from genesis (the same federation.BlockAssign
+// map a coordinator uses), and two extra endpoints feed the coordinator:
+//
+//	GET /v1/federation/digest         routing digest (engine.Digest)
+//	GET /v1/federation/rejects?after=SEQ  fail-fast rejects past the cursor
+//
+// Coordinator mode (-federation URL,URL,...) runs no engine at all: it
+// fronts already-running partition daemons, routing POST /v1/pods by
+// digest fit, re-dispatching spillover from the partitions' reject
+// cursors, and serving merged metrics:
+//
+//	GET  /healthz, /readyz
+//	GET  /metrics        merged Prometheus exposition (per-partition labels)
+//	POST /v1/pods        submit one pod (routed to the best-fit partition)
+//	GET  /v1/pods/{id}   federation-wide submission status
+//	GET  /v1/metrics     merged JSON snapshot (loadgen-compatible)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unisched/internal/engine"
+	"unisched/internal/federation"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// rejectRing buffers fail-fast rejects for the coordinator's poll
+// cursor. Sequence numbers are monotonically increasing; the ring keeps
+// the most recent capacity entries (a coordinator polling at its normal
+// cadence never falls that far behind).
+type rejectRing struct {
+	mu      sync.Mutex
+	cap     int
+	entries []federation.Reject
+	seq     uint64
+}
+
+func newRejectRing(capacity int) *rejectRing {
+	return &rejectRing{cap: capacity}
+}
+
+// record is the engine's OnUnschedulable hook.
+func (r *rejectRing) record(p *trace.Pod, reason sched.Reason) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.entries = append(r.entries, federation.Reject{Seq: r.seq, ID: p.ID, Reason: reason.String()})
+	if len(r.entries) > r.cap {
+		r.entries = append(r.entries[:0:0], r.entries[len(r.entries)-r.cap:]...)
+	}
+}
+
+// page returns the rejects recorded after the cursor, plus the new
+// cursor position.
+func (r *rejectRing) page(after uint64) federation.RejectsPage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Seq > after })
+	page := federation.RejectsPage{Next: r.seq}
+	if i < len(r.entries) {
+		page.Rejects = append([]federation.Reject(nil), r.entries[i:]...)
+	}
+	return page
+}
+
+// partitionMask builds the engine's InactiveNodes baseline for one shard
+// of the fleet, and returns how many nodes the shard owns.
+func partitionMask(nodes, index, count int) ([]bool, int) {
+	mask := make([]bool, nodes)
+	owned := 0
+	for id := 0; id < nodes; id++ {
+		if federation.BlockAssign(id, nodes, count) != index {
+			mask[id] = true
+		} else {
+			owned++
+		}
+	}
+	return mask, owned
+}
+
+// withFederationEndpoints mounts the partition-mode extras in front of
+// the normal API.
+func withFederationEndpoints(next http.Handler, e *engine.Engine, ring *rejectRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/federation/digest", func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, http.StatusOK, e.Digest())
+	})
+	mux.HandleFunc("GET /v1/federation/rejects", func(rw http.ResponseWriter, r *http.Request) {
+		var after uint64
+		if s := r.URL.Query().Get("after"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(rw, "bad after= cursor", http.StatusBadRequest)
+				return
+			}
+			after = v
+		}
+		writeJSON(rw, http.StatusOK, ring.page(after))
+	})
+	mux.Handle("/", next)
+	return mux
+}
+
+// runCoordinator serves the federation front door over already-running
+// partition daemons. It owns no engine: routing state only.
+func runCoordinator(ctx context.Context, urls []string, addr string, logger *slog.Logger, stdout io.Writer, onListen func(addr string)) int {
+	co, err := federation.NewRemote(urls, federation.Config{})
+	if err != nil {
+		logger.Error("federation construction failed", "err", err)
+		return 1
+	}
+	var ready atomic.Bool
+	capi := &coordinatorAPI{co: co, ready: &ready}
+	capi.nextID.Store(1 << 40) // far above any trace pod ID
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Error("listen failed", "err", err, "addr", addr)
+		return 1
+	}
+	srv := &http.Server{Handler: logRequests(logger, capi.handler())}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
+
+	co.Start()
+	ready.Store(true)
+	logger.Info("coordinator listening", "addr", ln.Addr().String(), "partitions", len(urls))
+
+	select {
+	case <-ctx.Done():
+		logger.Info("signal received, shutting down")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("http server failed", "err", err)
+			return 1
+		}
+	}
+	ready.Store(false)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Warn("http shutdown incomplete", "err", err)
+	}
+	co.Stop() // stops routing; the partition daemons keep running
+
+	enc, _ := json.MarshalIndent(co.Snapshot(), "", "  ")
+	stdout.Write(append(enc, '\n'))
+	return 0
+}
+
+// coordinatorAPI is the HTTP surface over one federation coordinator.
+type coordinatorAPI struct {
+	co     *federation.Coordinator
+	ready  *atomic.Bool
+	nextID atomic.Int64
+}
+
+func (a *coordinatorAPI) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(rw http.ResponseWriter, _ *http.Request) {
+		if a.ready.Load() {
+			rw.Write([]byte("ok\n"))
+			return
+		}
+		http.Error(rw, "not ready", http.StatusServiceUnavailable)
+	})
+	mux.Handle("GET /metrics", a.co.MetricsHandler())
+	mux.HandleFunc("POST /v1/pods", a.submitPod)
+	mux.HandleFunc("GET /v1/pods/{id}", a.getPod)
+	mux.HandleFunc("GET /v1/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, http.StatusOK, a.co.Snapshot())
+	})
+	return mux
+}
+
+func (a *coordinatorAPI) submitPod(rw http.ResponseWriter, r *http.Request) {
+	var p trace.Pod
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		writeJSON(rw, http.StatusBadRequest, submitResponse{Status: "rejected", Error: err.Error()})
+		return
+	}
+	if p.ID < 0 {
+		p.ID = int(a.nextID.Add(1))
+	}
+	if p.CPUScale == 0 {
+		p.CPUScale = 1
+	}
+	if p.MemScale == 0 {
+		p.MemScale = 1
+	}
+	// The pod is not linked here: each partition daemon resolves the app
+	// reference against its own (identical) catalogue on arrival.
+	switch err := a.co.Submit(&p); {
+	case err == nil:
+		writeJSON(rw, http.StatusAccepted, submitResponse{ID: p.ID, Status: "queued"})
+	case errors.Is(err, engine.ErrQueueFull), errors.Is(err, federation.ErrShed):
+		writeJSON(rw, http.StatusTooManyRequests, submitResponse{ID: p.ID, Status: "shed", Error: err.Error()})
+	case errors.Is(err, engine.ErrDuplicate):
+		writeJSON(rw, http.StatusConflict, submitResponse{ID: p.ID, Status: "duplicate", Error: err.Error()})
+	default:
+		writeJSON(rw, http.StatusServiceUnavailable, submitResponse{ID: p.ID, Status: "rejected", Error: err.Error()})
+	}
+}
+
+func (a *coordinatorAPI) getPod(rw http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(rw, "bad pod id", http.StatusBadRequest)
+		return
+	}
+	st, ok := a.co.PodStatus(id)
+	if !ok {
+		http.Error(rw, "unknown pod", http.StatusNotFound)
+		return
+	}
+	writeJSON(rw, http.StatusOK, st)
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"unisched/internal/federation"
+	"unisched/internal/obs"
+	"unisched/internal/trace"
+)
+
+// startDaemon boots one in-process daemon with the given args on an
+// ephemeral port and waits for /readyz.
+func startDaemon(t *testing.T, stdout io.Writer, args ...string) (string, chan int, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	codeCh := make(chan int, 1)
+	full := append([]string{"-addr", "127.0.0.1:0"}, args...)
+	go func() {
+		codeCh <- run(ctx, full, stdout, func(addr string) { addrCh <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+	base := "http://" + addr
+	hc := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := hc.Get(base + "/readyz")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if ok {
+				return base, codeCh, cancel
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFederationDaemons boots two partition daemons plus a coordinator
+// fronting them over HTTP, replays pods through the coordinator, and
+// checks conservation, status lookups, and both Prometheus surfaces.
+func TestFederationDaemons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon boot takes seconds")
+	}
+	// The same generator arguments every daemon gets, so all three agree
+	// on the catalogue.
+	cfg := trace.DefaultConfig()
+	cfg.Seed = 5
+	cfg.NumNodes = 16
+	cfg.Horizon = 3600
+	w, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pods := w.Pods
+	if len(pods) > 300 {
+		pods = pods[:300]
+	}
+
+	partArgs := []string{
+		"-nodes", "16", "-hours", "1", "-seed", "5",
+		"-workers", "1", "-queue", "128",
+		"-speedup", "30000",
+		"-trace-sample", "0",
+		"-partition-count", "2",
+	}
+	var pout0, pout1, cout bytes.Buffer
+	base0, code0, cancel0 := startDaemon(t, &pout0, append(partArgs, "-partition-index", "0")...)
+	base1, code1, cancel1 := startDaemon(t, &pout1, append(partArgs, "-partition-index", "1")...)
+	baseC, codeC, cancelC := startDaemon(t, &cout, "-federation", base0+","+base1)
+
+	hc := &http.Client{Timeout: 5 * time.Second}
+	accepted, shed := 0, 0
+	for _, p := range pods {
+		switch code := post(hc, baseC, p); code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("pod %d: unexpected status %d", p.ID, code)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no submissions accepted; test proves nothing")
+	}
+
+	// Wait for the federation to settle: nothing pending anywhere,
+	// including the coordinator's own respill queue.
+	var sn federation.Snapshot
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := hc.Get(baseC + "/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sn)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sn.Pending == 0 && sn.QueueDepth == 0 && sn.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federation never settled: %+v", sn)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if got := int(sn.Submitted); got != accepted {
+		t.Errorf("coordinator submitted %d, want %d accepted", got, accepted)
+	}
+	if lost := sn.Lost(); lost != 0 {
+		t.Errorf("federation lost %d submissions: %+v", lost, sn.States)
+	}
+	if sn.PartitionCount != 2 || len(sn.Partitions) != 2 {
+		t.Errorf("snapshot reports %d/%d partitions, want 2", sn.PartitionCount, len(sn.Partitions))
+	}
+
+	// A placed pod must be visible through the coordinator's status API.
+	var stOK bool
+	for _, p := range pods {
+		resp, err := hc.Get(fmt.Sprintf("%s/v1/pods/%d", baseC, p.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && strings.Contains(string(body), "phase") {
+			stOK = true
+			break
+		}
+	}
+	if !stOK {
+		t.Error("no pod visible through GET /v1/pods/{id}")
+	}
+
+	// Both exposition surfaces must validate: the coordinator's merged
+	// page and a partition daemon's own.
+	for _, u := range []string{baseC + "/metrics", base0 + "/metrics"} {
+		resp, err := hc.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := obs.ValidateExposition(bytes.NewReader(raw)); err != nil {
+			t.Errorf("%s: invalid exposition: %v", u, err)
+		}
+	}
+	resp, err := hc.Get(baseC + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "unisched_partition_submitted_total") {
+		t.Error("coordinator exposition missing per-partition families")
+	}
+
+	// Duplicate resubmission of an accepted pod must 409 through the
+	// whole chain (coordinator dedup or partition dedup, either is fine
+	// as long as it is not accepted twice).
+	if code := post(hc, baseC, pods[0]); code != http.StatusConflict {
+		t.Errorf("resubmitting pod %d got %d, want 409", pods[0].ID, code)
+	}
+
+	// Coordinator down first (partitions keep running), then partitions.
+	cancelC()
+	if code := <-codeC; code != 0 {
+		t.Fatalf("coordinator exited %d\n%s", code, cout.String())
+	}
+	if !strings.Contains(cout.String(), `"submitted"`) {
+		t.Errorf("coordinator final snapshot missing from stdout:\n%s", cout.String())
+	}
+	cancel0()
+	cancel1()
+	if code := <-code0; code != 0 {
+		t.Fatalf("partition 0 exited %d", code)
+	}
+	if code := <-code1; code != 0 {
+		t.Fatalf("partition 1 exited %d", code)
+	}
+}

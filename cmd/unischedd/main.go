@@ -119,6 +119,12 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 			"serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 		quotaPath = fs.String("quota", "",
 			"multi-tenant quota file (admin token, tenants with tokens and caps); empty runs single-tenant and open")
+		partIndex = fs.Int("partition-index", -1,
+			"this daemon's shard index under a federation coordinator (with -partition-count)")
+		partCount = fs.Int("partition-count", 0,
+			"total federation shards; > 0 restricts the engine to its BlockAssign shard and serves /v1/federation/*")
+		fedURLs = fs.String("federation", "",
+			"comma-separated partition daemon URLs; runs as the federation coordinator instead of an engine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -127,6 +133,14 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 	logger, err := newLogger(*logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "unischedd:", err)
+		return 2
+	}
+
+	if *fedURLs != "" {
+		return runCoordinator(ctx, strings.Split(*fedURLs, ","), *addr, logger, stdout, onListen)
+	}
+	if *partCount > 0 && (*partIndex < 0 || *partIndex >= *partCount) {
+		fmt.Fprintf(os.Stderr, "unischedd: -partition-index %d out of range for -partition-count %d\n", *partIndex, *partCount)
 		return 2
 	}
 
@@ -171,6 +185,17 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 	if *chaosRun {
 		cfg.Chaos = chaos.NewInjector(*seed, nil, chaos.DefaultRates())
 	}
+	var ring *rejectRing
+	if *partCount > 0 {
+		mask, owned := partitionMask(len(w.Nodes), *partIndex, *partCount)
+		cfg.InactiveNodes = mask
+		cfg.BlockShards = true
+		ring = newRejectRing(1 << 16)
+		cfg.OnUnschedulable = ring.record
+		logger.Info("partition mode",
+			"index", *partIndex, "count", *partCount,
+			"owned_nodes", owned, "fleet", len(w.Nodes))
+	}
 	var auth *tenantAuth
 	if *quotaPath != "" {
 		qt, a, err := loadQuotaConfig(*quotaPath)
@@ -209,7 +234,11 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 		logger.Error("listen failed", "err", err, "addr", *addr)
 		return 1
 	}
-	srv := &http.Server{Handler: logRequests(logger, newAPI(e, w, &ready, auth))}
+	handler := newAPI(e, w, &ready, auth)
+	if ring != nil {
+		handler = withFederationEndpoints(handler, e, ring)
+	}
+	srv := &http.Server{Handler: logRequests(logger, handler)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	if onListen != nil {

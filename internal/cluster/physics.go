@@ -255,6 +255,16 @@ func (c *Cluster) Tick(t int64, dt float64) (completed []*PodState, snaps []Node
 	}
 	snaps = c.snapScratch
 	for i := range c.nodes {
+		// A Down host produces no telemetry: once its scratch snapshot
+		// was written as Down (zero usage, no pods), only the timestamp
+		// changes tick to tick. Skipping the rewrite keeps a federated
+		// partition's tick cost proportional to the nodes it owns, not
+		// the whole cluster — non-owned nodes are Down from genesis.
+		n := c.nodes[i]
+		if n.phase == NodeDown && snaps[i].Node == n && snaps[i].Phase == NodeDown && len(snaps[i].Pods) == 0 {
+			snaps[i].T = t
+			continue
+		}
 		c.snapshotInto(&snaps[i], i, t, true)
 		snap := &snaps[i]
 		for j := range snap.Pods {

@@ -36,6 +36,9 @@ func (c *Cluster) RestorePod(p *trace.Pod, nodeID int, seq int, start int64) (*P
 	n.pods = append(n.pods, ps)
 	n.bumpApp(p.AppID, 1)
 	c.byPod[p.ID] = ps
+	if p.Work > 0 {
+		c.workPods.Add(1)
+	}
 	c.notify(nodeID)
 	return ps, nil
 }

@@ -14,6 +14,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"unisched/internal/trace"
 )
@@ -222,7 +223,16 @@ type Cluster struct {
 	podRefSlab []*PodState
 	// snapScratch is Tick's reusable snapshot buffer.
 	snapScratch []NodeSnapshot
+
+	// workPods counts running pods with Work > 0 — the only pods a
+	// physics tick can complete. Atomic so the engine's tick pacing can
+	// read it without taking the cluster's write locks.
+	workPods atomic.Int64
 }
+
+// WorkingPods returns the number of running pods with Work > 0, i.e.
+// pods whose completion depends on the clock advancing.
+func (c *Cluster) WorkingPods() int64 { return c.workPods.Load() }
 
 // newPodState hands out one PodState from the slab.
 func (c *Cluster) newPodState() *PodState {
@@ -325,6 +335,9 @@ func (c *Cluster) Place(p *trace.Pod, nodeID int, now int64) (*PodState, error) 
 	}
 	n.bumpApp(p.AppID, 1)
 	c.byPod[p.ID] = ps
+	if p.Work > 0 {
+		c.workPods.Add(1)
+	}
 	c.notify(nodeID)
 	return ps, nil
 }
@@ -352,6 +365,9 @@ func (c *Cluster) Remove(podID int, now int64, preempted bool) {
 		n.guarReq = n.guarReq.Sub(ps.Pod.Request)
 	}
 	n.bumpApp(ps.Pod.AppID, -1)
+	if ps.Pod.Work > 0 {
+		c.workPods.Add(-1)
+	}
 	clampNonNeg(&n.reqSum)
 	clampNonNeg(&n.limitSum)
 	clampNonNeg(&n.guarReq)

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"unisched/internal/trace"
+)
+
+// Digest is the cheap per-partition load summary a federation coordinator
+// routes on: per-dimension log2 headroom-bucket histograms over the
+// partition's active nodes, the top-K largest free vectors (so one huge
+// pod is not routed into a partition of confetti), and the queue gauges
+// that proxy routing pressure. It is built lock-free from the store's
+// published epoch snapshots — the decision path of the coordinator never
+// takes a partition lock.
+type Digest struct {
+	// Gen sums the published shard generations: a change detector, not a
+	// version (two digests with equal Gen are almost certainly equal).
+	Gen uint64 `json:"gen"`
+	// ActiveNodes counts schedulable (Up) nodes — the partition's size.
+	ActiveNodes int `json:"active_nodes"`
+	// FreeCPU and FreeMem sum request-able headroom over active nodes;
+	// CapCPU and CapMem sum their capacities. 1-Free/Cap is the
+	// utilization the rebalancer compares across partitions.
+	FreeCPU float64 `json:"free_cpu"`
+	FreeMem float64 `json:"free_mem"`
+	CapCPU  float64 `json:"cap_cpu"`
+	CapMem  float64 `json:"cap_mem"`
+	// CPU[b] and Mem[b] count active nodes whose free capacity in that
+	// dimension lies in bucket b: [digestBase<<b, digestBase<<(b+1)).
+	CPU [DigestBuckets]int32 `json:"cpu"`
+	Mem [DigestBuckets]int32 `json:"mem"`
+	// TopK holds the largest free vectors, descending by CPU+Mem sum —
+	// the existence check for pods too big for the histogram's resolution.
+	TopK []trace.Resources `json:"top_k,omitempty"`
+	// QueueDepth and Backlogged are the partition's admission-queue and
+	// retry-backoff gauges at digest time: the routing pressure penalty.
+	QueueDepth int `json:"queue_depth"`
+	Backlogged int `json:"backlogged"`
+}
+
+// Digest resolution: 16 power-of-two buckets starting at 1/64 core (or
+// memory unit) cover free capacities from 0.015625 to beyond 512 — wider
+// than any node in the traces — and DigestTopK free vectors ride along.
+const (
+	DigestBuckets = 16
+	DigestTopK    = 8
+	digestBase    = 1.0 / 64
+)
+
+// digestBucket returns the bucket whose range contains v, or -1 when v is
+// below the smallest threshold (no usable headroom).
+func digestBucket(v float64) int {
+	if v < digestBase {
+		return -1
+	}
+	b := 0
+	for bound := digestBase * 2; b < DigestBuckets-1 && v >= bound; b++ {
+		bound *= 2
+	}
+	return b
+}
+
+// digestCeilBucket returns the smallest bucket whose lower edge is >= r:
+// every node counted in it or above has free >= r in that dimension.
+func digestCeilBucket(r float64) int {
+	if r <= digestBase {
+		return 0
+	}
+	b := 0
+	for bound := digestBase; b < DigestBuckets; b++ {
+		if bound >= r {
+			return b
+		}
+		bound *= 2
+	}
+	return DigestBuckets
+}
+
+// EstimateFit returns a cheap estimate of how many active nodes could
+// host req: the min over dimensions of the conservative suffix counts,
+// with the top-K free vectors as a fallback existence check (a pod larger
+// than every bucket edge can still fit on a top-K node). Zero means "this
+// partition almost certainly rejects the pod".
+func (d *Digest) EstimateFit(req trace.Resources) int {
+	cb, mb := digestCeilBucket(req.CPU), digestCeilBucket(req.Mem)
+	var nc, nm int32
+	for b := cb; b < DigestBuckets; b++ {
+		nc += d.CPU[b]
+	}
+	for b := mb; b < DigestBuckets; b++ {
+		nm += d.Mem[b]
+	}
+	n := int(nc)
+	if int(nm) < n {
+		n = int(nm)
+	}
+	if n > 0 {
+		return n
+	}
+	for _, f := range d.TopK {
+		if f.CPU >= req.CPU && f.Mem >= req.Mem {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Digest assembles the partition digest from the published epoch
+// snapshots: no shard lock, no worker interference — the same lock-free
+// read path the scoring workers use. Cost is one pass over the published
+// clones, so callers cache it per tick (federation.Partition does).
+func (e *Engine) Digest() Digest {
+	var d Digest
+	var top [DigestTopK]trace.Resources
+	nTop := 0
+	nsh := e.store.Shards()
+	for sh := 0; sh < nsh; sh++ {
+		v := e.store.view(sh)
+		if v == nil {
+			continue
+		}
+		d.Gen += v.gen
+		for _, n := range v.nodes {
+			if n == nil || !n.Schedulable() {
+				continue
+			}
+			d.ActiveNodes++
+			cap, req := n.Capacity(), n.ReqSum()
+			fc, fm := cap.CPU-req.CPU, cap.Mem-req.Mem
+			if fc < 0 {
+				fc = 0
+			}
+			if fm < 0 {
+				fm = 0
+			}
+			d.FreeCPU += fc
+			d.FreeMem += fm
+			d.CapCPU += cap.CPU
+			d.CapMem += cap.Mem
+			if b := digestBucket(fc); b >= 0 {
+				d.CPU[b]++
+			}
+			if b := digestBucket(fm); b >= 0 {
+				d.Mem[b]++
+			}
+			// Keep the K largest free vectors by CPU+Mem sum, insertion
+			// sort on a fixed array: K is 8 and most nodes lose at slot 0.
+			s := fc + fm
+			if nTop < len(top) || s > top[nTop-1].CPU+top[nTop-1].Mem {
+				i := nTop
+				if i == len(top) {
+					i--
+				}
+				for ; i > 0 && s > top[i-1].CPU+top[i-1].Mem; i-- {
+					top[i] = top[i-1]
+				}
+				top[i] = trace.Resources{CPU: fc, Mem: fm}
+				if nTop < len(top) {
+					nTop++
+				}
+			}
+		}
+	}
+	if nTop > 0 {
+		d.TopK = append(d.TopK, top[:nTop]...)
+	}
+	d.QueueDepth = e.q.len()
+	e.wMu.Lock()
+	d.Backlogged = len(e.waiting)
+	e.wMu.Unlock()
+	return d
+}

@@ -231,6 +231,9 @@ type ckptCounters struct {
 	// pre-quota format.
 	QuotaShed      int64 `json:"quota_shed,omitempty"`
 	QuotaPreempted int64 `json:"quota_preempted,omitempty"`
+	// omitempty likewise keeps non-federated checkpoints byte-identical
+	// to the pre-federation format.
+	Rejected int64 `json:"rejected,omitempty"`
 }
 
 func (e *Engine) captureCounters() ckptCounters {
@@ -258,6 +261,7 @@ func (e *Engine) captureCounters() ckptCounters {
 	}
 	c.QuotaShed = e.m.quotaShed.Load()
 	c.QuotaPreempted = e.m.quotaPreempted.Load()
+	c.Rejected = e.m.rejected.Load()
 	return c
 }
 
@@ -287,6 +291,7 @@ func (e *Engine) restoreCounters(c ckptCounters) {
 	}
 	e.m.quotaShed.Store(c.QuotaShed)
 	e.m.quotaPreempted.Store(c.QuotaPreempted)
+	e.m.rejected.Store(c.Rejected)
 }
 
 // capture assembles the canonical state under every lock the protocol
@@ -305,8 +310,17 @@ func (e *Engine) capture() (*ckptState, []*trace.Pod, uint64) {
 	st := &ckptState{Now: e.now.Load(), TickN: e.tickN}
 
 	for _, n := range e.c.Nodes() {
-		if n.Phase() == cluster.NodeUp && n.NextSeq() == 0 {
-			continue // never touched: all-default state
+		// "Default" is relative to the genesis baseline: a federation
+		// partition's non-owned nodes sit Down from birth and are not
+		// worth serializing, while a node migrated in (Up where the
+		// baseline says Down) is a deviation the checkpoint must carry —
+		// recovery re-applies the baseline first, then the deviations.
+		base := cluster.NodeUp
+		if e.cfg.InactiveNodes != nil && e.cfg.InactiveNodes[n.Node.ID] {
+			base = cluster.NodeDown
+		}
+		if n.Phase() == base && n.NextSeq() == 0 {
+			continue // never touched: baseline state
 		}
 		st.Nodes = append(st.Nodes, ckptNode{
 			ID:      n.Node.ID,
@@ -849,6 +863,23 @@ func (e *Engine) replayRecord(r *journal.Record, link func(*trace.Pod) error, pe
 		e.m.retries.Add(1)
 		pending.remove(id)
 		heap.Push(&e.waiting, waitEntry{notBefore: r.C, it: item{pod: rec.pod, displaced: jump, leaf: rec.leaf}})
+		return nil
+
+	case journal.OpReject:
+		id := int(r.A)
+		rec := e.recs[id]
+		if rec == nil || rec.phase != PodQueued {
+			return fmt.Errorf("reject for pod %d in state %v", id, recPhase(rec))
+		}
+		pending.remove(id)
+		rec.attempts++
+		rec.reason = sched.Reason(r.B)
+		rec.phase = PodRejected
+		e.m.rejected.Add(1)
+		if e.qt != nil {
+			e.qt.ReleaseAdmitted(rec.leaf, rec.pod.Request)
+		}
+		e.queued.Add(-1)
 		return nil
 
 	case journal.OpTick:

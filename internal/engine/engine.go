@@ -101,6 +101,15 @@ type Config struct {
 	// Shards is the state-store shard count (default 8, clamped to the
 	// node count).
 	Shards int
+	// BlockShards switches the store's node→shard mapping from modular
+	// (id % Shards) to contiguous blocks (id / ceil(N/Shards)). Federation
+	// partitions with block-assigned node shards set this so owned nodes
+	// occupy dedicated store shards: commits republish — and the worker
+	// re-adopts — only the shards the partition actually owns, keeping
+	// per-decision reconcile cost proportional to the owned subset rather
+	// than the whole fleet. Placement outcomes are unaffected; only
+	// publish and adoption traffic move.
+	BlockShards bool
 	// QueueCap bounds the admission queue (default 4096).
 	QueueCap int
 	// MaxBatch bounds one worker's scheduling batch (default 64).
@@ -136,6 +145,25 @@ type Config struct {
 	Chaos *chaos.Injector
 	// Seed de-correlates the workers' samplers.
 	Seed int64
+
+	// InactiveNodes marks nodes this engine does not own at genesis
+	// (true = start Down): the federation partition baseline. It is
+	// applied before the store's first publish and before any journaling,
+	// so it is part of the deterministic genesis state rather than the
+	// log; post-boot migrations (SetNodeActive) journal as node-phase
+	// records, and checkpoints capture exactly the deviations from this
+	// baseline. Nil (the default) leaves every node Up.
+	InactiveNodes []bool
+
+	// OnUnschedulable, when non-nil, switches genuine capacity failures
+	// (the scheduler returned no node) to fail-fast: the pod's record
+	// moves to the terminal PodRejected state, its quota admission is
+	// released, and the hook fires with the pod and the reject reason —
+	// after every engine lock is dropped, so it may re-submit elsewhere.
+	// Commit conflicts and stale commits still retry in-engine; they are
+	// transient races, not capacity verdicts. Federation uses this to
+	// spill a pod from a full partition to the next-best one.
+	OnUnschedulable func(p *trace.Pod, reason sched.Reason)
 
 	// Quota, when non-nil, is the multi-tenant hierarchical quota tree
 	// (internal/quota) gating admission ahead of the SLO lanes: pods carry
@@ -210,9 +238,14 @@ const (
 	PodDone
 	PodShed
 	PodExhausted
+	// PodRejected is the fail-fast terminal state: the scheduler found no
+	// capacity and Config.OnUnschedulable asked for withdrawal instead of
+	// the in-engine retry loop (federation spillover re-dispatches the pod
+	// to another partition). Conservation still holds — the record stays.
+	PodRejected
 )
 
-var phaseNames = [...]string{"queued", "placed", "done", "shed", "exhausted"}
+var phaseNames = [...]string{"queued", "placed", "done", "shed", "exhausted", "rejected"}
 
 // String names the phase.
 func (p PodPhase) String() string {
@@ -312,6 +345,13 @@ type Engine struct {
 	serMu  sync.Mutex
 	series Series
 
+	// tickMu serializes tick-scope mutators: the event loop's tick and
+	// external membership flips (SetNodeActive). The store's
+	// BeginMutate/EndMutate quiescence barrier assumes a single writer;
+	// this mutex is what makes that true once a federation rebalancer can
+	// migrate nodes while the engine runs.
+	tickMu sync.Mutex
+
 	// jr is the write-ahead journal; nil for engines built with New, so
 	// every durability hook is one predictable nil-check branch on the
 	// hot path. See durability.go for the record semantics and the
@@ -393,9 +433,19 @@ type worker struct {
 // not be mutated by anyone else while the engine runs.
 func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	// The partition membership baseline lands before the store's first
+	// publish and before the workers' views are cloned, so non-owned
+	// nodes are Down everywhere from genesis: the candidate indexes never
+	// admit them and the per-decision scan cost scales with the owned
+	// subset, not the cluster.
+	for id, off := range cfg.InactiveNodes {
+		if off && id < len(c.Nodes()) {
+			c.FailNode(id, 0)
+		}
+	}
 	e := &Engine{
 		cfg:    cfg,
-		store:  NewStore(c, cfg.Shards),
+		store:  NewStore(c, cfg.Shards, cfg.BlockShards),
 		c:      c,
 		q:      newQueue(cfg.QueueCap, cfg.Quota),
 		m:      newMetrics(),
@@ -1114,7 +1164,11 @@ func (e *Engine) processBatch(w *worker, items []item) {
 			if dt != nil {
 				e.rec.Amend(dt, func(t *obs.DecisionTrace) { t.Now = now })
 			}
-			e.fail(items[i], d.Reason, now)
+			if e.cfg.OnUnschedulable != nil {
+				e.reject(items[i], d.Reason, now)
+			} else {
+				e.fail(items[i], d.Reason, now)
+			}
 			continue
 		}
 		res := results[i]
@@ -1171,8 +1225,9 @@ func (e *Engine) adopt(w *worker) {
 			continue
 		}
 		w.gens[sh] = v.gen
+		start, stride, _ := e.store.shardSpan(sh)
 		for i, cl := range v.nodes {
-			id := sh + i*nsh
+			id := start + i*stride
 			if w.member != nil && !w.member[id] {
 				continue
 			}
@@ -1346,6 +1401,43 @@ func (e *Engine) fail(it item, reason sched.Reason, now int64) {
 	e.wMu.Unlock()
 }
 
+// reject is fail's fail-fast sibling (Config.OnUnschedulable): instead of
+// parking the pod for an in-engine retry, the record moves to the terminal
+// PodRejected state, the quota admission is released, and the hook fires —
+// after every engine lock is dropped — so a federation coordinator can
+// re-dispatch the pod to another partition.
+func (e *Engine) reject(it item, reason sched.Reason, now int64) {
+	p := it.pod
+	if e.jr != nil {
+		// Same unit discipline as fail: the record flip and its OpReject
+		// land on one side of any checkpoint cut.
+		e.ckptMu.RLock()
+	}
+	e.recMu.Lock()
+	if rec := e.recs[p.ID]; rec != nil {
+		rec.attempts++
+		rec.reason = reason
+		rec.phase = PodRejected
+	}
+	e.recMu.Unlock()
+	e.m.rejected.Add(1)
+	if e.jr != nil {
+		e.jrAppend(journal.OpReject, now, int64(p.ID), int64(reason), 0, nil)
+		e.ckptMu.RUnlock()
+	}
+	if e.qt != nil {
+		e.qt.ReleaseAdmitted(it.leaf, p.Request)
+	}
+	// The hook fires before the queued count drops: Drain cannot report
+	// the engine settled while a coordinator has not yet been told about
+	// this reject, so "all partitions drained" implies "all spillover
+	// queued". Every engine lock is already released here.
+	e.cfg.OnUnschedulable(p, reason)
+	if e.queued.Add(-1) == 0 {
+		e.signalQuiet()
+	}
+}
+
 // maxQuotaVictims bounds the BE evictions one failed attempt may trigger.
 const maxQuotaVictims = 4
 
@@ -1508,7 +1600,11 @@ func (e *Engine) loop() {
 // With a Horizon set the clock always runs to it (so the utilization
 // series covers the horizon exactly like a sim.Run Result); without one,
 // ticks only fire while they can change something — pods waiting out a
-// backoff or pods running (BE progress, lifetime expiries).
+// backoff, lifetime expiries due eventually, BE pods accumulating work,
+// or chaos faults to inject. Running pods with none of those are not
+// enough: a tick over them is pure telemetry, and free-running it would
+// burn the core on O(nodes) physics — in a federation, every idle
+// partition would steal exactly that much CPU from the busy ones.
 func (e *Engine) tickWorthwhile() bool {
 	if e.cfg.Horizon > 0 {
 		return e.now.Load() < e.cfg.Horizon
@@ -1516,12 +1612,23 @@ func (e *Engine) tickWorthwhile() bool {
 	e.wMu.Lock()
 	waiting := len(e.waiting)
 	e.wMu.Unlock()
-	return waiting > 0 || e.active.Load() > 0
+	if waiting > 0 {
+		return true
+	}
+	if e.cfg.Chaos != nil {
+		return e.active.Load() > 0
+	}
+	e.exMu.Lock()
+	expiring := len(e.expiry) > 0
+	e.exMu.Unlock()
+	return expiring || e.c.WorkingPods() > 0
 }
 
 // tick advances one virtual step: chaos faults, lifetime expiry, physics
 // and usage sampling under full write locks, then release of due retries.
 func (e *Engine) tick() {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	t := e.now.Load()
 	// Tick writes reach state the published clones share (the usage
 	// history, PodState usage): quiesce every snapshot reader before

@@ -1,0 +1,116 @@
+package engine
+
+// Federation support: the hooks internal/federation drives a partition
+// engine through. A partition engine owns exactly the nodes that are Up
+// in its cluster — Config.InactiveNodes pins the genesis baseline, and
+// SetNodeActive migrates ownership online (the rebalancer moves empty
+// nodes between partitions). Rejected and Crash serve the coordinator's
+// recovery reconciliation and the crash-recovery tests.
+
+import (
+	"errors"
+	"sort"
+
+	"unisched/internal/cluster"
+	"unisched/internal/trace"
+)
+
+// SetNodeActive errors.
+var (
+	// ErrNodeOutOfRange reports a node ID outside the cluster.
+	ErrNodeOutOfRange = errors.New("engine: node id out of range")
+	// ErrNodeNotEmpty refuses to deactivate a node that still hosts pods:
+	// the rebalancer migrates empty nodes only.
+	ErrNodeNotEmpty = errors.New("engine: node holds pods")
+)
+
+// SetNodeActive flips one node's partition membership while the engine
+// runs: active=true adopts the node (it becomes schedulable and enters
+// the candidate indexes on the next adoption), active=false releases it
+// (refused while the node hosts pods). The flip runs under the same
+// writer-quiescence protocol as a tick — tickMu serializes it against the
+// event loop, BeginMutate drains the epoch readers — and the node-phase
+// observer journals it exactly like a chaos fault, so recovery replays
+// migrations bit-identically.
+func (e *Engine) SetNodeActive(id int, active bool) error {
+	if id < 0 || id >= len(e.c.Nodes()) {
+		return ErrNodeOutOfRange
+	}
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
+	now := e.now.Load()
+	e.store.BeginMutate()
+	e.store.LockAll()
+	e.store.podMu.Lock()
+	e.store.beginDirtyCaptureLocked()
+	var err error
+	n := e.c.Node(id)
+	if active {
+		e.c.RecoverNode(id)
+	} else if len(n.Pods()) > 0 {
+		// Re-checked under the locks: a worker may have placed here since
+		// the rebalancer picked the node as idle.
+		err = ErrNodeNotEmpty
+	} else {
+		e.c.FailNode(id, now)
+	}
+	e.store.publishDirtyLocked()
+	e.store.podMu.Unlock()
+	e.store.UnlockAll()
+	e.store.EndMutate()
+	return err
+}
+
+// IdleOwnedNodes returns up to max owned (Up) nodes that currently host
+// no pods, ascending by ID — the rebalancer's donation candidates. The
+// snapshot is advisory: SetNodeActive re-validates emptiness under the
+// write locks.
+func (e *Engine) IdleOwnedNodes(max int) []int {
+	var out []int
+	e.store.RLockAll()
+	for _, n := range e.c.Nodes() {
+		if n.Phase() == cluster.NodeUp && len(n.Pods()) == 0 {
+			out = append(out, n.Node.ID)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	e.store.RUnlockAll()
+	return out
+}
+
+// Rejected lists the pods currently in the terminal PodRejected state,
+// ascending by ID. After a durable partition recovers, the coordinator
+// reconciles these against its sibling partitions: a pod rejected here
+// and unknown everywhere else is re-dispatched rather than lost.
+func (e *Engine) Rejected() []*trace.Pod {
+	e.recMu.Lock()
+	var out []*trace.Pod
+	for _, rec := range e.recs {
+		if rec.phase == PodRejected {
+			out = append(out, rec.pod)
+		}
+	}
+	e.recMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EachPod calls fn for every submission record under the record lock,
+// in unspecified order: the coordinator's recovery reconciliation
+// rebuilds its routing table from the partitions' records. fn must not
+// call back into the engine.
+func (e *Engine) EachPod(fn func(id int, phase PodPhase, pod *trace.Pod)) {
+	e.recMu.Lock()
+	for id, rec := range e.recs {
+		fn(id, rec.phase, rec.pod)
+	}
+	e.recMu.Unlock()
+}
+
+// Crash stops the engine as if the process died: workers halt, but no
+// final checkpoint is cut — the next OpenDurable recovers from the last
+// periodic checkpoint plus the journal tail. Exported for the federation
+// crash-recovery tests; identical to Stop on a non-durable engine.
+func (e *Engine) Crash() { e.crashStop() }

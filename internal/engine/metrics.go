@@ -145,6 +145,9 @@ type Metrics struct {
 	displaced atomic.Int64
 	exhausted atomic.Int64
 	retries   atomic.Int64
+	// rejected counts fail-fast withdrawals (Config.OnUnschedulable):
+	// pods handed back to a federation coordinator for re-dispatch.
+	rejected atomic.Int64
 
 	commitConflicts atomic.Int64
 	conflictRejects atomic.Int64
@@ -208,6 +211,10 @@ type Snapshot struct {
 	Exhausted int64 `json:"exhausted"`
 	// Retries counts failed scheduling attempts that were re-queued.
 	Retries int64 `json:"retries"`
+	// Rejected counts fail-fast withdrawals handed to
+	// Config.OnUnschedulable (federation spillover). Absent outside
+	// federation, keeping single-engine snapshots unchanged.
+	Rejected int64 `json:"rejected,omitempty"`
 
 	// CommitConflicts counts commits whose observed node version was
 	// stale (another worker placed first); ConflictRejects the subset
@@ -301,6 +308,7 @@ func (m *Metrics) snapshot() Snapshot {
 		Displaced:       m.displaced.Load(),
 		Exhausted:       m.exhausted.Load(),
 		Retries:         m.retries.Load(),
+		Rejected:        m.rejected.Load(),
 		CommitConflicts: m.commitConflicts.Load(),
 		ConflictRejects: m.conflictRejects.Load(),
 		StaleRejects:    m.staleRejects.Load(),

@@ -13,10 +13,11 @@ import (
 
 // shardView is one shard's published epoch snapshot: an immutable
 // copy-on-write array of node clones plus the version each clone was
-// published at. Shard sh owns node IDs sh, sh+S, sh+2S, ... (S = shard
-// count), so the clone for node id sits at index id/S. Once stored
-// through the atomic pointer a shardView is never mutated; publishers
-// replace it wholesale.
+// published at. The node→shard mapping (modular by default, contiguous
+// blocks for federation partitions — see Store.blk and shardSpan) fixes
+// where each node's clone sits in the array. Once stored through the
+// atomic pointer a shardView is never mutated; publishers replace it
+// wholesale.
 type shardView struct {
 	gen   uint64
 	nodes []*cluster.NodeState
@@ -60,6 +61,13 @@ type Store struct {
 	c      *cluster.Cluster
 	shards []sync.RWMutex
 	podMu  sync.Mutex
+	// blk selects the node→shard mapping: 0 means modular (shard sh owns
+	// IDs sh, sh+S, ...), >0 means contiguous blocks of blk IDs (shard sh
+	// owns [sh*blk, (sh+1)*blk)). Modular aligns with the engine's
+	// interleaved worker partitions; contiguous aligns with federation's
+	// block-assigned node shards, so a partition's commits republish — and
+	// its worker re-adopts — only the shards it actually owns.
+	blk int
 	// version[nodeID] is guarded by the owning shard's lock.
 	version []uint64
 
@@ -132,9 +140,10 @@ func (p *publishSlabs) verSlice(n int) []uint64 {
 }
 
 // NewStore builds a sharded store over the cluster. shards is clamped to
-// [1, nodes]. The initial epoch (gen 1) is published immediately so
+// [1, nodes]. block selects the contiguous node→shard mapping (see
+// Store.blk). The initial epoch (gen 1) is published immediately so
 // snapshot readers always find a view.
-func NewStore(c *cluster.Cluster, shards int) *Store {
+func NewStore(c *cluster.Cluster, shards int, block bool) *Store {
 	n := len(c.Nodes())
 	if shards < 1 {
 		shards = 1
@@ -152,6 +161,12 @@ func NewStore(c *cluster.Cluster, shards int) *Store {
 		views:     make([]atomic.Pointer[shardView], shards),
 		slabs:     make([]publishSlabs, shards),
 		dirtySeen: make([]uint64, n),
+	}
+	if block {
+		s.blk = (n + shards - 1) / shards
+		if s.blk < 1 {
+			s.blk = 1
+		}
 	}
 	c.AddObserver(s.noteDirty)
 	s.PublishAll()
@@ -210,7 +225,38 @@ func (s *Store) Cluster() *cluster.Cluster { return s.c }
 // Shards returns the shard count.
 func (s *Store) Shards() int { return len(s.shards) }
 
-func (s *Store) shardOf(nodeID int) int { return nodeID % len(s.shards) }
+func (s *Store) shardOf(nodeID int) int {
+	if s.blk > 0 {
+		return nodeID / s.blk
+	}
+	return nodeID % len(s.shards)
+}
+
+// shardSpan describes shard sh's node IDs: member i of the shard is node
+// start + i*stride, for i in [0, count). Modular shards interleave
+// (stride = shard count); block shards are contiguous (stride = 1). A
+// trailing block shard may be empty (count 0) when the block size does
+// not divide the fleet evenly.
+func (s *Store) shardSpan(sh int) (start, stride, count int) {
+	n := len(s.version)
+	if s.blk > 0 {
+		start = sh * s.blk
+		count = n - start
+		if count > s.blk {
+			count = s.blk
+		}
+		if count < 0 {
+			count = 0
+		}
+		return start, 1, count
+	}
+	nsh := len(s.shards)
+	count = 0
+	if n > sh {
+		count = (n - sh + nsh - 1) / nsh
+	}
+	return sh, nsh, count
+}
 
 // view loads one shard's current epoch snapshot — the zero-lock entry
 // point of a scheduling pass.
@@ -225,20 +271,16 @@ func (s *Store) Epochs() int64 { return s.epochs.Load() }
 // existing clones — copy-on-write, so a one-placement commit clones one
 // node and copies two small slices.
 func (s *Store) publishShardLocked(sh int, dirty []int) {
-	nsh := len(s.shards)
+	start, stride, count := s.shardSpan(sh)
 	old := s.views[sh].Load()
 	slab := &s.slabs[sh]
 	var nodes []*cluster.NodeState
 	var vers []uint64
 	if dirty == nil || old == nil {
-		count := 0
-		if len(s.version) > sh {
-			count = (len(s.version) - sh + nsh - 1) / nsh
-		}
 		nodes = slab.nodeSlice(count)
 		vers = slab.verSlice(count)
 		for i := 0; i < count; i++ {
-			id := sh + i*nsh
+			id := start + i*stride
 			nodes[i] = slab.arena.Clone(s.c.Node(id))
 			vers[i] = s.version[id]
 		}
@@ -248,7 +290,7 @@ func (s *Store) publishShardLocked(sh int, dirty []int) {
 		copy(nodes, old.nodes)
 		copy(vers, old.vers)
 		for _, id := range dirty {
-			i := id / nsh
+			i := (id - start) / stride
 			nodes[i] = slab.arena.Clone(s.c.Node(id))
 			vers[i] = s.version[id]
 		}
@@ -482,7 +524,7 @@ func (s *Store) CommitBatch(ds []sched.Decision, observed []uint64, now int64, r
 		scr.dirty = scr.dirty[:0]
 		for i := range ds {
 			d := &ds[i]
-			if d.NodeID < 0 || d.NodeID >= len(s.version) || d.NodeID%nsh != sh {
+			if d.NodeID < 0 || d.NodeID >= len(s.version) || s.shardOf(d.NodeID) != sh {
 				continue
 			}
 			if !locked {

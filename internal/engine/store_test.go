@@ -44,7 +44,7 @@ func dec(p *trace.Pod, node int) sched.Decision {
 func TestCommitBumpsVersionAndPlaces(t *testing.T) {
 	w := testWorkload(t, 2, 2, 0.3)
 	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	s := NewStore(c, 2)
+	s := NewStore(c, 2, false)
 
 	res := s.Commit(dec(w.Pods[0], 0), 0, 0, nil)
 	if res.Status != CommitPlaced {
@@ -61,7 +61,7 @@ func TestCommitBumpsVersionAndPlaces(t *testing.T) {
 func TestCommitConflictRevalidates(t *testing.T) {
 	w := testWorkload(t, 1, 4, 0.3)
 	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	s := NewStore(c, 1)
+	s := NewStore(c, 1, false)
 
 	// Both "workers" observed version 0; the first commit wins.
 	if res := s.Commit(dec(w.Pods[0], 0), 0, 0, nil); res.Status != CommitPlaced {
@@ -86,7 +86,7 @@ func TestCommitConflictRevalidates(t *testing.T) {
 func TestCommitStaleOnUnschedulableNode(t *testing.T) {
 	w := testWorkload(t, 2, 1, 0.3)
 	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	s := NewStore(c, 2)
+	s := NewStore(c, 2, false)
 
 	c.FailNode(1, 0)
 	if res := s.Commit(dec(w.Pods[0], 1), 0, 0, nil); res.Status != CommitStale {
@@ -104,7 +104,7 @@ func TestConcurrentCommitsConserveCapacity(t *testing.T) {
 	const pods = 64
 	w := testWorkload(t, 1, pods, 0.1)
 	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	s := NewStore(c, 1)
+	s := NewStore(c, 1, false)
 
 	var wg sync.WaitGroup
 	placed := make(chan int, pods)
@@ -141,7 +141,7 @@ func TestConcurrentCommitsConserveCapacity(t *testing.T) {
 func TestScheduleBatchCapturesVersions(t *testing.T) {
 	w := testWorkload(t, 4, 2, 0.3)
 	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
-	s := NewStore(c, 2)
+	s := NewStore(c, 2, false)
 	sc := sched.NewAlibabaLike(c, 1)
 
 	ds, vers := s.ScheduleBatch(sc, w.Pods, 0)

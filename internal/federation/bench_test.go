@@ -1,0 +1,109 @@
+package federation
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"unisched/internal/engine"
+)
+
+// benchEnv reads an integer override from the environment, for scaling
+// the federation benchmark up to the full trace shape
+// (FED_BENCH_NODES=100000 FED_BENCH_PODS=1000000) without bloating the
+// default CI run.
+func benchEnv(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+// BenchmarkFederationThroughput is the federation headline: replay one
+// workload against a 100k-node cluster federated into 1/2/4/8
+// partitions and measure end-to-end placements per wall second. On one
+// core the speedup is pure scan-cost reduction — each partition's
+// candidate indexes only ever contain its ~N/P owned nodes, so
+// nodes_visited/decision drops with the partition count while the
+// coordinator's digest routing stays O(partitions) per pod. speedup_x
+// is relative to the parts=1 run of the same process; bench-check gates
+// the parts=4 value.
+func BenchmarkFederationThroughput(b *testing.B) {
+	nodes := benchEnv("FED_BENCH_NODES", 100_000)
+	pods := benchEnv("FED_BENCH_PODS", 32_768)
+	w := fedWorkload(b, uniform(nodes, 1), uniform(pods, 0.25))
+	var base float64
+	for _, parts := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			var placed, visited, decisions, spills int64
+			var busy time.Duration
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				co, err := New(w.Nodes, alibabaFactory, Config{
+					Partitions: parts,
+					// Digest refreshes are O(nodes) per partition: on the
+					// uniform replay the pending-load penalty does the
+					// balancing, so a sparse cadence keeps the router off
+					// the critical path.
+					RefreshEvery: 8192,
+					Engine: engine.Config{
+						Workers:  1,
+						Shards:   16,
+						QueueCap: pods + 1,
+						Seed:     int64(i + 1),
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				start := time.Now()
+				co.Start()
+				for _, p := range w.Pods {
+					if err := co.Submit(p); err != nil {
+						b.Fatalf("submit pod %d: %v", p.ID, err)
+					}
+				}
+				if !co.Drain(10 * time.Minute) {
+					b.Fatalf("federation did not settle: %+v", co.Snapshot())
+				}
+				busy += time.Since(start)
+				b.StopTimer()
+				sn := co.Snapshot()
+				if sn.Lost() != 0 {
+					b.Fatalf("lost %d submissions", sn.Lost())
+				}
+				if sn.Placed != int64(pods) {
+					b.Fatalf("placed %d of %d: %+v", sn.Placed, pods, sn.States)
+				}
+				placed += sn.Placed
+				spills += sn.Spills
+				for _, ps := range sn.Partitions {
+					if ps.Pipeline != nil {
+						visited += ps.Pipeline.VisitedNodes
+						decisions += ps.Pipeline.Decisions
+					}
+				}
+				co.Stop()
+			}
+			if busy > 0 {
+				pps := float64(placed) / busy.Seconds()
+				b.ReportMetric(pps, "placements/s")
+				if parts == 1 {
+					base = pps
+				} else if base > 0 {
+					b.ReportMetric(pps/base, "speedup_x")
+				}
+			}
+			if decisions > 0 {
+				b.ReportMetric(float64(visited)/float64(decisions), "nodes_visited/decision")
+			}
+			b.ReportMetric(float64(spills), "spillover_hops")
+		})
+	}
+}

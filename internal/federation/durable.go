@@ -1,0 +1,133 @@
+package federation
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"unisched/internal/engine"
+	"unisched/internal/trace"
+)
+
+// Open builds a durable federation: every partition journals and
+// checkpoints under cfg.DataDir/p<i> through the engine's own
+// durability machinery, and the coordinator's routing table is
+// reconstructed from the partitions' recovered records. Node-ownership
+// migrations replay from the journals, so the recovered shard
+// boundaries — and the federation StateHash — are bit-identical to the
+// pre-crash state.
+func Open(nodes []*trace.Node, factory engine.SchedulerFactory, cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Partitions > 64 {
+		return nil, fmt.Errorf("federation: %d partitions (max 64)", cfg.Partitions)
+	}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("federation: Open requires Config.DataDir")
+	}
+	co := newCoordinator(cfg)
+	for pi := 0; pi < cfg.Partitions; pi++ {
+		dir := filepath.Join(cfg.DataDir, fmt.Sprintf("p%d", pi))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		part, err := co.buildPartition(nodes, factory, pi, dir)
+		if err != nil {
+			return nil, err
+		}
+		co.parts = append(co.parts, part)
+		co.local = append(co.local, part)
+	}
+	co.digests = make([]engine.Digest, len(co.parts))
+	co.submitsSince = make([]int, len(co.parts))
+	co.reconcile()
+	return co, nil
+}
+
+// podInfo accumulates one pod's records across the partitions during
+// reconciliation.
+type podInfo struct {
+	pod      *trace.Pod
+	tried    uint64
+	rejected uint64
+	shed     uint64
+	home     int
+	hasHome  bool
+}
+
+// reconcile rebuilds the coordinator's routing table and conservation
+// counters from the recovered partition records. The rules mirror the
+// live bookkeeping exactly, so a recovered federation's merged snapshot
+// balances the same way a never-crashed one does:
+//
+//   - a pod with a live record somewhere: that record is authoritative;
+//     every reject/shed record it left behind is superseded.
+//   - a pod with only reject/shed records and budget left: it was
+//     mid-spillover when the process died — back into the respill queue
+//     (sorted by ID, so recovery re-dispatch order is deterministic).
+//   - a pod with only reject/shed records and no budget: a federation
+//     shed; its newest record stands as the terminal one.
+func (co *Coordinator) reconcile() {
+	info := make(map[int]*podInfo)
+	for pi, part := range co.local {
+		idx := pi
+		part.Engine().EachPod(func(id int, phase engine.PodPhase, pod *trace.Pod) {
+			fi := info[id]
+			if fi == nil {
+				fi = &podInfo{pod: pod, home: -1}
+				info[id] = fi
+			}
+			fi.tried |= 1 << uint(idx)
+			switch phase {
+			case engine.PodRejected:
+				fi.rejected |= 1 << uint(idx)
+			case engine.PodShed:
+				fi.shed |= 1 << uint(idx)
+			default:
+				fi.home = idx
+				fi.hasHome = true
+			}
+		})
+	}
+	ids := make([]int, 0, len(info))
+	for id := range info {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fi := info[id]
+		rej := int64(bits.OnesCount64(fi.rejected))
+		shd := int64(bits.OnesCount64(fi.shed))
+		rec := &fedRecord{
+			pod:   fi.pod,
+			tried: fi.tried,
+			hops:  bits.OnesCount64(fi.tried) - 1,
+			last:  fi.home,
+		}
+		co.recs[id] = rec
+		co.submitted++
+		switch {
+		case fi.hasHome:
+			rec.state = frActive
+			co.exclRejected += rej
+			co.exclShed += shd
+		case co.untriedLocked(rec) > 0 && rec.hops < co.cfg.MaxHops:
+			rec.state = frRespill
+			co.exclRejected += rej
+			co.exclShed += shd
+			co.respillQueued++
+			co.respill = append(co.respill, rec)
+		default:
+			rec.state = frShed
+			co.fedShed++
+			if rej > 0 {
+				co.reshedRejected++
+				co.exclRejected += rej - 1
+				co.exclShed += shd
+			} else {
+				co.exclShed += shd - 1
+			}
+		}
+	}
+}

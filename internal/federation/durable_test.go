@@ -1,0 +1,184 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"unisched/internal/engine"
+	"unisched/internal/trace"
+)
+
+// detDurableConfig pins the virtual horizon so every partition's clock
+// parks at the same tick: the state hash is position-independent of
+// when the crash lands relative to the (otherwise free-running) clock.
+func detDurableConfig(queueCap int, horizon int64) engine.Config {
+	cfg := detConfig(queueCap)
+	cfg.Horizon = horizon
+	return cfg
+}
+
+// waitClocksParked polls until every partition's virtual clock reached
+// the horizon, so the journals hold a deterministic tick count.
+func waitClocksParked(t *testing.T, co *Coordinator, horizon int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		parked := true
+		for _, p := range co.Partitions() {
+			sn, err := p.Snapshot()
+			if err != nil || sn.VirtualNow < horizon {
+				parked = false
+				break
+			}
+		}
+		if parked {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("virtual clocks did not reach horizon %d", horizon)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFederationCrashRecovery pins durable federation state across a
+// crash, for every partition count: run a saturating workload (so
+// spillover and federation sheds are part of the recovered state), hash
+// the federation, kill every partition without a final checkpoint, and
+// re-open from the journals. The recovered StateHash must be
+// bit-identical, the routing table must balance (Lost()==0, zero merge
+// residual), and the recovered federation must keep scheduling.
+func TestFederationCrashRecovery(t *testing.T) {
+	for _, parts := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			dir := t.TempDir()
+			reqs := append(uniform(20, 0.4), 2.0) // one pod fits nowhere
+			w := fedWorkload(t, uniform(8, 1), reqs)
+			cfg := Config{
+				Partitions: parts,
+				Engine:     detDurableConfig(64, w.Horizon),
+				DataDir:    dir,
+				Link:       w.LinkPod,
+			}
+			co, err := Open(w.Nodes, alibabaFactory, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			co.Start()
+			for _, p := range w.Pods {
+				if err := co.Submit(p); err != nil && err != ErrShed {
+					t.Fatalf("submit pod %d: %v", p.ID, err)
+				}
+			}
+			if !co.Drain(60 * time.Second) {
+				t.Fatalf("did not settle: %+v", co.Snapshot())
+			}
+			waitClocksParked(t, co, w.Horizon)
+			before := co.Snapshot()
+			checkConservation(t, before)
+			hash := co.StateHash()
+			if hash == "" {
+				t.Fatal("empty federation state hash")
+			}
+			// Crash: no clean Stop, no final checkpoint.
+			for _, p := range co.local {
+				p.Engine().Crash()
+			}
+
+			re, err := Open(w.Nodes, alibabaFactory, cfg)
+			if err != nil {
+				t.Fatalf("re-open: %v", err)
+			}
+			if got := re.StateHash(); got != hash {
+				t.Fatalf("state hash diverged across crash:\n before %s\n after  %s", hash, got)
+			}
+			after := re.Snapshot()
+			checkConservation(t, after)
+			if after.Submitted != before.Submitted || after.Placed != before.Placed || after.Shed != before.Shed {
+				t.Fatalf("recovered accounting differs: before %+v after %+v", before.States, after.States)
+			}
+			// Duplicate detection survives recovery at the coordinator.
+			if err := re.Submit(w.Pods[0]); err == nil {
+				t.Fatal("recovered coordinator accepted a duplicate")
+			}
+			// And the recovered federation still schedules.
+			re.Start()
+			extra := &trace.Pod{
+				ID: len(w.Pods), AppID: "app", SLO: trace.SLOLS,
+				Request:  trace.Resources{CPU: 0.1, Mem: 0.1},
+				Limit:    trace.Resources{CPU: 0.1, Mem: 0.1},
+				CPUScale: 1, MemScale: 1,
+			}
+			if err := w.LinkPod(extra); err != nil {
+				t.Fatal(err)
+			}
+			if err := re.Submit(extra); err != nil {
+				t.Fatal(err)
+			}
+			if !re.Drain(30 * time.Second) {
+				t.Fatalf("recovered federation did not settle: %+v", re.Snapshot())
+			}
+			fin := re.Snapshot()
+			checkConservation(t, fin)
+			if fin.Placed != before.Placed+1 {
+				t.Fatalf("post-recovery pod not placed: %+v", fin.States)
+			}
+			re.Stop()
+		})
+	}
+}
+
+// TestFederationRecoveryMidSpill crashes while rejected pods sit in the
+// respill queue: the partitions know them only as rejects. Reconcile
+// must re-queue them (not lose them, not double-count them) and the
+// recovered federation must finish the spillover.
+func TestFederationRecoveryMidSpill(t *testing.T) {
+	dir := t.TempDir()
+	// 2 partitions x 2 unit nodes; pods of 0.6 fit one per node.
+	w := fedWorkload(t, uniform(4, 1), uniform(8, 0.6))
+	cfg := Config{
+		Partitions: 2,
+		Engine:     detDurableConfig(32, w.Horizon),
+		DataDir:    dir,
+		Link:       w.LinkPod,
+	}
+	co, err := Open(w.Nodes, alibabaFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Start()
+	for _, p := range w.Pods {
+		if err := co.Submit(p); err != nil && err != ErrShed {
+			t.Fatal(err)
+		}
+	}
+	// Let the partitions settle so rejects have fired, but do NOT pump
+	// the respill queue (no Drain): the queue dies with the process.
+	for _, p := range co.Partitions() {
+		p.Drain(30 * time.Second)
+	}
+	for _, p := range co.local {
+		p.Engine().Crash()
+	}
+
+	re, err := Open(w.Nodes, alibabaFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Stop()
+	mid := re.Snapshot()
+	checkConservation(t, mid)
+	re.Start()
+	if !re.Drain(30 * time.Second) {
+		t.Fatalf("recovered federation did not settle: %+v", re.Snapshot())
+	}
+	fin := re.Snapshot()
+	checkConservation(t, fin)
+	if fin.Placed != 4 {
+		t.Fatalf("placed %d of 4 after recovery: %+v", fin.Placed, fin.States)
+	}
+	if fin.States["shed"] != 4 {
+		t.Fatalf("shed %d of 4 after recovery: %+v", fin.States["shed"], fin.States)
+	}
+}

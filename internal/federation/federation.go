@@ -1,0 +1,576 @@
+// Package federation scales the scheduling engine out horizontally:
+// N partition engines, each owning a disjoint shard of the cluster's
+// nodes, run under a thin coordinator that routes every incoming pod to
+// the partition most likely to fit it. Routing reads only cheap
+// per-partition digests (headroom-bucket histograms plus top-K free
+// vectors, engine.Digest) refreshed on a submission cadence — the
+// decision path takes no partition lock. A pod the routed partition
+// cannot place comes back through the engine's fail-fast hook and is
+// re-dispatched to the next-best digest with a bounded hop count before
+// the coordinator sheds it; a rebalancer migrates empty nodes from
+// under- to over-utilized partitions when the skew crosses a threshold.
+//
+// The per-decision win on one core is scan-cost reduction, not
+// parallelism: a partition engine's candidate indexes only ever admit
+// its owned subset (Config.InactiveNodes pins the rest Down from
+// genesis), so each decision visits ~N/P nodes instead of N.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/engine"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+// ErrShed reports that the coordinator gave up on a pod: every eligible
+// partition rejected it (or was full) within the hop budget.
+var ErrShed = errors.New("federation: pod shed after spillover budget")
+
+// BlockAssign is the default shard map: contiguous node-ID blocks of
+// ceil(nodes/partitions). Contiguity matters for throughput, not just
+// tidiness — a partition's candidate scan then walks node states that
+// are adjacent in memory, keeping the cache behavior of the scan
+// identical to an unpartitioned engine's sequential sweep. (An
+// interleaved id%P map makes every visit a stride-P miss: measured on
+// the 100k-node replay it inflates per-visit cost by ~60% at 8
+// partitions.)
+func BlockAssign(nodeID, nodes, partitions int) int {
+	block := (nodes + partitions - 1) / partitions
+	return nodeID / block
+}
+
+// Config tunes the federation.
+type Config struct {
+	// Partitions is the number of partition engines (1..64).
+	Partitions int
+	// Assign maps a node ID to its genesis partition; nil defaults to
+	// BlockAssign (contiguous shards). It must be pure: recovery
+	// re-derives the baseline from it.
+	Assign func(nodeID, nodes, partitions int) int
+	// MaxHops bounds spillover re-dispatches per pod (default
+	// Partitions-1: a pod may try every partition once).
+	MaxHops int
+	// RefreshEvery re-reads every partition digest after this many
+	// routed submissions (default 512). Drain rounds always refresh.
+	RefreshEvery int
+	// Async runs a background dispatcher goroutine that re-dispatches
+	// rejected pods as they arrive (live service mode). The default,
+	// false, re-dispatches in deterministic rounds inside Drain: all
+	// partitions settle, the round's rejects are sorted by pod ID, then
+	// re-routed — reproducible spillover for tests and benchmarks.
+	Async bool
+	// RebalanceSkew triggers node migration when the max-min utilization
+	// spread across partitions exceeds it (0 disables rebalancing).
+	RebalanceSkew float64
+	// RebalanceBatch bounds nodes migrated per rebalance step (default 64).
+	RebalanceBatch int
+
+	// Engine is the per-partition engine template. InactiveNodes,
+	// OnUnschedulable, BlockOnFull, and DataDir are owned by the
+	// federation and overwritten; Seed is de-correlated per partition.
+	Engine engine.Config
+	// Physics configures each partition's cluster; nil uses defaults.
+	Physics *cluster.Physics
+
+	// DataDir, when set, makes every partition durable under
+	// DataDir/p<i> (see Open). Ignored by New.
+	DataDir string
+	// Link resolves a recovered pod's app reference (Workload.LinkPod).
+	// Required by Open, unused by New.
+	Link func(*trace.Pod) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.Assign == nil {
+		c.Assign = BlockAssign
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = c.Partitions - 1
+	}
+	if c.RefreshEvery <= 0 {
+		c.RefreshEvery = 512
+	}
+	if c.RebalanceBatch <= 0 {
+		c.RebalanceBatch = 64
+	}
+	return c
+}
+
+// fedRecord states.
+const (
+	frActive  int8 = iota // authoritative record lives in partition rec.last
+	frRespill             // authority is the coordinator's respill queue
+	frShed                // terminal: coordinator gave up
+)
+
+// fedRecord is the coordinator's routing state for one pod.
+type fedRecord struct {
+	pod    *trace.Pod
+	tried  uint64 // bitmask of partitions this pod was submitted to
+	hops   int    // re-dispatches consumed
+	last   int    // partition holding the authoritative record (frActive)
+	state  int8
+	reason string
+}
+
+// Coordinator is the federation front door: it owns the partition
+// backends, the routing digests, and the spillover queue.
+type Coordinator struct {
+	cfg   Config
+	parts []Backend
+	// local[i] is non-nil when partition i runs in-process (rebalancing
+	// and state hashing need engine access).
+	local []*Partition
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	recs map[int]*fedRecord
+	// digests are the cached routing summaries; submitsSince[i] counts
+	// submissions routed to partition i since its digest was read — the
+	// pending-load penalty the digest cannot see yet.
+	digests      []engine.Digest
+	submitsSince []int
+	sinceRefresh int
+	respill      []*fedRecord
+
+	// Conservation counters (all under mu). Every pod has exactly one
+	// authoritative record: a partition record (frActive — including a
+	// terminal shed or reject the coordinator accepted as final) or the
+	// coordinator's respill queue (frRespill). Merged states exclude the
+	// superseded partition records:
+	//
+	//   queued   = sum(partition queued)   + respillQueued
+	//   shed     = sum(partition shed)     - exclShed + reshedRejected + shedOrphan
+	//   rejected = sum(partition rejected) - exclRejected - reshedRejected  (== 0)
+	submitted      int64
+	spills         int64 // re-dispatches performed (spillover hops taken)
+	fedShed        int64 // pods the coordinator gave up on
+	respillQueued  int64 // pods whose authority is the coordinator
+	exclRejected   int64 // partition reject records superseded by a re-dispatch
+	exclShed       int64 // partition queue-full sheds superseded by a re-dispatch
+	reshedRejected int64 // terminal rejects counted as federation sheds
+	shedOrphan     int64 // give-ups with no surviving partition record
+	rebalanced     int64 // nodes migrated between partitions
+
+	start   time.Time
+	stopped bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds an in-process federation over one node list: each partition
+// gets its own cluster and engine, with every node outside its shard
+// pinned Down from genesis. Call Start, Submit pods, then Drain/Stop.
+func New(nodes []*trace.Node, factory engine.SchedulerFactory, cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Partitions > 64 {
+		return nil, fmt.Errorf("federation: %d partitions (max 64)", cfg.Partitions)
+	}
+	co := newCoordinator(cfg)
+	for pi := 0; pi < cfg.Partitions; pi++ {
+		part, err := co.buildPartition(nodes, factory, pi, "")
+		if err != nil {
+			return nil, err
+		}
+		co.parts = append(co.parts, part)
+		co.local = append(co.local, part)
+	}
+	co.digests = make([]engine.Digest, len(co.parts))
+	co.submitsSince = make([]int, len(co.parts))
+	return co, nil
+}
+
+func newCoordinator(cfg Config) *Coordinator {
+	co := &Coordinator{
+		cfg:    cfg,
+		recs:   make(map[int]*fedRecord),
+		start:  time.Now(),
+		stopCh: make(chan struct{}),
+	}
+	co.cond = sync.NewCond(&co.mu)
+	return co
+}
+
+// buildPartition constructs one in-process partition engine. dataDir
+// non-empty makes it durable (Open path).
+func (co *Coordinator) buildPartition(nodes []*trace.Node, factory engine.SchedulerFactory, pi int, dataDir string) (*Partition, error) {
+	mask := make([]bool, len(nodes))
+	for id := range nodes {
+		if co.cfg.Assign(id, len(nodes), co.cfg.Partitions) != pi {
+			mask[id] = true
+		}
+	}
+	ecfg := co.cfg.Engine
+	ecfg.InactiveNodes = mask
+	// Contiguous store shards align with BlockAssign ownership: the
+	// partition's commits republish (and its worker re-adopts) only the
+	// store shards holding owned nodes, so reconcile cost scales with the
+	// shard, not the fleet. Harmless (perf-neutral at worst) under a
+	// custom interleaved Assign.
+	ecfg.BlockShards = true
+	ecfg.BlockOnFull = false
+	ecfg.DataDir = dataDir
+	ecfg.Seed = co.cfg.Engine.Seed + int64(pi)*7919
+	idx := pi
+	ecfg.OnUnschedulable = func(p *trace.Pod, reason sched.Reason) {
+		co.onReject(idx, p.ID, reason.String())
+	}
+	phys := cluster.DefaultPhysics()
+	if co.cfg.Physics != nil {
+		phys = *co.cfg.Physics
+	}
+	c := cluster.New(nodes, phys)
+	if dataDir == "" {
+		return &Partition{Index: pi, eng: engine.New(c, factory, ecfg)}, nil
+	}
+	e, rs, err := engine.OpenDurable(c, factory, ecfg, co.cfg.Link)
+	if err != nil {
+		return nil, fmt.Errorf("federation: partition %d: %w", pi, err)
+	}
+	return &Partition{Index: pi, eng: e, recovery: rs}, nil
+}
+
+// Start starts every partition, takes the initial digest reading, and —
+// in Async mode — launches the spillover dispatcher.
+func (co *Coordinator) Start() {
+	for _, p := range co.parts {
+		p.Start()
+	}
+	co.mu.Lock()
+	co.refreshLocked()
+	co.mu.Unlock()
+	if co.cfg.Async {
+		co.wg.Add(1)
+		go co.dispatcher()
+	}
+	for pi, p := range co.parts {
+		if src, ok := p.(RejectSource); ok {
+			co.wg.Add(1)
+			go co.pollRejects(pi, src)
+		}
+	}
+}
+
+// Stop stops the dispatcher and every partition. Pods still in the
+// respill queue stay there (they are counted as queued).
+func (co *Coordinator) Stop() {
+	co.mu.Lock()
+	if co.stopped {
+		co.mu.Unlock()
+		return
+	}
+	co.stopped = true
+	co.cond.Broadcast()
+	co.mu.Unlock()
+	close(co.stopCh)
+	co.wg.Wait()
+	for _, p := range co.parts {
+		p.Stop()
+	}
+}
+
+// Submit routes one linked pod to the best-fit partition. It returns
+// nil when some partition accepted the pod (it may still come back and
+// spill over later), engine.ErrQueueFull when every eligible partition's
+// queue was full (the pod is accounted as shed), and engine.ErrDuplicate
+// for a pod ID the federation has already seen.
+func (co *Coordinator) Submit(p *trace.Pod) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.recs[p.ID] != nil {
+		return engine.ErrDuplicate
+	}
+	rec := &fedRecord{pod: p, last: -1}
+	co.recs[p.ID] = rec
+	co.submitted++
+	return co.dispatchLocked(rec)
+}
+
+// untriedLocked counts partitions the pod has not been submitted to.
+func (co *Coordinator) untriedLocked(rec *fedRecord) int {
+	return len(co.parts) - bits.OnesCount64(rec.tried)
+}
+
+// routeLocked picks the untried partition with the best score: the
+// digest's fit estimate minus the pressure already heading there (queue
+// depth, backoff backlog, and submissions routed since the digest was
+// read). Ties break toward the lower index, so routing is deterministic
+// given the digests and the submission order.
+func (co *Coordinator) routeLocked(rec *fedRecord) int {
+	best := -1
+	var bestScore int64
+	for pi := range co.parts {
+		if rec.tried&(1<<uint(pi)) != 0 {
+			continue
+		}
+		d := &co.digests[pi]
+		score := int64(d.EstimateFit(rec.pod.Request)) -
+			int64(d.QueueDepth+d.Backlogged+co.submitsSince[pi])
+		if best < 0 || score > bestScore {
+			best, bestScore = pi, score
+		}
+	}
+	return best
+}
+
+// maybeRefreshLocked re-reads every digest on the submission cadence.
+func (co *Coordinator) maybeRefreshLocked() {
+	if co.sinceRefresh >= co.cfg.RefreshEvery {
+		co.refreshLocked()
+	}
+}
+
+func (co *Coordinator) refreshLocked() {
+	for pi, p := range co.parts {
+		if d, err := p.Digest(); err == nil {
+			co.digests[pi] = d
+			co.submitsSince[pi] = 0
+		}
+	}
+	co.sinceRefresh = 0
+}
+
+// dispatchLocked submits rec to successive partitions until one accepts
+// it or the budget runs out. Called with mu held; mu is released around
+// each backend Submit.
+func (co *Coordinator) dispatchLocked(rec *fedRecord) error {
+	for {
+		co.maybeRefreshLocked()
+		pi := co.routeLocked(rec)
+		if pi < 0 {
+			// No untried partition left (only reachable on a re-dispatch
+			// race): every partition record was already superseded, so the
+			// give-up needs its own bucket to keep conservation.
+			rec.state = frShed
+			co.fedShed++
+			co.shedOrphan++
+			return ErrShed
+		}
+		// State flips to frActive before mu is released: a worker can pick
+		// the pod up and reject it before Submit even returns, and that
+		// reject must see the authoritative state, not overwrite it.
+		rec.tried |= 1 << uint(pi)
+		rec.last = pi
+		rec.state = frActive
+		co.submitsSince[pi]++
+		co.sinceRefresh++
+		part := co.parts[pi]
+		co.mu.Unlock()
+		err := part.Submit(rec.pod)
+		co.mu.Lock()
+		switch {
+		case err == nil:
+			// rec.state may already have moved to frRespill/frShed via a
+			// racing reject; leave it alone.
+			return nil
+		case errors.Is(err, engine.ErrQueueFull):
+			// The partition recorded a shed. Spill to the next partition if
+			// the budget allows; otherwise that shed record is the pod's
+			// terminal state.
+			if rec.hops >= co.cfg.MaxHops || co.untriedLocked(rec) == 0 {
+				rec.state = frShed
+				co.fedShed++
+				return engine.ErrQueueFull
+			}
+			rec.hops++
+			co.spills++
+			co.exclShed++
+		case errors.Is(err, engine.ErrDuplicate):
+			// The partition already knows this pod (recovery resubmission).
+			// A live record there is the authority; a reject spills on.
+			st, ok, serr := part.Status(rec.pod.ID)
+			if serr == nil && ok && st.Phase == engine.PodRejected.String() {
+				if rec.hops >= co.cfg.MaxHops || co.untriedLocked(rec) == 0 {
+					rec.state = frShed
+					co.fedShed++
+					co.reshedRejected++
+					return ErrShed
+				}
+				rec.hops++
+				co.spills++
+				co.exclRejected++
+				continue
+			}
+			rec.state = frActive
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+// onReject is the partition fail-fast hook: the scheduler found no
+// capacity for the pod, its record there is terminal-rejected, and the
+// coordinator decides between re-dispatch and giving up. Runs on a
+// partition worker goroutine with no engine lock held.
+func (co *Coordinator) onReject(pi, podID int, reason string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	rec := co.recs[podID]
+	if rec == nil || rec.state != frActive || rec.last != pi {
+		// Stale notification (a re-dispatch already superseded it).
+		return
+	}
+	rec.reason = reason
+	if rec.hops >= co.cfg.MaxHops || co.untriedLocked(rec) == 0 {
+		rec.state = frShed
+		co.fedShed++
+		co.reshedRejected++
+		return
+	}
+	rec.state = frRespill
+	co.exclRejected++
+	co.respillQueued++
+	co.respill = append(co.respill, rec)
+	co.cond.Signal()
+}
+
+// redispatchLocked consumes one respill entry: a hop, then the normal
+// dispatch loop. Authority transfers back to a partition either way.
+func (co *Coordinator) redispatchLocked(rec *fedRecord) {
+	rec.hops++
+	co.spills++
+	co.dispatchLocked(rec)
+	co.respillQueued--
+}
+
+// dispatcher is the Async-mode spillover loop: re-dispatch rejects as
+// they arrive.
+func (co *Coordinator) dispatcher() {
+	defer co.wg.Done()
+	co.mu.Lock()
+	for {
+		for len(co.respill) == 0 && !co.stopped {
+			co.cond.Wait()
+		}
+		if len(co.respill) == 0 && co.stopped {
+			co.mu.Unlock()
+			return
+		}
+		rec := co.respill[0]
+		co.respill = co.respill[1:]
+		co.redispatchLocked(rec)
+	}
+}
+
+// pollRejects drives spillover for remote partitions, which cannot call
+// the in-process hook: poll the partition's reject cursor and feed the
+// same path.
+func (co *Coordinator) pollRejects(pi int, src RejectSource) {
+	defer co.wg.Done()
+	var after uint64
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-co.stopCh:
+			return
+		case <-tick.C:
+		}
+		rejects, next, err := src.PollRejects(after)
+		if err != nil {
+			continue
+		}
+		after = next
+		for _, r := range rejects {
+			co.onReject(pi, r.ID, r.Reason)
+		}
+	}
+}
+
+// Drain waits until every partition settles and the spillover queue is
+// empty. In the default synchronous mode it is also the spillover pump:
+// each round drains the partitions, sorts the round's rejects by pod ID,
+// refreshes the digests, optionally rebalances, and re-dispatches — so
+// spillover order is a pure function of the workload and the
+// configuration, independent of worker timing.
+func (co *Coordinator) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, p := range co.parts {
+			if !p.Drain(time.Until(deadline)) {
+				return false
+			}
+		}
+		co.mu.Lock()
+		batch := co.respill
+		co.respill = nil
+		if len(batch) == 0 {
+			settled := co.respillQueued == 0
+			co.mu.Unlock()
+			if settled {
+				// Re-dispatches may have refilled a partition queue after
+				// its drain; one confirming pass over the partitions.
+				again := false
+				for _, p := range co.parts {
+					sn, err := p.Snapshot()
+					if err == nil && sn.Pending > 0 {
+						again = true
+						break
+					}
+				}
+				if !again {
+					return true
+				}
+			}
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		sort.Slice(batch, func(i, j int) bool { return batch[i].pod.ID < batch[j].pod.ID })
+		co.refreshLocked()
+		co.mu.Unlock()
+		co.Rebalance()
+		co.mu.Lock()
+		for _, rec := range batch {
+			co.redispatchLocked(rec)
+		}
+		co.mu.Unlock()
+	}
+}
+
+// PodStatus reports one pod's federation-wide status: the authoritative
+// partition record, or a synthetic shed status after a give-up whose
+// last record was a reject.
+func (co *Coordinator) PodStatus(id int) (engine.PodStatus, bool) {
+	co.mu.Lock()
+	rec := co.recs[id]
+	var last int
+	var state int8
+	var reason string
+	if rec != nil {
+		last, state, reason = rec.last, rec.state, rec.reason
+	}
+	co.mu.Unlock()
+	if rec == nil {
+		return engine.PodStatus{}, false
+	}
+	if state == frRespill {
+		return engine.PodStatus{ID: id, SLO: rec.pod.SLO.String(), Phase: "queued", Node: -1, Reason: reason}, true
+	}
+	if last >= 0 {
+		if st, ok, err := co.parts[last].Status(id); err == nil && ok {
+			if state == frShed && st.Phase == engine.PodRejected.String() {
+				st.Phase = engine.PodShed.String()
+			}
+			return st, true
+		}
+	}
+	return engine.PodStatus{ID: id, SLO: rec.pod.SLO.String(), Phase: "shed", Node: -1, Reason: reason}, true
+}
+
+// Partitions returns the partition backends (read-only).
+func (co *Coordinator) Partitions() []Backend { return co.parts }

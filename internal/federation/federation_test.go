@@ -1,0 +1,350 @@
+package federation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/engine"
+	"unisched/internal/sched"
+	"unisched/internal/trace"
+)
+
+func alibabaFactory(c *cluster.Cluster, worker int, seed int64) sched.Scheduler {
+	return sched.NewAlibabaLike(c, seed)
+}
+
+// fedWorkload builds one app, nodes with the given capacities, and pods
+// with the given requests.
+func fedWorkload(t testing.TB, caps []float64, reqs []float64) *trace.Workload {
+	t.Helper()
+	app := &trace.App{
+		ID: "app", SLO: trace.SLOLS,
+		Request: trace.Resources{CPU: 1, Mem: 1},
+		Limit:   trace.Resources{CPU: 1, Mem: 1},
+		MemUtil: 0.5, CPUBaseUtil: 0.3, Affinity: -1,
+	}
+	w := &trace.Workload{Apps: []*trace.App{app}, Horizon: 3600, Seed: 1}
+	for i, c := range caps {
+		w.Nodes = append(w.Nodes, &trace.Node{ID: i, Capacity: trace.Resources{CPU: c, Mem: c}})
+	}
+	for i, r := range reqs {
+		p := &trace.Pod{
+			ID: i, AppID: "app", SLO: trace.SLOLS,
+			Request:  trace.Resources{CPU: r, Mem: r},
+			Limit:    trace.Resources{CPU: r, Mem: r},
+			CPUScale: 1, MemScale: 1,
+		}
+		if err := w.LinkPod(p); err != nil {
+			t.Fatal(err)
+		}
+		w.Pods = append(w.Pods, p)
+	}
+	return w
+}
+
+func uniform(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// detConfig is the deterministic partition template: one worker, batch
+// size one, ample queue — outcomes depend only on submission order.
+func detConfig(queueCap int) engine.Config {
+	return engine.Config{Workers: 1, MaxBatch: 1, Shards: 4, QueueCap: queueCap, Seed: 42}
+}
+
+// runFed submits the whole workload through a coordinator and drains it.
+func runFed(t *testing.T, w *trace.Workload, cfg Config) (*Coordinator, Snapshot) {
+	t.Helper()
+	co, err := New(w.Nodes, alibabaFactory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Start()
+	for _, p := range w.Pods {
+		if err := co.Submit(p); err != nil && err != engine.ErrQueueFull && err != ErrShed {
+			t.Fatalf("submit pod %d: %v", p.ID, err)
+		}
+	}
+	if !co.Drain(60 * time.Second) {
+		co.Stop()
+		t.Fatalf("federation did not settle: %+v", co.Snapshot())
+	}
+	sn := co.Snapshot()
+	return co, sn
+}
+
+// outcomeHash digests every pod's terminal phase (not its node: routing
+// legitimately changes node assignment across partition counts, but
+// which pods the federation serves must not change).
+func outcomeHash(co *Coordinator, podIDs []int) uint64 {
+	h := fnv.New64a()
+	for _, id := range podIDs {
+		st, ok := co.PodStatus(id)
+		if !ok {
+			fmt.Fprintf(h, "%d:missing\n", id)
+			continue
+		}
+		fmt.Fprintf(h, "%d:%s\n", id, st.Phase)
+	}
+	return h.Sum64()
+}
+
+// placementMap records pod->node for every placed pod.
+func placementMap(co *Coordinator, podIDs []int) map[int]int {
+	out := make(map[int]int)
+	for _, id := range podIDs {
+		if st, ok := co.PodStatus(id); ok && st.Phase == "placed" {
+			out[id] = st.Node
+		}
+	}
+	return out
+}
+
+func checkConservation(t *testing.T, sn Snapshot) {
+	t.Helper()
+	if lost := sn.Lost(); lost != 0 {
+		t.Fatalf("lost %d submissions: %+v", lost, sn.States)
+	}
+	if r := sn.States["rejected"]; r != 0 {
+		t.Fatalf("merge residual: %d rejected records unaccounted: %+v", r, sn.States)
+	}
+}
+
+func TestFederationPlacesAll(t *testing.T) {
+	w := fedWorkload(t, uniform(64, 1), uniform(200, 0.1))
+	for _, parts := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("parts=%d", parts), func(t *testing.T) {
+			co, sn := runFed(t, w, Config{Partitions: parts, Engine: detConfig(256)})
+			defer co.Stop()
+			checkConservation(t, sn)
+			if sn.Placed != 200 {
+				t.Fatalf("placed %d of 200: %+v", sn.Placed, sn.States)
+			}
+			if sn.FedShed != 0 {
+				t.Fatalf("unexpected federation sheds: %d", sn.FedShed)
+			}
+		})
+	}
+}
+
+// TestFederationSpilloverDeterministic saturates every partition: one
+// node per partition, pods twice as many as fit. The losers must spill
+// through the hop budget and shed — and the whole outcome (who placed
+// where, who shed, how many hops) must be identical run over run.
+func TestFederationSpilloverDeterministic(t *testing.T) {
+	w := fedWorkload(t, uniform(4, 1), uniform(10, 0.6))
+	podIDs := make([]int, len(w.Pods))
+	for i := range w.Pods {
+		podIDs[i] = i
+	}
+	type result struct {
+		placements map[int]int
+		hash       uint64
+		spills     int64
+		shed       int64
+	}
+	var runs []result
+	for i := 0; i < 2; i++ {
+		co, sn := runFed(t, w, Config{Partitions: 4, Engine: detConfig(16)})
+		checkConservation(t, sn)
+		if sn.Placed != 4 {
+			t.Fatalf("run %d: placed %d of 4 (one 0.6 pod per unit node): %+v", i, sn.Placed, sn.States)
+		}
+		if sn.Shed != 6 {
+			t.Fatalf("run %d: shed %d of 6: %+v", i, sn.Shed, sn.States)
+		}
+		if sn.Spills == 0 {
+			t.Fatalf("run %d: saturation produced no spillover hops", i)
+		}
+		runs = append(runs, result{placementMap(co, podIDs), outcomeHash(co, podIDs), sn.Spills, sn.FedShed})
+		co.Stop()
+	}
+	if runs[0].hash != runs[1].hash {
+		t.Fatalf("outcome hash differs across identical runs: %x vs %x", runs[0].hash, runs[1].hash)
+	}
+	if runs[0].spills != runs[1].spills {
+		t.Fatalf("spill hop count differs: %d vs %d", runs[0].spills, runs[1].spills)
+	}
+	for id, n := range runs[0].placements {
+		if runs[1].placements[id] != n {
+			t.Fatalf("pod %d placed on node %d then %d", id, n, runs[1].placements[id])
+		}
+	}
+}
+
+// TestFederationAsyncSpillover runs the saturated shape in live-service
+// mode: the background dispatcher re-routes rejects as they arrive
+// instead of at drain barriers. Outcome counts (not identities — async
+// ordering is timing-dependent) and conservation must still hold.
+func TestFederationAsyncSpillover(t *testing.T) {
+	w := fedWorkload(t, uniform(4, 1), uniform(10, 0.6))
+	co, sn := runFed(t, w, Config{Partitions: 4, Async: true, Engine: detConfig(16)})
+	defer co.Stop()
+	checkConservation(t, sn)
+	if sn.Placed != 4 {
+		t.Fatalf("placed %d of 4: %+v", sn.Placed, sn.States)
+	}
+	if sn.Shed != 6 {
+		t.Fatalf("shed %d of 6: %+v", sn.Shed, sn.States)
+	}
+	if sn.Spills == 0 {
+		t.Fatal("saturation produced no spillover hops")
+	}
+}
+
+// TestFederationOutcome1v4 pins the scale-out equivalence: with
+// sufficient capacity, partitioning must not change which pods are
+// served. The workload mixes placeable pods with pods too large for any
+// node (they shed under every partition count), so the compared hash is
+// not trivially all-placed.
+func TestFederationOutcome1v4(t *testing.T) {
+	reqs := uniform(300, 0.2)
+	reqs = append(reqs, uniform(5, 2.0)...) // oversize: fits no node
+	w := fedWorkload(t, uniform(64, 1), reqs)
+	podIDs := make([]int, len(w.Pods))
+	for i := range w.Pods {
+		podIDs[i] = i
+	}
+	hashes := make(map[int]uint64)
+	for _, parts := range []int{1, 4} {
+		co, sn := runFed(t, w, Config{Partitions: parts, Engine: detConfig(512)})
+		checkConservation(t, sn)
+		if sn.Placed != 300 {
+			t.Fatalf("parts=%d: placed %d of 300: %+v", parts, sn.Placed, sn.States)
+		}
+		if sn.Shed != 5 {
+			t.Fatalf("parts=%d: shed %d of 5 oversize: %+v", parts, sn.Shed, sn.States)
+		}
+		hashes[parts] = outcomeHash(co, podIDs)
+		co.Stop()
+	}
+	if hashes[1] != hashes[4] {
+		t.Fatalf("terminal outcomes differ across partition counts: 1p=%x 4p=%x", hashes[1], hashes[4])
+	}
+}
+
+// TestFederationRebalance manufactures skew — only even nodes (owned by
+// partition 0) can host the pods — and asserts the rebalancer migrates
+// partition 1's idle nodes over, conserving total ownership.
+func TestFederationRebalance(t *testing.T) {
+	caps := make([]float64, 32)
+	for i := range caps {
+		if i%2 == 0 {
+			caps[i] = 4 // partition 0: big hosts
+		} else {
+			caps[i] = 0.3 // partition 1: too small for the pods
+		}
+	}
+	w := fedWorkload(t, caps, uniform(40, 0.5))
+	cfg := Config{
+		Partitions: 2,
+		// Interleaved assignment concentrates the skew: even (big) nodes
+		// in partition 0, odd (small) ones in partition 1.
+		Assign:         func(id, _, parts int) int { return id % parts },
+		Engine:         detConfig(64),
+		RebalanceSkew:  0.2,
+		RebalanceBatch: 8,
+	}
+	co, sn := runFed(t, w, cfg)
+	defer co.Stop()
+	checkConservation(t, sn)
+	if sn.Placed != 40 {
+		t.Fatalf("placed %d of 40: %+v", sn.Placed, sn.States)
+	}
+	// Spillover rounds during the drain may already have rebalanced
+	// (pods routed to the small-node partition come back rejected); the
+	// explicit call tops it up. The cumulative counter is the reference.
+	co.Rebalance()
+	migrated := co.Snapshot().Rebalanced
+	if migrated == 0 {
+		t.Fatalf("no nodes migrated at skew %+v", sn)
+	}
+	var active int
+	var d0 engine.Digest
+	for pi, p := range co.Partitions() {
+		d, err := p.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pi == 0 {
+			d0 = d
+		}
+		active += d.ActiveNodes
+	}
+	if active != 32 {
+		t.Fatalf("ownership not conserved: %d active nodes across partitions, want 32", active)
+	}
+	if d0.ActiveNodes != 16+int(migrated) {
+		t.Fatalf("recipient owns %d nodes after migrating %d in, want %d", d0.ActiveNodes, migrated, 16+int(migrated))
+	}
+	// The federation still schedules after migration.
+	extra := &trace.Pod{
+		ID: len(w.Pods), AppID: "app", SLO: trace.SLOLS,
+		Request:  trace.Resources{CPU: 0.5, Mem: 0.5},
+		Limit:    trace.Resources{CPU: 0.5, Mem: 0.5},
+		CPUScale: 1, MemScale: 1,
+	}
+	if err := w.LinkPod(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Submit(extra); err != nil {
+		t.Fatal(err)
+	}
+	if !co.Drain(30 * time.Second) {
+		t.Fatalf("did not settle after migration: %+v", co.Snapshot())
+	}
+	sn = co.Snapshot()
+	checkConservation(t, sn)
+	if sn.Placed != 41 {
+		t.Fatalf("post-migration pod not placed: %+v", sn.States)
+	}
+}
+
+// TestFederationDuplicate pins the duplicate contract at the
+// coordinator: the same pod ID is refused exactly like a single engine
+// refuses it.
+func TestFederationDuplicate(t *testing.T) {
+	w := fedWorkload(t, uniform(8, 1), uniform(4, 0.1))
+	co, sn := runFed(t, w, Config{Partitions: 2, Engine: detConfig(16)})
+	defer co.Stop()
+	checkConservation(t, sn)
+	if err := co.Submit(w.Pods[0]); err != engine.ErrDuplicate {
+		t.Fatalf("resubmit: got %v, want ErrDuplicate", err)
+	}
+	sn2 := co.Snapshot()
+	if sn2.Submitted != sn.Submitted {
+		t.Fatalf("duplicate changed submitted: %d -> %d", sn.Submitted, sn2.Submitted)
+	}
+}
+
+// TestFederationPodStatus spot-checks the federation-wide status view.
+func TestFederationPodStatus(t *testing.T) {
+	reqs := append(uniform(6, 0.4), 2.0) // last pod fits nowhere
+	w := fedWorkload(t, uniform(4, 1), reqs)
+	co, sn := runFed(t, w, Config{Partitions: 2, Engine: detConfig(16)})
+	defer co.Stop()
+	checkConservation(t, sn)
+	var phases []string
+	for i := range w.Pods {
+		st, ok := co.PodStatus(i)
+		if !ok {
+			t.Fatalf("pod %d unknown", i)
+		}
+		phases = append(phases, st.Phase)
+	}
+	sort.Strings(phases)
+	if phases[len(phases)-1] != "shed" {
+		t.Fatalf("oversize pod not reported shed: %v", phases)
+	}
+	if _, ok := co.PodStatus(9999); ok {
+		t.Fatal("unknown pod reported present")
+	}
+}

@@ -1,0 +1,86 @@
+package federation
+
+import (
+	"time"
+
+	"unisched/internal/engine"
+	"unisched/internal/trace"
+)
+
+// Backend is one partition as the coordinator sees it. In-process
+// partitions wrap an engine directly; remote partitions speak the
+// unischedd JSON API (Remote).
+type Backend interface {
+	Start()
+	Stop()
+	// Submit hands the pod to the partition. engine.ErrQueueFull means
+	// the partition shed it (and accounted the shed); engine.ErrDuplicate
+	// means it already has a record for the ID.
+	Submit(p *trace.Pod) error
+	// Digest returns the partition's routing summary.
+	Digest() (engine.Digest, error)
+	// Snapshot returns the partition's full metrics snapshot.
+	Snapshot() (engine.Snapshot, error)
+	// Status queries one pod's record.
+	Status(id int) (engine.PodStatus, bool, error)
+	// Drain waits until the partition settles (no queued work).
+	Drain(timeout time.Duration) bool
+}
+
+// Reject is one spillover notification from a remote partition.
+type Reject struct {
+	Seq    uint64 `json:"seq"`
+	ID     int    `json:"id"`
+	Reason string `json:"reason"`
+}
+
+// RejectSource is implemented by backends that cannot invoke the
+// in-process fail-fast hook: the coordinator polls their reject cursor.
+type RejectSource interface {
+	PollRejects(after uint64) ([]Reject, uint64, error)
+}
+
+// Migrator is implemented by backends whose node ownership the
+// rebalancer can change online.
+type Migrator interface {
+	SetNodeActive(id int, active bool) error
+	IdleOwnedNodes(max int) []int
+}
+
+// Partition is an in-process partition: one engine over its own cluster
+// instance, with every non-owned node Down from genesis.
+type Partition struct {
+	// Index is the partition's position in the federation.
+	Index int
+	eng   *engine.Engine
+	// recovery is non-nil when the partition was built by Open.
+	recovery *engine.RecoveryStats
+}
+
+// Engine exposes the wrapped engine (tests, state hashing).
+func (p *Partition) Engine() *engine.Engine { return p.eng }
+
+// Recovery returns the crash-recovery stats, nil for fresh partitions.
+func (p *Partition) Recovery() *engine.RecoveryStats { return p.recovery }
+
+func (p *Partition) Start() { p.eng.Start() }
+func (p *Partition) Stop()  { p.eng.Stop() }
+
+func (p *Partition) Submit(pod *trace.Pod) error { return p.eng.Submit(pod) }
+
+func (p *Partition) Digest() (engine.Digest, error) { return p.eng.Digest(), nil }
+
+func (p *Partition) Snapshot() (engine.Snapshot, error) { return p.eng.Snapshot(), nil }
+
+func (p *Partition) Status(id int) (engine.PodStatus, bool, error) {
+	st, ok := p.eng.PodStatus(id)
+	return st, ok, nil
+}
+
+func (p *Partition) Drain(timeout time.Duration) bool { return p.eng.Drain(timeout) }
+
+func (p *Partition) SetNodeActive(id int, active bool) error {
+	return p.eng.SetNodeActive(id, active)
+}
+
+func (p *Partition) IdleOwnedNodes(max int) []int { return p.eng.IdleOwnedNodes(max) }

@@ -1,0 +1,79 @@
+package federation
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"unisched/internal/obs"
+)
+
+// WritePrometheus renders the federation-wide merged counters plus
+// per-partition series (labelled partition="<index>") in Prometheus text
+// exposition format. It takes the same snapshots the JSON endpoint
+// takes; partition hot paths are never touched — the per-partition
+// routing statistics (visited nodes, decisions, spillover) ride on
+// counters the engines and the coordinator already maintain.
+func (co *Coordinator) WritePrometheus(w io.Writer) error {
+	sn := co.Snapshot()
+	x := obs.NewExposition(w)
+
+	x.Gauge("unisched_federation_partitions", "Partition engines under this coordinator.", float64(sn.PartitionCount))
+	x.Counter("unisched_federation_submitted_total", "Pods ever submitted to the coordinator.", float64(sn.Submitted))
+	x.Counter("unisched_federation_placed_total", "Pods placed across all partitions.", float64(sn.Placed))
+	x.Counter("unisched_federation_completed_total", "BE pods that finished their work, all partitions.", float64(sn.Completed))
+	x.Counter("unisched_federation_expired_total", "Pods that reached their lifetime, all partitions.", float64(sn.Expired))
+	x.Counter("unisched_federation_shed_total", "Pods shed federation-wide (merged accounting).", float64(sn.Shed))
+	x.Counter("unisched_federation_spillover_hops_total", "Spillover re-dispatches performed by the coordinator.", float64(sn.Spills))
+	x.Counter("unisched_federation_giveups_total", "Pods the coordinator gave up on after the hop budget.", float64(sn.FedShed))
+	x.Counter("unisched_federation_rebalanced_nodes_total", "Nodes migrated between partitions by the rebalancer.", float64(sn.Rebalanced))
+	x.Counter("unisched_federation_commit_conflicts_total", "Optimistic-commit conflicts, all partitions.", float64(sn.CommitConflicts))
+
+	x.Gauge("unisched_federation_respill_queued", "Pods waiting in the coordinator's re-dispatch queue.", float64(sn.RespillQueued))
+	x.Gauge("unisched_federation_queue_depth", "Summed partition admission-queue depth.", float64(sn.QueueDepth))
+	x.Gauge("unisched_federation_pending", "Accepted pods not yet placed or shed, federation-wide.", float64(sn.Pending))
+	x.Gauge("unisched_federation_running", "Pods currently running, all partitions.", float64(sn.Running))
+	x.Gauge("unisched_federation_decision_p99_seconds", "Worst partition's p99 decision latency.", sn.DecisionP99Ms/1e3)
+
+	x.Family("unisched_federation_pods", "Merged pod-phase accounting, by state.", "gauge")
+	states := make([]string, 0, len(sn.States))
+	for st := range sn.States {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		x.Sample("unisched_federation_pods", []obs.Label{{Name: "state", Value: st}}, float64(sn.States[st]))
+	}
+
+	x.Family("unisched_partition_submitted_total", "Pods submitted to the partition (including spillover retries).", "counter")
+	x.Family("unisched_partition_placed_total", "Pods placed by the partition.", "counter")
+	x.Family("unisched_partition_shed_total", "Pods shed by the partition (pre-merge).", "counter")
+	x.Family("unisched_partition_queue_depth", "Partition admission-queue depth.", "gauge")
+	x.Family("unisched_partition_running", "Pods running on the partition's shard.", "gauge")
+	x.Family("unisched_partition_visited_nodes_total", "Per-node filter or eval executions in the partition's pipeline.", "counter")
+	x.Family("unisched_partition_decisions_total", "Placement-pipeline decisions in the partition.", "counter")
+	for pi, ps := range sn.Partitions {
+		lbl := []obs.Label{{Name: "partition", Value: fmt.Sprint(pi)}}
+		x.Sample("unisched_partition_submitted_total", lbl, float64(ps.Submitted))
+		x.Sample("unisched_partition_placed_total", lbl, float64(ps.Placed))
+		x.Sample("unisched_partition_shed_total", lbl, float64(ps.Shed))
+		x.Sample("unisched_partition_queue_depth", lbl, float64(ps.QueueDepth))
+		x.Sample("unisched_partition_running", lbl, float64(ps.Running))
+		if pp := ps.Pipeline; pp != nil {
+			x.Sample("unisched_partition_visited_nodes_total", lbl, float64(pp.VisitedNodes))
+			x.Sample("unisched_partition_decisions_total", lbl, float64(pp.Decisions))
+		}
+	}
+
+	return x.Flush()
+}
+
+// MetricsHandler serves WritePrometheus over HTTP — mounted at /metrics
+// by the coordinator mode of cmd/unischedd.
+func (co *Coordinator) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		co.WritePrometheus(w)
+	})
+}

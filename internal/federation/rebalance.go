@@ -1,0 +1,79 @@
+package federation
+
+import "unisched/internal/engine"
+
+// partUtil is the utilization the rebalancer compares: the hotter of
+// the two dimensions, requested over capacity across active nodes.
+func partUtil(d *engine.Digest) float64 {
+	u := 0.0
+	if d.CapCPU > 0 {
+		u = 1 - d.FreeCPU/d.CapCPU
+	}
+	if d.CapMem > 0 {
+		if m := 1 - d.FreeMem/d.CapMem; m > u {
+			u = m
+		}
+	}
+	return u
+}
+
+// Rebalance migrates empty nodes from the least- to the most-utilized
+// partition when the utilization spread exceeds Config.RebalanceSkew.
+// Each move is two journaled membership flips — the donor drops the
+// node (refused unless it is empty), the recipient adopts it — so a
+// durable federation recovers the post-migration ownership
+// bit-identically. Returns the number of nodes migrated; 0 when
+// rebalancing is disabled, the skew is below threshold, or a partition
+// runs remotely (remote backends do not migrate).
+func (co *Coordinator) Rebalance() int {
+	if co.cfg.RebalanceSkew <= 0 || len(co.parts) < 2 {
+		return 0
+	}
+	migrators := make([]Migrator, len(co.parts))
+	for i, p := range co.parts {
+		m, ok := p.(Migrator)
+		if !ok {
+			return 0
+		}
+		migrators[i] = m
+	}
+	co.mu.Lock()
+	co.refreshLocked()
+	hi, lo := 0, 0
+	for pi := range co.digests {
+		if partUtil(&co.digests[pi]) > partUtil(&co.digests[hi]) {
+			hi = pi
+		}
+		if partUtil(&co.digests[pi]) < partUtil(&co.digests[lo]) {
+			lo = pi
+		}
+	}
+	skew := partUtil(&co.digests[hi]) - partUtil(&co.digests[lo])
+	co.mu.Unlock()
+	if hi == lo || skew < co.cfg.RebalanceSkew {
+		return 0
+	}
+	donor, recipient := migrators[lo], migrators[hi]
+	moved := 0
+	for _, id := range donor.IdleOwnedNodes(co.cfg.RebalanceBatch) {
+		// Ownership invariant: the donor must have released the node (it
+		// re-checks emptiness under its write locks) before the recipient
+		// adopts it, so a node is Up in at most one partition at any time.
+		if donor.SetNodeActive(id, false) != nil {
+			continue
+		}
+		if recipient.SetNodeActive(id, true) != nil {
+			// Roll back so the node is not orphaned.
+			donor.SetNodeActive(id, true)
+			continue
+		}
+		moved++
+	}
+	if moved > 0 {
+		co.mu.Lock()
+		co.rebalanced += int64(moved)
+		co.refreshLocked()
+		co.mu.Unlock()
+	}
+	return moved
+}

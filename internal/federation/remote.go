@@ -1,0 +1,174 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"unisched/internal/engine"
+	"unisched/internal/trace"
+)
+
+// RejectsPage is the wire format of a partition daemon's reject cursor
+// (GET /v1/federation/rejects?after=SEQ): the rejects recorded after the
+// cursor, plus the new cursor position.
+type RejectsPage struct {
+	Rejects []Reject `json:"rejects"`
+	Next    uint64   `json:"next"`
+}
+
+// HTTPBackend drives one partition that runs as its own unischedd
+// process (started with -partition-index/-partition-count), speaking the
+// daemon's JSON API. It implements Backend and RejectSource but not
+// Migrator: shard boundaries of out-of-process partitions are fixed, so
+// a remote federation routes and spills but does not rebalance.
+type HTTPBackend struct {
+	// BaseURL is the partition daemon's address, e.g. "http://127.0.0.1:8081".
+	BaseURL string
+	// Client is the HTTP client; nil uses a 10-second-timeout default.
+	Client *http.Client
+}
+
+// NewRemote builds a coordinator over already-running partition daemons,
+// one URL per partition. The daemons own their engines (and their
+// journals, with -data-dir); the coordinator only routes, spills, and
+// merges metrics. Spillover is driven by polling each daemon's reject
+// cursor, so Async mode is forced on — a remote federation has no
+// deterministic drain rounds.
+func NewRemote(urls []string, cfg Config) (*Coordinator, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("federation: no partition URLs")
+	}
+	if len(urls) > 64 {
+		return nil, fmt.Errorf("federation: %d partitions (max 64)", len(urls))
+	}
+	cfg.Partitions = len(urls)
+	cfg.Async = true
+	cfg = cfg.withDefaults()
+	co := newCoordinator(cfg)
+	for _, u := range urls {
+		co.parts = append(co.parts, &HTTPBackend{BaseURL: u})
+	}
+	co.digests = make([]engine.Digest, len(co.parts))
+	co.submitsSince = make([]int, len(co.parts))
+	return co, nil
+}
+
+func (b *HTTPBackend) client() *http.Client {
+	if b.Client != nil {
+		return b.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// Start is a no-op: the partition process has its own lifecycle.
+func (b *HTTPBackend) Start() {}
+
+// Stop is a no-op: stopping the coordinator must not kill partitions.
+func (b *HTTPBackend) Stop() {}
+
+// Submit posts the pod to the partition, translating the daemon's status
+// codes back into the engine's sentinel errors (202 accepted, 429 queue
+// full, 409 duplicate).
+func (b *HTTPBackend) Submit(p *trace.Pod) error {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client().Post(b.BaseURL+"/v1/pods", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		return nil
+	case http.StatusTooManyRequests:
+		return engine.ErrQueueFull
+	case http.StatusConflict:
+		return engine.ErrDuplicate
+	}
+	return fmt.Errorf("federation: %s: submit pod %d: HTTP %d", b.BaseURL, p.ID, resp.StatusCode)
+}
+
+// Digest fetches the partition's routing digest.
+func (b *HTTPBackend) Digest() (engine.Digest, error) {
+	var d engine.Digest
+	err := b.getJSON("/v1/federation/digest", &d)
+	return d, err
+}
+
+// Snapshot fetches the partition's metrics snapshot.
+func (b *HTTPBackend) Snapshot() (engine.Snapshot, error) {
+	var sn engine.Snapshot
+	err := b.getJSON("/v1/metrics", &sn)
+	return sn, err
+}
+
+// Status fetches one pod's status; a 404 means the partition never saw
+// the pod.
+func (b *HTTPBackend) Status(id int) (engine.PodStatus, bool, error) {
+	var st engine.PodStatus
+	resp, err := b.client().Get(fmt.Sprintf("%s/v1/pods/%d", b.BaseURL, id))
+	if err != nil {
+		return st, false, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusNotFound {
+		return st, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, false, fmt.Errorf("federation: %s: pod %d status: HTTP %d", b.BaseURL, id, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, false, err
+	}
+	return st, true, nil
+}
+
+// Drain polls the partition's snapshot until nothing is pending.
+func (b *HTTPBackend) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		sn, err := b.Snapshot()
+		if err == nil && sn.Pending == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// PollRejects reads the partition's reject cursor past `after`.
+func (b *HTTPBackend) PollRejects(after uint64) ([]Reject, uint64, error) {
+	var page RejectsPage
+	if err := b.getJSON(fmt.Sprintf("/v1/federation/rejects?after=%d", after), &page); err != nil {
+		return nil, after, err
+	}
+	return page.Rejects, page.Next, nil
+}
+
+func (b *HTTPBackend) getJSON(path string, into any) error {
+	resp, err := b.client().Get(b.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("federation: %s: GET %s: HTTP %d", b.BaseURL, path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// drainClose consumes the rest of a response body before closing so the
+// keep-alive connection returns to the pool.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, body)
+	body.Close()
+}

@@ -1,0 +1,148 @@
+package federation
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"unisched/internal/engine"
+)
+
+// Snapshot is the federation-wide metrics view: the merged conservation
+// accounting plus every partition's own snapshot. The top-level JSON
+// field names match the single-engine snapshot where the meaning
+// carries over, so loadgen and the dashboards read a coordinator
+// exactly like a single unischedd.
+type Snapshot struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	PartitionCount int     `json:"partition_count"`
+
+	Submitted int64 `json:"submitted"`
+	Placed    int64 `json:"placed"`
+	Completed int64 `json:"completed"`
+	Expired   int64 `json:"expired"`
+	Exhausted int64 `json:"exhausted"`
+	Shed      int64 `json:"shed"`
+
+	// Spills counts spillover re-dispatches (hops) taken; FedShed the
+	// pods the coordinator gave up on after the hop budget; RespillQueued
+	// the pods currently waiting for re-dispatch; Rebalanced the nodes
+	// migrated between partitions.
+	Spills        int64 `json:"spillover_hops"`
+	FedShed       int64 `json:"federation_shed"`
+	RespillQueued int64 `json:"respill_queued"`
+	Rebalanced    int64 `json:"rebalanced_nodes"`
+
+	CommitConflicts int64 `json:"commit_conflicts"`
+
+	QueueDepth int `json:"queue_depth"`
+	Backlogged int `json:"backlogged"`
+	InFlight   int `json:"in_flight"`
+	Pending    int `json:"pending"`
+	Running    int `json:"running"`
+
+	// DecisionP99Ms is the worst partition's p99 — the federation's tail.
+	DecisionP99Ms    float64 `json:"decision_p99_ms"`
+	PlacementsPerSec float64 `json:"placements_per_sec"`
+
+	// States is the merged pod-phase accounting; Submitted equals the sum
+	// of all states (Lost() == 0) exactly as for a single engine. The
+	// "rejected" bucket is the merge residual and must be zero: every
+	// partition-side reject is either superseded by a re-dispatch or
+	// re-counted as a federation shed.
+	States map[string]int64 `json:"states"`
+
+	// Partitions holds each partition's own snapshot, in index order.
+	Partitions []engine.Snapshot `json:"partitions"`
+}
+
+// Lost returns the number of submissions unaccounted for across the
+// whole federation — zero when the engines and the coordinator agree.
+// Transient nonzero readings are possible while pods move between a
+// partition and the respill queue mid-snapshot; at a settled instant it
+// is exact.
+func (s Snapshot) Lost() int64 {
+	var sum int64
+	for _, v := range s.States {
+		sum += v
+	}
+	return s.Submitted - sum
+}
+
+// Snapshot assembles the federation-wide view. Partition snapshots are
+// taken sequentially (each internally consistent); the coordinator
+// counters are read under the routing lock.
+func (co *Coordinator) Snapshot() Snapshot {
+	sn := Snapshot{
+		PartitionCount: len(co.parts),
+		WallSeconds:    time.Since(co.start).Seconds(),
+		States:         make(map[string]int64),
+	}
+	for _, p := range co.parts {
+		ps, err := p.Snapshot()
+		if err != nil {
+			continue
+		}
+		sn.Partitions = append(sn.Partitions, ps)
+		sn.Placed += ps.Placed
+		sn.Completed += ps.Completed
+		sn.Expired += ps.Expired
+		sn.Exhausted += ps.Exhausted
+		sn.CommitConflicts += ps.CommitConflicts
+		sn.QueueDepth += ps.QueueDepth
+		sn.Backlogged += ps.Backlogged
+		sn.InFlight += ps.InFlight
+		sn.Pending += ps.Pending
+		sn.Running += ps.Running
+		if ps.DecisionP99Ms > sn.DecisionP99Ms {
+			sn.DecisionP99Ms = ps.DecisionP99Ms
+		}
+		for k, v := range ps.States {
+			sn.States[k] += v
+		}
+	}
+	co.mu.Lock()
+	sn.Submitted = co.submitted
+	sn.Spills = co.spills
+	sn.FedShed = co.fedShed
+	sn.RespillQueued = co.respillQueued
+	sn.Rebalanced = co.rebalanced
+	// Merge corrections: pods owned by the coordinator count as queued;
+	// superseded partition records come out of their buckets; terminal
+	// rejects the coordinator gave up on become federation sheds.
+	sn.States["queued"] += co.respillQueued
+	sn.States["shed"] += -co.exclShed + co.reshedRejected + co.shedOrphan
+	sn.States["rejected"] += -co.exclRejected - co.reshedRejected
+	co.mu.Unlock()
+	sn.Pending += int(sn.RespillQueued)
+	for k, v := range sn.States {
+		if v == 0 {
+			delete(sn.States, k)
+		}
+	}
+	sn.Shed = sn.States["shed"]
+	if sn.WallSeconds > 0 {
+		sn.PlacementsPerSec = float64(sn.Placed) / sn.WallSeconds
+	}
+	return sn
+}
+
+// StateHash fingerprints the entire federation's durable state: the
+// SHA-256 over the partition StateHashes in index order. Two federations
+// with pairwise-identical partition states hash identically — the
+// crash-recovery tests compare this across a kill and a re-open. Only
+// meaningful when every partition runs in-process.
+func (co *Coordinator) StateHash() string {
+	if len(co.local) != len(co.parts) {
+		return ""
+	}
+	h := sha256.New()
+	for _, p := range co.local {
+		if p == nil {
+			return ""
+		}
+		fmt.Fprintf(h, "p%d:%s\n", p.Index, p.Engine().StateHash())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -59,9 +59,12 @@ const (
 	// OpQuota records a quota-tree configuration change: A = the quota op
 	// (engine codes: set-tenant, delete-tenant), blob = the operand JSON.
 	OpQuota
+	// OpReject withdraws an accepted pod the scheduler found no capacity
+	// for (federation fail-fast): A = pod ID, B = reason.
+	OpReject
 )
 
-var opNames = [...]string{"?", "accept", "shed", "place", "remove", "fail", "tick", "node-phase", "quota"}
+var opNames = [...]string{"?", "accept", "shed", "place", "remove", "fail", "tick", "node-phase", "quota", "reject"}
 
 // String names the op.
 func (o Op) String() string {

@@ -30,6 +30,7 @@ import (
 	"unisched/internal/core"
 	"unisched/internal/engine"
 	"unisched/internal/experiments"
+	"unisched/internal/federation"
 	"unisched/internal/journal"
 	"unisched/internal/obs"
 	"unisched/internal/profiler"
@@ -279,6 +280,48 @@ type (
 // NewEngine plus journaling.
 func OpenDurableEngine(c *Cluster, factory SchedulerFactory, cfg EngineConfig, link func(*Pod) error) (*Engine, *RecoveryStats, error) {
 	return engine.OpenDurable(c, factory, cfg, link)
+}
+
+// Federated scale-out (partitioned schedulers under a fit-routing
+// coordinator; see DESIGN.md §4j and cmd/unischedd's -federation /
+// -partition-index modes).
+type (
+	// Federation is the coordinator over N partition schedulers, each
+	// owning a disjoint shard of the node fleet: submissions route by
+	// predicted fit from cheap per-partition digests, rejects spill over
+	// with a bounded hop budget, and shard boundaries rebalance online.
+	Federation = federation.Coordinator
+	// FederationConfig tunes partition count, routing, spillover, and
+	// rebalancing; Engine is the per-partition engine template.
+	FederationConfig = federation.Config
+	// FederationSnapshot is the merged federation-wide metrics view;
+	// loadgen and dashboards read it exactly like an EngineSnapshot.
+	FederationSnapshot = federation.Snapshot
+)
+
+// ErrFederationShed reports a submission no partition could hold within
+// the spillover hop budget.
+var ErrFederationShed = federation.ErrShed
+
+// NewFederation builds an in-process federation: cfg.Partitions engines,
+// each owning the shard of nodes FederationConfig.Assign maps to it
+// (default contiguous blocks). Call Start, Submit pods, and Stop.
+func NewFederation(nodes []*Node, factory SchedulerFactory, cfg FederationConfig) (*Federation, error) {
+	return federation.New(nodes, factory, cfg)
+}
+
+// OpenDurableFederation is NewFederation over per-partition journals
+// rooted at cfg.DataDir: every partition recovers its own shard and the
+// federation-wide state hash is bit-identical across a crash.
+func OpenDurableFederation(nodes []*Node, factory SchedulerFactory, cfg FederationConfig) (*Federation, error) {
+	return federation.Open(nodes, factory, cfg)
+}
+
+// NewRemoteFederation fronts already-running partition daemons
+// (cmd/unischedd -partition-index) over their JSON APIs — the
+// coordinator behind cmd/unischedd -federation.
+func NewRemoteFederation(urls []string, cfg FederationConfig) (*Federation, error) {
+	return federation.NewRemote(urls, cfg)
 }
 
 // Multi-tenant quota surface (set EngineConfig.Quota to enable; pods carry
