@@ -88,6 +88,8 @@ func main() {
 			"flood the server with every adversary tenant's cloned BE pods before the primary replay (multi-tenant mode)")
 		quotaFrac = flag.Float64("quota-check", 0,
 			"assert the primary tenant's peak placed CPU reaches this fraction of min(guarantee, demand) and that quota preemptions fired; 0 disables")
+		latCheck = flag.Bool("latency-check", false,
+			"watch a sample of accepted pods to placement and assert the client-observed submit-to-placed latencies bracket the server's e2e histogram (server must run with -lifecycle-sample)")
 	)
 	flag.Parse()
 	seedJitter(*seed)
@@ -147,10 +149,15 @@ func main() {
 	// Pacer feeds the client pool in trace order; clients post and tally.
 	work := make(chan *trace.Pod, 4**clients)
 	hc := &http.Client{Timeout: 30 * time.Second}
+	var watcher *latWatcher
+	if *latCheck {
+		watcher = newLatWatcher(hc, *addr)
+	}
 	var wg sync.WaitGroup
 	results := make([]clientResult, *clients)
 	for i := 0; i < *clients; i++ {
 		wg.Add(1)
+		results[i].watch = watcher
 		go func(res *clientResult) {
 			defer wg.Done()
 			for p := range work {
@@ -224,6 +231,184 @@ func main() {
 		}
 		fmt.Println("OK: observability endpoints healthy")
 	}
+
+	if *latCheck {
+		if err := checkLatencyBracket(watcher, sn); err != nil {
+			log.Fatalf("FAIL: %v", err)
+		}
+		fmt.Println("OK: client-observed latencies bracket the server-side placed spans")
+	}
+}
+
+// checkLatencyBracket cross-checks the server's end-to-end placement
+// latencies against what the clients saw. The watcher is a bounded
+// sample and so says nothing about the server histogram's tail (a busy
+// replay's late pods wait far longer than its early ones), but for each
+// individual watched pod the client-observed latency — submit request to
+// the first poll that sees it placed — must upper-bound the server's own
+// placed span for that pod: the clock starts before the server stamps
+// the submit and stops after placement became observable.
+func checkLatencyBracket(w *latWatcher, sn metricsView) error {
+	// Cross-process monotonic clocks measure durations consistently; the
+	// tolerance covers timer resolution, not clock skew.
+	const tolerance = 10 * time.Millisecond
+	observed, pairs, missed := w.wait()
+	fmt.Printf("latency check: watched %d pods to placement (%d not placed)\n", len(observed), missed)
+	if len(observed) == 0 {
+		return fmt.Errorf("latency check: no watched pod reached placement")
+	}
+	if sn.E2E == nil || sn.E2E.Count == 0 {
+		return fmt.Errorf("latency check: server e2e histogram empty — is the server running with -lifecycle-sample?")
+	}
+	e := sn.E2E
+	if e.P50Ms < 0 || e.P99Ms < 0 || e.MeanMs < 0 {
+		return fmt.Errorf("latency check: negative server quantiles: p50 %.3fms p99 %.3fms mean %.3fms", e.P50Ms, e.P99Ms, e.MeanMs)
+	}
+	if e.P50Ms > e.P99Ms {
+		return fmt.Errorf("latency check: server p50 %.3fms above p99 %.3fms", e.P50Ms, e.P99Ms)
+	}
+	fmt.Printf("  client-observed p50 %v  p95 %v  max %v\n",
+		pct(observed, 0.50), pct(observed, 0.95), observed[len(observed)-1])
+	fmt.Printf("  server e2e count %d  p50 %.3fms  p99 %.3fms  mean %.3fms\n",
+		e.Count, e.P50Ms, e.P99Ms, e.MeanMs)
+	if len(pairs) == 0 {
+		return fmt.Errorf("latency check: no watched pod had a server-side timeline — is the server running with -lifecycle-sample 1?")
+	}
+	for _, p := range pairs {
+		if p.client+tolerance < p.server {
+			return fmt.Errorf("latency check: pod %d server placed span %v exceeds client-observed %v", p.pod, p.server, p.client)
+		}
+	}
+	fmt.Printf("  %d per-pod timelines bracketed by their client-observed latencies\n", len(pairs))
+	return nil
+}
+
+// latWatcher follows a sample of accepted pods from the submit request
+// to the first status poll that sees them placed, producing client-side
+// upper bounds on per-pod placement latency.
+type latWatcher struct {
+	hc   *http.Client
+	addr string
+	// slots caps concurrent followers; an accepted pod arriving while all
+	// slots are busy is simply not watched (it is a sample, not a census).
+	slots    chan struct{}
+	inFlight sync.WaitGroup
+
+	mu       sync.Mutex
+	started  int
+	observed []time.Duration
+	pairs    []latPair
+	missed   int // watched pods that ended shed/rejected or timed out
+}
+
+// latPair holds one watched pod's client-observed latency next to the
+// server's own placed span from the pod's lifecycle timeline.
+type latPair struct {
+	pod            int
+	client, server time.Duration
+}
+
+// maxWatched bounds the total pods followed so the status polling never
+// becomes a load source of its own on long replays.
+const maxWatched = 256
+
+func newLatWatcher(hc *http.Client, addr string) *latWatcher {
+	return &latWatcher{hc: hc, addr: addr, slots: make(chan struct{}, 8)}
+}
+
+// observe starts following one accepted pod, unless the watcher is
+// saturated or the sample is already full.
+func (w *latWatcher) observe(id int, submitted time.Time) {
+	w.mu.Lock()
+	if w.started >= maxWatched {
+		w.mu.Unlock()
+		return
+	}
+	select {
+	case w.slots <- struct{}{}:
+	default:
+		w.mu.Unlock()
+		return
+	}
+	w.started++
+	w.mu.Unlock()
+	w.inFlight.Add(1)
+	go func() {
+		defer func() { <-w.slots; w.inFlight.Done() }()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			var st struct {
+				Phase string `json:"phase"`
+			}
+			err := getJSON(w.hc, fmt.Sprintf("%s/v1/pods/%d", w.addr, id), &st)
+			if err == nil {
+				switch st.Phase {
+				case "placed", "done":
+					d := time.Since(submitted)
+					// Fetch the server's own view of this pod right away,
+					// before the recorder's bounded timeline store evicts it.
+					server, ok := w.placedSpan(id)
+					w.mu.Lock()
+					w.observed = append(w.observed, d)
+					if ok {
+						w.pairs = append(w.pairs, latPair{pod: id, client: d, server: server})
+					}
+					w.mu.Unlock()
+					return
+				case "shed", "exhausted", "rejected":
+					w.mu.Lock()
+					w.missed++
+					w.mu.Unlock()
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				w.mu.Lock()
+				w.missed++
+				w.mu.Unlock()
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+}
+
+// placedSpan asks the lifecycle timeline endpoint for the server-side
+// placed span (submit to placement) of one pod. Works against a single
+// daemon and a coordinator alike — the stitched reply nests the placed
+// stage inside whichever process owns the pod. Returns false when the
+// pod is not sampled (or tracing is off entirely).
+func (w *latWatcher) placedSpan(id int) (time.Duration, bool) {
+	var st struct {
+		Processes []struct {
+			Events []struct {
+				Stage string `json:"stage"`
+				DurNs int64  `json:"dur_ns"`
+			} `json:"events"`
+		} `json:"processes"`
+	}
+	if err := getJSON(w.hc, fmt.Sprintf("%s/v1/debug/pods/%d/timeline", w.addr, id), &st); err != nil {
+		return 0, false
+	}
+	for _, proc := range st.Processes {
+		for _, ev := range proc.Events {
+			if ev.Stage == "placed" {
+				return time.Duration(ev.DurNs), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// wait blocks until every follower finished and returns the sorted
+// client-observed latencies, the client/server per-pod pairs, and the
+// count of watched-but-never-placed pods.
+func (w *latWatcher) wait() ([]time.Duration, []latPair, int) {
+	w.inFlight.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sort.Slice(w.observed, func(i, j int) bool { return w.observed[i] < w.observed[j] })
+	return w.observed, w.pairs, w.missed
 }
 
 // scrapeObservability exercises the telemetry surface after a replay:
@@ -294,6 +479,8 @@ type clientResult struct {
 	errors   int
 	retries  int
 	lat      []time.Duration
+	// watch, when set, follows accepted pods to placement (-latency-check).
+	watch *latWatcher
 }
 
 func (r *clientResult) merge(o *clientResult) {
@@ -362,6 +549,9 @@ func postPod(hc *http.Client, addr string, p *trace.Pod, res *clientResult, retr
 				switch code {
 				case http.StatusAccepted:
 					res.accepted++
+					if res.watch != nil {
+						res.watch.observe(p.ID, t0)
+					}
 				case http.StatusTooManyRequests:
 					res.shed++
 				case http.StatusConflict:
@@ -397,6 +587,16 @@ type metricsView struct {
 	QuotaShed        int64            `json:"quota_shed"`
 	QuotaPreempted   int64            `json:"quota_preempted"`
 	States           map[string]int64 `json:"states"`
+	E2E              *e2eView         `json:"e2e"`
+}
+
+// e2eView mirrors the engine's end-to-end placement-latency summary
+// (present only when the server runs with lifecycle tracing on).
+type e2eView struct {
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
 }
 
 func fetchMetrics(hc *http.Client, addr string) (metricsView, error) {

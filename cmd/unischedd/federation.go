@@ -18,12 +18,17 @@
 //	POST /v1/pods        submit one pod (routed to the best-fit partition)
 //	GET  /v1/pods/{id}   federation-wide submission status
 //	GET  /v1/metrics     merged JSON snapshot (loadgen-compatible)
+//	GET  /v1/debug/pods/{id}/timeline  stitched cross-process lifecycle
+//	                     timeline (coordinator route spans + every
+//	                     partition's stages; ?format=chrome)
+//	GET  /v1/debug/flight  coordinator flight-recorder dump
 package main
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"log/slog"
 	"net"
@@ -36,6 +41,7 @@ import (
 
 	"unisched/internal/engine"
 	"unisched/internal/federation"
+	"unisched/internal/obs"
 	"unisched/internal/sched"
 	"unisched/internal/trace"
 )
@@ -118,15 +124,20 @@ func withFederationEndpoints(next http.Handler, e *engine.Engine, ring *rejectRi
 }
 
 // runCoordinator serves the federation front door over already-running
-// partition daemons. It owns no engine: routing state only.
-func runCoordinator(ctx context.Context, urls []string, addr string, logger *slog.Logger, stdout io.Writer, onListen func(addr string)) int {
-	co, err := federation.NewRemote(urls, federation.Config{})
+// partition daemons. It owns no engine: routing state only. lcSample and
+// lcBuf configure the coordinator's own lifecycle recorder; sampling
+// must match the partitions' -lifecycle-sample for timelines to stitch.
+func runCoordinator(ctx context.Context, urls []string, addr string, lcSample, lcBuf int, logger *slog.Logger, stdout io.Writer, onListen func(addr string)) int {
+	var fcfg federation.Config
+	fcfg.Engine.LifecycleEvery = lcSample
+	fcfg.Engine.LifecycleBuffer = lcBuf
+	co, err := federation.NewRemote(urls, fcfg)
 	if err != nil {
 		logger.Error("federation construction failed", "err", err)
 		return 1
 	}
 	var ready atomic.Bool
-	capi := &coordinatorAPI{co: co, ready: &ready}
+	capi := &coordinatorAPI{co: co, urls: urls, ready: &ready}
 	capi.nextID.Store(1 << 40) // far above any trace pod ID
 
 	ln, err := net.Listen("tcp", addr)
@@ -169,8 +180,11 @@ func runCoordinator(ctx context.Context, urls []string, addr string, logger *slo
 
 // coordinatorAPI is the HTTP surface over one federation coordinator.
 type coordinatorAPI struct {
-	co     *federation.Coordinator
-	ready  *atomic.Bool
+	co    *federation.Coordinator
+	urls  []string // partition base URLs, index order (timeline fan-out)
+	ready *atomic.Bool
+	// client fetches partition timelines; nil uses a 5-second default.
+	client *http.Client
 	nextID atomic.Int64
 }
 
@@ -192,7 +206,105 @@ func (a *coordinatorAPI) handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", func(rw http.ResponseWriter, _ *http.Request) {
 		writeJSON(rw, http.StatusOK, a.co.Snapshot())
 	})
+	mux.HandleFunc("GET /v1/debug/pods/{id}/timeline", a.getPodTimeline)
+	mux.HandleFunc("GET /v1/debug/flight", a.getFlight)
 	return mux
+}
+
+// getPodTimeline stitches one sampled pod's cross-process timeline: the
+// coordinator's own route/spillover spans plus every partition's
+// lifecycle stages, merged into a single StitchedTimeline (or a merged
+// multi-process Chrome trace with ?format=chrome). Partitions sample by
+// the same pod-ID modulus, so a pod sampled here is sampled there.
+func (a *coordinatorAPI) getPodTimeline(rw http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(rw, "bad pod id", http.StatusBadRequest)
+		return
+	}
+	var docs []obs.TimelineDoc
+	if doc, ok := a.co.Lifecycle().TimelineDoc(id); ok {
+		docs = append(docs, doc)
+	}
+	client := a.client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	for _, u := range a.urls {
+		doc, ok, err := fetchTimeline(client, u, id)
+		if err != nil {
+			http.Error(rw, "partition timeline fetch: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		if ok {
+			docs = append(docs, doc)
+		}
+	}
+	if len(docs) == 0 {
+		http.Error(rw, "no timeline for pod (not sampled, evicted, or tracing off)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		rw.Header().Set("Content-Type", "application/json")
+		obs.WriteMergedChromeTrace(rw, docs)
+		return
+	}
+	writeJSON(rw, http.StatusOK, obs.StitchedTimeline{
+		Pod:       id,
+		Trace:     docs[0].Trace,
+		Processes: docs,
+	})
+}
+
+// fetchTimeline asks one partition daemon for the pod's timeline. A 404
+// (not sampled there, evicted, or tracing off) is not an error — the pod
+// simply never passed through that partition's recorder.
+func fetchTimeline(client *http.Client, baseURL string, id int64) (obs.TimelineDoc, bool, error) {
+	var doc obs.TimelineDoc
+	resp, err := client.Get(fmt.Sprintf("%s/v1/debug/pods/%d/timeline", baseURL, id))
+	if err != nil {
+		return doc, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return doc, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return doc, false, fmt.Errorf("%s: HTTP %d", baseURL, resp.StatusCode)
+	}
+	var st obs.StitchedTimeline
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return doc, false, err
+	}
+	if len(st.Processes) == 0 {
+		return doc, false, nil
+	}
+	return st.Processes[0], true, nil
+}
+
+// getFlight dumps the coordinator's own flight recorder (routing and
+// spillover events). Partition flight rings are served by the partition
+// daemons' own /v1/debug/flight.
+func (a *coordinatorAPI) getFlight(rw http.ResponseWriter, r *http.Request) {
+	lc := a.co.Lifecycle()
+	if lc == nil {
+		http.Error(rw, "lifecycle tracing off (start with -lifecycle-sample or -lifecycle-buffer)", http.StatusNotFound)
+		return
+	}
+	window := 10 * time.Second
+	if s := r.URL.Query().Get("window"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			http.Error(rw, "bad window= value", http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	lc.WriteFlight(rw, window, "debug-endpoint", "")
 }
 
 func (a *coordinatorAPI) submitPod(rw http.ResponseWriter, r *http.Request) {

@@ -200,3 +200,199 @@ func TestFederationDaemons(t *testing.T) {
 		t.Fatalf("partition 1 exited %d", code)
 	}
 }
+
+// TestFederationStitchedTimeline boots two durable partition daemons
+// with full lifecycle sampling plus a coordinator, pushes pods through
+// the coordinator, and checks that a placed pod's cross-process timeline
+// stitches: one trace ID across coordinator and partition, the
+// coordinator's route span parented into the partition's stages, and the
+// partition's stages running from submit through the journal fsync.
+func TestFederationStitchedTimeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon boot takes seconds")
+	}
+	cfg := trace.DefaultConfig()
+	cfg.Seed = 5
+	cfg.NumNodes = 16
+	cfg.Horizon = 3600
+	w, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pods := w.Pods
+	if len(pods) > 120 {
+		pods = pods[:120]
+	}
+
+	partArgs := []string{
+		"-nodes", "16", "-hours", "1", "-seed", "5",
+		"-workers", "1", "-queue", "128",
+		"-speedup", "30000",
+		"-trace-sample", "0",
+		"-lifecycle-sample", "1",
+		"-partition-count", "2",
+	}
+	var pout0, pout1, cout bytes.Buffer
+	base0, code0, cancel0 := startDaemon(t, &pout0,
+		append(partArgs, "-partition-index", "0", "-data-dir", t.TempDir())...)
+	base1, code1, cancel1 := startDaemon(t, &pout1,
+		append(partArgs, "-partition-index", "1", "-data-dir", t.TempDir())...)
+	baseC, codeC, cancelC := startDaemon(t, &cout,
+		"-federation", base0+","+base1, "-lifecycle-sample", "1")
+	defer func() {
+		cancelC()
+		<-codeC
+		cancel0()
+		cancel1()
+		<-code0
+		<-code1
+	}()
+
+	hc := &http.Client{Timeout: 5 * time.Second}
+	accepted := 0
+	for _, p := range pods {
+		if post(hc, baseC, p) == http.StatusAccepted {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no submissions accepted; test proves nothing")
+	}
+
+	// Find a pod whose stitched timeline reaches the journal fsync. The
+	// group-commit interval is 10ms, so after placement the fsync-wait
+	// span appears almost immediately; poll until one pod has it all.
+	var st obs.StitchedTimeline
+	deadline := time.Now().Add(30 * time.Second)
+	found := false
+	for !found && time.Now().Before(deadline) {
+		for _, p := range pods {
+			resp, err := hc.Get(fmt.Sprintf("%s/v1/debug/pods/%d/timeline", baseC, p.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				continue
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if timelineHasStages(st, obs.StageRoute, obs.StageSubmit, obs.StagePlaced, obs.StageJournalAppend, obs.StageFsyncWait) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !found {
+		t.Fatalf("no pod's stitched timeline reached the fsync stage; last: %+v", st)
+	}
+
+	// Deterministic trace identity: the trace ID is a pure function of
+	// the pod ID, so a re-run with the same seed yields the same trace.
+	want := obs.DeriveTraceContext(st.Pod, "coordinator")
+	if st.Trace != want.TraceIDString() {
+		t.Errorf("stitched trace %q, want derived %q", st.Trace, want.TraceIDString())
+	}
+
+	// One trace across all processes, and the partition's events must be
+	// parented into the coordinator's span (header propagation worked).
+	var coDoc, partDoc *obs.TimelineDoc
+	for i := range st.Processes {
+		d := &st.Processes[i]
+		if d.Trace != st.Trace {
+			t.Errorf("process %s trace %q, want %q", d.Process, d.Trace, st.Trace)
+		}
+		switch {
+		case d.Process == "coordinator":
+			coDoc = d
+		case strings.HasPrefix(d.Process, "partition-"):
+			partDoc = d
+		}
+	}
+	if coDoc == nil || partDoc == nil {
+		t.Fatalf("stitched timeline missing a side: %+v", st.Processes)
+	}
+	if partDoc.ParentSpan != coDoc.Span {
+		t.Errorf("partition parent span %q, want coordinator span %q", partDoc.ParentSpan, coDoc.Span)
+	}
+	if !timelineHasStages(obs.StitchedTimeline{Processes: []obs.TimelineDoc{*coDoc}}, obs.StageRoute) {
+		t.Error("coordinator doc has no route span")
+	}
+	for _, stage := range []string{obs.StageSubmit, obs.StageQueueWait, obs.StageSched, obs.StageCommit, obs.StagePlaced, obs.StageJournalAppend, obs.StageFsyncWait} {
+		if !timelineHasStages(obs.StitchedTimeline{Processes: []obs.TimelineDoc{*partDoc}}, stage) {
+			t.Errorf("partition doc missing stage %q", stage)
+		}
+	}
+
+	// The Chrome rendering of the same timeline must be valid JSON with
+	// per-process metadata and events from at least two distinct pids.
+	resp, err := hc.Get(fmt.Sprintf("%s/v1/debug/pods/%d/timeline?format=chrome", baseC, st.Pod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&events)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("chrome export not valid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	meta := 0
+	for _, ev := range events {
+		if ev["ph"] == "M" {
+			meta++
+			continue
+		}
+		if pid, ok := ev["pid"].(float64); ok {
+			pids[pid] = true
+		}
+	}
+	if meta == 0 {
+		t.Error("chrome export has no metadata events")
+	}
+	if len(pids) < 2 {
+		t.Errorf("chrome export spans %d pids, want >= 2 (coordinator + partition)", len(pids))
+	}
+
+	// The flight recorders are on by default: both the coordinator's and
+	// a partition's dump endpoints must return parseable documents.
+	for _, u := range []string{baseC, base0} {
+		resp, err := hc.Get(u + "/v1/debug/flight?window=60s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dump obs.FlightDump
+		err = json.NewDecoder(resp.Body).Decode(&dump)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: flight dump not valid JSON: %v", u, err)
+		}
+		if len(dump.Events) == 0 {
+			t.Errorf("%s: flight dump empty after %d submissions", u, accepted)
+		}
+	}
+}
+
+// timelineHasStages reports whether every named stage appears somewhere
+// in the stitched timeline.
+func timelineHasStages(st obs.StitchedTimeline, stages ...string) bool {
+	have := map[string]bool{}
+	for _, d := range st.Processes {
+		for _, ev := range d.Events {
+			have[ev.Stage] = true
+		}
+	}
+	for _, s := range stages {
+		if !have[s] {
+			return false
+		}
+	}
+	return true
+}

@@ -28,6 +28,13 @@
 //	GET  /v1/debug/decisions        sampled decision traces (?last=N,
 //	                                ?outcome=placed|failed|...)
 //	GET  /v1/debug/decisions/{id}   traces for one pod
+//	GET  /v1/debug/pods/{id}/timeline
+//	                                lifecycle timeline for one sampled pod
+//	                                (?format=chrome for a Chrome trace); on
+//	                                a coordinator, the stitched cross-
+//	                                process timeline
+//	GET  /v1/debug/flight           flight-recorder dump of the last
+//	                                -flight-window of lifecycle events
 //	GET  /v1/quotas                 quota-tree snapshot (any valid token)
 //	PUT  /v1/quotas/{tenant}        create/update a tenant quota (admin)
 //	DELETE /v1/quotas/{tenant}      delete a drained tenant quota (admin)
@@ -111,7 +118,13 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 		logFormat = fs.String("log-format", "text", "log output format: text | json")
 		traceN    = fs.Int("trace-sample", 16, "record every Nth placement decision (0 disables tracing)")
 		traceBuf  = fs.Int("trace-buf", 4096, "decision-trace ring capacity")
-		dataDir   = fs.String("data-dir", "",
+		lcSample  = fs.Int("lifecycle-sample", 0,
+			"record the full lifecycle timeline of pods whose ID is a multiple of N (0 keeps only the flight ring)")
+		lcBuf = fs.Int("lifecycle-buffer", 8192,
+			"lifecycle flight-recorder ring capacity (0 disables lifecycle tracing entirely)")
+		flightWin = fs.Duration("flight-window", 10*time.Second,
+			"trailing window of lifecycle events an anomaly flight dump captures")
+		dataDir = fs.String("data-dir", "",
 			"durability directory for the placement journal and checkpoints; empty disables durability")
 		ckptEvery = fs.Int("checkpoint-every", 120, "checkpoint every N virtual ticks (with -data-dir)")
 		fsyncEvry = fs.Duration("fsync-every", 10*time.Millisecond, "journal group-commit interval (with -data-dir)")
@@ -137,7 +150,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 	}
 
 	if *fedURLs != "" {
-		return runCoordinator(ctx, strings.Split(*fedURLs, ","), *addr, logger, stdout, onListen)
+		return runCoordinator(ctx, strings.Split(*fedURLs, ","), *addr, *lcSample, *lcBuf, logger, stdout, onListen)
 	}
 	if *partCount > 0 && (*partIndex < 0 || *partIndex >= *partCount) {
 		fmt.Fprintf(os.Stderr, "unischedd: -partition-index %d out of range for -partition-count %d\n", *partIndex, *partCount)
@@ -172,15 +185,21 @@ func run(ctx context.Context, args []string, stdout io.Writer, onListen func(add
 	}
 
 	cfg := engine.Config{
-		Workers:        *workers,
-		Shards:         *shards,
-		QueueCap:       *queueCap,
-		TickWall:       time.Duration(float64(trace.SampleInterval) * float64(time.Second) / *speedup),
-		PartitionNodes: *partition,
-		Seed:           *seed,
-		TraceEvery:     *traceN,
-		TraceBuffer:    *traceBuf,
-		Logger:         logger,
+		Workers:         *workers,
+		Shards:          *shards,
+		QueueCap:        *queueCap,
+		TickWall:        time.Duration(float64(trace.SampleInterval) * float64(time.Second) / *speedup),
+		PartitionNodes:  *partition,
+		Seed:            *seed,
+		TraceEvery:      *traceN,
+		TraceBuffer:     *traceBuf,
+		LifecycleEvery:  *lcSample,
+		LifecycleBuffer: *lcBuf,
+		FlightWindow:    *flightWin,
+		Logger:          logger,
+	}
+	if *partCount > 0 {
+		cfg.LifecycleRole = fmt.Sprintf("partition-%d", *partIndex)
 	}
 	if *chaosRun {
 		cfg.Chaos = chaos.NewInjector(*seed, nil, chaos.DefaultRates())
@@ -405,6 +424,8 @@ func newAPI(e *engine.Engine, w *trace.Workload, ready *atomic.Bool, auth *tenan
 	mux.HandleFunc("GET /v1/metrics/history", a.getHistory)
 	mux.HandleFunc("GET /v1/debug/decisions", a.getDecisions)
 	mux.HandleFunc("GET /v1/debug/decisions/{id}", a.getPodDecisions)
+	mux.HandleFunc("GET /v1/debug/pods/{id}/timeline", a.getPodTimeline)
+	mux.HandleFunc("GET /v1/debug/flight", a.getFlight)
 	mux.HandleFunc("GET /v1/quotas", a.getQuotas)
 	mux.HandleFunc("PUT /v1/quotas/{tenant}", a.putQuota)
 	mux.HandleFunc("DELETE /v1/quotas/{tenant}", a.deleteQuota)
@@ -456,6 +477,14 @@ func (a *api) submitPod(rw http.ResponseWriter, r *http.Request) {
 	if err := a.w.LinkPod(&p); err != nil {
 		writeJSON(rw, http.StatusBadRequest, submitResponse{ID: p.ID, Status: "rejected", Error: err.Error()})
 		return
+	}
+	// Adopt the caller's W3C-style trace context before the submission
+	// records any lifecycle event, so a sampled pod's local spans join the
+	// coordinator's trace (a nil lifecycle recorder ignores this).
+	if tp := r.Header.Get(obs.TraceParentHeader); tp != "" {
+		if tc, ok := obs.ParseTraceParent(tp); ok {
+			a.e.Lifecycle().SetContext(int64(p.ID), tc)
+		}
 	}
 	switch err := a.e.Submit(&p); {
 	case err == nil:
@@ -568,6 +597,61 @@ func (a *api) getPodDecisions(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(rw, http.StatusOK, traces)
+}
+
+// getPodTimeline serves one sampled pod's lifecycle timeline. The reply
+// is a StitchedTimeline with this process as its only participant, the
+// same shape the federation coordinator returns after merging partition
+// timelines, so clients parse both identically. ?format=chrome renders
+// the timeline as a Chrome trace instead.
+func (a *api) getPodTimeline(rw http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(rw, "bad pod id", http.StatusBadRequest)
+		return
+	}
+	lc := a.e.Lifecycle()
+	if lc == nil {
+		http.Error(rw, "lifecycle tracing off (start with -lifecycle-sample)", http.StatusNotFound)
+		return
+	}
+	doc, ok := lc.TimelineDoc(id)
+	if !ok {
+		http.Error(rw, "no timeline for pod (not sampled or evicted)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		rw.Header().Set("Content-Type", "application/json")
+		obs.WriteMergedChromeTrace(rw, []obs.TimelineDoc{doc})
+		return
+	}
+	writeJSON(rw, http.StatusOK, obs.StitchedTimeline{
+		Pod:       id,
+		Trace:     doc.Trace,
+		Processes: []obs.TimelineDoc{doc},
+	})
+}
+
+// getFlight dumps the flight recorder's recent lifecycle events — the
+// same JSON document an anomaly trip writes to the data dir. ?window=
+// overrides the 10s default lookback.
+func (a *api) getFlight(rw http.ResponseWriter, r *http.Request) {
+	lc := a.e.Lifecycle()
+	if lc == nil {
+		http.Error(rw, "lifecycle tracing off (start with -lifecycle-sample or -lifecycle-buffer)", http.StatusNotFound)
+		return
+	}
+	window := 10 * time.Second
+	if s := r.URL.Query().Get("window"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			http.Error(rw, "bad window= value", http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	lc.WriteFlight(rw, window, "debug-endpoint", "")
 }
 
 func writeJSON(rw http.ResponseWriter, code int, v any) {

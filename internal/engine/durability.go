@@ -540,6 +540,12 @@ func OpenDurable(c *cluster.Cluster, factory SchedulerFactory, cfg Config, link 
 	}
 	e := New(c, factory, cfg)
 	e.jr = jr
+	if e.lc != nil {
+		// Close fsync-wait spans when a group commit covers a placed pod's
+		// OpPlace record. FsyncCovered only sweeps a watch list and feeds a
+		// histogram — safe under the journal lock, no journal re-entry.
+		jr.SetOnSync(e.lc.FsyncCovered)
+	}
 	stats := &RecoveryStats{
 		CheckpointLSN:      rec.CheckpointLSN,
 		ReplayedRecords:    len(rec.Records),

@@ -28,7 +28,10 @@ package engine
 import (
 	"container/heap"
 	"encoding/json"
+	"fmt"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -199,6 +202,31 @@ type Config struct {
 	// JournalSegmentBytes rotates journal segments at this size
 	// (default 8 MiB).
 	JournalSegmentBytes int64
+
+	// LifecycleBuffer enables pod-lifecycle tracing (DESIGN.md §4k) with
+	// a flight-recorder ring of this many events. LifecycleEvery samples
+	// one full per-pod timeline per this many pod IDs (ID-modulus
+	// sampling, so federation processes sample the same pods and their
+	// spans stitch into one trace). Both zero disables lifecycle tracing
+	// entirely: no recorder is built and the hot path pays one nil check.
+	LifecycleBuffer int
+	LifecycleEvery  int
+	// LifecycleRole names this process in stitched traces and Chrome
+	// exports (default "engine"; the daemon sets "partition-N" or
+	// "coordinator").
+	LifecycleRole string
+	// FlightWindow bounds the trailing window of lifecycle events an
+	// anomaly dump writes (default 10s).
+	FlightWindow time.Duration
+	// Anomaly trip thresholds for the flight recorder, evaluated once per
+	// tick when lifecycle tracing is on and DataDir is set: a shed spike
+	// (sheds observed within one tick), a commit-conflict storm
+	// (conflicts within one tick), and an fsync stall (latest group-fsync
+	// duration). Zero values take the defaults (64, 256, 50ms); negative
+	// values disable the individual trigger.
+	AnomalyShedSpike     int64
+	AnomalyConflictStorm int64
+	AnomalyFsyncStall    time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -222,6 +250,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 120
+	}
+	if c.LifecycleRole == "" {
+		c.LifecycleRole = "engine"
+	}
+	if c.FlightWindow <= 0 {
+		c.FlightWindow = 10 * time.Second
+	}
+	if c.AnomalyShedSpike == 0 {
+		c.AnomalyShedSpike = 64
+	}
+	if c.AnomalyConflictStorm == 0 {
+		c.AnomalyConflictStorm = 256
+	}
+	if c.AnomalyFsyncStall == 0 {
+		c.AnomalyFsyncStall = 50 * time.Millisecond
 	}
 	return c
 }
@@ -378,6 +421,15 @@ type Engine struct {
 	// rec is the sampled decision-trace recorder; nil when TraceEvery is 0
 	// so the scheduling path carries no tracing cost at all.
 	rec *obs.Recorder
+	// lc is the pod-lifecycle recorder (flight ring + sampled timelines +
+	// stage latency histograms); nil when LifecycleBuffer and
+	// LifecycleEvery are both 0, so the hot path pays one nil check.
+	lc *obs.Lifecycle
+	// anomaly trip baselines (event-loop goroutine only): last observed
+	// shed/conflict totals and per-reason wall-clock cooldowns.
+	anShed     int64
+	anConflict int64
+	anCool     map[string]time.Time
 	// hist is the rolling cluster-telemetry ring, fed once per tick.
 	hist *obs.History
 	// log receives lifecycle events; always non-nil (discarding by default).
@@ -461,6 +513,10 @@ func New(c *cluster.Cluster, factory SchedulerFactory, cfg Config) *Engine {
 	if cfg.TraceEvery > 0 {
 		e.rec = obs.NewRecorder(cfg.TraceBuffer, cfg.TraceEvery)
 	}
+	if cfg.LifecycleBuffer > 0 || cfg.LifecycleEvery > 0 {
+		e.lc = obs.NewLifecycle(cfg.LifecycleBuffer, cfg.LifecycleEvery, cfg.LifecycleRole)
+		e.anCool = make(map[string]time.Time, 4)
+	}
 	histCap := cfg.HistoryCap
 	if histCap <= 0 {
 		histCap = 2880
@@ -534,6 +590,11 @@ func (e *Engine) Now() int64 { return e.now.Load() }
 // Traces returns the decision-trace recorder, or nil when tracing is
 // disabled (Config.TraceEvery 0).
 func (e *Engine) Traces() *obs.Recorder { return e.rec }
+
+// Lifecycle returns the pod-lifecycle recorder, or nil when lifecycle
+// tracing is disabled (Config.LifecycleBuffer and LifecycleEvery both 0).
+// A nil *obs.Lifecycle is safe to call.
+func (e *Engine) Lifecycle() *obs.Lifecycle { return e.lc }
 
 // History returns the rolling cluster-telemetry ring.
 func (e *Engine) History() *obs.History { return e.hist }
@@ -627,6 +688,11 @@ func (e *Engine) submit(p *trace.Pod) error {
 	if p == nil || !p.Linked() {
 		return ErrNotLinked
 	}
+	// Lifecycle arrival stamp: one clock read, only when tracing is on.
+	var lt0 time.Time
+	if e.lc != nil {
+		lt0 = time.Now()
+	}
 	// Resolve the pod's quota leaf before any state is created: an
 	// unresolvable tenant is a hard reject, like an unlinked pod.
 	leaf := int32(-1)
@@ -667,6 +733,9 @@ func (e *Engine) submit(p *trace.Pod) error {
 	case nil:
 		e.queued.Add(1)
 		e.m.accepted.Add(1)
+		if e.lc != nil {
+			e.lc.Submitted(int64(p.ID), laneName(laneOf(p.SLO, false)), lt0, time.Now())
+		}
 		return nil
 	case ErrQueueFull:
 		e.recMu.Lock()
@@ -676,6 +745,9 @@ func (e *Engine) submit(p *trace.Pod) error {
 		if e.qt != nil {
 			e.qt.ReleaseAdmitted(leaf, p.Request)
 			e.qt.NoteShed(leaf)
+		}
+		if e.lc != nil {
+			e.lc.Shed(int64(p.ID), "backpressure", time.Now())
 		}
 		return ErrQueueFull
 	default: // ErrClosed
@@ -699,6 +771,9 @@ func (e *Engine) shedQuotaRec(rec *podRecord, p *trace.Pod, leaf int32) {
 	e.m.shedBySLO[sloIdx(p.SLO)].Add(1)
 	e.m.quotaShed.Add(1)
 	e.qt.NoteShed(leaf)
+	if e.lc != nil {
+		e.lc.Shed(int64(p.ID), "quota", time.Now())
+	}
 }
 
 // submitDurable is the journaled admission path. The OpAccept append runs
@@ -709,6 +784,10 @@ func (e *Engine) shedQuotaRec(rec *podRecord, p *trace.Pod, leaf int32) {
 func (e *Engine) submitDurable(p *trace.Pod) error {
 	if p == nil || !p.Linked() {
 		return ErrNotLinked
+	}
+	var lt0 time.Time
+	if e.lc != nil {
+		lt0 = time.Now()
 	}
 	leaf := int32(-1)
 	if e.qt != nil {
@@ -759,6 +838,9 @@ func (e *Engine) submitDurable(p *trace.Pod) error {
 	case nil:
 		e.queued.Add(1)
 		e.m.accepted.Add(1)
+		if e.lc != nil {
+			e.lc.Submitted(int64(p.ID), laneName(laneOf(p.SLO, false)), lt0, time.Now())
+		}
 		return nil
 	case ErrQueueFull:
 		if e.cfg.BlockOnFull {
@@ -783,6 +865,9 @@ func (e *Engine) submitDurable(p *trace.Pod) error {
 		}
 		if merr == nil {
 			e.jrAppend(journal.OpShed, now, int64(p.ID), shedBackpressure, 0, blob)
+		}
+		if e.lc != nil {
+			e.lc.Shed(int64(p.ID), "backpressure", time.Now())
 		}
 		return ErrQueueFull
 	default: // ErrClosed
@@ -884,6 +969,19 @@ func (e *Engine) Snapshot() Snapshot {
 	if e.qt != nil {
 		qs := e.qt.Snapshot()
 		sn.Quota = &qs
+	}
+	if e.lc != nil {
+		h := e.lc.StageHistogram(obs.StagePlaced)
+		sn.E2E = &E2ESummary{
+			Count:           h.Count(),
+			P50Ms:           1000 * h.Quantile(0.50),
+			P99Ms:           1000 * h.Quantile(0.99),
+			MeanMs:          1000 * h.Mean(),
+			QueueWaitMeanMs: 1000 * e.lc.StageHistogram(obs.StageQueueWait).Mean(),
+			SchedMeanMs:     1000 * e.lc.StageHistogram(obs.StageSched).Mean(),
+			CommitMeanMs:    1000 * e.lc.StageHistogram(obs.StageCommit).Mean(),
+			FsyncWaitMeanMs: 1000 * e.lc.StageHistogram(obs.StageFsyncWait).Mean(),
+		}
 	}
 	return sn
 }
@@ -1052,6 +1150,15 @@ func (e *Engine) processBatch(w *worker, items []item) {
 	}
 	w.batch = batch[:0]
 
+	if e.lc != nil {
+		// One clock read for the whole batch: every pod's queue wait ends
+		// at this dequeue.
+		deq := time.Now()
+		for _, it := range items {
+			e.lc.Dequeued(int64(it.pod.ID), laneName(laneOf(it.pod.SLO, it.displaced)), deq)
+		}
+	}
+
 	start := time.Now()
 	// Snapshot load: enter the epoch-read section, adopt the newest
 	// published shard views into the private view cluster, then score.
@@ -1157,12 +1264,29 @@ func (e *Engine) processBatch(w *worker, items []item) {
 	commitSpan := time.Since(c0)
 	e.m.commitNanos.Add(int64(commitSpan))
 
+	// Lifecycle attribution for the batch: the sched and commit spans are
+	// batch windows (each pod's share is the amortized perPod for the
+	// histograms); placements watch the journal's current LSN watermark,
+	// which is at or past each pod's OpPlace append, until the covering
+	// group fsync reports back through FsyncCovered.
+	var lcNow time.Time
+	var lcLSN uint64
+	if e.lc != nil {
+		lcNow = time.Now()
+		if e.jr != nil {
+			lcLSN = e.jr.LastLSN()
+		}
+	}
+
 	e.m.decision.observeN(perPod, int64(len(decisions)))
 	for i, d := range decisions {
 		dt := btr[d.Pod.ID]
 		if d.NodeID < 0 {
 			if dt != nil {
 				e.rec.Amend(dt, func(t *obs.DecisionTrace) { t.Now = now })
+			}
+			if e.lc != nil {
+				e.lc.SchedAttempt(int64(d.Pod.ID), 0, start, schedSpan, perPod, d.Reason.String())
 			}
 			if e.cfg.OnUnschedulable != nil {
 				e.reject(items[i], d.Reason, now)
@@ -1172,6 +1296,22 @@ func (e *Engine) processBatch(w *worker, items []item) {
 			continue
 		}
 		res := results[i]
+		if e.lc != nil {
+			e.lc.SchedAttempt(int64(d.Pod.ID), 0, start, schedSpan, perPod, "")
+			outcome := "placed"
+			switch res.Status {
+			case CommitConflictPlaced:
+				outcome = "conflict-placed"
+			case CommitConflictRejected:
+				outcome = "conflict-rejected"
+			case CommitStale:
+				outcome = "stale-rejected"
+			}
+			e.lc.Committed(int64(d.Pod.ID), 0, c0, commitSpan, outcome)
+			if res.Status == CommitPlaced || res.Status == CommitConflictPlaced {
+				e.lc.Placed(int64(d.Pod.ID), d.NodeID, lcNow, lcLSN)
+			}
+		}
 		if dt != nil {
 			e.rec.Amend(dt, func(t *obs.DecisionTrace) {
 				t.Now = now
@@ -1381,10 +1521,12 @@ func (e *Engine) fail(it item, reason sched.Reason, now int64) {
 		e.quotaPreempt(it, reason, now)
 	}
 	at := now
+	attempts := int32(0)
 	e.recMu.Lock()
 	if rec := e.recs[it.pod.ID]; rec != nil {
 		rec.attempts++
 		rec.reason = reason
+		attempts = int32(rec.attempts)
 		if b := e.cfg.Retry.Backoff(rec.attempts - 1); it.pod.SLO == trace.SLOBE && b > e.cfg.Tick {
 			at = now + b
 		} else {
@@ -1393,6 +1535,9 @@ func (e *Engine) fail(it item, reason sched.Reason, now int64) {
 	}
 	e.recMu.Unlock()
 	e.m.retries.Add(1)
+	if e.lc != nil {
+		e.lc.Retried(int64(it.pod.ID), attempts, reason.String(), time.Now())
+	}
 	e.wMu.Lock()
 	if e.jr != nil {
 		e.jrAppend(journal.OpFail, now, int64(it.pod.ID), int64(reason)|packFlag(it.displaced), at, nil)
@@ -1427,6 +1572,9 @@ func (e *Engine) reject(it item, reason sched.Reason, now int64) {
 	}
 	if e.qt != nil {
 		e.qt.ReleaseAdmitted(it.leaf, p.Request)
+	}
+	if e.lc != nil {
+		e.lc.Rejected(int64(p.ID), reason.String(), time.Now())
 	}
 	// The hook fires before the queued count drops: Drain cannot report
 	// the engine settled while a coordinator has not yet been told about
@@ -1724,6 +1872,71 @@ func (e *Engine) tick() {
 	if e.jr != nil && e.tickN%int64(e.cfg.CheckpointEvery) == 0 {
 		e.checkpoint()
 	}
+
+	if e.lc != nil {
+		e.checkAnomalies()
+	}
+}
+
+// checkAnomalies evaluates the flight-recorder trip wires once per tick,
+// after every store lock is released: a shed spike or commit-conflict
+// storm within the last tick, or a stalled group fsync. A trip dumps the
+// trailing FlightWindow of lifecycle events to the data dir (skipped,
+// with a log line, when the engine has none) under a per-reason
+// wall-clock cooldown so a sustained storm produces one dump, not one
+// per tick. Event-loop goroutine only.
+func (e *Engine) checkAnomalies() {
+	shed := e.m.quotaShed.Load()
+	for i := range e.m.shedBySLO {
+		shed += e.m.shedBySLO[i].Load()
+	}
+	conflicts := e.m.commitConflicts.Load()
+	dShed, dConf := shed-e.anShed, conflicts-e.anConflict
+	e.anShed, e.anConflict = shed, conflicts
+	if t := e.cfg.AnomalyShedSpike; t > 0 && dShed >= t {
+		e.dumpFlight("shed-spike", fmt.Sprintf("%d sheds in one tick (threshold %d)", dShed, t))
+	}
+	if t := e.cfg.AnomalyConflictStorm; t > 0 && dConf >= t {
+		e.dumpFlight("conflict-storm", fmt.Sprintf("%d commit conflicts in one tick (threshold %d)", dConf, t))
+	}
+	if t := e.cfg.AnomalyFsyncStall; t > 0 {
+		if d := time.Duration(e.lc.LastFsyncNanos()); d >= t {
+			e.dumpFlight("fsync-stall", fmt.Sprintf("last group fsync took %s (threshold %s)", d, t))
+		}
+	}
+}
+
+// anomalyCooldown spaces flight dumps per trip reason.
+const anomalyCooldown = 30 * time.Second
+
+// dumpFlight writes the flight ring's trailing window to
+// DataDir/flight-<reason>-<unixns>.json.
+func (e *Engine) dumpFlight(reason, detail string) {
+	now := time.Now()
+	if until, ok := e.anCool[reason]; ok && now.Before(until) {
+		return
+	}
+	e.anCool[reason] = now.Add(anomalyCooldown)
+	if e.cfg.DataDir == "" {
+		e.log.Warn("flight recorder tripped with no data dir; dump skipped",
+			"reason", reason, "detail", detail)
+		return
+	}
+	path := filepath.Join(e.cfg.DataDir, fmt.Sprintf("flight-%s-%d.json", reason, now.UnixNano()))
+	f, err := os.Create(path)
+	if err != nil {
+		e.log.Warn("flight dump failed", "reason", reason, "err", err)
+		return
+	}
+	werr := e.lc.WriteFlight(f, e.cfg.FlightWindow, reason, detail)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		e.log.Warn("flight dump failed", "reason", reason, "err", werr)
+		return
+	}
+	e.log.Warn("flight recorder dumped", "reason", reason, "detail", detail, "path", path)
 }
 
 // observeTick records the per-tick utilization sample, mirroring

@@ -1,0 +1,285 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"unisched/internal/cluster"
+	"unisched/internal/obs"
+)
+
+// TestLifecycleEngineTimeline drains a fixed-seed workload with full
+// lifecycle sampling and checks the recorder captured complete per-pod
+// journeys, the e2e summary landed in the snapshot, and the new latency
+// families reach the Prometheus page.
+func TestLifecycleEngineTimeline(t *testing.T) {
+	w := smallWorkload(t)
+	// Stay under the recorder's 1024-timeline cap: with every pod sampled,
+	// a bigger run FIFO-evicts early timelines (bounded memory by design)
+	// and this test wants complete journeys.
+	if len(w.Pods) > 512 {
+		w.Pods = w.Pods[:512]
+	}
+	e, sn := runEngine(t, w, Config{Workers: 1, LifecycleEvery: 1, LifecycleBuffer: 4096})
+	checkConservation(t, w, sn)
+
+	lc := e.Lifecycle()
+	if lc == nil {
+		t.Fatal("lifecycle recorder not built despite LifecycleEvery > 0")
+	}
+	if lc.Role() != "engine" {
+		t.Errorf("default role %q, want engine", lc.Role())
+	}
+
+	// Every placed pod fed the end-to-end histogram.
+	if got := lc.StageHistogram(obs.StagePlaced).Count(); got != sn.Placed {
+		t.Errorf("e2e histogram count %d, want placed %d", got, sn.Placed)
+	}
+	if sn.E2E == nil {
+		t.Fatal("snapshot has no e2e summary")
+	}
+	if sn.E2E.Count != sn.Placed {
+		t.Errorf("e2e summary count %d, want %d", sn.E2E.Count, sn.Placed)
+	}
+	if sn.E2E.P50Ms < 0 || sn.E2E.P99Ms < sn.E2E.P50Ms {
+		t.Errorf("e2e quantiles out of order: %+v", sn.E2E)
+	}
+	if sn.E2E.QueueWaitMeanMs < 0 || sn.E2E.SchedMeanMs < 0 || sn.E2E.CommitMeanMs < 0 {
+		t.Errorf("negative stage means: %+v", sn.E2E)
+	}
+
+	// Some placed pod has a complete sampled journey.
+	var full bool
+	for _, p := range w.Pods {
+		tl, ok := lc.Timeline(int64(p.ID))
+		if !ok {
+			continue
+		}
+		have := map[string]bool{}
+		for _, ev := range tl.Events {
+			have[ev.Stage] = true
+		}
+		if have[obs.StageSubmit] && have[obs.StageAdmission] && have[obs.StageQueueWait] &&
+			have[obs.StageSched] && have[obs.StageCommit] && have[obs.StagePlaced] {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Error("no pod recorded a complete submit-to-placed timeline")
+	}
+
+	// The new latency families reach the exposition and it stays valid.
+	var buf bytes.Buffer
+	if err := e.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, fam := range []string{
+		"unisched_pod_e2e_seconds_bucket",
+		"unisched_stage_queue_wait_seconds_count",
+		"unisched_stage_sched_seconds_count",
+		"unisched_stage_commit_seconds_count",
+		"unisched_stage_fsync_wait_seconds_count",
+		"unisched_lifecycle_events_total",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("exposition missing %s", fam)
+		}
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("exposition with lifecycle families invalid: %v", err)
+	}
+}
+
+// TestLifecycleOffIsInert pins the zero-cost-when-off contract's
+// observable half: no recorder is built, the snapshot has no e2e block,
+// and the exposition carries none of the lifecycle families.
+func TestLifecycleOffIsInert(t *testing.T) {
+	w := smallWorkload(t)
+	e, sn := runEngine(t, w, Config{Workers: 1})
+	checkConservation(t, w, sn)
+	if e.Lifecycle() != nil {
+		t.Fatal("lifecycle recorder built with tracing off")
+	}
+	if sn.E2E != nil {
+		t.Fatalf("snapshot carries e2e summary with tracing off: %+v", sn.E2E)
+	}
+	raw, err := json.Marshal(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"e2e"`) {
+		t.Error("snapshot JSON contains e2e key with tracing off")
+	}
+	var buf bytes.Buffer
+	if err := e.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "unisched_pod_e2e_seconds") {
+		t.Error("exposition contains lifecycle families with tracing off")
+	}
+}
+
+// TestLifecycleConcurrentWorkers drains with four workers and full
+// sampling — the race-detector target for the recorder's lock
+// discipline (flight ring, pending clocks, timelines, fsync watches all
+// hammered from worker goroutines and the event loop).
+func TestLifecycleConcurrentWorkers(t *testing.T) {
+	w := smallWorkload(t)
+	e, sn := runEngine(t, w, Config{Workers: 4, Shards: 8, LifecycleEvery: 1, LifecycleBuffer: 2048})
+	checkConservation(t, w, sn)
+	lc := e.Lifecycle()
+	if got := lc.StageHistogram(obs.StagePlaced).Count(); got != sn.Placed {
+		t.Errorf("e2e count %d, want placed %d", got, sn.Placed)
+	}
+	if lc.Total() == 0 {
+		t.Error("no lifecycle events recorded")
+	}
+	// Per-pod timelines must be internally start-ordered even when stages
+	// were recorded from different workers.
+	checked := 0
+	for _, p := range w.Pods {
+		tl, ok := lc.Timeline(int64(p.ID))
+		if !ok {
+			continue
+		}
+		for i := 1; i < len(tl.Events); i++ {
+			if tl.Events[i].StartNs < tl.Events[i-1].StartNs {
+				t.Fatalf("pod %d timeline unordered: %+v", p.ID, tl.Events)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no timelines recorded")
+	}
+}
+
+// TestLifecycleDurableFsyncStage drains a durable engine and checks
+// placements acquire journal-append and fsync-wait stages attributed
+// against the covering group fsync.
+func TestLifecycleDurableFsyncStage(t *testing.T) {
+	w := smallWorkload(t)
+	dir := t.TempDir()
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e, _, err := OpenDurable(c, alibabaFactory, Config{
+		Workers: 1, Horizon: w.Horizon, BlockOnFull: true,
+		DataDir: dir, FsyncEvery: time.Millisecond,
+		LifecycleEvery: 1, LifecycleBuffer: 2048,
+	}, w.LinkPod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			t.Fatalf("submit pod %d: %v", p.ID, err)
+		}
+	}
+	if !e.Drain(60 * time.Second) {
+		e.Stop()
+		t.Fatalf("engine did not settle: %+v", e.Snapshot())
+	}
+	e.Stop()
+	sn := e.Snapshot()
+	checkConservation(t, w, sn)
+
+	lc := e.Lifecycle()
+	fsyncs := lc.StageHistogram(obs.StageFsyncWait).Count()
+	if fsyncs == 0 {
+		t.Fatal("no fsync-wait spans recorded on a durable engine")
+	}
+	if fsyncs > sn.Placed {
+		t.Errorf("fsync-wait count %d above placed %d", fsyncs, sn.Placed)
+	}
+	if sn.E2E.FsyncWaitMeanMs < 0 {
+		t.Errorf("negative fsync-wait mean: %+v", sn.E2E)
+	}
+	var withFsync bool
+	for _, p := range w.Pods {
+		tl, ok := lc.Timeline(int64(p.ID))
+		if !ok {
+			continue
+		}
+		var appended, synced bool
+		for _, ev := range tl.Events {
+			if ev.Stage == obs.StageJournalAppend {
+				appended = true
+			}
+			if ev.Stage == obs.StageFsyncWait {
+				synced = true
+			}
+		}
+		if appended && synced {
+			withFsync = true
+			break
+		}
+	}
+	if !withFsync {
+		t.Error("no pod timeline carries journal-append + fsync-wait")
+	}
+}
+
+// TestLifecycleAnomalyFlightDump trips the shed-spike detector with a
+// tiny queue and checks the engine wrote a flight-recorder dump into the
+// data dir.
+func TestLifecycleAnomalyFlightDump(t *testing.T) {
+	w := smallWorkload(t)
+	dir := t.TempDir()
+	c := cluster.New(w.Nodes, cluster.DefaultPhysics())
+	e := New(c, alibabaFactory, Config{
+		Workers: 1, Horizon: w.Horizon, QueueCap: 4,
+		DataDir:          dir,
+		LifecycleEvery:   1,
+		LifecycleBuffer:  2048,
+		AnomalyShedSpike: 8,
+		// Keep the other detectors out of the way.
+		AnomalyConflictStorm: -1, AnomalyFsyncStall: -1,
+	})
+	e.Start()
+	shed := 0
+	for _, p := range w.Pods {
+		if err := e.Submit(p); err != nil {
+			shed++
+		}
+	}
+	if shed < 16 {
+		e.Stop()
+		t.Skipf("only %d sheds; spike detector not exercised", shed)
+	}
+	// The detector runs on the engine tick; give it time to fire.
+	deadline := time.Now().Add(10 * time.Second)
+	var dumps []string
+	for time.Now().Before(deadline) {
+		m, _ := filepath.Glob(filepath.Join(dir, "flight-shed-spike-*.json"))
+		if len(m) > 0 {
+			dumps = m
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	e.Stop()
+	if len(dumps) == 0 {
+		t.Fatalf("no flight dump written after %d sheds", shed)
+	}
+	raw, err := os.ReadFile(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("flight dump not valid JSON: %v", err)
+	}
+	if dump.Reason != "shed-spike" {
+		t.Errorf("dump reason %q, want shed-spike", dump.Reason)
+	}
+	if len(dump.Events) == 0 {
+		t.Error("flight dump carries no events")
+	}
+}

@@ -283,6 +283,25 @@ type Snapshot struct {
 	// Recovery describes the crash recovery that built this engine; nil
 	// for engines that started fresh.
 	Recovery *RecoveryStats `json:"recovery,omitempty"`
+
+	// E2E summarizes the end-to-end submit→placed wall latency from the
+	// lifecycle recorder; nil when lifecycle tracing is off.
+	E2E *E2ESummary `json:"e2e,omitempty"`
+}
+
+// E2ESummary is the wall-clock end-to-end placement-latency summary
+// (lifecycle recorder's e2e histogram) plus its stage means, so a client
+// can sanity-check its own observed latencies against the server's
+// attribution (loadgen -latency-check does exactly this).
+type E2ESummary struct {
+	Count           int64   `json:"count"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	MeanMs          float64 `json:"mean_ms"`
+	QueueWaitMeanMs float64 `json:"queue_wait_mean_ms"`
+	SchedMeanMs     float64 `json:"sched_mean_ms"`
+	CommitMeanMs    float64 `json:"commit_mean_ms"`
+	FsyncWaitMeanMs float64 `json:"fsync_wait_mean_ms"`
 }
 
 // Lost returns the number of submissions unaccounted for — zero on a

@@ -132,6 +132,20 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if e.lc != nil {
+		emitStageHist(x, e.lc, obs.StagePlaced, "unisched_pod_e2e_seconds",
+			"End-to-end wall latency from submit to placement.")
+		emitStageHist(x, e.lc, obs.StageQueueWait, "unisched_stage_queue_wait_seconds",
+			"Wall time pods spent waiting in the admission queue (per dequeue).")
+		emitStageHist(x, e.lc, obs.StageSched, "unisched_stage_sched_seconds",
+			"Per-pod share of the zero-lock scheduling pass.")
+		emitStageHist(x, e.lc, obs.StageCommit, "unisched_stage_commit_seconds",
+			"Batched commit-validation window covering each decision.")
+		emitStageHist(x, e.lc, obs.StageFsyncWait, "unisched_stage_fsync_wait_seconds",
+			"Wall time from journal append to the covering group fsync.")
+		x.Counter("unisched_lifecycle_events_total", "Lifecycle events recorded to the flight ring.", float64(e.lc.Total()))
+	}
+
 	if e.rec != nil {
 		started, committed := e.rec.Counts()
 		x.Counter("unisched_traces_started_total", "Decision traces sampled.", float64(started))
@@ -141,6 +155,13 @@ func (e *Engine) WritePrometheus(w io.Writer) error {
 	x.Gauge("unisched_history_samples", "Cluster-telemetry samples currently retained.", float64(e.hist.Len()))
 
 	return x.Flush()
+}
+
+// emitStageHist writes one lifecycle stage histogram as a Prometheus
+// histogram family.
+func emitStageHist(x *obs.Exposition, lc *obs.Lifecycle, stage, name, help string) {
+	bounds, cum, sum, total := lc.StageHistogram(stage).Export()
+	x.Histogram(name, help, bounds, cum, sum, total)
 }
 
 // emitBySLO writes one sample per SLO class in stable (index) order.

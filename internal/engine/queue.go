@@ -46,6 +46,20 @@ func laneOf(slo trace.SLO, displaced bool) int {
 	}
 }
 
+// laneName labels the priority lanes for lifecycle events and exports.
+func laneName(lane int) string {
+	switch lane {
+	case 0:
+		return "lsr"
+	case 1:
+		return "ls"
+	case 2:
+		return "default"
+	default:
+		return "be"
+	}
+}
+
 // item is one queued scheduling request.
 type item struct {
 	pod *trace.Pod

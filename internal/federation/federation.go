@@ -20,12 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"unisched/internal/cluster"
 	"unisched/internal/engine"
+	"unisched/internal/obs"
 	"unisched/internal/sched"
 	"unisched/internal/trace"
 )
@@ -163,6 +165,20 @@ type Coordinator struct {
 	shedOrphan     int64 // give-ups with no surviving partition record
 	rebalanced     int64 // nodes migrated between partitions
 
+	// Remote submit failures by HTTP status class (RemoteError; local
+	// partitions never produce these). 429/503/409 are the statuses a
+	// partition daemon emits under backpressure, load-shedding middleware,
+	// and dedup; everything else lands in remoteOther.
+	remote429   int64
+	remote503   int64
+	remote409   int64
+	remoteOther int64
+
+	// lc records the coordinator's own lifecycle events (route spans and
+	// spillover hops) for stitched traces; nil when the engine config has
+	// lifecycle tracing off.
+	lc *obs.Lifecycle
+
 	start   time.Time
 	stopped bool
 	stopCh  chan struct{}
@@ -199,8 +215,18 @@ func newCoordinator(cfg Config) *Coordinator {
 		stopCh: make(chan struct{}),
 	}
 	co.cond = sync.NewCond(&co.mu)
+	if cfg.Engine.LifecycleBuffer > 0 || cfg.Engine.LifecycleEvery > 0 {
+		// The coordinator shares the partitions' lifecycle config: same
+		// ID-modulus sampling, so both sides of the federation record the
+		// same pods and the traces stitch.
+		co.lc = obs.NewLifecycle(cfg.Engine.LifecycleBuffer, cfg.Engine.LifecycleEvery, "coordinator")
+	}
 	return co
 }
+
+// Lifecycle returns the coordinator's lifecycle recorder (nil when
+// lifecycle tracing is off; a nil *obs.Lifecycle is safe to call).
+func (co *Coordinator) Lifecycle() *obs.Lifecycle { return co.lc }
 
 // buildPartition constructs one in-process partition engine. dataDir
 // non-empty makes it durable (Open path).
@@ -367,12 +393,38 @@ func (co *Coordinator) dispatchLocked(rec *fedRecord) error {
 		co.sinceRefresh++
 		part := co.parts[pi]
 		co.mu.Unlock()
+		var rt0 time.Time
+		if co.lc != nil {
+			rt0 = time.Now()
+		}
 		err := part.Submit(rec.pod)
+		var rt1 time.Time
+		if co.lc != nil {
+			rt1 = time.Now()
+		}
 		co.mu.Lock()
+		if err != nil {
+			var re *RemoteError
+			if errors.As(err, &re) {
+				switch re.Status {
+				case http.StatusTooManyRequests:
+					co.remote429++
+				case http.StatusServiceUnavailable:
+					co.remote503++
+				case http.StatusConflict:
+					co.remote409++
+				default:
+					co.remoteOther++
+				}
+			}
+		}
 		switch {
 		case err == nil:
 			// rec.state may already have moved to frRespill/frShed via a
 			// racing reject; leave it alone.
+			if co.lc != nil {
+				co.lc.Routed(int64(rec.pod.ID), pi, rt0, rt1)
+			}
 			return nil
 		case errors.Is(err, engine.ErrQueueFull):
 			// The partition recorded a shed. Spill to the next partition if
@@ -381,11 +433,17 @@ func (co *Coordinator) dispatchLocked(rec *fedRecord) error {
 			if rec.hops >= co.cfg.MaxHops || co.untriedLocked(rec) == 0 {
 				rec.state = frShed
 				co.fedShed++
+				if co.lc != nil {
+					co.lc.Shed(int64(rec.pod.ID), "federation: spill budget exhausted", rt1)
+				}
 				return engine.ErrQueueFull
 			}
 			rec.hops++
 			co.spills++
 			co.exclShed++
+			if co.lc != nil {
+				co.lc.Spilled(int64(rec.pod.ID), pi, "queue full", rt1)
+			}
 		case errors.Is(err, engine.ErrDuplicate):
 			// The partition already knows this pod (recovery resubmission).
 			// A live record there is the authority; a reject spills on.
@@ -400,6 +458,9 @@ func (co *Coordinator) dispatchLocked(rec *fedRecord) error {
 				rec.hops++
 				co.spills++
 				co.exclRejected++
+				if co.lc != nil {
+					co.lc.Spilled(int64(rec.pod.ID), pi, "rejected", rt1)
+				}
 				continue
 			}
 			rec.state = frActive
@@ -433,6 +494,9 @@ func (co *Coordinator) onReject(pi, podID int, reason string) {
 	co.exclRejected++
 	co.respillQueued++
 	co.respill = append(co.respill, rec)
+	if co.lc != nil {
+		co.lc.Spilled(int64(podID), pi, reason, time.Now())
+	}
 	co.cond.Signal()
 }
 

@@ -30,6 +30,19 @@ func (co *Coordinator) WritePrometheus(w io.Writer) error {
 	x.Counter("unisched_federation_rebalanced_nodes_total", "Nodes migrated between partitions by the rebalancer.", float64(sn.Rebalanced))
 	x.Counter("unisched_federation_commit_conflicts_total", "Optimistic-commit conflicts, all partitions.", float64(sn.CommitConflicts))
 
+	x.Family("unisched_federation_remote_errors_total", "Remote partition submit failures, by HTTP status class.", "counter")
+	for _, rc := range []struct {
+		status string
+		v      int64
+	}{{"429", sn.Remote429}, {"503", sn.Remote503}, {"409", sn.Remote409}, {"other", sn.RemoteOther}} {
+		x.Sample("unisched_federation_remote_errors_total", []obs.Label{{Name: "status", Value: rc.status}}, float64(rc.v))
+	}
+
+	if co.lc != nil {
+		bounds, cum, rsum, rtotal := co.lc.StageHistogram(obs.StageRoute).Export()
+		x.Histogram("unisched_federation_route_seconds", "Coordinator routing latency: digest fit selection plus the backend submit round trip.", bounds, cum, rsum, rtotal)
+	}
+
 	x.Gauge("unisched_federation_respill_queued", "Pods waiting in the coordinator's re-dispatch queue.", float64(sn.RespillQueued))
 	x.Gauge("unisched_federation_queue_depth", "Summed partition admission-queue depth.", float64(sn.QueueDepth))
 	x.Gauge("unisched_federation_pending", "Accepted pods not yet placed or shed, federation-wide.", float64(sn.Pending))

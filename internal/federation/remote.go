@@ -10,8 +10,36 @@ import (
 	"time"
 
 	"unisched/internal/engine"
+	"unisched/internal/obs"
 	"unisched/internal/trace"
 )
+
+// RemoteError reports a remote partition's HTTP response status for a
+// failed submit. It unwraps to the matching engine sentinel (429 →
+// ErrQueueFull, 409 → ErrDuplicate) so the coordinator's errors.Is
+// dispatch is untouched, while errors.As(&RemoteError{}) lets the
+// coordinator count remote failures by status class.
+type RemoteError struct {
+	Status int
+	URL    string
+	PodID  int
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("federation: %s: submit pod %d: HTTP %d", e.URL, e.PodID, e.Status)
+}
+
+// Unwrap maps the remote status back onto the engine sentinel the local
+// dispatch path expects.
+func (e *RemoteError) Unwrap() error {
+	switch e.Status {
+	case http.StatusTooManyRequests:
+		return engine.ErrQueueFull
+	case http.StatusConflict:
+		return engine.ErrDuplicate
+	}
+	return nil
+}
 
 // RejectsPage is the wire format of a partition daemon's reject cursor
 // (GET /v1/federation/rejects?after=SEQ): the rejects recorded after the
@@ -71,28 +99,31 @@ func (b *HTTPBackend) Start() {}
 // Stop is a no-op: stopping the coordinator must not kill partitions.
 func (b *HTTPBackend) Stop() {}
 
-// Submit posts the pod to the partition, translating the daemon's status
-// codes back into the engine's sentinel errors (202 accepted, 429 queue
-// full, 409 duplicate).
+// Submit posts the pod to the partition with the coordinator's trace
+// context in the Traceparent header (so a sampled pod's partition-side
+// lifecycle events stitch into the coordinator's trace), translating the
+// daemon's status codes into RemoteErrors that unwrap to the engine's
+// sentinel errors (202 accepted, 429 queue full, 409 duplicate).
 func (b *HTTPBackend) Submit(p *trace.Pod) error {
 	body, err := json.Marshal(p)
 	if err != nil {
 		return err
 	}
-	resp, err := b.client().Post(b.BaseURL+"/v1/pods", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, b.BaseURL+"/v1/pods", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceParentHeader, obs.DeriveTraceContext(int64(p.ID), "coordinator").String())
+	resp, err := b.client().Do(req)
 	if err != nil {
 		return err
 	}
 	defer drainClose(resp.Body)
-	switch resp.StatusCode {
-	case http.StatusAccepted:
+	if resp.StatusCode == http.StatusAccepted {
 		return nil
-	case http.StatusTooManyRequests:
-		return engine.ErrQueueFull
-	case http.StatusConflict:
-		return engine.ErrDuplicate
 	}
-	return fmt.Errorf("federation: %s: submit pod %d: HTTP %d", b.BaseURL, p.ID, resp.StatusCode)
+	return &RemoteError{Status: resp.StatusCode, URL: b.BaseURL, PodID: p.ID}
 }
 
 // Digest fetches the partition's routing digest.

@@ -1,0 +1,122 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"unisched/internal/engine"
+	"unisched/internal/trace"
+)
+
+// newStatusServer fakes a partition daemon whose POST /v1/pods always
+// answers the given status. The read-only endpoints answer just enough
+// for the coordinator's digest refresh and snapshot merge.
+func newStatusServer(t *testing.T, status int) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/pods", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(status)
+	})
+	mux.HandleFunc("GET /v1/federation/digest", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(engine.Digest{})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(engine.Snapshot{})
+	})
+	mux.HandleFunc("GET /v1/pods/{id}", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "unknown pod", http.StatusNotFound)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRemoteErrorCounters drives one submission into partitions that
+// answer each failure status and checks the coordinator counts them in
+// distinct buckets, surfaces them in the merged snapshot, and maps each
+// onto the right dispatch outcome.
+func TestRemoteErrorCounters(t *testing.T) {
+	cases := []struct {
+		name    string
+		status  int
+		wantErr error // nil means "some non-nil error" when errAny is set
+		errAny  bool
+		count   func(sn Snapshot) int64
+	}{
+		{"queue full 429", http.StatusTooManyRequests, engine.ErrQueueFull, false,
+			func(sn Snapshot) int64 { return sn.Remote429 }},
+		{"unavailable 503", http.StatusServiceUnavailable, nil, true,
+			func(sn Snapshot) int64 { return sn.Remote503 }},
+		{"duplicate 409", http.StatusConflict, nil, false,
+			func(sn Snapshot) int64 { return sn.Remote409 }},
+		{"other 500", http.StatusInternalServerError, nil, true,
+			func(sn Snapshot) int64 { return sn.RemoteOther }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := newStatusServer(t, tc.status)
+			co, err := NewRemote([]string{srv.URL}, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := &trace.Pod{ID: 1, Submit: 0, Lifetime: 60}
+			err = co.Submit(p)
+			switch {
+			case tc.errAny:
+				if err == nil {
+					t.Fatalf("Submit returned nil, want an error for HTTP %d", tc.status)
+				}
+			case tc.wantErr != nil:
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("Submit returned %v, want %v", err, tc.wantErr)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("Submit returned %v, want nil", err)
+				}
+			}
+			sn := co.Snapshot()
+			if got := tc.count(sn); got != 1 {
+				t.Errorf("HTTP %d counted %d, want 1 (snapshot %+v)", tc.status, got, sn)
+			}
+			var others int64
+			for _, f := range cases {
+				if f.status != tc.status {
+					others += f.count(sn)
+				}
+			}
+			if others != 0 {
+				t.Errorf("HTTP %d leaked into other buckets: %+v", tc.status, sn)
+			}
+		})
+	}
+}
+
+// TestRemoteErrorExposition checks the status-labelled counter family
+// reaches the merged Prometheus page.
+func TestRemoteErrorExposition(t *testing.T) {
+	srv := newStatusServer(t, http.StatusServiceUnavailable)
+	co, err := NewRemote([]string{srv.URL}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Submit(&trace.Pod{ID: 7, Lifetime: 60}); err == nil {
+		t.Fatal("Submit to a 503 partition returned nil")
+	}
+	var buf bytes.Buffer
+	if err := co.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `unisched_federation_remote_errors_total{status="503"} 1`) {
+		t.Errorf("exposition missing 503 sample:\n%s", out)
+	}
+	if !strings.Contains(out, `unisched_federation_remote_errors_total{status="429"} 0`) {
+		t.Errorf("exposition missing zero-valued 429 sample:\n%s", out)
+	}
+}

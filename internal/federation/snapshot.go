@@ -34,6 +34,14 @@ type Snapshot struct {
 	RespillQueued int64 `json:"respill_queued"`
 	Rebalanced    int64 `json:"rebalanced_nodes"`
 
+	// Remote submit failures by HTTP status class, counted by the
+	// coordinator when a partition daemon's response was not 202. Always
+	// zero with in-process partitions.
+	Remote429   int64 `json:"remote_429,omitempty"`
+	Remote503   int64 `json:"remote_503,omitempty"`
+	Remote409   int64 `json:"remote_409,omitempty"`
+	RemoteOther int64 `json:"remote_other,omitempty"`
+
 	CommitConflicts int64 `json:"commit_conflicts"`
 
 	QueueDepth int `json:"queue_depth"`
@@ -108,6 +116,10 @@ func (co *Coordinator) Snapshot() Snapshot {
 	sn.FedShed = co.fedShed
 	sn.RespillQueued = co.respillQueued
 	sn.Rebalanced = co.rebalanced
+	sn.Remote429 = co.remote429
+	sn.Remote503 = co.remote503
+	sn.Remote409 = co.remote409
+	sn.RemoteOther = co.remoteOther
 	// Merge corrections: pods owned by the coordinator count as queued;
 	// superseded partition records come out of their buckets; terminal
 	// rejects the coordinator gave up on become federation sheds.

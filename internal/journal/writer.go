@@ -35,6 +35,12 @@ type Journal struct {
 	// segLast maps a closed segment index to the last LSN it holds, so
 	// checkpoint GC can drop segments fully covered by a checkpoint.
 	segLast map[int]uint64
+	// onSync, when set, observes every completed fsync: upTo is the LSN
+	// watermark the sync made durable, start/dur the fsync's wall window.
+	// Called under the journal lock — it must be fast and must not call
+	// back into the journal. Lifecycle tracing uses it to close
+	// fsync-wait spans for placed pods.
+	onSync func(upTo uint64, start time.Time, dur time.Duration)
 
 	records     atomic.Int64
 	bytes       atomic.Int64
@@ -160,10 +166,23 @@ func (j *Journal) syncLocked() error {
 	if err := j.f.Sync(); err != nil {
 		return err
 	}
-	j.hist.observe(time.Since(t0))
+	dur := time.Since(t0)
+	j.hist.observe(dur)
 	j.fsyncs.Add(1)
 	j.dirty = false
+	if j.onSync != nil {
+		j.onSync(j.lastLSN, t0, dur)
+	}
 	return nil
+}
+
+// SetOnSync installs the fsync observer (see the field's contract: it
+// runs under the journal lock and must not re-enter the journal). Set it
+// before concurrent appends begin.
+func (j *Journal) SetOnSync(fn func(upTo uint64, start time.Time, dur time.Duration)) {
+	j.mu.Lock()
+	j.onSync = fn
+	j.mu.Unlock()
 }
 
 // Sync forces an immediate flush + fsync of all appended records.

@@ -2,21 +2,37 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"strconv"
+	"strings"
 )
 
 // chromeEvent is one Chrome trace-event (the "Trace Event Format" JSON
 // array form understood by chrome://tracing and Perfetto). Durations are
-// "complete" events (ph "X") with microsecond ts/dur.
+// "complete" events (ph "X") with microsecond ts/dur; metadata events
+// (ph "M") name the process/thread rows.
 type chromeEvent struct {
 	Name string         `json:"name"`
-	Cat  string         `json:"cat"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	TS   float64        `json:"ts"`
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
-	TID  int            `json:"tid"`
+	TID  int64          `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// processNameEvent labels a pid row so merged multi-process traces show
+// process names instead of bare pids.
+func processNameEvent(pid int, name string) chromeEvent {
+	return chromeEvent{Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name}}
+}
+
+func threadNameEvent(pid int, tid int64, name string) chromeEvent {
+	return chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name}}
 }
 
 // WriteChromeTrace renders decision traces as a Chrome trace-event JSON
@@ -24,8 +40,14 @@ type chromeEvent struct {
 // attempt, with nested per-stage slices beneath it. Each pod gets its own
 // thread row so concurrent worker activity lays out as parallel lanes.
 func WriteChromeTrace(w io.Writer, traces []DecisionTrace) error {
-	events := make([]chromeEvent, 0, len(traces)*4)
+	events := make([]chromeEvent, 0, len(traces)*4+1)
+	events = append(events, processNameEvent(1, "unisched scheduler"))
+	named := make(map[int64]bool, len(traces))
 	for _, dt := range traces {
+		if tid := int64(dt.PodID); !named[tid] {
+			named[tid] = true
+			events = append(events, threadNameEvent(1, tid, fmt.Sprintf("pod %d", dt.PodID)))
+		}
 		args := map[string]any{
 			"pod":     dt.PodID,
 			"app":     dt.App,
@@ -56,7 +78,7 @@ func WriteChromeTrace(w io.Writer, traces []DecisionTrace) error {
 			TS:   float64(dt.StartNs) / 1e3,
 			Dur:  float64(dt.TotalNs) / 1e3,
 			PID:  1,
-			TID:  dt.PodID,
+			TID:  int64(dt.PodID),
 			Args: args,
 		})
 		for _, sp := range dt.Spans {
@@ -67,7 +89,84 @@ func WriteChromeTrace(w io.Writer, traces []DecisionTrace) error {
 				TS:   float64(sp.StartNs) / 1e3,
 				Dur:  float64(sp.DurNs) / 1e3,
 				PID:  1,
-				TID:  dt.PodID,
+				TID:  int64(dt.PodID),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// ChromePID maps a process role to its stable Chrome-trace pid: the
+// coordinator is always pid 1 and partition i pid i+2, so repeated
+// exports of the same federation line up row-for-row.
+func ChromePID(process string) int {
+	if process == "coordinator" {
+		return 1
+	}
+	if rest, ok := strings.CutPrefix(process, "partition-"); ok {
+		if i, err := strconv.Atoi(rest); err == nil && i >= 0 {
+			return i + 2
+		}
+	}
+	return 0 // unknown; caller assigns
+}
+
+// WriteMergedChromeTrace renders per-process timeline docs (one
+// coordinator + N partitions, same pod) as a single multi-process Chrome
+// trace. Each process keeps a stable pid (ChromePID) labelled by a
+// process_name metadata event; event timestamps are re-anchored to the
+// earliest process epoch via each doc's EpochUnixNs so cross-process
+// spans align on one axis.
+func WriteMergedChromeTrace(w io.Writer, docs []TimelineDoc) error {
+	var t0 int64
+	for i, d := range docs {
+		if i == 0 || d.EpochUnixNs < t0 {
+			t0 = d.EpochUnixNs
+		}
+	}
+	events := make([]chromeEvent, 0, 16)
+	nextPID := 1000
+	for _, d := range docs {
+		pid := ChromePID(d.Process)
+		if pid == 0 {
+			pid = nextPID
+			nextPID++
+		}
+		name := d.Process
+		if name == "" {
+			name = fmt.Sprintf("process %d", pid)
+		}
+		events = append(events, processNameEvent(pid, name))
+		named := make(map[int64]bool, 4)
+		base := d.EpochUnixNs - t0
+		for _, ev := range d.Events {
+			if !named[ev.PodID] {
+				named[ev.PodID] = true
+				events = append(events, threadNameEvent(pid, ev.PodID, fmt.Sprintf("pod %d", ev.PodID)))
+			}
+			args := map[string]any{"pod": ev.PodID}
+			if ev.Lane != "" {
+				args["lane"] = ev.Lane
+			}
+			if ev.Attempt > 0 {
+				args["attempt"] = ev.Attempt
+			}
+			if ev.Detail != "" {
+				args["detail"] = ev.Detail
+			}
+			if d.Trace != "" {
+				args["trace"] = d.Trace
+			}
+			events = append(events, chromeEvent{
+				Name: ev.Stage,
+				Cat:  "lifecycle",
+				Ph:   "X",
+				TS:   float64(base+ev.StartNs) / 1e3,
+				Dur:  float64(ev.DurNs) / 1e3,
+				PID:  pid,
+				TID:  ev.PodID,
+				Args: args,
 			})
 		}
 	}

@@ -1,0 +1,812 @@
+package obs
+
+// Distributed pod-lifecycle tracing: every stage of a pod's journey —
+// submit → route/spillover (federation) → admission+quota gate → queue
+// wait per SLO lane → sched attempts with conflict retries → batched
+// commit → journal append/fsync — is stamped against one per-process
+// monotonic epoch and stitched across processes by a W3C-style
+// trace-context header riding the federation JSON API. The same
+// invariant as the decision recorder holds: a nil *Lifecycle is a valid
+// disabled recorder, every method on it returns immediately, and callers
+// pay one nil-check branch when tracing is off.
+//
+// The recorder is three structures behind one mutex discipline:
+//
+//   - the flight ring: a bounded circular buffer of LifecycleEvent
+//     values (no per-event allocation once warm) holding the most recent
+//     events for every pod — the always-on flight recorder an anomaly
+//     dump drains;
+//   - per-pod clocks: submit/enqueue wall stamps for every in-flight
+//     pod, feeding the end-to-end and stage latency histograms;
+//   - sampled timelines: full per-pod event lists for pods with
+//     ID % every == 0 — ID-based so a coordinator and its partitions
+//     sample the *same* pods and their events stitch into one trace.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lifecycle stage names. StartNs/DurNs semantics per stage are noted in
+// DESIGN.md §4k; all are wall-clock (monotonic) offsets from the
+// recorder's epoch.
+const (
+	StageSubmit        = "submit"         // arrival marker (dur 0)
+	StageRoute         = "route"          // coordinator fit-routing + backend submit
+	StageSpill         = "spillover"      // coordinator re-dispatch hop
+	StageAdmission     = "admission"      // dedup + quota gate, submit → enqueue
+	StageQueueWait     = "queue-wait"     // enqueue → worker dequeue, per SLO lane
+	StageSched         = "sched"          // zero-lock scoring pass (batch window)
+	StageCommit        = "commit"         // batched commit validation (batch window)
+	StageRetry         = "retry"          // failed attempt parked for backoff
+	StageReject        = "reject"         // fail-fast withdrawal (spills back)
+	StageShed          = "shed"           // terminal backpressure/quota shed
+	StagePlaced        = "placed"         // terminal: submit → placement (end-to-end)
+	StageJournalAppend = "journal-append" // OpPlace appended (awaiting group fsync)
+	StageFsyncWait     = "fsync-wait"     // append → covering group fsync completion
+)
+
+// TraceParentHeader is the HTTP header carrying the trace context through
+// the federation JSON API, W3C trace-context style:
+// "00-<32 hex trace-id>-<16 hex span-id>-01".
+const TraceParentHeader = "Traceparent"
+
+// TraceContext identifies one distributed trace (the pod's journey) and
+// the sending process's span within it.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+}
+
+// splitmix64 is the deterministic ID mixer (public-domain constants):
+// trace IDs must be stable under a fixed seed so two runs of the same
+// workload produce identical stitched timelines.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveTraceContext builds the deterministic context for one pod: the
+// trace ID is a pure function of the pod ID (so every process that sees
+// the pod derives the same trace), the span ID a pure function of pod ID
+// and role ("coordinator", "partition-0", ...), so each process
+// contributes a distinct span to the same trace.
+func DeriveTraceContext(podID int64, role string) TraceContext {
+	var tc TraceContext
+	hi := splitmix64(uint64(podID))
+	lo := splitmix64(hi ^ 0xa5a5a5a5a5a5a5a5)
+	if hi == 0 && lo == 0 {
+		lo = 1
+	}
+	for i := 0; i < 8; i++ {
+		tc.TraceID[i] = byte(hi >> (56 - 8*i))
+		tc.TraceID[8+i] = byte(lo >> (56 - 8*i))
+	}
+	sp := splitmix64(uint64(podID))
+	for _, c := range []byte(role) {
+		sp = splitmix64(sp ^ uint64(c))
+	}
+	if sp == 0 {
+		sp = 1
+	}
+	for i := 0; i < 8; i++ {
+		tc.SpanID[i] = byte(sp >> (56 - 8*i))
+	}
+	return tc
+}
+
+// Valid reports whether the context carries a non-zero trace ID.
+func (tc TraceContext) Valid() bool { return tc.TraceID != [16]byte{} }
+
+// String renders the W3C traceparent form (version 00, sampled flag 01).
+func (tc TraceContext) String() string {
+	return fmt.Sprintf("00-%032x-%016x-01", tc.TraceID, tc.SpanID)
+}
+
+// TraceIDString is the 32-hex-digit trace ID alone.
+func (tc TraceContext) TraceIDString() string { return fmt.Sprintf("%032x", tc.TraceID) }
+
+// ParseTraceParent parses a traceparent header value. It accepts any
+// version byte (per the W3C spec, unknown versions parse as version 00)
+// and rejects all-zero trace or span IDs.
+func ParseTraceParent(s string) (TraceContext, bool) {
+	var tc TraceContext
+	// version(2) - traceid(32) - spanid(16) - flags(2)
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, false
+	}
+	if !hexDecode(tc.TraceID[:], s[3:35]) || !hexDecode(tc.SpanID[:], s[36:52]) {
+		return tc, false
+	}
+	if !tc.Valid() || tc.SpanID == [8]byte{} {
+		return tc, false
+	}
+	return tc, true
+}
+
+func hexDecode(dst []byte, s string) bool {
+	if len(s) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// LifecycleEvent is one stage of one pod's journey. StartNs is
+// nanoseconds since the recorder's epoch (one monotonic clock per
+// process); DurNs the stage's duration.
+type LifecycleEvent struct {
+	PodID   int64  `json:"pod"`
+	Stage   string `json:"stage"`
+	Lane    string `json:"lane,omitempty"`
+	Attempt int32  `json:"attempt,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// PodTimeline is the full recorded journey of one sampled pod within one
+// process.
+type PodTimeline struct {
+	PodID int64 `json:"pod"`
+	// Trace is the stitched trace context; Parent the span ID of the
+	// upstream process (zero when this process originated the trace).
+	Trace  TraceContext     `json:"-"`
+	Parent [8]byte          `json:"-"`
+	Events []LifecycleEvent `json:"events"`
+}
+
+// TimelineDoc is the wire form of one process's contribution to a
+// stitched timeline (GET /v1/debug/pods/{id}/timeline).
+type TimelineDoc struct {
+	// Process names the contributing process ("coordinator",
+	// "partition-0", ...); it becomes the Chrome trace process_name.
+	Process string `json:"process"`
+	// EpochUnixNs anchors the process's monotonic StartNs offsets to the
+	// wall clock so a merged export can align processes.
+	EpochUnixNs int64            `json:"epoch_unix_ns"`
+	Trace       string           `json:"trace,omitempty"`
+	Span        string           `json:"span,omitempty"`
+	ParentSpan  string           `json:"parent_span,omitempty"`
+	Events      []LifecycleEvent `json:"events"`
+}
+
+// StitchedTimeline is the coordinator's merged view: its own route spans
+// plus every partition's stages, one trace ID across all of them.
+type StitchedTimeline struct {
+	Pod       int64         `json:"pod"`
+	Trace     string        `json:"trace,omitempty"`
+	Processes []TimelineDoc `json:"processes"`
+}
+
+// Latency-histogram geometry, shared with the engine's decision
+// histogram: power-of-two bounds from 1 µs to ~34 s.
+const (
+	latencyBase    = 1000 // 1 µs in ns
+	latencyBuckets = 26
+)
+
+// LatencyHist is a lock-free log-scale latency histogram, the shared
+// building block behind the end-to-end and per-stage placement-latency
+// series (engine) and the route-latency series (federation coordinator).
+type LatencyHist struct {
+	buckets [latencyBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one latency sample.
+func (h *LatencyHist) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for bound := int64(latencyBase); b < latencyBuckets-1 && ns > bound; b++ {
+		bound *= 2
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean latency in seconds (0 with no observations).
+func (h *LatencyHist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n) / 1e9
+}
+
+// Quantile returns the q-quantile in seconds, log-linearly interpolated
+// within the containing bucket (linearly in the first).
+func (h *LatencyHist) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var seen int64
+	bound := int64(latencyBase)
+	for b := 0; b < latencyBuckets; b++ {
+		n := h.buckets[b].Load()
+		if float64(seen+n) >= rank && n > 0 {
+			frac := (rank - float64(seen)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			if b == 0 {
+				return float64(bound) * frac / 1e9
+			}
+			lower := float64(bound) / 2
+			return lower * math.Pow(2, frac) / 1e9
+		}
+		seen += n
+		if b < latencyBuckets-1 {
+			bound *= 2
+		}
+	}
+	return float64(bound) / 1e9
+}
+
+// Export snapshots the histogram in cumulative Prometheus form. The
+// total is derived from the same per-bucket snapshot, so cumulative
+// counts stay monotone and the +Inf bucket always equals _count even
+// while writers keep observing.
+func (h *LatencyHist) Export() (bounds []float64, cum []int64, sum float64, total int64) {
+	bounds = make([]float64, latencyBuckets-1)
+	cum = make([]int64, latencyBuckets-1)
+	bound := int64(latencyBase)
+	var seen int64
+	for b := 0; b < latencyBuckets-1; b++ {
+		seen += h.buckets[b].Load()
+		bounds[b] = float64(bound) / 1e9
+		cum[b] = seen
+		bound *= 2
+	}
+	total = seen + h.buckets[latencyBuckets-1].Load()
+	return bounds, cum, float64(h.sum.Load()) / 1e9, total
+}
+
+// podClock carries the wall stamps the latency attribution needs while a
+// pod is in flight.
+type podClock struct {
+	submitNs  int64
+	enqueueNs int64
+}
+
+// fsyncWatch is one placed pod awaiting the group fsync that covers its
+// OpPlace journal record.
+type fsyncWatch struct {
+	podID    int64
+	lsn      uint64
+	appendNs int64
+}
+
+// Lifecycle is the pod-lifecycle recorder. A nil *Lifecycle is a valid
+// disabled recorder: every method returns immediately, so the engine's
+// hot paths pay exactly one nil-check branch when lifecycle tracing is
+// off (the zero-cost-when-off invariant the allocs/op benchmark pins).
+type Lifecycle struct {
+	every int64 // timeline sampling modulus (pod ID based); <=0: flight ring only
+	role  string
+	epoch time.Time
+
+	mu      sync.Mutex
+	ring    []LifecycleEvent
+	next    int
+	total   uint64
+	pending map[int64]podClock
+	watches []fsyncWatch
+
+	// Stage histograms (lock-free; exported through Prometheus).
+	e2e    LatencyHist
+	qwait  LatencyHist
+	sched  LatencyHist
+	commit LatencyHist
+	fsync  LatencyHist
+	route  LatencyHist
+
+	lastFsyncNs atomic.Int64 // latest group-fsync duration (anomaly detection)
+
+	tmu       sync.Mutex
+	timelines map[int64]*PodTimeline
+	order     []int64
+	tcap      int
+}
+
+// NewLifecycle builds a recorder with a flight ring of `buffer` events
+// (default 8192) sampling full timelines for pods with ID % every == 0
+// (every <= 0 keeps only the flight ring). role names this process in
+// stitched traces and seeds its span IDs.
+func NewLifecycle(buffer, every int, role string) *Lifecycle {
+	if buffer <= 0 {
+		buffer = 8192
+	}
+	tcap := 1024
+	l := &Lifecycle{
+		every:     int64(every),
+		role:      role,
+		epoch:     time.Now(),
+		ring:      make([]LifecycleEvent, buffer),
+		pending:   make(map[int64]podClock, 1024),
+		timelines: make(map[int64]*PodTimeline, 64),
+		tcap:      tcap,
+	}
+	return l
+}
+
+// On reports whether the recorder is live; callers use it to skip
+// clock reads entirely when tracing is off.
+func (l *Lifecycle) On() bool { return l != nil }
+
+// Role returns the process role string ("", when disabled).
+func (l *Lifecycle) Role() string {
+	if l == nil {
+		return ""
+	}
+	return l.role
+}
+
+// Epoch returns the recorder's wall-clock epoch (zero when disabled).
+// Event StartNs offsets are nanoseconds since this instant.
+func (l *Lifecycle) Epoch() time.Time {
+	if l == nil {
+		return time.Time{}
+	}
+	return l.epoch
+}
+
+// Sampled reports whether the pod's full timeline is recorded. Sampling
+// is by pod ID (not a process-local counter), so every process in a
+// federation samples the same pods and their spans stitch.
+func (l *Lifecycle) Sampled(podID int64) bool {
+	return l != nil && l.every > 0 && podID%l.every == 0
+}
+
+func (l *Lifecycle) ns(t time.Time) int64 { return t.Sub(l.epoch).Nanoseconds() }
+
+// record appends ev to the flight ring and, for sampled pods, to the
+// pod's timeline.
+func (l *Lifecycle) record(ev LifecycleEvent) {
+	l.mu.Lock()
+	l.ring[l.next] = ev
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+	}
+	l.total++
+	l.mu.Unlock()
+	if l.Sampled(ev.PodID) {
+		l.tmu.Lock()
+		tl := l.timelines[ev.PodID]
+		if tl == nil {
+			tl = &PodTimeline{PodID: ev.PodID, Trace: DeriveTraceContext(ev.PodID, l.role)}
+			if len(l.order) >= l.tcap {
+				delete(l.timelines, l.order[0])
+				l.order = l.order[1:]
+			}
+			l.timelines[ev.PodID] = tl
+			l.order = append(l.order, ev.PodID)
+		}
+		tl.Events = append(tl.Events, ev)
+		l.tmu.Unlock()
+	}
+}
+
+// SetContext adopts an upstream trace context for one sampled pod:
+// the partition daemon calls it with the parsed Traceparent header
+// before submitting, so its events join the coordinator's trace. The
+// upstream span becomes this timeline's parent; the local span ID stays
+// derived from (pod, role).
+func (l *Lifecycle) SetContext(podID int64, tc TraceContext) {
+	if l == nil || !l.Sampled(podID) || !tc.Valid() {
+		return
+	}
+	local := DeriveTraceContext(podID, l.role)
+	l.tmu.Lock()
+	tl := l.timelines[podID]
+	if tl == nil {
+		tl = &PodTimeline{PodID: podID}
+		if len(l.order) >= l.tcap {
+			delete(l.timelines, l.order[0])
+			l.order = l.order[1:]
+		}
+		l.timelines[podID] = tl
+		l.order = append(l.order, podID)
+	}
+	tl.Trace = TraceContext{TraceID: tc.TraceID, SpanID: local.SpanID}
+	tl.Parent = tc.SpanID
+	l.tmu.Unlock()
+}
+
+// Submitted stamps a pod's arrival (t0) and its successful admission
+// through the dedup + quota gate into the queue (t1): a StageSubmit
+// marker plus a StageAdmission span, and the clocks later stages bill
+// against.
+func (l *Lifecycle) Submitted(podID int64, lane string, t0, t1 time.Time) {
+	if l == nil {
+		return
+	}
+	s0, s1 := l.ns(t0), l.ns(t1)
+	l.mu.Lock()
+	l.pending[podID] = podClock{submitNs: s0, enqueueNs: s1}
+	l.mu.Unlock()
+	l.record(LifecycleEvent{PodID: podID, Stage: StageSubmit, Lane: lane, StartNs: s0})
+	l.record(LifecycleEvent{PodID: podID, Stage: StageAdmission, Lane: lane, StartNs: s0, DurNs: s1 - s0})
+}
+
+// Shed stamps a terminal shed (backpressure or quota gate) and drops the
+// pod's clocks.
+func (l *Lifecycle) Shed(podID int64, reason string, t time.Time) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	delete(l.pending, podID)
+	l.mu.Unlock()
+	l.record(LifecycleEvent{PodID: podID, Stage: StageShed, StartNs: l.ns(t), Detail: reason})
+}
+
+// Dequeued stamps the end of one queue wait: a StageQueueWait span from
+// the last enqueue (or park) to t, observed into the queue-wait
+// histogram. The clock is re-stamped so a retried pod's next wait is
+// measured from this dequeue.
+func (l *Lifecycle) Dequeued(podID int64, lane string, t time.Time) {
+	if l == nil {
+		return
+	}
+	now := l.ns(t)
+	l.mu.Lock()
+	pc, ok := l.pending[podID]
+	start := pc.enqueueNs
+	if ok {
+		pc.enqueueNs = now
+		l.pending[podID] = pc
+	}
+	l.mu.Unlock()
+	if !ok {
+		return
+	}
+	wait := now - start
+	l.qwait.Observe(time.Duration(wait))
+	l.record(LifecycleEvent{PodID: podID, Stage: StageQueueWait, Lane: lane, StartNs: start, DurNs: wait})
+}
+
+// SchedAttempt stamps one scoring pass over the pod: the event spans the
+// batch's zero-lock scheduling window; perPod (the batch span amortized
+// over its pods) feeds the sched histogram so the per-stage breakdown
+// sums to wall time.
+func (l *Lifecycle) SchedAttempt(podID int64, attempt int32, start time.Time, span, perPod time.Duration, detail string) {
+	if l == nil {
+		return
+	}
+	l.sched.Observe(perPod)
+	l.record(LifecycleEvent{PodID: podID, Stage: StageSched, Attempt: attempt,
+		StartNs: l.ns(start), DurNs: span.Nanoseconds(), Detail: detail})
+}
+
+// Committed stamps the batched commit validation covering the pod, with
+// the commit outcome ("placed", "conflict-placed", "conflict-rejected",
+// "stale-rejected") as the detail.
+func (l *Lifecycle) Committed(podID int64, attempt int32, start time.Time, span time.Duration, outcome string) {
+	if l == nil {
+		return
+	}
+	l.commit.Observe(span)
+	l.record(LifecycleEvent{PodID: podID, Stage: StageCommit, Attempt: attempt,
+		StartNs: l.ns(start), DurNs: span.Nanoseconds(), Detail: outcome})
+}
+
+// Retried stamps a failed attempt parked for backoff.
+func (l *Lifecycle) Retried(podID int64, attempt int32, reason string, t time.Time) {
+	if l == nil {
+		return
+	}
+	now := l.ns(t)
+	l.mu.Lock()
+	if pc, ok := l.pending[podID]; ok {
+		pc.enqueueNs = now
+		l.pending[podID] = pc
+	}
+	l.mu.Unlock()
+	l.record(LifecycleEvent{PodID: podID, Stage: StageRetry, Attempt: attempt, StartNs: now, Detail: reason})
+}
+
+// Rejected stamps a fail-fast withdrawal (the pod spills back to the
+// federation coordinator) and drops the pod's clocks.
+func (l *Lifecycle) Rejected(podID int64, reason string, t time.Time) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	delete(l.pending, podID)
+	l.mu.Unlock()
+	l.record(LifecycleEvent{PodID: podID, Stage: StageReject, StartNs: l.ns(t), Detail: reason})
+}
+
+// Placed stamps the terminal placement: the StagePlaced event spans the
+// whole submit → placed journey (the end-to-end histogram's sample).
+// lsn, when non-zero, is a journal LSN at or after the pod's OpPlace
+// append: a StageJournalAppend marker is recorded and the pod is watched
+// until FsyncCovered reports a group fsync at or past that LSN.
+func (l *Lifecycle) Placed(podID int64, node int, t time.Time, lsn uint64) {
+	if l == nil {
+		return
+	}
+	now := l.ns(t)
+	l.mu.Lock()
+	pc, ok := l.pending[podID]
+	delete(l.pending, podID)
+	if lsn > 0 {
+		l.watches = append(l.watches, fsyncWatch{podID: podID, lsn: lsn, appendNs: now})
+	}
+	l.mu.Unlock()
+	if ok {
+		e2e := now - pc.submitNs
+		l.e2e.Observe(time.Duration(e2e))
+		l.record(LifecycleEvent{PodID: podID, Stage: StagePlaced, StartNs: pc.submitNs, DurNs: e2e,
+			Detail: "node " + strconv.Itoa(node)})
+	}
+	if lsn > 0 {
+		l.record(LifecycleEvent{PodID: podID, Stage: StageJournalAppend, StartNs: now,
+			Detail: "lsn " + strconv.FormatUint(lsn, 10)})
+	}
+}
+
+// FsyncCovered reports one completed group fsync covering every journal
+// record with LSN <= upTo; start/dur are the fsync's wall window. Watched
+// pods get their StageFsyncWait span (append → fsync completion) and
+// feed the fsync-wait histogram. Called from the journal's sync path; it
+// must not call back into the journal. Its signature matches
+// journal.SetOnSync so it installs directly.
+func (l *Lifecycle) FsyncCovered(upTo uint64, start time.Time, dur time.Duration) {
+	if l == nil {
+		return
+	}
+	l.lastFsyncNs.Store(dur.Nanoseconds())
+	endNs := l.ns(start.Add(dur))
+	var done []fsyncWatch
+	l.mu.Lock()
+	kept := l.watches[:0]
+	for _, w := range l.watches {
+		if w.lsn <= upTo {
+			done = append(done, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.watches = kept
+	l.mu.Unlock()
+	for _, w := range done {
+		wait := endNs - w.appendNs
+		if wait < 0 {
+			wait = 0
+		}
+		l.fsync.Observe(time.Duration(wait))
+		l.record(LifecycleEvent{PodID: w.podID, Stage: StageFsyncWait, StartNs: w.appendNs, DurNs: wait})
+	}
+}
+
+// LastFsyncNanos returns the duration of the most recent group fsync
+// reported through FsyncCovered (anomaly detection input).
+func (l *Lifecycle) LastFsyncNanos() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.lastFsyncNs.Load()
+}
+
+// Routed stamps a coordinator routing decision: digest-fit selection plus
+// the backend submit round trip, observed into the route histogram.
+func (l *Lifecycle) Routed(podID int64, partition int, t0, t1 time.Time) {
+	if l == nil {
+		return
+	}
+	s0 := l.ns(t0)
+	d := l.ns(t1) - s0
+	l.route.Observe(time.Duration(d))
+	l.record(LifecycleEvent{PodID: podID, Stage: StageRoute, StartNs: s0, DurNs: d,
+		Detail: "partition " + strconv.Itoa(partition)})
+}
+
+// Spilled stamps one spillover hop: the pod left partition `from` and
+// re-enters routing.
+func (l *Lifecycle) Spilled(podID int64, from int, reason string, t time.Time) {
+	if l == nil {
+		return
+	}
+	det := reason
+	if from >= 0 {
+		det = "from partition " + strconv.Itoa(from) + ": " + reason
+	}
+	l.record(LifecycleEvent{PodID: podID, Stage: StageSpill, StartNs: l.ns(t), Detail: det})
+}
+
+// StageHistogram returns the shared histogram for one of the exported
+// stages (StagePlaced = end-to-end, StageQueueWait, StageSched,
+// StageCommit, StageFsyncWait, StageRoute); nil for other stages or a
+// disabled recorder.
+func (l *Lifecycle) StageHistogram(stage string) *LatencyHist {
+	if l == nil {
+		return nil
+	}
+	switch stage {
+	case StagePlaced:
+		return &l.e2e
+	case StageQueueWait:
+		return &l.qwait
+	case StageSched:
+		return &l.sched
+	case StageCommit:
+		return &l.commit
+	case StageFsyncWait:
+		return &l.fsync
+	case StageRoute:
+		return &l.route
+	}
+	return nil
+}
+
+// Timeline returns a copy of one sampled pod's recorded timeline, its
+// events sorted by start offset, or false when the pod is not sampled
+// (or evicted).
+func (l *Lifecycle) Timeline(podID int64) (PodTimeline, bool) {
+	if l == nil {
+		return PodTimeline{}, false
+	}
+	l.tmu.Lock()
+	tl := l.timelines[podID]
+	var out PodTimeline
+	if tl != nil {
+		out = PodTimeline{PodID: tl.PodID, Trace: tl.Trace, Parent: tl.Parent,
+			Events: append([]LifecycleEvent(nil), tl.Events...)}
+	}
+	l.tmu.Unlock()
+	if tl == nil {
+		return PodTimeline{}, false
+	}
+	sort.SliceStable(out.Events, func(i, j int) bool { return out.Events[i].StartNs < out.Events[j].StartNs })
+	return out, true
+}
+
+// TimelineDoc renders one sampled pod's timeline in wire form, or false
+// when the pod has no recorded timeline.
+func (l *Lifecycle) TimelineDoc(podID int64) (TimelineDoc, bool) {
+	tl, ok := l.Timeline(podID)
+	if !ok {
+		return TimelineDoc{}, false
+	}
+	doc := TimelineDoc{
+		Process:     l.role,
+		EpochUnixNs: l.epoch.UnixNano(),
+		Events:      tl.Events,
+	}
+	if tl.Trace.Valid() {
+		doc.Trace = tl.Trace.TraceIDString()
+		doc.Span = fmt.Sprintf("%016x", tl.Trace.SpanID)
+	}
+	if tl.Parent != ([8]byte{}) {
+		doc.ParentSpan = fmt.Sprintf("%016x", tl.Parent)
+	}
+	return doc, true
+}
+
+// Total returns the number of events recorded since construction.
+func (l *Lifecycle) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// FlightEvents returns the flight-ring events with StartNs within the
+// trailing window ending at nowNs, oldest first. A window <= 0 returns
+// the whole ring.
+func (l *Lifecycle) FlightEvents(window time.Duration, now time.Time) []LifecycleEvent {
+	if l == nil {
+		return nil
+	}
+	cut := int64(math.MinInt64)
+	if window > 0 {
+		cut = l.ns(now) - window.Nanoseconds()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.ring)
+	count := int(l.total)
+	if count > n {
+		count = n
+	}
+	out := make([]LifecycleEvent, 0, count)
+	// Oldest event is at next-count (mod n) once the ring has wrapped.
+	start := l.next - count
+	if start < 0 {
+		start += n
+	}
+	for i := 0; i < count; i++ {
+		ev := l.ring[(start+i)%n]
+		if ev.Stage != "" && ev.StartNs >= cut {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// FlightDump is the JSON document an anomaly trip writes to the data
+// dir: the trigger, the trailing window of lifecycle events, and the
+// wall anchor to line them up against other processes' dumps.
+type FlightDump struct {
+	Reason      string           `json:"reason"`
+	Role        string           `json:"role,omitempty"`
+	EpochUnixNs int64            `json:"epoch_unix_ns"`
+	WallUnixNs  int64            `json:"wall_unix_ns"`
+	WindowMs    int64            `json:"window_ms"`
+	Detail      string           `json:"detail,omitempty"`
+	Events      []LifecycleEvent `json:"events"`
+}
+
+// WriteFlight dumps the last `window` of flight-ring events as JSON —
+// the flight recorder's black-box extraction, triggered by an anomaly
+// (shed spike, commit-conflict storm, fsync stall) or a debug endpoint.
+func (l *Lifecycle) WriteFlight(w io.Writer, window time.Duration, reason, detail string) error {
+	if l == nil {
+		return fmt.Errorf("obs: lifecycle tracing disabled")
+	}
+	now := time.Now()
+	dump := FlightDump{
+		Reason:      reason,
+		Role:        l.role,
+		EpochUnixNs: l.epoch.UnixNano(),
+		WallUnixNs:  now.UnixNano(),
+		WindowMs:    window.Milliseconds(),
+		Detail:      detail,
+		Events:      l.FlightEvents(window, now),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&dump)
+}

@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeriveTraceContextDeterministic(t *testing.T) {
+	a := DeriveTraceContext(42, "coordinator")
+	b := DeriveTraceContext(42, "coordinator")
+	if a != b {
+		t.Fatal("same pod+role derived different contexts")
+	}
+	c := DeriveTraceContext(42, "partition-0")
+	if a.TraceID != c.TraceID {
+		t.Error("same pod derived different trace IDs across roles")
+	}
+	if a.SpanID == c.SpanID {
+		t.Error("different roles derived the same span ID")
+	}
+	d := DeriveTraceContext(43, "coordinator")
+	if a.TraceID == d.TraceID {
+		t.Error("different pods derived the same trace ID")
+	}
+	if !a.Valid() {
+		t.Error("derived context invalid")
+	}
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tc := DeriveTraceContext(7, "coordinator")
+	s := tc.String()
+	if len(s) != 55 || !strings.HasPrefix(s, "00-") || !strings.HasSuffix(s, "-01") {
+		t.Fatalf("traceparent %q not in W3C form", s)
+	}
+	got, ok := ParseTraceParent(s)
+	if !ok {
+		t.Fatalf("own traceparent %q failed to parse", s)
+	}
+	if got != tc {
+		t.Fatalf("round trip mangled context: %v -> %v", tc, got)
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	valid := DeriveTraceContext(7, "x").String()
+	bad := []string{
+		"",
+		"00-short",
+		strings.Replace(valid, "-", "_", 1),
+		"00-" + strings.Repeat("0", 32) + "-" + valid[36:52] + "-01", // zero trace ID
+		valid[:36] + strings.Repeat("0", 16) + "-01",                 // zero span ID
+		"00-" + strings.Repeat("g", 32) + "-" + valid[36:52] + "-01", // non-hex
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceParent(s); ok {
+			t.Errorf("ParseTraceParent accepted %q", s)
+		}
+	}
+}
+
+func TestLatencyHistQuantilesAndExport(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram reported nonzero stats")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	if h.Count() != 1010 {
+		t.Fatalf("count %d, want 1010", h.Count())
+	}
+	p50, p999 := h.Quantile(0.50), h.Quantile(0.999)
+	if p50 < 0.0005 || p50 > 0.002 {
+		t.Errorf("p50 %.6fs, want ~1ms", p50)
+	}
+	if p999 < 0.5 || p999 > 2 {
+		t.Errorf("p99.9 %.6fs, want ~1s", p999)
+	}
+	if p50 > p999 {
+		t.Errorf("p50 %.6f above p99.9 %.6f", p50, p999)
+	}
+	mean := h.Mean()
+	want := (1000*0.001 + 10*1.0) / 1010
+	if mean < want*0.99 || mean > want*1.01 {
+		t.Errorf("mean %.6fs, want ~%.6fs", mean, want)
+	}
+
+	bounds, cum, sum, total := h.Export()
+	if len(bounds) != len(cum) || len(bounds) != latencyBuckets-1 {
+		t.Fatalf("export geometry: %d bounds, %d cum", len(bounds), len(cum))
+	}
+	if total != 1010 {
+		t.Errorf("export total %d, want 1010", total)
+	}
+	if sum < want*1010*0.99 || sum > want*1010*1.01 {
+		t.Errorf("export sum %.3f, want ~%.3f", sum, want*1010)
+	}
+	prev := int64(0)
+	for i, c := range cum {
+		if c < prev {
+			t.Fatalf("bucket %d count %d below predecessor %d", i, c, prev)
+		}
+		if i > 0 && bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not increasing at %d", i)
+		}
+		prev = c
+	}
+	if cum[len(cum)-1] > total {
+		t.Errorf("last finite bucket %d above total %d", cum[len(cum)-1], total)
+	}
+}
+
+func TestLifecycleSamplingModulus(t *testing.T) {
+	l := NewLifecycle(64, 10, "engine")
+	if !l.Sampled(0) || !l.Sampled(20) || l.Sampled(7) {
+		t.Error("modulus sampling wrong")
+	}
+	flightOnly := NewLifecycle(64, 0, "engine")
+	if flightOnly.Sampled(0) {
+		t.Error("every=0 sampled a pod")
+	}
+	var nilL *Lifecycle
+	if nilL.Sampled(0) || nilL.On() {
+		t.Error("nil recorder claims to be live")
+	}
+}
+
+// TestLifecycleNilSafety calls every method on a disabled (nil) recorder;
+// the zero-cost-when-off contract is that none of them panic or record.
+func TestLifecycleNilSafety(t *testing.T) {
+	var l *Lifecycle
+	now := time.Now()
+	l.SetContext(1, DeriveTraceContext(1, "x"))
+	l.Submitted(1, "ls", now, now)
+	l.Shed(1, "r", now)
+	l.Dequeued(1, "ls", now)
+	l.SchedAttempt(1, 0, now, 0, 0, "")
+	l.Committed(1, 0, now, 0, "placed")
+	l.Retried(1, 1, "r", now)
+	l.Rejected(1, "r", now)
+	l.Placed(1, 0, now, 0)
+	l.FsyncCovered(1, now, 0)
+	l.Routed(1, 0, now, now)
+	l.Spilled(1, 0, "r", now)
+	if l.StageHistogram(StagePlaced) != nil {
+		t.Error("nil recorder returned a histogram")
+	}
+	if _, ok := l.Timeline(1); ok {
+		t.Error("nil recorder returned a timeline")
+	}
+	if _, ok := l.TimelineDoc(1); ok {
+		t.Error("nil recorder returned a timeline doc")
+	}
+	if l.Total() != 0 || l.LastFsyncNanos() != 0 || l.FlightEvents(0, now) != nil {
+		t.Error("nil recorder reported recorded state")
+	}
+	if err := l.WriteFlight(&bytes.Buffer{}, time.Second, "r", ""); err == nil {
+		t.Error("nil recorder wrote a flight dump")
+	}
+}
+
+func TestLifecycleTimelineOrderingAndStages(t *testing.T) {
+	l := NewLifecycle(256, 1, "engine")
+	base := l.Epoch()
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+
+	l.Submitted(5, "ls", at(0), at(1))
+	l.Dequeued(5, "ls", at(10))
+	l.SchedAttempt(5, 0, at(10), 2*time.Millisecond, time.Millisecond, "")
+	l.Committed(5, 0, at(12), time.Millisecond, "placed")
+	l.Placed(5, 3, at(13), 42)
+	l.FsyncCovered(42, at(14), time.Millisecond)
+
+	tl, ok := l.Timeline(5)
+	if !ok {
+		t.Fatal("sampled pod has no timeline")
+	}
+	var stages []string
+	for _, ev := range tl.Events {
+		stages = append(stages, ev.Stage)
+	}
+	// Events sort by start offset: the placed span starts at submit time
+	// (it covers the whole journey), so it sorts with the submit marker.
+	want := []string{StageSubmit, StageAdmission, StagePlaced, StageQueueWait, StageSched, StageCommit, StageJournalAppend, StageFsyncWait}
+	if len(stages) != len(want) {
+		t.Fatalf("stages %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stage[%d] = %q, want %q (all: %v)", i, stages[i], want[i], stages)
+		}
+	}
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].StartNs < tl.Events[i-1].StartNs {
+			t.Fatalf("events not start-ordered: %+v", tl.Events)
+		}
+	}
+	// The placed span covers the whole journey.
+	var placed LifecycleEvent
+	for _, ev := range tl.Events {
+		if ev.Stage == StagePlaced {
+			placed = ev
+		}
+	}
+	if placed.DurNs < (13 * time.Millisecond).Nanoseconds() {
+		t.Errorf("placed span %dns, want >= 13ms", placed.DurNs)
+	}
+	// Stage histograms observed one sample each.
+	for _, st := range []string{StagePlaced, StageQueueWait, StageSched, StageCommit, StageFsyncWait} {
+		if n := l.StageHistogram(st).Count(); n != 1 {
+			t.Errorf("stage %q histogram count %d, want 1", st, n)
+		}
+	}
+}
+
+func TestLifecycleFsyncWatchSweep(t *testing.T) {
+	l := NewLifecycle(64, 1, "engine")
+	now := time.Now()
+	l.Submitted(1, "ls", now, now)
+	l.Submitted(2, "ls", now, now)
+	l.Placed(1, 0, now, 10)
+	l.Placed(2, 0, now, 20)
+	l.FsyncCovered(15, now, time.Millisecond)
+	if n := l.StageHistogram(StageFsyncWait).Count(); n != 1 {
+		t.Fatalf("fsync at LSN 15 released %d watches, want 1 (pod at LSN 10)", n)
+	}
+	if _, ok := l.Timeline(2); !ok {
+		t.Fatal("pod 2 timeline missing")
+	}
+	l.FsyncCovered(25, now, time.Millisecond)
+	if n := l.StageHistogram(StageFsyncWait).Count(); n != 2 {
+		t.Fatalf("second fsync left count %d, want 2", n)
+	}
+	if l.LastFsyncNanos() != time.Millisecond.Nanoseconds() {
+		t.Errorf("LastFsyncNanos %d, want 1ms", l.LastFsyncNanos())
+	}
+}
+
+func TestLifecycleSetContextAdoptsUpstream(t *testing.T) {
+	l := NewLifecycle(64, 1, "partition-0")
+	up := DeriveTraceContext(9, "coordinator")
+	l.SetContext(9, up)
+	l.Submitted(9, "ls", time.Now(), time.Now())
+	doc, ok := l.TimelineDoc(9)
+	if !ok {
+		t.Fatal("no timeline doc")
+	}
+	if doc.Trace != up.TraceIDString() {
+		t.Errorf("doc trace %q, want upstream %q", doc.Trace, up.TraceIDString())
+	}
+	local := DeriveTraceContext(9, "partition-0")
+	wantSpan := local.String()[36:52]
+	if doc.Span != wantSpan {
+		t.Errorf("doc span %q, want local %q", doc.Span, wantSpan)
+	}
+	wantParent := up.String()[36:52]
+	if doc.ParentSpan != wantParent {
+		t.Errorf("doc parent span %q, want upstream %q", doc.ParentSpan, wantParent)
+	}
+	if doc.Process != "partition-0" {
+		t.Errorf("doc process %q", doc.Process)
+	}
+}
+
+func TestLifecycleTimelineEviction(t *testing.T) {
+	l := NewLifecycle(64, 1, "engine")
+	now := time.Now()
+	for id := int64(0); id < int64(l.tcap)+5; id++ {
+		l.Submitted(id, "ls", now, now)
+	}
+	if _, ok := l.Timeline(0); ok {
+		t.Error("oldest timeline not evicted at capacity")
+	}
+	if _, ok := l.Timeline(int64(l.tcap)); !ok {
+		t.Error("recent timeline evicted")
+	}
+}
+
+func TestFlightRingWrapAndWindow(t *testing.T) {
+	l := NewLifecycle(8, 0, "engine")
+	base := l.Epoch()
+	for i := 0; i < 20; i++ {
+		l.Shed(int64(i), "r", base.Add(time.Duration(i)*time.Second))
+	}
+	if l.Total() != 20 {
+		t.Fatalf("total %d, want 20", l.Total())
+	}
+	// The ring holds the last 8 events (pods 12..19), oldest first.
+	evs := l.FlightEvents(0, base.Add(20*time.Second))
+	if len(evs) != 8 {
+		t.Fatalf("ring returned %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.PodID != int64(12+i) {
+			t.Fatalf("ring order wrong: got pod %d at %d, want %d (%+v)", ev.PodID, i, 12+i, evs)
+		}
+	}
+	// A 3.5s trailing window keeps only the last 4 (t=16..19 at now=19.5s).
+	evs = l.FlightEvents(3500*time.Millisecond, base.Add(19500*time.Millisecond))
+	if len(evs) != 4 {
+		t.Fatalf("windowed ring returned %d events, want 4: %+v", len(evs), evs)
+	}
+}
+
+func TestWriteFlightJSON(t *testing.T) {
+	l := NewLifecycle(64, 1, "partition-1")
+	now := time.Now()
+	l.Submitted(4, "lsr", now, now)
+	var buf bytes.Buffer
+	if err := l.WriteFlight(&buf, time.Minute, "shed-spike", "shed 100 in one tick"); err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("flight dump not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Reason != "shed-spike" || dump.Role != "partition-1" || dump.WindowMs != 60000 {
+		t.Errorf("dump header wrong: %+v", dump)
+	}
+	if len(dump.Events) != 2 {
+		t.Errorf("dump has %d events, want 2 (submit+admission)", len(dump.Events))
+	}
+}
+
+func TestMergedChromeTracePIDMapping(t *testing.T) {
+	for _, tc := range []struct {
+		process string
+		want    int
+	}{{"coordinator", 1}, {"partition-0", 2}, {"partition-3", 5}, {"mystery", 0}} {
+		if got := ChromePID(tc.process); got != tc.want {
+			t.Errorf("ChromePID(%q) = %d, want %d", tc.process, got, tc.want)
+		}
+	}
+
+	co := NewLifecycle(64, 1, "coordinator")
+	part := NewLifecycle(64, 1, "partition-0")
+	now := time.Now()
+	co.Routed(3, 0, now, now.Add(time.Millisecond))
+	part.SetContext(3, DeriveTraceContext(3, "coordinator"))
+	part.Submitted(3, "ls", now, now.Add(time.Millisecond))
+	coDoc, ok1 := co.TimelineDoc(3)
+	partDoc, ok2 := part.TimelineDoc(3)
+	if !ok1 || !ok2 {
+		t.Fatal("missing timeline docs")
+	}
+	var buf bytes.Buffer
+	if err := WriteMergedChromeTrace(&buf, []TimelineDoc{coDoc, partDoc}); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("merged trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	pids := map[float64]bool{}
+	procNames := map[string]float64{}
+	for _, ev := range events {
+		pid, _ := ev["pid"].(float64)
+		pids[pid] = true
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			args, _ := ev["args"].(map[string]any)
+			name, _ := args["name"].(string)
+			procNames[name] = pid
+		}
+	}
+	if procNames["coordinator"] != 1 || procNames["partition-0"] != 2 {
+		t.Errorf("process metadata pids wrong: %v", procNames)
+	}
+	if !pids[1] || !pids[2] {
+		t.Errorf("merged trace missing a process: pids %v", pids)
+	}
+	// Timestamps must be non-negative (aligned to the earliest epoch).
+	for _, ev := range events {
+		if ts, ok := ev["ts"].(float64); ok && ts < 0 {
+			t.Errorf("negative aligned timestamp %v in %v", ts, ev)
+		}
+	}
+}

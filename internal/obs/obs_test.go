@@ -267,12 +267,28 @@ func TestChromeTraceExport(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("export is not a JSON array: %v", err)
 	}
-	// 3 decision events + 2 spans each.
-	if len(events) != 9 {
-		t.Fatalf("exported %d events, want 9", len(events))
+	// 3 decision events + 2 spans each, plus process_name and 3
+	// thread_name metadata events labelling the rows.
+	if len(events) != 13 {
+		t.Fatalf("exported %d events, want 13", len(events))
 	}
-	var decisions, failed int
+	var decisions, failed, procNames, threadNames int
 	for _, ev := range events {
+		if ev["ph"] == "M" {
+			switch ev["name"] {
+			case "process_name":
+				procNames++
+				args := ev["args"].(map[string]any)
+				if args["name"] != "unisched scheduler" {
+					t.Fatalf("process_name args = %+v", args)
+				}
+			case "thread_name":
+				threadNames++
+			default:
+				t.Fatalf("unexpected metadata event %v", ev["name"])
+			}
+			continue
+		}
 		if ev["ph"] != "X" {
 			t.Fatalf("event ph = %v, want X", ev["ph"])
 		}
@@ -289,5 +305,8 @@ func TestChromeTraceExport(t *testing.T) {
 	}
 	if decisions != 3 || failed != 1 {
 		t.Fatalf("decisions=%d failed=%d, want 3 and 1", decisions, failed)
+	}
+	if procNames != 1 || threadNames != 3 {
+		t.Fatalf("procNames=%d threadNames=%d, want 1 and 3", procNames, threadNames)
 	}
 }

@@ -127,9 +127,11 @@ func escapeLabel(s string) string {
 // ValidateExposition parses r under the Prometheus text-format rules and
 // returns the first violation: malformed sample lines, samples of a
 // family not announced by # TYPE, duplicate TYPE headers, histogram
-// buckets that are non-cumulative or missing the +Inf bucket, and
-// histograms without _sum/_count. Tests and the CI smoke gate use it to
-// fail on malformed /metrics output.
+// buckets that are non-cumulative or missing the +Inf bucket, histograms
+// without _sum/_count, and histograms whose +Inf bucket, _count, and
+// _sum disagree (the +Inf cumulative count must equal _count, and a
+// zero-observation histogram must have a zero _sum). Tests and the CI
+// smoke gate use it to fail on malformed /metrics output.
 func ValidateExposition(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -139,6 +141,9 @@ func ValidateExposition(r io.Reader) error {
 	bucketLast := map[string]float64{} // last cumulative bucket value per histogram
 	bucketLe := map[string]float64{}   // last le bound per histogram
 	seen := map[string]bool{}          // suffixes seen per histogram: name|suffix
+	infVal := map[string]float64{}     // +Inf cumulative bucket value per histogram
+	countVal := map[string]float64{}   // _count sample value per histogram
+	sumVal := map[string]float64{}     // _sum sample value per histogram
 
 	line := 0
 	samples := 0
@@ -195,6 +200,18 @@ func ValidateExposition(r io.Reader) error {
 				return fmt.Errorf("line %d: histogram %s sample must be _bucket/_sum/_count", line, family)
 			}
 			seen[family+"|"+suffix] = true
+			switch suffix {
+			case "_count":
+				if math.IsNaN(value) || value < 0 {
+					return fmt.Errorf("line %d: histogram %s _count %v invalid", line, family, value)
+				}
+				countVal[family] = value
+			case "_sum":
+				if math.IsNaN(value) {
+					return fmt.Errorf("line %d: histogram %s _sum is NaN", line, family)
+				}
+				sumVal[family] = value
+			}
 			if suffix == "_bucket" {
 				le, ok := labels["le"]
 				if !ok {
@@ -214,6 +231,7 @@ func ValidateExposition(r io.Reader) error {
 				bucketLast[family] = value
 				if math.IsInf(bound, 1) {
 					seen[family+"|+Inf"] = true
+					infVal[family] = value
 				}
 			}
 		}
@@ -232,6 +250,15 @@ func ValidateExposition(r io.Reader) error {
 			if !seen[h+req] {
 				return fmt.Errorf("histogram %s missing %s", h, strings.TrimPrefix(req, "|"))
 			}
+		}
+		// Cross-series consistency: the +Inf cumulative bucket IS the
+		// observation count, so it must equal _count exactly, and a
+		// histogram that has observed nothing cannot have accumulated sum.
+		if infVal[h] != countVal[h] {
+			return fmt.Errorf("histogram %s inconsistent: +Inf bucket %v != _count %v", h, infVal[h], countVal[h])
+		}
+		if countVal[h] == 0 && sumVal[h] != 0 {
+			return fmt.Errorf("histogram %s inconsistent: _count 0 with _sum %v", h, sumVal[h])
 		}
 	}
 	return nil

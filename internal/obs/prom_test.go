@@ -77,10 +77,42 @@ func TestValidateExpositionRejectsMalformed(t *testing.T) {
 		{"bucket without le", "# TYPE h histogram\nh_bucket 10\nh_sum 1\nh_count 10\n"},
 		{"unquoted label", "# TYPE foo counter\nfoo{a=b} 1\n"},
 		{"unterminated label", `# TYPE foo counter` + "\n" + `foo{a="b} 1` + "\n"},
+		{
+			"+Inf bucket disagrees with count",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" +
+				`h_bucket{le="+Inf"} 10` + "\nh_sum 1\nh_count 12\n",
+		},
+		{
+			"zero count with nonzero sum",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 0` + "\nh_sum 3.5\nh_count 0\n",
+		},
+		{"NaN count", "# TYPE h histogram\n" + `h_bucket{le="+Inf"} 0` + "\nh_sum 0\nh_count NaN\n"},
+		{"negative count", "# TYPE h histogram\n" + `h_bucket{le="+Inf"} 0` + "\nh_sum 0\nh_count -1\n"},
+		{"NaN sum", "# TYPE h histogram\n" + `h_bucket{le="+Inf"} 0` + "\nh_sum NaN\nh_count 0\n"},
 	}
 	for _, tc := range cases {
 		if err := ValidateExposition(strings.NewReader(tc.in)); err == nil {
 			t.Errorf("%s: validator accepted malformed input:\n%s", tc.name, tc.in)
+		}
+	}
+}
+
+// TestValidateExpositionHistogramConsistency pins the cross-sample
+// checks: a histogram whose +Inf bucket, _count, and _sum agree passes;
+// an empty histogram with a zero sum passes.
+func TestValidateExpositionHistogramConsistency(t *testing.T) {
+	ok := []string{
+		"# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" +
+			`h_bucket{le="+Inf"} 10` + "\nh_sum 1.5\nh_count 10\n",
+		"# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 0` + "\nh_sum 0\nh_count 0\n",
+	}
+	for _, in := range ok {
+		if err := ValidateExposition(strings.NewReader(in)); err != nil {
+			t.Errorf("validator rejected consistent histogram: %v\n%s", err, in)
 		}
 	}
 }

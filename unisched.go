@@ -245,6 +245,57 @@ type (
 	ClusterSamplePoint = obs.SamplePoint
 )
 
+// Pod-lifecycle tracing (enable with EngineConfig.LifecycleEvery /
+// LifecycleBuffer; see DESIGN.md §4k). The recorder stamps every stage of
+// a pod's journey — submit, admission, queue wait, sched, commit, journal
+// append, fsync — against one monotonic epoch per process, samples full
+// per-pod timelines by ID modulus so federated processes sample the same
+// pods, and keeps an always-on flight ring that anomaly trips dump to the
+// data dir. Query via Engine.Lifecycle() / Federation.Lifecycle().
+type (
+	// LifecycleRecorder records pod-lifecycle events. A nil recorder is
+	// valid and disabled: every method returns immediately.
+	LifecycleRecorder = obs.Lifecycle
+	// LifecycleEvent is one recorded stage of one pod's journey.
+	LifecycleEvent = obs.LifecycleEvent
+	// PodLifecycleTimeline is one sampled pod's journey within one process.
+	PodLifecycleTimeline = obs.PodTimeline
+	// LifecycleTimelineDoc is the wire form of one process's timeline
+	// contribution (GET /v1/debug/pods/{id}/timeline).
+	LifecycleTimelineDoc = obs.TimelineDoc
+	// StitchedTimeline is the coordinator's merged cross-process view.
+	StitchedTimeline = obs.StitchedTimeline
+	// LifecycleTraceContext is the W3C-style trace context riding the
+	// federation JSON API in the Traceparent header.
+	LifecycleTraceContext = obs.TraceContext
+	// LifecycleFlightDump is the flight recorder's JSON document (anomaly
+	// dumps and GET /v1/debug/flight).
+	LifecycleFlightDump = obs.FlightDump
+	// PlacementLatencySummary is the engine snapshot's end-to-end placement
+	// latency block with the per-stage breakdown (EngineSnapshot.E2E).
+	PlacementLatencySummary = engine.E2ESummary
+)
+
+// TraceParentHeader is the HTTP header carrying the trace context.
+const TraceParentHeader = obs.TraceParentHeader
+
+// DeriveLifecycleTraceContext builds the deterministic trace context for
+// one pod: the trace ID is a pure function of the pod ID, the span ID of
+// (pod ID, role), so every process in a federation derives the same
+// trace and contributes a distinct span.
+func DeriveLifecycleTraceContext(podID int64, role string) LifecycleTraceContext {
+	return obs.DeriveTraceContext(podID, role)
+}
+
+// ParseTraceParent parses a Traceparent header value.
+func ParseTraceParent(s string) (LifecycleTraceContext, bool) { return obs.ParseTraceParent(s) }
+
+// WriteMergedChromeTrace renders timeline docs from several processes as
+// one chrome://tracing / Perfetto document with a stable pid per process.
+func WriteMergedChromeTrace(w io.Writer, docs []LifecycleTimelineDoc) error {
+	return obs.WriteMergedChromeTrace(w, docs)
+}
+
 // Engine submission errors.
 var (
 	// ErrQueueFull reports a shed submission under backpressure.
